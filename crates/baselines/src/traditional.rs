@@ -1,0 +1,574 @@
+//! The traditional (System-R / PostgreSQL-style) cardinality estimator.
+//!
+//! Per column: row count, null fraction, distinct count, a most-common-
+//! value list, and a 1-D equi-depth histogram. Selectivities combine under
+//! independence; joins use the classic `|R|·|S| / max(ndv_R, ndv_S)` rule
+//! per equi-join edge. Three variants mirror the paper's comparison
+//! systems:
+//!
+//! * **Postgres** — per-column statistics only;
+//! * **Postgres2D** — adds joint MCVs for every pair of filter columns
+//!   (extended statistics), improving correlated conjunctions;
+//! * **PostgresPK** — additionally propagates dimension filter columns
+//!   through PK–FK joins, mirroring §5's PostgresPK setup.
+
+use crate::propagate::propagated_columns;
+use safebound_exec::CardinalityEstimator;
+use safebound_query::{CmpOp, Predicate, Query};
+use safebound_storage::{Catalog, Column, Value};
+use std::collections::{BTreeMap, HashMap};
+
+const MCV_LEN: usize = 100;
+const HIST_BUCKETS: usize = 100;
+/// Postgres-style magic selectivity for unanchored LIKE patterns.
+const LIKE_MATCH_SEL: f64 = 0.005;
+
+/// Per-column summary statistics.
+#[derive(Debug, Clone)]
+pub struct ColumnSummary {
+    /// Non-null row count.
+    pub non_null: u64,
+    /// Total rows.
+    pub rows: u64,
+    /// Number of distinct non-null values.
+    pub ndv: u64,
+    /// Most common values with frequencies, descending.
+    pub mcv: Vec<(Value, u64)>,
+    /// Equi-depth histogram boundaries (ascending, `buckets+1` entries).
+    pub hist: Vec<Value>,
+}
+
+impl ColumnSummary {
+    fn build(col: &Column) -> ColumnSummary {
+        let rows = col.len() as u64;
+        let mut counts: HashMap<Value, u64> = col.value_counts();
+        let non_null: u64 = counts.values().sum();
+        let ndv = counts.len() as u64;
+        let mut pairs: Vec<(Value, u64)> = counts.drain().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mcv: Vec<(Value, u64)> = pairs.iter().take(MCV_LEN).cloned().collect();
+        // Histogram over sorted values (value-weighted).
+        let mut sorted: Vec<(Value, u64)> = pairs;
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut hist = Vec::new();
+        if !sorted.is_empty() {
+            let per = (non_null as f64 / HIST_BUCKETS as f64).max(1.0);
+            hist.push(sorted[0].0.clone());
+            let mut acc = 0.0;
+            let mut next = per;
+            for (v, c) in &sorted {
+                acc += *c as f64;
+                if acc >= next {
+                    hist.push(v.clone());
+                    while acc >= next {
+                        next += per;
+                    }
+                }
+            }
+            if hist.last() != Some(&sorted.last().unwrap().0) {
+                hist.push(sorted.last().unwrap().0.clone());
+            }
+        }
+        ColumnSummary { non_null, rows, ndv, mcv, hist }
+    }
+
+    /// Fraction of MCV mass.
+    fn mcv_mass(&self) -> u64 {
+        self.mcv.iter().map(|(_, c)| c).sum()
+    }
+
+    /// P(column = v).
+    pub fn sel_eq(&self, v: &Value) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        if let Some((_, c)) = self.mcv.iter().find(|(m, _)| m == v) {
+            return *c as f64 / self.rows as f64;
+        }
+        let rest_rows = self.non_null.saturating_sub(self.mcv_mass()) as f64;
+        let rest_ndv = self.ndv.saturating_sub(self.mcv.len() as u64) as f64;
+        if rest_ndv <= 0.0 {
+            return 0.0;
+        }
+        (rest_rows / rest_ndv) / self.rows as f64
+    }
+
+    /// P(lo ≤ column ≤ hi), interpolated over the histogram.
+    pub fn sel_range(&self, lo: Option<&Value>, hi: Option<&Value>) -> f64 {
+        if self.hist.len() < 2 || self.rows == 0 {
+            return 1.0 / 3.0; // Postgres' default range selectivity
+        }
+        let frac = |v: &Value| -> f64 {
+            // Position of v within the histogram, in [0, 1].
+            let n = self.hist.len();
+            let idx = self.hist.partition_point(|b| b < v);
+            if idx == 0 {
+                return 0.0;
+            }
+            if idx >= n {
+                return 1.0;
+            }
+            // Linear interpolation inside the bucket for numerics.
+            let (b0, b1) = (&self.hist[idx - 1], &self.hist[idx]);
+            let within = match (b0.as_f64(), b1.as_f64(), v.as_f64()) {
+                (Some(x0), Some(x1), Some(x)) if x1 > x0 => (x - x0) / (x1 - x0),
+                _ => 0.5,
+            };
+            ((idx - 1) as f64 + within.clamp(0.0, 1.0)) / (n - 1) as f64
+        };
+        let lo_f = lo.map_or(0.0, &frac);
+        let hi_f = hi.map_or(1.0, &frac);
+        ((hi_f - lo_f) * self.non_null as f64 / self.rows as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Joint MCV of a column pair (the "extended statistics" of Postgres2D).
+#[derive(Debug, Clone)]
+pub struct JointSummary {
+    /// Joint most-common value pairs with frequencies.
+    pub mcv: Vec<((Value, Value), u64)>,
+    /// Joint distinct count.
+    pub ndv: u64,
+    /// Rows.
+    pub rows: u64,
+}
+
+impl JointSummary {
+    fn build(a: &Column, b: &Column) -> JointSummary {
+        let mut counts: HashMap<(Value, Value), u64> = HashMap::new();
+        for i in 0..a.len() {
+            let (va, vb) = (a.get(i), b.get(i));
+            if !va.is_null() && !vb.is_null() {
+                *counts.entry((va, vb)).or_insert(0) += 1;
+            }
+        }
+        let ndv = counts.len() as u64;
+        let mut pairs: Vec<((Value, Value), u64)> = counts.into_iter().collect();
+        pairs.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+        pairs.truncate(MCV_LEN);
+        JointSummary { mcv: pairs, ndv, rows: a.len() as u64 }
+    }
+
+    /// P(a = va ∧ b = vb).
+    pub fn sel_eq_pair(&self, va: &Value, vb: &Value) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        if let Some((_, c)) = self.mcv.iter().find(|((x, y), _)| x == va && y == vb) {
+            return *c as f64 / self.rows as f64;
+        }
+        let mcv_mass: u64 = self.mcv.iter().map(|(_, c)| c).sum();
+        let rest_rows = self.rows.saturating_sub(mcv_mass) as f64;
+        let rest_ndv = self.ndv.saturating_sub(self.mcv.len() as u64) as f64;
+        if rest_ndv <= 0.0 {
+            return 0.0;
+        }
+        (rest_rows / rest_ndv) / self.rows as f64
+    }
+}
+
+/// Per-table statistics.
+#[derive(Debug, Clone)]
+pub struct TableSummary {
+    /// Row count.
+    pub rows: u64,
+    /// Per-column summaries (propagated columns keyed like
+    /// [`crate::propagate::propagated_name`]).
+    pub columns: BTreeMap<String, ColumnSummary>,
+    /// Joint summaries per column pair (Postgres2D only).
+    pub joints: BTreeMap<(String, String), JointSummary>,
+}
+
+/// Which extensions the traditional estimator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraditionalVariant {
+    /// Per-column statistics only.
+    Postgres,
+    /// Plus pairwise joint MCVs.
+    Postgres2D,
+    /// Plus PK–FK-propagated dimension columns.
+    PostgresPK,
+}
+
+/// The traditional estimator.
+#[derive(Debug, Clone)]
+pub struct TraditionalEstimator {
+    /// Per-table summaries.
+    pub tables: BTreeMap<String, TableSummary>,
+    /// Variant.
+    pub variant: TraditionalVariant,
+}
+
+impl TraditionalEstimator {
+    /// Build over a catalog.
+    pub fn build(catalog: &Catalog, variant: TraditionalVariant) -> Self {
+        let mut tables = BTreeMap::new();
+        for table in catalog.tables() {
+            let mut columns = BTreeMap::new();
+            for f in &table.schema.fields {
+                columns.insert(f.name.clone(), ColumnSummary::build(table.column(&f.name).unwrap()));
+            }
+            if variant == TraditionalVariant::PostgresPK {
+                for (key, col) in propagated_columns(catalog, table) {
+                    columns.insert(key, ColumnSummary::build(&col));
+                }
+            }
+            let mut joints = BTreeMap::new();
+            if variant == TraditionalVariant::Postgres2D {
+                let names: Vec<&str> =
+                    table.schema.fields.iter().map(|f| f.name.as_str()).collect();
+                for i in 0..names.len() {
+                    for j in i + 1..names.len() {
+                        joints.insert(
+                            (names[i].to_string(), names[j].to_string()),
+                            JointSummary::build(
+                                table.column(names[i]).unwrap(),
+                                table.column(names[j]).unwrap(),
+                            ),
+                        );
+                    }
+                }
+            }
+            tables.insert(table.name.clone(), TableSummary { rows: table.num_rows() as u64, columns, joints });
+        }
+        TraditionalEstimator { tables, variant }
+    }
+
+    /// Selectivity of a predicate tree on one table, under independence.
+    pub fn selectivity(&self, table: &TableSummary, pred: &Predicate) -> f64 {
+        match pred {
+            Predicate::Eq(col, v) => {
+                table.columns.get(col).map_or(0.01, |c| c.sel_eq(v))
+            }
+            Predicate::Cmp(col, op, v) => table.columns.get(col).map_or(1.0 / 3.0, |c| match op {
+                CmpOp::Lt | CmpOp::Le => c.sel_range(None, Some(v)),
+                CmpOp::Gt | CmpOp::Ge => c.sel_range(Some(v), None),
+            }),
+            Predicate::Between(col, lo, hi) => {
+                table.columns.get(col).map_or(1.0 / 9.0, |c| c.sel_range(Some(lo), Some(hi)))
+            }
+            Predicate::Like(col, pattern) => {
+                let _ = col;
+                // Postgres anchors: prefix patterns get range-ish
+                // treatment; here a magic constant scaled by pattern length.
+                let literal: usize = pattern.chars().filter(|c| *c != '%' && *c != '_').count();
+                (LIKE_MATCH_SEL * 2.0f64.powi(-(literal as i32) / 8)).max(1e-8)
+            }
+            Predicate::In(col, vs) => {
+                let s: f64 =
+                    vs.iter().map(|v| table.columns.get(col).map_or(0.01, |c| c.sel_eq(v))).sum();
+                s.min(1.0)
+            }
+            Predicate::And(ps) => {
+                // Postgres2D: use joint MCVs for pairs of equality conjuncts.
+                if self.variant == TraditionalVariant::Postgres2D {
+                    if let Some(s) = self.joint_and_selectivity(table, ps) {
+                        return s;
+                    }
+                }
+                ps.iter().map(|p| self.selectivity(table, p)).product()
+            }
+            Predicate::Or(ps) => {
+                let mut s = 0.0;
+                for p in ps {
+                    let sp = self.selectivity(table, p);
+                    s = s + sp - s * sp;
+                }
+                s
+            }
+        }
+    }
+
+    fn joint_and_selectivity(&self, table: &TableSummary, ps: &[Predicate]) -> Option<f64> {
+        // Exactly two equality conjuncts with a joint summary.
+        if ps.len() != 2 {
+            return None;
+        }
+        let (c1, v1) = match &ps[0] {
+            Predicate::Eq(c, v) => (c, v),
+            _ => return None,
+        };
+        let (c2, v2) = match &ps[1] {
+            Predicate::Eq(c, v) => (c, v),
+            _ => return None,
+        };
+        let (a, b, va, vb) = if c1 < c2 { (c1, c2, v1, v2) } else { (c2, c1, v2, v1) };
+        table.joints.get(&(a.clone(), b.clone())).map(|j| j.sel_eq_pair(va, vb))
+    }
+
+    /// Filtered cardinality of one relation of a query.
+    pub fn filtered_card(&self, query: &Query, rel: usize) -> f64 {
+        self.filtered_card_masked(query, rel, u64::MAX)
+    }
+
+    /// Filtered cardinality within a relation subset. Under PostgresPK,
+    /// predicates of mask-internal dimension neighbors are absorbed here
+    /// (the paper's rewrite onto the pre-joined fact tables); the
+    /// dimension itself is then costed unfiltered by
+    /// [`TraditionalEstimator::join_estimate`].
+    pub fn filtered_card_masked(&self, query: &Query, rel: usize, mask: u64) -> f64 {
+        let Some(summary) = self.tables.get(&query.relations[rel].table) else {
+            return 1.0;
+        };
+        let mut sel = match query.predicate_of(rel) {
+            Some(p) => self.selectivity(summary, p),
+            None => 1.0,
+        };
+        if self.variant == TraditionalVariant::PostgresPK {
+            for edge in &query.joins {
+                let (my_col, other, other_col) = if edge.left == rel {
+                    (&edge.left_column, edge.right, &edge.right_column)
+                } else if edge.right == rel {
+                    (&edge.right_column, edge.left, &edge.left_column)
+                } else {
+                    continue;
+                };
+                if mask & (1 << other) == 0 {
+                    continue;
+                }
+                if let Some(p) = query.predicate_of(other) {
+                    let other_table = &query.relations[other].table;
+                    sel *= self.propagated_selectivity(summary, my_col, other_table, other_col, p);
+                }
+            }
+        }
+        (summary.rows as f64 * sel).max(1e-9)
+    }
+
+    /// Under PostgresPK: is `rel`'s predicate absorbed by a mask-internal
+    /// neighbor that carries the matching propagated statistics?
+    fn absorbed_by_neighbor(&self, query: &Query, rel: usize, mask: u64) -> bool {
+        use crate::propagate::propagated_name;
+        if self.variant != TraditionalVariant::PostgresPK {
+            return false;
+        }
+        let Some(pred) = query.predicate_of(rel) else { return false };
+        let cols = pred.columns();
+        query.joins.iter().any(|edge| {
+            let (my_col, other, other_col) = if edge.left == rel {
+                (&edge.left_column, edge.right, &edge.right_column)
+            } else if edge.right == rel {
+                (&edge.right_column, edge.left, &edge.left_column)
+            } else {
+                return false;
+            };
+            if mask & (1 << other) == 0 || other == rel {
+                return false;
+            }
+            let Some(other_summary) = self.tables.get(&query.relations[other].table) else {
+                return false;
+            };
+            cols.iter().any(|c| {
+                other_summary
+                    .columns
+                    .contains_key(&propagated_name(other_col, &query.relations[rel].table, my_col, c))
+            })
+        })
+    }
+
+    fn propagated_selectivity(
+        &self,
+        summary: &TableSummary,
+        my_col: &str,
+        other_table: &str,
+        other_col: &str,
+        pred: &Predicate,
+    ) -> f64 {
+        use crate::propagate::propagated_name;
+        match pred {
+            Predicate::And(ps) => ps
+                .iter()
+                .map(|p| self.propagated_selectivity(summary, my_col, other_table, other_col, p))
+                .product(),
+            Predicate::Eq(col, v) => {
+                let key = propagated_name(my_col, other_table, other_col, col);
+                summary.columns.get(&key).map_or(1.0, |c| c.sel_eq(v))
+            }
+            Predicate::Cmp(col, op, v) => {
+                let key = propagated_name(my_col, other_table, other_col, col);
+                summary.columns.get(&key).map_or(1.0, |c| match op {
+                    CmpOp::Lt | CmpOp::Le => c.sel_range(None, Some(v)),
+                    CmpOp::Gt | CmpOp::Ge => c.sel_range(Some(v), None),
+                })
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// The classic join estimate for the sub-query induced by `mask`.
+    pub fn join_estimate(&self, query: &Query, mask: u64) -> f64 {
+        let mut card = 1.0f64;
+        let mut rels = Vec::new();
+        for rel in 0..query.num_relations() {
+            if mask & (1 << rel) != 0 {
+                if self.absorbed_by_neighbor(query, rel, mask) {
+                    // Predicate already applied on the fact side.
+                    card *= self
+                        .tables
+                        .get(&query.relations[rel].table)
+                        .map_or(1.0, |t| t.rows as f64);
+                } else {
+                    card *= self.filtered_card_masked(query, rel, mask);
+                }
+                rels.push(rel);
+            }
+        }
+        for j in &query.joins {
+            if mask & (1 << j.left) != 0 && mask & (1 << j.right) != 0 {
+                let ndv_l = self.ndv_of(query, j.left, &j.left_column);
+                let ndv_r = self.ndv_of(query, j.right, &j.right_column);
+                let d = ndv_l.max(ndv_r).max(1.0);
+                card /= d;
+            }
+        }
+        card.max(1e-9)
+    }
+
+    fn ndv_of(&self, query: &Query, rel: usize, col: &str) -> f64 {
+        let Some(summary) = self.tables.get(&query.relations[rel].table) else {
+            return 1.0;
+        };
+        let base = summary.columns.get(col).map_or(1.0, |c| c.ndv as f64);
+        // Scale ndv down with filtering (Postgres' heuristic).
+        let filtered = self.filtered_card(query, rel);
+        base.min(filtered.max(1.0))
+    }
+}
+
+impl CardinalityEstimator for TraditionalEstimator {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            TraditionalVariant::Postgres => "Postgres",
+            TraditionalVariant::Postgres2D => "Postgres2D",
+            TraditionalVariant::PostgresPK => "PostgresPK",
+        }
+    }
+    fn estimate(&mut self, query: &Query, mask: u64) -> f64 {
+        self.join_estimate(query, mask)
+    }
+}
+
+/// Approximate statistics size in bytes (the Fig. 8a metric).
+pub fn traditional_byte_size(est: &TraditionalEstimator) -> usize {
+    let col = |c: &ColumnSummary| 32 + c.mcv.len() * 32 + c.hist.len() * 24;
+    est.tables
+        .values()
+        .map(|t| {
+            t.columns.values().map(col).sum::<usize>()
+                + t.joints.values().map(|j| j.mcv.len() * 56 + 24).sum::<usize>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safebound_exec::exact_count;
+    use safebound_query::parse_sql;
+    use safebound_storage::{DataType, Field, Schema, Table};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        // 1000 rows; a uniform 0..99; b correlated with a (b = a / 10).
+        let a_vals: Vec<Option<i64>> = (0..1000).map(|i| Some(i % 100)).collect();
+        let b_vals: Vec<Option<i64>> = (0..1000).map(|i| Some((i % 100) / 10)).collect();
+        let t = Table::new(
+            "t",
+            Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)]),
+            vec![Column::from_ints(a_vals), Column::from_ints(b_vals)],
+        );
+        let dim = Table::new(
+            "d",
+            Schema::new(vec![Field::new("id", DataType::Int), Field::new("w", DataType::Int)]),
+            vec![
+                Column::from_ints((0..100).map(Some)),
+                Column::from_ints((0..100).map(|i| Some(i % 7))),
+            ],
+        );
+        c.add_table(t);
+        c.add_table(dim);
+        c.declare_primary_key("d", "id");
+        c.declare_foreign_key("t", "a", "d", "id");
+        c
+    }
+
+    #[test]
+    fn equality_selectivity_uniform() {
+        let c = catalog();
+        let est = TraditionalEstimator::build(&c, TraditionalVariant::Postgres);
+        let t = &est.tables["t"];
+        let s = est.selectivity(t, &Predicate::Eq("a".into(), Value::Int(5)));
+        assert!((s - 0.01).abs() < 0.002, "got {s}");
+    }
+
+    #[test]
+    fn range_selectivity_half() {
+        let c = catalog();
+        let est = TraditionalEstimator::build(&c, TraditionalVariant::Postgres);
+        let t = &est.tables["t"];
+        let s = est.selectivity(
+            t,
+            &Predicate::Between("a".into(), Value::Int(0), Value::Int(49)),
+        );
+        assert!((s - 0.5).abs() < 0.1, "got {s}");
+    }
+
+    #[test]
+    fn independence_underestimates_correlation() {
+        // a = 10 implies b = 1, so P(a=10 ∧ b=1) = 0.01, but independence
+        // says 0.01 · 0.1 = 0.001 — the classic underestimate.
+        let c = catalog();
+        let est = TraditionalEstimator::build(&c, TraditionalVariant::Postgres);
+        let t = &est.tables["t"];
+        let p = Predicate::And(vec![
+            Predicate::Eq("a".into(), Value::Int(10)),
+            Predicate::Eq("b".into(), Value::Int(1)),
+        ]);
+        let s = est.selectivity(t, &p);
+        assert!(s < 0.005, "independence should underestimate, got {s}");
+        // Postgres2D fixes it via the joint MCV.
+        let est2 = TraditionalEstimator::build(&c, TraditionalVariant::Postgres2D);
+        let s2 = est2.selectivity(&est2.tables["t"], &p);
+        assert!((s2 - 0.01).abs() < 0.003, "2D stats should be accurate, got {s2}");
+    }
+
+    #[test]
+    fn fk_join_estimate_close_to_truth() {
+        let c = catalog();
+        let mut est = TraditionalEstimator::build(&c, TraditionalVariant::Postgres);
+        let q = parse_sql("SELECT COUNT(*) FROM t, d WHERE t.a = d.id").unwrap();
+        let got = est.estimate(&q, 0b11);
+        let truth = exact_count(&c, &q).unwrap() as f64;
+        assert!(got / truth > 0.5 && got / truth < 2.0, "est {got} vs truth {truth}");
+    }
+
+    #[test]
+    fn pk_variant_propagates_dimension_predicates() {
+        let c = catalog();
+        let mut pg = TraditionalEstimator::build(&c, TraditionalVariant::Postgres);
+        let mut pk = TraditionalEstimator::build(&c, TraditionalVariant::PostgresPK);
+        let q = parse_sql("SELECT COUNT(*) FROM t, d WHERE t.a = d.id AND d.w = 3").unwrap();
+        let truth = exact_count(&c, &q).unwrap() as f64;
+        let e_pg = pg.estimate(&q, 0b11);
+        let e_pk = pk.estimate(&q, 0b11);
+        // Both reasonable here (uniform data), PK at least as close.
+        assert!((e_pk / truth - 1.0).abs() <= (e_pg / truth - 1.0).abs() + 0.5);
+    }
+
+    #[test]
+    fn like_uses_magic_constant() {
+        let c = catalog();
+        let est = TraditionalEstimator::build(&c, TraditionalVariant::Postgres);
+        let t = &est.tables["t"];
+        let s = est.selectivity(t, &Predicate::Like("a".into(), "%xyz%".into()));
+        assert!(s > 0.0 && s < 0.01);
+    }
+
+    #[test]
+    fn byte_size_positive_and_grows_with_2d() {
+        let c = catalog();
+        let e1 = TraditionalEstimator::build(&c, TraditionalVariant::Postgres);
+        let e2 = TraditionalEstimator::build(&c, TraditionalVariant::Postgres2D);
+        assert!(traditional_byte_size(&e2) > traditional_byte_size(&e1));
+    }
+}

@@ -1,0 +1,28 @@
+//! Criterion micro-benchmark for the offline phase (statistics
+//! construction) — the kernel behind Figs. 8b and 10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safebound_bench::experiment_config;
+use safebound_core::{SafeBoundBuilder, SafeBoundConfig};
+use safebound_datagen::{imdb_catalog, tpch_catalog, ImdbScale};
+
+fn bench_build(c: &mut Criterion) {
+    let imdb = imdb_catalog(&ImdbScale::tiny(), 1);
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    group.bench_function("safebound_imdb_tiny", |b| {
+        b.iter(|| SafeBoundBuilder::new(experiment_config()).build(&imdb))
+    });
+    let tpch = tpch_catalog(0.1, 1);
+    group.bench_function("safebound_tpch_sf0.1_trigrams", |b| {
+        b.iter(|| SafeBoundBuilder::new(experiment_config()).build(&tpch))
+    });
+    let no_ngrams = SafeBoundConfig { enable_ngrams: false, ..experiment_config() };
+    group.bench_function("safebound_tpch_sf0.1_no_trigrams", |b| {
+        b.iter(|| SafeBoundBuilder::new(no_ngrams.clone()).build(&tpch))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

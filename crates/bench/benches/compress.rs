@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark for Algorithm 1 (`ValidCompress`) and the
+//! baseline segmentations — the offline-phase kernel behind Figs. 8b/9b.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safebound_core::compression::{compress_cds, Segmentation};
+use safebound_core::DegreeSequence;
+
+fn zipf_ds(n: usize) -> DegreeSequence {
+    DegreeSequence::from_frequencies((1..=n).map(|i| (n / i).max(1) as u64).collect())
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("valid_compress");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        let ds = zipf_ds(n);
+        group.bench_with_input(BenchmarkId::new("c=0.01", n), &ds, |b, ds| {
+            b.iter(|| compress_cds(ds, Segmentation::ValidCompress { c: 0.01 }))
+        });
+    }
+    let ds = zipf_ds(10_000);
+    group.bench_function("equi_depth_k16", |b| {
+        b.iter(|| compress_cds(&ds, Segmentation::EquiDepth { k: 16 }))
+    });
+    group.bench_function("exponential_b2", |b| {
+        b.iter(|| compress_cds(&ds, Segmentation::Exponential { base: 2.0 }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion micro-benchmark for the exact cardinality oracle (Yannakakis
+//! counting) — the substrate behind every true-cardinality measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safebound_datagen::{imdb_catalog, job_light, ImdbScale};
+use safebound_exec::exact_count;
+
+fn bench_exact(c: &mut Criterion) {
+    let catalog = imdb_catalog(&ImdbScale::tiny(), 1);
+    let queries = job_light(1);
+    let mut group = c.benchmark_group("exact_oracle");
+    group.sample_size(20);
+    group.bench_function("yannakakis_job_light_10", |b| {
+        b.iter(|| {
+            let mut total = 0u128;
+            for q in queries.iter().take(10) {
+                total += exact_count(&catalog, &q.query).unwrap();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark for the online phase: SafeBound bound
+//! inference (Algorithm 2) per query vs the baselines — the kernel behind
+//! Fig. 5b.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safebound_baselines::{Simplicity, TraditionalEstimator, TraditionalVariant};
+use safebound_core::SafeBound;
+use safebound_bench::experiment_config;
+use safebound_datagen::{imdb_catalog, job_light, ImdbScale};
+use safebound_exec::CardinalityEstimator;
+
+fn bench_inference(c: &mut Criterion) {
+    let catalog = imdb_catalog(&ImdbScale::tiny(), 1);
+    let queries = job_light(1);
+    let sb = SafeBound::build(&catalog, experiment_config());
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(20);
+    group.bench_function("safebound_bound_job_light", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for q in queries.iter().take(10) {
+                total += sb.bound(&q.query).unwrap();
+            }
+            total
+        })
+    });
+    let mut pg = TraditionalEstimator::build(&catalog, TraditionalVariant::Postgres);
+    group.bench_function("postgres_estimate_job_light", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for q in queries.iter().take(10) {
+                let mask = (1u64 << q.query.num_relations()) - 1;
+                total += pg.estimate(&q.query, mask);
+            }
+            total
+        })
+    });
+    let mut simp = Simplicity::build(&catalog);
+    group.bench_function("simplicity_estimate_job_light", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for q in queries.iter().take(10) {
+                let mask = (1u64 << q.query.num_relations()) - 1;
+                total += simp.estimate(&q.query, mask);
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Regenerates every table and figure of the SafeBound evaluation.
+//!
+//! ```text
+//! cargo run --release -p safebound-bench --bin experiments -- all
+//! cargo run --release -p safebound-bench --bin experiments -- fig5a fig9b
+//! cargo run --release -p safebound-bench --bin experiments -- --smoke all
+//! ```
+
+use safebound_bench::{
+    ablation, build_workloads, fig10, fig5a, fig5b, fig5c, fig6, fig7, fig8, fig9a, fig9b, fig9c,
+    run_workload, ExperimentScale, MethodKind, QueryMeasurement,
+};
+use safebound_exec::CostModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let figures: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let all = figures.is_empty() || figures.contains(&"all");
+    let want = |f: &str| all || figures.contains(&f);
+
+    let scale = if smoke { ExperimentScale::smoke() } else { ExperimentScale::default() };
+    eprintln!("# SafeBound experiment suite (scale: {})", if smoke { "smoke" } else { "default" });
+
+    let needs_runs = want("fig5a") || want("fig5b") || want("fig5c") || want("fig6") || want("fig7");
+    let workloads = build_workloads(&scale);
+
+    let mut measurements: Vec<QueryMeasurement> = Vec::new();
+    if needs_runs {
+        let methods = MethodKind::end_to_end();
+        for w in &workloads {
+            eprintln!("  running {} ({} queries, {} methods)…", w.name, w.queries.len(), methods.len());
+            measurements.extend(run_workload(w, &methods, &CostModel::default()));
+        }
+    }
+
+    if want("fig5a") {
+        println!("\n## Figure 5a — workload runtime relative to true-cardinality plans");
+        println!("{:<16} {:<12} {:>10}", "workload", "method", "rel.runtime");
+        for (w, m, v) in fig5a(&measurements) {
+            println!("{w:<16} {m:<12} {v:>10.3}");
+        }
+    }
+
+    if want("fig5b") {
+        println!("\n## Figure 5b — median planning time (ms)");
+        println!("{:<16} {:<12} {:>10}", "workload", "method", "median ms");
+        for (w, m, v) in fig5b(&measurements) {
+            println!("{w:<16} {m:<12} {v:>10.3}");
+        }
+    }
+
+    if want("fig5c") {
+        println!("\n## Figure 5c — relative error (Estimate/True)");
+        println!(
+            "{:<16} {:<12} {:>10} {:>10} {:>12} {:>8}",
+            "workload", "method", "p05", "p50", "p95", "under%"
+        );
+        for r in fig5c(&measurements) {
+            println!(
+                "{:<16} {:<12} {:>10.3} {:>10.3} {:>12.3} {:>8.1}",
+                r.workload,
+                r.method,
+                r.p05,
+                r.p50,
+                r.p95,
+                100.0 * r.under_rate
+            );
+        }
+    }
+
+    if want("fig6") {
+        let (top, (p05, p25, p50, p75, p95)) = fig6(&measurements, 80);
+        println!("\n## Figure 6 — the 80 longest-running queries (Postgres plans)");
+        println!("speedup quantiles SafeBound vs Postgres:");
+        println!("  p05 {p05:.2}x  p25 {p25:.2}x  p50 {p50:.2}x  p75 {p75:.2}x  p95 {p95:.2}x");
+        println!("top 10 queries:");
+        println!("{:<40} {:>14} {:>14}", "query", "postgres", "safebound");
+        for (q, pg, sb) in top.iter().take(10) {
+            println!("{q:<40} {pg:>14.0} {sb:>14.0}");
+        }
+    }
+
+    if want("fig7") {
+        println!("\n## Figure 7 — avg runtime binned by Postgres-plan runtime");
+        println!("{:>12} {:>14} {:>14} {:>6}", "bin ≥", "postgres", "safebound", "n");
+        for (bin, pg, sb, n) in fig7(&measurements) {
+            println!("{bin:>12.0} {pg:>14.0} {sb:>14.0} {n:>6}");
+        }
+    }
+
+    if want("fig8a") || want("fig8b") {
+        println!("\n## Figure 8 — statistics size and build time per workload");
+        for w in &workloads {
+            println!("workload {}:", w.name);
+            println!("  {:<12} {:>12} {:>12}", "method", "bytes", "build ms");
+            for (m, bytes, ms) in fig8(&w.catalog) {
+                println!("  {m:<12} {bytes:>12} {ms:>12.1}");
+            }
+        }
+    }
+
+    if want("fig9a") {
+        println!("\n## Figure 9a — FK-index performance regressions");
+        let rows = fig9a(&workloads, &[MethodKind::Postgres, MethodKind::SafeBound]);
+        println!("{:<12} {:>12} {:>8} {:>14}", "method", "regressions", "total", "mean severity");
+        for r in rows {
+            println!(
+                "{:<12} {:>12} {:>8} {:>13.2}x",
+                r.method, r.regressions, r.total, r.mean_severity
+            );
+        }
+    }
+
+    if want("fig9b") {
+        println!("\n## Figure 9b — CDS vs DS modeling, self-join error vs compression");
+        println!("{:<16} {:<5} {:>12} {:>12}", "strategy", "model", "compression", "sj-error");
+        for (s, m, cr, e) in fig9b(&workloads[0].catalog) {
+            println!("{s:<16} {m:<5} {cr:>12.1} {e:>12.3}");
+        }
+    }
+
+    if want("fig9c") {
+        println!("\n## Figure 9c — clustering methods, avg self-join error");
+        println!("{:<18} {:>8} {:>12}", "method", "clusters", "avg error");
+        for (m, k, e) in fig9c(&workloads[0].catalog) {
+            println!("{m:<18} {k:>8} {e:>12.3}");
+        }
+    }
+
+    if want("fig10") {
+        println!("\n## Figure 10 — build time vs TPC-H scale factor");
+        let sfs: &[f64] = if smoke { &[0.05, 0.1] } else { &[0.25, 0.5, 1.0, 2.0] };
+        println!("{:>6} {:>9} {:>10} {:>12}", "sf", "trigrams", "rows", "build ms");
+        for (sf, tg, rows, ms) in fig10(sfs, scale.seed) {
+            println!("{sf:>6.2} {tg:>9} {rows:>10} {ms:>12.1}");
+        }
+    }
+
+    if want("ablation") {
+        println!("\n## Ablation — SafeBound design choices (JOB-Light workload)");
+        println!(
+            "{:<26} {:>10} {:>8} {:>10} {:>10} {:>10} {:>6}",
+            "variant", "bytes", "sets", "build ms", "median x", "p95 x", "under"
+        );
+        for r in ablation(&workloads[0]) {
+            println!(
+                "{:<26} {:>10} {:>8} {:>10.1} {:>10.2} {:>10.1} {:>6}",
+                r.variant, r.bytes, r.num_sets, r.build_ms, r.median_rel_error, r.p95_rel_error,
+                r.underestimates
+            );
+        }
+    }
+
+    eprintln!("# done");
+}

@@ -1,0 +1,252 @@
+//! The compared systems, with build-time and footprint bookkeeping
+//! (§5, "Compared Systems").
+
+use safebound_baselines::{
+    BayesLite, PessEst, SafeBoundEstimator, Simplicity, TraditionalEstimator, TraditionalVariant,
+};
+use safebound_core::{SafeBound, SafeBoundConfig};
+use safebound_exec::{CardinalityEstimator, TrueCardOracle};
+use safebound_storage::Catalog;
+use std::time::{Duration, Instant};
+
+/// Identifiers for the compared systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Exact cardinalities (the "optimal plans" baseline).
+    TrueCard,
+    /// Traditional per-column statistics.
+    Postgres,
+    /// + pairwise extended statistics.
+    Postgres2D,
+    /// + PK–FK pre-joined statistics.
+    PostgresPK,
+    /// This paper.
+    SafeBound,
+    /// Cai et al. 2019.
+    PessEst,
+    /// Hertzschuch et al. 2021.
+    Simplicity,
+    /// ML stand-in (see DESIGN.md §2).
+    BayesLite,
+}
+
+impl MethodKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodKind::TrueCard => "TrueCard",
+            MethodKind::Postgres => "Postgres",
+            MethodKind::Postgres2D => "Postgres2D",
+            MethodKind::PostgresPK => "PostgresPK",
+            MethodKind::SafeBound => "SafeBound",
+            MethodKind::PessEst => "PessEst",
+            MethodKind::Simplicity => "Simplicity",
+            MethodKind::BayesLite => "BayesLite",
+        }
+    }
+
+    /// The set used in the end-to-end experiments (Fig. 5–7).
+    pub fn end_to_end() -> Vec<MethodKind> {
+        vec![
+            MethodKind::TrueCard,
+            MethodKind::Postgres,
+            MethodKind::PostgresPK,
+            MethodKind::SafeBound,
+            MethodKind::PessEst,
+            MethodKind::Simplicity,
+            MethodKind::BayesLite,
+        ]
+    }
+
+    /// The set with pre-computed statistics (Fig. 8).
+    pub fn with_stats() -> Vec<MethodKind> {
+        vec![
+            MethodKind::Postgres,
+            MethodKind::Postgres2D,
+            MethodKind::PostgresPK,
+            MethodKind::SafeBound,
+            MethodKind::Simplicity,
+            MethodKind::BayesLite,
+        ]
+    }
+}
+
+/// The SafeBound configuration used by the experiments: the paper's
+/// parameters scaled to the synthetic data sizes.
+pub fn experiment_config() -> SafeBoundConfig {
+    SafeBoundConfig {
+        compression_c: 0.01,
+        mcv_size: 200,
+        histogram_levels: 5,
+        ngram_size: 3,
+        ngram_mcv_size: 150,
+        cds_groups: Some(16),
+        cluster_input_cap: 128,
+        use_bloom_filters: true,
+        bloom_bits_per_key: 12,
+        pk_fk_propagation: true,
+        enable_ngrams: true,
+        spanning_tree_cap: 50,
+    }
+}
+
+/// All pre-built estimators over one catalog, plus per-method build
+/// metadata. `TrueCard` and `PessEst` build nothing (the latter scans at
+/// query time, exactly as in the paper).
+pub struct MethodSet<'a> {
+    catalog: &'a Catalog,
+    safebound: SafeBoundEstimator,
+    postgres: TraditionalEstimator,
+    postgres2d: TraditionalEstimator,
+    postgrespk: TraditionalEstimator,
+    simplicity: Simplicity,
+    bayeslite: BayesLite,
+    pessest: PessEst<'a>,
+    truecard: TrueCardOracle<'a>,
+    /// Wall-clock build time per method.
+    pub build_times: Vec<(MethodKind, Duration)>,
+    /// Statistics footprint per method, in bytes.
+    pub byte_sizes: Vec<(MethodKind, usize)>,
+}
+
+impl<'a> MethodSet<'a> {
+    /// Build every method over `catalog`.
+    pub fn build(catalog: &'a Catalog) -> Self {
+        let mut build_times = Vec::new();
+        let mut byte_sizes = Vec::new();
+
+        let t = Instant::now();
+        let postgres = TraditionalEstimator::build(catalog, TraditionalVariant::Postgres);
+        build_times.push((MethodKind::Postgres, t.elapsed()));
+        byte_sizes.push((
+            MethodKind::Postgres,
+            safebound_baselines::traditional::traditional_byte_size(&postgres),
+        ));
+
+        let t = Instant::now();
+        let postgres2d = TraditionalEstimator::build(catalog, TraditionalVariant::Postgres2D);
+        build_times.push((MethodKind::Postgres2D, t.elapsed()));
+        byte_sizes.push((
+            MethodKind::Postgres2D,
+            safebound_baselines::traditional::traditional_byte_size(&postgres2d),
+        ));
+
+        let t = Instant::now();
+        let postgrespk = TraditionalEstimator::build(catalog, TraditionalVariant::PostgresPK);
+        build_times.push((MethodKind::PostgresPK, t.elapsed()));
+        byte_sizes.push((
+            MethodKind::PostgresPK,
+            safebound_baselines::traditional::traditional_byte_size(&postgrespk),
+        ));
+
+        let t = Instant::now();
+        let sb = SafeBound::build(catalog, experiment_config());
+        build_times.push((MethodKind::SafeBound, t.elapsed()));
+        byte_sizes.push((MethodKind::SafeBound, sb.stats.byte_size()));
+        let safebound = SafeBoundEstimator::new(sb);
+
+        let t = Instant::now();
+        let simplicity = Simplicity::build(catalog);
+        build_times.push((MethodKind::Simplicity, t.elapsed()));
+        byte_sizes.push((MethodKind::Simplicity, simplicity.byte_size()));
+
+        let t = Instant::now();
+        let bayeslite = BayesLite::build(catalog, 0.05, 17);
+        build_times.push((MethodKind::BayesLite, t.elapsed()));
+        byte_sizes.push((MethodKind::BayesLite, bayeslite.byte_size()));
+
+        MethodSet {
+            catalog,
+            safebound,
+            postgres,
+            postgres2d,
+            postgrespk,
+            simplicity,
+            bayeslite,
+            pessest: PessEst::new(catalog, 64),
+            truecard: TrueCardOracle::new(catalog),
+            build_times,
+            byte_sizes,
+        }
+    }
+
+    /// The estimator for a method, with per-query state reset. Call once
+    /// per (query, method).
+    pub fn estimator(&mut self, kind: MethodKind) -> &mut dyn CardinalityEstimator {
+        match kind {
+            MethodKind::TrueCard => {
+                self.truecard.reset();
+                &mut self.truecard
+            }
+            MethodKind::Postgres => &mut self.postgres,
+            MethodKind::Postgres2D => &mut self.postgres2d,
+            MethodKind::PostgresPK => &mut self.postgrespk,
+            MethodKind::SafeBound => &mut self.safebound,
+            MethodKind::PessEst => {
+                self.pessest.reset();
+                &mut self.pessest
+            }
+            MethodKind::Simplicity => &mut self.simplicity,
+            MethodKind::BayesLite => &mut self.bayeslite,
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// Recorded build time for a method (zero for scan-at-query-time
+    /// methods).
+    pub fn build_time(&self, kind: MethodKind) -> Duration {
+        self.build_times
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, d)| *d)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Recorded statistics footprint (bytes).
+    pub fn byte_size(&self, kind: MethodKind) -> usize {
+        self.byte_sizes.iter().find(|(k, _)| *k == kind).map(|(_, b)| *b).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safebound_datagen::{imdb_catalog, ImdbScale};
+    use safebound_query::parse_sql;
+
+    #[test]
+    fn all_methods_estimate_a_join() {
+        let catalog = imdb_catalog(&ImdbScale::tiny(), 1);
+        let mut set = MethodSet::build(&catalog);
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM title t, movie_keyword mk WHERE t.id = mk.movie_id",
+        )
+        .unwrap();
+        let truth = safebound_exec::exact_count(&catalog, &q).unwrap() as f64;
+        for kind in MethodKind::end_to_end() {
+            let est = set.estimator(kind).estimate(&q, 0b11);
+            assert!(est.is_finite() && est > 0.0, "{:?} returned {est}", kind);
+            if kind == MethodKind::TrueCard {
+                assert!((est - truth).abs() < 1e-6);
+            }
+            // Pessimistic methods must never underestimate.
+            if matches!(kind, MethodKind::SafeBound | MethodKind::PessEst) {
+                assert!(est >= truth - 1e-6, "{:?}: {est} < {truth}", kind);
+            }
+        }
+    }
+
+    #[test]
+    fn build_metadata_recorded() {
+        let catalog = imdb_catalog(&ImdbScale::tiny(), 1);
+        let set = MethodSet::build(&catalog);
+        assert!(set.byte_size(MethodKind::SafeBound) > 0);
+        assert!(set.byte_size(MethodKind::BayesLite) > 0);
+        assert_eq!(set.byte_size(MethodKind::PessEst), 0);
+        assert!(set.build_time(MethodKind::SafeBound) > Duration::ZERO);
+    }
+}

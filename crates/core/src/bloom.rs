@@ -1,0 +1,109 @@
+//! Bloom filters for MCV membership (§4.3).
+//!
+//! SafeBound stores each MCV list as a set of Bloom filters — one per CDS
+//! group — at ≈12 bits per value. A filter answers "might value `x` be in
+//! this group?" with no false negatives, so taking the max over all
+//! positive groups preserves the upper-bound guarantee; false positives can
+//! only loosen the bound.
+
+use serde::{Deserialize, Serialize};
+
+/// A classic Bloom filter with double hashing (`h_i = h1 + i·h2`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+}
+
+/// FNV-1a, seeded; deterministic across runs and platforms.
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl BloomFilter {
+    /// Create a filter sized for `expected` insertions at `bits_per_key`
+    /// bits each (the paper uses ≈12, giving ≈0.3% false positives).
+    pub fn new(expected: usize, bits_per_key: usize) -> Self {
+        let num_bits = (expected.max(1) * bits_per_key.max(1)).max(64) as u64;
+        // Optimal k ≈ bits_per_key · ln 2.
+        let num_hashes = ((bits_per_key as f64 * 0.693).round() as u32).clamp(1, 16);
+        BloomFilter { bits: vec![0; num_bits.div_ceil(64) as usize], num_bits, num_hashes }
+    }
+
+    /// Insert a key (as bytes).
+    pub fn insert(&mut self, key: &[u8]) {
+        let h1 = fnv1a(key, 0x5bd1e995);
+        let h2 = fnv1a(key, 0x27d4eb2f) | 1;
+        for i in 0..self.num_hashes {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Membership test: `false` means definitely absent.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let h1 = fnv1a(key, 0x5bd1e995);
+        let h2 = fnv1a(key, 0x27d4eb2f) | 1;
+        (0..self.num_hashes).all(|i| {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Size of the bit array in bytes (for the memory-footprint study).
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 8 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 12);
+        for i in 0..1000u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 0..1000u64 {
+            assert!(f.contains(&i.to_le_bytes()), "lost key {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::new(1000, 12);
+        for i in 0..1000u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        let fps = (1000..101_000u64).filter(|i| f.contains(&i.to_le_bytes())).count();
+        let rate = fps as f64 / 100_000.0;
+        assert!(rate < 0.02, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::new(100, 12);
+        assert!(!f.contains(b"anything"));
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut f = BloomFilter::new(10, 12);
+        f.insert(b"character-name-in-title");
+        assert!(f.contains(b"character-name-in-title"));
+        assert!(!f.contains(b"pg-13"));
+    }
+
+    #[test]
+    fn byte_size_scales() {
+        assert!(BloomFilter::new(10_000, 12).byte_size() > BloomFilter::new(100, 12).byte_size());
+    }
+}

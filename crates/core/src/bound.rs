@@ -1,0 +1,463 @@
+//! The Functional Degree Sequence Bound — Algorithm 2 (§3.5).
+//!
+//! Given the α/β plan of a Berge-acyclic query (from `safebound-query`) and
+//! one conditioned, compressed CDS per relation per join column, `fdsb`
+//! evaluates the size of the query on the worst-case instance `W(ΔŜ)`
+//! *without materializing it*:
+//!
+//! * an **α-step** intersects unary relations: `f̂_A(i) = Π f̂_{Bℓ}(i)`
+//!   (pointwise product of piecewise-constant functions);
+//! * a **β-step** star-joins a relation with its children and projects onto
+//!   the parent variable: `f̂_B(i) = f̂_{R.X₀}(i) · Π f̂_{Aℓ}(F̂⁻¹_{R.Xℓ}(F̂_{R.X₀}(i)))`.
+//!
+//! The rank translation `F̂⁻¹_{R.Xℓ}(F̂_{R.X₀}(i))` maps the cumulative tuple
+//! position of the i-th ranked X₀ value to the rank of the Xℓ value at that
+//! position — frequencies are perfectly aligned in the worst-case instance.
+//!
+//! At a component root there is no parent variable; we anchor the product
+//! on a virtual row-id column (`f ≡ 1` on `(0, N]`, `F = identity`), which
+//! is the degree sequence of a key and therefore sound, and return the
+//! total. Components multiply.
+//!
+//! Everything is `O(K log K)` in the total segment count `K` (Theorem 3.4):
+//! each composed breakpoint is found by one binary search.
+
+use crate::piecewise::{PiecewiseConstant, PiecewiseLinear, EPS};
+use safebound_query::{BoundPlan, Step};
+use std::collections::HashMap;
+
+/// Per-relation inputs to the bound: one conditioned CDS per join column,
+/// plus a scalar cardinality bound for relations that contribute no join
+/// column (component roots use it as the virtual-key length).
+#[derive(Debug, Clone, Default)]
+pub struct RelationBoundStats {
+    /// Column name → conditioned, compressed CDS.
+    pub cds_by_column: HashMap<String, PiecewiseLinear>,
+    /// An upper bound on the relation's (filtered) cardinality.
+    pub cardinality: f64,
+}
+
+impl RelationBoundStats {
+    /// Stats carrying only a cardinality bound (no join columns).
+    pub fn scalar(cardinality: f64) -> Self {
+        RelationBoundStats { cds_by_column: HashMap::new(), cardinality }
+    }
+
+    /// Stats from a set of per-column CDSs; the cardinality bound is the
+    /// smallest endpoint (each endpoint bounds the filtered cardinality).
+    pub fn from_columns(cds_by_column: HashMap<String, PiecewiseLinear>) -> Self {
+        let cardinality = cds_by_column
+            .values()
+            .map(PiecewiseLinear::endpoint)
+            .fold(f64::INFINITY, f64::min);
+        let cardinality = if cardinality.is_finite() { cardinality } else { 0.0 };
+        RelationBoundStats { cds_by_column, cardinality }
+    }
+}
+
+/// Errors from bound evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundError {
+    /// The plan references a relation index beyond the provided stats.
+    MissingRelation(usize),
+    /// No CDS was provided for a join column the plan needs.
+    MissingColumn {
+        /// Relation index in the query.
+        rel: usize,
+        /// The missing column.
+        column: String,
+    },
+}
+
+impl std::fmt::Display for BoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundError::MissingRelation(r) => write!(f, "no stats for relation #{r}"),
+            BoundError::MissingColumn { rel, column } => {
+                write!(f, "no CDS for join column {column:?} of relation #{rel}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoundError {}
+
+/// Evaluate the FDSB of a plan. Returns a guaranteed upper bound on the
+/// query's output cardinality under the provided statistics.
+pub fn fdsb(plan: &BoundPlan, relations: &[RelationBoundStats]) -> Result<f64, BoundError> {
+    /// Intermediate value of a plan node.
+    enum Node {
+        Unary(PiecewiseConstant),
+        Scalar(f64),
+    }
+
+    let mut nodes: Vec<Node> = Vec::with_capacity(plan.steps.len());
+
+    for step in &plan.steps {
+        let node = match step {
+            Step::Alpha { inputs, .. } => {
+                let fs: Vec<&PiecewiseConstant> = inputs
+                    .iter()
+                    .map(|&i| match &nodes[i] {
+                        Node::Unary(f) => f,
+                        Node::Scalar(_) => unreachable!("α-step over a scalar node"),
+                    })
+                    .collect();
+                Node::Unary(PiecewiseConstant::product(&fs))
+            }
+            Step::Beta { rel, out_column, children } => {
+                let stats =
+                    relations.get(*rel).ok_or(BoundError::MissingRelation(*rel))?;
+                // Anchor: the parent column's (f₀, F₀), or a virtual key of
+                // length `cardinality` at a component root.
+                let (f0, cds0) = match out_column {
+                    Some(col) => {
+                        let cds = stats.cds_by_column.get(col).ok_or_else(|| {
+                            BoundError::MissingColumn { rel: *rel, column: col.clone() }
+                        })?;
+                        (cds.delta(), cds.clone())
+                    }
+                    None => {
+                        let n = stats.cardinality.max(0.0);
+                        if n <= 0.0 {
+                            nodes.push(Node::Scalar(0.0));
+                            continue;
+                        }
+                        let key = PiecewiseConstant::constant(n, 1.0);
+                        let identity = key.cumulative();
+                        (key, identity)
+                    }
+                };
+                let mut factors: Vec<(&PiecewiseLinear, &PiecewiseConstant)> = Vec::new();
+                for (_, col, node) in children {
+                    let cds = stats.cds_by_column.get(col).ok_or_else(|| {
+                        BoundError::MissingColumn { rel: *rel, column: col.clone() }
+                    })?;
+                    let unary = match &nodes[*node] {
+                        Node::Unary(f) => f,
+                        Node::Scalar(_) => unreachable!("β child must be unary"),
+                    };
+                    factors.push((cds, unary));
+                }
+                let result = beta_step(&f0, &cds0, &factors);
+                if out_column.is_none() {
+                    Node::Scalar(result.total())
+                } else {
+                    Node::Unary(result)
+                }
+            }
+        };
+        nodes.push(node);
+    }
+
+    let mut bound = 1.0f64;
+    for &root in &plan.roots {
+        bound *= match &nodes[root] {
+            Node::Scalar(s) => *s,
+            Node::Unary(f) => f.total(),
+        };
+    }
+    Ok(bound)
+}
+
+/// One β-step: `f̂_B(i) = f₀(i) · Π f̂_{Aℓ}(F̂ℓ⁻¹(F̂₀(i)))` on `(0, support(f₀)]`.
+fn beta_step(
+    f0: &PiecewiseConstant,
+    cds0: &PiecewiseLinear,
+    factors: &[(&PiecewiseLinear, &PiecewiseConstant)],
+) -> PiecewiseConstant {
+    let support = f0.support();
+    if support <= 0.0 {
+        return PiecewiseConstant::zero();
+    }
+    // Breakpoints: edges of f₀ plus, per factor, the preimages of the child
+    // function's edges under i ↦ F̂ℓ⁻¹(F̂₀(i)).
+    let mut edges: Vec<f64> = f0.segments().iter().map(|s| s.0).collect();
+    for (cds_l, unary) in factors {
+        for &(edge, _) in unary.segments() {
+            let y = cds_l.eval(edge);
+            let i = cds0.inverse(y);
+            if i > EPS && i < support - EPS {
+                edges.push(i);
+            }
+        }
+        // Slope changes of the rank translation (knots of both CDSs) also
+        // move the product only through the unary factor, but including the
+        // F₀ knots keeps intervals small and evaluation exact at midpoints.
+        for &(x, _) in cds0.knots() {
+            if x > EPS && x < support - EPS {
+                edges.push(x);
+            }
+        }
+    }
+    edges.push(support);
+    edges.sort_by(f64::total_cmp);
+    edges.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+
+    let mut segs = Vec::with_capacity(edges.len());
+    let mut prev = 0.0f64;
+    for edge in edges {
+        if edge <= prev + EPS {
+            continue;
+        }
+        let mid = 0.5 * (prev + edge);
+        let mut v = f0.value(mid);
+        if v > 0.0 {
+            for (cds_l, unary) in factors {
+                let rank = cds_l.inverse(cds0.eval(mid));
+                v *= unary.value(rank.max(EPS));
+                if v == 0.0 {
+                    break;
+                }
+            }
+        }
+        segs.push((edge, v));
+        prev = edge;
+    }
+    PiecewiseConstant::new(segs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree_sequence::DegreeSequence;
+    use safebound_query::{BoundPlan, JoinGraph, Query, RelationRef};
+
+    fn stats_for(pairs: &[(&str, &[u64])], extra_card: Option<f64>) -> RelationBoundStats {
+        let mut map = HashMap::new();
+        for (col, freqs) in pairs {
+            let ds = DegreeSequence::from_frequencies(freqs.to_vec());
+            map.insert(col.to_string(), ds.to_cds());
+        }
+        let mut s = RelationBoundStats::from_columns(map);
+        if let Some(c) = extra_card {
+            s.cardinality = c;
+        }
+        s
+    }
+
+    fn plan_of(q: &Query) -> BoundPlan {
+        BoundPlan::build(q, &JoinGraph::new(q)).unwrap()
+    }
+
+    #[test]
+    fn two_way_join_matches_dsb_formula() {
+        // R.X: [3,2,1], S.X: [2,2]  ⇒  DSB = Σ f_R(i)·f_S(i) = 6 + 4 = 10.
+        let mut q = Query::new();
+        let r = q.add_relation(RelationRef::new("r"));
+        let s = q.add_relation(RelationRef::new("s"));
+        q.add_join(r, "x", s, "x");
+        let stats = vec![stats_for(&[("x", &[3, 2, 1])], None), stats_for(&[("x", &[2, 2])], None)];
+        let b = fdsb(&plan_of(&q), &stats).unwrap();
+        assert!((b - 10.0).abs() < 1e-9, "bound {b}");
+    }
+
+    #[test]
+    fn self_join_bound_is_sum_of_squares() {
+        // R ⋈ R on X with DS [4,2,2,1,1,1] ⇒ Σ f² = 27 (§3.4's SJ).
+        let mut q = Query::new();
+        let a = q.add_relation(RelationRef::aliased("r", "a"));
+        let b = q.add_relation(RelationRef::aliased("r", "b"));
+        q.add_join(a, "x", b, "x");
+        let ds: &[u64] = &[4, 2, 2, 1, 1, 1];
+        let stats = vec![stats_for(&[("x", ds)], None), stats_for(&[("x", ds)], None)];
+        let bound = fdsb(&plan_of(&q), &stats).unwrap();
+        assert!((bound - 27.0).abs() < 1e-9, "bound {bound}");
+    }
+
+    #[test]
+    fn key_fk_join_bounded_by_fact_side() {
+        // Dimension key (all freq 1, d=100) joined with fact FK [10,5,5].
+        let mut q = Query::new();
+        let dim = q.add_relation(RelationRef::new("dim"));
+        let fact = q.add_relation(RelationRef::new("fact"));
+        q.add_join(dim, "id", fact, "dim_id");
+        let stats = vec![
+            stats_for(&[("id", &[1; 100])], None),
+            stats_for(&[("dim_id", &[10, 5, 5])], None),
+        ];
+        let b = fdsb(&plan_of(&q), &stats).unwrap();
+        // Every FK value matches exactly one key ⇒ bound = 20 = |fact|.
+        assert!((b - 20.0).abs() < 1e-9, "bound {b}");
+    }
+
+    #[test]
+    fn chain_query_hand_computed() {
+        // R(X) ⋈ S(X,Y) ⋈ T(Y):
+        //   R.X: [2,1]   S.X: [3,1]  S.Y: [2,2]  T.Y: [5,1]
+        // Plan roots at R (alphabetical smallest index is r as added first).
+        let mut q = Query::new();
+        let r = q.add_relation(RelationRef::new("r"));
+        let s = q.add_relation(RelationRef::new("s"));
+        let t = q.add_relation(RelationRef::new("t"));
+        q.add_join(r, "x", s, "x");
+        q.add_join(s, "y", t, "y");
+        let stats = vec![
+            stats_for(&[("x", &[2, 1])], None),
+            stats_for(&[("x", &[3, 1]), ("y", &[2, 2])], None),
+            stats_for(&[("y", &[5, 1])], None),
+        ];
+        // Worst-case instance reasoning:
+        //  B_T(Y) = f_T.Y = [5,1].
+        //  B_S(X)(i) = f_S.X(i) · f_{B_T}(F_Y⁻¹(F_X(i))).
+        //    i∈(0,1]: F_X(i)∈(0,3] ⇒ F_Y⁻¹∈(0,1.5] — crosses rank 1→2 at F_X=2, i=2/3.
+        //      (0,2/3]: 3·5=15; (2/3,1]: 3·1=3.
+        //    i∈(1,2]: F_X∈(3,4] ⇒ F_Y⁻¹∈(1.5,2] ⇒ f=1 ⇒ 1·1=1.
+        //  B_S total on (0,2] with f_R anchor:
+        //  Root at R: Σ over (0,2] of f_R.X(i)·B_S(F_{S? no: F_{R.X}}…)
+        //  — rather than chase by hand further, assert exact value from a
+        //  dense reference evaluation below.
+        let bound = fdsb(&plan_of(&q), &stats).unwrap();
+        // Dense reference: materialize worst-case instances and count.
+        let reference = brute_force_worst_case(&[
+            ("r", vec![("x", vec![2, 1])]),
+            ("s", vec![("x", vec![3, 1]), ("y", vec![2, 2])]),
+            ("t", vec![("y", vec![5, 1])]),
+        ]);
+        assert!(
+            (bound - reference).abs() <= 1e-6 * reference.max(1.0),
+            "fdsb {bound} vs worst-case count {reference}"
+        );
+    }
+
+    /// Materialize W(s) for a chain r(x) ⋈ s(x,y) ⋈ t(y) and count the join.
+    fn brute_force_worst_case(spec: &[(&str, Vec<(&str, Vec<u64>)>)]) -> f64 {
+        // Build each relation as rows of (per-column rank values), with the
+        // sorted-column construction of Fig. 2.
+        let mut rel_rows: Vec<Vec<Vec<usize>>> = Vec::new();
+        for (_, cols) in spec {
+            let n: u64 = cols[0].1.iter().sum();
+            let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n as usize];
+            for (_, freqs) in cols {
+                let mut row = 0usize;
+                for (rank, &f) in freqs.iter().enumerate() {
+                    for _ in 0..f {
+                        rows[row].push(rank + 1);
+                        row += 1;
+                    }
+                }
+                assert_eq!(row, n as usize);
+            }
+            rel_rows.push(rows);
+        }
+        // Count r ⋈ s on x, s ⋈ t on y.
+        let (r, s, t) = (&rel_rows[0], &rel_rows[1], &rel_rows[2]);
+        let mut count = 0f64;
+        for sr in s {
+            let (sx, sy) = (sr[0], sr[1]);
+            let rm = r.iter().filter(|rr| rr[0] == sx).count();
+            let tm = t.iter().filter(|tr| tr[0] == sy).count();
+            count += (rm * tm) as f64;
+        }
+        count
+    }
+
+    #[test]
+    fn star_query_with_alpha_step() {
+        // S(X,Y) center; R1(X), R2(X) both join S.x ⇒ α-step on X.
+        let mut q = Query::new();
+        let s = q.add_relation(RelationRef::new("s"));
+        let r1 = q.add_relation(RelationRef::new("r1"));
+        let r2 = q.add_relation(RelationRef::new("r2"));
+        q.add_join(s, "x", r1, "x");
+        q.add_join(s, "x", r2, "x");
+        let stats = vec![
+            stats_for(&[("x", &[2, 1])], None),
+            stats_for(&[("x", &[3])], None),
+            stats_for(&[("x", &[4, 2])], None),
+        ];
+        let b = fdsb(&plan_of(&q), &stats).unwrap();
+        // Worst case: S row groups: rank1 has 2 rows (x=1), rank2 1 row (x=2).
+        // r1 has only value 1 (3 copies); r2 value1:4, value2:2.
+        // count = 2·3·4 (x=1) + 1·0·2 (x=2, r1 has no rank-2 value) = 24.
+        assert!((b - 24.0).abs() < 1e-9, "bound {b}");
+    }
+
+    #[test]
+    fn disconnected_components_multiply() {
+        let mut q = Query::new();
+        let a = q.add_relation(RelationRef::new("a"));
+        let b = q.add_relation(RelationRef::new("b"));
+        let c = q.add_relation(RelationRef::new("c"));
+        q.add_join(a, "x", b, "x");
+        let _ = c;
+        let stats = vec![
+            stats_for(&[("x", &[2])], None),
+            stats_for(&[("x", &[3])], None),
+            RelationBoundStats::scalar(7.0),
+        ];
+        let bound = fdsb(&plan_of(&q), &stats).unwrap();
+        assert!((bound - 6.0 * 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_relation_bound_is_cardinality() {
+        let mut q = Query::new();
+        q.add_relation(RelationRef::new("solo"));
+        let stats = vec![RelationBoundStats::scalar(42.0)];
+        assert_eq!(fdsb(&plan_of(&q), &stats).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        let mut q = Query::new();
+        let a = q.add_relation(RelationRef::new("a"));
+        let b = q.add_relation(RelationRef::new("b"));
+        q.add_join(a, "x", b, "x");
+        let stats = vec![stats_for(&[("x", &[1])], None), RelationBoundStats::scalar(5.0)];
+        match fdsb(&plan_of(&q), &stats) {
+            Err(BoundError::MissingColumn { column, .. }) => assert_eq!(column, "x"),
+            other => panic!("expected MissingColumn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compressed_stats_dominate_exact_bound() {
+        use crate::compression::valid_compress;
+        // Compression can only increase the bound.
+        let mut q = Query::new();
+        let a = q.add_relation(RelationRef::new("a"));
+        let b = q.add_relation(RelationRef::new("b"));
+        q.add_join(a, "x", b, "x");
+        let da = DegreeSequence::from_frequencies((1..200).map(|i| 200 / i).collect());
+        let db = DegreeSequence::from_frequencies((1..150).map(|i| 300 / i).collect());
+        let exact = vec![
+            RelationBoundStats::from_columns(
+                [("x".to_string(), da.to_cds())].into_iter().collect(),
+            ),
+            RelationBoundStats::from_columns(
+                [("x".to_string(), db.to_cds())].into_iter().collect(),
+            ),
+        ];
+        let compressed = vec![
+            RelationBoundStats::from_columns(
+                [("x".to_string(), valid_compress(&da, 0.05))].into_iter().collect(),
+            ),
+            RelationBoundStats::from_columns(
+                [("x".to_string(), valid_compress(&db, 0.05))].into_iter().collect(),
+            ),
+        ];
+        let plan = plan_of(&q);
+        let be = fdsb(&plan, &exact).unwrap();
+        let bc = fdsb(&plan, &compressed).unwrap();
+        assert!(bc >= be - 1e-6, "compressed {bc} must dominate exact {be}");
+        // And stay within a small factor for c = 0.05.
+        assert!(bc <= be * 2.0, "compressed {bc} too loose vs {be}");
+    }
+
+    #[test]
+    fn empty_relation_zeroes_the_bound() {
+        let mut q = Query::new();
+        let a = q.add_relation(RelationRef::new("a"));
+        let b = q.add_relation(RelationRef::new("b"));
+        q.add_join(a, "x", b, "x");
+        let stats = vec![
+            RelationBoundStats::from_columns(
+                [("x".to_string(), PiecewiseLinear::empty())].into_iter().collect(),
+            ),
+            stats_for(&[("x", &[3, 1])], None),
+        ];
+        let bound = fdsb(&plan_of(&q), &stats).unwrap();
+        assert_eq!(bound, 0.0);
+    }
+}

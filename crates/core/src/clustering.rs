@@ -1,0 +1,244 @@
+//! Group compression of CDS sets via agglomerative clustering (§4.1).
+//!
+//! Storing one CDS set per histogram bucket, MCV value, and n-gram is the
+//! dominant memory cost. SafeBound clusters "similar" CDS sets and replaces
+//! each cluster with its pointwise maximum, decoupling statistics
+//! granularity from approximation accuracy. The distance between two CDSs
+//! is the *self-join error* their merged maximum would incur:
+//!
+//! ```text
+//! d(F₁, F₂) = ∫(Δmax(F₁,F₂))² / ∫f₁²  +  ∫(Δmax(F₁,F₂))² / ∫f₂²
+//! ```
+//!
+//! The paper chooses **complete-linkage** clustering (cluster distance =
+//! max pairwise distance) because it avoids the chain-shaped clusters of
+//! single-linkage, where one giant CDS dominates the max of many small
+//! ones. Single-linkage and naive equal-size clustering are implemented as
+//! the Fig. 9c baselines.
+
+use crate::piecewise::PiecewiseLinear;
+
+/// Linkage criterion for agglomerative clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Cluster distance = max pairwise distance (the paper's choice).
+    Complete,
+    /// Cluster distance = min pairwise distance (Fig. 9c baseline).
+    Single,
+}
+
+/// Self-join distance between two CDSs (§4.1).
+pub fn self_join_distance(a: &PiecewiseLinear, b: &PiecewiseLinear) -> f64 {
+    let merged_sq = a.pointwise_max(b).concave_envelope().delta().square_integral();
+    let sa = a.delta().square_integral();
+    let sb = b.delta().square_integral();
+    let term = |s: f64| if s > 0.0 { merged_sq / s } else { 1.0 };
+    term(sa) + term(sb)
+}
+
+/// Agglomerative clustering of `items` into `k` clusters under a caller-
+/// supplied distance, using Lance–Williams updates (complete linkage:
+/// `d(a∪b, c) = max(d(a,c), d(b,c))`; single: `min`). O(n³) worst case,
+/// O(n²) memory — fine for the hundreds of CDS sets per filter column.
+/// Returns the cluster index of each item, indices compacted to `0..k`.
+pub fn agglomerative<T>(
+    items: &[T],
+    k: usize,
+    linkage: Linkage,
+    dist: impl Fn(&T, &T) -> f64,
+) -> Vec<usize> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, n);
+    // Cluster-level distance matrix, updated in place.
+    let mut d = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let v = dist(&items[i], &items[j]);
+            d[i][j] = v;
+            d[j][i] = v;
+        }
+    }
+    let mut alive = vec![true; n];
+    let mut parent: Vec<usize> = (0..n).collect(); // item → representative
+    let mut remaining = n;
+    while remaining > k {
+        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+        for a in 0..n {
+            if !alive[a] {
+                continue;
+            }
+            for b in a + 1..n {
+                if alive[b] && d[a][b] < best.2 {
+                    best = (a, b, d[a][b]);
+                }
+            }
+        }
+        let (a, b, _) = best;
+        // Merge b into a; Lance–Williams update of row/column a.
+        for c in 0..n {
+            if alive[c] && c != a && c != b {
+                let v = match linkage {
+                    Linkage::Complete => d[a][c].max(d[b][c]),
+                    Linkage::Single => d[a][c].min(d[b][c]),
+                };
+                d[a][c] = v;
+                d[c][a] = v;
+            }
+        }
+        alive[b] = false;
+        for p in parent.iter_mut() {
+            if *p == b {
+                *p = a;
+            }
+        }
+        remaining -= 1;
+    }
+    // Compact representative ids to 0..k.
+    let mut id_map: Vec<usize> = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut assignment = vec![0usize; n];
+    for (i, &rep) in parent.iter().enumerate() {
+        if id_map[rep] == usize::MAX {
+            id_map[rep] = next;
+            next += 1;
+        }
+        assignment[i] = id_map[rep];
+    }
+    assignment
+}
+
+/// Fig. 9c's naive baseline: sort items by a scalar key (cardinality) and
+/// cut into `k` equal-size clusters.
+pub fn naive_equal_size<T>(items: &[T], k: usize, key: impl Fn(&T) -> f64) -> Vec<usize> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| key(&items[a]).total_cmp(&key(&items[b])));
+    let mut assignment = vec![0usize; n];
+    for (pos, &item) in order.iter().enumerate() {
+        assignment[item] = (pos * k / n).min(k - 1);
+    }
+    assignment
+}
+
+/// Replace each cluster of CDSs with its pointwise max (enveloped so the
+/// result stays a valid degree sequence). Returns `(group CDSs, assignment)`.
+pub fn merge_clusters(
+    cdss: &[PiecewiseLinear],
+    assignment: &[usize],
+) -> Vec<PiecewiseLinear> {
+    let num_groups = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let mut groups: Vec<Option<PiecewiseLinear>> = vec![None; num_groups];
+    for (i, &g) in assignment.iter().enumerate() {
+        groups[g] = Some(match groups[g].take() {
+            None => cdss[i].clone(),
+            Some(acc) => acc.pointwise_max(&cdss[i]),
+        });
+    }
+    groups
+        .into_iter()
+        .map(|g| g.unwrap_or_else(PiecewiseLinear::empty).concave_envelope())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree_sequence::DegreeSequence;
+
+    fn cds(freqs: &[u64]) -> PiecewiseLinear {
+        DegreeSequence::from_frequencies(freqs.to_vec()).to_cds()
+    }
+
+    #[test]
+    fn distance_is_minimal_for_identical() {
+        let a = cds(&[5, 3, 1]);
+        let d_same = self_join_distance(&a, &a.clone());
+        // max(F,F)=F ⇒ each term is 1 ⇒ distance 2 (the floor).
+        assert!((d_same - 2.0).abs() < 1e-9);
+        let b = cds(&[100, 1]);
+        assert!(self_join_distance(&a, &b) > d_same);
+    }
+
+    #[test]
+    fn complete_linkage_groups_similar_shapes() {
+        // Two families: skewed [100,1,1,...] and flat [2,2,2,...].
+        let mut items = Vec::new();
+        for i in 0..4u64 {
+            items.push(cds(&[100 + i, 1, 1, 1]));
+        }
+        for _ in 0..4 {
+            items.push(cds(&[2; 50]));
+        }
+        let assignment =
+            agglomerative(&items, 2, Linkage::Complete, self_join_distance);
+        // All skewed in one cluster, all flat in the other.
+        assert!(assignment[..4].iter().all(|&c| c == assignment[0]));
+        assert!(assignment[4..].iter().all(|&c| c == assignment[4]));
+        assert_ne!(assignment[0], assignment[4]);
+    }
+
+    #[test]
+    fn single_vs_complete_differ_on_chains() {
+        // A chain of gradually shifting CDSs: single-linkage happily chains
+        // them all; complete-linkage splits.
+        let items: Vec<PiecewiseLinear> =
+            (0..8u64).map(|i| cds(&[10 + 10 * i, 5, 1])).collect();
+        let complete = agglomerative(&items, 2, Linkage::Complete, self_join_distance);
+        let single = agglomerative(&items, 2, Linkage::Single, self_join_distance);
+        // Both must produce exactly two clusters.
+        assert_eq!(complete.iter().copied().max(), Some(1));
+        assert_eq!(single.iter().copied().max(), Some(1));
+    }
+
+    #[test]
+    fn naive_equal_size_balances() {
+        let items: Vec<PiecewiseLinear> = (1..=9u64).map(|i| cds(&[i])).collect();
+        let a = naive_equal_size(&items, 3, |c| c.endpoint());
+        let mut counts = [0usize; 3];
+        for &c in &a {
+            counts[c] += 1;
+        }
+        assert_eq!(counts, [3, 3, 3]);
+        // Sorted by cardinality: lowest third in cluster 0.
+        assert_eq!(a[0], 0);
+        assert_eq!(a[8], 2);
+    }
+
+    #[test]
+    fn merged_groups_dominate_members() {
+        let items = vec![cds(&[5, 3]), cds(&[4, 4, 4]), cds(&[10])];
+        let assignment = vec![0, 0, 1];
+        let groups = merge_clusters(&items, &assignment);
+        assert_eq!(groups.len(), 2);
+        for (i, &g) in assignment.iter().enumerate() {
+            assert!(
+                groups[g].dominates(&items[i]),
+                "group {g} must dominate member {i}"
+            );
+        }
+        assert!(groups[0].is_concave() && groups[1].is_concave());
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let items = vec![cds(&[2]), cds(&[9, 9]), cds(&[1, 1, 1])];
+        let a = agglomerative(&items, 1, Linkage::Complete, self_join_distance);
+        assert!(a.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn empty_and_oversized_k() {
+        let none: Vec<PiecewiseLinear> = Vec::new();
+        assert!(agglomerative(&none, 3, Linkage::Complete, self_join_distance).is_empty());
+        let items = vec![cds(&[1]), cds(&[2])];
+        let a = agglomerative(&items, 10, Linkage::Complete, self_join_distance);
+        assert_eq!(a, vec![0, 1]); // k clamped to n, singletons preserved
+    }
+}

@@ -1,0 +1,82 @@
+//! SafeBound configuration knobs.
+
+/// Tuning parameters for the offline phase. The defaults follow the paper
+//  (c = 0.01, MCV lists of 1000–5000 values, histogram hierarchy k = 7,
+//  3-grams) scaled where noted.
+#[derive(Debug, Clone)]
+pub struct SafeBoundConfig {
+    /// Accuracy parameter `c` of Algorithm 1 (§3.4); smaller = more
+    /// segments. Paper default: 0.01.
+    pub compression_c: f64,
+    /// Most-common-value list length per filter column (§3.2). Paper:
+    /// 1000–5000.
+    pub mcv_size: usize,
+    /// Histogram hierarchy depth `k`: levels with `2^k, 2^{k-1}, …, 2`
+    /// equi-depth buckets (§3.2). Paper default: 7.
+    pub histogram_levels: usize,
+    /// N-gram length for LIKE predicates (§3.2). Paper: 3.
+    pub ngram_size: usize,
+    /// MCV list length for n-grams.
+    pub ngram_mcv_size: usize,
+    /// Group compression (§4.1): cluster each CDS-set collection into this
+    /// many groups; `None` disables clustering.
+    pub cds_groups: Option<usize>,
+    /// Cap on the number of CDS sets fed to O(n³) agglomerative
+    /// clustering; larger collections are pre-reduced with naive
+    /// equal-size clustering.
+    pub cluster_input_cap: usize,
+    /// Represent MCV membership with Bloom filters (§4.3) instead of exact
+    /// hash maps.
+    pub use_bloom_filters: bool,
+    /// Bits per key for Bloom filters. Paper: ≈12.
+    pub bloom_bits_per_key: usize,
+    /// Pre-compute PK–FK join statistics (§4.2) so predicates on dimension
+    /// tables condition fact-table degree sequences directly.
+    pub pk_fk_propagation: bool,
+    /// Build n-gram statistics for string columns (needed for LIKE; can be
+    /// disabled to trade accuracy for build time, as in Fig. 10).
+    pub enable_ngrams: bool,
+    /// Maximum number of spanning trees evaluated for a cyclic query
+    /// (§3.6).
+    pub spanning_tree_cap: usize,
+}
+
+impl Default for SafeBoundConfig {
+    fn default() -> Self {
+        SafeBoundConfig {
+            compression_c: 0.01,
+            mcv_size: 1000,
+            histogram_levels: 7,
+            ngram_size: 3,
+            ngram_mcv_size: 500,
+            cds_groups: Some(24),
+            cluster_input_cap: 256,
+            use_bloom_filters: true,
+            bloom_bits_per_key: 12,
+            pk_fk_propagation: true,
+            enable_ngrams: true,
+            spanning_tree_cap: 200,
+        }
+    }
+}
+
+impl SafeBoundConfig {
+    /// A small configuration for unit tests: tiny MCVs, shallow histograms,
+    /// exact MCV indexes, no clustering.
+    pub fn test_small() -> Self {
+        SafeBoundConfig {
+            compression_c: 0.01,
+            mcv_size: 16,
+            histogram_levels: 3,
+            ngram_size: 3,
+            ngram_mcv_size: 16,
+            cds_groups: None,
+            cluster_input_cap: 64,
+            use_bloom_filters: false,
+            bloom_bits_per_key: 12,
+            pk_fk_propagation: true,
+            enable_ngrams: true,
+            spanning_tree_cap: 50,
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! The online phase (§3.1, §3.5, §3.6): from a query to a guaranteed
+//! cardinality upper bound.
+//!
+//! Per relation, the estimator resolves the query's predicate tree against
+//! the pre-built conditioned statistics — equality via MCV lookup, ranges
+//! via the histogram hierarchy, LIKE via n-grams, conjunction = pointwise
+//! min, disjunction/IN = pointwise sum — and applies PK–FK propagation
+//! (§4.2) for predicates sitting on joined dimension tables. The resulting
+//! per-join-column CDSs feed the FDSB (Algorithm 2). Cyclic queries take
+//! the min over spanning-tree relaxations (§3.6); joins on undeclared
+//! columns use the truncated-fallback CDS (§3.6).
+
+use crate::bound::{fdsb, BoundError, RelationBoundStats};
+use crate::conditioning::CdsSet;
+use crate::config::SafeBoundConfig;
+use crate::stats::{propagated_key, FilterColumnStats, SafeBoundStats, TableStats};
+use safebound_query::{BoundPlan, CmpOp, JoinGraph, Predicate, Query};
+use safebound_storage::Catalog;
+use std::collections::HashMap;
+
+/// Errors from the online phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// A query references a table with no statistics.
+    UnknownTable(String),
+    /// No acyclic relaxation could be bounded (internal error).
+    NoRelaxation,
+    /// Statistics were missing mid-bound.
+    Bound(BoundError),
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::UnknownTable(t) => write!(f, "no statistics for table {t:?}"),
+            EstimateError::NoRelaxation => write!(f, "no acyclic relaxation found"),
+            EstimateError::Bound(e) => write!(f, "bound evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+impl From<BoundError> for EstimateError {
+    fn from(e: BoundError) -> Self {
+        EstimateError::Bound(e)
+    }
+}
+
+/// The SafeBound estimator: pre-built statistics plus the online bound
+/// computation.
+#[derive(Debug, Clone)]
+pub struct SafeBound {
+    /// The offline-phase statistics.
+    pub stats: SafeBoundStats,
+}
+
+impl SafeBound {
+    /// Build SafeBound over a catalog (runs the offline phase).
+    pub fn build(catalog: &Catalog, config: SafeBoundConfig) -> Self {
+        let stats = crate::stats::SafeBoundBuilder::new(config).build(catalog);
+        SafeBound { stats }
+    }
+
+    /// Wrap pre-built statistics.
+    pub fn from_stats(stats: SafeBoundStats) -> Self {
+        SafeBound { stats }
+    }
+
+    /// A guaranteed upper bound on the query's output cardinality.
+    pub fn bound(&self, query: &Query) -> Result<f64, EstimateError> {
+        if query.num_relations() == 0 {
+            return Ok(0.0);
+        }
+        let relaxations =
+            safebound_query::spanning_relaxations(query, self.stats.config.spanning_tree_cap);
+        let mut best = f64::INFINITY;
+        for rq in &relaxations {
+            let graph = JoinGraph::new(rq);
+            if !graph.is_berge_acyclic() {
+                continue;
+            }
+            let plan = match BoundPlan::build(rq, &graph) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let rel_stats = self.relation_stats(rq, &graph)?;
+            let b = fdsb(&plan, &rel_stats)?;
+            if b < best {
+                best = b;
+            }
+        }
+        if best.is_finite() {
+            Ok(best)
+        } else {
+            Err(EstimateError::NoRelaxation)
+        }
+    }
+
+    /// Per-relation FDSB inputs for a (relaxed, acyclic) query.
+    fn relation_stats(
+        &self,
+        query: &Query,
+        graph: &JoinGraph,
+    ) -> Result<Vec<RelationBoundStats>, EstimateError> {
+        // Columns each relation contributes to join variables.
+        let mut join_cols: Vec<Vec<String>> = vec![Vec::new(); query.num_relations()];
+        for var in &graph.vars {
+            for &(rel, ref col) in &var.attrs {
+                if !join_cols[rel].contains(col) {
+                    join_cols[rel].push(col.clone());
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(query.num_relations());
+        for rel in 0..query.num_relations() {
+            let table_name = &query.relations[rel].table;
+            let ts = self
+                .stats
+                .tables
+                .get(table_name)
+                .ok_or_else(|| EstimateError::UnknownTable(table_name.clone()))?;
+
+            // 1. Condition on the relation's own predicates.
+            let mut cond: Option<CdsSet> = query
+                .predicate_of(rel)
+                .and_then(|p| resolve_predicate(&|c| ts.filter_stats.get(c), p));
+
+            // 2. PK–FK propagation: predicates on joined dimension tables.
+            for edge in &query.joins {
+                let (my_col, other_rel, other_col) = if edge.left == rel {
+                    (&edge.left_column, edge.right, &edge.right_column)
+                } else if edge.right == rel {
+                    (&edge.right_column, edge.left, &edge.left_column)
+                } else {
+                    continue;
+                };
+                let Some(pred) = query.predicate_of(other_rel) else { continue };
+                let other_table = &query.relations[other_rel].table;
+                let lookup = |c: &str| {
+                    ts.filter_stats.get(&propagated_key(my_col, other_table, other_col, c))
+                };
+                if let Some(set) = resolve_predicate(&lookup, pred) {
+                    cond = Some(match cond {
+                        None => set,
+                        Some(acc) => acc.pointwise_min(&set),
+                    });
+                }
+            }
+
+            out.push(self.assemble(ts, cond, &join_cols[rel]));
+        }
+        Ok(out)
+    }
+
+    /// Combine base/conditioned/fallback CDSs into the FDSB input for one
+    /// relation.
+    fn assemble(
+        &self,
+        ts: &TableStats,
+        cond: Option<CdsSet>,
+        used_join_cols: &[String],
+    ) -> RelationBoundStats {
+        // Cardinality bound: conditioned if available, else the row count.
+        let card_bound = match &cond {
+            Some(set) if !set.by_join_column.is_empty() => {
+                set.cardinality().min(ts.row_count as f64)
+            }
+            _ => ts.row_count as f64,
+        };
+
+        let mut cds_by_column = HashMap::new();
+        for col in used_join_cols {
+            let conditioned = cond.as_ref().and_then(|s| s.by_join_column.get(col));
+            let base = ts.base.by_join_column.get(col);
+            let cds = match (conditioned, base) {
+                // Conditioned is already ≤ base in spirit; min for safety.
+                (Some(c), Some(b)) => c.pointwise_min(b),
+                (Some(c), None) => c.clone(),
+                (None, Some(b)) => b.clone(),
+                (None, None) => {
+                    // Undeclared join column (§3.6): truncate the
+                    // unconditioned fallback at the filtered-cardinality
+                    // bound.
+                    match ts.fallback_cds.get(col) {
+                        Some(f) => f.clone(),
+                        None => {
+                            // Unknown column: a key-shaped CDS of the whole
+                            // table is the only sound default.
+                            crate::piecewise::PiecewiseConstant::constant(
+                                ts.row_count as f64,
+                                1.0,
+                            )
+                            .cumulative()
+                        }
+                    }
+                }
+            };
+            cds_by_column.insert(col.clone(), cds.truncate_at(card_bound));
+        }
+        RelationBoundStats { cds_by_column, cardinality: card_bound }
+    }
+}
+
+/// Resolve a predicate tree to a conditioned CDS set via a column-stats
+/// lookup. `None` means "no usable statistics" — the caller falls back to
+/// unconditioned CDSs, which is always sound.
+pub fn resolve_predicate<'a, F>(lookup: &F, pred: &Predicate) -> Option<CdsSet>
+where
+    F: Fn(&str) -> Option<&'a FilterColumnStats>,
+{
+    match pred {
+        Predicate::Eq(col, v) => lookup(col).map(|fs| fs.mcv.lookup_eq(v)),
+        Predicate::Cmp(col, op, v) => {
+            let fs = lookup(col)?;
+            let hist = fs.histogram.as_ref()?;
+            let (lo, hi) = match op {
+                CmpOp::Lt | CmpOp::Le => (hist.min_value()?.clone(), v.clone()),
+                CmpOp::Gt | CmpOp::Ge => (v.clone(), hist.max_value()?.clone()),
+            };
+            hist.lookup_range(&lo, &hi)
+        }
+        Predicate::Between(col, lo, hi) => {
+            let fs = lookup(col)?;
+            fs.histogram.as_ref()?.lookup_range(lo, hi)
+        }
+        Predicate::Like(col, pattern) => {
+            let fs = lookup(col)?;
+            fs.ngrams.as_ref()?.lookup_like(pattern)
+        }
+        Predicate::In(col, values) => {
+            let fs = lookup(col)?;
+            if values.is_empty() {
+                return None;
+            }
+            let mut acc: Option<CdsSet> = None;
+            for v in values {
+                let set = fs.mcv.lookup_eq(v);
+                acc = Some(match acc {
+                    None => set,
+                    Some(a) => a.pointwise_sum(&set),
+                });
+            }
+            acc
+        }
+        Predicate::And(ps) => {
+            // Pointwise min over whichever conjuncts resolve (§3.3).
+            let mut acc: Option<CdsSet> = None;
+            for p in ps {
+                if let Some(set) = resolve_predicate(lookup, p) {
+                    acc = Some(match acc {
+                        None => set,
+                        Some(a) => a.pointwise_min(&set),
+                    });
+                }
+            }
+            acc
+        }
+        Predicate::Or(ps) => {
+            // Every disjunct must resolve or the sum under-counts (§3.2).
+            let mut acc: Option<CdsSet> = None;
+            for p in ps {
+                let set = resolve_predicate(lookup, p)?;
+                acc = Some(match acc {
+                    None => set,
+                    Some(a) => a.pointwise_sum(&set),
+                });
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safebound_query::parse_sql;
+    use safebound_storage::{Column, DataType, Field, Schema, Table};
+
+    /// Fact/dimension catalog: movie_keyword(movie_id, keyword_id) ⋈
+    /// keyword(id, word); movies Zipf-skewed over keywords.
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let kw_names = ["common", "frequent", "medium", "rare", "unique"];
+        let kw = Table::new(
+            "keyword",
+            Schema::new(vec![Field::new("id", DataType::Int), Field::new("word", DataType::Str)]),
+            vec![
+                Column::from_ints((1..=5).map(Some)),
+                Column::from_strs(kw_names.map(Some)),
+            ],
+        );
+        // keyword_id i appears 2^(6-i) times: 32,16,8,4,2 rows.
+        let mut movie_ids = Vec::new();
+        let mut kw_ids = Vec::new();
+        let mut year = Vec::new();
+        let mut mid = 0i64;
+        for k in 1i64..=5 {
+            let reps = 1 << (6 - k);
+            for r in 0..reps {
+                movie_ids.push(Some(mid % 20)); // movies repeat
+                kw_ids.push(Some(k));
+                year.push(Some(1980 + (r % 40)));
+                mid += 1;
+            }
+        }
+        let mk = Table::new(
+            "movie_keyword",
+            Schema::new(vec![
+                Field::new("movie_id", DataType::Int),
+                Field::new("keyword_id", DataType::Int),
+                Field::new("year", DataType::Int),
+            ]),
+            vec![Column::from_ints(movie_ids), Column::from_ints(kw_ids), Column::from_ints(year)],
+        );
+        c.add_table(kw);
+        c.add_table(mk);
+        c.declare_primary_key("keyword", "id");
+        c.declare_foreign_key("movie_keyword", "keyword_id", "keyword", "id");
+        c
+    }
+
+    fn true_count(cat: &Catalog, pred: impl Fn(i64, &str) -> bool) -> f64 {
+        // |movie_keyword ⋈ keyword| with a predicate on (keyword_id, word).
+        let mk = cat.table("movie_keyword").unwrap();
+        let kw = cat.table("keyword").unwrap();
+        let mut count = 0f64;
+        for i in 0..mk.num_rows() {
+            let kid = mk.column("keyword_id").unwrap().get(i).as_i64().unwrap();
+            for j in 0..kw.num_rows() {
+                let id = kw.column("id").unwrap().get(j).as_i64().unwrap();
+                let word = kw.column("word").unwrap().get(j);
+                if id == kid && pred(id, word.as_str().unwrap()) {
+                    count += 1.0;
+                }
+            }
+        }
+        count
+    }
+
+    fn build() -> (Catalog, SafeBound) {
+        let cat = catalog();
+        let sb = SafeBound::build(&cat, SafeBoundConfig::test_small());
+        (cat, sb)
+    }
+
+    #[test]
+    fn pk_fk_join_bound_sound_and_tight() {
+        let (cat, sb) = build();
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k WHERE mk.keyword_id = k.id",
+        )
+        .unwrap();
+        let bound = sb.bound(&q).unwrap();
+        let truth = true_count(&cat, |_, _| true);
+        assert!(bound >= truth - 1e-6, "bound {bound} < truth {truth}");
+        assert!(bound <= truth * 1.5, "bound {bound} too loose vs {truth}");
+    }
+
+    #[test]
+    fn dimension_predicate_propagates_to_fact() {
+        let (cat, sb) = build();
+        // 'rare' is keyword_id 4 with only 4 fact rows.
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word = 'rare'",
+        )
+        .unwrap();
+        let bound = sb.bound(&q).unwrap();
+        let truth = true_count(&cat, |_, w| w == "rare");
+        assert_eq!(truth, 4.0);
+        assert!(bound >= truth - 1e-6, "bound {bound} < truth {truth}");
+        // Without §4.2 propagation the bound would assume 'rare' maps to
+        // the most frequent keyword (32 rows); with it we stay near 4.
+        assert!(bound <= 8.0, "propagation failed: bound {bound}");
+    }
+
+    #[test]
+    fn equality_predicate_on_fact_filter() {
+        let (_, sb) = build();
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND mk.year = 1980",
+        )
+        .unwrap();
+        let with_pred = sb.bound(&q).unwrap();
+        let q_all = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k WHERE mk.keyword_id = k.id",
+        )
+        .unwrap();
+        let without = sb.bound(&q_all).unwrap();
+        assert!(with_pred < without, "predicate must reduce bound: {with_pred} vs {without}");
+    }
+
+    #[test]
+    fn range_predicate_reduces_bound() {
+        let (_, sb) = build();
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND mk.year BETWEEN 1980 AND 1983",
+        )
+        .unwrap();
+        let with_pred = sb.bound(&q).unwrap();
+        let q_all = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k WHERE mk.keyword_id = k.id",
+        )
+        .unwrap();
+        assert!(with_pred <= sb.bound(&q_all).unwrap());
+    }
+
+    #[test]
+    fn single_table_bound_is_row_count() {
+        let (cat, sb) = build();
+        let q = parse_sql("SELECT COUNT(*) FROM movie_keyword").unwrap();
+        let bound = sb.bound(&q).unwrap();
+        assert!((bound - cat.table("movie_keyword").unwrap().num_rows() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_predicate_sums() {
+        let (cat, sb) = build();
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word IN ('rare', 'unique')",
+        )
+        .unwrap();
+        let bound = sb.bound(&q).unwrap();
+        let truth = true_count(&cat, |_, w| w == "rare" || w == "unique");
+        assert_eq!(truth, 6.0);
+        assert!(bound >= truth - 1e-6);
+        assert!(bound <= 20.0, "IN bound too loose: {bound}");
+    }
+
+    #[test]
+    fn cyclic_query_uses_spanning_trees() {
+        // Triangle self-join on movie_keyword: cyclic; bound = min over
+        // spanning trees, must still be sound vs a quick upper sanity.
+        let (_, sb) = build();
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword a, movie_keyword b, movie_keyword c \
+             WHERE a.movie_id = b.movie_id AND b.keyword_id = c.keyword_id AND c.year = a.year",
+        )
+        .unwrap();
+        let graph = JoinGraph::new(&q);
+        assert!(!graph.is_berge_acyclic());
+        let bound = sb.bound(&q).unwrap();
+        assert!(bound.is_finite() && bound > 0.0);
+    }
+
+    #[test]
+    fn undeclared_join_column_fallback() {
+        let (_, sb) = build();
+        // `year` is not a declared join column; §3.6 fallback applies.
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword a, movie_keyword b WHERE a.year = b.year",
+        )
+        .unwrap();
+        let bound = sb.bound(&q).unwrap();
+        assert!(bound.is_finite() && bound > 0.0);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let (_, sb) = build();
+        let q = parse_sql("SELECT COUNT(*) FROM nonexistent").unwrap();
+        assert!(matches!(sb.bound(&q), Err(EstimateError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn empty_query_is_zero() {
+        let (_, sb) = build();
+        assert_eq!(sb.bound(&Query::new()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn never_underestimates_across_predicates() {
+        // The soundness sweep: every supported predicate shape on the
+        // dimension must keep bound ≥ truth.
+        let (cat, sb) = build();
+        for word in ["common", "frequent", "medium", "rare", "unique", "absent"] {
+            let q = parse_sql(&format!(
+                "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+                 WHERE mk.keyword_id = k.id AND k.word = '{word}'"
+            ))
+            .unwrap();
+            let bound = sb.bound(&q).unwrap();
+            let truth = true_count(&cat, |_, w| w == word);
+            assert!(bound >= truth - 1e-6, "word {word}: bound {bound} < truth {truth}");
+        }
+    }
+}

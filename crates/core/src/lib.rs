@@ -1,0 +1,66 @@
+//! # safebound-core
+//!
+//! A from-scratch implementation of **SafeBound** (SIGMOD 2023): a
+//! practical system for generating guaranteed cardinality upper bounds
+//! from compressed degree sequences.
+//!
+//! ## Offline phase
+//! [`SafeBoundBuilder`](stats::SafeBoundBuilder) scans a
+//! [`Catalog`](safebound_storage::Catalog) and produces
+//! [`SafeBoundStats`](stats::SafeBoundStats): per join column, a compressed
+//! cumulative degree sequence (CDS) produced by `ValidCompress`
+//! (Algorithm 1, [`compression::valid_compress`]); per filter column,
+//! CDSs conditioned on equality (MCV lists), ranges (a hierarchy of
+//! equi-depth histograms), and LIKE predicates (3-grams) — all group-
+//! compressed by complete-linkage clustering and indexed by Bloom filters.
+//!
+//! ## Online phase
+//! [`SafeBound`](estimator::SafeBound) takes a conjunctive query, resolves
+//! conditioned CDSs per relation, and evaluates the Functional Degree
+//! Sequence Bound (Algorithm 2, [`bound::fdsb`]) over the query's join
+//! tree in time log-linear in the total number of CDS segments.
+//!
+//! ```
+//! use safebound_core::{SafeBound, SafeBoundConfig};
+//! use safebound_query::parse_sql;
+//! use safebound_storage::{Catalog, Column, DataType, Field, Schema, Table};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.add_table(Table::new(
+//!     "r",
+//!     Schema::new(vec![Field::new("x", DataType::Int)]),
+//!     vec![Column::from_ints([Some(1), Some(1), Some(2)])],
+//! ));
+//! catalog.add_table(Table::new(
+//!     "s",
+//!     Schema::new(vec![Field::new("x", DataType::Int)]),
+//!     vec![Column::from_ints([Some(1), Some(2), Some(2)])],
+//! ));
+//! catalog.declare_primary_key("s", "x");
+//! catalog.declare_foreign_key("r", "x", "s", "x");
+//!
+//! let sb = SafeBound::build(&catalog, SafeBoundConfig::default());
+//! let q = parse_sql("SELECT COUNT(*) FROM r, s WHERE r.x = s.x").unwrap();
+//! assert!(sb.bound(&q).unwrap() >= 3.0); // true cardinality is 3
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod bound;
+pub mod clustering;
+pub mod compression;
+pub mod conditioning;
+pub mod config;
+pub mod degree_sequence;
+pub mod estimator;
+pub mod piecewise;
+pub mod stats;
+
+pub use bound::{fdsb, BoundError, RelationBoundStats};
+pub use compression::{valid_compress, Segmentation};
+pub use config::SafeBoundConfig;
+pub use degree_sequence::DegreeSequence;
+pub use estimator::{EstimateError, SafeBound};
+pub use piecewise::{PiecewiseConstant, PiecewiseLinear};
+pub use stats::{SafeBoundBuilder, SafeBoundStats, TableStats};

@@ -1,0 +1,684 @@
+//! Piecewise-function algebra.
+//!
+//! SafeBound's compressed statistics are piecewise **constant** degree
+//! sequences `f̂` and piecewise **linear** cumulative degree sequences `F̂`
+//! (§3.4). The FDSB inference algorithm (§3.5) requires exactly the
+//! operations implemented here: pointwise products of piecewise-constant
+//! functions (α-steps), composition through inverses `f̂(F̂⁻¹(G(i)))`
+//! (β-steps), pointwise min (predicate conjunction), pointwise sum
+//! (disjunction), pointwise max plus concave envelope (the default
+//! conditioned sequence of Eq. 3), and truncation (the undeclared-join-
+//! column fallback of §3.6).
+//!
+//! Conventions:
+//! * A [`PiecewiseConstant`] `f` is defined on `(0, support]`; beyond its
+//!   support it is 0; for arguments `≤ 0` it takes its first value (rank 1).
+//! * A [`PiecewiseLinear`] `F` is a continuous non-decreasing polyline
+//!   starting at `(0, 0)`; beyond its support it stays at its endpoint
+//!   value (a CDS never exceeds the relation's cardinality).
+//! * Ranks are `f64` because valid compression (Algorithm 1) produces
+//!   fractional segment boundaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Tolerance for merging breakpoints and comparing ranks.
+pub const EPS: f64 = 1e-9;
+
+/// A non-negative piecewise-constant function on `(0, support]`, stored as
+/// `(right_edge, value)` pairs with strictly increasing edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseConstant {
+    segments: Vec<(f64, f64)>,
+}
+
+impl PiecewiseConstant {
+    /// Build from `(right_edge, value)` pairs. Edges must be strictly
+    /// increasing and positive; values non-negative. Adjacent equal values
+    /// are merged.
+    pub fn new(segments: Vec<(f64, f64)>) -> Self {
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(segments.len());
+        let mut prev_edge = 0.0;
+        for (edge, value) in segments {
+            assert!(value >= 0.0, "negative value {value}");
+            assert!(
+                edge > prev_edge - EPS,
+                "edges must increase: {edge} after {prev_edge}"
+            );
+            if edge <= prev_edge + EPS {
+                continue; // zero-width segment
+            }
+            if let Some(last) = out.last_mut() {
+                if (last.1 - value).abs() <= EPS {
+                    last.0 = edge;
+                    prev_edge = edge;
+                    continue;
+                }
+            }
+            out.push((edge, value));
+            prev_edge = edge;
+        }
+        PiecewiseConstant { segments: out }
+    }
+
+    /// The zero function (empty support).
+    pub fn zero() -> Self {
+        PiecewiseConstant { segments: Vec::new() }
+    }
+
+    /// Constant function `v` on `(0, d]`.
+    pub fn constant(d: f64, v: f64) -> Self {
+        if d <= 0.0 {
+            return Self::zero();
+        }
+        Self::new(vec![(d, v)])
+    }
+
+    /// The segments as `(right_edge, value)` pairs.
+    pub fn segments(&self) -> &[(f64, f64)] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Right end of the support (0 if empty).
+    pub fn support(&self) -> f64 {
+        self.segments.last().map_or(0.0, |s| s.0)
+    }
+
+    /// Value at `x`: first value for `x ≤ first edge`, 0 beyond support.
+    pub fn value(&self, x: f64) -> f64 {
+        if self.segments.is_empty() || x > self.support() + EPS {
+            return 0.0;
+        }
+        // Binary search for the first segment whose right edge >= x.
+        let idx = self.segments.partition_point(|&(edge, _)| edge < x - EPS);
+        self.segments.get(idx).map_or(0.0, |s| s.1)
+    }
+
+    /// `∫ f dx` — for a degree sequence, the relation's cardinality.
+    pub fn total(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut prev = 0.0;
+        for &(edge, value) in &self.segments {
+            sum += (edge - prev) * value;
+            prev = edge;
+        }
+        sum
+    }
+
+    /// `∫ f² dx` — the degree sequence bound of the self-join on this
+    /// column (the error metric of §3.4).
+    pub fn square_integral(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut prev = 0.0;
+        for &(edge, value) in &self.segments {
+            sum += (edge - prev) * value * value;
+            prev = edge;
+        }
+        sum
+    }
+
+    /// True iff values are non-increasing (every true degree sequence is).
+    pub fn is_non_increasing(&self) -> bool {
+        self.segments.windows(2).all(|w| w[0].1 >= w[1].1 - EPS)
+    }
+
+    /// The cumulative function `F(x) = ∫₀ˣ f`.
+    pub fn cumulative(&self) -> PiecewiseLinear {
+        let mut knots = Vec::with_capacity(self.segments.len() + 1);
+        knots.push((0.0, 0.0));
+        let mut y = 0.0;
+        let mut prev = 0.0;
+        for &(edge, value) in &self.segments {
+            y += (edge - prev) * value;
+            knots.push((edge, y));
+            prev = edge;
+        }
+        PiecewiseLinear::from_knots(knots)
+    }
+
+    /// Pointwise product of several functions, on the intersection of
+    /// supports (an α-step; Algorithm 2 line 4).
+    pub fn product(fns: &[&PiecewiseConstant]) -> PiecewiseConstant {
+        assert!(!fns.is_empty());
+        let support = fns.iter().map(|f| f.support()).fold(f64::INFINITY, f64::min);
+        if support <= 0.0 || !support.is_finite() {
+            return Self::zero();
+        }
+        // Union of breakpoints below the joint support.
+        let mut edges: Vec<f64> = fns
+            .iter()
+            .flat_map(|f| f.segments.iter().map(|s| s.0))
+            .filter(|&e| e < support - EPS)
+            .collect();
+        edges.push(support);
+        edges.sort_by(f64::total_cmp);
+        edges.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+
+        let mut out = Vec::with_capacity(edges.len());
+        let mut prev = 0.0;
+        for edge in edges {
+            let mid = 0.5 * (prev + edge);
+            let v: f64 = fns.iter().map(|f| f.value(mid)).product();
+            out.push((edge, v));
+            prev = edge;
+        }
+        Self::new(out)
+    }
+
+    /// Pointwise sum, extending each function by 0 beyond its support (used
+    /// for disjunctions of conditioned degree sequences, §3.2).
+    pub fn pointwise_sum(fns: &[&PiecewiseConstant]) -> PiecewiseConstant {
+        assert!(!fns.is_empty());
+        let support = fns.iter().map(|f| f.support()).fold(0.0, f64::max);
+        if support <= 0.0 {
+            return Self::zero();
+        }
+        let mut edges: Vec<f64> = fns
+            .iter()
+            .flat_map(|f| f.segments.iter().map(|s| s.0))
+            .filter(|&e| e < support - EPS)
+            .collect();
+        edges.push(support);
+        edges.sort_by(f64::total_cmp);
+        edges.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+        let mut out = Vec::with_capacity(edges.len());
+        let mut prev = 0.0;
+        for edge in edges {
+            let mid = 0.5 * (prev + edge);
+            let v: f64 = fns.iter().map(|f| f.value(mid)).sum();
+            out.push((edge, v));
+            prev = edge;
+        }
+        Self::new(out)
+    }
+
+    /// Restrict the support to `(0, d]`.
+    pub fn truncate_support(&self, d: f64) -> PiecewiseConstant {
+        if d <= 0.0 {
+            return Self::zero();
+        }
+        let mut out = Vec::new();
+        for &(edge, value) in &self.segments {
+            if edge >= d - EPS {
+                out.push((d, value));
+                break;
+            }
+            out.push((edge, value));
+        }
+        Self::new(out)
+    }
+}
+
+/// A continuous, non-decreasing polyline starting at `(0, 0)` — the shape
+/// of every (compressed) cumulative degree sequence. Beyond its last knot
+/// the function is constant at its endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinear {
+    knots: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Build from knots. The first knot must be `(0, 0)`; x strictly
+    /// increasing, y non-decreasing. Collinear interior knots are removed.
+    pub fn from_knots(knots: Vec<(f64, f64)>) -> Self {
+        assert!(!knots.is_empty(), "need at least the origin knot");
+        assert!(
+            knots[0].0.abs() <= EPS && knots[0].1.abs() <= EPS,
+            "CDS must start at (0,0), got {:?}",
+            knots[0]
+        );
+        let mut out: Vec<(f64, f64)> = vec![(0.0, 0.0)];
+        for &(x, y) in &knots[1..] {
+            let &(px, py) = out.last().unwrap();
+            assert!(x > px - EPS, "x must increase: {x} after {px}");
+            assert!(y >= py - EPS, "y must not decrease: {y} after {py}");
+            if x <= px + EPS {
+                continue;
+            }
+            let y = y.max(py);
+            // Drop the middle knot if collinear with its neighbors.
+            if out.len() >= 2 {
+                let &(qx, qy) = &out[out.len() - 2];
+                let s1 = (py - qy) / (px - qx);
+                let s2 = (y - py) / (x - px);
+                if (s1 - s2).abs() <= EPS {
+                    out.pop();
+                }
+            }
+            out.push((x, y));
+        }
+        PiecewiseLinear { knots: out }
+    }
+
+    /// The degenerate CDS of an empty relation.
+    pub fn empty() -> Self {
+        PiecewiseLinear { knots: vec![(0.0, 0.0)] }
+    }
+
+    /// The knots.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+
+    /// Number of linear segments.
+    pub fn num_segments(&self) -> usize {
+        self.knots.len().saturating_sub(1)
+    }
+
+    /// Largest x knot (the number of distinct values).
+    pub fn support(&self) -> f64 {
+        self.knots.last().unwrap().0
+    }
+
+    /// Value at the right end (the relation's cardinality).
+    pub fn endpoint(&self) -> f64 {
+        self.knots.last().unwrap().1
+    }
+
+    /// Evaluate at `x`, clamping outside `[0, support]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        if x >= self.support() {
+            return self.endpoint();
+        }
+        let idx = self.knots.partition_point(|&(kx, _)| kx < x);
+        // knots[idx-1].x <= x < knots[idx].x  (idx >= 1 because x > 0)
+        let (x0, y0) = self.knots[idx - 1];
+        let (x1, y1) = self.knots[idx];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Generalized inverse: the smallest `x` with `F(x) ≥ y`; `support` if
+    /// `y` exceeds the endpoint.
+    pub fn inverse(&self, y: f64) -> f64 {
+        if y <= 0.0 {
+            return 0.0;
+        }
+        if y >= self.endpoint() {
+            // The leftmost x achieving the endpoint (flat tails snap left).
+            let end = self.endpoint();
+            if y > end + EPS {
+                return self.support();
+            }
+            let mut x = self.support();
+            for w in self.knots.windows(2).rev() {
+                if w[0].1 >= end - EPS {
+                    x = w[0].0;
+                } else {
+                    break;
+                }
+            }
+            return x;
+        }
+        let idx = self.knots.partition_point(|&(_, ky)| ky < y);
+        let (x0, y0) = self.knots[idx - 1];
+        let (x1, y1) = self.knots[idx];
+        if (y1 - y0).abs() <= EPS {
+            return x0;
+        }
+        x0 + (x1 - x0) * (y - y0) / (y1 - y0)
+    }
+
+    /// The slope function `ΔF` as a piecewise-constant function.
+    pub fn delta(&self) -> PiecewiseConstant {
+        let mut segs = Vec::with_capacity(self.num_segments());
+        for w in self.knots.windows(2) {
+            let slope = (w[1].1 - w[0].1) / (w[1].0 - w[0].0);
+            segs.push((w[1].0, slope.max(0.0)));
+        }
+        PiecewiseConstant::new(segs)
+    }
+
+    /// True iff slopes are non-increasing, i.e. `ΔF` is a valid degree
+    /// sequence (the function is concave).
+    pub fn is_concave(&self) -> bool {
+        let mut prev_slope = f64::INFINITY;
+        for w in self.knots.windows(2) {
+            let slope = (w[1].1 - w[0].1) / (w[1].0 - w[0].0);
+            if slope > prev_slope + 1e-6 {
+                return false;
+            }
+            prev_slope = slope;
+        }
+        true
+    }
+
+    fn combine(a: &PiecewiseLinear, b: &PiecewiseLinear, take_min: bool) -> PiecewiseLinear {
+        let support = a.support().max(b.support());
+        // Candidate breakpoints: all knots plus segment crossings.
+        let mut xs: Vec<f64> = a
+            .knots
+            .iter()
+            .chain(b.knots.iter())
+            .map(|&(x, _)| x)
+            .filter(|&x| x <= support + EPS)
+            .collect();
+        // Crossings: for every pair of overlapping segments solve for
+        // equality. Cheap O(n·m) — compressed CDSs have tens of segments.
+        for wa in a.knots.windows(2) {
+            for wb in b.knots.windows(2) {
+                let (ax0, ay0) = wa[0];
+                let (ax1, ay1) = wa[1];
+                let (bx0, by0) = wb[0];
+                let (bx1, by1) = wb[1];
+                let lo = ax0.max(bx0);
+                let hi = ax1.min(bx1);
+                if hi <= lo + EPS {
+                    continue;
+                }
+                let sa = (ay1 - ay0) / (ax1 - ax0);
+                let sb = (by1 - by0) / (bx1 - bx0);
+                if (sa - sb).abs() <= EPS {
+                    continue;
+                }
+                // a(x) = ay0 + sa (x-ax0); b(x) = by0 + sb (x-bx0)
+                let x = (by0 - ay0 + sa * ax0 - sb * bx0) / (sa - sb);
+                if x > lo + EPS && x < hi - EPS {
+                    xs.push(x);
+                }
+            }
+        }
+        // Also crossings with the flat extension of the shorter function.
+        for (short, long) in [(a, b), (b, a)] {
+            if short.support() < support - EPS {
+                let level = short.endpoint();
+                for w in long.knots.windows(2) {
+                    let (x0, y0) = w[0];
+                    let (x1, y1) = w[1];
+                    if x1 <= short.support() + EPS {
+                        continue;
+                    }
+                    if (y1 - y0).abs() <= EPS {
+                        continue;
+                    }
+                    if (y0 - level) * (y1 - level) < 0.0 {
+                        let x = x0 + (x1 - x0) * (level - y0) / (y1 - y0);
+                        if x > short.support() {
+                            xs.push(x);
+                        }
+                    }
+                }
+            }
+        }
+        xs.push(support);
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|p, q| (*p - *q).abs() <= EPS);
+
+        let knots: Vec<(f64, f64)> = xs
+            .into_iter()
+            .map(|x| {
+                let (ya, yb) = (a.eval(x), b.eval(x));
+                (x, if take_min { ya.min(yb) } else { ya.max(yb) })
+            })
+            .collect();
+        PiecewiseLinear::from_knots(knots)
+    }
+
+    /// Pointwise minimum (predicate conjunction on CDSs, §3.3).
+    pub fn pointwise_min(&self, other: &PiecewiseLinear) -> PiecewiseLinear {
+        Self::combine(self, other, true)
+    }
+
+    /// Pointwise maximum. Note: the max of two concave functions need not
+    /// be concave — callers that need a valid degree sequence must follow
+    /// with [`PiecewiseLinear::concave_envelope`].
+    pub fn pointwise_max(&self, other: &PiecewiseLinear) -> PiecewiseLinear {
+        Self::combine(self, other, false)
+    }
+
+    /// Pointwise sum, with flat extension beyond each support (predicate
+    /// disjunction on CDSs, §3.2).
+    pub fn pointwise_sum(&self, other: &PiecewiseLinear) -> PiecewiseLinear {
+        let support = self.support().max(other.support());
+        let mut xs: Vec<f64> = self
+            .knots
+            .iter()
+            .chain(other.knots.iter())
+            .map(|&(x, _)| x)
+            .collect();
+        xs.push(support);
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|p, q| (*p - *q).abs() <= EPS);
+        let knots = xs.into_iter().map(|x| (x, self.eval(x) + other.eval(x))).collect();
+        PiecewiseLinear::from_knots(knots)
+    }
+
+    /// The smallest concave function dominating this one: the upper convex
+    /// hull of the knots. Restores validity (Def. 3.3 (a)) after a
+    /// pointwise max; can only increase the function, so it preserves
+    /// soundness of the bound.
+    pub fn concave_envelope(&self) -> PiecewiseLinear {
+        let mut hull: Vec<(f64, f64)> = Vec::with_capacity(self.knots.len());
+        for &(x, y) in &self.knots {
+            while hull.len() >= 2 {
+                let (x1, y1) = hull[hull.len() - 2];
+                let (x2, y2) = hull[hull.len() - 1];
+                // Remove the middle point if it lies below the chord
+                // (cross product of (p2-p1) × (p3-p1) >= 0 keeps hull upper).
+                let cross = (x2 - x1) * (y - y1) - (y2 - y1) * (x - x1);
+                if cross >= -EPS {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push((x, y));
+        }
+        PiecewiseLinear::from_knots(hull)
+    }
+
+    /// `min(F, cap)` followed by a flat tail: dominates every CDS that is
+    /// dominated by `F` and has cardinality `≤ cap`. Used by the
+    /// undeclared-join-column fallback (§3.6).
+    pub fn truncate_at(&self, cap: f64) -> PiecewiseLinear {
+        let cap = cap.max(0.0);
+        if self.endpoint() <= cap + EPS {
+            return self.clone();
+        }
+        let x_cut = self.inverse(cap);
+        let mut knots: Vec<(f64, f64)> =
+            self.knots.iter().copied().take_while(|&(x, _)| x < x_cut - EPS).collect();
+        if knots.is_empty() {
+            knots.push((0.0, 0.0));
+        }
+        knots.push((x_cut.max(EPS * 2.0), cap));
+        if self.support() > x_cut + EPS {
+            knots.push((self.support(), cap));
+        }
+        PiecewiseLinear::from_knots(knots)
+    }
+
+    /// Dominance check: `self(x) ≥ other(x)` at every knot of both (exact
+    /// for polylines when both are evaluated at the union of knots).
+    pub fn dominates(&self, other: &PiecewiseLinear) -> bool {
+        let tol = 1e-6 * (1.0 + self.endpoint().abs());
+        self.knots
+            .iter()
+            .chain(other.knots.iter())
+            .all(|&(x, _)| self.eval(x) + tol >= other.eval(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pwc(v: &[(f64, f64)]) -> PiecewiseConstant {
+        PiecewiseConstant::new(v.to_vec())
+    }
+
+    #[test]
+    fn value_and_total() {
+        // f = 4 on (0,1], 2 on (1,3], 1 on (3,6]  (Fig. 1's sequence).
+        let f = pwc(&[(1.0, 4.0), (3.0, 2.0), (6.0, 1.0)]);
+        assert_eq!(f.value(0.5), 4.0);
+        assert_eq!(f.value(1.0), 4.0);
+        assert_eq!(f.value(1.5), 2.0);
+        assert_eq!(f.value(3.0), 2.0);
+        assert_eq!(f.value(6.0), 1.0);
+        assert_eq!(f.value(6.5), 0.0);
+        assert_eq!(f.value(-1.0), 4.0);
+        assert!((f.total() - 11.0).abs() < 1e-12);
+        assert!((f.square_integral() - (16.0 + 8.0 + 3.0)).abs() < 1e-12);
+        assert!(f.is_non_increasing());
+    }
+
+    #[test]
+    fn merge_equal_adjacent_segments() {
+        let f = pwc(&[(1.0, 2.0), (2.0, 2.0), (3.0, 1.0)]);
+        assert_eq!(f.num_segments(), 2);
+        assert_eq!(f.support(), 3.0);
+    }
+
+    #[test]
+    fn cumulative_and_delta_roundtrip() {
+        let f = pwc(&[(1.0, 4.0), (3.0, 2.0), (6.0, 1.0)]);
+        let cds = f.cumulative();
+        assert_eq!(cds.eval(0.0), 0.0);
+        assert_eq!(cds.eval(1.0), 4.0);
+        assert_eq!(cds.eval(2.0), 6.0);
+        assert_eq!(cds.eval(6.0), 11.0);
+        assert_eq!(cds.eval(100.0), 11.0);
+        assert!(cds.is_concave());
+        let back = cds.delta();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn inverse_basics() {
+        let f = pwc(&[(1.0, 4.0), (3.0, 2.0), (6.0, 1.0)]);
+        let cds = f.cumulative();
+        assert_eq!(cds.inverse(0.0), 0.0);
+        assert!((cds.inverse(2.0) - 0.5).abs() < 1e-12);
+        assert!((cds.inverse(4.0) - 1.0).abs() < 1e-12);
+        assert!((cds.inverse(5.0) - 1.5).abs() < 1e-12);
+        assert!((cds.inverse(11.0) - 6.0).abs() < 1e-12);
+        assert_eq!(cds.inverse(99.0), 6.0);
+    }
+
+    #[test]
+    fn inverse_snaps_left_on_flat_tail() {
+        let cds = PiecewiseLinear::from_knots(vec![(0.0, 0.0), (2.0, 8.0), (5.0, 8.0)]);
+        assert!((cds.inverse(8.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_is_intersection() {
+        let a = pwc(&[(2.0, 3.0), (4.0, 1.0)]);
+        let b = pwc(&[(1.0, 5.0), (3.0, 2.0)]);
+        let p = PiecewiseConstant::product(&[&a, &b]);
+        assert_eq!(p.support(), 3.0); // min support
+        assert_eq!(p.value(0.5), 15.0);
+        assert_eq!(p.value(1.5), 6.0);
+        assert_eq!(p.value(2.5), 2.0);
+        assert_eq!(p.value(3.5), 0.0);
+    }
+
+    #[test]
+    fn pointwise_sum_extends_with_zero() {
+        let a = pwc(&[(2.0, 3.0)]);
+        let b = pwc(&[(5.0, 1.0)]);
+        let s = PiecewiseConstant::pointwise_sum(&[&a, &b]);
+        assert_eq!(s.support(), 5.0);
+        assert_eq!(s.value(1.0), 4.0);
+        assert_eq!(s.value(3.0), 1.0);
+    }
+
+    #[test]
+    fn pwl_min_with_crossing() {
+        // a: slope 2 to (5,10); b: slope 4 to (2,8) then flat.
+        let a = PiecewiseLinear::from_knots(vec![(0.0, 0.0), (5.0, 10.0)]);
+        let b = PiecewiseLinear::from_knots(vec![(0.0, 0.0), (2.0, 8.0), (5.0, 8.0)]);
+        let m = a.pointwise_min(&b);
+        // min: a below until a=8 at x=4, then b (flat 8).
+        assert!((m.eval(1.0) - 2.0).abs() < 1e-9);
+        assert!((m.eval(4.0) - 8.0).abs() < 1e-9);
+        assert!((m.eval(5.0) - 8.0).abs() < 1e-9);
+        assert!(m.is_concave());
+    }
+
+    #[test]
+    fn pwl_max_and_envelope() {
+        let a = PiecewiseLinear::from_knots(vec![(0.0, 0.0), (5.0, 10.0)]);
+        let b = PiecewiseLinear::from_knots(vec![(0.0, 0.0), (2.0, 8.0), (5.0, 8.0)]);
+        let m = a.pointwise_max(&b);
+        assert!((m.eval(1.0) - 4.0).abs() < 1e-9);
+        assert!((m.eval(3.0) - 8.0).abs() < 1e-9);
+        assert!((m.eval(5.0) - 10.0).abs() < 1e-9);
+        // max is not concave here (slope rises from 0 back to 2 at x=4).
+        assert!(!m.is_concave());
+        let env = m.concave_envelope();
+        assert!(env.is_concave());
+        assert!(env.dominates(&m));
+        // Envelope endpoint unchanged.
+        assert!((env.endpoint() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pwl_sum() {
+        let a = PiecewiseLinear::from_knots(vec![(0.0, 0.0), (2.0, 4.0)]);
+        let b = PiecewiseLinear::from_knots(vec![(0.0, 0.0), (4.0, 4.0)]);
+        let s = a.pointwise_sum(&b);
+        assert!((s.eval(2.0) - 6.0).abs() < 1e-9);
+        assert!((s.eval(4.0) - 8.0).abs() < 1e-9);
+        assert_eq!(s.endpoint(), 8.0);
+    }
+
+    #[test]
+    fn truncate_at_cap() {
+        let f = pwc(&[(1.0, 4.0), (3.0, 2.0), (6.0, 1.0)]);
+        let cds = f.cumulative(); // endpoint 11 at x=6
+        let t = cds.truncate_at(6.0);
+        assert!((t.endpoint() - 6.0).abs() < 1e-9);
+        assert_eq!(t.support(), 6.0);
+        assert!((t.eval(2.0) - 6.0).abs() < 1e-9);
+        assert!((t.eval(1.0) - 4.0).abs() < 1e-9);
+        assert!(cds.dominates(&t));
+        // Cap above endpoint is a no-op.
+        assert_eq!(cds.truncate_at(100.0), cds);
+    }
+
+    #[test]
+    fn dominance() {
+        let small = pwc(&[(2.0, 1.0)]).cumulative();
+        let big = pwc(&[(2.0, 2.0)]).cumulative();
+        assert!(big.dominates(&small));
+        assert!(!small.dominates(&big));
+        assert!(big.dominates(&big));
+    }
+
+    #[test]
+    fn collinear_knots_are_merged() {
+        let p = PiecewiseLinear::from_knots(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 4.0), (3.0, 5.0)]);
+        assert_eq!(p.num_segments(), 2);
+        assert!((p.eval(1.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncate_support_of_pwc() {
+        let f = pwc(&[(1.0, 4.0), (3.0, 2.0), (6.0, 1.0)]);
+        let t = f.truncate_support(2.0);
+        assert_eq!(t.support(), 2.0);
+        assert_eq!(t.value(1.5), 2.0);
+        assert!((t.total() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_edge_cases() {
+        let z = PiecewiseConstant::zero();
+        assert_eq!(z.total(), 0.0);
+        assert_eq!(z.value(1.0), 0.0);
+        assert_eq!(z.support(), 0.0);
+        let e = PiecewiseLinear::empty();
+        assert_eq!(e.eval(5.0), 0.0);
+        assert_eq!(e.endpoint(), 0.0);
+        let c = PiecewiseConstant::constant(0.0, 5.0);
+        assert_eq!(c.num_segments(), 0);
+    }
+}

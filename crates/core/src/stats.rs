@@ -1,0 +1,238 @@
+//! The offline phase (§3.1): building SafeBound's statistics.
+//!
+//! For every table, [`SafeBoundBuilder`] computes:
+//!
+//! * the compressed base CDS of every **declared join column** (keys and
+//!   foreign keys from the catalog);
+//! * [`FilterColumnStats`] — MCV, histogram-hierarchy, and n-gram
+//!   conditioned CDS sets — for **every column** (a column can be both a
+//!   filter and a join column);
+//! * PK–FK-propagated filter statistics (§4.2): each dimension filter
+//!   column is materialized on the fact side through the foreign key, so
+//!   dimension predicates can condition fact degree sequences directly;
+//! * a fallback unconditioned CDS for every column, supporting joins on
+//!   undeclared columns (§3.6).
+
+use crate::conditioning::{
+    build_histogram_for_column, build_mcv_for_column, build_ngrams_for_column, cds_set_for_rows,
+    CdsSet, HistogramStats, McvStats, NgramStats,
+};
+use crate::compression::valid_compress;
+use crate::config::SafeBoundConfig;
+use crate::degree_sequence::DegreeSequence;
+use crate::piecewise::PiecewiseLinear;
+use safebound_storage::{Catalog, Column, DataType, Table, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+/// Key under which PK–FK-propagated statistics are stored in
+/// [`TableStats::filter_stats`]: it encodes the exact join edge
+/// (`fk_column = pk_table.pk_column`) and the dimension filter column, so
+/// the online phase applies the propagation only to matching query edges.
+pub fn propagated_key(fk_column: &str, pk_table: &str, pk_column: &str, dim_column: &str) -> String {
+    format!("{fk_column}={pk_table}.{pk_column}:{dim_column}")
+}
+
+/// Conditioned statistics for one (possibly propagated) filter column.
+#[derive(Debug, Clone)]
+pub struct FilterColumnStats {
+    /// Equality predicates.
+    pub mcv: McvStats,
+    /// Range predicates (absent for all-NULL columns).
+    pub histogram: Option<HistogramStats>,
+    /// LIKE predicates (string columns only, and only when enabled).
+    pub ngrams: Option<NgramStats>,
+}
+
+impl FilterColumnStats {
+    /// Approximate heap size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.mcv.byte_size()
+            + self.histogram.as_ref().map_or(0, HistogramStats::byte_size)
+            + self.ngrams.as_ref().map_or(0, NgramStats::byte_size)
+    }
+
+    /// Number of stored CDS sets across all structures.
+    pub fn num_sets(&self) -> usize {
+        self.mcv.num_sets()
+            + self.histogram.as_ref().map_or(0, HistogramStats::num_sets)
+            + self.ngrams.as_ref().map_or(0, NgramStats::num_sets)
+    }
+}
+
+/// All statistics for one table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Table name.
+    pub table: String,
+    /// Exact row count.
+    pub row_count: u64,
+    /// Declared join columns (keys + foreign keys).
+    pub join_columns: Vec<String>,
+    /// Unconditioned compressed CDS per declared join column.
+    pub base: CdsSet,
+    /// Filter statistics keyed by column name; PK–FK-propagated columns are
+    /// keyed `"dim_table.dim_column"`.
+    pub filter_stats: BTreeMap<String, FilterColumnStats>,
+    /// Unconditioned compressed CDS for every column — the §3.6 fallback
+    /// for joins on undeclared columns.
+    pub fallback_cds: BTreeMap<String, PiecewiseLinear>,
+}
+
+impl TableStats {
+    /// Approximate heap size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.base.byte_size()
+            + self.filter_stats.values().map(FilterColumnStats::byte_size).sum::<usize>()
+            + self
+                .fallback_cds
+                .iter()
+                .map(|(k, v)| k.len() + 24 + v.knots().len() * 16)
+                .sum::<usize>()
+    }
+
+    /// Total number of stored CDS sets (the quantity group compression
+    /// reduces; cf. Example 3.2's 18,522 for `Title`).
+    pub fn num_sets(&self) -> usize {
+        1 + self.filter_stats.values().map(FilterColumnStats::num_sets).sum::<usize>()
+    }
+}
+
+/// The complete statistics produced by the offline phase.
+#[derive(Debug, Clone)]
+pub struct SafeBoundStats {
+    /// Per-table statistics.
+    pub tables: BTreeMap<String, TableStats>,
+    /// The configuration used to build them.
+    pub config: SafeBoundConfig,
+    /// Wall-clock build time.
+    pub build_time: Duration,
+}
+
+impl SafeBoundStats {
+    /// Approximate heap size in bytes (the Fig. 8a metric).
+    pub fn byte_size(&self) -> usize {
+        self.tables.values().map(TableStats::byte_size).sum()
+    }
+
+    /// Total stored CDS sets across all tables.
+    pub fn num_sets(&self) -> usize {
+        self.tables.values().map(TableStats::num_sets).sum()
+    }
+}
+
+/// Builder for the offline phase.
+#[derive(Debug, Clone, Default)]
+pub struct SafeBoundBuilder {
+    config: SafeBoundConfig,
+}
+
+impl SafeBoundBuilder {
+    /// Builder with the given configuration.
+    pub fn new(config: SafeBoundConfig) -> Self {
+        SafeBoundBuilder { config }
+    }
+
+    /// Run the offline phase over a catalog.
+    pub fn build(&self, catalog: &Catalog) -> SafeBoundStats {
+        let start = Instant::now();
+        let mut tables = BTreeMap::new();
+        for table in catalog.tables() {
+            tables.insert(table.name.clone(), self.build_table(catalog, table));
+        }
+        SafeBoundStats { tables, config: self.config.clone(), build_time: start.elapsed() }
+    }
+
+    fn build_table(&self, catalog: &Catalog, table: &Table) -> TableStats {
+        let cfg = &self.config;
+        let join_columns = catalog.join_columns(&table.name);
+        let base = cds_set_for_rows(table, &join_columns, None, cfg.compression_c);
+
+        // Filter statistics for every column (join columns included — a
+        // column can be both, §3.1).
+        let mut filter_stats = BTreeMap::new();
+        for field in &table.schema.fields {
+            let col = table.column(&field.name).unwrap();
+            if let Some(stats) = self.build_filter_column(table, col, &join_columns) {
+                filter_stats.insert(field.name.clone(), stats);
+            }
+        }
+
+        // PK–FK propagation (§4.2): for each FK out of this table, pull the
+        // dimension's filter columns through the join.
+        if cfg.pk_fk_propagation {
+            for fk in catalog.foreign_keys_of(&table.name) {
+                let Some(dim) = catalog.table(&fk.pk_table) else { continue };
+                let Some(pk_col) = dim.column(&fk.pk_column) else { continue };
+                let Some(fk_col) = table.column(&fk.fk_column) else { continue };
+                // pk value → dimension row.
+                let mut pk_rows: HashMap<Value, usize> = HashMap::new();
+                for i in 0..pk_col.len() {
+                    let v = pk_col.get(i);
+                    if !v.is_null() {
+                        pk_rows.insert(v, i);
+                    }
+                }
+                for dim_field in &dim.schema.fields {
+                    if dim_field.name == fk.pk_column {
+                        continue;
+                    }
+                    let dim_col = dim.column(&dim_field.name).unwrap();
+                    // Materialize the propagated column on the fact side.
+                    let mut propagated = Column::empty(dim_field.data_type);
+                    for i in 0..table.num_rows() {
+                        let v = fk_col.get(i);
+                        match pk_rows.get(&v) {
+                            Some(&row) => propagated.push(&dim_col.get(row)),
+                            None => propagated.push(&Value::Null),
+                        }
+                    }
+                    if let Some(stats) = self.build_filter_column(table, &propagated, &join_columns)
+                    {
+                        filter_stats.insert(
+                            propagated_key(&fk.fk_column, &fk.pk_table, &fk.pk_column, &dim_field.name),
+                            stats,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Fallback CDS for every column (§3.6, undeclared join columns).
+        let mut fallback_cds = BTreeMap::new();
+        for field in &table.schema.fields {
+            let col = table.column(&field.name).unwrap();
+            let ds = DegreeSequence::of_column(col);
+            fallback_cds.insert(field.name.clone(), valid_compress(&ds, cfg.compression_c));
+        }
+
+        TableStats {
+            table: table.name.clone(),
+            row_count: table.num_rows() as u64,
+            join_columns,
+            base,
+            filter_stats,
+            fallback_cds,
+        }
+    }
+
+    fn build_filter_column(
+        &self,
+        table: &Table,
+        col: &Column,
+        join_columns: &[String],
+    ) -> Option<FilterColumnStats> {
+        if join_columns.is_empty() || col.null_count() == col.len() {
+            return None;
+        }
+        let cfg = &self.config;
+        let mcv = build_mcv_for_column(table, col, join_columns, cfg);
+        let histogram = build_histogram_for_column(table, col, join_columns, cfg);
+        let ngrams = if cfg.enable_ngrams && col.data_type() == DataType::Str {
+            build_ngrams_for_column(table, col, join_columns, cfg)
+        } else {
+            None
+        };
+        Some(FilterColumnStats { mcv, histogram, ngrams })
+    }
+}

@@ -1,0 +1,446 @@
+//! A synthetic IMDB-like database.
+//!
+//! Stands in for the real IMDB snapshot used by JOB-Light,
+//! JOB-LightRanges, and JOB-M (see DESIGN.md §2). The generator reproduces
+//! the properties those workloads stress:
+//!
+//! * fact tables (`movie_companies`, `movie_keyword`, `movie_info`,
+//!   `movie_info_idx`, `cast_info`, `movie_link`) with **Zipf-skewed**
+//!   foreign keys into `title` and into their dimensions;
+//! * **correlation** between filter columns and join-key frequency
+//!   (popular movies are newer and better-annotated, as in IMDB);
+//! * string columns built from shared vocabularies so LIKE predicates and
+//!   3-gram statistics behave realistically;
+//! * 16 tables total, matching JOB-M's breadth.
+
+use crate::zipf::{compose, vocab, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safebound_storage::{Catalog, Column, DataType, Field, Schema, Table};
+
+/// Size knobs for the IMDB-like generator.
+#[derive(Debug, Clone)]
+pub struct ImdbScale {
+    /// Number of movies (`title` rows); fact tables scale off this.
+    pub movies: usize,
+    /// Number of distinct keywords.
+    pub keywords: usize,
+    /// Number of companies.
+    pub companies: usize,
+    /// Number of persons.
+    pub persons: usize,
+    /// Zipf exponent for fact-table foreign keys.
+    pub skew: f64,
+}
+
+impl Default for ImdbScale {
+    fn default() -> Self {
+        ImdbScale { movies: 4000, keywords: 200, companies: 300, persons: 2000, skew: 1.1 }
+    }
+}
+
+impl ImdbScale {
+    /// A small scale for unit tests.
+    pub fn tiny() -> Self {
+        ImdbScale { movies: 300, keywords: 40, companies: 40, persons: 150, skew: 1.1 }
+    }
+}
+
+fn int_col(vals: Vec<i64>) -> Column {
+    Column::from_ints(vals.into_iter().map(Some))
+}
+
+fn str_col(vals: Vec<String>) -> Column {
+    Column::from_strs(vals.iter().map(|s| Some(s.as_str())))
+}
+
+/// Generate the catalog. Deterministic for a given seed.
+pub fn imdb_catalog(scale: &ImdbScale, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut catalog = Catalog::new();
+    let m = scale.movies;
+
+    // --- Dimension: kind_type (7 kinds, as in IMDB). ---
+    let kinds = ["movie", "tv series", "tv movie", "video movie", "tv mini series", "video game", "episode"];
+    catalog.add_table(Table::new(
+        "kind_type",
+        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("kind", DataType::Str)]),
+        vec![
+            int_col((1..=kinds.len() as i64).collect()),
+            str_col(kinds.iter().map(|s| s.to_string()).collect()),
+        ],
+    ));
+
+    // --- title: popularity rank r (1 = most popular). Popular movies are
+    // newer and have richer metadata — the correlation JOB exploits. ---
+    let mut t_year = Vec::with_capacity(m);
+    let mut t_kind = Vec::with_capacity(m);
+    let mut t_title = Vec::with_capacity(m);
+    let mut t_season = Vec::with_capacity(m);
+    let mut t_episode = Vec::with_capacity(m);
+    let mut t_phonetic = Vec::with_capacity(m);
+    for movie in 0..m {
+        let pop = movie as f64 / m as f64; // 0 = most popular
+        // Year: popular titles cluster 1990-2015, tail spreads 1930-2015.
+        let span = 25.0 + 60.0 * pop;
+        let year = 2015 - rng.random_range(0..span as i64 + 1);
+        t_year.push(year);
+        t_kind.push(1 + (rng.random_range(0..10) as i64 % kinds.len() as i64));
+        t_title.push(compose(&mut rng, &[vocab::TITLE_WORDS, vocab::TITLE_NOUNS]));
+        t_season.push(if movie % 5 == 0 { rng.random_range(1..12) } else { 0 });
+        t_episode.push(if movie % 5 == 0 { rng.random_range(1..200) } else { 0 });
+        t_phonetic.push(format!("{}{}", "AEIOU".chars().nth(movie % 5).unwrap(), movie % 625));
+    }
+    catalog.add_table(Table::new(
+        "title",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("kind_id", DataType::Int),
+            Field::new("production_year", DataType::Int),
+            Field::new("title", DataType::Str),
+            Field::new("season_nr", DataType::Int),
+            Field::new("episode_nr", DataType::Int),
+            Field::new("phonetic_code", DataType::Str),
+        ]),
+        vec![
+            int_col((0..m as i64).collect()),
+            int_col(t_kind),
+            int_col(t_year),
+            str_col(t_title),
+            int_col(t_season),
+            int_col(t_episode),
+            str_col(t_phonetic),
+        ],
+    ));
+
+    // --- Dimensions with string payloads. ---
+    let kw_zipf_len = scale.keywords;
+    let keywords: Vec<String> = (0..kw_zipf_len)
+        .map(|i| {
+            if i < vocab::KEYWORDS.len() {
+                vocab::KEYWORDS[i].to_string()
+            } else {
+                format!("{}-{}", vocab::KEYWORDS[i % vocab::KEYWORDS.len()], i)
+            }
+        })
+        .collect();
+    catalog.add_table(Table::new(
+        "keyword",
+        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("keyword", DataType::Str)]),
+        vec![int_col((0..kw_zipf_len as i64).collect()), str_col(keywords)],
+    ));
+
+    let companies: Vec<String> = (0..scale.companies)
+        .map(|_| compose(&mut rng, &[vocab::COMPANY_STEMS, vocab::COMPANY_SUFFIXES]))
+        .collect();
+    let country: Vec<String> = (0..scale.companies)
+        .map(|i| ["[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]"][i % 6].to_string())
+        .collect();
+    catalog.add_table(Table::new(
+        "company_name",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("name", DataType::Str),
+            Field::new("country_code", DataType::Str),
+        ]),
+        vec![int_col((0..scale.companies as i64).collect()), str_col(companies), str_col(country)],
+    ));
+
+    let ct = ["production companies", "distributors", "special effects companies", "miscellaneous companies"];
+    catalog.add_table(Table::new(
+        "company_type",
+        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("kind", DataType::Str)]),
+        vec![int_col((1..=4).collect()), str_col(ct.iter().map(|s| s.to_string()).collect())],
+    ));
+
+    let it: Vec<String> = [
+        "runtimes", "color info", "genres", "languages", "certificates", "sound mix", "countries",
+        "rating", "release dates", "votes", "budget", "gross",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    catalog.add_table(Table::new(
+        "info_type",
+        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("info", DataType::Str)]),
+        vec![int_col((1..=it.len() as i64).collect()), str_col(it)],
+    ));
+
+    let names: Vec<String> = (0..scale.persons)
+        .map(|_| compose(&mut rng, &[vocab::FIRST_NAMES, vocab::LAST_NAMES]))
+        .collect();
+    let gender: Vec<String> =
+        (0..scale.persons).map(|i| if i % 3 == 0 { "f" } else { "m" }.to_string()).collect();
+    catalog.add_table(Table::new(
+        "name",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("name", DataType::Str),
+            Field::new("gender", DataType::Str),
+        ]),
+        vec![int_col((0..scale.persons as i64).collect()), str_col(names), str_col(gender)],
+    ));
+
+    let roles = ["actor", "actress", "producer", "writer", "cinematographer", "composer", "director", "editor"];
+    catalog.add_table(Table::new(
+        "role_type",
+        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("role", DataType::Str)]),
+        vec![int_col((1..=roles.len() as i64).collect()), str_col(roles.iter().map(|s| s.to_string()).collect())],
+    ));
+
+    let char_names: Vec<String> = (0..scale.persons / 2)
+        .map(|_| compose(&mut rng, &[vocab::FIRST_NAMES, vocab::TITLE_NOUNS]))
+        .collect();
+    catalog.add_table(Table::new(
+        "char_name",
+        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("name", DataType::Str)]),
+        vec![int_col((0..(scale.persons / 2) as i64).collect()), str_col(char_names)],
+    ));
+
+    let lt = ["sequel", "remake", "version of", "follows", "references", "spin off"];
+    catalog.add_table(Table::new(
+        "link_type",
+        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("link", DataType::Str)]),
+        vec![int_col((1..=lt.len() as i64).collect()), str_col(lt.iter().map(|s| s.to_string()).collect())],
+    ));
+
+    // --- Fact tables: Zipf-skewed FKs into title, correlated dims. ---
+    let movie_zipf = Zipf::new(m, scale.skew);
+    let kw_zipf = Zipf::new(kw_zipf_len, 1.3);
+    let company_zipf = Zipf::new(scale.companies, 1.2);
+    let person_zipf = Zipf::new(scale.persons, 1.05);
+
+    // movie_companies: ~3 rows per movie.
+    let n_mc = m * 3;
+    let mut mc_movie = Vec::with_capacity(n_mc);
+    let mut mc_company = Vec::with_capacity(n_mc);
+    let mut mc_type = Vec::with_capacity(n_mc);
+    let mut mc_note = Vec::with_capacity(n_mc);
+    for _ in 0..n_mc {
+        let movie = movie_zipf.sample(&mut rng) - 1;
+        mc_movie.push(movie as i64);
+        mc_company.push((company_zipf.sample(&mut rng) - 1) as i64);
+        // Company type correlates with movie popularity: popular movies get
+        // distributors, tail gets miscellaneous.
+        let t = if movie < m / 10 { 1 + rng.random_range(0..2) } else { 1 + rng.random_range(0..4) };
+        mc_type.push(t);
+        mc_note.push(compose(&mut rng, &[vocab::NOTE_PARTS]));
+    }
+    catalog.add_table(Table::new(
+        "movie_companies",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("movie_id", DataType::Int),
+            Field::new("company_id", DataType::Int),
+            Field::new("company_type_id", DataType::Int),
+            Field::new("note", DataType::Str),
+        ]),
+        vec![
+            int_col((0..n_mc as i64).collect()),
+            int_col(mc_movie),
+            int_col(mc_company),
+            int_col(mc_type),
+            str_col(mc_note),
+        ],
+    ));
+
+    // movie_keyword: ~5 per movie.
+    let n_mk = m * 5;
+    let mut mk_movie = Vec::with_capacity(n_mk);
+    let mut mk_kw = Vec::with_capacity(n_mk);
+    for _ in 0..n_mk {
+        mk_movie.push((movie_zipf.sample(&mut rng) - 1) as i64);
+        mk_kw.push((kw_zipf.sample(&mut rng) - 1) as i64);
+    }
+    catalog.add_table(Table::new(
+        "movie_keyword",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("movie_id", DataType::Int),
+            Field::new("keyword_id", DataType::Int),
+        ]),
+        vec![int_col((0..n_mk as i64).collect()), int_col(mk_movie), int_col(mk_kw)],
+    ));
+
+    // movie_info + movie_info_idx: ~6 and ~2 per movie.
+    for (tname, per_movie) in [("movie_info", 6usize), ("movie_info_idx", 2usize)] {
+        let n = m * per_movie;
+        let mut movie = Vec::with_capacity(n);
+        let mut itype = Vec::with_capacity(n);
+        let mut info = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mv = movie_zipf.sample(&mut rng) - 1;
+            movie.push(mv as i64);
+            let t = 1 + rng.random_range(0..12i64);
+            itype.push(t);
+            info.push(match t {
+                3 => vocab::GENRES[rng.random_range(0..vocab::GENRES.len())].to_string(),
+                8 => format!("{:.1}", 1.0 + rng.random_range(0..90) as f64 / 10.0),
+                10 => format!("{}", rng.random_range(5..500_000)),
+                _ => compose(&mut rng, &[vocab::GENRES, vocab::NOTE_PARTS]),
+            });
+        }
+        catalog.add_table(Table::new(
+            tname,
+            Schema::new(vec![
+                Field::not_null("id", DataType::Int),
+                Field::new("movie_id", DataType::Int),
+                Field::new("info_type_id", DataType::Int),
+                Field::new("info", DataType::Str),
+            ]),
+            vec![
+                int_col((0..n as i64).collect()),
+                int_col(movie),
+                int_col(itype),
+                str_col(info),
+            ],
+        ));
+    }
+
+    // cast_info: ~8 per movie.
+    let n_ci = m * 8;
+    let mut ci_movie = Vec::with_capacity(n_ci);
+    let mut ci_person = Vec::with_capacity(n_ci);
+    let mut ci_role = Vec::with_capacity(n_ci);
+    let mut ci_char = Vec::with_capacity(n_ci);
+    for _ in 0..n_ci {
+        ci_movie.push((movie_zipf.sample(&mut rng) - 1) as i64);
+        ci_person.push((person_zipf.sample(&mut rng) - 1) as i64);
+        ci_role.push(1 + rng.random_range(0..8i64));
+        ci_char.push(rng.random_range(0..(scale.persons / 2) as i64));
+    }
+    catalog.add_table(Table::new(
+        "cast_info",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("movie_id", DataType::Int),
+            Field::new("person_id", DataType::Int),
+            Field::new("role_id", DataType::Int),
+            Field::new("person_role_id", DataType::Int),
+        ]),
+        vec![
+            int_col((0..n_ci as i64).collect()),
+            int_col(ci_movie),
+            int_col(ci_person),
+            int_col(ci_role),
+            int_col(ci_char),
+        ],
+    ));
+
+    // movie_link: sparse movie↔movie links.
+    let n_ml = m / 4;
+    let mut ml_movie = Vec::with_capacity(n_ml);
+    let mut ml_linked = Vec::with_capacity(n_ml);
+    let mut ml_type = Vec::with_capacity(n_ml);
+    for _ in 0..n_ml {
+        ml_movie.push((movie_zipf.sample(&mut rng) - 1) as i64);
+        ml_linked.push((movie_zipf.sample(&mut rng) - 1) as i64);
+        ml_type.push(1 + rng.random_range(0..6i64));
+    }
+    catalog.add_table(Table::new(
+        "movie_link",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("movie_id", DataType::Int),
+            Field::new("linked_movie_id", DataType::Int),
+            Field::new("link_type_id", DataType::Int),
+        ]),
+        vec![int_col((0..n_ml as i64).collect()), int_col(ml_movie), int_col(ml_linked), int_col(ml_type)],
+    ));
+
+    // --- Constraints: PKs + FKs (these define the join columns). ---
+    for (t, pk) in [
+        ("title", "id"),
+        ("kind_type", "id"),
+        ("keyword", "id"),
+        ("company_name", "id"),
+        ("company_type", "id"),
+        ("info_type", "id"),
+        ("name", "id"),
+        ("role_type", "id"),
+        ("char_name", "id"),
+        ("link_type", "id"),
+    ] {
+        catalog.declare_primary_key(t, pk);
+    }
+    for (ft, fc, pt, pc) in [
+        ("title", "kind_id", "kind_type", "id"),
+        ("movie_companies", "movie_id", "title", "id"),
+        ("movie_companies", "company_id", "company_name", "id"),
+        ("movie_companies", "company_type_id", "company_type", "id"),
+        ("movie_keyword", "movie_id", "title", "id"),
+        ("movie_keyword", "keyword_id", "keyword", "id"),
+        ("movie_info", "movie_id", "title", "id"),
+        ("movie_info", "info_type_id", "info_type", "id"),
+        ("movie_info_idx", "movie_id", "title", "id"),
+        ("movie_info_idx", "info_type_id", "info_type", "id"),
+        ("cast_info", "movie_id", "title", "id"),
+        ("cast_info", "person_id", "name", "id"),
+        ("cast_info", "role_id", "role_type", "id"),
+        ("cast_info", "person_role_id", "char_name", "id"),
+        ("movie_link", "movie_id", "title", "id"),
+        ("movie_link", "linked_movie_id", "title", "id"),
+        ("movie_link", "link_type_id", "link_type", "id"),
+    ] {
+        catalog.declare_foreign_key(ft, fc, pt, pc);
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safebound_core::DegreeSequence;
+
+    #[test]
+    fn sixteen_tables() {
+        let c = imdb_catalog(&ImdbScale::tiny(), 1);
+        assert_eq!(c.num_tables(), 16);
+    }
+
+    #[test]
+    fn fact_fk_is_skewed() {
+        let c = imdb_catalog(&ImdbScale::tiny(), 1);
+        let mk = c.table("movie_keyword").unwrap();
+        let ds = DegreeSequence::of_column(mk.column("movie_id").unwrap());
+        let max = ds.max_degree() as f64;
+        let avg = ds.cardinality() as f64 / ds.num_distinct() as f64;
+        assert!(max > 4.0 * avg, "skew expected: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let c = imdb_catalog(&ImdbScale::tiny(), 1);
+        let mc = c.table("movie_companies").unwrap();
+        let titles = c.table("title").unwrap().num_rows() as i64;
+        let col = mc.column("movie_id").unwrap();
+        for i in 0..mc.num_rows() {
+            let v = col.get(i).as_i64().unwrap();
+            assert!(v >= 0 && v < titles);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = imdb_catalog(&ImdbScale::tiny(), 7);
+        let b = imdb_catalog(&ImdbScale::tiny(), 7);
+        let ta = a.table("title").unwrap();
+        let tb = b.table("title").unwrap();
+        assert_eq!(ta.row(5), tb.row(5));
+        let c = imdb_catalog(&ImdbScale::tiny(), 8);
+        // Different seed should differ somewhere in the first rows.
+        let tc = c.table("title").unwrap();
+        let same = (0..20).all(|i| ta.row(i) == tc.row(i));
+        assert!(!same);
+    }
+
+    #[test]
+    fn join_columns_declared() {
+        let c = imdb_catalog(&ImdbScale::tiny(), 1);
+        let jc = c.join_columns("movie_companies");
+        assert!(jc.contains(&"movie_id".to_string()));
+        assert!(jc.contains(&"company_id".to_string()));
+        assert!(jc.contains(&"company_type_id".to_string()));
+        assert_eq!(c.join_columns("keyword"), vec!["id"]);
+    }
+}

@@ -1,0 +1,323 @@
+//! A synthetic Stats-StackOverflow-like database (the STATS-CEB
+//! benchmark's substrate): 8 numeric tables with a cyclic PK/FK schema —
+//! `postLinks` references `posts` twice, and both `posts` and every
+//! activity table reference `users`, creating the cycles §5 calls out as
+//! hard for estimators (NeuroCard cannot handle them at all).
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safebound_storage::{Catalog, Column, DataType, Field, Schema, Table};
+
+/// Size knobs for the STATS-like generator.
+#[derive(Debug, Clone)]
+pub struct StatsScale {
+    /// Number of users.
+    pub users: usize,
+    /// Number of posts.
+    pub posts: usize,
+    /// Zipf exponent for activity skew (heavy: a few users/posts dominate).
+    pub skew: f64,
+}
+
+impl Default for StatsScale {
+    fn default() -> Self {
+        StatsScale { users: 2000, posts: 5000, skew: 1.2 }
+    }
+}
+
+impl StatsScale {
+    /// Small scale for unit tests.
+    pub fn tiny() -> Self {
+        StatsScale { users: 200, posts: 500, skew: 1.2 }
+    }
+}
+
+fn int_col(vals: Vec<i64>) -> Column {
+    Column::from_ints(vals.into_iter().map(Some))
+}
+
+/// Generate the catalog. Deterministic for a given seed.
+pub fn stats_catalog(scale: &StatsScale, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57A7_5CEB);
+    let mut catalog = Catalog::new();
+    let (nu, np) = (scale.users, scale.posts);
+    let user_zipf = Zipf::new(nu, scale.skew);
+    let post_zipf = Zipf::new(np, scale.skew);
+
+    // users: reputation correlated with activity rank (user 0 = heaviest).
+    let mut reputation = Vec::with_capacity(nu);
+    let mut upvotes = Vec::with_capacity(nu);
+    let mut downvotes = Vec::with_capacity(nu);
+    let mut u_created = Vec::with_capacity(nu);
+    for u in 0..nu {
+        let base = (nu - u) as i64;
+        reputation.push(1 + base * 17 + rng.random_range(0..100));
+        upvotes.push(base / 2 + rng.random_range(0..10));
+        downvotes.push(rng.random_range(0..(2 + base / 20)));
+        u_created.push(1_200_000_000 + rng.random_range(0..300_000_000i64));
+    }
+    catalog.add_table(Table::new(
+        "users",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("reputation", DataType::Int),
+            Field::new("upvotes", DataType::Int),
+            Field::new("downvotes", DataType::Int),
+            Field::new("creationdate", DataType::Int),
+        ]),
+        vec![
+            int_col((0..nu as i64).collect()),
+            int_col(reputation),
+            int_col(upvotes),
+            int_col(downvotes),
+            int_col(u_created),
+        ],
+    ));
+
+    // posts: owner Zipf over users; score/viewcount correlated with owner
+    // rank.
+    let mut owner = Vec::with_capacity(np);
+    let mut ptype = Vec::with_capacity(np);
+    let mut score = Vec::with_capacity(np);
+    let mut views = Vec::with_capacity(np);
+    let mut answers = Vec::with_capacity(np);
+    let mut commentcount = Vec::with_capacity(np);
+    let mut p_created = Vec::with_capacity(np);
+    for _ in 0..np {
+        let u = user_zipf.sample(&mut rng) - 1;
+        owner.push(u as i64);
+        ptype.push(1 + rng.random_range(0..2i64)); // 1 question, 2 answer
+        let pop = (nu - u) as i64;
+        score.push(rng.random_range(0..(3 + pop / 8)));
+        views.push(rng.random_range(0..(10 + pop * 13)));
+        answers.push(rng.random_range(0..6i64));
+        commentcount.push(rng.random_range(0..12i64));
+        p_created.push(1_250_000_000 + rng.random_range(0..280_000_000i64));
+    }
+    catalog.add_table(Table::new(
+        "posts",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("owneruserid", DataType::Int),
+            Field::new("posttypeid", DataType::Int),
+            Field::new("score", DataType::Int),
+            Field::new("viewcount", DataType::Int),
+            Field::new("answercount", DataType::Int),
+            Field::new("commentcount", DataType::Int),
+            Field::new("creationdate", DataType::Int),
+        ]),
+        vec![
+            int_col((0..np as i64).collect()),
+            int_col(owner),
+            int_col(ptype),
+            int_col(score),
+            int_col(views),
+            int_col(answers),
+            int_col(commentcount),
+            int_col(p_created),
+        ],
+    ));
+
+    // Activity tables keyed to posts and users.
+    let make_activity = |rng: &mut StdRng, n: usize, extra: &str| -> (Vec<i64>, Vec<i64>, Vec<i64>, Vec<i64>) {
+        let mut post = Vec::with_capacity(n);
+        let mut user = Vec::with_capacity(n);
+        let mut kind = Vec::with_capacity(n);
+        let mut created = Vec::with_capacity(n);
+        let kinds = if extra == "votes" { 15 } else { 6 };
+        for _ in 0..n {
+            post.push((post_zipf.sample(rng) - 1) as i64);
+            user.push((user_zipf.sample(rng) - 1) as i64);
+            kind.push(1 + rng.random_range(0..kinds) as i64);
+            created.push(1_260_000_000 + rng.random_range(0..260_000_000i64));
+        }
+        (post, user, kind, created)
+    };
+
+    let n_comments = np * 3;
+    let (c_post, c_user, _, c_created) = make_activity(&mut rng, n_comments, "comments");
+    let c_score: Vec<i64> = (0..n_comments).map(|_| rng.random_range(0..10)).collect();
+    catalog.add_table(Table::new(
+        "comments",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("postid", DataType::Int),
+            Field::new("userid", DataType::Int),
+            Field::new("score", DataType::Int),
+            Field::new("creationdate", DataType::Int),
+        ]),
+        vec![
+            int_col((0..n_comments as i64).collect()),
+            int_col(c_post),
+            int_col(c_user),
+            int_col(c_score),
+            int_col(c_created),
+        ],
+    ));
+
+    let n_votes = np * 4;
+    let (v_post, v_user, v_kind, v_created) = make_activity(&mut rng, n_votes, "votes");
+    catalog.add_table(Table::new(
+        "votes",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("postid", DataType::Int),
+            Field::new("userid", DataType::Int),
+            Field::new("votetypeid", DataType::Int),
+            Field::new("creationdate", DataType::Int),
+        ]),
+        vec![
+            int_col((0..n_votes as i64).collect()),
+            int_col(v_post),
+            int_col(v_user),
+            int_col(v_kind),
+            int_col(v_created),
+        ],
+    ));
+
+    let n_badges = nu * 2;
+    let mut b_user = Vec::with_capacity(n_badges);
+    let mut b_date = Vec::with_capacity(n_badges);
+    for _ in 0..n_badges {
+        b_user.push((user_zipf.sample(&mut rng) - 1) as i64);
+        b_date.push(1_260_000_000 + rng.random_range(0..260_000_000i64));
+    }
+    catalog.add_table(Table::new(
+        "badges",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("userid", DataType::Int),
+            Field::new("date", DataType::Int),
+        ]),
+        vec![int_col((0..n_badges as i64).collect()), int_col(b_user), int_col(b_date)],
+    ));
+
+    let n_ph = np * 2;
+    let (ph_post, ph_user, ph_kind, ph_created) = make_activity(&mut rng, n_ph, "ph");
+    catalog.add_table(Table::new(
+        "posthistory",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("postid", DataType::Int),
+            Field::new("userid", DataType::Int),
+            Field::new("posthistorytypeid", DataType::Int),
+            Field::new("creationdate", DataType::Int),
+        ]),
+        vec![
+            int_col((0..n_ph as i64).collect()),
+            int_col(ph_post),
+            int_col(ph_user),
+            int_col(ph_kind),
+            int_col(ph_created),
+        ],
+    ));
+
+    // postlinks: two FKs into posts (the cyclic shape).
+    let n_pl = np / 3;
+    let mut pl_post = Vec::with_capacity(n_pl);
+    let mut pl_related = Vec::with_capacity(n_pl);
+    let mut pl_kind = Vec::with_capacity(n_pl);
+    let mut pl_created = Vec::with_capacity(n_pl);
+    for _ in 0..n_pl {
+        pl_post.push((post_zipf.sample(&mut rng) - 1) as i64);
+        pl_related.push((post_zipf.sample(&mut rng) - 1) as i64);
+        pl_kind.push(1 + rng.random_range(0..3i64));
+        pl_created.push(1_270_000_000 + rng.random_range(0..240_000_000i64));
+    }
+    catalog.add_table(Table::new(
+        "postlinks",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("postid", DataType::Int),
+            Field::new("relatedpostid", DataType::Int),
+            Field::new("linktypeid", DataType::Int),
+            Field::new("creationdate", DataType::Int),
+        ]),
+        vec![
+            int_col((0..n_pl as i64).collect()),
+            int_col(pl_post),
+            int_col(pl_related),
+            int_col(pl_kind),
+            int_col(pl_created),
+        ],
+    ));
+
+    // tags: excerpt post per tag.
+    let n_tags = np / 10;
+    let mut tag_post = Vec::with_capacity(n_tags);
+    let mut tag_count = Vec::with_capacity(n_tags);
+    for _ in 0..n_tags {
+        tag_post.push((post_zipf.sample(&mut rng) - 1) as i64);
+        tag_count.push(rng.random_range(0..5000i64));
+    }
+    catalog.add_table(Table::new(
+        "tags",
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("excerptpostid", DataType::Int),
+            Field::new("count", DataType::Int),
+        ]),
+        vec![int_col((0..n_tags as i64).collect()), int_col(tag_post), int_col(tag_count)],
+    ));
+
+    catalog.declare_primary_key("users", "id");
+    catalog.declare_primary_key("posts", "id");
+    for (ft, fc, pt, pc) in [
+        ("posts", "owneruserid", "users", "id"),
+        ("comments", "postid", "posts", "id"),
+        ("comments", "userid", "users", "id"),
+        ("votes", "postid", "posts", "id"),
+        ("votes", "userid", "users", "id"),
+        ("badges", "userid", "users", "id"),
+        ("posthistory", "postid", "posts", "id"),
+        ("posthistory", "userid", "users", "id"),
+        ("postlinks", "postid", "posts", "id"),
+        ("postlinks", "relatedpostid", "posts", "id"),
+        ("tags", "excerptpostid", "posts", "id"),
+    ] {
+        catalog.declare_foreign_key(ft, fc, pt, pc);
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_tables() {
+        let c = stats_catalog(&StatsScale::tiny(), 1);
+        assert_eq!(c.num_tables(), 8);
+    }
+
+    #[test]
+    fn cyclic_fk_shape() {
+        let c = stats_catalog(&StatsScale::tiny(), 1);
+        // postlinks has two FKs into posts.
+        assert_eq!(c.foreign_keys_of("postlinks").count(), 2);
+        let jc = c.join_columns("postlinks");
+        assert!(jc.contains(&"postid".to_string()));
+        assert!(jc.contains(&"relatedpostid".to_string()));
+    }
+
+    #[test]
+    fn reputation_correlates_with_activity() {
+        let c = stats_catalog(&StatsScale::tiny(), 1);
+        let posts = c.table("posts").unwrap();
+        let users = c.table("users").unwrap();
+        // The most active user (rank 0) must have high reputation.
+        let rep0 = users.column("reputation").unwrap().get(0).as_i64().unwrap();
+        let rep_last =
+            users.column("reputation").unwrap().get(users.num_rows() - 1).as_i64().unwrap();
+        assert!(rep0 > rep_last * 5, "rep0 {rep0} vs tail {rep_last}");
+        let _ = posts;
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = stats_catalog(&StatsScale::tiny(), 3);
+        let b = stats_catalog(&StatsScale::tiny(), 3);
+        assert_eq!(a.table("votes").unwrap().row(10), b.table("votes").unwrap().row(10));
+    }
+}

@@ -1,0 +1,244 @@
+//! A TPC-H-like database for the scalability study (Fig. 10): 8 tables,
+//! 14 join columns, many filter columns, 9 PK–FK relationships, and a
+//! `comment` string column per major table so the tri-gram build path is
+//! exercised. Deliberately uniform (the paper excludes TPC-H from accuracy
+//! experiments because of its lack of skew — §5.5, footnote 5); only build
+//! time and memory are measured on it.
+
+use crate::zipf::compose;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safebound_storage::{Catalog, Column, DataType, Field, Schema, Table};
+
+const COMMENT_WORDS: &[&str] = &[
+    "carefully", "quickly", "furiously", "silently", "boldly", "final", "pending", "special",
+    "express", "regular", "ironic", "even", "bold", "unusual", "packages", "deposits", "requests",
+    "accounts", "instructions", "theodolites", "foxes", "pinto beans",
+];
+
+fn int_col(vals: Vec<i64>) -> Column {
+    Column::from_ints(vals.into_iter().map(Some))
+}
+
+fn float_col(vals: Vec<f64>) -> Column {
+    Column::from_floats(vals.into_iter().map(Some))
+}
+
+fn str_col(vals: Vec<String>) -> Column {
+    Column::from_strs(vals.iter().map(|s| Some(s.as_str())))
+}
+
+fn comment(rng: &mut StdRng) -> String {
+    compose(rng, &[COMMENT_WORDS, COMMENT_WORDS, COMMENT_WORDS])
+}
+
+/// Generate a TPC-H-like catalog. `sf = 1.0` maps to 6000 lineitems
+/// (scaled down ~1000× from the real benchmark so laptop sweeps finish).
+pub fn tpch_catalog(sf: f64, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7bc4_0001);
+    let mut catalog = Catalog::new();
+    let customers = (150.0 * sf).max(5.0) as usize;
+    let suppliers = (10.0 * sf).max(3.0) as usize;
+    let parts = (200.0 * sf).max(10.0) as usize;
+    let orders = (1500.0 * sf).max(20.0) as usize;
+    let lineitems = (6000.0 * sf).max(50.0) as usize;
+
+    // region, nation.
+    let regions = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+    catalog.add_table(Table::new(
+        "region",
+        Schema::new(vec![Field::not_null("r_regionkey", DataType::Int), Field::new("r_name", DataType::Str)]),
+        vec![int_col((0..5).collect()), str_col(regions.iter().map(|s| s.to_string()).collect())],
+    ));
+    let nations = [
+        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+        "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+        "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+        "UNITED STATES",
+    ];
+    catalog.add_table(Table::new(
+        "nation",
+        Schema::new(vec![
+            Field::not_null("n_nationkey", DataType::Int),
+            Field::new("n_name", DataType::Str),
+            Field::new("n_regionkey", DataType::Int),
+        ]),
+        vec![
+            int_col((0..25).collect()),
+            str_col(nations.iter().map(|s| s.to_string()).collect()),
+            int_col((0..25).map(|i| i % 5).collect()),
+        ],
+    ));
+
+    // supplier, customer.
+    catalog.add_table(Table::new(
+        "supplier",
+        Schema::new(vec![
+            Field::not_null("s_suppkey", DataType::Int),
+            Field::new("s_nationkey", DataType::Int),
+            Field::new("s_acctbal", DataType::Float),
+            Field::new("s_comment", DataType::Str),
+        ]),
+        vec![
+            int_col((0..suppliers as i64).collect()),
+            int_col((0..suppliers).map(|_| rng.random_range(0..25i64)).collect()),
+            float_col((0..suppliers).map(|_| rng.random_range(-999..9999) as f64 / 1.0).collect()),
+            str_col((0..suppliers).map(|_| comment(&mut rng)).collect()),
+        ],
+    ));
+    let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+    catalog.add_table(Table::new(
+        "customer",
+        Schema::new(vec![
+            Field::not_null("c_custkey", DataType::Int),
+            Field::new("c_nationkey", DataType::Int),
+            Field::new("c_mktsegment", DataType::Str),
+            Field::new("c_acctbal", DataType::Float),
+            Field::new("c_comment", DataType::Str),
+        ]),
+        vec![
+            int_col((0..customers as i64).collect()),
+            int_col((0..customers).map(|_| rng.random_range(0..25i64)).collect()),
+            str_col((0..customers).map(|i| segments[i % 5].to_string()).collect()),
+            float_col((0..customers).map(|_| rng.random_range(-999..9999) as f64).collect()),
+            str_col((0..customers).map(|_| comment(&mut rng)).collect()),
+        ],
+    ));
+
+    // part, partsupp.
+    let brands: Vec<String> = (1..=5).flat_map(|a| (1..=5).map(move |b| format!("Brand#{a}{b}"))).collect();
+    catalog.add_table(Table::new(
+        "part",
+        Schema::new(vec![
+            Field::not_null("p_partkey", DataType::Int),
+            Field::new("p_brand", DataType::Str),
+            Field::new("p_size", DataType::Int),
+            Field::new("p_retailprice", DataType::Float),
+            Field::new("p_comment", DataType::Str),
+        ]),
+        vec![
+            int_col((0..parts as i64).collect()),
+            str_col((0..parts).map(|i| brands[i % brands.len()].clone()).collect()),
+            int_col((0..parts).map(|_| rng.random_range(1..51i64)).collect()),
+            float_col((0..parts).map(|_| 900.0 + rng.random_range(0..1200) as f64 / 10.0).collect()),
+            str_col((0..parts).map(|_| comment(&mut rng)).collect()),
+        ],
+    ));
+    let n_ps = parts * 4;
+    catalog.add_table(Table::new(
+        "partsupp",
+        Schema::new(vec![
+            Field::not_null("ps_partkey", DataType::Int),
+            Field::new("ps_suppkey", DataType::Int),
+            Field::new("ps_availqty", DataType::Int),
+            Field::new("ps_supplycost", DataType::Float),
+        ]),
+        vec![
+            int_col((0..n_ps).map(|i| (i % parts) as i64).collect()),
+            int_col((0..n_ps).map(|i| ((i / parts) * 7 + i) as i64 % suppliers as i64).collect()),
+            int_col((0..n_ps).map(|_| rng.random_range(1..10_000i64)).collect()),
+            float_col((0..n_ps).map(|_| rng.random_range(100..100_000) as f64 / 100.0).collect()),
+        ],
+    ));
+
+    // orders, lineitem.
+    let status = ["F", "O", "P"];
+    catalog.add_table(Table::new(
+        "orders",
+        Schema::new(vec![
+            Field::not_null("o_orderkey", DataType::Int),
+            Field::new("o_custkey", DataType::Int),
+            Field::new("o_orderstatus", DataType::Str),
+            Field::new("o_totalprice", DataType::Float),
+            Field::new("o_orderdate", DataType::Int),
+            Field::new("o_comment", DataType::Str),
+        ]),
+        vec![
+            int_col((0..orders as i64).collect()),
+            int_col((0..orders).map(|_| rng.random_range(0..customers as i64)).collect()),
+            str_col((0..orders).map(|i| status[i % 3].to_string()).collect()),
+            float_col((0..orders).map(|_| rng.random_range(1000..500_000) as f64 / 100.0).collect()),
+            int_col((0..orders).map(|_| rng.random_range(19_920_101..19_981_231i64)).collect()),
+            str_col((0..orders).map(|_| comment(&mut rng)).collect()),
+        ],
+    ));
+    catalog.add_table(Table::new(
+        "lineitem",
+        Schema::new(vec![
+            Field::not_null("l_orderkey", DataType::Int),
+            Field::new("l_partkey", DataType::Int),
+            Field::new("l_suppkey", DataType::Int),
+            Field::new("l_quantity", DataType::Int),
+            Field::new("l_extendedprice", DataType::Float),
+            Field::new("l_discount", DataType::Float),
+            Field::new("l_shipdate", DataType::Int),
+            Field::new("l_comment", DataType::Str),
+        ]),
+        vec![
+            int_col((0..lineitems).map(|_| rng.random_range(0..orders as i64)).collect()),
+            int_col((0..lineitems).map(|_| rng.random_range(0..parts as i64)).collect()),
+            int_col((0..lineitems).map(|_| rng.random_range(0..suppliers as i64)).collect()),
+            int_col((0..lineitems).map(|_| rng.random_range(1..51i64)).collect()),
+            float_col((0..lineitems).map(|_| rng.random_range(1000..100_000) as f64 / 100.0).collect()),
+            float_col((0..lineitems).map(|_| rng.random_range(0..11) as f64 / 100.0).collect()),
+            int_col((0..lineitems).map(|_| rng.random_range(19_920_101..19_981_231i64)).collect()),
+            str_col((0..lineitems).map(|_| comment(&mut rng)).collect()),
+        ],
+    ));
+
+    for (t, pk) in [
+        ("region", "r_regionkey"),
+        ("nation", "n_nationkey"),
+        ("supplier", "s_suppkey"),
+        ("customer", "c_custkey"),
+        ("part", "p_partkey"),
+        ("orders", "o_orderkey"),
+    ] {
+        catalog.declare_primary_key(t, pk);
+    }
+    for (ft, fc, pt, pc) in [
+        ("nation", "n_regionkey", "region", "r_regionkey"),
+        ("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ("customer", "c_nationkey", "nation", "n_nationkey"),
+        ("partsupp", "ps_partkey", "part", "p_partkey"),
+        ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+        ("orders", "o_custkey", "customer", "c_custkey"),
+        ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        ("lineitem", "l_partkey", "part", "p_partkey"),
+        ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ] {
+        catalog.declare_foreign_key(ft, fc, pt, pc);
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_tables_nine_fks() {
+        let c = tpch_catalog(0.1, 1);
+        assert_eq!(c.num_tables(), 8);
+        assert_eq!(c.foreign_keys().len(), 9);
+    }
+
+    #[test]
+    fn scale_factor_scales_lineitem() {
+        let small = tpch_catalog(0.1, 1);
+        let big = tpch_catalog(0.4, 1);
+        let ls = small.table("lineitem").unwrap().num_rows();
+        let lb = big.table("lineitem").unwrap().num_rows();
+        assert!(lb > 3 * ls, "sf 0.4 {lb} vs sf 0.1 {ls}");
+    }
+
+    #[test]
+    fn comments_present_for_trigram_path() {
+        let c = tpch_catalog(0.1, 1);
+        let li = c.table("lineitem").unwrap();
+        match li.column("l_comment").unwrap().get(0) {
+            safebound_storage::Value::Str(s) => assert!(s.len() > 5),
+            v => panic!("expected string, got {v:?}"),
+        }
+    }
+}

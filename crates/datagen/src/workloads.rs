@@ -1,0 +1,399 @@
+//! The four evaluation workloads (§5, "Datasets"), generated as SQL and
+//! parsed through the full front end:
+//!
+//! * **JOB-Light** — 70 queries, 2–5 PK–FK joins over 6 IMDB tables, 1–4
+//!   numeric predicates;
+//! * **JOB-LightRanges** — 1000 queries on the same subset, adding range
+//!   and string (LIKE) predicates over more columns;
+//! * **JOB-M** — 113 queries over all 14 IMDB-like tables with IN and LIKE
+//!   predicates and dimension-table joins;
+//! * **STATS-CEB** — 146 queries over the 8 StackOverflow-like tables,
+//!   2–16 numeric predicates, 2–8 joins, including the cyclic
+//!   `postlinks` double-reference.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safebound_query::{parse_sql, Query};
+
+/// A named benchmark query.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Identifier like `job_light_17`.
+    pub name: String,
+    /// The SQL text.
+    pub sql: String,
+    /// The parsed query.
+    pub query: Query,
+}
+
+fn mk(name: String, sql: String) -> BenchQuery {
+    let query = parse_sql(&sql).unwrap_or_else(|e| panic!("{name}: {e}\n{sql}"));
+    BenchQuery { name, sql, query }
+}
+
+/// The JOB-Light fact tables joining `title` via `movie_id`, with their
+/// numeric filter column and its value range.
+const JL_FACTS: &[(&str, &str, &str, i64, i64)] = &[
+    ("movie_companies", "mc", "company_type_id", 1, 4),
+    ("movie_keyword", "mk", "keyword_id", 0, 39),
+    ("movie_info", "mi", "info_type_id", 1, 12),
+    ("movie_info_idx", "mi_idx", "info_type_id", 1, 12),
+    ("cast_info", "ci", "role_id", 1, 8),
+];
+
+/// JOB-Light: 70 queries.
+pub fn job_light(seed: u64) -> Vec<BenchQuery> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10B);
+    let mut out = Vec::with_capacity(70);
+    for qid in 0..70 {
+        let num_facts = 1 + rng.random_range(0..4usize); // 1..4 facts ⇒ 2-5 joins inc. title
+        let mut facts: Vec<usize> = (0..JL_FACTS.len()).collect();
+        // Sample without replacement.
+        for i in 0..num_facts {
+            let j = i + rng.random_range(0..(facts.len() - i));
+            facts.swap(i, j);
+        }
+        let facts = &facts[..num_facts];
+
+        let mut from = vec!["title t".to_string()];
+        let mut conds = Vec::new();
+        for &f in facts {
+            let (table, alias, _, _, _) = JL_FACTS[f];
+            from.push(format!("{table} {alias}"));
+            conds.push(format!("t.id = {alias}.movie_id"));
+        }
+        // 1-4 predicates: year ranges on title + equality on fact columns.
+        let num_preds = 1 + rng.random_range(0..4usize);
+        let mut preds = Vec::new();
+        for p in 0..num_preds {
+            if p == 0 && rng.random_range(0..10) < 7 {
+                let lo = 1950 + rng.random_range(0..60i64);
+                match rng.random_range(0..3) {
+                    0 => preds.push(format!("t.production_year > {lo}")),
+                    1 => preds.push(format!("t.production_year < {}", lo + 10)),
+                    _ => preds.push(format!(
+                        "t.production_year BETWEEN {lo} AND {}",
+                        lo + rng.random_range(1..20i64)
+                    )),
+                }
+            } else if !facts.is_empty() {
+                let f = facts[rng.random_range(0..facts.len())];
+                let (_, alias, col, lo, hi) = JL_FACTS[f];
+                let v = rng.random_range(lo..=hi);
+                preds.push(format!("{alias}.{col} = {v}"));
+            } else {
+                preds.push(format!("t.kind_id = {}", 1 + rng.random_range(0..7i64)));
+            }
+        }
+        preds.dedup();
+        conds.extend(preds);
+        let sql = format!("SELECT COUNT(*) FROM {} WHERE {}", from.join(", "), conds.join(" AND "));
+        out.push(mk(format!("job_light_{qid}"), sql));
+    }
+    out
+}
+
+/// JOB-LightRanges: 1000 queries with range and LIKE predicates.
+pub fn job_light_ranges(seed: u64) -> Vec<BenchQuery> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10B2);
+    let mut out = Vec::with_capacity(1000);
+    let like_words =
+        ["Dark", "Night", "Legend", "Golden", "Action", "Drama", "association", "USA", "uncredited"];
+    for qid in 0..1000 {
+        let num_facts = 1 + rng.random_range(0..4usize);
+        let mut facts: Vec<usize> = (0..JL_FACTS.len()).collect();
+        for i in 0..num_facts {
+            let j = i + rng.random_range(0..(facts.len() - i));
+            facts.swap(i, j);
+        }
+        let facts = &facts[..num_facts];
+        let mut from = vec!["title t".to_string()];
+        let mut conds = Vec::new();
+        for &f in facts {
+            let (table, alias, _, _, _) = JL_FACTS[f];
+            from.push(format!("{table} {alias}"));
+            conds.push(format!("t.id = {alias}.movie_id"));
+        }
+        let num_preds = 1 + rng.random_range(0..4usize);
+        for _ in 0..num_preds {
+            match rng.random_range(0..6) {
+                0 => {
+                    let lo = 1950 + rng.random_range(0..60i64);
+                    conds.push(format!(
+                        "t.production_year BETWEEN {lo} AND {}",
+                        lo + rng.random_range(1..25i64)
+                    ));
+                }
+                1 => conds.push(format!("t.season_nr < {}", 1 + rng.random_range(0..12i64))),
+                2 => conds.push(format!("t.episode_nr > {}", rng.random_range(0..150i64))),
+                3 => {
+                    let w = like_words[rng.random_range(0..like_words.len())];
+                    conds.push(format!("t.title LIKE '%{w}%'"));
+                }
+                4 if facts.contains(&0) => {
+                    let w = like_words[rng.random_range(0..like_words.len())];
+                    conds.push(format!("mc.note LIKE '%{w}%'"));
+                }
+                _ => {
+                    let f = facts[rng.random_range(0..facts.len())];
+                    let (_, alias, col, lo, hi) = JL_FACTS[f];
+                    conds.push(format!("{alias}.{col} = {}", rng.random_range(lo..=hi)));
+                }
+            }
+        }
+        conds.dedup();
+        let sql = format!("SELECT COUNT(*) FROM {} WHERE {}", from.join(", "), conds.join(" AND "));
+        out.push(mk(format!("job_light_ranges_{qid}"), sql));
+    }
+    out
+}
+
+/// JOB-M: 113 queries over the full IMDB-like schema with dimension joins,
+/// IN lists, and LIKE predicates.
+pub fn job_m(seed: u64) -> Vec<BenchQuery> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10B3);
+    let mut out = Vec::with_capacity(113);
+    let keywords = ["murder", "sequel", "revenge", "love", "dystopia", "superhero", "pg-13"];
+    let countries = ["[us]", "[gb]", "[de]", "[fr]"];
+    for qid in 0..113 {
+        // Base: title joined with 2-4 fact tables and some of their dims.
+        let mut from = vec!["title t".to_string()];
+        let mut conds: Vec<String> = Vec::new();
+        let use_mc = rng.random_range(0..10) < 7;
+        let use_mk = rng.random_range(0..10) < 7;
+        let use_mi = rng.random_range(0..10) < 5;
+        let use_ci = rng.random_range(0..10) < 4;
+        if !(use_mc || use_mk || use_mi || use_ci) {
+            // Always at least movie_keyword.
+            from.push("movie_keyword mk".into());
+            conds.push("t.id = mk.movie_id".into());
+        }
+        if use_mc {
+            from.push("movie_companies mc".into());
+            conds.push("t.id = mc.movie_id".into());
+            if rng.random_range(0..10) < 6 {
+                from.push("company_name cn".into());
+                conds.push("mc.company_id = cn.id".into());
+                conds.push(format!(
+                    "cn.country_code = '{}'",
+                    countries[rng.random_range(0..countries.len())]
+                ));
+            }
+            if rng.random_range(0..10) < 4 {
+                from.push("company_type ct".into());
+                conds.push("mc.company_type_id = ct.id".into());
+                conds.push("ct.kind = 'production companies'".into());
+            }
+            if rng.random_range(0..10) < 4 {
+                conds.push("mc.note LIKE '%association%'".into());
+            }
+        }
+        if use_mk {
+            from.push("movie_keyword mk".into());
+            conds.push("t.id = mk.movie_id".into());
+            from.push("keyword k".into());
+            conds.push("mk.keyword_id = k.id".into());
+            if rng.random_range(0..10) < 7 {
+                let n = 1 + rng.random_range(0..3usize);
+                let mut ks: Vec<String> = Vec::new();
+                for _ in 0..n {
+                    ks.push(format!("'{}'", keywords[rng.random_range(0..keywords.len())]));
+                }
+                ks.dedup();
+                if ks.len() == 1 {
+                    conds.push(format!("k.keyword = {}", ks[0]));
+                } else {
+                    conds.push(format!("k.keyword IN ({})", ks.join(", ")));
+                }
+            }
+        }
+        if use_mi {
+            from.push("movie_info mi".into());
+            conds.push("t.id = mi.movie_id".into());
+            if rng.random_range(0..10) < 5 {
+                from.push("info_type it".into());
+                conds.push("mi.info_type_id = it.id".into());
+                conds.push("it.info = 'genres'".into());
+            }
+            if rng.random_range(0..10) < 5 {
+                let g = ["Action", "Drama", "Horror", "Comedy"][rng.random_range(0..4)];
+                conds.push(format!("mi.info LIKE '%{g}%'"));
+            }
+        }
+        if use_ci {
+            from.push("cast_info ci".into());
+            conds.push("t.id = ci.movie_id".into());
+            if rng.random_range(0..10) < 6 {
+                from.push("name n".into());
+                conds.push("ci.person_id = n.id".into());
+                if rng.random_range(0..10) < 5 {
+                    conds.push("n.gender = 'f'".into());
+                } else {
+                    conds.push("n.name LIKE '%Abdul%'".into());
+                }
+            }
+            if rng.random_range(0..10) < 4 {
+                from.push("role_type rt".into());
+                conds.push("ci.role_id = rt.id".into());
+                conds.push(format!(
+                    "rt.role IN ('actor', '{}')",
+                    ["actress", "producer", "writer"][rng.random_range(0..3)]
+                ));
+            }
+        }
+        if rng.random_range(0..10) < 6 {
+            let lo = 1950 + rng.random_range(0..55i64);
+            conds.push(format!("t.production_year > {lo}"));
+        }
+        if rng.random_range(0..10) < 3 {
+            from.push("kind_type kt".into());
+            conds.push("t.kind_id = kt.id".into());
+            conds.push("kt.kind = 'movie'".into());
+        }
+        let sql = format!("SELECT COUNT(*) FROM {} WHERE {}", from.join(", "), conds.join(" AND "));
+        out.push(mk(format!("job_m_{qid}"), sql));
+    }
+    out
+}
+
+/// STATS-CEB: 146 queries, 2–8 tables, 2–16 numeric predicates, cyclic
+/// shapes included.
+pub fn stats_ceb(seed: u64) -> Vec<BenchQuery> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57A75);
+    let mut out = Vec::with_capacity(146);
+    // (table, alias, fk-to-posts, fk-to-users, filters: (col, lo, hi))
+    #[allow(clippy::type_complexity)]
+    let activity: &[(&str, &str, Option<&str>, Option<&str>, &[(&str, i64, i64)])] = &[
+        ("comments", "c", Some("postid"), Some("userid"), &[("score", 0, 10)]),
+        ("votes", "v", Some("postid"), Some("userid"), &[("votetypeid", 1, 15)]),
+        ("badges", "b", None, Some("userid"), &[]),
+        ("posthistory", "ph", Some("postid"), Some("userid"), &[("posthistorytypeid", 1, 6)]),
+        ("postlinks", "pl", Some("postid"), None, &[("linktypeid", 1, 3)]),
+        ("tags", "tg", Some("excerptpostid"), None, &[("count", 0, 5000)]),
+    ];
+    for qid in 0..146 {
+        let mut from = vec!["posts p".to_string(), "users u".to_string()];
+        let mut conds = vec!["p.owneruserid = u.id".to_string()];
+        let extra = rng.random_range(0..5usize); // up to 6 extra tables
+        let mut chosen: Vec<usize> = (0..activity.len()).collect();
+        for i in 0..extra {
+            let j = i + rng.random_range(0..(chosen.len() - i));
+            chosen.swap(i, j);
+        }
+        for &a in &chosen[..extra] {
+            let (table, alias, post_fk, user_fk, _) = activity[a];
+            from.push(format!("{table} {alias}"));
+            match (post_fk, user_fk) {
+                (Some(pf), Some(uf)) => {
+                    // The STATS cyclic shape: with some probability join
+                    // BOTH sides, closing the activity–posts–users
+                    // triangle (p.owneruserid = u.id is always present).
+                    match rng.random_range(0..4) {
+                        0 => {
+                            conds.push(format!("{alias}.{pf} = p.id"));
+                            conds.push(format!("{alias}.{uf} = u.id"));
+                        }
+                        1 => conds.push(format!("{alias}.{uf} = u.id")),
+                        _ => conds.push(format!("{alias}.{pf} = p.id")),
+                    }
+                }
+                (Some(pf), None) => conds.push(format!("{alias}.{pf} = p.id")),
+                (None, Some(uf)) => conds.push(format!("{alias}.{uf} = u.id")),
+                (None, None) => unreachable!(),
+            }
+        }
+        // 2-16 predicates.
+        let num_preds = 2 + rng.random_range(0..8usize);
+        for _ in 0..num_preds {
+            match rng.random_range(0..6) {
+                0 => conds.push(format!("u.reputation > {}", rng.random_range(1..3000i64))),
+                1 => conds.push(format!("u.upvotes >= {}", rng.random_range(0..80i64))),
+                2 => conds.push(format!("p.score < {}", 1 + rng.random_range(0..25i64))),
+                3 => conds.push(format!("p.viewcount > {}", rng.random_range(0..1500i64))),
+                4 => conds.push(format!("p.posttypeid = {}", 1 + rng.random_range(0..2i64))),
+                _ => {
+                    if extra > 0 {
+                        let a = chosen[rng.random_range(0..extra)];
+                        let (_, alias, _, _, filters) = activity[a];
+                        if let Some(&(col, lo, hi)) = filters.first() {
+                            conds.push(format!("{alias}.{col} >= {}", rng.random_range(lo..=hi)));
+                        } else {
+                            conds.push(format!("u.downvotes < {}", 1 + rng.random_range(0..10i64)));
+                        }
+                    } else {
+                        conds.push(format!(
+                            "p.commentcount BETWEEN 0 AND {}",
+                            1 + rng.random_range(0..10i64)
+                        ));
+                    }
+                }
+            }
+        }
+        conds.dedup();
+        let sql = format!("SELECT COUNT(*) FROM {} WHERE {}", from.join(", "), conds.join(" AND "));
+        out.push(mk(format!("stats_ceb_{qid}"), sql));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_sizes_match_paper() {
+        assert_eq!(job_light(1).len(), 70);
+        assert_eq!(job_m(1).len(), 113);
+        assert_eq!(stats_ceb(1).len(), 146);
+        assert_eq!(job_light_ranges(1).len(), 1000);
+    }
+
+    #[test]
+    fn job_light_join_counts_in_range() {
+        for q in job_light(2) {
+            let n = q.query.num_relations();
+            assert!((2..=5).contains(&n), "{}: {n} relations", q.name);
+            assert!(!q.query.predicates.is_empty(), "{} needs predicates", q.name);
+        }
+    }
+
+    #[test]
+    fn job_light_ranges_has_string_predicates() {
+        let qs = job_light_ranges(3);
+        let with_like = qs.iter().filter(|q| q.sql.contains("LIKE")).count();
+        assert!(with_like > 100, "only {with_like} LIKE queries");
+    }
+
+    #[test]
+    fn job_m_has_in_and_dimension_joins() {
+        let qs = job_m(4);
+        assert!(qs.iter().any(|q| q.sql.contains(" IN (")));
+        assert!(qs.iter().any(|q| q.sql.contains("company_name")));
+        let max_rels = qs.iter().map(|q| q.query.num_relations()).max().unwrap();
+        assert!(max_rels >= 6, "JOB-M should reach wide joins, got {max_rels}");
+    }
+
+    #[test]
+    fn stats_ceb_shape() {
+        let qs = stats_ceb(5);
+        for q in &qs {
+            let n = q.query.num_relations();
+            assert!((2..=8).contains(&n), "{}", q.name);
+        }
+        // Some queries must be cyclic (postlinks double edge).
+        let cyclic = qs
+            .iter()
+            .filter(|q| {
+                !safebound_query::JoinGraph::new(&q.query).is_berge_acyclic()
+            })
+            .count();
+        assert!(cyclic > 0, "expected some cyclic STATS queries");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = job_light(9);
+        let b = job_light(9);
+        assert_eq!(a[10].sql, b[10].sql);
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic random primitives: a Zipf sampler and string vocabulary
+//! helpers used by every synthetic dataset.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf(α) sampler over `1..=n` backed by an explicit CDF table.
+/// Exact, deterministic, O(log n) per sample.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// New sampler over `1..=n` with exponent `alpha` (`alpha = 0` is
+    /// uniform; IMDB-like skew sits around 1.0–1.5).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `1..=n` (rank 1 is most frequent).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// Number of distinct outcomes.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Compose a pseudo-realistic string from vocabulary parts; shared parts
+/// give LIKE predicates meaningful 3-gram statistics.
+pub fn compose(rng: &mut StdRng, parts: &[&[&str]]) -> String {
+    let mut s = String::new();
+    for (i, vocab) in parts.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(vocab[rng.random_range(0..vocab.len())]);
+    }
+    s
+}
+
+/// First names / last names / movie words used across the IMDB-like data.
+pub mod vocab {
+    /// Movie title words.
+    pub const TITLE_WORDS: &[&str] = &[
+        "Dark", "Night", "Return", "Legend", "Shadow", "Golden", "Last", "First", "Lost",
+        "Silent", "Crimson", "Winter", "Summer", "Iron", "Broken", "Hidden", "Burning", "Frozen",
+        "Midnight", "Eternal",
+    ];
+    /// Second title words.
+    pub const TITLE_NOUNS: &[&str] = &[
+        "Kingdom", "River", "Mountain", "Empire", "Journey", "Warrior", "Garden", "Station",
+        "Harbor", "Forest", "Citadel", "Horizon", "Voyage", "Covenant", "Reckoning", "Sanctuary",
+    ];
+    /// Person first names.
+    pub const FIRST_NAMES: &[&str] = &[
+        "Abdul", "Maria", "Chen", "Olga", "James", "Fatima", "Hiro", "Anna", "Luis", "Priya",
+        "Ivan", "Sophie", "Omar", "Nina", "Pedro", "Aisha",
+    ];
+    /// Person last names.
+    pub const LAST_NAMES: &[&str] = &[
+        "Kader", "Garcia", "Wei", "Petrova", "Smith", "Hassan", "Tanaka", "Muller", "Santos",
+        "Sharma", "Volkov", "Laurent", "Farouk", "Rossi", "Alves", "Diallo",
+    ];
+    /// Company name stems.
+    pub const COMPANY_STEMS: &[&str] = &[
+        "Universal", "Paramount", "Golden Gate", "Northern Lights", "Silver Screen", "Red Rock",
+        "Blue Sky", "Monarch", "Pinnacle", "Crescent", "Atlas", "Beacon",
+    ];
+    /// Company suffixes.
+    pub const COMPANY_SUFFIXES: &[&str] =
+        &["Pictures", "Studios", "Films", "Entertainment", "Productions", "Media"];
+    /// Keywords (dimension values with heavy reuse, as in IMDB).
+    pub const KEYWORDS: &[&str] = &[
+        "character-name-in-title", "based-on-novel", "murder", "sequel", "revenge", "love",
+        "friendship", "independent-film", "female-protagonist", "dystopia", "time-travel",
+        "martial-arts", "film-noir", "superhero", "pg-13", "surrealism", "anthology",
+        "director-cameo", "one-word-title", "number-in-title",
+    ];
+    /// Production notes for movie_companies.note.
+    pub const NOTE_PARTS: &[&str] = &[
+        "(co-production)", "(presents)", "(in association with)", "(as Metro Goldwyn)",
+        "(uncredited)", "(2006) (USA) (TV)", "(2008) (worldwide)", "(theatrical)", "(VHS)",
+        "(DVD)", "(Blu-ray)", "(limited)",
+    ];
+    /// Genre/info values for movie_info.
+    pub const GENRES: &[&str] = &[
+        "Action", "Drama", "Comedy", "Horror", "Documentary", "Thriller", "Romance", "Sci-Fi",
+        "Western", "Animation", "Crime", "Adventure",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 101];
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!((1..=100).contains(&s));
+            counts[s] += 1;
+        }
+        assert!(counts[1] > counts[50] * 3, "rank 1 should dominate rank 50");
+        // Determinism.
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let z2 = Zipf::new(100, 1.2);
+        assert_eq!(z2.sample(&mut rng2), {
+            let mut rng3 = StdRng::seed_from_u64(1);
+            z.sample(&mut rng3)
+        });
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 11];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in 1..=10 {
+            assert!(counts[i] > 700 && counts[i] < 1300, "bucket {i}: {}", counts[i]);
+        }
+    }
+
+    #[test]
+    fn compose_uses_all_parts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = compose(&mut rng, &[vocab::TITLE_WORDS, vocab::TITLE_NOUNS]);
+        assert!(s.contains(' '));
+        assert!(s.len() > 5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Predicate evaluation against base tables.
+
+use safebound_query::Predicate;
+use safebound_storage::Table;
+
+/// Row indices of `table` satisfying `pred` (all rows when `None`).
+pub fn filtered_rows(table: &Table, pred: Option<&Predicate>) -> Vec<usize> {
+    match pred {
+        None => (0..table.num_rows()).collect(),
+        Some(p) => (0..table.num_rows())
+            .filter(|&i| {
+                p.eval(&|col: &str| {
+                    table.column(col).map(|c| c.get(i)).unwrap_or(safebound_storage::Value::Null)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Number of rows of `table` satisfying `pred`.
+pub fn filtered_count(table: &Table, pred: Option<&Predicate>) -> usize {
+    match pred {
+        None => table.num_rows(),
+        Some(_) => filtered_rows(table, pred).len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safebound_query::ast::{CmpOp, Predicate};
+    use safebound_storage::{Column, DataType, Field, Schema, Value};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            Schema::new(vec![Field::new("a", DataType::Int), Field::new("s", DataType::Str)]),
+            vec![
+                Column::from_ints([Some(1), Some(2), None, Some(4)]),
+                Column::from_strs([Some("foo"), Some("bar"), Some("baz"), None]),
+            ],
+        )
+    }
+
+    #[test]
+    fn no_predicate_keeps_all() {
+        assert_eq!(filtered_rows(&table(), None), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn numeric_and_string_predicates() {
+        let t = table();
+        let p = Predicate::Cmp("a".into(), CmpOp::Ge, Value::Int(2));
+        assert_eq!(filtered_rows(&t, Some(&p)), vec![1, 3]);
+        let p = Predicate::Like("s".into(), "ba%".into());
+        assert_eq!(filtered_rows(&t, Some(&p)), vec![1, 2]);
+        let p = Predicate::And(vec![
+            Predicate::Cmp("a".into(), CmpOp::Le, Value::Int(2)),
+            Predicate::Like("s".into(), "%o%".into()),
+        ]);
+        assert_eq!(filtered_rows(&t, Some(&p)), vec![0]);
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        let t = table();
+        let p = Predicate::Cmp("a".into(), CmpOp::Lt, Value::Int(100));
+        assert_eq!(filtered_count(&t, Some(&p)), 3); // row 2 has NULL a
+    }
+
+    #[test]
+    fn missing_column_treated_as_null() {
+        let t = table();
+        let p = Predicate::Eq("nope".into(), Value::Int(1));
+        assert!(filtered_rows(&t, Some(&p)).is_empty());
+    }
+}

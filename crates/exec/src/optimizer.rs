@@ -1,0 +1,415 @@
+//! A cost-based join-order optimizer with pluggable cardinality estimation.
+//!
+//! The optimizer is deliberately estimator-agnostic: every method in the
+//! paper's evaluation (SafeBound, Postgres-style, PessEst, Simplicity, ML
+//! stand-ins, true cardinalities) plugs into the same
+//! [`CardinalityEstimator`] trait, the same plan space, and the same cost
+//! model, so runtime differences are attributable to the estimates alone —
+//! the methodology of §5 ("we injected alternate cardinality estimators
+//! into the optimizer").
+//!
+//! Plan space: bushy hash joins plus index nested-loop joins into base
+//! relations with an index on the join column. Exhaustive DP over connected
+//! subgraphs up to [`Optimizer::dp_limit`] relations, greedy left-deep
+//! beyond (mirroring Postgres' GEQO fallback).
+
+use crate::cost::CostModel;
+use crate::plan::PhysPlan;
+use safebound_query::Query;
+use std::collections::HashMap;
+
+/// A cardinality estimator the optimizer can consult for any connected
+/// sub-query.
+pub trait CardinalityEstimator {
+    /// Short display name ("SafeBound", "Postgres", …).
+    fn name(&self) -> &'static str;
+    /// Estimated output cardinality of the sub-query induced by `mask`
+    /// (bits index `query.relations`). Implementations may cache.
+    fn estimate(&mut self, query: &Query, mask: u64) -> f64;
+}
+
+/// The optimizer.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    /// Cost model.
+    pub cost: CostModel,
+    /// Maximum relation count for exhaustive DP.
+    pub dp_limit: usize,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer { cost: CostModel::default(), dp_limit: 12 }
+    }
+}
+
+impl Optimizer {
+    /// Optimizer with a custom cost model.
+    pub fn new(cost: CostModel) -> Self {
+        Optimizer { cost, dp_limit: 12 }
+    }
+
+    /// Choose a plan for `query`. `indexed_columns[rel]` lists the columns
+    /// of each relation with an index (PKs and FKs in the paper's setup).
+    pub fn optimize(
+        &self,
+        query: &Query,
+        indexed_columns: &[Vec<String>],
+        est: &mut dyn CardinalityEstimator,
+    ) -> PhysPlan {
+        let n = query.num_relations();
+        assert!(n >= 1 && n <= 63, "1..=63 relations supported");
+        let mut cards: HashMap<u64, f64> = HashMap::new();
+        let mut card = |mask: u64, est: &mut dyn CardinalityEstimator| -> f64 {
+            *cards.entry(mask).or_insert_with(|| est.estimate(query, mask).max(1.0))
+        };
+
+        // Relation adjacency from join edges.
+        let mut adj = vec![0u64; n];
+        for j in &query.joins {
+            adj[j.left] |= 1 << j.right;
+            adj[j.right] |= 1 << j.left;
+        }
+
+        if n <= self.dp_limit {
+            self.dp(query, indexed_columns, &adj, &mut card, est)
+        } else {
+            self.greedy(query, indexed_columns, &adj, &mut card, est)
+        }
+    }
+
+    /// True iff an INLJ into `inner` is possible from `outer_mask`: some
+    /// join edge connects them on an indexed inner column.
+    fn inlj_possible(
+        &self,
+        query: &Query,
+        indexed_columns: &[Vec<String>],
+        outer_mask: u64,
+        inner: usize,
+    ) -> bool {
+        if !self.cost.enable_inlj {
+            return false;
+        }
+        query.joins.iter().any(|j| {
+            (j.right == inner
+                && outer_mask & (1 << j.left) != 0
+                && indexed_columns[inner].contains(&j.right_column))
+                || (j.left == inner
+                    && outer_mask & (1 << j.right) != 0
+                    && indexed_columns[inner].contains(&j.left_column))
+        })
+    }
+
+    fn dp(
+        &self,
+        query: &Query,
+        indexed_columns: &[Vec<String>],
+        adj: &[u64],
+        card: &mut impl FnMut(u64, &mut dyn CardinalityEstimator) -> f64,
+        est: &mut dyn CardinalityEstimator,
+    ) -> PhysPlan {
+        let n = query.num_relations();
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut best: HashMap<u64, (f64, PhysPlan)> = HashMap::new();
+        for rel in 0..n {
+            let mask = 1u64 << rel;
+            let c = card(mask, est);
+            let plan = PhysPlan::Scan { rel, mask, card: c };
+            let cost = plan.cost(&self.cost);
+            best.insert(mask, (cost, plan));
+        }
+
+        // Masks in increasing popcount order.
+        let mut masks: Vec<u64> = (1..=full).collect();
+        masks.retain(|m| m.count_ones() >= 2);
+        masks.sort_by_key(|m| m.count_ones());
+
+        for &mask in &masks {
+            // Skip disconnected masks (joined by cartesian product only) —
+            // except the full mask, which must always get a plan.
+            let connected = is_connected(mask, adj);
+            if !connected && mask != full {
+                continue;
+            }
+            let mut best_here: Option<(f64, PhysPlan)> = None;
+            // Enumerate proper submask splits.
+            let mut sub = (mask - 1) & mask;
+            while sub != 0 {
+                let other = mask & !sub;
+                if sub < other {
+                    // Each unordered split visited once; both orientations
+                    // are costed below.
+                    sub = (sub - 1) & mask;
+                    continue;
+                }
+                if let (Some((_, pa)), Some((_, pb))) = (best.get(&sub), best.get(&other)) {
+                    let joined = connected_pair(query, sub, other) || mask == full;
+                    if joined {
+                        let out_card = card(mask, est);
+                        for (build, probe) in [(pa, pb), (pb, pa)] {
+                            let plan = PhysPlan::HashJoin {
+                                build: Box::new(build.clone()),
+                                probe: Box::new(probe.clone()),
+                                mask,
+                                card: out_card,
+                            };
+                            let cost = plan.cost(&self.cost);
+                            if best_here.as_ref().is_none_or(|(c, _)| cost < *c) {
+                                best_here = Some((cost, plan));
+                            }
+                        }
+                        // INLJ when one side is a single indexed relation.
+                        for (outer_mask, inner_mask) in [(sub, other), (other, sub)] {
+                            if inner_mask.count_ones() == 1 {
+                                let inner = inner_mask.trailing_zeros() as usize;
+                                if self.inlj_possible(query, indexed_columns, outer_mask, inner) {
+                                    let outer_plan = best.get(&outer_mask).unwrap().1.clone();
+                                    let plan = PhysPlan::IndexJoin {
+                                        outer: Box::new(outer_plan),
+                                        inner,
+                                        mask,
+                                        card: out_card,
+                                    };
+                                    let cost = plan.cost(&self.cost);
+                                    if best_here.as_ref().is_none_or(|(c, _)| cost < *c) {
+                                        best_here = Some((cost, plan));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+            if let Some(bh) = best_here {
+                best.insert(mask, bh);
+            }
+        }
+        best.remove(&full).map(|(_, p)| p).expect("full mask must have a plan")
+    }
+
+    fn greedy(
+        &self,
+        query: &Query,
+        indexed_columns: &[Vec<String>],
+        adj: &[u64],
+        card: &mut impl FnMut(u64, &mut dyn CardinalityEstimator) -> f64,
+        est: &mut dyn CardinalityEstimator,
+    ) -> PhysPlan {
+        let n = query.num_relations();
+        // Start from the smallest estimated relation.
+        let mut start = 0usize;
+        let mut best_c = f64::INFINITY;
+        for rel in 0..n {
+            let c = card(1 << rel, est);
+            if c < best_c {
+                best_c = c;
+                start = rel;
+            }
+        }
+        let mut mask = 1u64 << start;
+        let mut plan = PhysPlan::Scan { rel: start, mask, card: best_c };
+        let mut remaining: Vec<usize> = (0..n).filter(|&r| r != start).collect();
+        while !remaining.is_empty() {
+            // Prefer connected relations; among them minimize result card.
+            let mut pick: Option<(usize, f64)> = None;
+            for (pos, &rel) in remaining.iter().enumerate() {
+                let connected = adj[rel] & mask != 0;
+                let c = card(mask | (1 << rel), est);
+                let score = if connected { c } else { c * 1e12 };
+                if pick.is_none_or(|(_, s)| score < s) {
+                    pick = Some((pos, score));
+                }
+            }
+            let (pos, _) = pick.unwrap();
+            let rel = remaining.remove(pos);
+            let new_mask = mask | (1 << rel);
+            let out_card = card(new_mask, est);
+            let inner_card = card(1 << rel, est);
+            let scan = PhysPlan::Scan { rel, mask: 1 << rel, card: inner_card };
+            // Choose cheapest among HJ orientations and INLJ.
+            let mut candidates = vec![
+                PhysPlan::HashJoin {
+                    build: Box::new(scan.clone()),
+                    probe: Box::new(plan.clone()),
+                    mask: new_mask,
+                    card: out_card,
+                },
+                PhysPlan::HashJoin {
+                    build: Box::new(plan.clone()),
+                    probe: Box::new(scan),
+                    mask: new_mask,
+                    card: out_card,
+                },
+            ];
+            if self.inlj_possible(query, indexed_columns, mask, rel) {
+                candidates.push(PhysPlan::IndexJoin {
+                    outer: Box::new(plan.clone()),
+                    inner: rel,
+                    mask: new_mask,
+                    card: out_card,
+                });
+            }
+            plan = candidates
+                .into_iter()
+                .min_by(|a, b| a.cost(&self.cost).total_cmp(&b.cost(&self.cost)))
+                .unwrap();
+            mask = new_mask;
+        }
+        plan
+    }
+}
+
+/// Is the relation subset connected under the join edges?
+fn is_connected(mask: u64, adj: &[u64]) -> bool {
+    if mask == 0 {
+        return false;
+    }
+    let start = mask.trailing_zeros() as usize;
+    let mut seen = 1u64 << start;
+    let mut frontier = seen;
+    while frontier != 0 {
+        let mut next = 0u64;
+        let mut f = frontier;
+        while f != 0 {
+            let r = f.trailing_zeros() as usize;
+            f &= f - 1;
+            next |= adj[r] & mask & !seen;
+        }
+        seen |= next;
+        frontier = next;
+    }
+    seen == mask
+}
+
+/// Does any join edge cross the two masks?
+fn connected_pair(query: &Query, a: u64, b: u64) -> bool {
+    query.joins.iter().any(|j| {
+        (a & (1 << j.left) != 0 && b & (1 << j.right) != 0)
+            || (b & (1 << j.left) != 0 && a & (1 << j.right) != 0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safebound_query::parse_sql;
+
+    /// An estimator fed by a closure (for tests and the TrueCard oracle).
+    pub struct FnEstimator<F: FnMut(&Query, u64) -> f64> {
+        /// The estimating closure.
+        pub f: F,
+    }
+
+    impl<F: FnMut(&Query, u64) -> f64> CardinalityEstimator for FnEstimator<F> {
+        fn name(&self) -> &'static str {
+            "fn"
+        }
+        fn estimate(&mut self, query: &Query, mask: u64) -> f64 {
+            (self.f)(query, mask)
+        }
+    }
+
+    fn chain3() -> Query {
+        parse_sql("SELECT COUNT(*) FROM a, b, c WHERE a.x = b.x AND b.y = c.y").unwrap()
+    }
+
+    #[test]
+    fn dp_produces_full_plan() {
+        let q = chain3();
+        let opt = Optimizer::default();
+        let mut est = FnEstimator { f: |_q: &Query, mask: u64| 10.0 * mask.count_ones() as f64 };
+        let plan = opt.optimize(&q, &[vec![], vec![], vec![]], &mut est);
+        assert_eq!(plan.mask(), 0b111);
+    }
+
+    #[test]
+    fn dp_prefers_cheap_join_order() {
+        // Make (b ⋈ c) tiny and (a ⋈ b) huge: plan must join b,c first.
+        let q = chain3();
+        let opt = Optimizer::default();
+        let mut est = FnEstimator {
+            f: |_q: &Query, mask: u64| match mask {
+                0b001 | 0b010 | 0b100 => 100.0,
+                0b011 => 100_000.0, // a⋈b
+                0b110 => 10.0,      // b⋈c
+                _ => 1000.0,
+            },
+        };
+        let plan = opt.optimize(&q, &[vec![], vec![], vec![]], &mut est);
+        // The subtree covering {b,c} (mask 0b110) must exist.
+        fn has_mask(p: &PhysPlan, m: u64) -> bool {
+            if p.mask() == m {
+                return true;
+            }
+            match p {
+                PhysPlan::Scan { .. } => false,
+                PhysPlan::HashJoin { build, probe, .. } => has_mask(build, m) || has_mask(probe, m),
+                PhysPlan::IndexJoin { outer, .. } => has_mask(outer, m),
+            }
+        }
+        assert!(has_mask(&plan, 0b110), "expected b⋈c first: {}", plan.describe());
+    }
+
+    #[test]
+    fn underestimates_trigger_index_joins() {
+        let q = chain3();
+        let opt = Optimizer::default();
+        // Honest estimates: INLJ unattractive (outer big).
+        let mut honest = FnEstimator {
+            f: |_q: &Query, mask: u64| if mask.count_ones() == 1 { 1000.0 } else { 10_000.0 },
+        };
+        let indexed = vec![vec!["x".to_string()], vec![], vec!["y".to_string()]];
+        let honest_plan = opt.optimize(&q, &indexed, &mut honest);
+        // Underestimating intermediates makes INLJ look cheap.
+        let mut liar = FnEstimator {
+            f: |_q: &Query, mask: u64| if mask.count_ones() == 1 { 1000.0 } else { 2.0 },
+        };
+        let liar_plan = opt.optimize(&q, &indexed, &mut liar);
+        assert!(
+            liar_plan.num_index_joins() >= honest_plan.num_index_joins(),
+            "liar {} vs honest {}",
+            liar_plan.describe(),
+            honest_plan.describe()
+        );
+    }
+
+    #[test]
+    fn greedy_handles_many_relations() {
+        // 14-relation chain exceeds dp_limit → greedy.
+        let mut sql = String::from("SELECT COUNT(*) FROM t0");
+        for i in 1..14 {
+            sql.push_str(&format!(", t{i}"));
+        }
+        sql.push_str(" WHERE ");
+        let conds: Vec<String> =
+            (1..14).map(|i| format!("t{}.x = t{}.x", i - 1, i)).collect();
+        sql.push_str(&conds.join(" AND "));
+        let q = parse_sql(&sql).unwrap();
+        let opt = Optimizer::default();
+        let mut est = FnEstimator { f: |_q: &Query, mask: u64| mask.count_ones() as f64 * 5.0 };
+        let plan = opt.optimize(&q, &vec![vec![]; 14], &mut est);
+        assert_eq!(plan.mask().count_ones(), 14);
+    }
+
+    #[test]
+    fn cartesian_product_still_planned() {
+        let q = parse_sql("SELECT COUNT(*) FROM a, b").unwrap();
+        let opt = Optimizer::default();
+        let mut est = FnEstimator { f: |_q: &Query, _m: u64| 4.0 };
+        let plan = opt.optimize(&q, &[vec![], vec![]], &mut est);
+        assert_eq!(plan.mask(), 0b11);
+    }
+
+    #[test]
+    fn inlj_disabled_by_cost_model() {
+        let q = chain3();
+        let opt = Optimizer::new(CostModel::without_indexes());
+        let mut liar = FnEstimator {
+            f: |_q: &Query, mask: u64| if mask.count_ones() == 1 { 1000.0 } else { 2.0 },
+        };
+        let indexed = vec![vec!["x".to_string()], vec!["x".to_string()], vec!["y".to_string()]];
+        let plan = opt.optimize(&q, &indexed, &mut liar);
+        assert_eq!(plan.num_index_joins(), 0);
+    }
+}

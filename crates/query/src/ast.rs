@@ -1,0 +1,383 @@
+//! The query representation.
+//!
+//! SafeBound works on full conjunctive queries under bag semantics
+//! (`SELECT COUNT(*) FROM … WHERE …` with equi-joins), matching §2.1 of the
+//! paper. A [`Query`] is a set of relation references, a set of equi-join
+//! edges between `(relation, column)` pairs, and per-relation predicate
+//! trees built from the five predicate types SafeBound supports: equality,
+//! range, LIKE, conjunction, and disjunction (IN is a disjunction of
+//! equalities).
+
+use safebound_storage::Value;
+use std::fmt;
+
+/// A reference to a base table, possibly under an alias (self-joins need
+/// distinct aliases).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationRef {
+    /// Base table name in the catalog.
+    pub table: String,
+    /// Alias used in the query (defaults to the table name).
+    pub alias: String,
+}
+
+impl RelationRef {
+    /// Reference a table under its own name.
+    pub fn new(table: &str) -> Self {
+        RelationRef { table: table.to_string(), alias: table.to_string() }
+    }
+
+    /// Reference a table under an alias.
+    pub fn aliased(table: &str, alias: &str) -> Self {
+        RelationRef { table: table.to_string(), alias: alias.to_string() }
+    }
+}
+
+/// An equi-join condition `relations[left].left_column =
+/// relations[right].right_column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Index into [`Query::relations`].
+    pub left: usize,
+    /// Column of the left relation.
+    pub left_column: String,
+    /// Index into [`Query::relations`].
+    pub right: usize,
+    /// Column of the right relation.
+    pub right_column: String,
+}
+
+/// Comparison operator for range predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOp::Lt => write!(f, "<"),
+            CmpOp::Le => write!(f, "<="),
+            CmpOp::Gt => write!(f, ">"),
+            CmpOp::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A predicate over the columns of a single relation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `column = value`
+    Eq(String, Value),
+    /// `column op value`
+    Cmp(String, CmpOp, Value),
+    /// `column BETWEEN low AND high` (inclusive).
+    Between(String, Value, Value),
+    /// `column LIKE pattern` — `%` wildcards only, as in the paper's
+    /// substring workloads.
+    Like(String, String),
+    /// `column IN (v1, …, vk)`, treated as a disjunction of equalities.
+    In(String, Vec<Value>),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Every column mentioned by the predicate.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::Eq(c, _)
+            | Predicate::Cmp(c, _, _)
+            | Predicate::Between(c, _, _)
+            | Predicate::Like(c, _)
+            | Predicate::In(c, _) => out.push(c),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluate against a row accessor (`column name → value`). NULL never
+    /// satisfies any comparison (SQL three-valued logic collapsed to
+    /// false).
+    pub fn eval<F: Fn(&str) -> Value>(&self, get: &F) -> bool {
+        match self {
+            Predicate::Eq(c, v) => {
+                let x = get(c);
+                !x.is_null() && !v.is_null() && x == *v
+            }
+            Predicate::Cmp(c, op, v) => {
+                let x = get(c);
+                if x.is_null() || v.is_null() {
+                    return false;
+                }
+                match op {
+                    CmpOp::Lt => x < *v,
+                    CmpOp::Le => x <= *v,
+                    CmpOp::Gt => x > *v,
+                    CmpOp::Ge => x >= *v,
+                }
+            }
+            Predicate::Between(c, lo, hi) => {
+                let x = get(c);
+                !x.is_null() && x >= *lo && x <= *hi
+            }
+            Predicate::Like(c, pattern) => match get(c) {
+                Value::Str(s) => like_match(&s, pattern),
+                _ => false,
+            },
+            Predicate::In(c, vs) => {
+                let x = get(c);
+                !x.is_null() && vs.iter().any(|v| *v == x)
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(get)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(get)),
+        }
+    }
+}
+
+/// SQL LIKE with `%` (any substring) and `_` (any char) wildcards.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    // Dynamic programming over chars; patterns here are short.
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (n, m) = (s.len(), p.len());
+    let mut dp = vec![false; n + 1];
+    dp[0] = true;
+    for j in 0..m {
+        let mut next = vec![false; n + 1];
+        match p[j] {
+            '%' => {
+                // next[i] = any dp[k] for k <= i
+                let mut any = false;
+                for i in 0..=n {
+                    any |= dp[i];
+                    next[i] = any;
+                }
+            }
+            '_' => {
+                for i in 1..=n {
+                    next[i] = dp[i - 1];
+                }
+            }
+            c => {
+                for i in 1..=n {
+                    next[i] = dp[i - 1] && s[i - 1] == c;
+                }
+            }
+        }
+        dp = next;
+    }
+    dp[n]
+}
+
+/// A full conjunctive query: relations, equi-join edges, and per-relation
+/// predicates (at most one predicate tree per relation; multiple conjuncts
+/// are merged into an `And`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Query {
+    /// The referenced relations.
+    pub relations: Vec<RelationRef>,
+    /// Equi-join conditions.
+    pub joins: Vec<JoinEdge>,
+    /// `(relation index, predicate)` pairs; at most one per relation.
+    pub predicates: Vec<(usize, Predicate)>,
+}
+
+impl Query {
+    /// Empty query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a relation, returning its index.
+    pub fn add_relation(&mut self, r: RelationRef) -> usize {
+        self.relations.push(r);
+        self.relations.len() - 1
+    }
+
+    /// Index of a relation by alias.
+    pub fn relation_by_alias(&self, alias: &str) -> Option<usize> {
+        self.relations.iter().position(|r| r.alias == alias)
+    }
+
+    /// Add an equi-join edge.
+    pub fn add_join(&mut self, left: usize, left_column: &str, right: usize, right_column: &str) {
+        assert!(left < self.relations.len() && right < self.relations.len());
+        assert_ne!(left, right, "self-join edges must use two aliases");
+        self.joins.push(JoinEdge {
+            left,
+            left_column: left_column.to_string(),
+            right,
+            right_column: right_column.to_string(),
+        });
+    }
+
+    /// Add a predicate for a relation; merges with an existing one via AND.
+    pub fn add_predicate(&mut self, rel: usize, pred: Predicate) {
+        assert!(rel < self.relations.len());
+        if let Some((_, existing)) = self.predicates.iter_mut().find(|(r, _)| *r == rel) {
+            let prev = existing.clone();
+            *existing = match prev {
+                Predicate::And(mut ps) => {
+                    ps.push(pred);
+                    Predicate::And(ps)
+                }
+                other => Predicate::And(vec![other, pred]),
+            };
+        } else {
+            self.predicates.push((rel, pred));
+        }
+    }
+
+    /// The predicate tree on a relation, if any.
+    pub fn predicate_of(&self, rel: usize) -> Option<&Predicate> {
+        self.predicates.iter().find(|(r, _)| *r == rel).map(|(_, p)| p)
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The sub-query induced by a subset of relations (given as a bitmask
+    /// over relation indices): keeps the selected relations, the join edges
+    /// with both endpoints selected, and the predicates of selected
+    /// relations. Relation indices are compacted.
+    pub fn induced(&self, mask: u64) -> Query {
+        let mut remap = vec![usize::MAX; self.relations.len()];
+        let mut relations = Vec::new();
+        for (i, r) in self.relations.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                remap[i] = relations.len();
+                relations.push(r.clone());
+            }
+        }
+        let joins = self
+            .joins
+            .iter()
+            .filter(|j| mask & (1 << j.left) != 0 && mask & (1 << j.right) != 0)
+            .map(|j| JoinEdge {
+                left: remap[j.left],
+                left_column: j.left_column.clone(),
+                right: remap[j.right],
+                right_column: j.right_column.clone(),
+            })
+            .collect();
+        let predicates = self
+            .predicates
+            .iter()
+            .filter(|(r, _)| mask & (1 << r) != 0)
+            .map(|(r, p)| (remap[*r], p.clone()))
+            .collect();
+        Query { relations, joins, predicates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_match_basics() {
+        assert!(like_match("hello world", "%world"));
+        assert!(like_match("hello world", "hello%"));
+        assert!(like_match("hello world", "%lo wo%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "ab"));
+        assert!(like_match("aXbXc", "%a%b%c%"));
+    }
+
+    #[test]
+    fn predicate_eval() {
+        let get = |c: &str| match c {
+            "a" => Value::Int(5),
+            "s" => Value::from("Abdul Kader"),
+            _ => Value::Null,
+        };
+        assert!(Predicate::Eq("a".into(), Value::Int(5)).eval(&get));
+        assert!(Predicate::Cmp("a".into(), CmpOp::Lt, Value::Int(6)).eval(&get));
+        assert!(!Predicate::Cmp("a".into(), CmpOp::Gt, Value::Int(6)).eval(&get));
+        assert!(Predicate::Between("a".into(), Value::Int(5), Value::Int(9)).eval(&get));
+        assert!(Predicate::Like("s".into(), "%Abdul%".into()).eval(&get));
+        assert!(Predicate::In("a".into(), vec![Value::Int(1), Value::Int(5)]).eval(&get));
+        // NULL never matches.
+        assert!(!Predicate::Eq("z".into(), Value::Int(5)).eval(&get));
+        assert!(!Predicate::Cmp("z".into(), CmpOp::Lt, Value::Int(5)).eval(&get));
+        let conj = Predicate::And(vec![
+            Predicate::Eq("a".into(), Value::Int(5)),
+            Predicate::Like("s".into(), "%Kader".into()),
+        ]);
+        assert!(conj.eval(&get));
+        let disj = Predicate::Or(vec![
+            Predicate::Eq("a".into(), Value::Int(99)),
+            Predicate::Eq("a".into(), Value::Int(5)),
+        ]);
+        assert!(disj.eval(&get));
+    }
+
+    #[test]
+    fn predicate_columns() {
+        let p = Predicate::And(vec![
+            Predicate::Eq("b".into(), Value::Int(1)),
+            Predicate::Or(vec![
+                Predicate::Like("a".into(), "%x%".into()),
+                Predicate::In("b".into(), vec![Value::Int(2)]),
+            ]),
+        ]);
+        assert_eq!(p.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn add_predicate_merges_with_and() {
+        let mut q = Query::new();
+        let r = q.add_relation(RelationRef::new("t"));
+        q.add_predicate(r, Predicate::Eq("a".into(), Value::Int(1)));
+        q.add_predicate(r, Predicate::Eq("b".into(), Value::Int(2)));
+        match q.predicate_of(r).unwrap() {
+            Predicate::And(ps) => assert_eq!(ps.len(), 2),
+            p => panic!("expected And, got {p:?}"),
+        }
+    }
+
+    #[test]
+    fn induced_subquery() {
+        let mut q = Query::new();
+        let a = q.add_relation(RelationRef::new("a"));
+        let b = q.add_relation(RelationRef::new("b"));
+        let c = q.add_relation(RelationRef::new("c"));
+        q.add_join(a, "x", b, "x");
+        q.add_join(b, "y", c, "y");
+        q.add_predicate(c, Predicate::Eq("k".into(), Value::Int(1)));
+        let sub = q.induced((1 << b) | (1 << c));
+        assert_eq!(sub.num_relations(), 2);
+        assert_eq!(sub.joins.len(), 1);
+        assert_eq!(sub.joins[0].left, 0);
+        assert_eq!(sub.joins[0].right, 1);
+        assert_eq!(sub.predicates.len(), 1);
+        assert_eq!(sub.predicates[0].0, 1);
+    }
+}

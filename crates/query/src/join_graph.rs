@@ -1,0 +1,423 @@
+//! Join variables, Berge-acyclicity, and the α/β bound plan.
+//!
+//! The paper expresses queries in datalog form where joins are shared
+//! variables. SQL-style equi-join edges are converted to *join variables*
+//! by taking connected components over `(relation, column)` attribute
+//! nodes: `R.x = S.x ∧ S.x = T.y` yields one variable spanning three
+//! attributes.
+//!
+//! A query is **Berge-acyclic** iff the bipartite incidence graph between
+//! relations and join variables is a forest (§2.1, footnote 1). For
+//! Berge-acyclic queries we build a [`BoundPlan`]: the bottom-up evaluation
+//! order of §3.5 expressed as alternating α-steps (intersect unary
+//! relations on one variable) and β-steps (star-join a relation with the
+//! unary results of its child variables, projecting onto its parent
+//! variable).
+
+use crate::ast::Query;
+use std::collections::HashMap;
+
+/// A join variable: the equivalence class of attributes forced equal by the
+/// query's join conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinVar {
+    /// Attributes `(relation index, column name)` in this class.
+    pub attrs: Vec<(usize, String)>,
+}
+
+impl JoinVar {
+    /// The column of `rel` participating in this variable (the first, if
+    /// the query forces two columns of the same relation equal).
+    pub fn column_of(&self, rel: usize) -> Option<&str> {
+        self.attrs.iter().find(|(r, _)| *r == rel).map(|(_, c)| c.as_str())
+    }
+
+    /// Relation indices incident to this variable, deduplicated.
+    pub fn relations(&self) -> Vec<usize> {
+        let mut rels: Vec<usize> = self.attrs.iter().map(|(r, _)| *r).collect();
+        rels.sort_unstable();
+        rels.dedup();
+        rels
+    }
+}
+
+/// The join structure of a query.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    /// All join variables that span at least two relations.
+    pub vars: Vec<JoinVar>,
+    /// Per relation, the variable ids it is incident to.
+    pub rel_vars: Vec<Vec<usize>>,
+}
+
+impl JoinGraph {
+    /// Build the join graph of a query.
+    pub fn new(query: &Query) -> Self {
+        // Union-find over attribute nodes.
+        let mut nodes: Vec<(usize, String)> = Vec::new();
+        let mut index: HashMap<(usize, String), usize> = HashMap::new();
+        let mut parent: Vec<usize> = Vec::new();
+
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+
+        let node_id = |rel: usize,
+                           col: &str,
+                           nodes: &mut Vec<(usize, String)>,
+                           parent: &mut Vec<usize>,
+                           index: &mut HashMap<(usize, String), usize>| {
+            if let Some(&id) = index.get(&(rel, col.to_string())) {
+                return id;
+            }
+            let id = nodes.len();
+            nodes.push((rel, col.to_string()));
+            parent.push(id);
+            index.insert((rel, col.to_string()), id);
+            id
+        };
+
+        for j in &query.joins {
+            let a = node_id(j.left, &j.left_column, &mut nodes, &mut parent, &mut index);
+            let b = node_id(j.right, &j.right_column, &mut nodes, &mut parent, &mut index);
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+
+        let mut groups: HashMap<usize, Vec<(usize, String)>> = HashMap::new();
+        for i in 0..nodes.len() {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(nodes[i].clone());
+        }
+
+        let mut vars: Vec<JoinVar> = groups
+            .into_values()
+            .map(|mut attrs| {
+                attrs.sort();
+                JoinVar { attrs }
+            })
+            .filter(|v| v.relations().len() >= 2)
+            .collect();
+        vars.sort_by(|a, b| a.attrs.cmp(&b.attrs));
+
+        let mut rel_vars = vec![Vec::new(); query.num_relations()];
+        for (vid, var) in vars.iter().enumerate() {
+            for rel in var.relations() {
+                rel_vars[rel].push(vid);
+            }
+        }
+        JoinGraph { vars, rel_vars }
+    }
+
+    /// True iff the bipartite relation↔variable incidence graph is a
+    /// forest, i.e. the query is Berge-acyclic.
+    pub fn is_berge_acyclic(&self) -> bool {
+        // A forest has |edges| = |nodes| - |components| overall; count with
+        // a union-find over relation and variable nodes.
+        let num_rels = self.rel_vars.len();
+        let num_nodes = num_rels + self.vars.len();
+        let mut parent: Vec<usize> = (0..num_nodes).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut edges = 0usize;
+        for (vid, var) in self.vars.iter().enumerate() {
+            for rel in var.relations() {
+                edges += 1;
+                let (a, b) = (find(&mut parent, rel), find(&mut parent, num_rels + vid));
+                if a == b {
+                    return false; // adding this edge closes a cycle
+                }
+                parent[a] = b;
+            }
+        }
+        let _ = edges;
+        true
+    }
+
+    /// Connected components over relations (relations joined transitively).
+    /// Relations with no join variables are singleton components.
+    pub fn relation_components(&self) -> Vec<Vec<usize>> {
+        let n = self.rel_vars.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for var in &self.vars {
+            let rels = var.relations();
+            for w in rels.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        let mut comps: HashMap<usize, Vec<usize>> = HashMap::new();
+        for r in 0..n {
+            let root = find(&mut parent, r);
+            comps.entry(root).or_default().push(r);
+        }
+        let mut out: Vec<Vec<usize>> = comps.into_values().collect();
+        out.sort();
+        out
+    }
+}
+
+/// One step of the bound plan.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// α-step: intersect the unary outputs of `inputs` (all on variable
+    /// `var`); Algorithm 2 line 4.
+    Alpha {
+        /// The shared variable.
+        var: usize,
+        /// Node ids (indices into [`BoundPlan::steps`]) being intersected.
+        inputs: Vec<usize>,
+    },
+    /// β-step: star-join relation `rel` with one unary input per child
+    /// variable and project onto the parent variable; Algorithm 2 line 9.
+    Beta {
+        /// The relation index in the query.
+        rel: usize,
+        /// The column of `rel` carrying the parent variable, or `None` at a
+        /// component root (the output is a plain cardinality).
+        out_column: Option<String>,
+        /// Child inputs: `(variable id, column of rel, node id)`.
+        children: Vec<(usize, String, usize)>,
+    },
+}
+
+/// The bottom-up α/β evaluation plan of a Berge-acyclic query. Node ids are
+/// indices into `steps`; `roots` holds one node per connected component of
+/// the join graph (component bounds multiply).
+#[derive(Debug, Clone)]
+pub struct BoundPlan {
+    /// Steps in dependency order (children precede parents).
+    pub steps: Vec<Step>,
+    /// Root node per connected component.
+    pub roots: Vec<usize>,
+}
+
+/// Errors from plan construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The query's join graph is cyclic (use spanning-tree relaxation).
+    Cyclic,
+    /// The query has no relations.
+    Empty,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Cyclic => write!(f, "join graph is cyclic; take min over spanning trees"),
+            PlanError::Empty => write!(f, "query has no relations"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl BoundPlan {
+    /// Build the α/β plan for a Berge-acyclic query.
+    pub fn build(query: &Query, graph: &JoinGraph) -> Result<BoundPlan, PlanError> {
+        if query.num_relations() == 0 {
+            return Err(PlanError::Empty);
+        }
+        if !graph.is_berge_acyclic() {
+            return Err(PlanError::Cyclic);
+        }
+
+        let mut steps: Vec<Step> = Vec::new();
+        let mut roots = Vec::new();
+        let mut visited_rel = vec![false; query.num_relations()];
+
+        // One DFS per connected component, rooted at its smallest relation.
+        for comp in graph.relation_components() {
+            let root = comp[0];
+            let node = dfs_rel(root, None, graph, &mut visited_rel, &mut steps);
+            roots.push(node);
+        }
+        Ok(BoundPlan { steps, roots })
+    }
+}
+
+/// Recursively emit steps for `rel`, entered via `parent_var` (None at a
+/// component root). Returns the node id of the β-step for `rel`.
+fn dfs_rel(
+    rel: usize,
+    parent_var: Option<usize>,
+    graph: &JoinGraph,
+    visited: &mut [bool],
+    steps: &mut Vec<Step>,
+) -> usize {
+    visited[rel] = true;
+    let mut children = Vec::new();
+    for &v in &graph.rel_vars[rel] {
+        if Some(v) == parent_var {
+            continue;
+        }
+        let var = &graph.vars[v];
+        let mut child_nodes = Vec::new();
+        for crel in var.relations() {
+            if crel != rel && !visited[crel] {
+                child_nodes.push(dfs_rel(crel, Some(v), graph, visited, steps));
+            }
+        }
+        let col = var.column_of(rel).expect("relation incident to var").to_string();
+        match child_nodes.len() {
+            0 => {} // variable only touches visited relations (impossible in a forest)
+            1 => children.push((v, col, child_nodes[0])),
+            _ => {
+                steps.push(Step::Alpha { var: v, inputs: child_nodes });
+                children.push((v, col, steps.len() - 1));
+            }
+        }
+    }
+    let out_column =
+        parent_var.map(|v| graph.vars[v].column_of(rel).expect("incident").to_string());
+    steps.push(Step::Beta { rel, out_column, children });
+    steps.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::RelationRef;
+
+    /// R(X,Y,Z) ⋈ S(Y) ⋈ K(Z) ⋈ T(Z,V,W) ⋈ M(V) ⋈ N(V) ⋈ P(W) — the paper's
+    /// Example 3.5.
+    fn example_3_5() -> Query {
+        let mut q = Query::new();
+        let r = q.add_relation(RelationRef::new("r"));
+        let s = q.add_relation(RelationRef::new("s"));
+        let k = q.add_relation(RelationRef::new("k"));
+        let t = q.add_relation(RelationRef::new("t"));
+        let m = q.add_relation(RelationRef::new("m"));
+        let n = q.add_relation(RelationRef::new("n"));
+        let p = q.add_relation(RelationRef::new("p"));
+        q.add_join(r, "y", s, "y");
+        q.add_join(r, "z", k, "z");
+        q.add_join(r, "z", t, "z");
+        q.add_join(t, "v", m, "v");
+        q.add_join(t, "v", n, "v");
+        q.add_join(t, "w", p, "w");
+        q
+    }
+
+    #[test]
+    fn variables_merge_across_edges() {
+        let q = example_3_5();
+        let g = JoinGraph::new(&q);
+        // Variables: Y{r,s}, Z{r,k,t}, V{t,m,n}, W{t,p}.
+        assert_eq!(g.vars.len(), 4);
+        let z = g.vars.iter().find(|v| v.relations().len() == 3 && v.column_of(0).is_some());
+        assert!(z.is_some());
+    }
+
+    #[test]
+    fn example_is_berge_acyclic() {
+        let q = example_3_5();
+        let g = JoinGraph::new(&q);
+        assert!(g.is_berge_acyclic());
+        assert_eq!(g.relation_components().len(), 1);
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let mut q = Query::new();
+        let r = q.add_relation(RelationRef::new("r"));
+        let s = q.add_relation(RelationRef::new("s"));
+        let t = q.add_relation(RelationRef::new("t"));
+        q.add_join(r, "x", s, "x");
+        q.add_join(s, "y", t, "y");
+        q.add_join(t, "z", r, "z");
+        let g = JoinGraph::new(&q);
+        assert!(!g.is_berge_acyclic());
+        assert!(matches!(BoundPlan::build(&q, &g), Err(PlanError::Cyclic)));
+    }
+
+    #[test]
+    fn two_relations_sharing_two_vars_is_cyclic() {
+        let mut q = Query::new();
+        let r = q.add_relation(RelationRef::new("r"));
+        let s = q.add_relation(RelationRef::new("s"));
+        q.add_join(r, "x", s, "x");
+        q.add_join(r, "y", s, "y");
+        let g = JoinGraph::new(&q);
+        assert!(!g.is_berge_acyclic());
+    }
+
+    #[test]
+    fn plan_structure_for_example() {
+        let q = example_3_5();
+        let g = JoinGraph::new(&q);
+        let plan = BoundPlan::build(&q, &g).unwrap();
+        // 7 β-steps (one per relation) + 2 α-steps (Z seen from R joins K
+        // and T; V seen from T joins M and N).
+        let alphas = plan.steps.iter().filter(|s| matches!(s, Step::Alpha { .. })).count();
+        let betas = plan.steps.iter().filter(|s| matches!(s, Step::Beta { .. })).count();
+        assert_eq!(betas, 7);
+        assert_eq!(alphas, 2);
+        assert_eq!(plan.roots.len(), 1);
+        // Root β-step has no out column.
+        match &plan.steps[plan.roots[0]] {
+            Step::Beta { out_column, .. } => assert!(out_column.is_none()),
+            _ => panic!("root must be a β-step"),
+        }
+        // Children precede parents.
+        for (i, s) in plan.steps.iter().enumerate() {
+            let deps: Vec<usize> = match s {
+                Step::Alpha { inputs, .. } => inputs.clone(),
+                Step::Beta { children, .. } => children.iter().map(|(_, _, n)| *n).collect(),
+            };
+            for d in deps {
+                assert!(d < i, "step {i} depends on later step {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_query_has_two_roots() {
+        let mut q = Query::new();
+        let a = q.add_relation(RelationRef::new("a"));
+        let b = q.add_relation(RelationRef::new("b"));
+        let c = q.add_relation(RelationRef::new("c"));
+        q.add_join(a, "x", b, "x");
+        let _ = c;
+        let g = JoinGraph::new(&q);
+        let plan = BoundPlan::build(&q, &g).unwrap();
+        assert_eq!(plan.roots.len(), 2);
+    }
+
+    #[test]
+    fn single_relation_plan() {
+        let mut q = Query::new();
+        q.add_relation(RelationRef::new("solo"));
+        let g = JoinGraph::new(&q);
+        let plan = BoundPlan::build(&q, &g).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        match &plan.steps[0] {
+            Step::Beta { rel, out_column, children } => {
+                assert_eq!(*rel, 0);
+                assert!(out_column.is_none());
+                assert!(children.is_empty());
+            }
+            _ => panic!(),
+        }
+    }
+}

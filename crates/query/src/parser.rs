@@ -1,0 +1,561 @@
+//! A SQL-subset parser for the benchmark workloads.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := SELECT COUNT '(' '*' ')' FROM rel (',' rel)* (WHERE expr)? ';'?
+//! rel     := ident (AS? ident)?
+//! expr    := term (AND term)*
+//! term    := factor (OR factor)*            -- OR only within one relation
+//! factor  := '(' expr ')' | comparison
+//! comparison :=
+//!       colref '=' colref                   -- join
+//!     | colref ('='|'<'|'<='|'>'|'>=') literal
+//!     | colref BETWEEN literal AND literal
+//!     | colref LIKE string
+//!     | colref IN '(' literal (',' literal)* ')'
+//! colref  := ident '.' ident | ident        -- bare only for 1-relation queries
+//! literal := integer | float | string
+//! ```
+//!
+//! The parser normalizes the WHERE clause into the [`Query`] form: join
+//! edges plus per-relation predicate trees. Top-level ORs mixing relations
+//! are rejected (SafeBound's disjunctions are per-relation, §3.2).
+
+use crate::ast::{CmpOp, Predicate, Query, RelationRef};
+use safebound_storage::Value;
+
+/// Parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { message: message.into() })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(&'static str),
+}
+
+fn keyword_eq(t: &Token, kw: &str) -> bool {
+    matches!(t, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' | ')' | ',' | '.' | '*' | ';' => {
+                tokens.push(Token::Symbol(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '*' => "*",
+                    _ => ";",
+                }));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol("="));
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Symbol("<="));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    return err("<> (not-equal) predicates are not supported");
+                } else {
+                    tokens.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => return err("unterminated string literal"),
+                        Some('\'') => {
+                            if chars.get(i + 1) == Some(&'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                let mut is_float = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    // A '.' followed by non-digit is a symbol (e.g. alias.col).
+                    if chars[i] == '.' {
+                        if chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                            is_float = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if text == "-" {
+                    return err("stray '-'");
+                }
+                if is_float {
+                    match text.parse::<f64>() {
+                        Ok(f) => tokens.push(Token::Float(f)),
+                        Err(_) => return err(format!("bad number {text:?}")),
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(n) => tokens.push(Token::Int(n)),
+                        Err(_) => return err(format!("bad number {text:?}")),
+                    }
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            _ => return err(format!("unexpected character {c:?}")),
+        }
+    }
+    Ok(tokens)
+}
+
+/// Intermediate boolean expression, pre-normalization.
+#[derive(Debug, Clone)]
+enum Expr {
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Join { left: (String, String), right: (String, String) },
+    Pred { alias: String, pred: Predicate },
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Symbol(sym)) if sym == s => Ok(()),
+            t => err(format!("expected {s:?}, found {t:?}")),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if keyword_eq(&t, kw) => Ok(()),
+            t => err(format!("expected keyword {kw}, found {t:?}")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            t => err(format!("expected identifier, found {t:?}")),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Value::Int(n)),
+            Some(Token::Float(f)) => Ok(Value::Float(f)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            t => err(format!("expected literal, found {t:?}")),
+        }
+    }
+
+    /// `alias.column` or bare `column` (alias empty).
+    fn colref(&mut self) -> Result<(String, String), ParseError> {
+        let first = self.ident()?;
+        if self.peek() == Some(&Token::Symbol(".")) {
+            self.pos += 1;
+            let col = self.ident()?;
+            Ok((first, col))
+        } else {
+            Ok((String::new(), first))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut terms = vec![self.term()?];
+        while self.peek().is_some_and(|t| keyword_eq(t, "AND")) {
+            self.pos += 1;
+            terms.push(self.term()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Expr::And(terms) })
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut factors = vec![self.factor()?];
+        while self.peek().is_some_and(|t| keyword_eq(t, "OR")) {
+            self.pos += 1;
+            factors.push(self.factor()?);
+        }
+        Ok(if factors.len() == 1 { factors.pop().unwrap() } else { Expr::Or(factors) })
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Symbol("(")) {
+            self.pos += 1;
+            let e = self.expr()?;
+            self.expect_symbol(")")?;
+            return Ok(e);
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let (alias, col) = self.colref()?;
+        match self.next() {
+            Some(Token::Symbol("=")) => {
+                // Join or equality literal?
+                match self.peek() {
+                    Some(Token::Ident(_)) => {
+                        let rhs = self.colref()?;
+                        Ok(Expr::Join { left: (alias, col), right: rhs })
+                    }
+                    _ => {
+                        let v = self.literal()?;
+                        Ok(Expr::Pred { alias, pred: Predicate::Eq(col, v) })
+                    }
+                }
+            }
+            Some(Token::Symbol(op @ ("<" | "<=" | ">" | ">="))) => {
+                let v = self.literal()?;
+                let op = match op {
+                    "<" => CmpOp::Lt,
+                    "<=" => CmpOp::Le,
+                    ">" => CmpOp::Gt,
+                    _ => CmpOp::Ge,
+                };
+                Ok(Expr::Pred { alias, pred: Predicate::Cmp(col, op, v) })
+            }
+            Some(t) if keyword_eq(&t, "BETWEEN") => {
+                let lo = self.literal()?;
+                self.expect_keyword("AND")?;
+                let hi = self.literal()?;
+                Ok(Expr::Pred { alias, pred: Predicate::Between(col, lo, hi) })
+            }
+            Some(t) if keyword_eq(&t, "LIKE") => match self.next() {
+                Some(Token::Str(p)) => Ok(Expr::Pred { alias, pred: Predicate::Like(col, p) }),
+                t => err(format!("LIKE requires a string pattern, found {t:?}")),
+            },
+            Some(t) if keyword_eq(&t, "IN") => {
+                self.expect_symbol("(")?;
+                let mut vals = vec![self.literal()?];
+                while self.peek() == Some(&Token::Symbol(",")) {
+                    self.pos += 1;
+                    vals.push(self.literal()?);
+                }
+                self.expect_symbol(")")?;
+                Ok(Expr::Pred { alias, pred: Predicate::In(col, vals) })
+            }
+            t => err(format!("expected comparison operator, found {t:?}")),
+        }
+    }
+}
+
+/// Parse a `SELECT COUNT(*)` SQL string into a [`Query`].
+pub fn parse_sql(sql: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_keyword("SELECT")?;
+    p.expect_keyword("COUNT")?;
+    p.expect_symbol("(")?;
+    p.expect_symbol("*")?;
+    p.expect_symbol(")")?;
+    p.expect_keyword("FROM")?;
+
+    let mut query = Query::new();
+    loop {
+        let table = p.ident()?;
+        let alias = match p.peek() {
+            Some(t) if keyword_eq(t, "AS") => {
+                p.pos += 1;
+                p.ident()?
+            }
+            Some(Token::Ident(s))
+                if !s.eq_ignore_ascii_case("WHERE") =>
+            {
+                p.ident()?
+            }
+            _ => table.clone(),
+        };
+        if query.relation_by_alias(&alias).is_some() {
+            return err(format!("duplicate alias {alias:?}"));
+        }
+        query.add_relation(RelationRef::aliased(&table, &alias));
+        if p.peek() == Some(&Token::Symbol(",")) {
+            p.pos += 1;
+        } else {
+            break;
+        }
+    }
+
+    if p.peek().is_some_and(|t| keyword_eq(t, "WHERE")) {
+        p.pos += 1;
+        let e = p.expr()?;
+        normalize(&e, &mut query)?;
+    }
+    if p.peek() == Some(&Token::Symbol(";")) {
+        p.pos += 1;
+    }
+    if p.pos != p.tokens.len() {
+        return err(format!("trailing tokens starting at {:?}", p.tokens[p.pos]));
+    }
+    Ok(query)
+}
+
+/// Resolve an alias (possibly empty) to a relation index.
+fn resolve(query: &Query, alias: &str) -> Result<usize, ParseError> {
+    if alias.is_empty() {
+        if query.num_relations() == 1 {
+            Ok(0)
+        } else {
+            err("bare column names require a single-relation query")
+        }
+    } else {
+        query
+            .relation_by_alias(alias)
+            .ok_or_else(|| ParseError { message: format!("unknown alias {alias:?}") })
+    }
+}
+
+/// Flatten the parsed boolean expression into join edges and per-relation
+/// predicates.
+fn normalize(e: &Expr, query: &mut Query) -> Result<(), ParseError> {
+    match e {
+        Expr::And(parts) => {
+            for part in parts {
+                normalize(part, query)?;
+            }
+            Ok(())
+        }
+        Expr::Join { left, right } => {
+            let l = resolve(query, &left.0)?;
+            let r = resolve(query, &right.0)?;
+            if l == r {
+                return err("intra-relation column equality is not supported");
+            }
+            query.add_join(l, &left.1, r, &right.1);
+            Ok(())
+        }
+        Expr::Pred { alias, pred } => {
+            let rel = resolve(query, alias)?;
+            query.add_predicate(rel, pred.clone());
+            Ok(())
+        }
+        Expr::Or(parts) => {
+            // All disjuncts must be plain predicates on the same relation.
+            let mut rel: Option<usize> = None;
+            let mut preds = Vec::new();
+            for part in parts {
+                match part {
+                    Expr::Pred { alias, pred } => {
+                        let r = resolve(query, alias)?;
+                        if rel.is_some_and(|x| x != r) {
+                            return err("OR across different relations is not supported");
+                        }
+                        rel = Some(r);
+                        preds.push(pred.clone());
+                    }
+                    Expr::Or(_) | Expr::And(_) | Expr::Join { .. } => {
+                        return err("only simple predicates are allowed inside OR");
+                    }
+                }
+            }
+            let rel = rel.ok_or(ParseError { message: "empty OR".into() })?;
+            query.add_predicate(rel, Predicate::Or(preds));
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_job_light_style() {
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM title t, movie_info mi, movie_keyword mk \
+             WHERE t.id = mi.movie_id AND t.id = mk.movie_id \
+             AND t.production_year > 2005 AND mi.info_type_id = 16;",
+        )
+        .unwrap();
+        assert_eq!(q.num_relations(), 3);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.relations[0].table, "title");
+        assert_eq!(q.relations[0].alias, "t");
+    }
+
+    #[test]
+    fn parse_like_and_in_and_between() {
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM title t WHERE t.title LIKE '%Dark%' \
+             AND t.kind_id IN (1, 2, 7) AND t.production_year BETWEEN 1990 AND 2000",
+        )
+        .unwrap();
+        let p = q.predicate_of(0).unwrap();
+        match p {
+            Predicate::And(ps) => {
+                assert!(matches!(&ps[0], Predicate::Like(c, pat) if c == "title" && pat == "%Dark%"));
+                assert!(matches!(&ps[1], Predicate::In(_, vs) if vs.len() == 3));
+                assert!(matches!(&ps[2], Predicate::Between(..)));
+            }
+            _ => panic!("expected And"),
+        }
+    }
+
+    #[test]
+    fn parse_or_same_relation() {
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM t WHERE (t.a = 1 OR t.a = 2) AND t.b < 5.5",
+        )
+        .unwrap();
+        match q.predicate_of(0).unwrap() {
+            Predicate::And(ps) => {
+                assert!(matches!(&ps[0], Predicate::Or(two) if two.len() == 2));
+                assert!(matches!(&ps[1], Predicate::Cmp(_, CmpOp::Lt, Value::Float(f)) if *f == 5.5));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn or_across_relations_rejected() {
+        let e = parse_sql(
+            "SELECT COUNT(*) FROM a, b WHERE a.x = b.x AND (a.c = 1 OR b.d = 2)",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("OR across different relations"));
+    }
+
+    #[test]
+    fn bare_columns_single_relation() {
+        let q = parse_sql("SELECT COUNT(*) FROM users WHERE age >= 21").unwrap();
+        assert!(matches!(q.predicate_of(0).unwrap(), Predicate::Cmp(c, CmpOp::Ge, _) if c == "age"));
+    }
+
+    #[test]
+    fn bare_columns_multi_relation_rejected() {
+        assert!(parse_sql("SELECT COUNT(*) FROM a, b WHERE x = 1").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let q = parse_sql("SELECT COUNT(*) FROM t WHERE t.name = 'O''Brien'").unwrap();
+        assert!(matches!(q.predicate_of(0).unwrap(), Predicate::Eq(_, Value::Str(s)) if s == "O'Brien"));
+    }
+
+    #[test]
+    fn negative_and_float_literals() {
+        let q = parse_sql("SELECT COUNT(*) FROM t WHERE t.a > -42 AND t.b < 0.125").unwrap();
+        match q.predicate_of(0).unwrap() {
+            Predicate::And(ps) => {
+                assert!(matches!(&ps[0], Predicate::Cmp(_, CmpOp::Gt, Value::Int(-42))));
+                assert!(matches!(&ps[1], Predicate::Cmp(_, CmpOp::Lt, Value::Float(f)) if *f == 0.125));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn aliases_with_as() {
+        let q = parse_sql("SELECT COUNT(*) FROM movie_info AS mi, title t WHERE mi.movie_id = t.id")
+            .unwrap();
+        assert_eq!(q.relations[0].alias, "mi");
+        assert_eq!(q.relations[1].alias, "t");
+        assert_eq!(q.joins.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        assert!(parse_sql("SELECT COUNT(*) FROM t a, u a").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_sql("SELECT COUNT(*) FROM t WHERE t.a = 1 GROUP BY x").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(parse_sql("SELECT COUNT(*) FROM t WHERE t.a = 'oops").is_err());
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM mc m1, mc m2 WHERE m1.movie_id = m2.movie_id AND m1.year = 2000",
+        )
+        .unwrap();
+        assert_eq!(q.num_relations(), 2);
+        assert_eq!(q.relations[0].table, "mc");
+        assert_eq!(q.relations[1].table, "mc");
+        assert_eq!(q.joins.len(), 1);
+    }
+}

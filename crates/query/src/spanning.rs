@@ -1,0 +1,187 @@
+//! Spanning-tree relaxation for cyclic queries (§3.6).
+//!
+//! For a cyclic query, SafeBound computes the minimum of the degree
+//! sequence bounds over all spanning trees of the relation-level join
+//! graph. Dropping join edges only relaxes the query (the relaxed output is
+//! a superset under bag semantics), so each spanning tree yields a valid
+//! upper bound; the minimum is the tightest available.
+//!
+//! Enumeration is exhaustive up to a configurable cap: benchmark queries
+//! have few cycles, so the number of spanning trees stays small (a single
+//! k-cycle has exactly k spanning trees).
+
+use crate::ast::Query;
+
+/// Enumerate spanning forests of the query's relation-level join multigraph
+/// as queries: each result keeps exactly the join edges of one spanning
+/// forest (covering every connected component) and all predicates. Returns
+/// at most `cap` relaxations; if the query is already acyclic at the edge
+/// level it is returned as the single entry.
+pub fn spanning_relaxations(query: &Query, cap: usize) -> Vec<Query> {
+    let n = query.num_relations();
+    let m = query.joins.len();
+    if n == 0 || cap == 0 {
+        return vec![query.clone()];
+    }
+
+    // A spanning forest picks a maximal acyclic subset of edges. Enumerate
+    // by recursing over edges in order; at each edge choose include (if it
+    // connects two different components) or exclude (only if connectivity
+    // is still achievable with the remaining edges — we check at the end
+    // by maximality instead: a subset is a spanning forest iff it is
+    // acyclic and has rank = n - #components(full graph)).
+    let full_components = count_components(n, query.joins.iter().map(|j| (j.left, j.right)));
+    let target_rank = n - full_components;
+
+    let mut results: Vec<Vec<usize>> = Vec::new();
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    fn recurse(
+        edge: usize,
+        rank: usize,
+        m: usize,
+        target_rank: usize,
+        cap: usize,
+        query: &Query,
+        parent: &mut Vec<usize>,
+        chosen: &mut Vec<usize>,
+        results: &mut Vec<Vec<usize>>,
+    ) {
+        if results.len() >= cap {
+            return;
+        }
+        if rank == target_rank {
+            results.push(chosen.clone());
+            return;
+        }
+        if edge == m || rank + (m - edge) < target_rank {
+            return; // cannot reach spanning rank with remaining edges
+        }
+        let j = &query.joins[edge];
+        let (ra, rb) = (find(parent, j.left), find(parent, j.right));
+        if ra != rb {
+            // Include the edge.
+            let saved = parent.clone();
+            parent[ra] = rb;
+            chosen.push(edge);
+            recurse(edge + 1, rank + 1, m, target_rank, cap, query, parent, chosen, results);
+            chosen.pop();
+            *parent = saved;
+        }
+        // Exclude the edge (also the only option when it closes a cycle).
+        recurse(edge + 1, rank, m, target_rank, cap, query, parent, chosen, results);
+    }
+
+    recurse(0, 0, m, target_rank, cap, query, &mut parent, &mut chosen, &mut results);
+
+    // Dedup edge subsets that induce identical variable structure is not
+    // needed for correctness; just materialize the relaxed queries.
+    results
+        .into_iter()
+        .map(|edges| {
+            let mut q = query.clone();
+            q.joins = edges.iter().map(|&e| query.joins[e].clone()).collect();
+            q
+        })
+        .collect()
+}
+
+fn count_components(n: usize, edges: impl Iterator<Item = (usize, usize)>) -> usize {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut comps = n;
+    for (a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+            comps -= 1;
+        }
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::RelationRef;
+
+    fn triangle() -> Query {
+        let mut q = Query::new();
+        let r = q.add_relation(RelationRef::new("r"));
+        let s = q.add_relation(RelationRef::new("s"));
+        let t = q.add_relation(RelationRef::new("t"));
+        q.add_join(r, "x", s, "x");
+        q.add_join(s, "y", t, "y");
+        q.add_join(t, "z", r, "z");
+        q
+    }
+
+    #[test]
+    fn triangle_has_three_spanning_trees() {
+        let trees = spanning_relaxations(&triangle(), 100);
+        assert_eq!(trees.len(), 3);
+        for t in &trees {
+            assert_eq!(t.joins.len(), 2);
+            assert_eq!(t.num_relations(), 3);
+        }
+    }
+
+    #[test]
+    fn acyclic_query_returns_itself() {
+        let mut q = Query::new();
+        let a = q.add_relation(RelationRef::new("a"));
+        let b = q.add_relation(RelationRef::new("b"));
+        q.add_join(a, "x", b, "x");
+        let trees = spanning_relaxations(&q, 100);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0], q);
+    }
+
+    #[test]
+    fn cap_limits_enumeration() {
+        let trees = spanning_relaxations(&triangle(), 2);
+        assert_eq!(trees.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_spans_each_component() {
+        let mut q = Query::new();
+        let a = q.add_relation(RelationRef::new("a"));
+        let b = q.add_relation(RelationRef::new("b"));
+        let c = q.add_relation(RelationRef::new("c"));
+        let d = q.add_relation(RelationRef::new("d"));
+        q.add_join(a, "x", b, "x");
+        q.add_join(b, "y", a, "y"); // 2-cycle between a and b
+        q.add_join(c, "z", d, "z");
+        let trees = spanning_relaxations(&q, 100);
+        // Two choices for the a-b component, one for c-d.
+        assert_eq!(trees.len(), 2);
+        for t in &trees {
+            assert_eq!(t.joins.len(), 2);
+        }
+    }
+
+    #[test]
+    fn isolated_relation_ok() {
+        let mut q = Query::new();
+        q.add_relation(RelationRef::new("solo"));
+        let trees = spanning_relaxations(&q, 10);
+        assert_eq!(trees.len(), 1);
+        assert!(trees[0].joins.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! The catalog: tables plus the schema-level metadata SafeBound's offline
+//! phase consumes — primary keys, foreign keys, and the set of *declared
+//! join columns* (keys and foreign keys, per §3.1 of the paper).
+
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A declared foreign-key relationship `fk_table.fk_column →
+/// pk_table.pk_column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing (fact) table.
+    pub fk_table: String,
+    /// Referencing column.
+    pub fk_column: String,
+    /// Referenced (dimension) table.
+    pub pk_table: String,
+    /// Referenced primary-key column.
+    pub pk_column: String,
+}
+
+/// A database: named tables plus constraint metadata.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+    /// Declared primary keys: table → column.
+    primary_keys: BTreeMap<String, String>,
+    /// Declared foreign keys.
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table (replaces any table with the same name).
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Table lookup.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// All tables, in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Declare `table.column` as the primary key. Panics if the table or
+    /// column does not exist.
+    pub fn declare_primary_key(&mut self, table: &str, column: &str) {
+        self.assert_column(table, column);
+        self.primary_keys.insert(table.to_string(), column.to_string());
+    }
+
+    /// Declare a foreign key. Panics if either endpoint does not exist.
+    pub fn declare_foreign_key(&mut self, fk_table: &str, fk_column: &str, pk_table: &str, pk_column: &str) {
+        self.assert_column(fk_table, fk_column);
+        self.assert_column(pk_table, pk_column);
+        self.foreign_keys.push(ForeignKey {
+            fk_table: fk_table.to_string(),
+            fk_column: fk_column.to_string(),
+            pk_table: pk_table.to_string(),
+            pk_column: pk_column.to_string(),
+        });
+    }
+
+    fn assert_column(&self, table: &str, column: &str) {
+        let t = self.tables.get(table).unwrap_or_else(|| panic!("no table {table:?}"));
+        assert!(t.schema.index_of(column).is_some(), "no column {table}.{column}");
+    }
+
+    /// The declared primary key of a table, if any.
+    pub fn primary_key(&self, table: &str) -> Option<&str> {
+        self.primary_keys.get(table).map(String::as_str)
+    }
+
+    /// All declared foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Foreign keys whose referencing side is `table`.
+    pub fn foreign_keys_of<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a ForeignKey> + 'a {
+        self.foreign_keys.iter().filter(move |fk| fk.fk_table == table)
+    }
+
+    /// Foreign keys referencing `table`'s primary key.
+    pub fn foreign_keys_into<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a ForeignKey> + 'a {
+        self.foreign_keys.iter().filter(move |fk| fk.pk_table == table)
+    }
+
+    /// The *declared join columns* of a table: its primary key plus every
+    /// column participating in a foreign key on either side. SafeBound's
+    /// offline phase builds conditioned degree sequences exactly for these
+    /// (§3.1); other columns get the §3.6 undeclared-join-column fallback.
+    pub fn join_columns(&self, table: &str) -> Vec<String> {
+        let mut cols: Vec<String> = Vec::new();
+        let mut push = |c: &str| {
+            if !cols.iter().any(|x| x == c) {
+                cols.push(c.to_string());
+            }
+        };
+        if let Some(pk) = self.primary_keys.get(table) {
+            push(pk);
+        }
+        for fk in &self.foreign_keys {
+            if fk.fk_table == table {
+                push(&fk.fk_column);
+            }
+            if fk.pk_table == table {
+                push(&fk.pk_column);
+            }
+        }
+        cols
+    }
+
+    /// Filter columns of a table: every column that is not a declared join
+    /// column.
+    pub fn filter_columns(&self, table: &str) -> Vec<String> {
+        let join = self.join_columns(table);
+        let t = match self.tables.get(table) {
+            Some(t) => t,
+            None => return Vec::new(),
+        };
+        t.schema
+            .fields
+            .iter()
+            .map(|f| f.name.clone())
+            .filter(|n| !join.contains(n))
+            .collect()
+    }
+
+    /// Total data size in bytes across all tables.
+    pub fn byte_size(&self) -> usize {
+        self.tables.values().map(Table::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let dim = Table::new(
+            "kw",
+            Schema::new(vec![Field::new("id", DataType::Int), Field::new("word", DataType::Str)]),
+            vec![Column::from_ints([Some(1), Some(2)]), Column::from_strs([Some("x"), Some("y")])],
+        );
+        let fact = Table::new(
+            "mk",
+            Schema::new(vec![
+                Field::new("movie_id", DataType::Int),
+                Field::new("kw_id", DataType::Int),
+            ]),
+            vec![
+                Column::from_ints([Some(10), Some(10), Some(20)]),
+                Column::from_ints([Some(1), Some(2), Some(1)]),
+            ],
+        );
+        c.add_table(dim);
+        c.add_table(fact);
+        c.declare_primary_key("kw", "id");
+        c.declare_foreign_key("mk", "kw_id", "kw", "id");
+        c
+    }
+
+    #[test]
+    fn join_and_filter_columns() {
+        let c = catalog();
+        assert_eq!(c.join_columns("kw"), vec!["id"]);
+        assert_eq!(c.join_columns("mk"), vec!["kw_id"]);
+        assert_eq!(c.filter_columns("kw"), vec!["word"]);
+        assert_eq!(c.filter_columns("mk"), vec!["movie_id"]);
+    }
+
+    #[test]
+    fn fk_lookups() {
+        let c = catalog();
+        assert_eq!(c.foreign_keys_of("mk").count(), 1);
+        assert_eq!(c.foreign_keys_into("kw").count(), 1);
+        assert_eq!(c.foreign_keys_of("kw").count(), 0);
+        assert_eq!(c.primary_key("kw"), Some("id"));
+        assert_eq!(c.primary_key("mk"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn fk_on_missing_column_panics() {
+        let mut c = catalog();
+        c.declare_foreign_key("mk", "nope", "kw", "id");
+    }
+}

@@ -1,0 +1,247 @@
+//! Minimal CSV import/export.
+//!
+//! Supports quoted fields, embedded commas/quotes, and a header row. Values
+//! are parsed according to a caller-supplied [`Schema`]; empty fields parse
+//! as NULL. This is enough to load benchmark exports; it is not a general
+//! RFC-4180 implementation (no embedded newlines).
+
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors raised by CSV import.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data row had a different arity than the header.
+    Arity {
+        /// 1-based line number.
+        line: usize,
+        /// Expected field count (schema width).
+        expected: usize,
+        /// Actual field count.
+        got: usize,
+    },
+    /// A cell failed to parse as its declared type.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: String,
+        /// Offending cell text.
+        cell: String,
+    },
+    /// Header names did not match the schema.
+    Header {
+        /// Schema column names.
+        expected: Vec<String>,
+        /// Header names found.
+        got: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Arity { line, expected, got } => {
+                write!(f, "csv line {line}: expected {expected} fields, got {got}")
+            }
+            CsvError::Parse { line, column, cell } => {
+                write!(f, "csv line {line}: cannot parse {cell:?} for column {column}")
+            }
+            CsvError::Header { expected, got } => {
+                write!(f, "csv header mismatch: expected {expected:?}, got {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Split one CSV line into fields, honoring double quotes.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Read a CSV (with header) into a table using the given schema.
+pub fn read_csv<R: Read>(name: &str, schema: &Schema, reader: R) -> Result<Table, CsvError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = match lines.next() {
+        Some(h) => split_line(&h?),
+        None => return Ok(Table::empty(name, schema.clone())),
+    };
+    let expected: Vec<String> = schema.fields.iter().map(|f| f.name.clone()).collect();
+    if header != expected {
+        return Err(CsvError::Header { expected, got: header });
+    }
+
+    let mut table = Table::empty(name, schema.clone());
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let cells = split_line(&line);
+        if cells.len() != schema.len() {
+            return Err(CsvError::Arity { line: lineno + 2, expected: schema.len(), got: cells.len() });
+        }
+        let mut row = Vec::with_capacity(cells.len());
+        for (cell, field) in cells.iter().zip(&schema.fields) {
+            if cell.is_empty() {
+                row.push(Value::Null);
+                continue;
+            }
+            let v = match field.data_type {
+                DataType::Int => cell.parse::<i64>().map(Value::Int).map_err(|_| CsvError::Parse {
+                    line: lineno + 2,
+                    column: field.name.clone(),
+                    cell: cell.clone(),
+                })?,
+                DataType::Float => {
+                    cell.parse::<f64>().map(Value::Float).map_err(|_| CsvError::Parse {
+                        line: lineno + 2,
+                        column: field.name.clone(),
+                        cell: cell.clone(),
+                    })?
+                }
+                DataType::Str => Value::Str(cell.clone()),
+            };
+            row.push(v);
+        }
+        table.push_row(&row);
+    }
+    Ok(table)
+}
+
+/// Write a table as CSV (with header).
+pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> std::io::Result<()> {
+    let header: Vec<&str> = table.schema.fields.iter().map(|f| f.name.as_str()).collect();
+    writeln!(writer, "{}", header.join(","))?;
+    let mut buf = String::new();
+    for i in 0..table.num_rows() {
+        buf.clear();
+        for (j, col) in table.columns.iter().enumerate() {
+            if j > 0 {
+                buf.push(',');
+            }
+            match col.get(i) {
+                Value::Null => {}
+                Value::Int(x) => {
+                    let _ = write!(buf, "{x}");
+                }
+                Value::Float(x) => {
+                    let _ = write!(buf, "{x}");
+                }
+                Value::Str(s) => {
+                    if s.contains(',') || s.contains('"') {
+                        let _ = write!(buf, "\"{}\"", s.replace('"', "\"\""));
+                    } else {
+                        buf.push_str(&s);
+                    }
+                }
+            }
+        }
+        writeln!(writer, "{buf}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("score", DataType::Float),
+            Field::new("name", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let csv = "id,score,name\n1,2.5,alice\n2,,\"b,ob\"\n,3.0,\"with\"\"quote\"\n";
+        let t = read_csv("t", &schema(), csv.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.row(1), vec![Value::Int(2), Value::Null, Value::from("b,ob")]);
+        assert_eq!(t.row(2), vec![Value::Null, Value::Float(3.0), Value::from("with\"quote")]);
+
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        let t2 = read_csv("t", &schema(), out.as_slice()).unwrap();
+        assert_eq!(t2.num_rows(), 3);
+        for i in 0..3 {
+            assert_eq!(t.row(i), t2.row(i));
+        }
+    }
+
+    #[test]
+    fn header_mismatch() {
+        let csv = "a,b,c\n";
+        let err = read_csv("t", &schema(), csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Header { .. }));
+    }
+
+    #[test]
+    fn arity_error_reports_line() {
+        let csv = "id,score,name\n1,2.5\n";
+        match read_csv("t", &schema(), csv.as_bytes()).unwrap_err() {
+            CsvError::Arity { line, expected, got } => {
+                assert_eq!((line, expected, got), (2, 3, 2));
+            }
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn parse_error() {
+        let csv = "id,score,name\nxyz,1.0,a\n";
+        assert!(matches!(
+            read_csv("t", &schema(), csv.as_bytes()).unwrap_err(),
+            CsvError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_table() {
+        let t = read_csv("t", &schema(), "".as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 0);
+    }
+}

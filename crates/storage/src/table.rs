@@ -1,0 +1,146 @@
+//! In-memory tables.
+
+use crate::column::Column;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A named, columnar, in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name, unique within a catalog.
+    pub name: String,
+    /// The schema.
+    pub schema: Schema,
+    /// One column per schema field, all the same length.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn empty(name: &str, schema: Schema) -> Self {
+        let columns = schema.fields.iter().map(|f| Column::empty(f.data_type)).collect();
+        Table { name: name.to_string(), schema, columns }
+    }
+
+    /// Create a table from pre-built columns. Panics if lengths disagree
+    /// with each other or types disagree with the schema.
+    pub fn new(name: &str, schema: Schema, columns: Vec<Column>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "schema/column count mismatch for {name}");
+        if let Some(first) = columns.first() {
+            for (f, c) in schema.fields.iter().zip(&columns) {
+                assert_eq!(
+                    f.data_type,
+                    c.data_type(),
+                    "column {} type mismatch in table {name}",
+                    f.name
+                );
+                assert_eq!(first.len(), c.len(), "ragged columns in table {name}");
+            }
+        }
+        Table { name: name.to_string(), schema, columns }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Append a row of values (one per column, in schema order).
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            c.push(v);
+        }
+    }
+
+    /// Materialize row `i` as values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// A new table containing only the rows at `indices` (duplicates and
+    /// reordering allowed — this is a gather).
+    pub fn take(&self, indices: &[usize]) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+        }
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Column::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn sample() -> Table {
+        let schema =
+            Schema::new(vec![Field::new("id", DataType::Int), Field::new("name", DataType::Str)]);
+        let cols = vec![
+            Column::from_ints([Some(1), Some(2), Some(3)]),
+            Column::from_strs([Some("a"), Some("b"), Some("c")]),
+        ];
+        Table::new("t", schema, cols)
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 2);
+    }
+
+    #[test]
+    fn column_lookup_and_row_access() {
+        let t = sample();
+        assert_eq!(t.column("name").unwrap().get(1), Value::from("b"));
+        assert!(t.column("zzz").is_none());
+        assert_eq!(t.row(2), vec![Value::Int(3), Value::from("c")]);
+    }
+
+    #[test]
+    fn push_row_appends() {
+        let mut t = sample();
+        t.push_row(&[Value::Int(4), Value::from("d")]);
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.row(3), vec![Value::Int(4), Value::from("d")]);
+    }
+
+    #[test]
+    fn take_gathers() {
+        let t = sample();
+        let g = t.take(&[2, 0, 2]);
+        assert_eq!(g.num_rows(), 3);
+        assert_eq!(g.row(0), vec![Value::Int(3), Value::from("c")]);
+        assert_eq!(g.row(2), vec![Value::Int(3), Value::from("c")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged columns")]
+    fn ragged_rejected() {
+        let schema =
+            Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)]);
+        Table::new(
+            "bad",
+            schema,
+            vec![Column::from_ints([Some(1)]), Column::from_ints([Some(1), Some(2)])],
+        );
+    }
+}

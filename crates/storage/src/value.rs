@@ -1,0 +1,252 @@
+//! Scalar values and data types.
+//!
+//! A [`Value`] is a dynamically typed cell of a table. SafeBound's statistics
+//! builders group, sort, and hash values, so `Value` provides a total order
+//! (`NULL` sorts first, numbers compare numerically across `Int`/`Float`,
+//! strings compare lexicographically) and a hash that is consistent with
+//! equality.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string (dictionary encoded in columns).
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A single scalar value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL. Never equal to anything under SQL semantics, but for
+    /// grouping/sorting purposes we treat NULL = NULL and NULL < everything.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Float value. NaN is normalized to compare equal to itself and sort
+    /// after all other floats.
+    Float(f64),
+    /// String value.
+    Str(String),
+}
+
+impl Value {
+    /// The data type this value belongs to, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// True iff this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value (ints widen to f64), `None` for
+    /// NULL/strings. Used by range predicates and histograms.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, `None` otherwise.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view, `None` otherwise.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => total_cmp_f64(*a, *b),
+            (Int(a), Float(b)) => total_cmp_f64(*a as f64, *b),
+            (Float(a), Int(b)) => total_cmp_f64(*a, *b as f64),
+            (Str(a), Str(b)) => a.cmp(b),
+            // Numbers sort before strings; the ordering across types only
+            // needs to be consistent, queries never compare across types.
+            (Int(_) | Float(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_) | Float(_)) => Ordering::Greater,
+        }
+    }
+}
+
+fn total_cmp_f64(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                // Hash must agree with Ord/Eq: Int(2) == Float(2.0), so
+                // integral floats hash like the corresponding integer.
+                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                {
+                    1u8.hash(state);
+                    (*f as i64).hash(state);
+                } else {
+                    2u8.hash(state);
+                    f.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Str(String::new()));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn cross_type_numeric_compare() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn int_float_hash_consistent_with_eq() {
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Float(42.0)));
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert!(Value::from("abc") < Value::from("abd"));
+        assert!(Value::Int(999) < Value::from(""));
+    }
+
+    #[test]
+    fn nan_is_self_equal() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert!(Value::Float(f64::INFINITY) < Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::from("x").to_string(), "'x'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(3.5).as_f64(), Some(3.5));
+        assert_eq!(Value::from("a").as_f64(), None);
+        assert_eq!(Value::from("a").as_str(), Some("a"));
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+    }
+}

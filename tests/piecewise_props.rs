@@ -1,0 +1,122 @@
+//! Property tests for the piecewise-function algebra and compression —
+//! the numerical core everything else rests on. Each op is validated
+//! against a dense reference evaluation at integer ranks.
+
+use proptest::prelude::*;
+use safebound::core::compression::{compress_cds, is_valid_compression, Segmentation};
+use safebound::core::{DegreeSequence, PiecewiseConstant};
+
+fn freqs_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..200, 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lossless_piecewise_matches_dense(freqs in freqs_strategy()) {
+        let ds = DegreeSequence::from_frequencies(freqs);
+        let f = ds.to_piecewise();
+        for (i, &fi) in ds.frequencies().iter().enumerate() {
+            prop_assert_eq!(f.value((i + 1) as f64), fi as f64);
+        }
+        prop_assert!((f.total() - ds.cardinality() as f64).abs() < 1e-6);
+        prop_assert!((f.square_integral() - ds.self_join()).abs() < 1e-3);
+        prop_assert!(f.is_non_increasing());
+        // Lemma 3.3: lossless segment count bound.
+        let k = f.num_segments() as f64;
+        prop_assert!(k <= (2.0 * ds.cardinality() as f64).sqrt() + 1e-9);
+        prop_assert!(k <= ds.max_degree() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn cumulative_matches_prefix_sums(freqs in freqs_strategy()) {
+        let ds = DegreeSequence::from_frequencies(freqs);
+        let cds = ds.to_cds();
+        for i in 0..=ds.num_distinct() {
+            prop_assert!((cds.eval(i as f64) - ds.cds_at(i) as f64).abs() < 1e-6);
+        }
+        prop_assert!(cds.is_concave());
+    }
+
+    #[test]
+    fn inverse_is_generalized_inverse(freqs in freqs_strategy(), y_frac in 0.0f64..1.0) {
+        let ds = DegreeSequence::from_frequencies(freqs);
+        let cds = ds.to_cds();
+        let y = y_frac * cds.endpoint();
+        let x = cds.inverse(y);
+        // F(x) >= y, and F just below x is < y (up to float slop).
+        prop_assert!(cds.eval(x) >= y - 1e-6);
+        if x > 1e-6 {
+            prop_assert!(cds.eval(x - 1e-6) <= y + 1e-3);
+        }
+    }
+
+    #[test]
+    fn every_compression_is_valid(freqs in freqs_strategy(), c in 0.001f64..0.9) {
+        let ds = DegreeSequence::from_frequencies(freqs);
+        for seg in [
+            Segmentation::ValidCompress { c },
+            Segmentation::EquiDepth { k: 4 },
+            Segmentation::EquiDepth { k: 11 },
+            Segmentation::Exponential { base: 2.0 },
+        ] {
+            let cds = compress_cds(&ds, seg);
+            prop_assert!(
+                is_valid_compression(&ds, &cds),
+                "{seg:?} produced an invalid compression"
+            );
+        }
+    }
+
+    #[test]
+    fn product_matches_dense(fa in freqs_strategy(), fb in freqs_strategy()) {
+        let a = DegreeSequence::from_frequencies(fa).to_piecewise();
+        let b = DegreeSequence::from_frequencies(fb).to_piecewise();
+        let p = PiecewiseConstant::product(&[&a, &b]);
+        let d = a.support().min(b.support()) as usize;
+        prop_assert!((p.support() - d as f64).abs() < 1e-9);
+        for i in 1..=d {
+            let x = i as f64 - 0.5;
+            prop_assert!((p.value(x) - a.value(x) * b.value(x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn min_max_sum_match_dense(fa in freqs_strategy(), fb in freqs_strategy()) {
+        let a = DegreeSequence::from_frequencies(fa).to_cds();
+        let b = DegreeSequence::from_frequencies(fb).to_cds();
+        let mn = a.pointwise_min(&b);
+        let mx = a.pointwise_max(&b);
+        let sm = a.pointwise_sum(&b);
+        let hi = a.support().max(b.support());
+        let steps = 37;
+        for k in 0..=steps {
+            let x = hi * k as f64 / steps as f64;
+            let (ya, yb) = (a.eval(x), b.eval(x));
+            prop_assert!((mn.eval(x) - ya.min(yb)).abs() < 1e-6, "min at {x}");
+            prop_assert!((mx.eval(x) - ya.max(yb)).abs() < 1e-6, "max at {x}");
+            prop_assert!((sm.eval(x) - (ya + yb)).abs() < 1e-6, "sum at {x}");
+        }
+        // min of concave is concave; the envelope of max dominates max.
+        prop_assert!(mn.is_concave());
+        let env = mx.concave_envelope();
+        prop_assert!(env.is_concave());
+        prop_assert!(env.dominates(&mx));
+    }
+
+    #[test]
+    fn truncate_preserves_dominance_and_cap(freqs in freqs_strategy(), frac in 0.1f64..1.0) {
+        let ds = DegreeSequence::from_frequencies(freqs);
+        let cds = ds.to_cds();
+        let cap = frac * cds.endpoint();
+        let t = cds.truncate_at(cap);
+        prop_assert!(t.endpoint() <= cap + 1e-6);
+        prop_assert!(cds.dominates(&t));
+        // Truncation never cuts below min(F, cap).
+        for k in 0..20 {
+            let x = cds.support() * k as f64 / 19.0;
+            prop_assert!(t.eval(x) + 1e-6 >= cds.eval(x).min(cap) - 1e-6);
+        }
+    }
+}

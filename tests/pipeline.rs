@@ -1,0 +1,133 @@
+//! Cross-crate integration: data generation → statistics → parsing →
+//! optimization → execution, all agreeing with each other.
+
+use safebound_baselines::{SafeBoundEstimator, TraditionalEstimator, TraditionalVariant};
+use safebound_bench::experiment_config;
+use safebound_core::SafeBound;
+use safebound_datagen::{imdb_catalog, job_light, stats_catalog, ImdbScale, StatsScale};
+use safebound_exec::{
+    exact_count, execute, pk_fk_indexes, CardinalityEstimator, CostModel, Optimizer,
+    TrueCardOracle,
+};
+use safebound_query::parse_sql;
+use safebound_storage::{read_csv, write_csv};
+
+#[test]
+fn executor_matches_oracle_on_job_light() {
+    let catalog = imdb_catalog(&ImdbScale::tiny(), 3);
+    let optimizer = Optimizer::new(CostModel::default());
+    let mut checked = 0;
+    for bq in job_light(3).iter().take(25) {
+        let q = &bq.query;
+        let Ok(exact) = exact_count(&catalog, q) else { continue };
+        if exact > 2_000_000 {
+            continue; // keep materialization bounded
+        }
+        let indexes = pk_fk_indexes(&catalog, q);
+        let mut oracle = TrueCardOracle::new(&catalog);
+        let plan = optimizer.optimize(q, &indexes, &mut oracle);
+        let executed = execute(&plan, q, &catalog, 5_000_000).unwrap();
+        assert_eq!(executed as u128, exact, "{}: plan {}", bq.name, plan.describe());
+        checked += 1;
+    }
+    assert!(checked >= 10, "only {checked} queries checked");
+}
+
+#[test]
+fn plans_differ_by_estimator_but_results_agree() {
+    let catalog = imdb_catalog(&ImdbScale::tiny(), 5);
+    let optimizer = Optimizer::new(CostModel::default());
+    let sb = SafeBound::build(&catalog, experiment_config());
+    let mut sb_est = SafeBoundEstimator::new(sb);
+    let mut pg = TraditionalEstimator::build(&catalog, TraditionalVariant::Postgres);
+    for bq in job_light(5).iter().take(10) {
+        let q = &bq.query;
+        let Ok(exact) = exact_count(&catalog, q) else { continue };
+        if exact > 1_000_000 {
+            continue;
+        }
+        let indexes = pk_fk_indexes(&catalog, q);
+        let p1 = optimizer.optimize(q, &indexes, &mut sb_est);
+        let p2 = optimizer.optimize(q, &indexes, &mut pg as &mut dyn CardinalityEstimator);
+        // Whatever plans were chosen, execution is correct.
+        assert_eq!(execute(&p1, q, &catalog, 5_000_000).unwrap() as u128, exact);
+        assert_eq!(execute(&p2, q, &catalog, 5_000_000).unwrap() as u128, exact);
+    }
+}
+
+#[test]
+fn stats_schema_supports_cyclic_queries_end_to_end() {
+    let catalog = stats_catalog(&StatsScale::tiny(), 2);
+    let sb = SafeBound::build(&catalog, experiment_config());
+    // Triangle: comments joins posts and users, posts joins users.
+    let q = parse_sql(
+        "SELECT COUNT(*) FROM comments c, posts p, users u \
+         WHERE c.postid = p.id AND c.userid = u.id AND p.owneruserid = u.id",
+    )
+    .unwrap();
+    assert!(!safebound_query::JoinGraph::new(&q).is_berge_acyclic());
+    let truth = exact_count(&catalog, &q).unwrap() as f64;
+    let bound = sb.bound(&q).unwrap();
+    assert!(bound >= truth, "cyclic bound {bound} < truth {truth}");
+}
+
+#[test]
+fn csv_roundtrip_preserves_statistics() {
+    let catalog = imdb_catalog(&ImdbScale::tiny(), 9);
+    let t = catalog.table("movie_keyword").unwrap();
+    let mut buf = Vec::new();
+    write_csv(t, &mut buf).unwrap();
+    let back = read_csv("movie_keyword", &t.schema, buf.as_slice()).unwrap();
+    assert_eq!(back.num_rows(), t.num_rows());
+    // Degree sequences identical after the roundtrip.
+    use safebound_core::DegreeSequence;
+    let a = DegreeSequence::of_column(t.column("movie_id").unwrap());
+    let b = DegreeSequence::of_column(back.column("movie_id").unwrap());
+    assert_eq!(a.frequencies(), b.frequencies());
+}
+
+#[test]
+fn facade_crate_reexports_core() {
+    // The root `safebound` crate exposes the core API.
+    use safebound::core::SafeBoundConfig;
+    let cfg = SafeBoundConfig::default();
+    assert!(cfg.compression_c > 0.0);
+}
+
+#[test]
+fn planning_time_ordering_matches_paper() {
+    // Fig. 5b's ordering at miniature scale: Postgres < SafeBound < PessEst.
+    use safebound_baselines::PessEst;
+    use std::time::Instant;
+    let catalog = imdb_catalog(&ImdbScale::tiny(), 11);
+    let queries = job_light(11);
+    let sb = SafeBound::build(&catalog, experiment_config());
+    let mut pg = TraditionalEstimator::build(&catalog, TraditionalVariant::Postgres);
+
+    let time = |f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed()
+    };
+    let qs: Vec<_> = queries.iter().take(20).collect();
+    let t_pg = time(&mut || {
+        for bq in &qs {
+            let mask = (1u64 << bq.query.num_relations()) - 1;
+            let _ = pg.estimate(&bq.query, mask);
+        }
+    });
+    let t_sb = time(&mut || {
+        for bq in &qs {
+            let _ = sb.bound(&bq.query);
+        }
+    });
+    let t_pe = time(&mut || {
+        for bq in &qs {
+            let pe = PessEst::new(&catalog, 64);
+            let _ = pe.bound(&bq.query);
+        }
+    });
+    // PessEst scans tables at estimation time; it must be the slowest.
+    assert!(t_pe > t_sb, "PessEst {t_pe:?} should be slower than SafeBound {t_sb:?}");
+    assert!(t_pe > t_pg, "PessEst {t_pe:?} should be slower than Postgres {t_pg:?}");
+}

@@ -1,0 +1,143 @@
+//! The repository's central property: **SafeBound never underestimates**.
+//! Random schemas, random skews, random predicates — the bound must
+//! dominate the exact count every time (Theorem 3.1 end to end).
+
+use proptest::prelude::*;
+use safebound::core::{SafeBound, SafeBoundConfig};
+use safebound_exec::exact_count;
+use safebound_query::parse_sql;
+use safebound_storage::{Catalog, Column, DataType, Field, Schema, Table};
+
+/// A generated two-table fact/dimension catalog.
+#[derive(Debug, Clone)]
+struct Db {
+    fact_fk: Vec<i64>,
+    fact_attr: Vec<i64>,
+    dim_size: i64,
+    dim_attr: Vec<i64>,
+}
+
+fn db_strategy() -> impl Strategy<Value = Db> {
+    (2i64..20, 1usize..200).prop_flat_map(|(dim_size, fact_size)| {
+        (
+            proptest::collection::vec(0..dim_size * 2, fact_size), // dangling FKs allowed
+            proptest::collection::vec(0i64..8, fact_size),
+            Just(dim_size),
+            proptest::collection::vec(0i64..5, dim_size as usize),
+        )
+            .prop_map(|(fact_fk, fact_attr, dim_size, dim_attr)| Db {
+                fact_fk,
+                fact_attr,
+                dim_size,
+                dim_attr,
+            })
+    })
+}
+
+fn build_catalog(db: &Db) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(Table::new(
+        "dim",
+        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("w", DataType::Int)]),
+        vec![
+            Column::from_ints((0..db.dim_size).map(Some)),
+            Column::from_ints(db.dim_attr.iter().copied().map(Some)),
+        ],
+    ));
+    c.add_table(Table::new(
+        "fact",
+        Schema::new(vec![Field::new("fk", DataType::Int), Field::new("a", DataType::Int)]),
+        vec![
+            Column::from_ints(db.fact_fk.iter().copied().map(Some)),
+            Column::from_ints(db.fact_attr.iter().copied().map(Some)),
+        ],
+    ));
+    c.declare_primary_key("dim", "id");
+    c.declare_foreign_key("fact", "fk", "dim", "id");
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bound_dominates_exact_on_fk_join(db in db_strategy(), a in 0i64..8, w in 0i64..5) {
+        let catalog = build_catalog(&db);
+        let sb = SafeBound::build(&catalog, SafeBoundConfig::test_small());
+        for sql in [
+            "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id".to_string(),
+            format!("SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.a = {a}"),
+            format!("SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND d.w = {w}"),
+            format!("SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.a < {a} AND d.w = {w}"),
+            "SELECT COUNT(*) FROM fact x, fact y WHERE x.fk = y.fk".to_string(),
+        ] {
+            let q = parse_sql(&sql).unwrap();
+            let truth = exact_count(&catalog, &q).unwrap() as f64;
+            let bound = sb.bound(&q).unwrap();
+            prop_assert!(
+                bound >= truth * (1.0 - 1e-9) - 1e-9,
+                "{sql}: bound {bound} < truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_dominates_on_self_join_chains(db in db_strategy()) {
+        let catalog = build_catalog(&db);
+        let sb = SafeBound::build(&catalog, SafeBoundConfig::test_small());
+        // Chain fact–dim–fact (dim key in the middle).
+        let sql = "SELECT COUNT(*) FROM fact x, dim d, fact y \
+                   WHERE x.fk = d.id AND d.id = y.fk";
+        let q = parse_sql(sql).unwrap();
+        let truth = exact_count(&catalog, &q).unwrap() as f64;
+        let bound = sb.bound(&q).unwrap();
+        prop_assert!(bound >= truth * (1.0 - 1e-9) - 1e-9, "bound {bound} < truth {truth}");
+    }
+
+    #[test]
+    fn bound_dominates_with_in_and_or(db in db_strategy(), v1 in 0i64..8, v2 in 0i64..8) {
+        let catalog = build_catalog(&db);
+        let sb = SafeBound::build(&catalog, SafeBoundConfig::test_small());
+        for sql in [
+            format!(
+                "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.a IN ({v1}, {v2})"
+            ),
+            format!(
+                "SELECT COUNT(*) FROM fact f, dim d \
+                 WHERE f.fk = d.id AND (f.a = {v1} OR f.a = {v2})"
+            ),
+        ] {
+            let q = parse_sql(&sql).unwrap();
+            let truth = exact_count(&catalog, &q).unwrap() as f64;
+            let bound = sb.bound(&q).unwrap();
+            prop_assert!(
+                bound >= truth * (1.0 - 1e-9) - 1e-9,
+                "{sql}: bound {bound} < truth {truth}"
+            );
+        }
+    }
+}
+
+/// Deterministic regression sweep over the generated benchmark workloads
+/// (tiny scale): SafeBound must never underestimate a single query.
+#[test]
+fn workload_soundness_sweep() {
+    use safebound_bench::{build_workloads, experiment_config, ExperimentScale};
+    let mut scale = ExperimentScale::smoke();
+    scale.job_light_ranges_take = 10;
+    for w in build_workloads(&scale) {
+        let sb = SafeBound::build(&w.catalog, experiment_config());
+        let queries: Vec<_> = w.queries.iter().take(30).collect();
+        for bq in queries {
+            let truth = exact_count(&w.catalog, &bq.query).unwrap() as f64;
+            let bound = sb.bound(&bq.query).unwrap();
+            assert!(
+                bound >= truth * (1.0 - 1e-9),
+                "{} / {}: bound {bound} < truth {truth}\n{}",
+                w.name,
+                bq.name,
+                bq.sql
+            );
+        }
+    }
+}
