@@ -1,20 +1,25 @@
 //! Adapters plugging SafeBound into the optimizer's estimator interface.
 
-use safebound_core::SafeBound;
+use safebound_core::{BoundScratch, SafeBound};
 use safebound_exec::CardinalityEstimator;
 use safebound_query::Query;
 
 /// SafeBound as a [`CardinalityEstimator`]: sub-query estimates are bounds
-/// of the induced queries.
+/// of the induced queries. Carries a [`BoundScratch`] so repeated
+/// estimates during plan enumeration reuse the same arena buffers.
 pub struct SafeBoundEstimator {
     /// The underlying bound system.
     pub inner: SafeBound,
+    scratch: BoundScratch,
 }
 
 impl SafeBoundEstimator {
     /// Wrap a built SafeBound instance.
     pub fn new(inner: SafeBound) -> Self {
-        SafeBoundEstimator { inner }
+        SafeBoundEstimator {
+            inner,
+            scratch: BoundScratch::default(),
+        }
     }
 }
 
@@ -23,7 +28,9 @@ impl CardinalityEstimator for SafeBoundEstimator {
         "SafeBound"
     }
     fn estimate(&mut self, query: &Query, mask: u64) -> f64 {
-        self.inner.bound(&query.induced(mask)).unwrap_or(f64::INFINITY)
+        self.inner
+            .bound_with_scratch(&query.induced(mask), &mut self.scratch)
+            .unwrap_or(f64::INFINITY)
     }
 }
 
@@ -47,8 +54,7 @@ mod tests {
             Schema::new(vec![Field::new("x", DataType::Int)]),
             vec![Column::from_ints([1, 2, 2].map(Some))],
         ));
-        let mut est =
-            SafeBoundEstimator::new(SafeBound::build(&c, SafeBoundConfig::test_small()));
+        let mut est = SafeBoundEstimator::new(SafeBound::build(&c, SafeBoundConfig::test_small()));
         let q = parse_sql("SELECT COUNT(*) FROM a, b WHERE a.x = b.x").unwrap();
         assert!(est.estimate(&q, 0b01) >= 3.0);
         assert!(est.estimate(&q, 0b11) >= 3.0); // truth is 1·1 + 1·2... = 2+2? a⋈b: x=1:2·1=2, x=2:1·2=2 ⇒ 4

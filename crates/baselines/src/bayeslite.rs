@@ -61,14 +61,21 @@ impl BayesLite {
     pub fn build(catalog: &Catalog, sample_rate: f64, seed: u64) -> Self {
         let mut tables = BTreeMap::new();
         for table in catalog.tables() {
-            tables.insert(table.name.clone(), Self::build_table(catalog, table, sample_rate, seed));
+            tables.insert(
+                table.name.clone(),
+                Self::build_table(catalog, table, sample_rate, seed),
+            );
         }
-        BayesLite { tables, sample_rate }
+        BayesLite {
+            tables,
+            sample_rate,
+        }
     }
 
     fn build_table(catalog: &Catalog, table: &Table, rate: f64, seed: u64) -> TableModel {
-        let rows: Vec<usize> =
-            (0..table.num_rows()).filter(|&i| selected(i, rate, seed)).collect();
+        let rows: Vec<usize> = (0..table.num_rows())
+            .filter(|&i| selected(i, rate, seed))
+            .collect();
         let mut sample = BTreeMap::new();
         let mut ndv = BTreeMap::new();
         let mut all_cols: Vec<(String, Column)> = table
@@ -117,7 +124,11 @@ impl BayesLite {
         let matches = (0..model.sample_len)
             .filter(|&i| {
                 pred.eval(&|col: &str| {
-                    model.sample.get(col).map(|c| c.get(i)).unwrap_or(Value::Null)
+                    model
+                        .sample
+                        .get(col)
+                        .map(|c| c.get(i))
+                        .unwrap_or(Value::Null)
                 })
             })
             .count();
@@ -198,7 +209,10 @@ mod tests {
         let b: Vec<Option<i64>> = (0..5000).map(|i| Some((i % 50) % 3)).collect();
         let t = Table::new(
             "t",
-            Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Int),
+            ]),
             vec![Column::from_ints(a), Column::from_ints(b)],
         );
         let d = Table::new(
@@ -224,7 +238,10 @@ mod tests {
             Predicate::Eq("b".into(), Value::Int(0)),
         ]);
         let s = bl.selectivity(model, &p);
-        assert!(s > 0.008 && s < 0.04, "sample-based sel {s} should be near 0.02");
+        assert!(
+            s > 0.008 && s < 0.04,
+            "sample-based sel {s} should be near 0.02"
+        );
     }
 
     #[test]
@@ -234,7 +251,10 @@ mod tests {
         let q = parse_sql("SELECT COUNT(*) FROM t, d WHERE t.a = d.id").unwrap();
         let truth = exact_count(&c, &q).unwrap() as f64;
         let est = bl.estimate(&q, 0b11);
-        assert!(est / truth > 0.3 && est / truth < 3.0, "est {est} vs {truth}");
+        assert!(
+            est / truth > 0.3 && est / truth < 3.0,
+            "est {est} vs {truth}"
+        );
     }
 
     #[test]

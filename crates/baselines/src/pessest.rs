@@ -22,6 +22,9 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
+/// Memoized per-(table, column) partition statistics.
+type PartitionCache = HashMap<(String, String), Option<Rc<PartitionStats>>>;
+
 /// The PessEst estimator. Holds only a catalog reference and the partition
 /// count.
 pub struct PessEst<'a> {
@@ -34,7 +37,7 @@ pub struct PessEst<'a> {
     /// Partition-stats cache keyed by `(alias, column)`. Valid for ONE
     /// query (aliases pin the predicates); call [`PessEst::reset`] or
     /// construct a fresh instance per query.
-    cache: RefCell<HashMap<(String, String), Option<Rc<PartitionStats>>>>,
+    cache: RefCell<PartitionCache>,
 }
 
 /// Per (relation, join column, partition): tuple count and max degree.
@@ -54,7 +57,12 @@ fn hash_partition(v: &Value, partitions: usize) -> usize {
 impl<'a> PessEst<'a> {
     /// New PessEst over a catalog.
     pub fn new(catalog: &'a Catalog, partitions: usize) -> Self {
-        PessEst { catalog, partitions, spanning_cap: 100, cache: RefCell::new(HashMap::new()) }
+        PessEst {
+            catalog,
+            partitions,
+            spanning_cap: 100,
+            cache: RefCell::new(HashMap::new()),
+        }
     }
 
     /// Drop cached partition statistics (call between queries).
@@ -234,7 +242,10 @@ mod tests {
         let n = r_x.len();
         let r = Table::new(
             "r",
-            Schema::new(vec![Field::new("x", DataType::Int), Field::new("a", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("x", DataType::Int),
+                Field::new("a", DataType::Int),
+            ]),
             vec![
                 Column::from_ints(r_x),
                 Column::from_ints((0..n).map(|i| Some((i % 7) as i64))),
@@ -262,7 +273,10 @@ mod tests {
             let q = parse_sql(sql).unwrap();
             let truth = exact_count(&c, &q).unwrap() as f64;
             let bound = pe.bound(&q);
-            assert!(bound >= truth - 1e-6, "{sql}: bound {bound} < truth {truth}");
+            assert!(
+                bound >= truth - 1e-6,
+                "{sql}: bound {bound} < truth {truth}"
+            );
         }
     }
 
@@ -284,7 +298,10 @@ mod tests {
         let bound = PessEst::new(&c, 1).bound(&q);
         let n_r: f64 = 210.0; // Σ (20-v)
         let expected = (n_r * 1.0).min(20.0 * 20.0); // root r · maxdeg s  vs  root s · maxdeg r
-        assert!((bound - expected).abs() < 1e-9, "bound {bound}, expected {expected}");
+        assert!(
+            (bound - expected).abs() < 1e-9,
+            "bound {bound}, expected {expected}"
+        );
     }
 
     #[test]

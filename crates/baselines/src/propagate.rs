@@ -6,7 +6,12 @@ use std::collections::HashMap;
 
 /// The key under which a propagated column is stored (same shape as
 /// SafeBound's, so all systems share one convention).
-pub fn propagated_name(fk_column: &str, pk_table: &str, pk_column: &str, dim_column: &str) -> String {
+pub fn propagated_name(
+    fk_column: &str,
+    pk_table: &str,
+    pk_column: &str,
+    dim_column: &str,
+) -> String {
     format!("{fk_column}={pk_table}.{pk_column}:{dim_column}")
 }
 
@@ -15,9 +20,15 @@ pub fn propagated_name(fk_column: &str, pk_table: &str, pk_column: &str, dim_col
 pub fn propagated_columns(catalog: &Catalog, table: &Table) -> Vec<(String, Column)> {
     let mut out = Vec::new();
     for fk in catalog.foreign_keys_of(&table.name) {
-        let Some(dim) = catalog.table(&fk.pk_table) else { continue };
-        let Some(pk_col) = dim.column(&fk.pk_column) else { continue };
-        let Some(fk_col) = table.column(&fk.fk_column) else { continue };
+        let Some(dim) = catalog.table(&fk.pk_table) else {
+            continue;
+        };
+        let Some(pk_col) = dim.column(&fk.pk_column) else {
+            continue;
+        };
+        let Some(fk_col) = table.column(&fk.fk_column) else {
+            continue;
+        };
         let mut pk_rows: HashMap<Value, usize> = HashMap::new();
         for i in 0..pk_col.len() {
             let v = pk_col.get(i);
@@ -56,7 +67,10 @@ mod tests {
         let mut c = Catalog::new();
         let dim = Table::new(
             "d",
-            Schema::new(vec![Field::new("id", DataType::Int), Field::new("w", DataType::Str)]),
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("w", DataType::Str),
+            ]),
             vec![
                 Column::from_ints([Some(1), Some(2)]),
                 Column::from_strs([Some("one"), Some("two")]),

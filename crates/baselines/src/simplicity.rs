@@ -139,7 +139,10 @@ mod tests {
         }
         let r = Table::new(
             "r",
-            Schema::new(vec![Field::new("x", DataType::Int), Field::new("a", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("x", DataType::Int),
+                Field::new("a", DataType::Int),
+            ]),
             vec![Column::from_ints(r_x), Column::from_ints(r_a)],
         );
         let s = Table::new(

@@ -69,7 +69,13 @@ impl ColumnSummary {
                 hist.push(sorted.last().unwrap().0.clone());
             }
         }
-        ColumnSummary { non_null, rows, ndv, mcv, hist }
+        ColumnSummary {
+            non_null,
+            rows,
+            ndv,
+            mcv,
+            hist,
+        }
     }
 
     /// Fraction of MCV mass.
@@ -146,7 +152,11 @@ impl JointSummary {
         let mut pairs: Vec<((Value, Value), u64)> = counts.into_iter().collect();
         pairs.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
         pairs.truncate(MCV_LEN);
-        JointSummary { mcv: pairs, ndv, rows: a.len() as u64 }
+        JointSummary {
+            mcv: pairs,
+            ndv,
+            rows: a.len() as u64,
+        }
     }
 
     /// P(a = va ∧ b = vb).
@@ -206,7 +216,10 @@ impl TraditionalEstimator {
         for table in catalog.tables() {
             let mut columns = BTreeMap::new();
             for f in &table.schema.fields {
-                columns.insert(f.name.clone(), ColumnSummary::build(table.column(&f.name).unwrap()));
+                columns.insert(
+                    f.name.clone(),
+                    ColumnSummary::build(table.column(&f.name).unwrap()),
+                );
             }
             if variant == TraditionalVariant::PostgresPK {
                 for (key, col) in propagated_columns(catalog, table) {
@@ -215,8 +228,12 @@ impl TraditionalEstimator {
             }
             let mut joints = BTreeMap::new();
             if variant == TraditionalVariant::Postgres2D {
-                let names: Vec<&str> =
-                    table.schema.fields.iter().map(|f| f.name.as_str()).collect();
+                let names: Vec<&str> = table
+                    .schema
+                    .fields
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect();
                 for i in 0..names.len() {
                     for j in i + 1..names.len() {
                         joints.insert(
@@ -229,7 +246,14 @@ impl TraditionalEstimator {
                     }
                 }
             }
-            tables.insert(table.name.clone(), TableSummary { rows: table.num_rows() as u64, columns, joints });
+            tables.insert(
+                table.name.clone(),
+                TableSummary {
+                    rows: table.num_rows() as u64,
+                    columns,
+                    joints,
+                },
+            );
         }
         TraditionalEstimator { tables, variant }
     }
@@ -237,16 +261,15 @@ impl TraditionalEstimator {
     /// Selectivity of a predicate tree on one table, under independence.
     pub fn selectivity(&self, table: &TableSummary, pred: &Predicate) -> f64 {
         match pred {
-            Predicate::Eq(col, v) => {
-                table.columns.get(col).map_or(0.01, |c| c.sel_eq(v))
-            }
+            Predicate::Eq(col, v) => table.columns.get(col).map_or(0.01, |c| c.sel_eq(v)),
             Predicate::Cmp(col, op, v) => table.columns.get(col).map_or(1.0 / 3.0, |c| match op {
                 CmpOp::Lt | CmpOp::Le => c.sel_range(None, Some(v)),
                 CmpOp::Gt | CmpOp::Ge => c.sel_range(Some(v), None),
             }),
-            Predicate::Between(col, lo, hi) => {
-                table.columns.get(col).map_or(1.0 / 9.0, |c| c.sel_range(Some(lo), Some(hi)))
-            }
+            Predicate::Between(col, lo, hi) => table
+                .columns
+                .get(col)
+                .map_or(1.0 / 9.0, |c| c.sel_range(Some(lo), Some(hi))),
             Predicate::Like(col, pattern) => {
                 let _ = col;
                 // Postgres anchors: prefix patterns get range-ish
@@ -255,8 +278,10 @@ impl TraditionalEstimator {
                 (LIKE_MATCH_SEL * 2.0f64.powi(-(literal as i32) / 8)).max(1e-8)
             }
             Predicate::In(col, vs) => {
-                let s: f64 =
-                    vs.iter().map(|v| table.columns.get(col).map_or(0.01, |c| c.sel_eq(v))).sum();
+                let s: f64 = vs
+                    .iter()
+                    .map(|v| table.columns.get(col).map_or(0.01, |c| c.sel_eq(v)))
+                    .sum();
                 s.min(1.0)
             }
             Predicate::And(ps) => {
@@ -292,8 +317,15 @@ impl TraditionalEstimator {
             Predicate::Eq(c, v) => (c, v),
             _ => return None,
         };
-        let (a, b, va, vb) = if c1 < c2 { (c1, c2, v1, v2) } else { (c2, c1, v2, v1) };
-        table.joints.get(&(a.clone(), b.clone())).map(|j| j.sel_eq_pair(va, vb))
+        let (a, b, va, vb) = if c1 < c2 {
+            (c1, c2, v1, v2)
+        } else {
+            (c2, c1, v2, v1)
+        };
+        table
+            .joints
+            .get(&(a.clone(), b.clone()))
+            .map(|j| j.sel_eq_pair(va, vb))
     }
 
     /// Filtered cardinality of one relation of a query.
@@ -342,7 +374,9 @@ impl TraditionalEstimator {
         if self.variant != TraditionalVariant::PostgresPK {
             return false;
         }
-        let Some(pred) = query.predicate_of(rel) else { return false };
+        let Some(pred) = query.predicate_of(rel) else {
+            return false;
+        };
         let cols = pred.columns();
         query.joins.iter().any(|edge| {
             let (my_col, other, other_col) = if edge.left == rel {
@@ -359,9 +393,12 @@ impl TraditionalEstimator {
                 return false;
             };
             cols.iter().any(|c| {
-                other_summary
-                    .columns
-                    .contains_key(&propagated_name(other_col, &query.relations[rel].table, my_col, c))
+                other_summary.columns.contains_key(&propagated_name(
+                    other_col,
+                    &query.relations[rel].table,
+                    my_col,
+                    c,
+                ))
             })
         })
     }
@@ -455,7 +492,10 @@ pub fn traditional_byte_size(est: &TraditionalEstimator) -> usize {
         .values()
         .map(|t| {
             t.columns.values().map(col).sum::<usize>()
-                + t.joints.values().map(|j| j.mcv.len() * 56 + 24).sum::<usize>()
+                + t.joints
+                    .values()
+                    .map(|j| j.mcv.len() * 56 + 24)
+                    .sum::<usize>()
         })
         .sum()
 }
@@ -474,12 +514,18 @@ mod tests {
         let b_vals: Vec<Option<i64>> = (0..1000).map(|i| Some((i % 100) / 10)).collect();
         let t = Table::new(
             "t",
-            Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Int),
+            ]),
             vec![Column::from_ints(a_vals), Column::from_ints(b_vals)],
         );
         let dim = Table::new(
             "d",
-            Schema::new(vec![Field::new("id", DataType::Int), Field::new("w", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("w", DataType::Int),
+            ]),
             vec![
                 Column::from_ints((0..100).map(Some)),
                 Column::from_ints((0..100).map(|i| Some(i % 7))),
@@ -529,7 +575,10 @@ mod tests {
         // Postgres2D fixes it via the joint MCV.
         let est2 = TraditionalEstimator::build(&c, TraditionalVariant::Postgres2D);
         let s2 = est2.selectivity(&est2.tables["t"], &p);
-        assert!((s2 - 0.01).abs() < 0.003, "2D stats should be accurate, got {s2}");
+        assert!(
+            (s2 - 0.01).abs() < 0.003,
+            "2D stats should be accurate, got {s2}"
+        );
     }
 
     #[test]
@@ -539,7 +588,10 @@ mod tests {
         let q = parse_sql("SELECT COUNT(*) FROM t, d WHERE t.a = d.id").unwrap();
         let got = est.estimate(&q, 0b11);
         let truth = exact_count(&c, &q).unwrap() as f64;
-        assert!(got / truth > 0.5 && got / truth < 2.0, "est {got} vs truth {truth}");
+        assert!(
+            got / truth > 0.5 && got / truth < 2.0,
+            "est {got} vs truth {truth}"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ fn bench_build(c: &mut Criterion) {
     group.bench_function("safebound_tpch_sf0.1_trigrams", |b| {
         b.iter(|| SafeBoundBuilder::new(experiment_config()).build(&tpch))
     });
-    let no_ngrams = SafeBoundConfig { enable_ngrams: false, ..experiment_config() };
+    let no_ngrams = SafeBoundConfig {
+        enable_ngrams: false,
+        ..experiment_config()
+    };
     group.bench_function("safebound_tpch_sf0.1_no_trigrams", |b| {
         b.iter(|| SafeBoundBuilder::new(no_ngrams.clone()).build(&tpch))
     });

@@ -1,11 +1,13 @@
 //! Criterion micro-benchmark for the online phase: SafeBound bound
 //! inference (Algorithm 2) per query vs the baselines — the kernel behind
-//! Fig. 5b.
+//! Fig. 5b. The `kernel_*` pair isolates the sweep-line evaluator against
+//! the retained midpoint-evaluation reference on identical inputs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use safebound_baselines::{Simplicity, TraditionalEstimator, TraditionalVariant};
-use safebound_core::SafeBound;
 use safebound_bench::experiment_config;
+use safebound_core::bound::{fdsb_reference, fdsb_with_scratch};
+use safebound_core::{BoundScratch, SafeBound};
 use safebound_datagen::{imdb_catalog, job_light, ImdbScale};
 use safebound_exec::CardinalityEstimator;
 
@@ -13,13 +15,38 @@ fn bench_inference(c: &mut Criterion) {
     let catalog = imdb_catalog(&ImdbScale::tiny(), 1);
     let queries = job_light(1);
     let sb = SafeBound::build(&catalog, experiment_config());
+    let inputs: Vec<_> = queries
+        .iter()
+        .take(10)
+        .flat_map(|q| sb.bound_inputs(&q.query).unwrap())
+        .collect();
     let mut group = c.benchmark_group("inference");
     group.sample_size(20);
+    group.bench_function("kernel_sweep_job_light", |b| {
+        let mut scratch = BoundScratch::default();
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for (plan, stats) in &inputs {
+                total += fdsb_with_scratch(plan, stats, &mut scratch).unwrap();
+            }
+            total
+        })
+    });
+    group.bench_function("kernel_reference_job_light", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for (plan, stats) in &inputs {
+                total += fdsb_reference(plan, stats).unwrap();
+            }
+            total
+        })
+    });
     group.bench_function("safebound_bound_job_light", |b| {
+        let mut scratch = BoundScratch::default();
         b.iter(|| {
             let mut total = 0.0f64;
             for q in queries.iter().take(10) {
-                total += sb.bound(&q.query).unwrap();
+                total += sb.bound_with_scratch(&q.query, &mut scratch).unwrap();
             }
             total
         })

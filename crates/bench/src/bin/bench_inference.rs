@@ -1,0 +1,156 @@
+//! Inference-kernel benchmark: sweep-line FDSB vs the retained
+//! midpoint-evaluation reference, plus baseline estimators, on the
+//! JOB-light workload. Emits `BENCH_inference.json` (ns/query) so the
+//! repository carries a perf trajectory across PRs.
+//!
+//! Run: `cargo run --release -p safebound-bench --bin bench_inference`
+//! (optional arg: output path, default `BENCH_inference.json`).
+
+use safebound_baselines::{Simplicity, TraditionalEstimator, TraditionalVariant};
+use safebound_bench::experiment_config;
+use safebound_core::bound::{fdsb_reference, fdsb_with_scratch};
+use safebound_core::{BoundScratch, RelationBoundStats, SafeBound};
+use safebound_datagen::{imdb_catalog, job_light, ImdbScale};
+use safebound_exec::CardinalityEstimator;
+use safebound_query::BoundPlan;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Median-of-samples ns per call of `f`, self-calibrating the batch size.
+fn measure<F: FnMut()>(mut f: F) -> f64 {
+    // Warm-up + calibration.
+    let mut batch = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 20 || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 4;
+    }
+    let samples = 7;
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[samples / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_inference.json".to_string());
+
+    eprintln!("building IMDB catalog + SafeBound statistics…");
+    let catalog = imdb_catalog(&ImdbScale::tiny(), 1);
+    let queries = job_light(1);
+    let build_start = Instant::now();
+    let sb = SafeBound::build(&catalog, experiment_config());
+    let build_secs = build_start.elapsed().as_secs_f64();
+
+    // Pre-resolve the kernel inputs (plan + per-relation CDS stats) so the
+    // measurement isolates Algorithm 2 itself — the paper's "inference"
+    // time (Fig. 5b) and the target of this PR's sweep-line rewrite.
+    let inputs: Vec<(BoundPlan, Vec<RelationBoundStats>)> = queries
+        .iter()
+        .flat_map(|q| sb.bound_inputs(&q.query).expect("stats cover workload"))
+        .collect();
+    let num_queries = queries.len() as f64;
+    eprintln!(
+        "{} JOB-light queries → {} acyclic relaxations; measuring…",
+        queries.len(),
+        inputs.len()
+    );
+
+    let mut scratch = BoundScratch::default();
+    let sweep_ns_per_query = measure(|| {
+        let mut acc = 0.0;
+        for (plan, stats) in &inputs {
+            acc += fdsb_with_scratch(plan, stats, &mut scratch).unwrap();
+        }
+        black_box(acc);
+    }) / num_queries;
+
+    let reference_ns_per_query = measure(|| {
+        let mut acc = 0.0;
+        for (plan, stats) in &inputs {
+            acc += fdsb_reference(plan, stats).unwrap();
+        }
+        black_box(acc);
+    }) / num_queries;
+
+    // Sanity: both evaluators agree on every input.
+    for (plan, stats) in &inputs {
+        let mut s = BoundScratch::default();
+        let a = fdsb_with_scratch(plan, stats, &mut s).unwrap();
+        let b = fdsb_reference(plan, stats).unwrap();
+        assert!(
+            (a - b).abs() <= 1e-6 * b.abs().max(1.0),
+            "sweep {a} != reference {b}"
+        );
+    }
+
+    // End-to-end online phase (predicate resolution + kernel) for context.
+    let end_to_end_ns_per_query = measure(|| {
+        let mut acc = 0.0;
+        for q in &queries {
+            acc += sb.bound_with_scratch(&q.query, &mut scratch).unwrap();
+        }
+        black_box(acc);
+    }) / num_queries;
+
+    // Baseline estimators on the same workload.
+    let mut pg = TraditionalEstimator::build(&catalog, TraditionalVariant::Postgres);
+    let postgres_ns_per_query = measure(|| {
+        let mut acc = 0.0;
+        for q in &queries {
+            let mask = (1u64 << q.query.num_relations()) - 1;
+            acc += pg.estimate(&q.query, mask);
+        }
+        black_box(acc);
+    }) / num_queries;
+
+    let mut simp = Simplicity::build(&catalog);
+    let simplicity_ns_per_query = measure(|| {
+        let mut acc = 0.0;
+        for q in &queries {
+            let mask = (1u64 << q.query.num_relations()) - 1;
+            acc += simp.estimate(&q.query, mask);
+        }
+        black_box(acc);
+    }) / num_queries;
+
+    let speedup = reference_ns_per_query / sweep_ns_per_query;
+    let json = format!(
+        "{{\n  \"workload\": \"JOB-light (tiny IMDB, seed 1)\",\n  \"queries\": {},\n  \"stats_build_seconds\": {:.3},\n  \"kernel\": {{\n    \"safebound_sweep_ns_per_query\": {:.1},\n    \"safebound_reference_ns_per_query\": {:.1},\n    \"sweep_speedup\": {:.2}\n  }},\n  \"end_to_end\": {{\n    \"safebound_bound_ns_per_query\": {:.1},\n    \"postgres_estimate_ns_per_query\": {:.1},\n    \"simplicity_estimate_ns_per_query\": {:.1}\n  }}\n}}\n",
+        queries.len(),
+        build_secs,
+        sweep_ns_per_query,
+        reference_ns_per_query,
+        speedup,
+        end_to_end_ns_per_query,
+        postgres_ns_per_query,
+        simplicity_ns_per_query,
+    );
+    print!("{json}");
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output");
+    eprintln!(
+        "kernel: sweep {sweep_ns_per_query:.0} ns/q vs reference {reference_ns_per_query:.0} ns/q \
+         ({speedup:.2}×) → {out_path}"
+    );
+    assert!(
+        speedup >= 2.0,
+        "acceptance: sweep kernel must be ≥ 2× the midpoint-eval reference, got {speedup:.2}×"
+    );
+}

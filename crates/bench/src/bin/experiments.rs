@@ -15,21 +15,38 @@ use safebound_exec::CostModel;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let figures: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let figures: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     let all = figures.is_empty() || figures.contains(&"all");
     let want = |f: &str| all || figures.contains(&f);
 
-    let scale = if smoke { ExperimentScale::smoke() } else { ExperimentScale::default() };
-    eprintln!("# SafeBound experiment suite (scale: {})", if smoke { "smoke" } else { "default" });
+    let scale = if smoke {
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale::default()
+    };
+    eprintln!(
+        "# SafeBound experiment suite (scale: {})",
+        if smoke { "smoke" } else { "default" }
+    );
 
-    let needs_runs = want("fig5a") || want("fig5b") || want("fig5c") || want("fig6") || want("fig7");
+    let needs_runs =
+        want("fig5a") || want("fig5b") || want("fig5c") || want("fig6") || want("fig7");
     let workloads = build_workloads(&scale);
 
     let mut measurements: Vec<QueryMeasurement> = Vec::new();
     if needs_runs {
         let methods = MethodKind::end_to_end();
         for w in &workloads {
-            eprintln!("  running {} ({} queries, {} methods)…", w.name, w.queries.len(), methods.len());
+            eprintln!(
+                "  running {} ({} queries, {} methods)…",
+                w.name,
+                w.queries.len(),
+                methods.len()
+            );
             measurements.extend(run_workload(w, &methods, &CostModel::default()));
         }
     }
@@ -83,7 +100,10 @@ fn main() {
 
     if want("fig7") {
         println!("\n## Figure 7 — avg runtime binned by Postgres-plan runtime");
-        println!("{:>12} {:>14} {:>14} {:>6}", "bin ≥", "postgres", "safebound", "n");
+        println!(
+            "{:>12} {:>14} {:>14} {:>6}",
+            "bin ≥", "postgres", "safebound", "n"
+        );
         for (bin, pg, sb, n) in fig7(&measurements) {
             println!("{bin:>12.0} {pg:>14.0} {sb:>14.0} {n:>6}");
         }
@@ -103,7 +123,10 @@ fn main() {
     if want("fig9a") {
         println!("\n## Figure 9a — FK-index performance regressions");
         let rows = fig9a(&workloads, &[MethodKind::Postgres, MethodKind::SafeBound]);
-        println!("{:<12} {:>12} {:>8} {:>14}", "method", "regressions", "total", "mean severity");
+        println!(
+            "{:<12} {:>12} {:>8} {:>14}",
+            "method", "regressions", "total", "mean severity"
+        );
         for r in rows {
             println!(
                 "{:<12} {:>12} {:>8} {:>13.2}x",
@@ -114,7 +137,10 @@ fn main() {
 
     if want("fig9b") {
         println!("\n## Figure 9b — CDS vs DS modeling, self-join error vs compression");
-        println!("{:<16} {:<5} {:>12} {:>12}", "strategy", "model", "compression", "sj-error");
+        println!(
+            "{:<16} {:<5} {:>12} {:>12}",
+            "strategy", "model", "compression", "sj-error"
+        );
         for (s, m, cr, e) in fig9b(&workloads[0].catalog) {
             println!("{s:<16} {m:<5} {cr:>12.1} {e:>12.3}");
         }
@@ -130,8 +156,15 @@ fn main() {
 
     if want("fig10") {
         println!("\n## Figure 10 — build time vs TPC-H scale factor");
-        let sfs: &[f64] = if smoke { &[0.05, 0.1] } else { &[0.25, 0.5, 1.0, 2.0] };
-        println!("{:>6} {:>9} {:>10} {:>12}", "sf", "trigrams", "rows", "build ms");
+        let sfs: &[f64] = if smoke {
+            &[0.05, 0.1]
+        } else {
+            &[0.25, 0.5, 1.0, 2.0]
+        };
+        println!(
+            "{:>6} {:>9} {:>10} {:>12}",
+            "sf", "trigrams", "rows", "build ms"
+        );
         for (sf, tg, rows, ms) in fig10(sfs, scale.seed) {
             println!("{sf:>6.2} {tg:>9} {rows:>10} {ms:>12.1}");
         }
@@ -146,7 +179,12 @@ fn main() {
         for r in ablation(&workloads[0]) {
             println!(
                 "{:<26} {:>10} {:>8} {:>10.1} {:>10.2} {:>10.1} {:>6}",
-                r.variant, r.bytes, r.num_sets, r.build_ms, r.median_rel_error, r.p95_rel_error,
+                r.variant,
+                r.bytes,
+                r.num_sets,
+                r.build_ms,
+                r.median_rel_error,
+                r.p95_rel_error,
                 r.underestimates
             );
         }

@@ -18,7 +18,10 @@ fn main() {
             if bound < truth * (1.0 - 1e-9) {
                 sb_bad += 1;
                 if sb_bad <= 2 {
-                    println!("SB UNDER: {} bound={bound} truth={truth}\n  {}", bq.name, bq.sql);
+                    println!(
+                        "SB UNDER: {} bound={bound} truth={truth}\n  {}",
+                        bq.name, bq.sql
+                    );
                 }
             }
             let pe = PessEst::new(&w.catalog, 64);
@@ -26,10 +29,17 @@ fn main() {
             if pb < truth * (1.0 - 1e-9) {
                 pe_bad += 1;
                 if pe_bad <= 2 {
-                    println!("PE UNDER: {} bound={pb} truth={truth}\n  {}", bq.name, bq.sql);
+                    println!(
+                        "PE UNDER: {} bound={pb} truth={truth}\n  {}",
+                        bq.name, bq.sql
+                    );
                 }
             }
         }
-        println!("{}: SafeBound under {sb_bad}, PessEst under {pe_bad} / {}", w.name, w.queries.len());
+        println!(
+            "{}: SafeBound under {sb_bad}, PessEst under {pe_bad} / {}",
+            w.name,
+            w.queries.len()
+        );
     }
 }

@@ -48,7 +48,9 @@ pub fn run_workload(
     let mut out = Vec::new();
     for bq in &workload.queries {
         let q = &bq.query;
-        let Ok(true_card) = exact_count(&workload.catalog, q) else { continue };
+        let Ok(true_card) = exact_count(&workload.catalog, q) else {
+            continue;
+        };
         let true_card = true_card as f64;
         let full_mask: u64 = (1u64 << q.num_relations()) - 1;
         let indexes = pk_fk_indexes(&workload.catalog, q);
@@ -90,7 +92,11 @@ pub fn fig5a(measurements: &[QueryMeasurement]) -> Vec<(String, String, f64)> {
     };
     for w in workloads {
         let base = totals.get(&(w, "TrueCard")).copied().unwrap_or(1.0);
-        let mut methods: Vec<&str> = totals.keys().filter(|(x, _)| *x == w).map(|(_, m)| *m).collect();
+        let mut methods: Vec<&str> = totals
+            .keys()
+            .filter(|(x, _)| *x == w)
+            .map(|(_, m)| *m)
+            .collect();
         methods.sort();
         for m in methods {
             rows.push((w.to_string(), m.to_string(), totals[&(w, m)] / base));
@@ -103,7 +109,9 @@ pub fn fig5a(measurements: &[QueryMeasurement]) -> Vec<(String, String, f64)> {
 pub fn fig5b(measurements: &[QueryMeasurement]) -> Vec<(String, String, f64)> {
     let mut per: HashMap<(&str, &str), Vec<f64>> = HashMap::new();
     for m in measurements {
-        per.entry((m.workload, m.method)).or_default().push(m.plan_ms);
+        per.entry((m.workload, m.method))
+            .or_default()
+            .push(m.plan_ms);
     }
     let mut rows: Vec<(String, String, f64)> = per
         .into_iter()
@@ -112,7 +120,7 @@ pub fn fig5b(measurements: &[QueryMeasurement]) -> Vec<(String, String, f64)> {
             (w.to_string(), m.to_string(), quantile(&v, 0.5))
         })
         .collect();
-    rows.sort_by(|a, b| (a.0.clone(), a.1.clone()).cmp(&(b.0.clone(), b.1.clone())));
+    rows.sort_by_key(|a| (a.0.clone(), a.1.clone()));
     rows
 }
 
@@ -164,7 +172,7 @@ pub fn fig5c(measurements: &[QueryMeasurement]) -> Vec<ErrorRow> {
             }
         })
         .collect();
-    rows.sort_by(|a, b| (a.workload.clone(), a.method.clone()).cmp(&(b.workload.clone(), b.method.clone())));
+    rows.sort_by_key(|a| (a.workload.clone(), a.method.clone()));
     rows
 }
 
@@ -172,6 +180,7 @@ pub fn fig5c(measurements: &[QueryMeasurement]) -> Vec<ErrorRow> {
 /// speedup SafeBound's plans achieve on them. Returns
 /// `(query, postgres_runtime, safebound_runtime)` for the top `n`, plus
 /// speedup quantiles `(p05, p25, p50, p75, p95)`.
+#[allow(clippy::type_complexity)]
 pub fn fig6(
     measurements: &[QueryMeasurement],
     n: usize,
@@ -301,7 +310,12 @@ pub fn fig9a(workloads: &[Workload], methods: &[MethodKind]) -> Vec<RegressionRo
         } else {
             severity.iter().sum::<f64>() / severity.len() as f64
         };
-        rows.push(RegressionRow { method: kind.name().to_string(), regressions, total, mean_severity });
+        rows.push(RegressionRow {
+            method: kind.name().to_string(),
+            regressions,
+            total,
+            mean_severity,
+        });
     }
     rows
 }
@@ -310,7 +324,9 @@ pub fn fig9a(workloads: &[Workload], methods: &[MethodKind]) -> Vec<RegressionRo
 /// across segmentation strategies, on a Zipf-skewed FK column. Returns
 /// `(strategy, modeling, compression_ratio, self_join_error)`.
 pub fn fig9b(catalog: &Catalog) -> Vec<(String, &'static str, f64, f64)> {
-    let mc = catalog.table("movie_companies").expect("IMDB catalog required");
+    let mc = catalog
+        .table("movie_companies")
+        .expect("IMDB catalog required");
     let ds = DegreeSequence::of_column(mc.column("movie_id").unwrap());
     let mut rows = Vec::new();
     let strategies: Vec<(String, Vec<Segmentation>)> = vec![
@@ -346,9 +362,19 @@ pub fn fig9b(catalog: &Catalog) -> Vec<(String, &'static str, f64, f64)> {
     for (name, segs) in strategies {
         for seg in segs {
             let cds = compress_cds(&ds, seg);
-            rows.push((name.clone(), "CDS", compression_ratio(&ds, &cds), self_join_ratio(&ds, &cds)));
+            rows.push((
+                name.clone(),
+                "CDS",
+                compression_ratio(&ds, &cds),
+                self_join_ratio(&ds, &cds),
+            ));
             let dsm = compress_ds(&ds, seg);
-            rows.push((name.clone(), "DS", compression_ratio(&ds, &dsm), self_join_ratio(&ds, &dsm)));
+            rows.push((
+                name.clone(),
+                "DS",
+                compression_ratio(&ds, &dsm),
+                self_join_ratio(&ds, &dsm),
+            ));
         }
     }
     rows
@@ -361,7 +387,9 @@ pub fn fig9b(catalog: &Catalog) -> Vec<(String, &'static str, f64, f64)> {
 /// error of members against their group max. Returns
 /// `(method, clusters, avg_error)`.
 pub fn fig9c(catalog: &Catalog) -> Vec<(String, usize, f64)> {
-    let mc = catalog.table("movie_companies").expect("IMDB catalog required");
+    let mc = catalog
+        .table("movie_companies")
+        .expect("IMDB catalog required");
     let title = catalog.table("title").expect("IMDB catalog required");
     // Propagate production_year onto movie_companies through movie_id.
     let mut year_of_movie: HashMap<Value, Value> = HashMap::new();
@@ -378,11 +406,15 @@ pub fn fig9c(catalog: &Catalog) -> Vec<(String, usize, f64)> {
         }
     }
     // One conditioned CDS per year (the paper's experiment yields 132).
-    let join_cols = vec!["movie_id".to_string()];
+    let movie_id = safebound_core::Sym(0);
+    let join_cols = vec![(movie_id, "movie_id".to_string())];
     let mut cdss: Vec<safebound_core::PiecewiseLinear> = rows_by_year
         .values()
         .map(|rows| {
-            cds_set_for_rows(mc, &join_cols, Some(rows), 0.01).by_join_column["movie_id"].clone()
+            cds_set_for_rows(mc, &join_cols, Some(rows), 0.01)
+                .get(movie_id)
+                .unwrap()
+                .clone()
         })
         .collect();
     cdss.sort_by(|a, b| a.endpoint().total_cmp(&b.endpoint()));
@@ -393,7 +425,11 @@ pub fn fig9c(catalog: &Catalog) -> Vec<(String, usize, f64)> {
         for (i, &g) in assignment.iter().enumerate() {
             let member_sq = cdss[i].delta().square_integral();
             let group_sq = groups[g].delta().square_integral();
-            total += if member_sq > 0.0 { group_sq / member_sq } else { 1.0 };
+            total += if member_sq > 0.0 {
+                group_sq / member_sq
+            } else {
+                1.0
+            };
         }
         total / assignment.len() as f64
     };
@@ -421,7 +457,10 @@ pub fn fig10(sfs: &[f64], seed: u64) -> Vec<(f64, bool, usize, f64)> {
         let catalog = tpch_catalog(sf, seed);
         let data_rows: usize = catalog.tables().map(|t| t.num_rows()).sum();
         for ngrams in [false, true] {
-            let config = SafeBoundConfig { enable_ngrams: ngrams, ..experiment_config() };
+            let config = SafeBoundConfig {
+                enable_ngrams: ngrams,
+                ..experiment_config()
+            };
             let t0 = Instant::now();
             let stats = SafeBoundBuilder::new(config).build(&catalog);
             let ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -445,8 +484,11 @@ mod tests {
         for w in &mut workloads {
             w.queries.truncate(4);
         }
-        let methods =
-            [MethodKind::TrueCard, MethodKind::Postgres, MethodKind::SafeBound];
+        let methods = [
+            MethodKind::TrueCard,
+            MethodKind::Postgres,
+            MethodKind::SafeBound,
+        ];
         let mut all = Vec::new();
         for w in &workloads[..2] {
             all.extend(run_workload(w, &methods, &CostModel::default()));
@@ -503,7 +545,13 @@ mod tests {
             let (cds, ds) = (&pair[0], &pair[1]);
             assert_eq!(cds.1, "CDS");
             assert_eq!(ds.1, "DS");
-            assert!(cds.3 <= ds.3 + 1e-9, "{}: CDS {} vs DS {}", cds.0, cds.3, ds.3);
+            assert!(
+                cds.3 <= ds.3 + 1e-9,
+                "{}: CDS {} vs DS {}",
+                cds.0,
+                cds.3,
+                ds.3
+            );
         }
     }
 
@@ -513,8 +561,11 @@ mod tests {
         let rows = fig9c(&catalog);
         assert!(!rows.is_empty());
         let avg = |name: &str| {
-            let v: Vec<f64> =
-                rows.iter().filter(|(n, _, _)| n == name).map(|(_, _, e)| *e).collect();
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|(n, _, _)| n == name)
+                .map(|(_, _, e)| *e)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         let complete = avg("complete-linkage");
@@ -529,7 +580,11 @@ mod tests {
     fn fig10_build_time_grows_with_scale() {
         let rows = fig10(&[0.05, 0.2], 1);
         assert_eq!(rows.len(), 4);
-        let small: f64 = rows.iter().filter(|r| r.0 == 0.05 && r.1).map(|r| r.3).sum();
+        let small: f64 = rows
+            .iter()
+            .filter(|r| r.0 == 0.05 && r.1)
+            .map(|r| r.3)
+            .sum();
         let large: f64 = rows.iter().filter(|r| r.0 == 0.2 && r.1).map(|r| r.3).sum();
         assert!(large > small, "build time must grow: {small} vs {large}");
     }
@@ -543,11 +598,41 @@ pub fn ablation(workload: &Workload) -> Vec<AblationRow> {
     let base = experiment_config();
     let variants: Vec<(&'static str, SafeBoundConfig)> = vec![
         ("full", base.clone()),
-        ("no group compression", SafeBoundConfig { cds_groups: None, ..base.clone() }),
-        ("exact MCV index", SafeBoundConfig { use_bloom_filters: false, ..base.clone() }),
-        ("no PK-FK propagation", SafeBoundConfig { pk_fk_propagation: false, ..base.clone() }),
-        ("no tri-grams", SafeBoundConfig { enable_ngrams: false, ..base.clone() }),
-        ("coarse compression c=0.2", SafeBoundConfig { compression_c: 0.2, ..base.clone() }),
+        (
+            "no group compression",
+            SafeBoundConfig {
+                cds_groups: None,
+                ..base.clone()
+            },
+        ),
+        (
+            "exact MCV index",
+            SafeBoundConfig {
+                use_bloom_filters: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no PK-FK propagation",
+            SafeBoundConfig {
+                pk_fk_propagation: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no tri-grams",
+            SafeBoundConfig {
+                enable_ngrams: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "coarse compression c=0.2",
+            SafeBoundConfig {
+                compression_c: 0.2,
+                ..base.clone()
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (name, config) in variants {
@@ -559,9 +644,13 @@ pub fn ablation(workload: &Workload) -> Vec<AblationRow> {
         let mut rels = Vec::new();
         let mut under = 0usize;
         for bq in &workload.queries {
-            let Ok(truth) = exact_count(&workload.catalog, &bq.query) else { continue };
+            let Ok(truth) = exact_count(&workload.catalog, &bq.query) else {
+                continue;
+            };
             let truth = truth as f64;
-            let Ok(bound) = sb.bound(&bq.query) else { continue };
+            let Ok(bound) = sb.bound(&bq.query) else {
+                continue;
+            };
             if truth > 0.0 {
                 rels.push(bound / truth);
                 if bound < truth * (1.0 - 1e-9) {
@@ -621,7 +710,10 @@ mod ablation_tests {
         }
         // Group compression must reduce stored sets.
         let full = rows.iter().find(|r| r.variant == "full").unwrap();
-        let nogroup = rows.iter().find(|r| r.variant == "no group compression").unwrap();
+        let nogroup = rows
+            .iter()
+            .find(|r| r.variant == "no group compression")
+            .unwrap();
         assert!(
             full.num_sets <= nogroup.num_sets,
             "grouping should not increase sets: {} vs {}",

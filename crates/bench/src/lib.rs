@@ -75,8 +75,16 @@ pub fn build_workloads(scale: &ExperimentScale) -> Vec<Workload> {
             catalog: imdb.clone(),
             queries: safebound_datagen::job_light(scale.seed),
         },
-        Workload { name: "JOB-LightRanges", catalog: imdb.clone(), queries: jlr },
-        Workload { name: "JOB-M", catalog: imdb, queries: safebound_datagen::job_m(scale.seed) },
+        Workload {
+            name: "JOB-LightRanges",
+            catalog: imdb.clone(),
+            queries: jlr,
+        },
+        Workload {
+            name: "JOB-M",
+            catalog: imdb,
+            queries: safebound_datagen::job_m(scale.seed),
+        },
         Workload {
             name: "STATS-CEB",
             catalog: stats,

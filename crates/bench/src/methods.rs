@@ -208,7 +208,11 @@ impl<'a> MethodSet<'a> {
 
     /// Recorded statistics footprint (bytes).
     pub fn byte_size(&self, kind: MethodKind) -> usize {
-        self.byte_sizes.iter().find(|(k, _)| *k == kind).map(|(_, b)| *b).unwrap_or(0)
+        self.byte_sizes
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, b)| *b)
+            .unwrap_or(0)
     }
 }
 
@@ -222,10 +226,9 @@ mod tests {
     fn all_methods_estimate_a_join() {
         let catalog = imdb_catalog(&ImdbScale::tiny(), 1);
         let mut set = MethodSet::build(&catalog);
-        let q = parse_sql(
-            "SELECT COUNT(*) FROM title t, movie_keyword mk WHERE t.id = mk.movie_id",
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT COUNT(*) FROM title t, movie_keyword mk WHERE t.id = mk.movie_id")
+                .unwrap();
         let truth = safebound_exec::exact_count(&catalog, &q).unwrap() as f64;
         for kind in MethodKind::end_to_end() {
             let est = set.estimator(kind).estimate(&q, 0b11);

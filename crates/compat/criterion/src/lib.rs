@@ -1,0 +1,335 @@
+//! Offline shim for the subset of `criterion` used by this workspace.
+//!
+//! A real (if simple) measurement harness: each benchmark is warmed up,
+//! then run for `sample_size` samples whose iteration counts are chosen so
+//! a sample takes ≳ [`Criterion::measurement_time`]/`sample_size`. Mean,
+//! median, and min per-iteration times are printed criterion-style; when
+//! the `CRITERION_JSON` environment variable names a file, results are
+//! appended to it as JSON lines (`{"group", "bench", "mean_ns", ...}`).
+//!
+//! No statistics beyond that — no outlier analysis, no HTML reports — but
+//! the numbers are honest wall-clock measurements and the API (`Criterion`,
+//! `benchmark_group`, `bench_function`, `criterion_group!`,
+//! `criterion_main!`, `black_box`) matches upstream closely enough that
+//! swapping the real crate back in is a manifest change only.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A `function/parameter` benchmark identifier (upstream-compatible).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name with a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub bench: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median wall-clock time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    default_sample_size: usize,
+    results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(750),
+            warm_up_time: Duration::from_millis(250),
+            default_sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Default number of samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample = run_bench(
+            "",
+            name,
+            self.default_sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        report(&sample);
+        self.results.push(sample);
+        self
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                for s in &self.results {
+                    let _ = writeln!(
+                        f,
+                        "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                        s.group, s.bench, s.mean_ns, s.median_ns, s.min_ns, s.samples, s.iters_per_sample
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample = run_bench(
+            &self.name,
+            name,
+            self.sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+            self.criterion.warm_up_time,
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            f,
+        );
+        report(&sample);
+        self.criterion.results.push(sample);
+        self
+    }
+
+    /// Measure one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(&id.id, |b| f(b, input))
+    }
+
+    /// Finish the group (no-op beyond upstream API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; `iter` measures the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the requested number of iterations, timing the whole
+    /// batch.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: &str,
+    name: &str,
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) -> Sample {
+    // Warm-up: also estimates the per-iteration cost to size samples.
+    let mut iters = 1u64;
+    let mut per_iter;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed / (iters as u32).max(1);
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 24);
+    }
+    // Pick iterations per sample to fill the measurement budget.
+    let budget = measurement / samples as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1 << 16
+    } else {
+        (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+    };
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let median = times[times.len() / 2];
+    Sample {
+        group: group.to_string(),
+        bench: name.to_string(),
+        mean_ns: mean,
+        median_ns: median,
+        min_ns: times[0],
+        samples,
+        iters_per_sample,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(s: &Sample) {
+    let label = if s.group.is_empty() {
+        s.bench.clone()
+    } else {
+        format!("{}/{}", s.group, s.bench)
+    };
+    println!(
+        "{label:<48} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_ns(s.min_ns),
+        fmt_ns(s.median_ns),
+        fmt_ns(s.mean_ns),
+        s.samples,
+        s.iters_per_sample
+    );
+}
+
+/// Build benchmark entry points, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].mean_ns > 0.0);
+    }
+}

@@ -6,10 +6,9 @@
 //! positive groups preserves the upper-bound guarantee; false positives can
 //! only loosen the bound.
 
-use serde::{Deserialize, Serialize};
-
 /// A classic Bloom filter with double hashing (`h_i = h1 + i·h2`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BloomFilter {
     bits: Vec<u64>,
     num_bits: u64,
@@ -33,7 +32,11 @@ impl BloomFilter {
         let num_bits = (expected.max(1) * bits_per_key.max(1)).max(64) as u64;
         // Optimal k ≈ bits_per_key · ln 2.
         let num_hashes = ((bits_per_key as f64 * 0.693).round() as u32).clamp(1, 16);
-        BloomFilter { bits: vec![0; num_bits.div_ceil(64) as usize], num_bits, num_hashes }
+        BloomFilter {
+            bits: vec![0; num_bits.div_ceil(64) as usize],
+            num_bits,
+            num_hashes,
+        }
     }
 
     /// Insert a key (as bytes).
@@ -83,7 +86,9 @@ mod tests {
         for i in 0..1000u64 {
             f.insert(&i.to_le_bytes());
         }
-        let fps = (1000..101_000u64).filter(|i| f.contains(&i.to_le_bytes())).count();
+        let fps = (1000..101_000u64)
+            .filter(|i| f.contains(&i.to_le_bytes()))
+            .count();
         let rate = fps as f64 / 100_000.0;
         assert!(rate < 0.02, "false positive rate {rate}");
     }

@@ -29,7 +29,11 @@ pub enum Linkage {
 
 /// Self-join distance between two CDSs (§4.1).
 pub fn self_join_distance(a: &PiecewiseLinear, b: &PiecewiseLinear) -> f64 {
-    let merged_sq = a.pointwise_max(b).concave_envelope().delta().square_integral();
+    let merged_sq = a
+        .pointwise_max(b)
+        .concave_envelope()
+        .delta()
+        .square_integral();
     let sa = a.delta().square_integral();
     let sb = b.delta().square_integral();
     let term = |s: f64| if s > 0.0 { merged_sq / s } else { 1.0 };
@@ -129,10 +133,7 @@ pub fn naive_equal_size<T>(items: &[T], k: usize, key: impl Fn(&T) -> f64) -> Ve
 
 /// Replace each cluster of CDSs with its pointwise max (enveloped so the
 /// result stays a valid degree sequence). Returns `(group CDSs, assignment)`.
-pub fn merge_clusters(
-    cdss: &[PiecewiseLinear],
-    assignment: &[usize],
-) -> Vec<PiecewiseLinear> {
+pub fn merge_clusters(cdss: &[PiecewiseLinear], assignment: &[usize]) -> Vec<PiecewiseLinear> {
     let num_groups = assignment.iter().copied().max().map_or(0, |m| m + 1);
     let mut groups: Vec<Option<PiecewiseLinear>> = vec![None; num_groups];
     for (i, &g) in assignment.iter().enumerate() {
@@ -176,8 +177,7 @@ mod tests {
         for _ in 0..4 {
             items.push(cds(&[2; 50]));
         }
-        let assignment =
-            agglomerative(&items, 2, Linkage::Complete, self_join_distance);
+        let assignment = agglomerative(&items, 2, Linkage::Complete, self_join_distance);
         // All skewed in one cluster, all flat in the other.
         assert!(assignment[..4].iter().all(|&c| c == assignment[0]));
         assert!(assignment[4..].iter().all(|&c| c == assignment[4]));
@@ -188,8 +188,7 @@ mod tests {
     fn single_vs_complete_differ_on_chains() {
         // A chain of gradually shifting CDSs: single-linkage happily chains
         // them all; complete-linkage splits.
-        let items: Vec<PiecewiseLinear> =
-            (0..8u64).map(|i| cds(&[10 + 10 * i, 5, 1])).collect();
+        let items: Vec<PiecewiseLinear> = (0..8u64).map(|i| cds(&[10 + 10 * i, 5, 1])).collect();
         let complete = agglomerative(&items, 2, Linkage::Complete, self_join_distance);
         let single = agglomerative(&items, 2, Linkage::Single, self_join_distance);
         // Both must produce exactly two clusters.

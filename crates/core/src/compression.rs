@@ -49,7 +49,9 @@ pub fn compress_cds(ds: &DegreeSequence, seg: Segmentation) -> PiecewiseLinear {
     match seg {
         Segmentation::ValidCompress { c } => valid_compress(ds, c),
         Segmentation::EquiDepth { k } => cds_from_boundaries(ds, &equi_depth_bounds(ds, k)),
-        Segmentation::Exponential { base } => cds_from_boundaries(ds, &exponential_bounds(ds, base)),
+        Segmentation::Exponential { base } => {
+            cds_from_boundaries(ds, &exponential_bounds(ds, base))
+        }
     }
 }
 

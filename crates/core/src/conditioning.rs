@@ -21,24 +21,55 @@ use crate::compression::valid_compress;
 use crate::config::SafeBoundConfig;
 use crate::degree_sequence::DegreeSequence;
 use crate::piecewise::PiecewiseLinear;
+use crate::symbol::Sym;
 use safebound_storage::{Column, DataType, Table, Value};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
+
+/// A join column as the statistics builders see it: the globally interned
+/// symbol it is keyed under, plus its name in the owning table.
+pub type JoinCol = (Sym, String);
 
 /// One conditioned statistic: a CDS per join column of the relation, all
-/// describing the same row subset.
+/// describing the same row subset. Keyed by interned [`Sym`]s in a sorted
+/// vector — relations have a handful of join columns, so lookups are a
+/// short scan/binary search and the combining ops are sorted merges, with
+/// no string hashing anywhere.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CdsSet {
-    /// Join column name → conditioned, compressed CDS.
-    pub by_join_column: BTreeMap<String, PiecewiseLinear>,
+    /// `(join column symbol, conditioned compressed CDS)`, sorted by symbol.
+    pub entries: Vec<(Sym, PiecewiseLinear)>,
 }
 
 impl CdsSet {
+    /// Build from entries (sorts them by symbol).
+    pub fn from_entries(mut entries: Vec<(Sym, PiecewiseLinear)>) -> CdsSet {
+        entries.sort_by_key(|e| e.0);
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate join column"
+        );
+        CdsSet { entries }
+    }
+
+    /// The CDS stored for a join-column symbol.
+    pub fn get(&self, sym: Sym) -> Option<&PiecewiseLinear> {
+        self.entries
+            .binary_search_by_key(&sym, |e| e.0)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// True when the set carries no per-column CDS.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
     /// Upper bound on the row-subset cardinality: the smallest endpoint.
     pub fn cardinality(&self) -> f64 {
         let m = self
-            .by_join_column
-            .values()
-            .map(PiecewiseLinear::endpoint)
+            .entries
+            .iter()
+            .map(|(_, cds)| cds.endpoint())
             .fold(f64::INFINITY, f64::min);
         if m.is_finite() {
             m
@@ -64,33 +95,43 @@ impl CdsSet {
         self.combine(other, |a, b| a.pointwise_sum(b))
     }
 
+    /// Sorted merge over the two symbol-keyed entry lists; columns present
+    /// on only one side are copied through.
     fn combine(
         &self,
         other: &CdsSet,
         op: impl Fn(&PiecewiseLinear, &PiecewiseLinear) -> PiecewiseLinear,
     ) -> CdsSet {
-        let mut out = BTreeMap::new();
-        for (col, a) in &self.by_join_column {
-            match other.by_join_column.get(col) {
-                Some(b) => {
-                    out.insert(col.clone(), op(a, b));
+        let (a, b) = (&self.entries, &other.entries);
+        let mut out = Vec::with_capacity(a.len().max(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Equal => {
+                    out.push((a[i].0, op(&a[i].1, &b[j].1)));
+                    i += 1;
+                    j += 1;
                 }
-                None => {
-                    out.insert(col.clone(), a.clone());
+                std::cmp::Ordering::Less => {
+                    out.push(a[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j].clone());
+                    j += 1;
                 }
             }
         }
-        for (col, b) in &other.by_join_column {
-            out.entry(col.clone()).or_insert_with(|| b.clone());
-        }
-        CdsSet { by_join_column: out }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        CdsSet { entries: out }
     }
 
     /// Approximate heap size in bytes (knot storage).
     pub fn byte_size(&self) -> usize {
-        self.by_join_column
+        self.entries
             .iter()
-            .map(|(k, v)| k.len() + 24 + v.knots().len() * 16)
+            .map(|(_, v)| 24 + v.knots().len() * 16)
             .sum()
     }
 }
@@ -99,29 +140,38 @@ impl CdsSet {
 /// `rows` (`None` = all rows).
 pub fn cds_set_for_rows(
     table: &Table,
-    join_columns: &[String],
+    join_columns: &[JoinCol],
     rows: Option<&[usize]>,
     compression_c: f64,
 ) -> CdsSet {
-    let mut by_join_column = BTreeMap::new();
-    for jc in join_columns {
-        let col = table.column(jc).unwrap_or_else(|| panic!("missing join column {jc}"));
+    let mut entries = Vec::with_capacity(join_columns.len());
+    for (sym, jc) in join_columns {
+        let col = table
+            .column(jc)
+            .unwrap_or_else(|| panic!("missing join column {jc}"));
         let ds = match rows {
             Some(rows) => DegreeSequence::of_column_rows(col, rows),
             None => DegreeSequence::of_column(col),
         };
-        by_join_column.insert(jc.clone(), valid_compress(&ds, compression_c));
+        entries.push((*sym, valid_compress(&ds, compression_c)));
     }
-    CdsSet { by_join_column }
+    CdsSet::from_entries(entries)
 }
 
 /// Distance between CDS sets: sum of self-join distances over shared join
-/// columns.
+/// columns (sorted merge over the symbol-keyed entries).
 fn set_distance(a: &CdsSet, b: &CdsSet) -> f64 {
     let mut d = 0.0;
-    for (col, fa) in &a.by_join_column {
-        if let Some(fb) = b.by_join_column.get(col) {
-            d += self_join_distance(fa, fb);
+    let (mut i, mut j) = (0, 0);
+    while i < a.entries.len() && j < b.entries.len() {
+        match a.entries[i].0.cmp(&b.entries[j].0) {
+            std::cmp::Ordering::Equal => {
+                d += self_join_distance(&a.entries[i].1, &b.entries[j].1);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
         }
     }
     d
@@ -275,7 +325,7 @@ impl McvStats {
 pub fn build_mcv(
     table: &Table,
     filter_col: &str,
-    join_columns: &[String],
+    join_columns: &[JoinCol],
     config: &SafeBoundConfig,
 ) -> McvStats {
     let col = table.column(filter_col).expect("missing filter column");
@@ -287,7 +337,7 @@ pub fn build_mcv(
 pub fn build_mcv_for_column(
     table: &Table,
     col: &Column,
-    join_columns: &[String],
+    join_columns: &[JoinCol],
     config: &SafeBoundConfig,
 ) -> McvStats {
     // Rows per distinct value.
@@ -320,11 +370,21 @@ pub fn build_mcv_for_column(
         }
         McvIndex::Bloom(filters)
     } else {
-        McvIndex::Exact(mcv.iter().zip(&assignment).map(|((v, _), &g)| (v.clone(), g)).collect())
+        McvIndex::Exact(
+            mcv.iter()
+                .zip(&assignment)
+                .map(|((v, _), &g)| (v.clone(), g))
+                .collect(),
+        )
     };
 
-    let default_set = max_cds_over_values(table, join_columns, rest.iter().map(|(_, r)| r.as_slice()));
-    McvStats { groups, index, default_set }
+    let default_set =
+        max_cds_over_values(table, join_columns, rest.iter().map(|(_, r)| r.as_slice()));
+    McvStats {
+        groups,
+        index,
+        default_set,
+    }
 }
 
 /// `max_ℓ F̂_{R.V | A=a_ℓ}` over the given row subsets (Eq. 3 on CDSs):
@@ -332,11 +392,13 @@ pub fn build_mcv_for_column(
 /// Linear in the total number of rows.
 fn max_cds_over_values<'a>(
     table: &Table,
-    join_columns: &[String],
+    join_columns: &[JoinCol],
     row_sets: impl Iterator<Item = &'a [usize]>,
 ) -> CdsSet {
-    let cols: Vec<&Column> =
-        join_columns.iter().map(|jc| table.column(jc).expect("join column")).collect();
+    let cols: Vec<&Column> = join_columns
+        .iter()
+        .map(|(_, jc)| table.column(jc).expect("join column"))
+        .collect();
     // Per join column, acc[i] = max over values of F_value(i+1).
     let mut accs: Vec<Vec<u64>> = vec![Vec::new(); cols.len()];
     for rows in row_sets {
@@ -354,19 +416,23 @@ fn max_cds_over_values<'a>(
         }
     }
     // Enforce monotonicity (max of prefixes can stall) and build polylines.
-    let mut by_join_column = BTreeMap::new();
-    for (acc, jc) in accs.iter_mut().zip(join_columns) {
+    let mut entries = Vec::with_capacity(accs.len());
+    for (acc, (sym, _)) in accs.iter_mut().zip(join_columns) {
         for i in 1..acc.len() {
             if acc[i] < acc[i - 1] {
                 acc[i] = acc[i - 1];
             }
         }
         let mut knots = vec![(0.0, 0.0)];
-        knots.extend(acc.iter().enumerate().map(|(i, &y)| ((i + 1) as f64, y as f64)));
+        knots.extend(
+            acc.iter()
+                .enumerate()
+                .map(|(i, &y)| ((i + 1) as f64, y as f64)),
+        );
         let cds = PiecewiseLinear::from_knots(knots).concave_envelope();
-        by_join_column.insert(jc.clone(), cds);
+        entries.push((*sym, cds));
     }
-    CdsSet { by_join_column }
+    CdsSet::from_entries(entries)
 }
 
 /// One level of the histogram hierarchy: bucket `i` covers values in
@@ -392,7 +458,11 @@ impl HistogramLevel {
             idx = nb - 1;
         }
         let upper = &self.bounds[idx + 1];
-        let covered = if idx + 1 == nb { hi <= upper } else { hi < upper };
+        let covered = if idx + 1 == nb {
+            hi <= upper
+        } else {
+            hi < upper
+        };
         (covered && lo >= &self.bounds[idx]).then_some(idx)
     }
 }
@@ -450,7 +520,7 @@ impl HistogramStats {
 pub fn build_histogram(
     table: &Table,
     filter_col: &str,
-    join_columns: &[String],
+    join_columns: &[JoinCol],
     config: &SafeBoundConfig,
 ) -> Option<HistogramStats> {
     let col = table.column(filter_col).expect("missing filter column");
@@ -462,7 +532,7 @@ pub fn build_histogram(
 pub fn build_histogram_for_column(
     table: &Table,
     col: &Column,
-    join_columns: &[String],
+    join_columns: &[JoinCol],
     config: &SafeBoundConfig,
 ) -> Option<HistogramStats> {
     // Sort row indices by value (non-null only).
@@ -470,7 +540,7 @@ pub fn build_histogram_for_column(
     if rows.is_empty() {
         return None;
     }
-    rows.sort_by(|&a, &b| col.get(a).cmp(&col.get(b)));
+    rows.sort_by_key(|&a| col.get(a));
 
     let k = config.histogram_levels.max(1);
     let finest = (1usize << k).min(rows.len().max(1));
@@ -511,7 +581,8 @@ pub fn build_histogram_for_column(
             let (lo, hi) = (w[0], w[1]);
             let bucket_rows = &rows[lo..hi];
             bounds.push(col.get(bucket_rows[0]));
-            let set = cds_set_for_rows(table, join_columns, Some(bucket_rows), config.compression_c);
+            let set =
+                cds_set_for_rows(table, join_columns, Some(bucket_rows), config.compression_c);
             set_ids.push(all_sets.len());
             all_sets.push(set);
         }
@@ -519,7 +590,8 @@ pub fn build_histogram_for_column(
         levels_meta.push((bounds, set_ids));
     }
 
-    let (groups, assignment) = group_compress(all_sets, config.cds_groups, config.cluster_input_cap);
+    let (groups, assignment) =
+        group_compress(all_sets, config.cds_groups, config.cluster_input_cap);
     let levels = levels_meta
         .into_iter()
         .map(|(bounds, set_ids)| HistogramLevel {
@@ -618,7 +690,7 @@ fn string_ngrams(s: &str, n: usize) -> Vec<String> {
 pub fn build_ngrams(
     table: &Table,
     filter_col: &str,
-    join_columns: &[String],
+    join_columns: &[JoinCol],
     config: &SafeBoundConfig,
 ) -> Option<NgramStats> {
     let col = table.column(filter_col).expect("missing filter column");
@@ -630,7 +702,7 @@ pub fn build_ngrams(
 pub fn build_ngrams_for_column(
     table: &Table,
     col: &Column,
-    join_columns: &[String],
+    join_columns: &[JoinCol],
     config: &SafeBoundConfig,
 ) -> Option<NgramStats> {
     if col.data_type() != DataType::Str {
@@ -670,18 +742,30 @@ pub fn build_ngrams_for_column(
         McvIndex::Bloom(filters)
     } else {
         McvIndex::Exact(
-            mcv.iter().zip(&assignment).map(|((g, _), &gr)| (Value::Str(g.clone()), gr)).collect(),
+            mcv.iter()
+                .zip(&assignment)
+                .map(|((g, _), &gr)| (Value::Str(g.clone()), gr))
+                .collect(),
         )
     };
 
-    let default_set = max_cds_over_values(table, join_columns, rest.iter().map(|(_, r)| r.as_slice()));
-    Some(NgramStats { n, groups, index, default_set })
+    let default_set =
+        max_cds_over_values(table, join_columns, rest.iter().map(|(_, r)| r.as_slice()));
+    Some(NgramStats {
+        n,
+        groups,
+        index,
+        default_set,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use safebound_storage::{Field, Schema};
+
+    /// The single join column of the test fact table, interned as id 0.
+    const FK: Sym = Sym(0);
 
     /// A fact table: join column `fk` (Zipf-ish), numeric filter `year`,
     /// string filter `note`.
@@ -696,7 +780,11 @@ mod tests {
             for r in 0..reps {
                 fks.push(Some(v));
                 years.push(Some(1990 + v));
-                notes.push(if r % 2 == 0 { "action movie" } else { "drama film" });
+                notes.push(if r % 2 == 0 {
+                    "action movie"
+                } else {
+                    "drama film"
+                });
             }
         }
         let schema = Schema::new(vec![
@@ -715,8 +803,8 @@ mod tests {
         )
     }
 
-    fn jc() -> Vec<String> {
-        vec!["fk".to_string()]
+    fn jc() -> Vec<JoinCol> {
+        vec![(FK, "fk".to_string())]
     }
 
     fn exact_conditioned_cds(table: &Table, pred: impl Fn(usize) -> bool) -> PiecewiseLinear {
@@ -735,7 +823,7 @@ mod tests {
             let set = mcv.lookup_eq(&Value::Int(y));
             let exact = exact_conditioned_cds(&t, |i| year_col.get(i) == Value::Int(y));
             assert!(
-                set.by_join_column["fk"].dominates(&exact),
+                set.get(FK).unwrap().dominates(&exact),
                 "year {y}: MCV CDS must dominate exact conditioned CDS"
             );
         }
@@ -752,7 +840,7 @@ mod tests {
         for y in 1995i64..=1998 {
             let set = mcv.lookup_eq(&Value::Int(y));
             let exact = exact_conditioned_cds(&t, |i| year_col.get(i) == Value::Int(y));
-            assert!(set.by_join_column["fk"].dominates(&exact), "year {y}");
+            assert!(set.get(FK).unwrap().dominates(&exact), "year {y}");
         }
         // An unseen value also gets the default.
         let unseen = mcv.lookup_eq(&Value::Int(2050));
@@ -769,7 +857,7 @@ mod tests {
         for y in 1991i64..=1998 {
             let set = mcv.lookup_eq(&Value::Int(y));
             let exact = exact_conditioned_cds(&t, |i| year_col.get(i) == Value::Int(y));
-            assert!(set.by_join_column["fk"].dominates(&exact), "bloom year {y}");
+            assert!(set.get(FK).unwrap().dominates(&exact), "bloom year {y}");
         }
     }
 
@@ -784,7 +872,7 @@ mod tests {
         for y in 1991i64..=1998 {
             let set = mcv.lookup_eq(&Value::Int(y));
             let exact = exact_conditioned_cds(&t, |i| year_col.get(i) == Value::Int(y));
-            assert!(set.by_join_column["fk"].dominates(&exact), "grouped year {y}");
+            assert!(set.get(FK).unwrap().dominates(&exact), "grouped year {y}");
         }
     }
 
@@ -795,15 +883,16 @@ mod tests {
         let hist = build_histogram(&t, "year", &jc(), &cfg).unwrap();
         let year_col = t.column("year").unwrap();
         for (lo, hi) in [(1991, 1992), (1993, 1996), (1991, 1998), (1997, 1998)] {
-            let exact = exact_conditioned_cds(&t, |i| {
-                matches!(year_col.get(i), Value::Int(y) if y >= lo && y <= hi)
-            });
-            match hist.lookup_range(&Value::Int(lo), &Value::Int(hi)) {
-                Some(set) => assert!(
-                    set.by_join_column["fk"].dominates(&exact),
+            let exact = exact_conditioned_cds(
+                &t,
+                |i| matches!(year_col.get(i), Value::Int(y) if y >= lo && y <= hi),
+            );
+            // A `None` lookup falls back to base, which trivially dominates.
+            if let Some(set) = hist.lookup_range(&Value::Int(lo), &Value::Int(hi)) {
+                assert!(
+                    set.get(FK).unwrap().dominates(&exact),
                     "range [{lo},{hi}] must dominate"
-                ),
-                None => {} // fallback to base is trivially dominating
+                );
             }
         }
     }
@@ -841,11 +930,12 @@ mod tests {
         let note_col = t.column("note").unwrap();
         for pattern in ["%action%", "%movie%", "%drama%", "%ion mo%"] {
             let set = ng.lookup_like(pattern).unwrap();
-            let exact = exact_conditioned_cds(&t, |i| {
-                matches!(note_col.get(i), Value::Str(s) if like_match(&s, pattern))
-            });
+            let exact = exact_conditioned_cds(
+                &t,
+                |i| matches!(note_col.get(i), Value::Str(s) if like_match(&s, pattern)),
+            );
             assert!(
-                set.by_join_column["fk"].dominates(&exact),
+                set.get(FK).unwrap().dominates(&exact),
                 "pattern {pattern} must dominate"
             );
         }
@@ -860,10 +950,11 @@ mod tests {
         // A gram not in the tiny MCV must still yield a dominating set.
         let set = ng.lookup_like("%drama%").unwrap();
         let note_col = t.column("note").unwrap();
-        let exact = exact_conditioned_cds(&t, |i| {
-            matches!(note_col.get(i), Value::Str(s) if s.contains("drama"))
-        });
-        assert!(set.by_join_column["fk"].dominates(&exact));
+        let exact = exact_conditioned_cds(
+            &t,
+            |i| matches!(note_col.get(i), Value::Str(s) if s.contains("drama")),
+        );
+        assert!(set.get(FK).unwrap().dominates(&exact));
     }
 
     #[test]
@@ -883,7 +974,7 @@ mod tests {
         let mn = base.pointwise_min(&sub);
         assert!(mn.cardinality() <= sub.cardinality() + 1e-9);
         let mx = base.pointwise_max(&sub);
-        assert!(mx.by_join_column["fk"].dominates(&base.by_join_column["fk"]));
+        assert!(mx.get(FK).unwrap().dominates(base.get(FK).unwrap()));
         let sm = sub.pointwise_sum(&sub);
         assert!((sm.cardinality() - 2.0 * sub.cardinality()).abs() < 1e-6);
     }

@@ -106,9 +106,8 @@ mod tests {
 
     /// The Fig. 1 column: a b c c c c d d e e f.
     fn fig1() -> DegreeSequence {
-        let col = Column::from_strs(
-            ["a", "b", "c", "c", "c", "c", "d", "d", "e", "e", "f"].map(Some),
-        );
+        let col =
+            Column::from_strs(["a", "b", "c", "c", "c", "c", "d", "d", "e", "e", "f"].map(Some));
         DegreeSequence::of_column(&col)
     }
 

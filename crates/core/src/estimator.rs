@@ -10,13 +10,12 @@
 //! the min over spanning-tree relaxations (§3.6); joins on undeclared
 //! columns use the truncated-fallback CDS (§3.6).
 
-use crate::bound::{fdsb, BoundError, RelationBoundStats};
+use crate::bound::{fdsb_with_scratch, BoundError, BoundScratch, RelationBoundStats};
 use crate::conditioning::CdsSet;
 use crate::config::SafeBoundConfig;
 use crate::stats::{propagated_key, FilterColumnStats, SafeBoundStats, TableStats};
-use safebound_query::{BoundPlan, CmpOp, JoinGraph, Predicate, Query};
+use safebound_query::{BoundPlan, CmpOp, ColId, JoinGraph, Predicate, Query};
 use safebound_storage::Catalog;
-use std::collections::HashMap;
 
 /// Errors from the online phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,7 +67,20 @@ impl SafeBound {
     }
 
     /// A guaranteed upper bound on the query's output cardinality.
+    ///
+    /// Convenience wrapper allocating a fresh [`BoundScratch`]; hot-path
+    /// callers should hold one and use [`SafeBound::bound_with_scratch`].
     pub fn bound(&self, query: &Query) -> Result<f64, EstimateError> {
+        self.bound_with_scratch(query, &mut BoundScratch::default())
+    }
+
+    /// [`SafeBound::bound`] with a caller-provided scratch arena, so the
+    /// FDSB evaluation itself allocates nothing in steady state.
+    pub fn bound_with_scratch(
+        &self,
+        query: &Query,
+        scratch: &mut BoundScratch,
+    ) -> Result<f64, EstimateError> {
         if query.num_relations() == 0 {
             return Ok(0.0);
         }
@@ -84,8 +96,8 @@ impl SafeBound {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            let rel_stats = self.relation_stats(rq, &graph)?;
-            let b = fdsb(&plan, &rel_stats)?;
+            let rel_stats = self.relation_stats(rq, &graph, &plan)?;
+            let b = fdsb_with_scratch(&plan, &rel_stats, scratch)?;
             if b < best {
                 best = b;
             }
@@ -97,24 +109,55 @@ impl SafeBound {
         }
     }
 
-    /// Per-relation FDSB inputs for a (relaxed, acyclic) query.
+    /// The per-relaxation FDSB kernel inputs for a query — exactly what
+    /// [`SafeBound::bound`] evaluates (one `(plan, stats)` pair per
+    /// acyclic relaxation; the bound is their minimum). Exposed so
+    /// benchmarks and tests can drive [`crate::bound::fdsb_with_scratch`]
+    /// and [`crate::bound::fdsb_reference`] on identical inputs.
+    pub fn bound_inputs(
+        &self,
+        query: &Query,
+    ) -> Result<Vec<(BoundPlan, Vec<RelationBoundStats>)>, EstimateError> {
+        let relaxations =
+            safebound_query::spanning_relaxations(query, self.stats.config.spanning_tree_cap);
+        let mut out = Vec::new();
+        for rq in &relaxations {
+            let graph = JoinGraph::new(rq);
+            if !graph.is_berge_acyclic() {
+                continue;
+            }
+            let Ok(plan) = BoundPlan::build(rq, &graph) else {
+                continue;
+            };
+            let rel_stats = self.relation_stats(rq, &graph, &plan)?;
+            out.push((plan, rel_stats));
+        }
+        Ok(out)
+    }
+
+    /// Per-relation FDSB inputs for a (relaxed, acyclic) query, keyed by
+    /// the plan's interned column ids.
     fn relation_stats(
         &self,
         query: &Query,
         graph: &JoinGraph,
+        plan: &BoundPlan,
     ) -> Result<Vec<RelationBoundStats>, EstimateError> {
-        // Columns each relation contributes to join variables.
-        let mut join_cols: Vec<Vec<String>> = vec![Vec::new(); query.num_relations()];
+        // Plan columns each relation contributes to join variables. Column
+        // names resolve to plan ids here, once per query — never inside
+        // the bound evaluation.
+        let mut join_cols: Vec<Vec<(ColId, &str)>> = vec![Vec::new(); query.num_relations()];
         for var in &graph.vars {
             for &(rel, ref col) in &var.attrs {
-                if !join_cols[rel].contains(col) {
-                    join_cols[rel].push(col.clone());
+                let Some(id) = plan.col_id(col) else { continue };
+                if !join_cols[rel].iter().any(|(i, _)| *i == id) {
+                    join_cols[rel].push((id, col.as_str()));
                 }
             }
         }
 
         let mut out = Vec::with_capacity(query.num_relations());
-        for rel in 0..query.num_relations() {
+        for (rel, rel_cols) in join_cols.iter().enumerate() {
             let table_name = &query.relations[rel].table;
             let ts = self
                 .stats
@@ -136,10 +179,13 @@ impl SafeBound {
                 } else {
                     continue;
                 };
-                let Some(pred) = query.predicate_of(other_rel) else { continue };
+                let Some(pred) = query.predicate_of(other_rel) else {
+                    continue;
+                };
                 let other_table = &query.relations[other_rel].table;
                 let lookup = |c: &str| {
-                    ts.filter_stats.get(&propagated_key(my_col, other_table, other_col, c))
+                    ts.filter_stats
+                        .get(&propagated_key(my_col, other_table, other_col, c))
                 };
                 if let Some(set) = resolve_predicate(&lookup, pred) {
                     cond = Some(match cond {
@@ -149,7 +195,7 @@ impl SafeBound {
                 }
             }
 
-            out.push(self.assemble(ts, cond, &join_cols[rel]));
+            out.push(self.assemble(ts, cond, rel_cols));
         }
         Ok(out)
     }
@@ -160,20 +206,19 @@ impl SafeBound {
         &self,
         ts: &TableStats,
         cond: Option<CdsSet>,
-        used_join_cols: &[String],
+        used_join_cols: &[(ColId, &str)],
     ) -> RelationBoundStats {
         // Cardinality bound: conditioned if available, else the row count.
         let card_bound = match &cond {
-            Some(set) if !set.by_join_column.is_empty() => {
-                set.cardinality().min(ts.row_count as f64)
-            }
+            Some(set) if !set.is_empty() => set.cardinality().min(ts.row_count as f64),
             _ => ts.row_count as f64,
         };
 
-        let mut cds_by_column = HashMap::new();
-        for col in used_join_cols {
-            let conditioned = cond.as_ref().and_then(|s| s.by_join_column.get(col));
-            let base = ts.base.by_join_column.get(col);
+        let mut stats = RelationBoundStats::scalar(card_bound);
+        for &(plan_col, name) in used_join_cols {
+            let sym = self.stats.symbols.lookup(name);
+            let conditioned = sym.and_then(|s| cond.as_ref().and_then(|set| set.get(s)));
+            let base = sym.and_then(|s| ts.base.get(s));
             let cds = match (conditioned, base) {
                 // Conditioned is already ≤ base in spirit; min for safety.
                 (Some(c), Some(b)) => c.pointwise_min(b),
@@ -183,23 +228,20 @@ impl SafeBound {
                     // Undeclared join column (§3.6): truncate the
                     // unconditioned fallback at the filtered-cardinality
                     // bound.
-                    match ts.fallback_cds.get(col) {
+                    match sym.and_then(|s| ts.fallback(s)) {
                         Some(f) => f.clone(),
                         None => {
                             // Unknown column: a key-shaped CDS of the whole
                             // table is the only sound default.
-                            crate::piecewise::PiecewiseConstant::constant(
-                                ts.row_count as f64,
-                                1.0,
-                            )
-                            .cumulative()
+                            crate::piecewise::PiecewiseConstant::constant(ts.row_count as f64, 1.0)
+                                .cumulative()
                         }
                     }
                 }
             };
-            cds_by_column.insert(col.clone(), cds.truncate_at(card_bound));
+            stats.set(plan_col, cds.truncate_at(card_bound));
         }
-        RelationBoundStats { cds_by_column, cardinality: card_bound }
+        stats
     }
 }
 
@@ -285,7 +327,10 @@ mod tests {
         let kw_names = ["common", "frequent", "medium", "rare", "unique"];
         let kw = Table::new(
             "keyword",
-            Schema::new(vec![Field::new("id", DataType::Int), Field::new("word", DataType::Str)]),
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("word", DataType::Str),
+            ]),
             vec![
                 Column::from_ints((1..=5).map(Some)),
                 Column::from_strs(kw_names.map(Some)),
@@ -312,7 +357,11 @@ mod tests {
                 Field::new("keyword_id", DataType::Int),
                 Field::new("year", DataType::Int),
             ]),
-            vec![Column::from_ints(movie_ids), Column::from_ints(kw_ids), Column::from_ints(year)],
+            vec![
+                Column::from_ints(movie_ids),
+                Column::from_ints(kw_ids),
+                Column::from_ints(year),
+            ],
         );
         c.add_table(kw);
         c.add_table(mk);
@@ -390,7 +439,10 @@ mod tests {
         )
         .unwrap();
         let without = sb.bound(&q_all).unwrap();
-        assert!(with_pred < without, "predicate must reduce bound: {with_pred} vs {without}");
+        assert!(
+            with_pred < without,
+            "predicate must reduce bound: {with_pred} vs {without}"
+        );
     }
 
     #[test]
@@ -486,7 +538,10 @@ mod tests {
             .unwrap();
             let bound = sb.bound(&q).unwrap();
             let truth = true_count(&cat, |_, w| w == word);
-            assert!(bound >= truth - 1e-6, "word {word}: bound {bound} < truth {truth}");
+            assert!(
+                bound >= truth - 1e-6,
+                "word {word}: bound {bound} < truth {truth}"
+            );
         }
     }
 }

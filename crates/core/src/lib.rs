@@ -54,13 +54,16 @@ pub mod conditioning;
 pub mod config;
 pub mod degree_sequence;
 pub mod estimator;
+pub mod parallel;
 pub mod piecewise;
 pub mod stats;
+pub mod symbol;
 
-pub use bound::{fdsb, BoundError, RelationBoundStats};
+pub use bound::{fdsb, fdsb_with_scratch, BoundError, BoundScratch, RelationBoundStats};
 pub use compression::{valid_compress, Segmentation};
 pub use config::SafeBoundConfig;
 pub use degree_sequence::DegreeSequence;
 pub use estimator::{EstimateError, SafeBound};
 pub use piecewise::{PiecewiseConstant, PiecewiseLinear};
 pub use stats::{SafeBoundBuilder, SafeBoundStats, TableStats};
+pub use symbol::{Sym, SymbolTable};

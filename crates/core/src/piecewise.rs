@@ -18,15 +18,37 @@
 //!   value (a CDS never exceeds the relation's cardinality).
 //! * Ranks are `f64` because valid compression (Algorithm 1) produces
 //!   fractional segment boundaries.
-
-use serde::{Deserialize, Serialize};
+//!
+//! # Complexity
+//!
+//! Every combining operation is a **cursor-based sweep-line merge** over
+//! the already-sorted segment/knot arrays: per-input cursors advance left
+//! to right, each input's current value is carried across the sweep, and
+//! the output is emitted in order. For total input size `K` and fan-in
+//! `m`:
+//!
+//! * [`PiecewiseConstant::product`] / [`PiecewiseConstant::pointwise_sum`]
+//!   — `O(K·m)` for small fan-in (linear min-scan over `m` cursors),
+//!   `O(K log m)` with a cursor heap once `m` exceeds
+//!   [`HEAP_FAN_IN`]. No `value(x)` binary search is ever issued.
+//! * [`PiecewiseLinear::pointwise_min`] / [`pointwise_max`](PiecewiseLinear::pointwise_max)
+//!   / [`pointwise_sum`](PiecewiseLinear::pointwise_sum) — `O(K)` two-cursor
+//!   merges; min/max emit crossing knots from the carried segment values.
+//! * [`PiecewiseLinear::eval`] / [`PiecewiseLinear::inverse`] — `O(log K)`
+//!   on **every** path (the flat-tail endpoint case included).
+//!
+//! The pre-sweep implementations (union of breakpoints, re-evaluating
+//! every input at each interval midpoint by binary search —
+//! `O(K·m·log K)`) are retained in [`reference`] as the oracle for
+//! property tests and as the baseline for the `inference` benchmark.
 
 /// Tolerance for merging breakpoints and comparing ranks.
 pub const EPS: f64 = 1e-9;
 
 /// A non-negative piecewise-constant function on `(0, support]`, stored as
 /// `(right_edge, value)` pairs with strictly increasing edges.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PiecewiseConstant {
     segments: Vec<(f64, f64)>,
 }
@@ -62,7 +84,9 @@ impl PiecewiseConstant {
 
     /// The zero function (empty support).
     pub fn zero() -> Self {
-        PiecewiseConstant { segments: Vec::new() }
+        PiecewiseConstant {
+            segments: Vec::new(),
+        }
     }
 
     /// Constant function `v` on `(0, d]`.
@@ -141,59 +165,25 @@ impl PiecewiseConstant {
     }
 
     /// Pointwise product of several functions, on the intersection of
-    /// supports (an α-step; Algorithm 2 line 4).
+    /// supports (an α-step; Algorithm 2 line 4). Sweep-line merge: see the
+    /// module docs for complexity.
     pub fn product(fns: &[&PiecewiseConstant]) -> PiecewiseConstant {
-        assert!(!fns.is_empty());
-        let support = fns.iter().map(|f| f.support()).fold(f64::INFINITY, f64::min);
-        if support <= 0.0 || !support.is_finite() {
-            return Self::zero();
-        }
-        // Union of breakpoints below the joint support.
-        let mut edges: Vec<f64> = fns
-            .iter()
-            .flat_map(|f| f.segments.iter().map(|s| s.0))
-            .filter(|&e| e < support - EPS)
-            .collect();
-        edges.push(support);
-        edges.sort_by(f64::total_cmp);
-        edges.dedup_by(|a, b| (*a - *b).abs() <= EPS);
-
-        let mut out = Vec::with_capacity(edges.len());
-        let mut prev = 0.0;
-        for edge in edges {
-            let mid = 0.5 * (prev + edge);
-            let v: f64 = fns.iter().map(|f| f.value(mid)).product();
-            out.push((edge, v));
-            prev = edge;
-        }
-        Self::new(out)
+        let slices: Vec<&[(f64, f64)]> = fns.iter().map(|f| f.segments.as_slice()).collect();
+        let mut scratch = SweepScratch::default();
+        let mut out = Vec::new();
+        product_sweep_into(&slices, &mut scratch, &mut out);
+        PiecewiseConstant { segments: out }
     }
 
     /// Pointwise sum, extending each function by 0 beyond its support (used
-    /// for disjunctions of conditioned degree sequences, §3.2).
+    /// for disjunctions of conditioned degree sequences, §3.2). Sweep-line
+    /// merge: see the module docs for complexity.
     pub fn pointwise_sum(fns: &[&PiecewiseConstant]) -> PiecewiseConstant {
-        assert!(!fns.is_empty());
-        let support = fns.iter().map(|f| f.support()).fold(0.0, f64::max);
-        if support <= 0.0 {
-            return Self::zero();
-        }
-        let mut edges: Vec<f64> = fns
-            .iter()
-            .flat_map(|f| f.segments.iter().map(|s| s.0))
-            .filter(|&e| e < support - EPS)
-            .collect();
-        edges.push(support);
-        edges.sort_by(f64::total_cmp);
-        edges.dedup_by(|a, b| (*a - *b).abs() <= EPS);
-        let mut out = Vec::with_capacity(edges.len());
-        let mut prev = 0.0;
-        for edge in edges {
-            let mid = 0.5 * (prev + edge);
-            let v: f64 = fns.iter().map(|f| f.value(mid)).sum();
-            out.push((edge, v));
-            prev = edge;
-        }
-        Self::new(out)
+        let slices: Vec<&[(f64, f64)]> = fns.iter().map(|f| f.segments.as_slice()).collect();
+        let mut scratch = SweepScratch::default();
+        let mut out = Vec::new();
+        sum_sweep_into(&slices, &mut scratch, &mut out);
+        PiecewiseConstant { segments: out }
     }
 
     /// Restrict the support to `(0, d]`.
@@ -213,10 +203,231 @@ impl PiecewiseConstant {
     }
 }
 
+/// Fan-in above which the k-way sweeps switch from a linear min-scan over
+/// cursors to a binary heap of `(next_edge, input)` pairs.
+pub const HEAP_FAN_IN: usize = 8;
+
+/// Reusable cursor/heap storage for the k-way piecewise-constant sweeps.
+/// Clearing a `Vec` keeps its capacity, so a scratch reused across calls
+/// stops allocating once it has seen the largest fan-in.
+#[derive(Debug, Default, Clone)]
+pub struct SweepScratch {
+    cursors: Vec<usize>,
+    heap: Vec<(f64, u32)>,
+}
+
+/// Append `(edge, value)` to sweep output: zero-width slivers are dropped,
+/// adjacent equal values extend the previous segment (the invariants of
+/// [`PiecewiseConstant::new`], maintained inline).
+#[inline]
+pub(crate) fn push_seg(out: &mut Vec<(f64, f64)>, edge: f64, value: f64) {
+    match out.last_mut() {
+        Some(last) => {
+            if edge <= last.0 + EPS {
+                return;
+            }
+            if (last.1 - value).abs() <= EPS {
+                last.0 = edge;
+                return;
+            }
+        }
+        None => {
+            if edge <= EPS {
+                return;
+            }
+        }
+    }
+    out.push((edge, value));
+}
+
+/// Sift the last element of a `(key, payload)` min-heap into place.
+#[inline]
+fn heap_push(heap: &mut Vec<(f64, u32)>, item: (f64, u32)) {
+    heap.push(item);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[parent].0 <= heap[i].0 {
+            break;
+        }
+        heap.swap(parent, i);
+        i = parent;
+    }
+}
+
+/// Pop the minimum of a `(key, payload)` min-heap.
+#[inline]
+fn heap_pop(heap: &mut Vec<(f64, u32)>) -> Option<(f64, u32)> {
+    if heap.is_empty() {
+        return None;
+    }
+    let min = heap.swap_remove(0);
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut smallest = i;
+        if l < heap.len() && heap[l].0 < heap[smallest].0 {
+            smallest = l;
+        }
+        if r < heap.len() && heap[r].0 < heap[smallest].0 {
+            smallest = r;
+        }
+        if smallest == i {
+            return Some(min);
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    }
+}
+
+/// K-way sweep-line pointwise product into `out` (cleared first). Inputs
+/// are raw `(right_edge, value)` segment slices so callers can feed arena
+/// buffers. The output lives on the intersection of supports; each input's
+/// current value is carried by a cursor, so no point evaluations are
+/// needed.
+pub(crate) fn product_sweep_into(
+    fns: &[&[(f64, f64)]],
+    scratch: &mut SweepScratch,
+    out: &mut Vec<(f64, f64)>,
+) {
+    assert!(!fns.is_empty());
+    out.clear();
+    let support = fns
+        .iter()
+        .map(|f| f.last().map_or(0.0, |s| s.0))
+        .fold(f64::INFINITY, f64::min);
+    if support <= 0.0 || !support.is_finite() {
+        return;
+    }
+    let k = fns.len();
+    let cursors = &mut scratch.cursors;
+    cursors.clear();
+    cursors.resize(k, 0);
+
+    if k > HEAP_FAN_IN {
+        // Heap path: O(K log m). The product is maintained incrementally
+        // (divide out the old value, multiply in the new), with exact
+        // zeros tracked separately so no division by zero occurs.
+        let heap = &mut scratch.heap;
+        heap.clear();
+        let mut zeros = 0usize;
+        let mut prod = 1.0f64;
+        for (i, f) in fns.iter().enumerate() {
+            let v = f[0].1;
+            if v == 0.0 {
+                zeros += 1;
+            } else {
+                prod *= v;
+            }
+            heap_push(heap, (f[0].0, i as u32));
+        }
+        loop {
+            let edge = heap[0].0;
+            if edge >= support - EPS {
+                push_seg(out, support, if zeros > 0 { 0.0 } else { prod });
+                return;
+            }
+            push_seg(out, edge, if zeros > 0 { 0.0 } else { prod });
+            while !heap.is_empty() && heap[0].0 <= edge + EPS {
+                let (_, i) = heap_pop(heap).unwrap();
+                let f = fns[i as usize];
+                let c = &mut cursors[i as usize];
+                let old = f[*c].1;
+                *c += 1;
+                // Inputs can only be exhausted at the joint support, where
+                // the loop has already returned.
+                let (next_edge, new) = f[*c];
+                if old == 0.0 {
+                    zeros -= 1;
+                } else {
+                    prod /= old;
+                }
+                if new == 0.0 {
+                    zeros += 1;
+                } else {
+                    prod *= new;
+                }
+                heap_push(heap, (next_edge, i));
+            }
+        }
+    } else {
+        // Linear path: O(K·m) min-scan, product recomputed per event (no
+        // incremental drift).
+        loop {
+            let mut edge = f64::INFINITY;
+            for (f, &c) in fns.iter().zip(cursors.iter()) {
+                let e = f[c].0;
+                if e < edge {
+                    edge = e;
+                }
+            }
+            let mut value = 1.0f64;
+            for (f, &c) in fns.iter().zip(cursors.iter()) {
+                value *= f[c].1;
+            }
+            if edge >= support - EPS {
+                push_seg(out, support, value);
+                return;
+            }
+            push_seg(out, edge, value);
+            for (f, c) in fns.iter().zip(cursors.iter_mut()) {
+                while *c + 1 < f.len() && f[*c].0 <= edge + EPS {
+                    *c += 1;
+                }
+            }
+        }
+    }
+}
+
+/// K-way sweep-line pointwise sum into `out` (cleared first). The output
+/// lives on the union of supports; exhausted inputs contribute 0.
+pub(crate) fn sum_sweep_into(
+    fns: &[&[(f64, f64)]],
+    scratch: &mut SweepScratch,
+    out: &mut Vec<(f64, f64)>,
+) {
+    assert!(!fns.is_empty());
+    out.clear();
+    let support = fns
+        .iter()
+        .map(|f| f.last().map_or(0.0, |s| s.0))
+        .fold(0.0, f64::max);
+    if support <= 0.0 {
+        return;
+    }
+    let cursors = &mut scratch.cursors;
+    cursors.clear();
+    cursors.resize(fns.len(), 0);
+    loop {
+        // Next event: the smallest pending edge over live cursors.
+        let mut edge = f64::INFINITY;
+        let mut value = 0.0f64;
+        for (f, &c) in fns.iter().zip(cursors.iter()) {
+            if c < f.len() {
+                let e = f[c].0;
+                if e < edge {
+                    edge = e;
+                }
+                value += f[c].1;
+            }
+        }
+        push_seg(out, edge, value);
+        if edge >= support - EPS {
+            return;
+        }
+        for (f, c) in fns.iter().zip(cursors.iter_mut()) {
+            while *c < f.len() && f[*c].0 <= edge + EPS {
+                *c += 1;
+            }
+        }
+    }
+}
+
 /// A continuous, non-decreasing polyline starting at `(0, 0)` — the shape
 /// of every (compressed) cumulative degree sequence. Beyond its last knot
 /// the function is constant at its endpoint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PiecewiseLinear {
     knots: Vec<(f64, f64)>,
 }
@@ -256,7 +467,9 @@ impl PiecewiseLinear {
 
     /// The degenerate CDS of an empty relation.
     pub fn empty() -> Self {
-        PiecewiseLinear { knots: vec![(0.0, 0.0)] }
+        PiecewiseLinear {
+            knots: vec![(0.0, 0.0)],
+        }
     }
 
     /// The knots.
@@ -301,20 +514,15 @@ impl PiecewiseLinear {
             return 0.0;
         }
         if y >= self.endpoint() {
-            // The leftmost x achieving the endpoint (flat tails snap left).
+            // The leftmost x achieving the endpoint (flat tails snap left):
+            // since y-knots are non-decreasing, that is the first knot at
+            // the endpoint level — O(log K) like every other path.
             let end = self.endpoint();
             if y > end + EPS {
                 return self.support();
             }
-            let mut x = self.support();
-            for w in self.knots.windows(2).rev() {
-                if w[0].1 >= end - EPS {
-                    x = w[0].0;
-                } else {
-                    break;
-                }
-            }
-            return x;
+            let idx = self.knots.partition_point(|&(_, ky)| ky < end - EPS);
+            return self.knots[idx].0;
         }
         let idx = self.knots.partition_point(|&(_, ky)| ky < y);
         let (x0, y0) = self.knots[idx - 1];
@@ -349,74 +557,62 @@ impl PiecewiseLinear {
         true
     }
 
+    /// Two-cursor sweep for min/max: walk the merged knot sequence once,
+    /// carrying each polyline's current value and slope; a sign change of
+    /// the carried difference inside an interval emits the crossing knot.
+    /// `O(|a| + |b|)`, no `eval` binary searches.
     fn combine(a: &PiecewiseLinear, b: &PiecewiseLinear, take_min: bool) -> PiecewiseLinear {
         let support = a.support().max(b.support());
-        // Candidate breakpoints: all knots plus segment crossings.
-        let mut xs: Vec<f64> = a
-            .knots
-            .iter()
-            .chain(b.knots.iter())
-            .map(|&(x, _)| x)
-            .filter(|&x| x <= support + EPS)
-            .collect();
-        // Crossings: for every pair of overlapping segments solve for
-        // equality. Cheap O(n·m) — compressed CDSs have tens of segments.
-        for wa in a.knots.windows(2) {
-            for wb in b.knots.windows(2) {
-                let (ax0, ay0) = wa[0];
-                let (ax1, ay1) = wa[1];
-                let (bx0, by0) = wb[0];
-                let (bx1, by1) = wb[1];
-                let lo = ax0.max(bx0);
-                let hi = ax1.min(bx1);
-                if hi <= lo + EPS {
-                    continue;
-                }
-                let sa = (ay1 - ay0) / (ax1 - ax0);
-                let sb = (by1 - by0) / (bx1 - bx0);
-                if (sa - sb).abs() <= EPS {
-                    continue;
-                }
-                // a(x) = ay0 + sa (x-ax0); b(x) = by0 + sb (x-bx0)
-                let x = (by0 - ay0 + sa * ax0 - sb * bx0) / (sa - sb);
-                if x > lo + EPS && x < hi - EPS {
-                    xs.push(x);
-                }
-            }
-        }
-        // Also crossings with the flat extension of the shorter function.
-        for (short, long) in [(a, b), (b, a)] {
-            if short.support() < support - EPS {
-                let level = short.endpoint();
-                for w in long.knots.windows(2) {
-                    let (x0, y0) = w[0];
-                    let (x1, y1) = w[1];
-                    if x1 <= short.support() + EPS {
-                        continue;
-                    }
-                    if (y1 - y0).abs() <= EPS {
-                        continue;
-                    }
-                    if (y0 - level) * (y1 - level) < 0.0 {
-                        let x = x0 + (x1 - x0) * (level - y0) / (y1 - y0);
-                        if x > short.support() {
-                            xs.push(x);
-                        }
-                    }
+        let (ka, kb) = (&a.knots, &b.knots);
+        let mut knots: Vec<(f64, f64)> = Vec::with_capacity(ka.len() + kb.len() + 2);
+        knots.push((0.0, 0.0));
+        // Next-knot cursors (index 0 is the shared origin).
+        let (mut ia, mut ib) = (1usize, 1usize);
+        let (mut x, mut ya, mut yb) = (0.0f64, 0.0f64, 0.0f64);
+        while x < support - EPS {
+            // Current slopes; beyond its support a polyline extends flat.
+            let (nxa, sa) = if ia < ka.len() {
+                (ka[ia].0, (ka[ia].1 - ya) / (ka[ia].0 - x))
+            } else {
+                (f64::INFINITY, 0.0)
+            };
+            let (nxb, sb) = if ib < kb.len() {
+                (kb[ib].0, (kb[ib].1 - yb) / (kb[ib].0 - x))
+            } else {
+                (f64::INFINITY, 0.0)
+            };
+            let x1 = nxa.min(nxb).min(support);
+            let dx = x1 - x;
+            // Snap to exact knot values at knot events (no carried drift).
+            let ya1 = if nxa <= x1 + EPS {
+                ka[ia].1
+            } else {
+                ya + sa * dx
+            };
+            let yb1 = if nxb <= x1 + EPS {
+                kb[ib].1
+            } else {
+                yb + sb * dx
+            };
+            // Crossing strictly inside the interval?
+            let (d0, d1) = (ya - yb, ya1 - yb1);
+            if d0 * d1 < 0.0 && d0.abs() > EPS && d1.abs() > EPS {
+                let xc = x + dx * d0 / (d0 - d1);
+                if xc > x + EPS && xc < x1 - EPS {
+                    knots.push((xc, ya + sa * (xc - x)));
                 }
             }
+            knots.push((x1, if take_min { ya1.min(yb1) } else { ya1.max(yb1) }));
+            x = x1;
+            ya = ya1;
+            yb = yb1;
+            if ia < ka.len() && ka[ia].0 <= x + EPS {
+                ia += 1;
+            }
+            if ib < kb.len() && kb[ib].0 <= x + EPS {
+                ib += 1;
+            }
         }
-        xs.push(support);
-        xs.sort_by(f64::total_cmp);
-        xs.dedup_by(|p, q| (*p - *q).abs() <= EPS);
-
-        let knots: Vec<(f64, f64)> = xs
-            .into_iter()
-            .map(|x| {
-                let (ya, yb) = (a.eval(x), b.eval(x));
-                (x, if take_min { ya.min(yb) } else { ya.max(yb) })
-            })
-            .collect();
         PiecewiseLinear::from_knots(knots)
     }
 
@@ -433,19 +629,47 @@ impl PiecewiseLinear {
     }
 
     /// Pointwise sum, with flat extension beyond each support (predicate
-    /// disjunction on CDSs, §3.2).
+    /// disjunction on CDSs, §3.2). Two-cursor merge over the knot arrays,
+    /// `O(|self| + |other|)`.
     pub fn pointwise_sum(&self, other: &PiecewiseLinear) -> PiecewiseLinear {
+        let (ka, kb) = (&self.knots, &other.knots);
         let support = self.support().max(other.support());
-        let mut xs: Vec<f64> = self
-            .knots
-            .iter()
-            .chain(other.knots.iter())
-            .map(|&(x, _)| x)
-            .collect();
-        xs.push(support);
-        xs.sort_by(f64::total_cmp);
-        xs.dedup_by(|p, q| (*p - *q).abs() <= EPS);
-        let knots = xs.into_iter().map(|x| (x, self.eval(x) + other.eval(x))).collect();
+        let mut knots: Vec<(f64, f64)> = Vec::with_capacity(ka.len() + kb.len() + 1);
+        knots.push((0.0, 0.0));
+        let (mut ia, mut ib) = (1usize, 1usize);
+        let (mut x, mut ya, mut yb) = (0.0f64, 0.0f64, 0.0f64);
+        while x < support - EPS {
+            let (nxa, sa) = if ia < ka.len() {
+                (ka[ia].0, (ka[ia].1 - ya) / (ka[ia].0 - x))
+            } else {
+                (f64::INFINITY, 0.0)
+            };
+            let (nxb, sb) = if ib < kb.len() {
+                (kb[ib].0, (kb[ib].1 - yb) / (kb[ib].0 - x))
+            } else {
+                (f64::INFINITY, 0.0)
+            };
+            let x1 = nxa.min(nxb).min(support);
+            let dx = x1 - x;
+            ya = if nxa <= x1 + EPS {
+                ka[ia].1
+            } else {
+                ya + sa * dx
+            };
+            yb = if nxb <= x1 + EPS {
+                kb[ib].1
+            } else {
+                yb + sb * dx
+            };
+            knots.push((x1, ya + yb));
+            x = x1;
+            if ia < ka.len() && ka[ia].0 <= x + EPS {
+                ia += 1;
+            }
+            if ib < kb.len() && kb[ib].0 <= x + EPS {
+                ib += 1;
+            }
+        }
         PiecewiseLinear::from_knots(knots)
     }
 
@@ -482,8 +706,12 @@ impl PiecewiseLinear {
             return self.clone();
         }
         let x_cut = self.inverse(cap);
-        let mut knots: Vec<(f64, f64)> =
-            self.knots.iter().copied().take_while(|&(x, _)| x < x_cut - EPS).collect();
+        let mut knots: Vec<(f64, f64)> = self
+            .knots
+            .iter()
+            .copied()
+            .take_while(|&(x, _)| x < x_cut - EPS)
+            .collect();
         if knots.is_empty() {
             knots.push((0.0, 0.0));
         }
@@ -502,6 +730,159 @@ impl PiecewiseLinear {
             .iter()
             .chain(other.knots.iter())
             .all(|&(x, _)| self.eval(x) + tol >= other.eval(x))
+    }
+}
+
+/// The pre-sweep implementations: union-of-breakpoints followed by
+/// midpoint re-evaluation of every input by binary search (`O(K·m·log K)`
+/// per op). Retained verbatim as (a) the oracle the property tests compare
+/// the sweeps against and (b) the baseline the `inference` benchmark
+/// measures the sweep speedup over. Not used on any production path.
+pub mod reference {
+    use super::{PiecewiseConstant, PiecewiseLinear, EPS};
+
+    /// Midpoint-evaluation pointwise product (pre-sweep `product`).
+    pub fn product(fns: &[&PiecewiseConstant]) -> PiecewiseConstant {
+        assert!(!fns.is_empty());
+        let support = fns
+            .iter()
+            .map(|f| f.support())
+            .fold(f64::INFINITY, f64::min);
+        if support <= 0.0 || !support.is_finite() {
+            return PiecewiseConstant::zero();
+        }
+        let mut edges: Vec<f64> = fns
+            .iter()
+            .flat_map(|f| f.segments().iter().map(|s| s.0))
+            .filter(|&e| e < support - EPS)
+            .collect();
+        edges.push(support);
+        edges.sort_by(f64::total_cmp);
+        edges.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+
+        let mut out = Vec::with_capacity(edges.len());
+        let mut prev = 0.0;
+        for edge in edges {
+            let mid = 0.5 * (prev + edge);
+            let v: f64 = fns.iter().map(|f| f.value(mid)).product();
+            out.push((edge, v));
+            prev = edge;
+        }
+        PiecewiseConstant::new(out)
+    }
+
+    /// Midpoint-evaluation pointwise sum (pre-sweep `pointwise_sum`).
+    pub fn pointwise_sum(fns: &[&PiecewiseConstant]) -> PiecewiseConstant {
+        assert!(!fns.is_empty());
+        let support = fns.iter().map(|f| f.support()).fold(0.0, f64::max);
+        if support <= 0.0 {
+            return PiecewiseConstant::zero();
+        }
+        let mut edges: Vec<f64> = fns
+            .iter()
+            .flat_map(|f| f.segments().iter().map(|s| s.0))
+            .filter(|&e| e < support - EPS)
+            .collect();
+        edges.push(support);
+        edges.sort_by(f64::total_cmp);
+        edges.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+        let mut out = Vec::with_capacity(edges.len());
+        let mut prev = 0.0;
+        for edge in edges {
+            let mid = 0.5 * (prev + edge);
+            let v: f64 = fns.iter().map(|f| f.value(mid)).sum();
+            out.push((edge, v));
+            prev = edge;
+        }
+        PiecewiseConstant::new(out)
+    }
+
+    /// Breakpoint-union + re-evaluation min/max (pre-sweep `combine`).
+    pub fn combine(a: &PiecewiseLinear, b: &PiecewiseLinear, take_min: bool) -> PiecewiseLinear {
+        let support = a.support().max(b.support());
+        // Candidate breakpoints: all knots plus segment crossings.
+        let mut xs: Vec<f64> = a
+            .knots()
+            .iter()
+            .chain(b.knots().iter())
+            .map(|&(x, _)| x)
+            .filter(|&x| x <= support + EPS)
+            .collect();
+        // Crossings: for every pair of overlapping segments solve for
+        // equality. O(n·m) pair scan.
+        for wa in a.knots().windows(2) {
+            for wb in b.knots().windows(2) {
+                let (ax0, ay0) = wa[0];
+                let (ax1, ay1) = wa[1];
+                let (bx0, by0) = wb[0];
+                let (bx1, by1) = wb[1];
+                let lo = ax0.max(bx0);
+                let hi = ax1.min(bx1);
+                if hi <= lo + EPS {
+                    continue;
+                }
+                let sa = (ay1 - ay0) / (ax1 - ax0);
+                let sb = (by1 - by0) / (bx1 - bx0);
+                if (sa - sb).abs() <= EPS {
+                    continue;
+                }
+                // a(x) = ay0 + sa (x-ax0); b(x) = by0 + sb (x-bx0)
+                let x = (by0 - ay0 + sa * ax0 - sb * bx0) / (sa - sb);
+                if x > lo + EPS && x < hi - EPS {
+                    xs.push(x);
+                }
+            }
+        }
+        // Also crossings with the flat extension of the shorter function.
+        for (short, long) in [(a, b), (b, a)] {
+            if short.support() < support - EPS {
+                let level = short.endpoint();
+                for w in long.knots().windows(2) {
+                    let (x0, y0) = w[0];
+                    let (x1, y1) = w[1];
+                    if x1 <= short.support() + EPS {
+                        continue;
+                    }
+                    if (y1 - y0).abs() <= EPS {
+                        continue;
+                    }
+                    if (y0 - level) * (y1 - level) < 0.0 {
+                        let x = x0 + (x1 - x0) * (level - y0) / (y1 - y0);
+                        if x > short.support() {
+                            xs.push(x);
+                        }
+                    }
+                }
+            }
+        }
+        xs.push(support);
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|p, q| (*p - *q).abs() <= EPS);
+
+        let knots: Vec<(f64, f64)> = xs
+            .into_iter()
+            .map(|x| {
+                let (ya, yb) = (a.eval(x), b.eval(x));
+                (x, if take_min { ya.min(yb) } else { ya.max(yb) })
+            })
+            .collect();
+        PiecewiseLinear::from_knots(knots)
+    }
+
+    /// Breakpoint-union + re-evaluation sum (pre-sweep PWL `pointwise_sum`).
+    pub fn linear_sum(a: &PiecewiseLinear, b: &PiecewiseLinear) -> PiecewiseLinear {
+        let support = a.support().max(b.support());
+        let mut xs: Vec<f64> = a
+            .knots()
+            .iter()
+            .chain(b.knots().iter())
+            .map(|&(x, _)| x)
+            .collect();
+        xs.push(support);
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|p, q| (*p - *q).abs() <= EPS);
+        let knots = xs.into_iter().map(|x| (x, a.eval(x) + b.eval(x))).collect();
+        PiecewiseLinear::from_knots(knots)
     }
 }
 

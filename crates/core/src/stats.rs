@@ -12,15 +12,29 @@
 //!   dimension predicates can condition fact degree sequences directly;
 //! * a fallback unconditioned CDS for every column, supporting joins on
 //!   undeclared columns (§3.6).
+//!
+//! # Interning and parallelism
+//!
+//! All table and column names are interned into a [`SymbolTable`] up
+//! front; every statistics container the online phase touches is keyed by
+//! dense [`Sym`] ids (see [`crate::symbol`]). The build itself fans out on
+//! scoped threads ([`crate::parallel::par_map`]) at two levels: across
+//! tables, and across filter columns (including the PK–FK-propagated
+//! ones, whose fact-side materialization also runs inside the parallel
+//! unit) within each table. Group compression of each column's CDS sets
+//! happens inside its unit, so it parallelizes for free. Results are
+//! deterministic: units are indexed and reassembled in order.
 
+use crate::compression::valid_compress;
 use crate::conditioning::{
     build_histogram_for_column, build_mcv_for_column, build_ngrams_for_column, cds_set_for_rows,
-    CdsSet, HistogramStats, McvStats, NgramStats,
+    CdsSet, HistogramStats, JoinCol, McvStats, NgramStats,
 };
-use crate::compression::valid_compress;
 use crate::config::SafeBoundConfig;
 use crate::degree_sequence::DegreeSequence;
+use crate::parallel::par_map;
 use crate::piecewise::PiecewiseLinear;
+use crate::symbol::{Sym, SymbolTable};
 use safebound_storage::{Catalog, Column, DataType, Table, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
@@ -29,7 +43,12 @@ use std::time::{Duration, Instant};
 /// [`TableStats::filter_stats`]: it encodes the exact join edge
 /// (`fk_column = pk_table.pk_column`) and the dimension filter column, so
 /// the online phase applies the propagation only to matching query edges.
-pub fn propagated_key(fk_column: &str, pk_table: &str, pk_column: &str, dim_column: &str) -> String {
+pub fn propagated_key(
+    fk_column: &str,
+    pk_table: &str,
+    pk_column: &str,
+    dim_column: &str,
+) -> String {
     format!("{fk_column}={pk_table}.{pk_column}:{dim_column}")
 }
 
@@ -67,34 +86,51 @@ pub struct TableStats {
     pub table: String,
     /// Exact row count.
     pub row_count: u64,
-    /// Declared join columns (keys + foreign keys).
-    pub join_columns: Vec<String>,
+    /// Declared join columns (keys + foreign keys) with their symbols.
+    pub join_columns: Vec<JoinCol>,
     /// Unconditioned compressed CDS per declared join column.
     pub base: CdsSet,
-    /// Filter statistics keyed by column name; PK–FK-propagated columns are
-    /// keyed `"dim_table.dim_column"`.
+    /// Filter statistics keyed by column name; PK–FK-propagated columns
+    /// use [`propagated_key`] composites (these keys are resolved once per
+    /// query predicate, so they stay string-keyed).
     pub filter_stats: BTreeMap<String, FilterColumnStats>,
-    /// Unconditioned compressed CDS for every column — the §3.6 fallback
-    /// for joins on undeclared columns.
-    pub fallback_cds: BTreeMap<String, PiecewiseLinear>,
+    /// Unconditioned compressed CDS for every column, keyed by interned
+    /// symbol (sorted) — the §3.6 fallback for joins on undeclared columns.
+    pub fallback_cds: Vec<(Sym, PiecewiseLinear)>,
 }
 
 impl TableStats {
+    /// The fallback CDS for a column symbol.
+    pub fn fallback(&self, sym: Sym) -> Option<&PiecewiseLinear> {
+        self.fallback_cds
+            .binary_search_by_key(&sym, |e| e.0)
+            .ok()
+            .map(|i| &self.fallback_cds[i].1)
+    }
+
     /// Approximate heap size in bytes.
     pub fn byte_size(&self) -> usize {
         self.base.byte_size()
-            + self.filter_stats.values().map(FilterColumnStats::byte_size).sum::<usize>()
+            + self
+                .filter_stats
+                .values()
+                .map(FilterColumnStats::byte_size)
+                .sum::<usize>()
             + self
                 .fallback_cds
                 .iter()
-                .map(|(k, v)| k.len() + 24 + v.knots().len() * 16)
+                .map(|(_, v)| 24 + v.knots().len() * 16)
                 .sum::<usize>()
     }
 
     /// Total number of stored CDS sets (the quantity group compression
     /// reduces; cf. Example 3.2's 18,522 for `Title`).
     pub fn num_sets(&self) -> usize {
-        1 + self.filter_stats.values().map(FilterColumnStats::num_sets).sum::<usize>()
+        1 + self
+            .filter_stats
+            .values()
+            .map(FilterColumnStats::num_sets)
+            .sum::<usize>()
     }
 }
 
@@ -103,6 +139,8 @@ impl TableStats {
 pub struct SafeBoundStats {
     /// Per-table statistics.
     pub tables: BTreeMap<String, TableStats>,
+    /// Interned table/column names shared by all statistics containers.
+    pub symbols: SymbolTable,
     /// The configuration used to build them.
     pub config: SafeBoundConfig,
     /// Wall-clock build time.
@@ -127,45 +165,79 @@ pub struct SafeBoundBuilder {
     config: SafeBoundConfig,
 }
 
+/// One filter-column build unit: either a real column of the table or a
+/// dimension column to materialize through a foreign key (§4.2).
+enum FilterUnit<'a> {
+    Field {
+        name: &'a str,
+        col: &'a Column,
+    },
+    Propagated {
+        key: String,
+        fk_col: &'a Column,
+        pk_rows: &'a HashMap<Value, usize>,
+        dim_col: &'a Column,
+    },
+}
+
 impl SafeBoundBuilder {
     /// Builder with the given configuration.
     pub fn new(config: SafeBoundConfig) -> Self {
         SafeBoundBuilder { config }
     }
 
-    /// Run the offline phase over a catalog.
+    /// Run the offline phase over a catalog. Tables build concurrently on
+    /// scoped threads; see the module docs.
     pub fn build(&self, catalog: &Catalog) -> SafeBoundStats {
         let start = Instant::now();
-        let mut tables = BTreeMap::new();
-        for table in catalog.tables() {
-            tables.insert(table.name.clone(), self.build_table(catalog, table));
-        }
-        SafeBoundStats { tables, config: self.config.clone(), build_time: start.elapsed() }
-    }
-
-    fn build_table(&self, catalog: &Catalog, table: &Table) -> TableStats {
-        let cfg = &self.config;
-        let join_columns = catalog.join_columns(&table.name);
-        let base = cds_set_for_rows(table, &join_columns, None, cfg.compression_c);
-
-        // Filter statistics for every column (join columns included — a
-        // column can be both, §3.1).
-        let mut filter_stats = BTreeMap::new();
-        for field in &table.schema.fields {
-            let col = table.column(&field.name).unwrap();
-            if let Some(stats) = self.build_filter_column(table, col, &join_columns) {
-                filter_stats.insert(field.name.clone(), stats);
+        // Intern every name up front so the parallel phase reads the table
+        // immutably (and ids are independent of build order).
+        let mut symbols = SymbolTable::new();
+        let table_list: Vec<&Table> = catalog.tables().collect();
+        for table in &table_list {
+            symbols.intern(&table.name);
+            for field in &table.schema.fields {
+                symbols.intern(&field.name);
             }
         }
+        let built = par_map(&table_list, |table| {
+            self.build_table(catalog, table, &symbols)
+        });
+        let tables = built.into_iter().map(|ts| (ts.table.clone(), ts)).collect();
+        SafeBoundStats {
+            tables,
+            symbols,
+            config: self.config.clone(),
+            build_time: start.elapsed(),
+        }
+    }
 
-        // PK–FK propagation (§4.2): for each FK out of this table, pull the
-        // dimension's filter columns through the join.
+    fn build_table(&self, catalog: &Catalog, table: &Table, symbols: &SymbolTable) -> TableStats {
+        let cfg = &self.config;
+        let join_columns: Vec<JoinCol> = catalog
+            .join_columns(&table.name)
+            .into_iter()
+            .map(|c| (symbols.lookup(&c).expect("join column interned"), c))
+            .collect();
+        let base = cds_set_for_rows(table, &join_columns, None, cfg.compression_c);
+
+        // Assemble the filter-column build units: every column of the
+        // table (a column can be both filter and join column, §3.1), plus
+        // one per (foreign key × dimension column) when propagation is on.
+        // The PK row maps are shared per foreign key.
+        let mut pk_row_maps: Vec<HashMap<Value, usize>> = Vec::new();
+        let mut propagated_specs: Vec<(String, usize, &Column, &Column)> = Vec::new();
         if cfg.pk_fk_propagation {
             for fk in catalog.foreign_keys_of(&table.name) {
-                let Some(dim) = catalog.table(&fk.pk_table) else { continue };
-                let Some(pk_col) = dim.column(&fk.pk_column) else { continue };
-                let Some(fk_col) = table.column(&fk.fk_column) else { continue };
-                // pk value → dimension row.
+                let Some(dim) = catalog.table(&fk.pk_table) else {
+                    continue;
+                };
+                let Some(pk_col) = dim.column(&fk.pk_column) else {
+                    continue;
+                };
+                let Some(fk_col) = table.column(&fk.fk_column) else {
+                    continue;
+                };
                 let mut pk_rows: HashMap<Value, usize> = HashMap::new();
                 for i in 0..pk_col.len() {
                     let v = pk_col.get(i);
@@ -173,38 +245,81 @@ impl SafeBoundBuilder {
                         pk_rows.insert(v, i);
                     }
                 }
+                let map_idx = pk_row_maps.len();
+                pk_row_maps.push(pk_rows);
                 for dim_field in &dim.schema.fields {
                     if dim_field.name == fk.pk_column {
                         continue;
                     }
                     let dim_col = dim.column(&dim_field.name).unwrap();
-                    // Materialize the propagated column on the fact side.
-                    let mut propagated = Column::empty(dim_field.data_type);
-                    for i in 0..table.num_rows() {
-                        let v = fk_col.get(i);
-                        match pk_rows.get(&v) {
-                            Some(&row) => propagated.push(&dim_col.get(row)),
-                            None => propagated.push(&Value::Null),
-                        }
-                    }
-                    if let Some(stats) = self.build_filter_column(table, &propagated, &join_columns)
-                    {
-                        filter_stats.insert(
-                            propagated_key(&fk.fk_column, &fk.pk_table, &fk.pk_column, &dim_field.name),
-                            stats,
-                        );
-                    }
+                    propagated_specs.push((
+                        propagated_key(&fk.fk_column, &fk.pk_table, &fk.pk_column, &dim_field.name),
+                        map_idx,
+                        fk_col,
+                        dim_col,
+                    ));
                 }
             }
         }
+        let mut units: Vec<FilterUnit<'_>> = Vec::new();
+        for field in &table.schema.fields {
+            units.push(FilterUnit::Field {
+                name: &field.name,
+                col: table.column(&field.name).unwrap(),
+            });
+        }
+        for (key, map_idx, fk_col, dim_col) in propagated_specs {
+            units.push(FilterUnit::Propagated {
+                key,
+                fk_col,
+                pk_rows: &pk_row_maps[map_idx],
+                dim_col,
+            });
+        }
+
+        // One parallel unit per filter column; propagated columns
+        // materialize their fact-side image inside the unit.
+        let built: Vec<(String, Option<FilterColumnStats>)> = par_map(&units, |unit| match unit {
+            FilterUnit::Field { name, col } => (
+                name.to_string(),
+                self.build_filter_column(table, col, &join_columns),
+            ),
+            FilterUnit::Propagated {
+                key,
+                fk_col,
+                pk_rows,
+                dim_col,
+            } => {
+                let mut propagated = Column::empty(dim_col.data_type());
+                for i in 0..table.num_rows() {
+                    let v = fk_col.get(i);
+                    match pk_rows.get(&v) {
+                        Some(&row) => propagated.push(&dim_col.get(row)),
+                        None => propagated.push(&Value::Null),
+                    }
+                }
+                (
+                    key.clone(),
+                    self.build_filter_column(table, &propagated, &join_columns),
+                )
+            }
+        });
+        let filter_stats: BTreeMap<String, FilterColumnStats> = built
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect();
 
         // Fallback CDS for every column (§3.6, undeclared join columns).
-        let mut fallback_cds = BTreeMap::new();
-        for field in &table.schema.fields {
+        let fallback_list = par_map(&table.schema.fields, |field| {
             let col = table.column(&field.name).unwrap();
             let ds = DegreeSequence::of_column(col);
-            fallback_cds.insert(field.name.clone(), valid_compress(&ds, cfg.compression_c));
-        }
+            (
+                symbols.lookup(&field.name).expect("column interned"),
+                valid_compress(&ds, cfg.compression_c),
+            )
+        });
+        let mut fallback_cds = fallback_list;
+        fallback_cds.sort_by_key(|e| e.0);
 
         TableStats {
             table: table.name.clone(),
@@ -220,7 +335,7 @@ impl SafeBoundBuilder {
         &self,
         table: &Table,
         col: &Column,
-        join_columns: &[String],
+        join_columns: &[JoinCol],
     ) -> Option<FilterColumnStats> {
         if join_columns.is_empty() || col.null_count() == col.len() {
             return None;
@@ -233,6 +348,10 @@ impl SafeBoundBuilder {
         } else {
             None
         };
-        Some(FilterColumnStats { mcv, histogram, ngrams })
+        Some(FilterColumnStats {
+            mcv,
+            histogram,
+            ngrams,
+        })
     }
 }

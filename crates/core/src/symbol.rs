@@ -1,0 +1,87 @@
+//! Interned table/column symbols.
+//!
+//! The offline phase interns every table and column name it sees into a
+//! [`SymbolTable`] of dense `u32` ids. All statistics containers that the
+//! online phase touches per query ([`CdsSet`](crate::conditioning::CdsSet),
+//! [`TableStats`](crate::stats::TableStats) bases and fallbacks) are keyed
+//! by [`Sym`] instead of `String`, so steady-state bound evaluation never
+//! hashes a column-name string — name resolution happens once per query at
+//! the statistics boundary, and everything below it is integer indexing.
+
+use std::collections::HashMap;
+
+/// An interned name: a dense index into its [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional name ⇄ dense-id map, append-only.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&id) = self.index.get(name) {
+            return Sym(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        Sym(id)
+    }
+
+    /// The id of an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.index.get(name).copied().map(Sym)
+    }
+
+    /// The name behind an id.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("movie_id");
+        let b = t.intern("keyword_id");
+        assert_eq!(a, t.intern("movie_id"));
+        assert_ne!(a, b);
+        assert_eq!((a.0, b.0), (0, 1));
+        assert_eq!(t.name(a), "movie_id");
+        assert_eq!(t.lookup("keyword_id"), Some(b));
+        assert_eq!(t.lookup("absent"), None);
+        assert_eq!(t.len(), 2);
+    }
+}

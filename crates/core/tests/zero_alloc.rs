@@ -1,0 +1,136 @@
+//! Steady-state allocation audit for the FDSB hot path.
+//!
+//! A counting global allocator wraps the system allocator; after one
+//! warm-up evaluation per plan shape, repeated `fdsb_with_scratch` calls
+//! must allocate **nothing** — every intermediate lives in the reused
+//! [`BoundScratch`] arena.
+
+use safebound_core::{fdsb_with_scratch, BoundScratch, DegreeSequence, RelationBoundStats};
+use safebound_query::{BoundPlan, JoinGraph, Query, RelationRef};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+// Per-thread counter: each test thread audits only its own allocations,
+// so concurrently running tests (and the harness itself) don't pollute
+// the measurement. `try_with` guards against TLS teardown re-entry.
+thread_local! {
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> usize {
+    ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+}
+
+fn stats_for(plan: &BoundPlan, pairs: &[(&str, Vec<u64>)]) -> RelationBoundStats {
+    RelationBoundStats::from_columns(pairs.iter().filter_map(|(col, freqs)| {
+        let ds = DegreeSequence::from_frequencies(freqs.clone());
+        plan.col_id(col).map(|id| (id, ds.to_cds()))
+    }))
+}
+
+/// A chain query with an α-step: r(x) ⋈ s(x) ⋈ t(x, y) ⋈ u(y), where two
+/// children of t's x-variable force an α intersection.
+fn chain_with_alpha() -> (BoundPlan, Vec<RelationBoundStats>) {
+    let mut q = Query::new();
+    let t = q.add_relation(RelationRef::new("t"));
+    let r = q.add_relation(RelationRef::new("r"));
+    let s = q.add_relation(RelationRef::new("s"));
+    let u = q.add_relation(RelationRef::new("u"));
+    q.add_join(t, "x", r, "x");
+    q.add_join(t, "x", s, "x");
+    q.add_join(t, "y", u, "y");
+    let plan = BoundPlan::build(&q, &JoinGraph::new(&q)).unwrap();
+    let freqs = |n: usize| -> Vec<u64> { (1..=n as u64).rev().collect() };
+    let stats = vec![
+        stats_for(&plan, &[("x", freqs(40)), ("y", freqs(25))]),
+        stats_for(&plan, &[("x", freqs(30))]),
+        stats_for(&plan, &[("x", freqs(35))]),
+        stats_for(&plan, &[("y", freqs(20))]),
+    ];
+    (plan, stats)
+}
+
+#[test]
+fn steady_state_fdsb_allocates_nothing() {
+    let (plan, stats) = chain_with_alpha();
+    let mut scratch = BoundScratch::default();
+
+    // Warm-up: populate the arena pools (allocations expected here).
+    let warm = fdsb_with_scratch(&plan, &stats, &mut scratch).unwrap();
+    let again = fdsb_with_scratch(&plan, &stats, &mut scratch).unwrap();
+    assert_eq!(warm, again, "evaluation must be deterministic");
+    assert!(warm.is_finite() && warm > 0.0);
+
+    // Steady state: not a single heap allocation across many queries.
+    let before = allocation_count();
+    let mut acc = 0.0;
+    for _ in 0..100 {
+        acc += fdsb_with_scratch(&plan, &stats, &mut scratch).unwrap();
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state fdsb allocated {} times over 100 queries",
+        after - before
+    );
+    assert!((acc - 100.0 * warm).abs() < 1e-6 * acc.abs().max(1.0));
+}
+
+#[test]
+fn steady_state_holds_across_alternating_plans() {
+    // Two different plan shapes sharing one scratch: pools must absorb
+    // both without churn once each shape has been seen.
+    let (plan_a, stats_a) = chain_with_alpha();
+
+    let mut q = Query::new();
+    let a = q.add_relation(RelationRef::new("a"));
+    let b = q.add_relation(RelationRef::new("b"));
+    q.add_join(a, "x", b, "x");
+    let plan_b = BoundPlan::build(&q, &JoinGraph::new(&q)).unwrap();
+    let stats_b = vec![
+        stats_for(&plan_b, &[("x", vec![5, 4, 3, 2, 1])]),
+        stats_for(&plan_b, &[("x", vec![6, 2, 2, 1])]),
+    ];
+
+    let mut scratch = BoundScratch::default();
+    for _ in 0..3 {
+        fdsb_with_scratch(&plan_a, &stats_a, &mut scratch).unwrap();
+        fdsb_with_scratch(&plan_b, &stats_b, &mut scratch).unwrap();
+    }
+    let before = allocation_count();
+    for _ in 0..50 {
+        fdsb_with_scratch(&plan_a, &stats_a, &mut scratch).unwrap();
+        fdsb_with_scratch(&plan_b, &stats_b, &mut scratch).unwrap();
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "alternating plans allocated {}",
+        after - before
+    );
+}

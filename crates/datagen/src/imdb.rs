@@ -35,14 +35,26 @@ pub struct ImdbScale {
 
 impl Default for ImdbScale {
     fn default() -> Self {
-        ImdbScale { movies: 4000, keywords: 200, companies: 300, persons: 2000, skew: 1.1 }
+        ImdbScale {
+            movies: 4000,
+            keywords: 200,
+            companies: 300,
+            persons: 2000,
+            skew: 1.1,
+        }
     }
 }
 
 impl ImdbScale {
     /// A small scale for unit tests.
     pub fn tiny() -> Self {
-        ImdbScale { movies: 300, keywords: 40, companies: 40, persons: 150, skew: 1.1 }
+        ImdbScale {
+            movies: 300,
+            keywords: 40,
+            companies: 40,
+            persons: 150,
+            skew: 1.1,
+        }
     }
 }
 
@@ -61,10 +73,21 @@ pub fn imdb_catalog(scale: &ImdbScale, seed: u64) -> Catalog {
     let m = scale.movies;
 
     // --- Dimension: kind_type (7 kinds, as in IMDB). ---
-    let kinds = ["movie", "tv series", "tv movie", "video movie", "tv mini series", "video game", "episode"];
+    let kinds = [
+        "movie",
+        "tv series",
+        "tv movie",
+        "video movie",
+        "tv mini series",
+        "video game",
+        "episode",
+    ];
     catalog.add_table(Table::new(
         "kind_type",
-        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("kind", DataType::Str)]),
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("kind", DataType::Str),
+        ]),
         vec![
             int_col((1..=kinds.len() as i64).collect()),
             str_col(kinds.iter().map(|s| s.to_string()).collect()),
@@ -81,15 +104,27 @@ pub fn imdb_catalog(scale: &ImdbScale, seed: u64) -> Catalog {
     let mut t_phonetic = Vec::with_capacity(m);
     for movie in 0..m {
         let pop = movie as f64 / m as f64; // 0 = most popular
-        // Year: popular titles cluster 1990-2015, tail spreads 1930-2015.
+                                           // Year: popular titles cluster 1990-2015, tail spreads 1930-2015.
         let span = 25.0 + 60.0 * pop;
         let year = 2015 - rng.random_range(0..span as i64 + 1);
         t_year.push(year);
         t_kind.push(1 + (rng.random_range(0..10) as i64 % kinds.len() as i64));
         t_title.push(compose(&mut rng, &[vocab::TITLE_WORDS, vocab::TITLE_NOUNS]));
-        t_season.push(if movie % 5 == 0 { rng.random_range(1..12) } else { 0 });
-        t_episode.push(if movie % 5 == 0 { rng.random_range(1..200) } else { 0 });
-        t_phonetic.push(format!("{}{}", "AEIOU".chars().nth(movie % 5).unwrap(), movie % 625));
+        t_season.push(if movie % 5 == 0 {
+            rng.random_range(1..12)
+        } else {
+            0
+        });
+        t_episode.push(if movie % 5 == 0 {
+            rng.random_range(1..200)
+        } else {
+            0
+        });
+        t_phonetic.push(format!(
+            "{}{}",
+            "AEIOU".chars().nth(movie % 5).unwrap(),
+            movie % 625
+        ));
     }
     catalog.add_table(Table::new(
         "title",
@@ -126,8 +161,14 @@ pub fn imdb_catalog(scale: &ImdbScale, seed: u64) -> Catalog {
         .collect();
     catalog.add_table(Table::new(
         "keyword",
-        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("keyword", DataType::Str)]),
-        vec![int_col((0..kw_zipf_len as i64).collect()), str_col(keywords)],
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("keyword", DataType::Str),
+        ]),
+        vec![
+            int_col((0..kw_zipf_len as i64).collect()),
+            str_col(keywords),
+        ],
     ));
 
     let companies: Vec<String> = (0..scale.companies)
@@ -143,34 +184,63 @@ pub fn imdb_catalog(scale: &ImdbScale, seed: u64) -> Catalog {
             Field::new("name", DataType::Str),
             Field::new("country_code", DataType::Str),
         ]),
-        vec![int_col((0..scale.companies as i64).collect()), str_col(companies), str_col(country)],
+        vec![
+            int_col((0..scale.companies as i64).collect()),
+            str_col(companies),
+            str_col(country),
+        ],
     ));
 
-    let ct = ["production companies", "distributors", "special effects companies", "miscellaneous companies"];
+    let ct = [
+        "production companies",
+        "distributors",
+        "special effects companies",
+        "miscellaneous companies",
+    ];
     catalog.add_table(Table::new(
         "company_type",
-        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("kind", DataType::Str)]),
-        vec![int_col((1..=4).collect()), str_col(ct.iter().map(|s| s.to_string()).collect())],
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("kind", DataType::Str),
+        ]),
+        vec![
+            int_col((1..=4).collect()),
+            str_col(ct.iter().map(|s| s.to_string()).collect()),
+        ],
     ));
 
     let it: Vec<String> = [
-        "runtimes", "color info", "genres", "languages", "certificates", "sound mix", "countries",
-        "rating", "release dates", "votes", "budget", "gross",
+        "runtimes",
+        "color info",
+        "genres",
+        "languages",
+        "certificates",
+        "sound mix",
+        "countries",
+        "rating",
+        "release dates",
+        "votes",
+        "budget",
+        "gross",
     ]
     .iter()
     .map(|s| s.to_string())
     .collect();
     catalog.add_table(Table::new(
         "info_type",
-        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("info", DataType::Str)]),
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("info", DataType::Str),
+        ]),
         vec![int_col((1..=it.len() as i64).collect()), str_col(it)],
     ));
 
     let names: Vec<String> = (0..scale.persons)
         .map(|_| compose(&mut rng, &[vocab::FIRST_NAMES, vocab::LAST_NAMES]))
         .collect();
-    let gender: Vec<String> =
-        (0..scale.persons).map(|i| if i % 3 == 0 { "f" } else { "m" }.to_string()).collect();
+    let gender: Vec<String> = (0..scale.persons)
+        .map(|i| if i % 3 == 0 { "f" } else { "m" }.to_string())
+        .collect();
     catalog.add_table(Table::new(
         "name",
         Schema::new(vec![
@@ -178,14 +248,33 @@ pub fn imdb_catalog(scale: &ImdbScale, seed: u64) -> Catalog {
             Field::new("name", DataType::Str),
             Field::new("gender", DataType::Str),
         ]),
-        vec![int_col((0..scale.persons as i64).collect()), str_col(names), str_col(gender)],
+        vec![
+            int_col((0..scale.persons as i64).collect()),
+            str_col(names),
+            str_col(gender),
+        ],
     ));
 
-    let roles = ["actor", "actress", "producer", "writer", "cinematographer", "composer", "director", "editor"];
+    let roles = [
+        "actor",
+        "actress",
+        "producer",
+        "writer",
+        "cinematographer",
+        "composer",
+        "director",
+        "editor",
+    ];
     catalog.add_table(Table::new(
         "role_type",
-        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("role", DataType::Str)]),
-        vec![int_col((1..=roles.len() as i64).collect()), str_col(roles.iter().map(|s| s.to_string()).collect())],
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("role", DataType::Str),
+        ]),
+        vec![
+            int_col((1..=roles.len() as i64).collect()),
+            str_col(roles.iter().map(|s| s.to_string()).collect()),
+        ],
     ));
 
     let char_names: Vec<String> = (0..scale.persons / 2)
@@ -193,15 +282,34 @@ pub fn imdb_catalog(scale: &ImdbScale, seed: u64) -> Catalog {
         .collect();
     catalog.add_table(Table::new(
         "char_name",
-        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("name", DataType::Str)]),
-        vec![int_col((0..(scale.persons / 2) as i64).collect()), str_col(char_names)],
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("name", DataType::Str),
+        ]),
+        vec![
+            int_col((0..(scale.persons / 2) as i64).collect()),
+            str_col(char_names),
+        ],
     ));
 
-    let lt = ["sequel", "remake", "version of", "follows", "references", "spin off"];
+    let lt = [
+        "sequel",
+        "remake",
+        "version of",
+        "follows",
+        "references",
+        "spin off",
+    ];
     catalog.add_table(Table::new(
         "link_type",
-        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("link", DataType::Str)]),
-        vec![int_col((1..=lt.len() as i64).collect()), str_col(lt.iter().map(|s| s.to_string()).collect())],
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("link", DataType::Str),
+        ]),
+        vec![
+            int_col((1..=lt.len() as i64).collect()),
+            str_col(lt.iter().map(|s| s.to_string()).collect()),
+        ],
     ));
 
     // --- Fact tables: Zipf-skewed FKs into title, correlated dims. ---
@@ -222,7 +330,11 @@ pub fn imdb_catalog(scale: &ImdbScale, seed: u64) -> Catalog {
         mc_company.push((company_zipf.sample(&mut rng) - 1) as i64);
         // Company type correlates with movie popularity: popular movies get
         // distributors, tail gets miscellaneous.
-        let t = if movie < m / 10 { 1 + rng.random_range(0..2) } else { 1 + rng.random_range(0..4) };
+        let t = if movie < m / 10 {
+            1 + rng.random_range(0..2)
+        } else {
+            1 + rng.random_range(0..4)
+        };
         mc_type.push(t);
         mc_note.push(compose(&mut rng, &[vocab::NOTE_PARTS]));
     }
@@ -259,7 +371,11 @@ pub fn imdb_catalog(scale: &ImdbScale, seed: u64) -> Catalog {
             Field::new("movie_id", DataType::Int),
             Field::new("keyword_id", DataType::Int),
         ]),
-        vec![int_col((0..n_mk as i64).collect()), int_col(mk_movie), int_col(mk_kw)],
+        vec![
+            int_col((0..n_mk as i64).collect()),
+            int_col(mk_movie),
+            int_col(mk_kw),
+        ],
     ));
 
     // movie_info + movie_info_idx: ~6 and ~2 per movie.
@@ -345,7 +461,12 @@ pub fn imdb_catalog(scale: &ImdbScale, seed: u64) -> Catalog {
             Field::new("linked_movie_id", DataType::Int),
             Field::new("link_type_id", DataType::Int),
         ]),
-        vec![int_col((0..n_ml as i64).collect()), int_col(ml_movie), int_col(ml_linked), int_col(ml_type)],
+        vec![
+            int_col((0..n_ml as i64).collect()),
+            int_col(ml_movie),
+            int_col(ml_linked),
+            int_col(ml_type),
+        ],
     ));
 
     // --- Constraints: PKs + FKs (these define the join columns). ---

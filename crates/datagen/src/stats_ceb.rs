@@ -22,14 +22,22 @@ pub struct StatsScale {
 
 impl Default for StatsScale {
     fn default() -> Self {
-        StatsScale { users: 2000, posts: 5000, skew: 1.2 }
+        StatsScale {
+            users: 2000,
+            posts: 5000,
+            skew: 1.2,
+        }
     }
 }
 
 impl StatsScale {
     /// Small scale for unit tests.
     pub fn tiny() -> Self {
-        StatsScale { users: 200, posts: 500, skew: 1.2 }
+        StatsScale {
+            users: 200,
+            posts: 500,
+            skew: 1.2,
+        }
     }
 }
 
@@ -120,20 +128,21 @@ pub fn stats_catalog(scale: &StatsScale, seed: u64) -> Catalog {
     ));
 
     // Activity tables keyed to posts and users.
-    let make_activity = |rng: &mut StdRng, n: usize, extra: &str| -> (Vec<i64>, Vec<i64>, Vec<i64>, Vec<i64>) {
-        let mut post = Vec::with_capacity(n);
-        let mut user = Vec::with_capacity(n);
-        let mut kind = Vec::with_capacity(n);
-        let mut created = Vec::with_capacity(n);
-        let kinds = if extra == "votes" { 15 } else { 6 };
-        for _ in 0..n {
-            post.push((post_zipf.sample(rng) - 1) as i64);
-            user.push((user_zipf.sample(rng) - 1) as i64);
-            kind.push(1 + rng.random_range(0..kinds) as i64);
-            created.push(1_260_000_000 + rng.random_range(0..260_000_000i64));
-        }
-        (post, user, kind, created)
-    };
+    let make_activity =
+        |rng: &mut StdRng, n: usize, extra: &str| -> (Vec<i64>, Vec<i64>, Vec<i64>, Vec<i64>) {
+            let mut post = Vec::with_capacity(n);
+            let mut user = Vec::with_capacity(n);
+            let mut kind = Vec::with_capacity(n);
+            let mut created = Vec::with_capacity(n);
+            let kinds = if extra == "votes" { 15 } else { 6 };
+            for _ in 0..n {
+                post.push((post_zipf.sample(rng) - 1) as i64);
+                user.push((user_zipf.sample(rng) - 1) as i64);
+                kind.push(1 + rng.random_range(0..kinds) as i64);
+                created.push(1_260_000_000 + rng.random_range(0..260_000_000i64));
+            }
+            (post, user, kind, created)
+        };
 
     let n_comments = np * 3;
     let (c_post, c_user, _, c_created) = make_activity(&mut rng, n_comments, "comments");
@@ -190,7 +199,11 @@ pub fn stats_catalog(scale: &StatsScale, seed: u64) -> Catalog {
             Field::new("userid", DataType::Int),
             Field::new("date", DataType::Int),
         ]),
-        vec![int_col((0..n_badges as i64).collect()), int_col(b_user), int_col(b_date)],
+        vec![
+            int_col((0..n_badges as i64).collect()),
+            int_col(b_user),
+            int_col(b_date),
+        ],
     ));
 
     let n_ph = np * 2;
@@ -258,7 +271,11 @@ pub fn stats_catalog(scale: &StatsScale, seed: u64) -> Catalog {
             Field::new("excerptpostid", DataType::Int),
             Field::new("count", DataType::Int),
         ]),
-        vec![int_col((0..n_tags as i64).collect()), int_col(tag_post), int_col(tag_count)],
+        vec![
+            int_col((0..n_tags as i64).collect()),
+            int_col(tag_post),
+            int_col(tag_count),
+        ],
     ));
 
     catalog.declare_primary_key("users", "id");
@@ -308,8 +325,12 @@ mod tests {
         let users = c.table("users").unwrap();
         // The most active user (rank 0) must have high reputation.
         let rep0 = users.column("reputation").unwrap().get(0).as_i64().unwrap();
-        let rep_last =
-            users.column("reputation").unwrap().get(users.num_rows() - 1).as_i64().unwrap();
+        let rep_last = users
+            .column("reputation")
+            .unwrap()
+            .get(users.num_rows() - 1)
+            .as_i64()
+            .unwrap();
         assert!(rep0 > rep_last * 5, "rep0 {rep0} vs tail {rep_last}");
         let _ = posts;
     }
@@ -318,6 +339,9 @@ mod tests {
     fn deterministic() {
         let a = stats_catalog(&StatsScale::tiny(), 3);
         let b = stats_catalog(&StatsScale::tiny(), 3);
-        assert_eq!(a.table("votes").unwrap().row(10), b.table("votes").unwrap().row(10));
+        assert_eq!(
+            a.table("votes").unwrap().row(10),
+            b.table("votes").unwrap().row(10)
+        );
     }
 }

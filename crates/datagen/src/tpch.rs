@@ -11,9 +11,28 @@ use rand::{Rng, SeedableRng};
 use safebound_storage::{Catalog, Column, DataType, Field, Schema, Table};
 
 const COMMENT_WORDS: &[&str] = &[
-    "carefully", "quickly", "furiously", "silently", "boldly", "final", "pending", "special",
-    "express", "regular", "ironic", "even", "bold", "unusual", "packages", "deposits", "requests",
-    "accounts", "instructions", "theodolites", "foxes", "pinto beans",
+    "carefully",
+    "quickly",
+    "furiously",
+    "silently",
+    "boldly",
+    "final",
+    "pending",
+    "special",
+    "express",
+    "regular",
+    "ironic",
+    "even",
+    "bold",
+    "unusual",
+    "packages",
+    "deposits",
+    "requests",
+    "accounts",
+    "instructions",
+    "theodolites",
+    "foxes",
+    "pinto beans",
 ];
 
 fn int_col(vals: Vec<i64>) -> Column {
@@ -47,13 +66,40 @@ pub fn tpch_catalog(sf: f64, seed: u64) -> Catalog {
     let regions = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
     catalog.add_table(Table::new(
         "region",
-        Schema::new(vec![Field::not_null("r_regionkey", DataType::Int), Field::new("r_name", DataType::Str)]),
-        vec![int_col((0..5).collect()), str_col(regions.iter().map(|s| s.to_string()).collect())],
+        Schema::new(vec![
+            Field::not_null("r_regionkey", DataType::Int),
+            Field::new("r_name", DataType::Str),
+        ]),
+        vec![
+            int_col((0..5).collect()),
+            str_col(regions.iter().map(|s| s.to_string()).collect()),
+        ],
     ));
     let nations = [
-        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-        "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-        "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+        "ALGERIA",
+        "ARGENTINA",
+        "BRAZIL",
+        "CANADA",
+        "EGYPT",
+        "ETHIOPIA",
+        "FRANCE",
+        "GERMANY",
+        "INDIA",
+        "INDONESIA",
+        "IRAN",
+        "IRAQ",
+        "JAPAN",
+        "JORDAN",
+        "KENYA",
+        "MOROCCO",
+        "MOZAMBIQUE",
+        "PERU",
+        "CHINA",
+        "ROMANIA",
+        "SAUDI ARABIA",
+        "VIETNAM",
+        "RUSSIA",
+        "UNITED KINGDOM",
         "UNITED STATES",
     ];
     catalog.add_table(Table::new(
@@ -82,11 +128,21 @@ pub fn tpch_catalog(sf: f64, seed: u64) -> Catalog {
         vec![
             int_col((0..suppliers as i64).collect()),
             int_col((0..suppliers).map(|_| rng.random_range(0..25i64)).collect()),
-            float_col((0..suppliers).map(|_| rng.random_range(-999..9999) as f64 / 1.0).collect()),
+            float_col(
+                (0..suppliers)
+                    .map(|_| rng.random_range(-999..9999) as f64 / 1.0)
+                    .collect(),
+            ),
             str_col((0..suppliers).map(|_| comment(&mut rng)).collect()),
         ],
     ));
-    let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+    let segments = [
+        "AUTOMOBILE",
+        "BUILDING",
+        "FURNITURE",
+        "HOUSEHOLD",
+        "MACHINERY",
+    ];
     catalog.add_table(Table::new(
         "customer",
         Schema::new(vec![
@@ -99,14 +155,24 @@ pub fn tpch_catalog(sf: f64, seed: u64) -> Catalog {
         vec![
             int_col((0..customers as i64).collect()),
             int_col((0..customers).map(|_| rng.random_range(0..25i64)).collect()),
-            str_col((0..customers).map(|i| segments[i % 5].to_string()).collect()),
-            float_col((0..customers).map(|_| rng.random_range(-999..9999) as f64).collect()),
+            str_col(
+                (0..customers)
+                    .map(|i| segments[i % 5].to_string())
+                    .collect(),
+            ),
+            float_col(
+                (0..customers)
+                    .map(|_| rng.random_range(-999..9999) as f64)
+                    .collect(),
+            ),
             str_col((0..customers).map(|_| comment(&mut rng)).collect()),
         ],
     ));
 
     // part, partsupp.
-    let brands: Vec<String> = (1..=5).flat_map(|a| (1..=5).map(move |b| format!("Brand#{a}{b}"))).collect();
+    let brands: Vec<String> = (1..=5)
+        .flat_map(|a| (1..=5).map(move |b| format!("Brand#{a}{b}")))
+        .collect();
     catalog.add_table(Table::new(
         "part",
         Schema::new(vec![
@@ -118,9 +184,17 @@ pub fn tpch_catalog(sf: f64, seed: u64) -> Catalog {
         ]),
         vec![
             int_col((0..parts as i64).collect()),
-            str_col((0..parts).map(|i| brands[i % brands.len()].clone()).collect()),
+            str_col(
+                (0..parts)
+                    .map(|i| brands[i % brands.len()].clone())
+                    .collect(),
+            ),
             int_col((0..parts).map(|_| rng.random_range(1..51i64)).collect()),
-            float_col((0..parts).map(|_| 900.0 + rng.random_range(0..1200) as f64 / 10.0).collect()),
+            float_col(
+                (0..parts)
+                    .map(|_| 900.0 + rng.random_range(0..1200) as f64 / 10.0)
+                    .collect(),
+            ),
             str_col((0..parts).map(|_| comment(&mut rng)).collect()),
         ],
     ));
@@ -135,9 +209,17 @@ pub fn tpch_catalog(sf: f64, seed: u64) -> Catalog {
         ]),
         vec![
             int_col((0..n_ps).map(|i| (i % parts) as i64).collect()),
-            int_col((0..n_ps).map(|i| ((i / parts) * 7 + i) as i64 % suppliers as i64).collect()),
+            int_col(
+                (0..n_ps)
+                    .map(|i| ((i / parts) * 7 + i) as i64 % suppliers as i64)
+                    .collect(),
+            ),
             int_col((0..n_ps).map(|_| rng.random_range(1..10_000i64)).collect()),
-            float_col((0..n_ps).map(|_| rng.random_range(100..100_000) as f64 / 100.0).collect()),
+            float_col(
+                (0..n_ps)
+                    .map(|_| rng.random_range(100..100_000) as f64 / 100.0)
+                    .collect(),
+            ),
         ],
     ));
 
@@ -155,10 +237,22 @@ pub fn tpch_catalog(sf: f64, seed: u64) -> Catalog {
         ]),
         vec![
             int_col((0..orders as i64).collect()),
-            int_col((0..orders).map(|_| rng.random_range(0..customers as i64)).collect()),
+            int_col(
+                (0..orders)
+                    .map(|_| rng.random_range(0..customers as i64))
+                    .collect(),
+            ),
             str_col((0..orders).map(|i| status[i % 3].to_string()).collect()),
-            float_col((0..orders).map(|_| rng.random_range(1000..500_000) as f64 / 100.0).collect()),
-            int_col((0..orders).map(|_| rng.random_range(19_920_101..19_981_231i64)).collect()),
+            float_col(
+                (0..orders)
+                    .map(|_| rng.random_range(1000..500_000) as f64 / 100.0)
+                    .collect(),
+            ),
+            int_col(
+                (0..orders)
+                    .map(|_| rng.random_range(19_920_101..19_981_231i64))
+                    .collect(),
+            ),
             str_col((0..orders).map(|_| comment(&mut rng)).collect()),
         ],
     ));
@@ -175,13 +269,37 @@ pub fn tpch_catalog(sf: f64, seed: u64) -> Catalog {
             Field::new("l_comment", DataType::Str),
         ]),
         vec![
-            int_col((0..lineitems).map(|_| rng.random_range(0..orders as i64)).collect()),
-            int_col((0..lineitems).map(|_| rng.random_range(0..parts as i64)).collect()),
-            int_col((0..lineitems).map(|_| rng.random_range(0..suppliers as i64)).collect()),
+            int_col(
+                (0..lineitems)
+                    .map(|_| rng.random_range(0..orders as i64))
+                    .collect(),
+            ),
+            int_col(
+                (0..lineitems)
+                    .map(|_| rng.random_range(0..parts as i64))
+                    .collect(),
+            ),
+            int_col(
+                (0..lineitems)
+                    .map(|_| rng.random_range(0..suppliers as i64))
+                    .collect(),
+            ),
             int_col((0..lineitems).map(|_| rng.random_range(1..51i64)).collect()),
-            float_col((0..lineitems).map(|_| rng.random_range(1000..100_000) as f64 / 100.0).collect()),
-            float_col((0..lineitems).map(|_| rng.random_range(0..11) as f64 / 100.0).collect()),
-            int_col((0..lineitems).map(|_| rng.random_range(19_920_101..19_981_231i64)).collect()),
+            float_col(
+                (0..lineitems)
+                    .map(|_| rng.random_range(1000..100_000) as f64 / 100.0)
+                    .collect(),
+            ),
+            float_col(
+                (0..lineitems)
+                    .map(|_| rng.random_range(0..11) as f64 / 100.0)
+                    .collect(),
+            ),
+            int_col(
+                (0..lineitems)
+                    .map(|_| rng.random_range(19_920_101..19_981_231i64))
+                    .collect(),
+            ),
             str_col((0..lineitems).map(|_| comment(&mut rng)).collect()),
         ],
     ));

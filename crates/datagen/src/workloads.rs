@@ -87,7 +87,11 @@ pub fn job_light(seed: u64) -> Vec<BenchQuery> {
         }
         preds.dedup();
         conds.extend(preds);
-        let sql = format!("SELECT COUNT(*) FROM {} WHERE {}", from.join(", "), conds.join(" AND "));
+        let sql = format!(
+            "SELECT COUNT(*) FROM {} WHERE {}",
+            from.join(", "),
+            conds.join(" AND ")
+        );
         out.push(mk(format!("job_light_{qid}"), sql));
     }
     out
@@ -97,8 +101,17 @@ pub fn job_light(seed: u64) -> Vec<BenchQuery> {
 pub fn job_light_ranges(seed: u64) -> Vec<BenchQuery> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x10B2);
     let mut out = Vec::with_capacity(1000);
-    let like_words =
-        ["Dark", "Night", "Legend", "Golden", "Action", "Drama", "association", "USA", "uncredited"];
+    let like_words = [
+        "Dark",
+        "Night",
+        "Legend",
+        "Golden",
+        "Action",
+        "Drama",
+        "association",
+        "USA",
+        "uncredited",
+    ];
     for qid in 0..1000 {
         let num_facts = 1 + rng.random_range(0..4usize);
         let mut facts: Vec<usize> = (0..JL_FACTS.len()).collect();
@@ -142,7 +155,11 @@ pub fn job_light_ranges(seed: u64) -> Vec<BenchQuery> {
             }
         }
         conds.dedup();
-        let sql = format!("SELECT COUNT(*) FROM {} WHERE {}", from.join(", "), conds.join(" AND "));
+        let sql = format!(
+            "SELECT COUNT(*) FROM {} WHERE {}",
+            from.join(", "),
+            conds.join(" AND ")
+        );
         out.push(mk(format!("job_light_ranges_{qid}"), sql));
     }
     out
@@ -153,7 +170,15 @@ pub fn job_light_ranges(seed: u64) -> Vec<BenchQuery> {
 pub fn job_m(seed: u64) -> Vec<BenchQuery> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x10B3);
     let mut out = Vec::with_capacity(113);
-    let keywords = ["murder", "sequel", "revenge", "love", "dystopia", "superhero", "pg-13"];
+    let keywords = [
+        "murder",
+        "sequel",
+        "revenge",
+        "love",
+        "dystopia",
+        "superhero",
+        "pg-13",
+    ];
     let countries = ["[us]", "[gb]", "[de]", "[fr]"];
     for qid in 0..113 {
         // Base: title joined with 2-4 fact tables and some of their dims.
@@ -197,7 +222,10 @@ pub fn job_m(seed: u64) -> Vec<BenchQuery> {
                 let n = 1 + rng.random_range(0..3usize);
                 let mut ks: Vec<String> = Vec::new();
                 for _ in 0..n {
-                    ks.push(format!("'{}'", keywords[rng.random_range(0..keywords.len())]));
+                    ks.push(format!(
+                        "'{}'",
+                        keywords[rng.random_range(0..keywords.len())]
+                    ));
                 }
                 ks.dedup();
                 if ks.len() == 1 {
@@ -250,7 +278,11 @@ pub fn job_m(seed: u64) -> Vec<BenchQuery> {
             conds.push("t.kind_id = kt.id".into());
             conds.push("kt.kind = 'movie'".into());
         }
-        let sql = format!("SELECT COUNT(*) FROM {} WHERE {}", from.join(", "), conds.join(" AND "));
+        let sql = format!(
+            "SELECT COUNT(*) FROM {} WHERE {}",
+            from.join(", "),
+            conds.join(" AND ")
+        );
         out.push(mk(format!("job_m_{qid}"), sql));
     }
     out
@@ -264,12 +296,42 @@ pub fn stats_ceb(seed: u64) -> Vec<BenchQuery> {
     // (table, alias, fk-to-posts, fk-to-users, filters: (col, lo, hi))
     #[allow(clippy::type_complexity)]
     let activity: &[(&str, &str, Option<&str>, Option<&str>, &[(&str, i64, i64)])] = &[
-        ("comments", "c", Some("postid"), Some("userid"), &[("score", 0, 10)]),
-        ("votes", "v", Some("postid"), Some("userid"), &[("votetypeid", 1, 15)]),
+        (
+            "comments",
+            "c",
+            Some("postid"),
+            Some("userid"),
+            &[("score", 0, 10)],
+        ),
+        (
+            "votes",
+            "v",
+            Some("postid"),
+            Some("userid"),
+            &[("votetypeid", 1, 15)],
+        ),
         ("badges", "b", None, Some("userid"), &[]),
-        ("posthistory", "ph", Some("postid"), Some("userid"), &[("posthistorytypeid", 1, 6)]),
-        ("postlinks", "pl", Some("postid"), None, &[("linktypeid", 1, 3)]),
-        ("tags", "tg", Some("excerptpostid"), None, &[("count", 0, 5000)]),
+        (
+            "posthistory",
+            "ph",
+            Some("postid"),
+            Some("userid"),
+            &[("posthistorytypeid", 1, 6)],
+        ),
+        (
+            "postlinks",
+            "pl",
+            Some("postid"),
+            None,
+            &[("linktypeid", 1, 3)],
+        ),
+        (
+            "tags",
+            "tg",
+            Some("excerptpostid"),
+            None,
+            &[("count", 0, 5000)],
+        ),
     ];
     for qid in 0..146 {
         let mut from = vec!["posts p".to_string(), "users u".to_string()];
@@ -330,7 +392,11 @@ pub fn stats_ceb(seed: u64) -> Vec<BenchQuery> {
             }
         }
         conds.dedup();
-        let sql = format!("SELECT COUNT(*) FROM {} WHERE {}", from.join(", "), conds.join(" AND "));
+        let sql = format!(
+            "SELECT COUNT(*) FROM {} WHERE {}",
+            from.join(", "),
+            conds.join(" AND ")
+        );
         out.push(mk(format!("stats_ceb_{qid}"), sql));
     }
     out
@@ -353,7 +419,11 @@ mod tests {
         for q in job_light(2) {
             let n = q.query.num_relations();
             assert!((2..=5).contains(&n), "{}: {n} relations", q.name);
-            assert!(!q.query.predicates.is_empty(), "{} needs predicates", q.name);
+            assert!(
+                !q.query.predicates.is_empty(),
+                "{} needs predicates",
+                q.name
+            );
         }
     }
 
@@ -370,7 +440,10 @@ mod tests {
         assert!(qs.iter().any(|q| q.sql.contains(" IN (")));
         assert!(qs.iter().any(|q| q.sql.contains("company_name")));
         let max_rels = qs.iter().map(|q| q.query.num_relations()).max().unwrap();
-        assert!(max_rels >= 6, "JOB-M should reach wide joins, got {max_rels}");
+        assert!(
+            max_rels >= 6,
+            "JOB-M should reach wide joins, got {max_rels}"
+        );
     }
 
     #[test]
@@ -383,9 +456,7 @@ mod tests {
         // Some queries must be cyclic (postlinks double edge).
         let cyclic = qs
             .iter()
-            .filter(|q| {
-                !safebound_query::JoinGraph::new(&q.query).is_berge_acyclic()
-            })
+            .filter(|q| !safebound_query::JoinGraph::new(&q.query).is_berge_acyclic())
             .count();
         assert!(cyclic > 0, "expected some cyclic STATS queries");
     }

@@ -58,14 +58,28 @@ pub fn compose(rng: &mut StdRng, parts: &[&[&str]]) -> String {
 pub mod vocab {
     /// Movie title words.
     pub const TITLE_WORDS: &[&str] = &[
-        "Dark", "Night", "Return", "Legend", "Shadow", "Golden", "Last", "First", "Lost",
-        "Silent", "Crimson", "Winter", "Summer", "Iron", "Broken", "Hidden", "Burning", "Frozen",
-        "Midnight", "Eternal",
+        "Dark", "Night", "Return", "Legend", "Shadow", "Golden", "Last", "First", "Lost", "Silent",
+        "Crimson", "Winter", "Summer", "Iron", "Broken", "Hidden", "Burning", "Frozen", "Midnight",
+        "Eternal",
     ];
     /// Second title words.
     pub const TITLE_NOUNS: &[&str] = &[
-        "Kingdom", "River", "Mountain", "Empire", "Journey", "Warrior", "Garden", "Station",
-        "Harbor", "Forest", "Citadel", "Horizon", "Voyage", "Covenant", "Reckoning", "Sanctuary",
+        "Kingdom",
+        "River",
+        "Mountain",
+        "Empire",
+        "Journey",
+        "Warrior",
+        "Garden",
+        "Station",
+        "Harbor",
+        "Forest",
+        "Citadel",
+        "Horizon",
+        "Voyage",
+        "Covenant",
+        "Reckoning",
+        "Sanctuary",
     ];
     /// Person first names.
     pub const FIRST_NAMES: &[&str] = &[
@@ -79,29 +93,80 @@ pub mod vocab {
     ];
     /// Company name stems.
     pub const COMPANY_STEMS: &[&str] = &[
-        "Universal", "Paramount", "Golden Gate", "Northern Lights", "Silver Screen", "Red Rock",
-        "Blue Sky", "Monarch", "Pinnacle", "Crescent", "Atlas", "Beacon",
+        "Universal",
+        "Paramount",
+        "Golden Gate",
+        "Northern Lights",
+        "Silver Screen",
+        "Red Rock",
+        "Blue Sky",
+        "Monarch",
+        "Pinnacle",
+        "Crescent",
+        "Atlas",
+        "Beacon",
     ];
     /// Company suffixes.
-    pub const COMPANY_SUFFIXES: &[&str] =
-        &["Pictures", "Studios", "Films", "Entertainment", "Productions", "Media"];
+    pub const COMPANY_SUFFIXES: &[&str] = &[
+        "Pictures",
+        "Studios",
+        "Films",
+        "Entertainment",
+        "Productions",
+        "Media",
+    ];
     /// Keywords (dimension values with heavy reuse, as in IMDB).
     pub const KEYWORDS: &[&str] = &[
-        "character-name-in-title", "based-on-novel", "murder", "sequel", "revenge", "love",
-        "friendship", "independent-film", "female-protagonist", "dystopia", "time-travel",
-        "martial-arts", "film-noir", "superhero", "pg-13", "surrealism", "anthology",
-        "director-cameo", "one-word-title", "number-in-title",
+        "character-name-in-title",
+        "based-on-novel",
+        "murder",
+        "sequel",
+        "revenge",
+        "love",
+        "friendship",
+        "independent-film",
+        "female-protagonist",
+        "dystopia",
+        "time-travel",
+        "martial-arts",
+        "film-noir",
+        "superhero",
+        "pg-13",
+        "surrealism",
+        "anthology",
+        "director-cameo",
+        "one-word-title",
+        "number-in-title",
     ];
     /// Production notes for movie_companies.note.
     pub const NOTE_PARTS: &[&str] = &[
-        "(co-production)", "(presents)", "(in association with)", "(as Metro Goldwyn)",
-        "(uncredited)", "(2006) (USA) (TV)", "(2008) (worldwide)", "(theatrical)", "(VHS)",
-        "(DVD)", "(Blu-ray)", "(limited)",
+        "(co-production)",
+        "(presents)",
+        "(in association with)",
+        "(as Metro Goldwyn)",
+        "(uncredited)",
+        "(2006) (USA) (TV)",
+        "(2008) (worldwide)",
+        "(theatrical)",
+        "(VHS)",
+        "(DVD)",
+        "(Blu-ray)",
+        "(limited)",
     ];
     /// Genre/info values for movie_info.
     pub const GENRES: &[&str] = &[
-        "Action", "Drama", "Comedy", "Horror", "Documentary", "Thriller", "Romance", "Sci-Fi",
-        "Western", "Animation", "Crime", "Adventure",
+        "Action",
+        "Drama",
+        "Comedy",
+        "Horror",
+        "Documentary",
+        "Thriller",
+        "Romance",
+        "Sci-Fi",
+        "Western",
+        "Animation",
+        "Crime",
+        "Adventure",
     ];
 }
 
@@ -134,12 +199,12 @@ mod tests {
     fn zipf_alpha_zero_is_roughly_uniform() {
         let z = Zipf::new(10, 0.0);
         let mut rng = StdRng::seed_from_u64(2);
-        let mut counts = vec![0usize; 11];
+        let mut counts = [0usize; 11];
         for _ in 0..10_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        for i in 1..=10 {
-            assert!(counts[i] > 700 && counts[i] < 1300, "bucket {i}: {}", counts[i]);
+        for (i, &count) in counts.iter().enumerate().skip(1) {
+            assert!(count > 700 && count < 1300, "bucket {i}: {count}");
         }
     }
 

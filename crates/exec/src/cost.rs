@@ -41,7 +41,10 @@ impl Default for CostModel {
 impl CostModel {
     /// Cost model without index access paths.
     pub fn without_indexes() -> Self {
-        CostModel { enable_inlj: false, ..Default::default() }
+        CostModel {
+            enable_inlj: false,
+            ..Default::default()
+        }
     }
 }
 

@@ -57,18 +57,18 @@ pub fn exact_count(catalog: &Catalog, query: &Query) -> Result<u128, ExactError>
 
 fn table_of<'a>(catalog: &'a Catalog, query: &Query, rel: usize) -> Result<&'a Table, ExactError> {
     let name = &query.relations[rel].table;
-    catalog.table(name).ok_or_else(|| ExactError::UnknownTable(name.clone()))
+    catalog
+        .table(name)
+        .ok_or_else(|| ExactError::UnknownTable(name.clone()))
 }
 
-fn column_values(
-    table: &Table,
-    column: &str,
-    rows: &[usize],
-) -> Result<Vec<Value>, ExactError> {
-    let col = table.column(column).ok_or_else(|| ExactError::UnknownColumn {
-        table: table.name.clone(),
-        column: column.to_string(),
-    })?;
+fn column_values(table: &Table, column: &str, rows: &[usize]) -> Result<Vec<Value>, ExactError> {
+    let col = table
+        .column(column)
+        .ok_or_else(|| ExactError::UnknownColumn {
+            table: table.name.clone(),
+            column: column.to_string(),
+        })?;
     Ok(rows.iter().map(|&i| col.get(i)).collect())
 }
 
@@ -105,7 +105,12 @@ fn yannakakis_count(
                     })
                     .collect();
                 // Intersect on the smallest map.
-                let smallest = maps.iter().enumerate().min_by_key(|(_, m)| m.len()).unwrap().0;
+                let smallest = maps
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, m)| m.len())
+                    .unwrap()
+                    .0;
                 let mut out = HashMap::new();
                 'outer: for (v, &c0) in maps[smallest] {
                     let mut prod = c0;
@@ -122,13 +127,17 @@ fn yannakakis_count(
                 }
                 Node::Unary(out)
             }
-            Step::Beta { rel, out_column, children } => {
+            Step::Beta {
+                rel,
+                out_column,
+                children,
+            } => {
                 let table = table_of(catalog, query, *rel)?;
                 let rows = rows_of(*rel)?;
                 let child_vals: Vec<(Vec<Value>, &HashMap<Value, u128>)> = children
                     .iter()
                     .map(|(_, col, node)| {
-                        let vals = column_values(table, col, &rows)?;
+                        let vals = column_values(table, plan.column_name(*col), &rows)?;
                         let map = match &nodes[*node] {
                             Node::Unary(m) => m,
                             Node::Scalar(_) => unreachable!(),
@@ -138,7 +147,7 @@ fn yannakakis_count(
                     .collect::<Result<_, ExactError>>()?;
                 match out_column {
                     Some(col) => {
-                        let out_vals = column_values(table, col, &rows)?;
+                        let out_vals = column_values(table, plan.column_name(*col), &rows)?;
                         let mut out: HashMap<Value, u128> = HashMap::new();
                         for (i, ov) in out_vals.into_iter().enumerate() {
                             if ov.is_null() {
@@ -284,7 +293,10 @@ fn progressive_count(catalog: &Catalog, query: &Query) -> Result<u128, ExactErro
             .collect::<std::collections::BTreeSet<_>>()
             .into_iter()
             .filter(|v| {
-                graph.vars[*v].relations().iter().any(|r| later_rels.contains(r))
+                graph.vars[*v]
+                    .relations()
+                    .iter()
+                    .any(|r| later_rels.contains(r))
             })
             .collect();
 
@@ -329,13 +341,19 @@ fn progressive_count(catalog: &Catalog, query: &Query) -> Result<u128, ExactErro
                         .unwrap_or(Value::Null) // filled from state below
                 })
                 .collect();
-            *rel_groups.entry(shared_key).or_default().entry(provided).or_insert(0) += 1;
+            *rel_groups
+                .entry(shared_key)
+                .or_default()
+                .entry(provided)
+                .or_insert(0) += 1;
         }
 
         // Join state with relation groups.
         let mut next_state: HashMap<Vec<Value>, u128> = HashMap::new();
-        let shared_idx_in_state: Vec<usize> =
-            shared.iter().map(|v| state_vars.iter().position(|s| s == v).unwrap()).collect();
+        let shared_idx_in_state: Vec<usize> = shared
+            .iter()
+            .map(|v| state_vars.iter().position(|s| s == v).unwrap())
+            .collect();
         let state_provides: Vec<Option<usize>> = next_vars
             .iter()
             .map(|v| state_vars.iter().position(|s| s == v))
@@ -343,8 +361,10 @@ fn progressive_count(catalog: &Catalog, query: &Query) -> Result<u128, ExactErro
         let rel_has: Vec<bool> = next_vars.iter().map(|v| col_vals.contains_key(v)).collect();
 
         for (skey, scount) in &state {
-            let shared_key: Vec<Value> =
-                shared_idx_in_state.iter().map(|&i| skey[i].clone()).collect();
+            let shared_key: Vec<Value> = shared_idx_in_state
+                .iter()
+                .map(|&i| skey[i].clone())
+                .collect();
             if let Some(groups) = rel_groups.get(&shared_key) {
                 for (provided, rcount) in groups {
                     let mut key: Vec<Value> = Vec::with_capacity(next_vars.len());
@@ -355,8 +375,7 @@ fn progressive_count(catalog: &Catalog, query: &Query) -> Result<u128, ExactErro
                             key.push(skey[state_provides[j].unwrap()].clone());
                         }
                     }
-                    *next_state.entry(key).or_insert(0) +=
-                        scount.saturating_mul(*rcount);
+                    *next_state.entry(key).or_insert(0) += scount.saturating_mul(*rcount);
                 }
             }
         }
@@ -379,7 +398,10 @@ mod tests {
         let mut c = Catalog::new();
         let r = Table::new(
             "r",
-            Schema::new(vec![Field::new("x", DataType::Int), Field::new("a", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("x", DataType::Int),
+                Field::new("a", DataType::Int),
+            ]),
             vec![
                 Column::from_ints([1, 1, 2, 3].map(Some)),
                 Column::from_ints([10, 20, 10, 30].map(Some)),
@@ -387,7 +409,10 @@ mod tests {
         );
         let s = Table::new(
             "s",
-            Schema::new(vec![Field::new("x", DataType::Int), Field::new("y", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("x", DataType::Int),
+                Field::new("y", DataType::Int),
+            ]),
             vec![
                 Column::from_ints([1, 1, 2, 9].map(Some)),
                 Column::from_ints([7, 8, 7, 7].map(Some)),
@@ -498,6 +523,9 @@ mod tests {
     fn unknown_table_error() {
         let c = catalog();
         let q = parse_sql("SELECT COUNT(*) FROM zzz").unwrap();
-        assert!(matches!(exact_count(&c, &q), Err(ExactError::UnknownTable(_))));
+        assert!(matches!(
+            exact_count(&c, &q),
+            Err(ExactError::UnknownTable(_))
+        ));
     }
 }

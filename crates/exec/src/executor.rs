@@ -68,7 +68,9 @@ pub fn execute(
 
 fn table_of<'a>(catalog: &'a Catalog, query: &Query, rel: usize) -> Result<&'a Table, ExecError> {
     let name = &query.relations[rel].table;
-    catalog.table(name).ok_or_else(|| ExecError::UnknownTable(name.clone()))
+    catalog
+        .table(name)
+        .ok_or_else(|| ExecError::UnknownTable(name.clone()))
 }
 
 /// Join keys crossing two masks: (left rel, left col, right rel, right col)
@@ -76,9 +78,19 @@ fn crossing_edges(query: &Query, a: u64, b: u64) -> Vec<(usize, String, usize, S
     let mut out = Vec::new();
     for j in &query.joins {
         if a & (1 << j.left) != 0 && b & (1 << j.right) != 0 {
-            out.push((j.left, j.left_column.clone(), j.right, j.right_column.clone()));
+            out.push((
+                j.left,
+                j.left_column.clone(),
+                j.right,
+                j.right_column.clone(),
+            ));
         } else if b & (1 << j.left) != 0 && a & (1 << j.right) != 0 {
-            out.push((j.right, j.right_column.clone(), j.left, j.left_column.clone()));
+            out.push((
+                j.right,
+                j.right_column.clone(),
+                j.left,
+                j.left_column.clone(),
+            ));
         }
     }
     out
@@ -121,10 +133,15 @@ fn run(
             }
             Ok(Intermediate {
                 mask: *mask,
-                tuples: rows.into_iter().map(|r| HashMap::from([(*rel, r)])).collect(),
+                tuples: rows
+                    .into_iter()
+                    .map(|r| HashMap::from([(*rel, r)]))
+                    .collect(),
             })
         }
-        PhysPlan::HashJoin { build, probe, mask, .. } => {
+        PhysPlan::HashJoin {
+            build, probe, mask, ..
+        } => {
             let b = run(build, query, catalog, row_cap)?;
             let p = run(probe, query, catalog, row_cap)?;
             let edges = crossing_edges(query, b.mask, p.mask);
@@ -154,9 +171,14 @@ fn run(
                     }
                 }
             }
-            Ok(Intermediate { mask: *mask, tuples })
+            Ok(Intermediate {
+                mask: *mask,
+                tuples,
+            })
         }
-        PhysPlan::IndexJoin { outer, inner, mask, .. } => {
+        PhysPlan::IndexJoin {
+            outer, inner, mask, ..
+        } => {
             let o = run(outer, query, catalog, row_cap)?;
             let inner_table = table_of(catalog, query, *inner)?;
             let inner_rows = filtered_rows(inner_table, query.predicate_of(*inner));
@@ -188,7 +210,10 @@ fn run(
                     }
                 }
             }
-            Ok(Intermediate { mask: *mask, tuples })
+            Ok(Intermediate {
+                mask: *mask,
+                tuples,
+            })
         }
     }
 }
@@ -206,7 +231,10 @@ mod tests {
         let mut c = Catalog::new();
         let r = Table::new(
             "r",
-            Schema::new(vec![Field::new("x", DataType::Int), Field::new("a", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("x", DataType::Int),
+                Field::new("a", DataType::Int),
+            ]),
             vec![
                 Column::from_ints([1, 1, 2, 3].map(Some)),
                 Column::from_ints([10, 20, 10, 30].map(Some)),
@@ -214,7 +242,10 @@ mod tests {
         );
         let s = Table::new(
             "s",
-            Schema::new(vec![Field::new("x", DataType::Int), Field::new("y", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("x", DataType::Int),
+                Field::new("y", DataType::Int),
+            ]),
             vec![
                 Column::from_ints([1, 1, 2, 9].map(Some)),
                 Column::from_ints([7, 8, 7, 7].map(Some)),
@@ -259,7 +290,11 @@ mod tests {
         let q = parse_sql("SELECT COUNT(*) FROM s, t WHERE s.y = t.y").unwrap();
         // Force an IndexJoin shape.
         let plan = PhysPlan::IndexJoin {
-            outer: Box::new(PhysPlan::Scan { rel: 0, mask: 1, card: 4.0 }),
+            outer: Box::new(PhysPlan::Scan {
+                rel: 0,
+                mask: 1,
+                card: 4.0,
+            }),
             inner: 1,
             mask: 3,
             card: 8.0,
@@ -273,8 +308,16 @@ mod tests {
         let c = catalog();
         let q = parse_sql("SELECT COUNT(*) FROM r, s WHERE r.x = s.x").unwrap();
         let plan = PhysPlan::HashJoin {
-            build: Box::new(PhysPlan::Scan { rel: 0, mask: 1, card: 4.0 }),
-            probe: Box::new(PhysPlan::Scan { rel: 1, mask: 2, card: 4.0 }),
+            build: Box::new(PhysPlan::Scan {
+                rel: 0,
+                mask: 1,
+                card: 4.0,
+            }),
+            probe: Box::new(PhysPlan::Scan {
+                rel: 1,
+                mask: 2,
+                card: 4.0,
+            }),
             mask: 3,
             card: 5.0,
         };

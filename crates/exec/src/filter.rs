@@ -10,7 +10,10 @@ pub fn filtered_rows(table: &Table, pred: Option<&Predicate>) -> Vec<usize> {
         Some(p) => (0..table.num_rows())
             .filter(|&i| {
                 p.eval(&|col: &str| {
-                    table.column(col).map(|c| c.get(i)).unwrap_or(safebound_storage::Value::Null)
+                    table
+                        .column(col)
+                        .map(|c| c.get(i))
+                        .unwrap_or(safebound_storage::Value::Null)
                 })
             })
             .collect(),
@@ -34,7 +37,10 @@ mod tests {
     fn table() -> Table {
         Table::new(
             "t",
-            Schema::new(vec![Field::new("a", DataType::Int), Field::new("s", DataType::Str)]),
+            Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("s", DataType::Str),
+            ]),
             vec![
                 Column::from_ints([Some(1), Some(2), None, Some(4)]),
                 Column::from_strs([Some("foo"), Some("bar"), Some("baz"), None]),

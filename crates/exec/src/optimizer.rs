@@ -39,7 +39,10 @@ pub struct Optimizer {
 
 impl Default for Optimizer {
     fn default() -> Self {
-        Optimizer { cost: CostModel::default(), dp_limit: 12 }
+        Optimizer {
+            cost: CostModel::default(),
+            dp_limit: 12,
+        }
     }
 }
 
@@ -58,10 +61,12 @@ impl Optimizer {
         est: &mut dyn CardinalityEstimator,
     ) -> PhysPlan {
         let n = query.num_relations();
-        assert!(n >= 1 && n <= 63, "1..=63 relations supported");
+        assert!((1..=63).contains(&n), "1..=63 relations supported");
         let mut cards: HashMap<u64, f64> = HashMap::new();
         let mut card = |mask: u64, est: &mut dyn CardinalityEstimator| -> f64 {
-            *cards.entry(mask).or_insert_with(|| est.estimate(query, mask).max(1.0))
+            *cards
+                .entry(mask)
+                .or_insert_with(|| est.estimate(query, mask).max(1.0))
         };
 
         // Relation adjacency from join edges.
@@ -185,7 +190,9 @@ impl Optimizer {
                 best.insert(mask, bh);
             }
         }
-        best.remove(&full).map(|(_, p)| p).expect("full mask must have a plan")
+        best.remove(&full)
+            .map(|(_, p)| p)
+            .expect("full mask must have a plan")
     }
 
     fn greedy(
@@ -208,7 +215,11 @@ impl Optimizer {
             }
         }
         let mut mask = 1u64 << start;
-        let mut plan = PhysPlan::Scan { rel: start, mask, card: best_c };
+        let mut plan = PhysPlan::Scan {
+            rel: start,
+            mask,
+            card: best_c,
+        };
         let mut remaining: Vec<usize> = (0..n).filter(|&r| r != start).collect();
         while !remaining.is_empty() {
             // Prefer connected relations; among them minimize result card.
@@ -226,7 +237,11 @@ impl Optimizer {
             let new_mask = mask | (1 << rel);
             let out_card = card(new_mask, est);
             let inner_card = card(1 << rel, est);
-            let scan = PhysPlan::Scan { rel, mask: 1 << rel, card: inner_card };
+            let scan = PhysPlan::Scan {
+                rel,
+                mask: 1 << rel,
+                card: inner_card,
+            };
             // Choose cheapest among HJ orientations and INLJ.
             let mut candidates = vec![
                 PhysPlan::HashJoin {
@@ -318,7 +333,9 @@ mod tests {
     fn dp_produces_full_plan() {
         let q = chain3();
         let opt = Optimizer::default();
-        let mut est = FnEstimator { f: |_q: &Query, mask: u64| 10.0 * mask.count_ones() as f64 };
+        let mut est = FnEstimator {
+            f: |_q: &Query, mask: u64| 10.0 * mask.count_ones() as f64,
+        };
         let plan = opt.optimize(&q, &[vec![], vec![], vec![]], &mut est);
         assert_eq!(plan.mask(), 0b111);
     }
@@ -348,7 +365,11 @@ mod tests {
                 PhysPlan::IndexJoin { outer, .. } => has_mask(outer, m),
             }
         }
-        assert!(has_mask(&plan, 0b110), "expected b⋈c first: {}", plan.describe());
+        assert!(
+            has_mask(&plan, 0b110),
+            "expected b⋈c first: {}",
+            plan.describe()
+        );
     }
 
     #[test]
@@ -357,7 +378,13 @@ mod tests {
         let opt = Optimizer::default();
         // Honest estimates: INLJ unattractive (outer big).
         let mut honest = FnEstimator {
-            f: |_q: &Query, mask: u64| if mask.count_ones() == 1 { 1000.0 } else { 10_000.0 },
+            f: |_q: &Query, mask: u64| {
+                if mask.count_ones() == 1 {
+                    1000.0
+                } else {
+                    10_000.0
+                }
+            },
         };
         let indexed = vec![vec!["x".to_string()], vec![], vec!["y".to_string()]];
         let honest_plan = opt.optimize(&q, &indexed, &mut honest);
@@ -382,12 +409,15 @@ mod tests {
             sql.push_str(&format!(", t{i}"));
         }
         sql.push_str(" WHERE ");
-        let conds: Vec<String> =
-            (1..14).map(|i| format!("t{}.x = t{}.x", i - 1, i)).collect();
+        let conds: Vec<String> = (1..14)
+            .map(|i| format!("t{}.x = t{}.x", i - 1, i))
+            .collect();
         sql.push_str(&conds.join(" AND "));
         let q = parse_sql(&sql).unwrap();
         let opt = Optimizer::default();
-        let mut est = FnEstimator { f: |_q: &Query, mask: u64| mask.count_ones() as f64 * 5.0 };
+        let mut est = FnEstimator {
+            f: |_q: &Query, mask: u64| mask.count_ones() as f64 * 5.0,
+        };
         let plan = opt.optimize(&q, &vec![vec![]; 14], &mut est);
         assert_eq!(plan.mask().count_ones(), 14);
     }
@@ -396,7 +426,9 @@ mod tests {
     fn cartesian_product_still_planned() {
         let q = parse_sql("SELECT COUNT(*) FROM a, b").unwrap();
         let opt = Optimizer::default();
-        let mut est = FnEstimator { f: |_q: &Query, _m: u64| 4.0 };
+        let mut est = FnEstimator {
+            f: |_q: &Query, _m: u64| 4.0,
+        };
         let plan = opt.optimize(&q, &[vec![], vec![]], &mut est);
         assert_eq!(plan.mask(), 0b11);
     }
@@ -408,7 +440,11 @@ mod tests {
         let mut liar = FnEstimator {
             f: |_q: &Query, mask: u64| if mask.count_ones() == 1 { 1000.0 } else { 2.0 },
         };
-        let indexed = vec![vec!["x".to_string()], vec!["x".to_string()], vec!["y".to_string()]];
+        let indexed = vec![
+            vec!["x".to_string()],
+            vec!["x".to_string()],
+            vec!["y".to_string()],
+        ];
         let plan = opt.optimize(&q, &indexed, &mut liar);
         assert_eq!(plan.num_index_joins(), 0);
     }

@@ -65,7 +65,9 @@ impl PhysPlan {
     pub fn cost(&self, m: &CostModel) -> f64 {
         match self {
             PhysPlan::Scan { card, .. } => card * m.scan,
-            PhysPlan::HashJoin { build, probe, card, .. } => {
+            PhysPlan::HashJoin {
+                build, probe, card, ..
+            } => {
                 build.cost(m)
                     + probe.cost(m)
                     + build.card() * m.hash_build
@@ -82,16 +84,22 @@ impl PhysPlan {
     /// plan with true cardinalities).
     pub fn with_cards(&self, f: &mut impl FnMut(u64) -> f64) -> PhysPlan {
         match self {
-            PhysPlan::Scan { rel, mask, .. } => {
-                PhysPlan::Scan { rel: *rel, mask: *mask, card: f(*mask) }
-            }
-            PhysPlan::HashJoin { build, probe, mask, .. } => PhysPlan::HashJoin {
+            PhysPlan::Scan { rel, mask, .. } => PhysPlan::Scan {
+                rel: *rel,
+                mask: *mask,
+                card: f(*mask),
+            },
+            PhysPlan::HashJoin {
+                build, probe, mask, ..
+            } => PhysPlan::HashJoin {
                 build: Box::new(build.with_cards(f)),
                 probe: Box::new(probe.with_cards(f)),
                 mask: *mask,
                 card: f(*mask),
             },
-            PhysPlan::IndexJoin { outer, inner, mask, .. } => PhysPlan::IndexJoin {
+            PhysPlan::IndexJoin {
+                outer, inner, mask, ..
+            } => PhysPlan::IndexJoin {
                 outer: Box::new(outer.with_cards(f)),
                 inner: *inner,
                 mask: *mask,
@@ -131,9 +139,17 @@ mod tests {
 
     fn sample() -> PhysPlan {
         PhysPlan::HashJoin {
-            build: Box::new(PhysPlan::Scan { rel: 0, mask: 1, card: 10.0 }),
+            build: Box::new(PhysPlan::Scan {
+                rel: 0,
+                mask: 1,
+                card: 10.0,
+            }),
             probe: Box::new(PhysPlan::IndexJoin {
-                outer: Box::new(PhysPlan::Scan { rel: 1, mask: 2, card: 5.0 }),
+                outer: Box::new(PhysPlan::Scan {
+                    rel: 1,
+                    mask: 2,
+                    card: 5.0,
+                }),
                 inner: 2,
                 mask: 6,
                 card: 20.0,

@@ -24,7 +24,10 @@ pub struct TrueCardOracle<'a> {
 impl<'a> TrueCardOracle<'a> {
     /// New oracle over a catalog.
     pub fn new(catalog: &'a Catalog) -> Self {
-        TrueCardOracle { catalog, cache: HashMap::new() }
+        TrueCardOracle {
+            catalog,
+            cache: HashMap::new(),
+        }
     }
 
     /// Drop cached sub-query cardinalities. The cache is keyed by relation

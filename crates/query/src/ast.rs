@@ -24,12 +24,18 @@ pub struct RelationRef {
 impl RelationRef {
     /// Reference a table under its own name.
     pub fn new(table: &str) -> Self {
-        RelationRef { table: table.to_string(), alias: table.to_string() }
+        RelationRef {
+            table: table.to_string(),
+            alias: table.to_string(),
+        }
     }
 
     /// Reference a table under an alias.
     pub fn aliased(table: &str, alias: &str) -> Self {
-        RelationRef { table: table.to_string(), alias: alias.to_string() }
+        RelationRef {
+            table: table.to_string(),
+            alias: alias.to_string(),
+        }
     }
 }
 
@@ -147,7 +153,7 @@ impl Predicate {
             },
             Predicate::In(c, vs) => {
                 let x = get(c);
-                !x.is_null() && vs.iter().any(|v| *v == x)
+                !x.is_null() && vs.contains(&x)
             }
             Predicate::And(ps) => ps.iter().all(|p| p.eval(get)),
             Predicate::Or(ps) => ps.iter().any(|p| p.eval(get)),
@@ -163,9 +169,9 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
     let (n, m) = (s.len(), p.len());
     let mut dp = vec![false; n + 1];
     dp[0] = true;
-    for j in 0..m {
+    for &pc in p.iter().take(m) {
         let mut next = vec![false; n + 1];
-        match p[j] {
+        match pc {
             '%' => {
                 // next[i] = any dp[k] for k <= i
                 let mut any = false;
@@ -175,9 +181,7 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
                 }
             }
             '_' => {
-                for i in 1..=n {
-                    next[i] = dp[i - 1];
-                }
+                next[1..=n].copy_from_slice(&dp[..n]);
             }
             c => {
                 for i in 1..=n {
@@ -251,7 +255,10 @@ impl Query {
 
     /// The predicate tree on a relation, if any.
     pub fn predicate_of(&self, rel: usize) -> Option<&Predicate> {
-        self.predicates.iter().find(|(r, _)| *r == rel).map(|(_, p)| p)
+        self.predicates
+            .iter()
+            .find(|(r, _)| *r == rel)
+            .map(|(_, p)| p)
     }
 
     /// Number of relations.
@@ -289,7 +296,11 @@ impl Query {
             .filter(|(r, _)| mask & (1 << r) != 0)
             .map(|(r, p)| (remap[*r], p.clone()))
             .collect();
-        Query { relations, joins, predicates }
+        Query {
+            relations,
+            joins,
+            predicates,
+        }
     }
 }
 

@@ -29,7 +29,10 @@ impl JoinVar {
     /// The column of `rel` participating in this variable (the first, if
     /// the query forces two columns of the same relation equal).
     pub fn column_of(&self, rel: usize) -> Option<&str> {
-        self.attrs.iter().find(|(r, _)| *r == rel).map(|(_, c)| c.as_str())
+        self.attrs
+            .iter()
+            .find(|(r, _)| *r == rel)
+            .map(|(_, c)| c.as_str())
     }
 
     /// Relation indices incident to this variable, deduplicated.
@@ -58,7 +61,7 @@ impl JoinGraph {
         let mut index: HashMap<(usize, String), usize> = HashMap::new();
         let mut parent: Vec<usize> = Vec::new();
 
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -67,10 +70,10 @@ impl JoinGraph {
         }
 
         let node_id = |rel: usize,
-                           col: &str,
-                           nodes: &mut Vec<(usize, String)>,
-                           parent: &mut Vec<usize>,
-                           index: &mut HashMap<(usize, String), usize>| {
+                       col: &str,
+                       nodes: &mut Vec<(usize, String)>,
+                       parent: &mut Vec<usize>,
+                       index: &mut HashMap<(usize, String), usize>| {
             if let Some(&id) = index.get(&(rel, col.to_string())) {
                 return id;
             }
@@ -83,7 +86,13 @@ impl JoinGraph {
 
         for j in &query.joins {
             let a = node_id(j.left, &j.left_column, &mut nodes, &mut parent, &mut index);
-            let b = node_id(j.right, &j.right_column, &mut nodes, &mut parent, &mut index);
+            let b = node_id(
+                j.right,
+                &j.right_column,
+                &mut nodes,
+                &mut parent,
+                &mut index,
+            );
             let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
             if ra != rb {
                 parent[ra] = rb;
@@ -91,9 +100,9 @@ impl JoinGraph {
         }
 
         let mut groups: HashMap<usize, Vec<(usize, String)>> = HashMap::new();
-        for i in 0..nodes.len() {
+        for (i, node) in nodes.iter().enumerate() {
             let root = find(&mut parent, i);
-            groups.entry(root).or_default().push(nodes[i].clone());
+            groups.entry(root).or_default().push(node.clone());
         }
 
         let mut vars: Vec<JoinVar> = groups
@@ -123,7 +132,7 @@ impl JoinGraph {
         let num_rels = self.rel_vars.len();
         let num_nodes = num_rels + self.vars.len();
         let mut parent: Vec<usize> = (0..num_nodes).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -150,7 +159,7 @@ impl JoinGraph {
     pub fn relation_components(&self) -> Vec<Vec<usize>> {
         let n = self.rel_vars.len();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -177,6 +186,12 @@ impl JoinGraph {
     }
 }
 
+/// A plan-local interned column id: an index into [`BoundPlan::columns`].
+/// Steps carry these dense ids instead of `String`s so the bound
+/// evaluator's hot loop never hashes or compares column-name strings —
+/// statistics lookups become direct vector indexing.
+pub type ColId = u32;
+
 /// One step of the bound plan.
 #[derive(Debug, Clone)]
 pub enum Step {
@@ -195,21 +210,24 @@ pub enum Step {
         rel: usize,
         /// The column of `rel` carrying the parent variable, or `None` at a
         /// component root (the output is a plain cardinality).
-        out_column: Option<String>,
+        out_column: Option<ColId>,
         /// Child inputs: `(variable id, column of rel, node id)`.
-        children: Vec<(usize, String, usize)>,
+        children: Vec<(usize, ColId, usize)>,
     },
 }
 
 /// The bottom-up α/β evaluation plan of a Berge-acyclic query. Node ids are
 /// indices into `steps`; `roots` holds one node per connected component of
-/// the join graph (component bounds multiply).
+/// the join graph (component bounds multiply). Column names referenced by
+/// steps are interned into `columns` ([`ColId`] is an index into it).
 #[derive(Debug, Clone)]
 pub struct BoundPlan {
     /// Steps in dependency order (children precede parents).
     pub steps: Vec<Step>,
     /// Root node per connected component.
     pub roots: Vec<usize>,
+    /// Interned column names; `steps` refer to columns by index.
+    pub columns: Vec<String>,
 }
 
 /// Errors from plan construction.
@@ -245,14 +263,58 @@ impl BoundPlan {
         let mut steps: Vec<Step> = Vec::new();
         let mut roots = Vec::new();
         let mut visited_rel = vec![false; query.num_relations()];
+        let mut interner = Interner::default();
 
         // One DFS per connected component, rooted at its smallest relation.
         for comp in graph.relation_components() {
             let root = comp[0];
-            let node = dfs_rel(root, None, graph, &mut visited_rel, &mut steps);
+            let node = dfs_rel(
+                root,
+                None,
+                graph,
+                &mut visited_rel,
+                &mut steps,
+                &mut interner,
+            );
             roots.push(node);
         }
-        Ok(BoundPlan { steps, roots })
+        Ok(BoundPlan {
+            steps,
+            roots,
+            columns: interner.names,
+        })
+    }
+
+    /// The interned id of a column name, if any step references it.
+    pub fn col_id(&self, name: &str) -> Option<ColId> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .map(|i| i as ColId)
+    }
+
+    /// The name behind an interned column id.
+    pub fn column_name(&self, id: ColId) -> &str {
+        &self.columns[id as usize]
+    }
+}
+
+/// Build-time column-name interner (plans reference a handful of columns,
+/// so a linear probe beats a map).
+#[derive(Default)]
+struct Interner {
+    names: Vec<String>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> ColId {
+        match self.names.iter().position(|n| n == name) {
+            Some(i) => i as ColId,
+            None => {
+                self.names.push(name.to_string());
+                (self.names.len() - 1) as ColId
+            }
+        }
     }
 }
 
@@ -264,6 +326,7 @@ fn dfs_rel(
     graph: &JoinGraph,
     visited: &mut [bool],
     steps: &mut Vec<Step>,
+    interner: &mut Interner,
 ) -> usize {
     visited[rel] = true;
     let mut children = Vec::new();
@@ -275,22 +338,29 @@ fn dfs_rel(
         let mut child_nodes = Vec::new();
         for crel in var.relations() {
             if crel != rel && !visited[crel] {
-                child_nodes.push(dfs_rel(crel, Some(v), graph, visited, steps));
+                child_nodes.push(dfs_rel(crel, Some(v), graph, visited, steps, interner));
             }
         }
-        let col = var.column_of(rel).expect("relation incident to var").to_string();
+        let col = interner.intern(var.column_of(rel).expect("relation incident to var"));
         match child_nodes.len() {
             0 => {} // variable only touches visited relations (impossible in a forest)
             1 => children.push((v, col, child_nodes[0])),
             _ => {
-                steps.push(Step::Alpha { var: v, inputs: child_nodes });
+                steps.push(Step::Alpha {
+                    var: v,
+                    inputs: child_nodes,
+                });
                 children.push((v, col, steps.len() - 1));
             }
         }
     }
     let out_column =
-        parent_var.map(|v| graph.vars[v].column_of(rel).expect("incident").to_string());
-    steps.push(Step::Beta { rel, out_column, children });
+        parent_var.map(|v| interner.intern(graph.vars[v].column_of(rel).expect("incident")));
+    steps.push(Step::Beta {
+        rel,
+        out_column,
+        children,
+    });
     steps.len() - 1
 }
 
@@ -325,7 +395,10 @@ mod tests {
         let g = JoinGraph::new(&q);
         // Variables: Y{r,s}, Z{r,k,t}, V{t,m,n}, W{t,p}.
         assert_eq!(g.vars.len(), 4);
-        let z = g.vars.iter().find(|v| v.relations().len() == 3 && v.column_of(0).is_some());
+        let z = g
+            .vars
+            .iter()
+            .find(|v| v.relations().len() == 3 && v.column_of(0).is_some());
         assert!(z.is_some());
     }
 
@@ -369,8 +442,16 @@ mod tests {
         let plan = BoundPlan::build(&q, &g).unwrap();
         // 7 β-steps (one per relation) + 2 α-steps (Z seen from R joins K
         // and T; V seen from T joins M and N).
-        let alphas = plan.steps.iter().filter(|s| matches!(s, Step::Alpha { .. })).count();
-        let betas = plan.steps.iter().filter(|s| matches!(s, Step::Beta { .. })).count();
+        let alphas = plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Alpha { .. }))
+            .count();
+        let betas = plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Beta { .. }))
+            .count();
         assert_eq!(betas, 7);
         assert_eq!(alphas, 2);
         assert_eq!(plan.roots.len(), 1);
@@ -412,7 +493,11 @@ mod tests {
         let plan = BoundPlan::build(&q, &g).unwrap();
         assert_eq!(plan.steps.len(), 1);
         match &plan.steps[0] {
-            Step::Beta { rel, out_column, children } => {
+            Step::Beta {
+                rel,
+                out_column,
+                children,
+            } => {
                 assert_eq!(*rel, 0);
                 assert!(out_column.is_none());
                 assert!(children.is_empty());

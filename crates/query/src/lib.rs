@@ -13,6 +13,6 @@ pub mod parser;
 pub mod spanning;
 
 pub use ast::{CmpOp, JoinEdge, Predicate, Query, RelationRef};
-pub use join_graph::{BoundPlan, JoinGraph, JoinVar, PlanError, Step};
+pub use join_graph::{BoundPlan, ColId, JoinGraph, JoinVar, PlanError, Step};
 pub use parser::{parse_sql, ParseError};
 pub use spanning::spanning_relaxations;

@@ -41,7 +41,9 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { message: message.into() })
+    Err(ParseError {
+        message: message.into(),
+    })
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -174,8 +176,14 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
 enum Expr {
     And(Vec<Expr>),
     Or(Vec<Expr>),
-    Join { left: (String, String), right: (String, String) },
-    Pred { alias: String, pred: Predicate },
+    Join {
+        left: (String, String),
+        right: (String, String),
+    },
+    Pred {
+        alias: String,
+        pred: Predicate,
+    },
 }
 
 struct Parser {
@@ -244,7 +252,11 @@ impl Parser {
             self.pos += 1;
             terms.push(self.term()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Expr::And(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Expr::And(terms)
+        })
     }
 
     fn term(&mut self) -> Result<Expr, ParseError> {
@@ -253,7 +265,11 @@ impl Parser {
             self.pos += 1;
             factors.push(self.factor()?);
         }
-        Ok(if factors.len() == 1 { factors.pop().unwrap() } else { Expr::Or(factors) })
+        Ok(if factors.len() == 1 {
+            factors.pop().unwrap()
+        } else {
+            Expr::Or(factors)
+        })
     }
 
     fn factor(&mut self) -> Result<Expr, ParseError> {
@@ -274,11 +290,17 @@ impl Parser {
                 match self.peek() {
                     Some(Token::Ident(_)) => {
                         let rhs = self.colref()?;
-                        Ok(Expr::Join { left: (alias, col), right: rhs })
+                        Ok(Expr::Join {
+                            left: (alias, col),
+                            right: rhs,
+                        })
                     }
                     _ => {
                         let v = self.literal()?;
-                        Ok(Expr::Pred { alias, pred: Predicate::Eq(col, v) })
+                        Ok(Expr::Pred {
+                            alias,
+                            pred: Predicate::Eq(col, v),
+                        })
                     }
                 }
             }
@@ -290,16 +312,25 @@ impl Parser {
                     ">" => CmpOp::Gt,
                     _ => CmpOp::Ge,
                 };
-                Ok(Expr::Pred { alias, pred: Predicate::Cmp(col, op, v) })
+                Ok(Expr::Pred {
+                    alias,
+                    pred: Predicate::Cmp(col, op, v),
+                })
             }
             Some(t) if keyword_eq(&t, "BETWEEN") => {
                 let lo = self.literal()?;
                 self.expect_keyword("AND")?;
                 let hi = self.literal()?;
-                Ok(Expr::Pred { alias, pred: Predicate::Between(col, lo, hi) })
+                Ok(Expr::Pred {
+                    alias,
+                    pred: Predicate::Between(col, lo, hi),
+                })
             }
             Some(t) if keyword_eq(&t, "LIKE") => match self.next() {
-                Some(Token::Str(p)) => Ok(Expr::Pred { alias, pred: Predicate::Like(col, p) }),
+                Some(Token::Str(p)) => Ok(Expr::Pred {
+                    alias,
+                    pred: Predicate::Like(col, p),
+                }),
                 t => err(format!("LIKE requires a string pattern, found {t:?}")),
             },
             Some(t) if keyword_eq(&t, "IN") => {
@@ -310,7 +341,10 @@ impl Parser {
                     vals.push(self.literal()?);
                 }
                 self.expect_symbol(")")?;
-                Ok(Expr::Pred { alias, pred: Predicate::In(col, vals) })
+                Ok(Expr::Pred {
+                    alias,
+                    pred: Predicate::In(col, vals),
+                })
             }
             t => err(format!("expected comparison operator, found {t:?}")),
         }
@@ -336,11 +370,7 @@ pub fn parse_sql(sql: &str) -> Result<Query, ParseError> {
                 p.pos += 1;
                 p.ident()?
             }
-            Some(Token::Ident(s))
-                if !s.eq_ignore_ascii_case("WHERE") =>
-            {
-                p.ident()?
-            }
+            Some(Token::Ident(s)) if !s.eq_ignore_ascii_case("WHERE") => p.ident()?,
             _ => table.clone(),
         };
         if query.relation_by_alias(&alias).is_some() {
@@ -377,9 +407,9 @@ fn resolve(query: &Query, alias: &str) -> Result<usize, ParseError> {
             err("bare column names require a single-relation query")
         }
     } else {
-        query
-            .relation_by_alias(alias)
-            .ok_or_else(|| ParseError { message: format!("unknown alias {alias:?}") })
+        query.relation_by_alias(alias).ok_or_else(|| ParseError {
+            message: format!("unknown alias {alias:?}"),
+        })
     }
 }
 
@@ -426,7 +456,9 @@ fn normalize(e: &Expr, query: &mut Query) -> Result<(), ParseError> {
                     }
                 }
             }
-            let rel = rel.ok_or(ParseError { message: "empty OR".into() })?;
+            let rel = rel.ok_or(ParseError {
+                message: "empty OR".into(),
+            })?;
             query.add_predicate(rel, Predicate::Or(preds));
             Ok(())
         }
@@ -462,7 +494,9 @@ mod tests {
         let p = q.predicate_of(0).unwrap();
         match p {
             Predicate::And(ps) => {
-                assert!(matches!(&ps[0], Predicate::Like(c, pat) if c == "title" && pat == "%Dark%"));
+                assert!(
+                    matches!(&ps[0], Predicate::Like(c, pat) if c == "title" && pat == "%Dark%")
+                );
                 assert!(matches!(&ps[1], Predicate::In(_, vs) if vs.len() == 3));
                 assert!(matches!(&ps[2], Predicate::Between(..)));
             }
@@ -472,14 +506,14 @@ mod tests {
 
     #[test]
     fn parse_or_same_relation() {
-        let q = parse_sql(
-            "SELECT COUNT(*) FROM t WHERE (t.a = 1 OR t.a = 2) AND t.b < 5.5",
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT COUNT(*) FROM t WHERE (t.a = 1 OR t.a = 2) AND t.b < 5.5").unwrap();
         match q.predicate_of(0).unwrap() {
             Predicate::And(ps) => {
                 assert!(matches!(&ps[0], Predicate::Or(two) if two.len() == 2));
-                assert!(matches!(&ps[1], Predicate::Cmp(_, CmpOp::Lt, Value::Float(f)) if *f == 5.5));
+                assert!(
+                    matches!(&ps[1], Predicate::Cmp(_, CmpOp::Lt, Value::Float(f)) if *f == 5.5)
+                );
             }
             _ => panic!(),
         }
@@ -487,17 +521,17 @@ mod tests {
 
     #[test]
     fn or_across_relations_rejected() {
-        let e = parse_sql(
-            "SELECT COUNT(*) FROM a, b WHERE a.x = b.x AND (a.c = 1 OR b.d = 2)",
-        )
-        .unwrap_err();
+        let e = parse_sql("SELECT COUNT(*) FROM a, b WHERE a.x = b.x AND (a.c = 1 OR b.d = 2)")
+            .unwrap_err();
         assert!(e.message.contains("OR across different relations"));
     }
 
     #[test]
     fn bare_columns_single_relation() {
         let q = parse_sql("SELECT COUNT(*) FROM users WHERE age >= 21").unwrap();
-        assert!(matches!(q.predicate_of(0).unwrap(), Predicate::Cmp(c, CmpOp::Ge, _) if c == "age"));
+        assert!(
+            matches!(q.predicate_of(0).unwrap(), Predicate::Cmp(c, CmpOp::Ge, _) if c == "age")
+        );
     }
 
     #[test]
@@ -508,7 +542,9 @@ mod tests {
     #[test]
     fn string_escapes() {
         let q = parse_sql("SELECT COUNT(*) FROM t WHERE t.name = 'O''Brien'").unwrap();
-        assert!(matches!(q.predicate_of(0).unwrap(), Predicate::Eq(_, Value::Str(s)) if s == "O'Brien"));
+        assert!(
+            matches!(q.predicate_of(0).unwrap(), Predicate::Eq(_, Value::Str(s)) if s == "O'Brien")
+        );
     }
 
     #[test]
@@ -516,8 +552,13 @@ mod tests {
         let q = parse_sql("SELECT COUNT(*) FROM t WHERE t.a > -42 AND t.b < 0.125").unwrap();
         match q.predicate_of(0).unwrap() {
             Predicate::And(ps) => {
-                assert!(matches!(&ps[0], Predicate::Cmp(_, CmpOp::Gt, Value::Int(-42))));
-                assert!(matches!(&ps[1], Predicate::Cmp(_, CmpOp::Lt, Value::Float(f)) if *f == 0.125));
+                assert!(matches!(
+                    &ps[0],
+                    Predicate::Cmp(_, CmpOp::Gt, Value::Int(-42))
+                ));
+                assert!(
+                    matches!(&ps[1], Predicate::Cmp(_, CmpOp::Lt, Value::Float(f)) if *f == 0.125)
+                );
             }
             _ => panic!(),
         }
@@ -525,8 +566,9 @@ mod tests {
 
     #[test]
     fn aliases_with_as() {
-        let q = parse_sql("SELECT COUNT(*) FROM movie_info AS mi, title t WHERE mi.movie_id = t.id")
-            .unwrap();
+        let q =
+            parse_sql("SELECT COUNT(*) FROM movie_info AS mi, title t WHERE mi.movie_id = t.id")
+                .unwrap();
         assert_eq!(q.relations[0].alias, "mi");
         assert_eq!(q.relations[1].alias, "t");
         assert_eq!(q.joins.len(), 1);

@@ -45,6 +45,7 @@ pub fn spanning_relaxations(query: &Query, cap: usize) -> Vec<Query> {
         x
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         edge: usize,
         rank: usize,
@@ -73,15 +74,45 @@ pub fn spanning_relaxations(query: &Query, cap: usize) -> Vec<Query> {
             let saved = parent.clone();
             parent[ra] = rb;
             chosen.push(edge);
-            recurse(edge + 1, rank + 1, m, target_rank, cap, query, parent, chosen, results);
+            recurse(
+                edge + 1,
+                rank + 1,
+                m,
+                target_rank,
+                cap,
+                query,
+                parent,
+                chosen,
+                results,
+            );
             chosen.pop();
             *parent = saved;
         }
         // Exclude the edge (also the only option when it closes a cycle).
-        recurse(edge + 1, rank, m, target_rank, cap, query, parent, chosen, results);
+        recurse(
+            edge + 1,
+            rank,
+            m,
+            target_rank,
+            cap,
+            query,
+            parent,
+            chosen,
+            results,
+        );
     }
 
-    recurse(0, 0, m, target_rank, cap, query, &mut parent, &mut chosen, &mut results);
+    recurse(
+        0,
+        0,
+        m,
+        target_rank,
+        cap,
+        query,
+        &mut parent,
+        &mut chosen,
+        &mut results,
+    );
 
     // Dedup edge subsets that induce identical variable structure is not
     // needed for correctness; just materialize the relaxed queries.

@@ -59,11 +59,18 @@ impl Catalog {
     /// column does not exist.
     pub fn declare_primary_key(&mut self, table: &str, column: &str) {
         self.assert_column(table, column);
-        self.primary_keys.insert(table.to_string(), column.to_string());
+        self.primary_keys
+            .insert(table.to_string(), column.to_string());
     }
 
     /// Declare a foreign key. Panics if either endpoint does not exist.
-    pub fn declare_foreign_key(&mut self, fk_table: &str, fk_column: &str, pk_table: &str, pk_column: &str) {
+    pub fn declare_foreign_key(
+        &mut self,
+        fk_table: &str,
+        fk_column: &str,
+        pk_table: &str,
+        pk_column: &str,
+    ) {
         self.assert_column(fk_table, fk_column);
         self.assert_column(pk_table, pk_column);
         self.foreign_keys.push(ForeignKey {
@@ -75,8 +82,14 @@ impl Catalog {
     }
 
     fn assert_column(&self, table: &str, column: &str) {
-        let t = self.tables.get(table).unwrap_or_else(|| panic!("no table {table:?}"));
-        assert!(t.schema.index_of(column).is_some(), "no column {table}.{column}");
+        let t = self
+            .tables
+            .get(table)
+            .unwrap_or_else(|| panic!("no table {table:?}"));
+        assert!(
+            t.schema.index_of(column).is_some(),
+            "no column {table}.{column}"
+        );
     }
 
     /// The declared primary key of a table, if any.
@@ -90,13 +103,23 @@ impl Catalog {
     }
 
     /// Foreign keys whose referencing side is `table`.
-    pub fn foreign_keys_of<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a ForeignKey> + 'a {
-        self.foreign_keys.iter().filter(move |fk| fk.fk_table == table)
+    pub fn foreign_keys_of<'a>(
+        &'a self,
+        table: &'a str,
+    ) -> impl Iterator<Item = &'a ForeignKey> + 'a {
+        self.foreign_keys
+            .iter()
+            .filter(move |fk| fk.fk_table == table)
     }
 
     /// Foreign keys referencing `table`'s primary key.
-    pub fn foreign_keys_into<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a ForeignKey> + 'a {
-        self.foreign_keys.iter().filter(move |fk| fk.pk_table == table)
+    pub fn foreign_keys_into<'a>(
+        &'a self,
+        table: &'a str,
+    ) -> impl Iterator<Item = &'a ForeignKey> + 'a {
+        self.foreign_keys
+            .iter()
+            .filter(move |fk| fk.pk_table == table)
     }
 
     /// The *declared join columns* of a table: its primary key plus every
@@ -157,8 +180,14 @@ mod tests {
         let mut c = Catalog::new();
         let dim = Table::new(
             "kw",
-            Schema::new(vec![Field::new("id", DataType::Int), Field::new("word", DataType::Str)]),
-            vec![Column::from_ints([Some(1), Some(2)]), Column::from_strs([Some("x"), Some("y")])],
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("word", DataType::Str),
+            ]),
+            vec![
+                Column::from_ints([Some(1), Some(2)]),
+                Column::from_strs([Some("x"), Some("y")]),
+            ],
         );
         let fact = Table::new(
             "mk",

@@ -41,9 +41,18 @@ impl Column {
     /// Create an empty column of the given type.
     pub fn empty(dt: DataType) -> Self {
         match dt {
-            DataType::Int => Column::Int { data: Vec::new(), validity: None },
-            DataType::Float => Column::Float { data: Vec::new(), validity: None },
-            DataType::Str => Column::Str { dict: Vec::new(), codes: Vec::new() },
+            DataType::Int => Column::Int {
+                data: Vec::new(),
+                validity: None,
+            },
+            DataType::Float => Column::Float {
+                data: Vec::new(),
+                validity: None,
+            },
+            DataType::Str => Column::Str {
+                dict: Vec::new(),
+                codes: Vec::new(),
+            },
         }
     }
 
@@ -65,7 +74,10 @@ impl Column {
                 }
             }
         }
-        Column::Int { data, validity: if any_null { Some(validity) } else { None } }
+        Column::Int {
+            data,
+            validity: if any_null { Some(validity) } else { None },
+        }
     }
 
     /// Build a float column from optional values.
@@ -86,7 +98,10 @@ impl Column {
                 }
             }
         }
-        Column::Float { data, validity: if any_null { Some(validity) } else { None } }
+        Column::Float {
+            data,
+            validity: if any_null { Some(validity) } else { None },
+        }
     }
 
     /// Build a dictionary-encoded string column from optional values.
@@ -214,14 +229,21 @@ impl Column {
                 // construction should use `from_strs`. We still dedupe via a
                 // scan-free strategy: accept duplicate dict entries on push
                 // and normalize on demand.
-                let code = dict.iter().position(|d| d == s).map(|p| p as u32).unwrap_or_else(|| {
-                    dict.push(s.clone());
-                    (dict.len() - 1) as u32
-                });
+                let code = dict
+                    .iter()
+                    .position(|d| d == s)
+                    .map(|p| p as u32)
+                    .unwrap_or_else(|| {
+                        dict.push(s.clone());
+                        (dict.len() - 1) as u32
+                    });
                 codes.push(code);
             }
             (Column::Str { codes, .. }, Value::Null) => codes.push(NULL_CODE),
-            (c, v) => panic!("type mismatch: pushing {v:?} into {:?} column", c.data_type()),
+            (c, v) => panic!(
+                "type mismatch: pushing {v:?} into {:?} column",
+                c.data_type()
+            ),
         }
     }
 
@@ -309,9 +331,9 @@ impl Column {
     /// Number of NULL rows.
     pub fn null_count(&self) -> usize {
         match self {
-            Column::Int { validity, .. } | Column::Float { validity, .. } => {
-                validity.as_ref().map_or(0, |v| v.iter().filter(|b| !**b).count())
-            }
+            Column::Int { validity, .. } | Column::Float { validity, .. } => validity
+                .as_ref()
+                .map_or(0, |v| v.iter().filter(|b| !**b).count()),
             Column::Str { codes, .. } => codes.iter().filter(|&&c| c == NULL_CODE).count(),
         }
     }

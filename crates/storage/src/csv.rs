@@ -47,11 +47,18 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "csv io error: {e}"),
-            CsvError::Arity { line, expected, got } => {
+            CsvError::Arity {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "csv line {line}: expected {expected} fields, got {got}")
             }
             CsvError::Parse { line, column, cell } => {
-                write!(f, "csv line {line}: cannot parse {cell:?} for column {column}")
+                write!(
+                    f,
+                    "csv line {line}: cannot parse {cell:?} for column {column}"
+                )
             }
             CsvError::Header { expected, got } => {
                 write!(f, "csv header mismatch: expected {expected:?}, got {got:?}")
@@ -108,7 +115,10 @@ pub fn read_csv<R: Read>(name: &str, schema: &Schema, reader: R) -> Result<Table
     };
     let expected: Vec<String> = schema.fields.iter().map(|f| f.name.clone()).collect();
     if header != expected {
-        return Err(CsvError::Header { expected, got: header });
+        return Err(CsvError::Header {
+            expected,
+            got: header,
+        });
     }
 
     let mut table = Table::empty(name, schema.clone());
@@ -119,7 +129,11 @@ pub fn read_csv<R: Read>(name: &str, schema: &Schema, reader: R) -> Result<Table
         }
         let cells = split_line(&line);
         if cells.len() != schema.len() {
-            return Err(CsvError::Arity { line: lineno + 2, expected: schema.len(), got: cells.len() });
+            return Err(CsvError::Arity {
+                line: lineno + 2,
+                expected: schema.len(),
+                got: cells.len(),
+            });
         }
         let mut row = Vec::with_capacity(cells.len());
         for (cell, field) in cells.iter().zip(&schema.fields) {
@@ -128,17 +142,23 @@ pub fn read_csv<R: Read>(name: &str, schema: &Schema, reader: R) -> Result<Table
                 continue;
             }
             let v = match field.data_type {
-                DataType::Int => cell.parse::<i64>().map(Value::Int).map_err(|_| CsvError::Parse {
-                    line: lineno + 2,
-                    column: field.name.clone(),
-                    cell: cell.clone(),
-                })?,
+                DataType::Int => {
+                    cell.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| CsvError::Parse {
+                            line: lineno + 2,
+                            column: field.name.clone(),
+                            cell: cell.clone(),
+                        })?
+                }
                 DataType::Float => {
-                    cell.parse::<f64>().map(Value::Float).map_err(|_| CsvError::Parse {
-                        line: lineno + 2,
-                        column: field.name.clone(),
-                        cell: cell.clone(),
-                    })?
+                    cell.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| CsvError::Parse {
+                            line: lineno + 2,
+                            column: field.name.clone(),
+                            cell: cell.clone(),
+                        })?
                 }
                 DataType::Str => Value::Str(cell.clone()),
             };
@@ -151,7 +171,12 @@ pub fn read_csv<R: Read>(name: &str, schema: &Schema, reader: R) -> Result<Table
 
 /// Write a table as CSV (with header).
 pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> std::io::Result<()> {
-    let header: Vec<&str> = table.schema.fields.iter().map(|f| f.name.as_str()).collect();
+    let header: Vec<&str> = table
+        .schema
+        .fields
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
     writeln!(writer, "{}", header.join(","))?;
     let mut buf = String::new();
     for i in 0..table.num_rows() {
@@ -200,8 +225,14 @@ mod tests {
         let csv = "id,score,name\n1,2.5,alice\n2,,\"b,ob\"\n,3.0,\"with\"\"quote\"\n";
         let t = read_csv("t", &schema(), csv.as_bytes()).unwrap();
         assert_eq!(t.num_rows(), 3);
-        assert_eq!(t.row(1), vec![Value::Int(2), Value::Null, Value::from("b,ob")]);
-        assert_eq!(t.row(2), vec![Value::Null, Value::Float(3.0), Value::from("with\"quote")]);
+        assert_eq!(
+            t.row(1),
+            vec![Value::Int(2), Value::Null, Value::from("b,ob")]
+        );
+        assert_eq!(
+            t.row(2),
+            vec![Value::Null, Value::Float(3.0), Value::from("with\"quote")]
+        );
 
         let mut out = Vec::new();
         write_csv(&t, &mut out).unwrap();
@@ -223,7 +254,11 @@ mod tests {
     fn arity_error_reports_line() {
         let csv = "id,score,name\n1,2.5\n";
         match read_csv("t", &schema(), csv.as_bytes()).unwrap_err() {
-            CsvError::Arity { line, expected, got } => {
+            CsvError::Arity {
+                line,
+                expected,
+                got,
+            } => {
                 assert_eq!((line, expected, got), (2, 3, 2));
             }
             e => panic!("unexpected {e}"),

@@ -1,10 +1,9 @@
 //! Table schemas.
 
 use crate::value::DataType;
-use serde::{Deserialize, Serialize};
-
 /// One column's metadata.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Field {
     /// Column name, unique within the table.
     pub name: String,
@@ -17,17 +16,26 @@ pub struct Field {
 impl Field {
     /// Convenience constructor for a nullable field.
     pub fn new(name: &str, data_type: DataType) -> Self {
-        Field { name: name.to_string(), data_type, nullable: true }
+        Field {
+            name: name.to_string(),
+            data_type,
+            nullable: true,
+        }
     }
 
     /// Convenience constructor for a NOT NULL field.
     pub fn not_null(name: &str, data_type: DataType) -> Self {
-        Field { name: name.to_string(), data_type, nullable: false }
+        Field {
+            name: name.to_string(),
+            data_type,
+            nullable: false,
+        }
     }
 }
 
 /// An ordered list of fields.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schema {
     /// The fields, in column order.
     pub fields: Vec<Field>,
@@ -71,7 +79,10 @@ mod tests {
 
     #[test]
     fn index_and_field_lookup() {
-        let s = Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Str)]);
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+        ]);
         assert_eq!(s.index_of("b"), Some(1));
         assert_eq!(s.index_of("c"), None);
         assert_eq!(s.field("a").unwrap().data_type, DataType::Int);
@@ -81,6 +92,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate column name")]
     fn duplicate_names_rejected() {
-        Schema::new(vec![Field::new("a", DataType::Int), Field::new("a", DataType::Int)]);
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a", DataType::Int),
+        ]);
     }
 }

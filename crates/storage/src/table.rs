@@ -18,14 +18,26 @@ pub struct Table {
 impl Table {
     /// Create an empty table with the given schema.
     pub fn empty(name: &str, schema: Schema) -> Self {
-        let columns = schema.fields.iter().map(|f| Column::empty(f.data_type)).collect();
-        Table { name: name.to_string(), schema, columns }
+        let columns = schema
+            .fields
+            .iter()
+            .map(|f| Column::empty(f.data_type))
+            .collect();
+        Table {
+            name: name.to_string(),
+            schema,
+            columns,
+        }
     }
 
     /// Create a table from pre-built columns. Panics if lengths disagree
     /// with each other or types disagree with the schema.
     pub fn new(name: &str, schema: Schema, columns: Vec<Column>) -> Self {
-        assert_eq!(schema.len(), columns.len(), "schema/column count mismatch for {name}");
+        assert_eq!(
+            schema.len(),
+            columns.len(),
+            "schema/column count mismatch for {name}"
+        );
         if let Some(first) = columns.first() {
             for (f, c) in schema.fields.iter().zip(&columns) {
                 assert_eq!(
@@ -37,7 +49,11 @@ impl Table {
                 assert_eq!(first.len(), c.len(), "ragged columns in table {name}");
             }
         }
-        Table { name: name.to_string(), schema, columns }
+        Table {
+            name: name.to_string(),
+            schema,
+            columns,
+        }
     }
 
     /// Number of rows.
@@ -91,8 +107,10 @@ mod tests {
     use crate::value::DataType;
 
     fn sample() -> Table {
-        let schema =
-            Schema::new(vec![Field::new("id", DataType::Int), Field::new("name", DataType::Str)]);
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::Str),
+        ]);
         let cols = vec![
             Column::from_ints([Some(1), Some(2), Some(3)]),
             Column::from_strs([Some("a"), Some("b"), Some("c")]),
@@ -135,12 +153,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged columns")]
     fn ragged_rejected() {
-        let schema =
-            Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)]);
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]);
         Table::new(
             "bad",
             schema,
-            vec![Column::from_ints([Some(1)]), Column::from_ints([Some(1), Some(2)])],
+            vec![
+                Column::from_ints([Some(1)]),
+                Column::from_ints([Some(1), Some(2)]),
+            ],
         );
     }
 }

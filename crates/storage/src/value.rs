@@ -6,13 +6,13 @@
 //! strings compare lexicographically) and a hash that is consistent with
 //! equality.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// The type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -33,7 +33,8 @@ impl fmt::Display for DataType {
 }
 
 /// A single scalar value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// SQL NULL. Never equal to anything under SQL semantics, but for
     /// grouping/sorting purposes we treat NULL = NULL and NULL < everything.
@@ -139,7 +140,10 @@ impl Hash for Value {
             Value::Float(f) => {
                 // Hash must agree with Ord/Eq: Int(2) == Float(2.0), so
                 // integral floats hash like the corresponding integer.
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
                 {
                     1u8.hash(state);
                     (*f as i64).hash(state);

@@ -24,10 +24,16 @@ fn main() {
     println!("  distinct values (d)  {}", ds.num_distinct());
     println!("  max degree (‖f‖∞)    {}", ds.max_degree());
     println!("  self-join DSB (Σf²)  {}", ds.self_join());
-    println!("  lossless segments    {}\n", ds.to_piecewise().num_segments());
+    println!(
+        "  lossless segments    {}\n",
+        ds.to_piecewise().num_segments()
+    );
 
     println!("ValidCompress (Algorithm 1) at decreasing accuracy budgets:");
-    println!("{:>8} {:>10} {:>12} {:>12} {:>8}", "c", "segments", "compression", "sj-error", "valid");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>8}",
+        "c", "segments", "compression", "sj-error", "valid"
+    );
     for c in [0.5, 0.1, 0.01, 0.001] {
         let cds = compress_cds(&ds, Segmentation::ValidCompress { c });
         println!(
@@ -40,7 +46,10 @@ fn main() {
     }
 
     println!("\nCDS-modeling vs DS-modeling at equal segmentation (Fig. 9b):");
-    println!("{:>12} {:>14} {:>14} {:>16}", "k", "CDS sj-error", "DS sj-error", "DS |R| inflation");
+    println!(
+        "{:>12} {:>14} {:>14} {:>16}",
+        "k", "CDS sj-error", "DS sj-error", "DS |R| inflation"
+    );
     for k in [4usize, 8, 16, 32] {
         let seg = Segmentation::EquiDepth { k };
         let cds = compress_cds(&ds, seg);

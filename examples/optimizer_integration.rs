@@ -63,6 +63,12 @@ fn main() {
     }
     println!("\nworkload totals (cost units):");
     println!("  optimal plans   {opt_total:>14.0}");
-    println!("  postgres plans  {pg_total:>14.0}  ({:.2}x optimal)", pg_total / opt_total);
-    println!("  safebound plans {sb_total:>14.0}  ({:.2}x optimal)", sb_total / opt_total);
+    println!(
+        "  postgres plans  {pg_total:>14.0}  ({:.2}x optimal)",
+        pg_total / opt_total
+    );
+    println!(
+        "  safebound plans {sb_total:>14.0}  ({:.2}x optimal)",
+        sb_total / opt_total
+    );
 }

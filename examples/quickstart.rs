@@ -23,9 +23,9 @@ fn main() {
         ]),
         vec![
             Column::from_ints((0..50).map(Some)),
-            Column::from_strs((0..50).map(|i| {
-                Some(["US", "DE", "JP", "BR", "IN"][(i * i) as usize % 5])
-            })),
+            Column::from_strs(
+                (0..50).map(|i| Some(["US", "DE", "JP", "BR", "IN"][(i * i) as usize % 5])),
+            ),
         ],
     ));
 
@@ -80,6 +80,9 @@ fn main() {
         assert!(bound >= truth, "the bound is guaranteed");
         println!("{sql}");
         println!("  true cardinality {truth:>12.0}");
-        println!("  SafeBound bound  {bound:>12.0}  (x{:.2})\n", bound / truth.max(1.0));
+        println!(
+            "  SafeBound bound  {bound:>12.0}  (x{:.2})\n",
+            bound / truth.max(1.0)
+        );
     }
 }

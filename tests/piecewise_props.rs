@@ -4,10 +4,84 @@
 
 use proptest::prelude::*;
 use safebound::core::compression::{compress_cds, is_valid_compression, Segmentation};
-use safebound::core::{DegreeSequence, PiecewiseConstant};
+use safebound::core::piecewise::reference;
+use safebound::core::{valid_compress, DegreeSequence, PiecewiseConstant, PiecewiseLinear};
 
 fn freqs_strategy() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(1u64..200, 1..120)
+}
+
+/// A random non-increasing piecewise-constant function. Odd seeds run the
+/// degree sequence through valid compression first, so fractional segment
+/// edges (the shapes Algorithm 1 produces) are covered too.
+fn pwc_strategy() -> impl Strategy<Value = PiecewiseConstant> {
+    (freqs_strategy(), 0.001f64..0.5, 0u32..2).prop_map(|(freqs, c, compress)| {
+        let ds = DegreeSequence::from_frequencies(freqs);
+        if compress == 1 {
+            valid_compress(&ds, c).delta()
+        } else {
+            ds.to_piecewise()
+        }
+    })
+}
+
+fn cds_strategy() -> impl Strategy<Value = PiecewiseLinear> {
+    (freqs_strategy(), 0.001f64..0.5, 0u32..2).prop_map(|(freqs, c, compress)| {
+        let ds = DegreeSequence::from_frequencies(freqs);
+        if compress == 1 {
+            valid_compress(&ds, c)
+        } else {
+            ds.to_cds()
+        }
+    })
+}
+
+/// Pointwise equality of two piecewise-constant functions, probed at the
+/// midpoints of the union of both breakpoint sets (exact for step
+/// functions) — the sweep output must match the midpoint-eval reference.
+fn assert_pwc_equal(a: &PiecewiseConstant, b: &PiecewiseConstant) -> Result<(), TestCaseError> {
+    prop_assert!((a.support() - b.support()).abs() <= 1e-9, "supports differ");
+    let mut edges: Vec<f64> = a
+        .segments()
+        .iter()
+        .chain(b.segments().iter())
+        .map(|s| s.0)
+        .collect();
+    edges.sort_by(f64::total_cmp);
+    edges.dedup_by(|p, q| (*p - *q).abs() <= 1e-9);
+    let mut prev = 0.0;
+    for e in edges {
+        let mid = 0.5 * (prev + e);
+        let (va, vb) = (a.value(mid), b.value(mid));
+        prop_assert!(
+            (va - vb).abs() <= 1e-6 * va.abs().max(1.0),
+            "at {mid}: sweep {va} vs reference {vb}"
+        );
+        prev = e;
+    }
+    Ok(())
+}
+
+/// Pointwise equality of two polylines at the union of knots plus interval
+/// midpoints (exact for piecewise-linear functions).
+fn assert_pwl_equal(a: &PiecewiseLinear, b: &PiecewiseLinear) -> Result<(), TestCaseError> {
+    let mut xs: Vec<f64> = a
+        .knots()
+        .iter()
+        .chain(b.knots().iter())
+        .map(|k| k.0)
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|p, q| (*p - *q).abs() <= 1e-9);
+    let mids: Vec<f64> = xs.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
+    for x in xs.iter().chain(mids.iter()) {
+        let (ya, yb) = (a.eval(*x), b.eval(*x));
+        prop_assert!(
+            (ya - yb).abs() <= 1e-6 * ya.abs().max(1.0),
+            "at {x}: sweep {ya} vs reference {yb}"
+        );
+    }
+    Ok(())
 }
 
 proptest! {
@@ -103,6 +177,54 @@ proptest! {
         let env = mx.concave_envelope();
         prop_assert!(env.is_concave());
         prop_assert!(env.dominates(&mx));
+    }
+
+    #[test]
+    fn sweep_product_matches_reference(a in pwc_strategy(), b in pwc_strategy(), c in pwc_strategy()) {
+        let sweep = PiecewiseConstant::product(&[&a, &b, &c]);
+        let naive = reference::product(&[&a, &b, &c]);
+        assert_pwc_equal(&sweep, &naive)?;
+    }
+
+    #[test]
+    fn sweep_product_heap_path_matches_reference(base in pwc_strategy(), extra in pwc_strategy()) {
+        // Fan-in above HEAP_FAN_IN (8) exercises the cursor-heap sweep.
+        let fns: Vec<&PiecewiseConstant> =
+            std::iter::repeat_n(&base, 6).chain(std::iter::repeat_n(&extra, 6)).collect();
+        let sweep = PiecewiseConstant::product(&fns);
+        let naive = reference::product(&fns);
+        assert_pwc_equal(&sweep, &naive)?;
+    }
+
+    #[test]
+    fn sweep_sum_matches_reference(a in pwc_strategy(), b in pwc_strategy(), c in pwc_strategy()) {
+        let sweep = PiecewiseConstant::pointwise_sum(&[&a, &b, &c]);
+        let naive = reference::pointwise_sum(&[&a, &b, &c]);
+        assert_pwc_equal(&sweep, &naive)?;
+    }
+
+    #[test]
+    fn sweep_min_max_match_reference(a in cds_strategy(), b in cds_strategy()) {
+        assert_pwl_equal(&a.pointwise_min(&b), &reference::combine(&a, &b, true))?;
+        assert_pwl_equal(&a.pointwise_max(&b), &reference::combine(&a, &b, false))?;
+    }
+
+    #[test]
+    fn sweep_min_max_match_reference_after_truncation(
+        a in cds_strategy(),
+        b in cds_strategy(),
+        frac in 0.05f64..0.95,
+    ) {
+        // Truncation produces flat tails — the crossing-with-flat-extension
+        // case the sweep must get right.
+        let a = a.truncate_at(frac * a.endpoint());
+        assert_pwl_equal(&a.pointwise_min(&b), &reference::combine(&a, &b, true))?;
+        assert_pwl_equal(&a.pointwise_max(&b), &reference::combine(&a, &b, false))?;
+    }
+
+    #[test]
+    fn sweep_linear_sum_matches_reference(a in cds_strategy(), b in cds_strategy()) {
+        assert_pwl_equal(&a.pointwise_sum(&b), &reference::linear_sum(&a, &b))?;
     }
 
     #[test]

@@ -6,8 +6,7 @@ use safebound_bench::experiment_config;
 use safebound_core::SafeBound;
 use safebound_datagen::{imdb_catalog, job_light, stats_catalog, ImdbScale, StatsScale};
 use safebound_exec::{
-    exact_count, execute, pk_fk_indexes, CardinalityEstimator, CostModel, Optimizer,
-    TrueCardOracle,
+    exact_count, execute, pk_fk_indexes, CardinalityEstimator, CostModel, Optimizer, TrueCardOracle,
 };
 use safebound_query::parse_sql;
 use safebound_storage::{read_csv, write_csv};
@@ -19,7 +18,9 @@ fn executor_matches_oracle_on_job_light() {
     let mut checked = 0;
     for bq in job_light(3).iter().take(25) {
         let q = &bq.query;
-        let Ok(exact) = exact_count(&catalog, q) else { continue };
+        let Ok(exact) = exact_count(&catalog, q) else {
+            continue;
+        };
         if exact > 2_000_000 {
             continue; // keep materialization bounded
         }
@@ -27,7 +28,13 @@ fn executor_matches_oracle_on_job_light() {
         let mut oracle = TrueCardOracle::new(&catalog);
         let plan = optimizer.optimize(q, &indexes, &mut oracle);
         let executed = execute(&plan, q, &catalog, 5_000_000).unwrap();
-        assert_eq!(executed as u128, exact, "{}: plan {}", bq.name, plan.describe());
+        assert_eq!(
+            executed as u128,
+            exact,
+            "{}: plan {}",
+            bq.name,
+            plan.describe()
+        );
         checked += 1;
     }
     assert!(checked >= 10, "only {checked} queries checked");
@@ -42,7 +49,9 @@ fn plans_differ_by_estimator_but_results_agree() {
     let mut pg = TraditionalEstimator::build(&catalog, TraditionalVariant::Postgres);
     for bq in job_light(5).iter().take(10) {
         let q = &bq.query;
-        let Ok(exact) = exact_count(&catalog, q) else { continue };
+        let Ok(exact) = exact_count(&catalog, q) else {
+            continue;
+        };
         if exact > 1_000_000 {
             continue;
         }
@@ -128,6 +137,12 @@ fn planning_time_ordering_matches_paper() {
         }
     });
     // PessEst scans tables at estimation time; it must be the slowest.
-    assert!(t_pe > t_sb, "PessEst {t_pe:?} should be slower than SafeBound {t_sb:?}");
-    assert!(t_pe > t_pg, "PessEst {t_pe:?} should be slower than Postgres {t_pg:?}");
+    assert!(
+        t_pe > t_sb,
+        "PessEst {t_pe:?} should be slower than SafeBound {t_sb:?}"
+    );
+    assert!(
+        t_pe > t_pg,
+        "PessEst {t_pe:?} should be slower than Postgres {t_pg:?}"
+    );
 }

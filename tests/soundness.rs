@@ -38,7 +38,10 @@ fn build_catalog(db: &Db) -> Catalog {
     let mut c = Catalog::new();
     c.add_table(Table::new(
         "dim",
-        Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("w", DataType::Int)]),
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("w", DataType::Int),
+        ]),
         vec![
             Column::from_ints((0..db.dim_size).map(Some)),
             Column::from_ints(db.dim_attr.iter().copied().map(Some)),
@@ -46,7 +49,10 @@ fn build_catalog(db: &Db) -> Catalog {
     ));
     c.add_table(Table::new(
         "fact",
-        Schema::new(vec![Field::new("fk", DataType::Int), Field::new("a", DataType::Int)]),
+        Schema::new(vec![
+            Field::new("fk", DataType::Int),
+            Field::new("a", DataType::Int),
+        ]),
         vec![
             Column::from_ints(db.fact_fk.iter().copied().map(Some)),
             Column::from_ints(db.fact_attr.iter().copied().map(Some)),
