@@ -1,16 +1,18 @@
 //! Adapters plugging SafeBound into the optimizer's estimator interface.
 
-use safebound_core::{BoundScratch, SafeBound};
+use safebound_core::{BoundSession, SafeBound};
 use safebound_exec::CardinalityEstimator;
 use safebound_query::Query;
 
 /// SafeBound as a [`CardinalityEstimator`]: sub-query estimates are bounds
-/// of the induced queries. Carries a [`BoundScratch`] so repeated
-/// estimates during plan enumeration reuse the same arena buffers.
+/// of the induced queries. Carries a [`BoundSession`] so repeated
+/// estimates during plan enumeration reuse the same arena buffers and
+/// shape-cached plans (sub-query shapes repeat heavily across the
+/// enumeration lattice).
 pub struct SafeBoundEstimator {
     /// The underlying bound system.
     pub inner: SafeBound,
-    scratch: BoundScratch,
+    session: BoundSession,
 }
 
 impl SafeBoundEstimator {
@@ -18,7 +20,7 @@ impl SafeBoundEstimator {
     pub fn new(inner: SafeBound) -> Self {
         SafeBoundEstimator {
             inner,
-            scratch: BoundScratch::default(),
+            session: BoundSession::default(),
         }
     }
 }
@@ -29,7 +31,7 @@ impl CardinalityEstimator for SafeBoundEstimator {
     }
     fn estimate(&mut self, query: &Query, mask: u64) -> f64 {
         self.inner
-            .bound_with_scratch(&query.induced(mask), &mut self.scratch)
+            .bound_with_session(&query.induced(mask), &mut self.session)
             .unwrap_or(f64::INFINITY)
     }
 }

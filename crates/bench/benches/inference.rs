@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use safebound_baselines::{Simplicity, TraditionalEstimator, TraditionalVariant};
 use safebound_bench::experiment_config;
 use safebound_core::bound::{fdsb_reference, fdsb_with_scratch};
-use safebound_core::{BoundScratch, SafeBound};
+use safebound_core::{BoundScratch, BoundSession, SafeBound};
 use safebound_datagen::{imdb_catalog, job_light, ImdbScale};
 use safebound_exec::CardinalityEstimator;
 
@@ -41,12 +41,22 @@ fn bench_inference(c: &mut Criterion) {
             total
         })
     });
-    group.bench_function("safebound_bound_job_light", |b| {
-        let mut scratch = BoundScratch::default();
+    group.bench_function("safebound_bound_cached_job_light", |b| {
+        let mut session = BoundSession::default();
         b.iter(|| {
             let mut total = 0.0f64;
             for q in queries.iter().take(10) {
-                total += sb.bound_with_scratch(&q.query, &mut scratch).unwrap();
+                total += sb.bound_with_session(&q.query, &mut session).unwrap();
+            }
+            total
+        })
+    });
+    group.bench_function("safebound_bound_cold_job_light", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for q in queries.iter().take(10) {
+                let mut session = BoundSession::default();
+                total += sb.bound_with_session(&q.query, &mut session).unwrap();
             }
             total
         })

@@ -1,15 +1,18 @@
-//! Inference-kernel benchmark: sweep-line FDSB vs the retained
-//! midpoint-evaluation reference, plus baseline estimators, on the
+//! Inference benchmark: the sweep-line FDSB kernel vs the retained
+//! midpoint-evaluation reference, plus the **end-to-end online path**
+//! (predicate resolution + assembly + kernel) cold vs shape-cached, and
+//! the offline build-time/footprint numbers (Figs. 8a/10), all on the
 //! JOB-light workload. Emits `BENCH_inference.json` (ns/query) so the
 //! repository carries a perf trajectory across PRs.
 //!
 //! Run: `cargo run --release -p safebound-bench --bin bench_inference`
-//! (optional arg: output path, default `BENCH_inference.json`).
+//! Flags: `--scale tiny|default|full` (generator size, default `tiny`),
+//! optional positional output path (default `BENCH_inference.json`).
 
 use safebound_baselines::{Simplicity, TraditionalEstimator, TraditionalVariant};
 use safebound_bench::experiment_config;
 use safebound_core::bound::{fdsb_reference, fdsb_with_scratch};
-use safebound_core::{BoundScratch, RelationBoundStats, SafeBound};
+use safebound_core::{BoundScratch, BoundSession, RelationBoundStats, SafeBound};
 use safebound_datagen::{imdb_catalog, job_light, ImdbScale};
 use safebound_exec::CardinalityEstimator;
 use safebound_query::BoundPlan;
@@ -47,20 +50,32 @@ fn measure<F: FnMut()>(mut f: F) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_inference.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale_name = "tiny".to_string();
+    let mut out_path = "BENCH_inference.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            scale_name = it.next().expect("--scale needs a value").clone();
+        } else {
+            out_path = a.clone();
+        }
+    }
+    let scale = ImdbScale::named(&scale_name)
+        .unwrap_or_else(|| panic!("unknown --scale {scale_name:?} (tiny|default|full)"));
 
-    eprintln!("building IMDB catalog + SafeBound statistics…");
-    let catalog = imdb_catalog(&ImdbScale::tiny(), 1);
+    eprintln!("building IMDB catalog ({scale_name}) + SafeBound statistics…");
+    let catalog = imdb_catalog(&scale, 1);
     let queries = job_light(1);
     let build_start = Instant::now();
     let sb = SafeBound::build(&catalog, experiment_config());
     let build_secs = build_start.elapsed().as_secs_f64();
+    let stats_bytes = sb.stats.byte_size();
+    let num_cds_sets = sb.stats.num_sets();
 
     // Pre-resolve the kernel inputs (plan + per-relation CDS stats) so the
     // measurement isolates Algorithm 2 itself — the paper's "inference"
-    // time (Fig. 5b) and the target of this PR's sweep-line rewrite.
+    // time (Fig. 5b).
     let inputs: Vec<(BoundPlan, Vec<RelationBoundStats>)> = queries
         .iter()
         .flat_map(|q| sb.bound_inputs(&q.query).expect("stats cover workload"))
@@ -100,14 +115,41 @@ fn main() {
         );
     }
 
-    // End-to-end online phase (predicate resolution + kernel) for context.
-    let end_to_end_ns_per_query = measure(|| {
+    // End-to-end online phase, cold: every query pays shape building
+    // (spanning relaxations → join graph → plan → column resolution).
+    let cold_ns_per_query = measure(|| {
         let mut acc = 0.0;
         for q in &queries {
-            acc += sb.bound_with_scratch(&q.query, &mut scratch).unwrap();
+            let mut session = BoundSession::default();
+            acc += sb.bound_with_session(&q.query, &mut session).unwrap();
         }
         black_box(acc);
     }) / num_queries;
+
+    // End-to-end, shape-cached: a persistent session serves the repeated
+    // templates straight from the plan cache + arenas.
+    let mut session = BoundSession::default();
+    let mut cold_results = Vec::with_capacity(queries.len());
+    for q in &queries {
+        cold_results.push(sb.bound_with_session(&q.query, &mut session).unwrap());
+    }
+    let cached_ns_per_query = measure(|| {
+        let mut acc = 0.0;
+        for q in &queries {
+            acc += sb.bound_with_session(&q.query, &mut session).unwrap();
+        }
+        black_box(acc);
+    }) / num_queries;
+
+    // Sanity: cached results are identical to cold results.
+    for (q, &cold) in queries.iter().zip(&cold_results) {
+        let again = sb.bound_with_session(&q.query, &mut session).unwrap();
+        assert!(
+            (again - cold).abs() <= 1e-9 * cold.abs().max(1.0),
+            "{}: cached {again} != cold {cold}",
+            q.name
+        );
+    }
 
     // Baseline estimators on the same workload.
     let mut pg = TraditionalEstimator::build(&catalog, TraditionalVariant::Postgres);
@@ -131,14 +173,19 @@ fn main() {
     }) / num_queries;
 
     let speedup = reference_ns_per_query / sweep_ns_per_query;
+    let cache_speedup = cold_ns_per_query / cached_ns_per_query;
     let json = format!(
-        "{{\n  \"workload\": \"JOB-light (tiny IMDB, seed 1)\",\n  \"queries\": {},\n  \"stats_build_seconds\": {:.3},\n  \"kernel\": {{\n    \"safebound_sweep_ns_per_query\": {:.1},\n    \"safebound_reference_ns_per_query\": {:.1},\n    \"sweep_speedup\": {:.2}\n  }},\n  \"end_to_end\": {{\n    \"safebound_bound_ns_per_query\": {:.1},\n    \"postgres_estimate_ns_per_query\": {:.1},\n    \"simplicity_estimate_ns_per_query\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"workload\": \"JOB-light (IMDB scale {scale_name}, seed 1)\",\n  \"queries\": {},\n  \"offline\": {{\n    \"stats_build_seconds\": {:.3},\n    \"stats_bytes\": {},\n    \"cds_sets\": {}\n  }},\n  \"kernel\": {{\n    \"safebound_sweep_ns_per_query\": {:.1},\n    \"safebound_reference_ns_per_query\": {:.1},\n    \"sweep_speedup\": {:.2}\n  }},\n  \"end_to_end\": {{\n    \"safebound_bound_cold_ns_per_query\": {:.1},\n    \"safebound_bound_cached_ns_per_query\": {:.1},\n    \"shape_cache_speedup\": {:.2},\n    \"postgres_estimate_ns_per_query\": {:.1},\n    \"simplicity_estimate_ns_per_query\": {:.1}\n  }}\n}}\n",
         queries.len(),
         build_secs,
+        stats_bytes,
+        num_cds_sets,
         sweep_ns_per_query,
         reference_ns_per_query,
         speedup,
-        end_to_end_ns_per_query,
+        cold_ns_per_query,
+        cached_ns_per_query,
+        cache_speedup,
         postgres_ns_per_query,
         simplicity_ns_per_query,
     );
@@ -147,10 +194,15 @@ fn main() {
     f.write_all(json.as_bytes()).expect("write output");
     eprintln!(
         "kernel: sweep {sweep_ns_per_query:.0} ns/q vs reference {reference_ns_per_query:.0} ns/q \
-         ({speedup:.2}×) → {out_path}"
+         ({speedup:.2}×); end-to-end: cached {cached_ns_per_query:.0} ns/q vs cold \
+         {cold_ns_per_query:.0} ns/q ({cache_speedup:.2}×) → {out_path}"
     );
     assert!(
         speedup >= 2.0,
         "acceptance: sweep kernel must be ≥ 2× the midpoint-eval reference, got {speedup:.2}×"
+    );
+    assert!(
+        cache_speedup >= 2.0,
+        "acceptance: shape-cached bound() must be ≥ 2× the cold path, got {cache_speedup:.2}×"
     );
 }

@@ -15,22 +15,40 @@ use safebound_exec::CostModel;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    // `--scale tiny|default|full` resizes the generators independently of
+    // the smoke/default workload knobs.
+    let scale_name = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let figures: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--scale"))
+        .map(|(_, a)| a.as_str())
         .collect();
     let all = figures.is_empty() || figures.contains(&"all");
     let want = |f: &str| all || figures.contains(&f);
 
-    let scale = if smoke {
+    let mut scale = if smoke {
         ExperimentScale::smoke()
     } else {
         ExperimentScale::default()
     };
+    if let Some(name) = &scale_name {
+        scale.imdb = safebound_datagen::ImdbScale::named(name)
+            .unwrap_or_else(|| panic!("unknown --scale {name:?} (tiny|default|full)"));
+        scale.stats = safebound_datagen::StatsScale::named(name)
+            .unwrap_or_else(|| panic!("unknown --scale {name:?} (tiny|default|full)"));
+    }
     eprintln!(
-        "# SafeBound experiment suite (scale: {})",
-        if smoke { "smoke" } else { "default" }
+        "# SafeBound experiment suite (scale: {}{})",
+        if smoke { "smoke" } else { "default" },
+        scale_name
+            .as_deref()
+            .map(|s| format!(", generators {s}"))
+            .unwrap_or_default()
     );
 
     let needs_runs =

@@ -14,6 +14,17 @@
 //!
 //! Conjunctions take the pointwise min of the selected CDSs, disjunctions
 //! the pointwise sum (done by the estimator on top of these lookups).
+//!
+//! # Online arena
+//!
+//! The online phase never clones these structures: every lookup has an
+//! `_into` variant writing through a [`CdsScratch`] — a pool of spare
+//! polylines and sets whose capacity survives across queries — and the
+//! combining ops ([`CdsSet::combine_into`] / [`CdsSet::accumulate`] with a
+//! [`SetOp`]) merge into recycled buffers. A warm scratch makes predicate
+//! resolution and stats assembly allocation-free (asserted by the
+//! `zero_alloc` integration test). The allocating methods remain for the
+//! offline build and as convenience wrappers.
 
 use crate::bloom::BloomFilter;
 use crate::clustering::{agglomerative, naive_equal_size, self_join_distance, Linkage};
@@ -134,6 +145,135 @@ impl CdsSet {
             .map(|(_, v)| 24 + v.knots().len() * 16)
             .sum()
     }
+
+    /// Sorted-merge combine writing into `out` (recycled through
+    /// `scratch`): the arena-backed core of the online phase. Columns
+    /// present on only one side are copied through, exactly like the
+    /// allocating [`CdsSet::pointwise_min`]/`max`/`sum`.
+    pub fn combine_into(
+        &self,
+        other: &CdsSet,
+        op: SetOp,
+        scratch: &mut CdsScratch,
+        out: &mut CdsSet,
+    ) {
+        scratch.clear_set(out);
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Equal => {
+                    let mut p = scratch.take_pwl();
+                    match op {
+                        SetOp::Min => a[i].1.pointwise_min_into(&b[j].1, &mut p),
+                        SetOp::MaxEnvelope => a[i].1.pointwise_max_envelope_into(
+                            &b[j].1,
+                            &mut scratch.tmp_knots,
+                            &mut p,
+                        ),
+                        SetOp::Sum => a[i].1.pointwise_sum_into(&b[j].1, &mut p),
+                    }
+                    out.entries.push((a[i].0, p));
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    let mut p = scratch.take_pwl();
+                    p.copy_from(&a[i].1);
+                    out.entries.push((a[i].0, p));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    let mut p = scratch.take_pwl();
+                    p.copy_from(&b[j].1);
+                    out.entries.push((b[j].0, p));
+                    j += 1;
+                }
+            }
+        }
+        for (sym, pwl) in a[i..].iter().chain(&b[j..]) {
+            let mut p = scratch.take_pwl();
+            p.copy_from(pwl);
+            out.entries.push((*sym, p));
+        }
+    }
+
+    /// `self = op(self, other)` through a recycled temporary.
+    pub fn accumulate(&mut self, other: &CdsSet, op: SetOp, scratch: &mut CdsScratch) {
+        let mut tmp = scratch.take_set();
+        self.combine_into(other, op, scratch, &mut tmp);
+        std::mem::swap(self, &mut tmp);
+        scratch.put_set(tmp);
+    }
+}
+
+/// The per-column combining operation of an arena [`CdsSet::combine_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// Pointwise min (predicate conjunction, §3.3).
+    Min,
+    /// Pointwise max + concave envelope (grouping / defaults, Eq. 3).
+    MaxEnvelope,
+    /// Pointwise sum (predicate disjunction, §3.2).
+    Sum,
+}
+
+/// Pooled buffers for the online phase: spare polylines and CDS sets whose
+/// capacity survives across queries, so predicate resolution and stats
+/// assembly allocate nothing in steady state. One scratch per
+/// thread/session; `Default::default()` starts empty.
+#[derive(Debug, Default)]
+pub struct CdsScratch {
+    /// Spare polylines (knot capacity retained).
+    spare_pwl: Vec<PiecewiseLinear>,
+    /// Spare sets (entry capacity retained, entries harvested).
+    spare_set: Vec<CdsSet>,
+    /// Raw-knot staging buffer for max+envelope passes.
+    tmp_knots: Vec<(f64, f64)>,
+    /// MCV group-id staging buffer.
+    tmp_groups: Vec<usize>,
+    /// Bloom key staging buffer.
+    tmp_bytes: Vec<u8>,
+}
+
+impl CdsScratch {
+    /// A spare polyline from the pool (contents unspecified).
+    pub fn take_pwl(&mut self) -> PiecewiseLinear {
+        self.spare_pwl.pop().unwrap_or_else(PiecewiseLinear::empty)
+    }
+
+    /// Return a polyline to the pool.
+    pub fn put_pwl(&mut self, p: PiecewiseLinear) {
+        self.spare_pwl.push(p);
+    }
+
+    /// A spare, empty set from the pool.
+    pub fn take_set(&mut self) -> CdsSet {
+        self.spare_set.pop().unwrap_or_default()
+    }
+
+    /// Return a set to the pool (its polylines are harvested).
+    pub fn put_set(&mut self, mut s: CdsSet) {
+        self.clear_set(&mut s);
+        self.spare_set.push(s);
+    }
+
+    /// Empty a set in place, harvesting its polylines into the pool.
+    pub fn clear_set(&mut self, s: &mut CdsSet) {
+        for (_, p) in s.entries.drain(..) {
+            self.spare_pwl.push(p);
+        }
+    }
+
+    /// Overwrite `dst` with a copy of `src` through the pool.
+    pub fn copy_set(&mut self, src: &CdsSet, dst: &mut CdsSet) {
+        self.clear_set(dst);
+        for (sym, pwl) in &src.entries {
+            let mut p = self.take_pwl();
+            p.copy_from(pwl);
+            dst.entries.push((*sym, p));
+        }
+    }
 }
 
 /// Build the compressed CDS set of `table`'s join columns restricted to
@@ -220,30 +360,37 @@ fn merge_sets(sets: &[CdsSet], assignment: &[usize]) -> Vec<CdsSet> {
     out.into_iter().map(Option::unwrap_or_default).collect()
 }
 
-/// Stable byte encoding of a value for Bloom filters.
-fn value_bytes(v: &Value) -> Vec<u8> {
+/// Stable byte encoding of a value for Bloom filters, into a reused buffer.
+fn value_bytes_into(v: &Value, b: &mut Vec<u8>) {
+    b.clear();
     match v {
-        Value::Null => vec![0],
+        Value::Null => b.push(0),
         Value::Int(i) => {
-            let mut b = vec![1];
+            b.push(1);
             b.extend_from_slice(&i.to_le_bytes());
-            b
         }
         Value::Float(f) => {
             // Integral floats encode like ints (consistent with Value::Eq).
             if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
-                return value_bytes(&Value::Int(*f as i64));
+                b.push(1);
+                b.extend_from_slice(&(*f as i64).to_le_bytes());
+            } else {
+                b.push(2);
+                b.extend_from_slice(&f.to_bits().to_le_bytes());
             }
-            let mut b = vec![2];
-            b.extend_from_slice(&f.to_bits().to_le_bytes());
-            b
         }
         Value::Str(s) => {
-            let mut b = vec![3];
+            b.push(3);
             b.extend_from_slice(s.as_bytes());
-            b
         }
     }
+}
+
+/// Stable byte encoding of a value for Bloom filters.
+fn value_bytes(v: &Value) -> Vec<u8> {
+    let mut b = Vec::new();
+    value_bytes_into(v, &mut b);
+    b
 }
 
 /// MCV membership index: exact map or one Bloom filter per group (§4.3).
@@ -259,16 +406,30 @@ pub enum McvIndex {
 impl McvIndex {
     /// Group ids a value may belong to (empty = definitely non-MCV).
     pub fn lookup(&self, v: &Value) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut bytes = Vec::new();
+        self.lookup_into(v, &mut out, &mut bytes);
+        out
+    }
+
+    /// [`McvIndex::lookup`] into reused buffers (no allocation once warm).
+    pub fn lookup_into(&self, v: &Value, out: &mut Vec<usize>, bytes: &mut Vec<u8>) {
+        out.clear();
         match self {
-            McvIndex::Exact(map) => map.get(v).map(|&g| vec![g]).unwrap_or_default(),
+            McvIndex::Exact(map) => {
+                if let Some(&g) = map.get(v) {
+                    out.push(g);
+                }
+            }
             McvIndex::Bloom(filters) => {
-                let bytes = value_bytes(v);
-                filters
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, f)| f.contains(&bytes))
-                    .map(|(g, _)| g)
-                    .collect()
+                value_bytes_into(v, bytes);
+                out.extend(
+                    filters
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| f.contains(bytes))
+                        .map(|(g, _)| g),
+                );
             }
         }
     }
@@ -280,6 +441,32 @@ impl McvIndex {
             McvIndex::Bloom(filters) => filters.iter().map(BloomFilter::byte_size).sum(),
         }
     }
+}
+
+/// Shared MCV machinery: resolve `v` through `index` and write the
+/// pointwise max over its candidate groups into `out` (the `default_set`
+/// for non-MCV values), all through the pool.
+fn indexed_max_into(
+    index: &McvIndex,
+    groups: &[CdsSet],
+    default_set: &CdsSet,
+    v: &Value,
+    scratch: &mut CdsScratch,
+    out: &mut CdsSet,
+) {
+    let mut ids = std::mem::take(&mut scratch.tmp_groups);
+    let mut bytes = std::mem::take(&mut scratch.tmp_bytes);
+    index.lookup_into(v, &mut ids, &mut bytes);
+    if ids.is_empty() {
+        scratch.copy_set(default_set, out);
+    } else {
+        scratch.copy_set(&groups[ids[0]], out);
+        for &g in &ids[1..] {
+            out.accumulate(&groups[g], SetOp::MaxEnvelope, scratch);
+        }
+    }
+    scratch.tmp_groups = ids;
+    scratch.tmp_bytes = bytes;
 }
 
 /// Equality-predicate statistics for one filter column (§3.2).
@@ -297,15 +484,36 @@ impl McvStats {
     /// The conditioned CDS set for `column = v`: max over candidate groups,
     /// or the default for non-MCV values.
     pub fn lookup_eq(&self, v: &Value) -> CdsSet {
-        let groups = self.index.lookup(v);
-        if groups.is_empty() {
-            return self.default_set.clone();
+        let mut scratch = CdsScratch::default();
+        let mut out = CdsSet::default();
+        self.lookup_eq_into(v, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`McvStats::lookup_eq`] writing into `out` through the pool.
+    pub fn lookup_eq_into(&self, v: &Value, scratch: &mut CdsScratch, out: &mut CdsSet) {
+        indexed_max_into(
+            &self.index,
+            &self.groups,
+            &self.default_set,
+            v,
+            scratch,
+            out,
+        );
+    }
+
+    /// The CDS set of a **provably empty** selection on this column: every
+    /// join column the statistics cover, mapped to the zero CDS. Dominates
+    /// the (empty) true conditioned CDS and drives the cardinality bound
+    /// to zero, unlike an absent entry (which falls back to the
+    /// unconditioned base).
+    pub fn zero_set_into(&self, scratch: &mut CdsScratch, out: &mut CdsSet) {
+        scratch.clear_set(out);
+        for (sym, _) in &self.default_set.entries {
+            let mut p = scratch.take_pwl();
+            p.make_empty();
+            out.entries.push((*sym, p));
         }
-        let mut acc = self.groups[groups[0]].clone();
-        for &g in &groups[1..] {
-            acc = acc.pointwise_max(&self.groups[g]);
-        }
-        acc
     }
 
     /// Approximate heap size in bytes.
@@ -447,8 +655,9 @@ pub struct HistogramLevel {
 
 impl HistogramLevel {
     /// The bucket index covering `[lo, hi]` entirely, if a single one does.
+    /// Inverted ranges (`hi < lo`) cover nothing and return `None`.
     fn covering_bucket(&self, lo: &Value, hi: &Value) -> Option<usize> {
-        if self.bounds.len() < 2 {
+        if self.bounds.len() < 2 || hi < lo {
             return None;
         }
         // Find the bucket containing lo.
@@ -480,11 +689,23 @@ pub struct HistogramStats {
 impl HistogramStats {
     /// The conditioned CDS set of the smallest bucket fully covering
     /// `[lo, hi]`; `None` when even the 2-bucket level cannot cover it
-    /// (caller falls back to the unconditioned CDS).
+    /// (caller falls back to the unconditioned CDS). Inverted ranges
+    /// (`hi < lo`, i.e. an empty selection) return `None`; callers that
+    /// can prove emptiness should use a zero set instead
+    /// ([`McvStats::zero_set_into`]).
     pub fn lookup_range(&self, lo: &Value, hi: &Value) -> Option<CdsSet> {
+        self.lookup_range_ref(lo, hi).cloned()
+    }
+
+    /// [`HistogramStats::lookup_range`] by reference (no clone): the
+    /// borrow points into the stored group sets.
+    pub fn lookup_range_ref(&self, lo: &Value, hi: &Value) -> Option<&CdsSet> {
+        if hi < lo {
+            return None;
+        }
         for level in &self.levels {
             if let Some(b) = level.covering_bucket(lo, hi) {
-                return Some(self.groups[level.bucket_groups[b]].clone());
+                return Some(&self.groups[level.bucket_groups[b]]);
             }
         }
         None
@@ -620,28 +841,52 @@ impl NgramStats {
     /// pattern's grams (each gram's rows ⊇ matching rows); `None` when the
     /// pattern yields no full gram.
     pub fn lookup_like(&self, pattern: &str) -> Option<CdsSet> {
+        let mut scratch = CdsScratch::default();
+        let mut out = CdsSet::default();
+        self.lookup_like_into(pattern, &mut scratch, &mut out)
+            .then_some(out)
+    }
+
+    /// [`NgramStats::lookup_like`] writing into `out` through the pool.
+    /// Returns `false` when the pattern yields no full gram (out is then
+    /// garbage). Gram extraction still allocates its strings; the set
+    /// algebra is arena-backed.
+    pub fn lookup_like_into(
+        &self,
+        pattern: &str,
+        scratch: &mut CdsScratch,
+        out: &mut CdsSet,
+    ) -> bool {
         let grams = pattern_ngrams(pattern, self.n);
         if grams.is_empty() {
-            return None;
+            return false;
         }
-        let mut acc: Option<CdsSet> = None;
-        for g in grams {
-            let ids = self.index.lookup(&Value::Str(g));
-            let set = if ids.is_empty() {
-                self.default_set.clone()
+        let mut tmp = scratch.take_set();
+        for (i, g) in grams.into_iter().enumerate() {
+            let gv = Value::Str(g);
+            if i == 0 {
+                indexed_max_into(
+                    &self.index,
+                    &self.groups,
+                    &self.default_set,
+                    &gv,
+                    scratch,
+                    out,
+                );
             } else {
-                let mut m = self.groups[ids[0]].clone();
-                for &i in &ids[1..] {
-                    m = m.pointwise_max(&self.groups[i]);
-                }
-                m
-            };
-            acc = Some(match acc {
-                None => set,
-                Some(a) => a.pointwise_min(&set),
-            });
+                indexed_max_into(
+                    &self.index,
+                    &self.groups,
+                    &self.default_set,
+                    &gv,
+                    scratch,
+                    &mut tmp,
+                );
+                out.accumulate(&tmp, SetOp::Min, scratch);
+            }
         }
-        acc
+        scratch.put_set(tmp);
+        true
     }
 
     /// Approximate heap size in bytes.

@@ -8,22 +8,49 @@
 //! (§4.2) for predicates sitting on joined dimension tables. The resulting
 //! per-join-column CDSs feed the FDSB (Algorithm 2). Cyclic queries take
 //! the min over spanning-tree relaxations (§3.6); joins on undeclared
-//! columns use the truncated-fallback CDS (§3.6).
+//! columns use the truncated-fallback CDS (§3.6); queries where no
+//! Berge-acyclic relaxation survives degrade to the cross-product of
+//! per-relation (conditioned) cardinality bounds instead of failing.
+//!
+//! # Architecture: shape cache + online arena
+//!
+//! The expensive per-query work splits into two halves with different
+//! cacheability:
+//!
+//! * **Shape-dependent, literal-independent** — spanning-tree enumeration,
+//!   join-graph construction, [`BoundPlan`] building, join-column
+//!   resolution to interned ids, and the PK–FK propagation key strings.
+//!   A [`BoundSession`] memoizes all of it per query *shape*
+//!   ([`Query::shape_hash`] / [`Query::same_shape`]: tables + join
+//!   topology + predicate structure, not literals), so repeated query
+//!   templates skip straight to predicate resolution + kernel.
+//! * **Literal-dependent** — predicate resolution and statistics
+//!   assembly. These run per query but write every intermediate CDS into
+//!   the session's [`CdsScratch`] arena pools instead of cloning, and the
+//!   per-relation conditioned stats are resolved **once** and shared
+//!   across all of a cyclic query's relaxations (propagation uses the
+//!   original query's edges — a superset of every relaxation's edges —
+//!   which is sound and at least as tight).
+//!
+//! Together with the allocation-free FDSB kernel, a warm session performs
+//! **zero heap allocations per query** on the cached path for equality,
+//! range, and IN predicates (asserted by the `zero_alloc` integration
+//! test; LIKE resolution still allocates its n-gram strings).
 
 use crate::bound::{fdsb_with_scratch, BoundError, BoundScratch, RelationBoundStats};
-use crate::conditioning::CdsSet;
+use crate::conditioning::{CdsScratch, CdsSet, SetOp};
 use crate::config::SafeBoundConfig;
 use crate::stats::{propagated_key, FilterColumnStats, SafeBoundStats, TableStats};
+use crate::symbol::Sym;
 use safebound_query::{BoundPlan, CmpOp, ColId, JoinGraph, Predicate, Query};
 use safebound_storage::Catalog;
+use std::collections::HashMap;
 
 /// Errors from the online phase.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EstimateError {
     /// A query references a table with no statistics.
     UnknownTable(String),
-    /// No acyclic relaxation could be bounded (internal error).
-    NoRelaxation,
     /// Statistics were missing mid-bound.
     Bound(BoundError),
 }
@@ -32,7 +59,6 @@ impl std::fmt::Display for EstimateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EstimateError::UnknownTable(t) => write!(f, "no statistics for table {t:?}"),
-            EstimateError::NoRelaxation => write!(f, "no acyclic relaxation found"),
             EstimateError::Bound(e) => write!(f, "bound evaluation failed: {e}"),
         }
     }
@@ -43,6 +69,95 @@ impl std::error::Error for EstimateError {}
 impl From<BoundError> for EstimateError {
     fn from(e: BoundError) -> Self {
         EstimateError::Bound(e)
+    }
+}
+
+/// Shape-cache entries kept before the cache is flushed wholesale (a
+/// backstop against unbounded growth under adversarial non-repeating
+/// traffic; real template workloads stay far below it).
+const MAX_CACHED_SHAPES: usize = 1024;
+
+/// Everything memoized for one query shape: the surviving acyclic
+/// relaxations' plans plus the literal-independent resolution directives.
+#[derive(Debug)]
+struct ShapeEntry {
+    /// Shape exemplar (literal values are ignored by comparisons).
+    shape: Query,
+    /// One plan per Berge-acyclic relaxation that planned successfully.
+    plans: Vec<PlanEntry>,
+    /// Per relation of the original query: pre-resolved PK–FK propagation
+    /// sources (shared by every relaxation).
+    resolution: Vec<RelResolution>,
+}
+
+/// A planned relaxation with its join-column resolution.
+#[derive(Debug)]
+struct PlanEntry {
+    plan: BoundPlan,
+    /// Per relation: `(plan column id, interned stats symbol)` for every
+    /// join column the plan references on that relation. `None` symbols
+    /// are columns unknown to the statistics (assembled as a key-shaped
+    /// whole-table CDS, §3.6).
+    join_cols: Vec<Vec<(ColId, Option<Sym>)>>,
+}
+
+/// Literal-independent resolution directives for one relation.
+#[derive(Debug, Default)]
+struct RelResolution {
+    /// Predicates on other relations reachable through one original-query
+    /// join edge, with their `filter_stats` keys precomputed.
+    propagations: Vec<Propagation>,
+}
+
+/// One PK–FK propagation source (§4.2).
+#[derive(Debug)]
+struct Propagation {
+    /// The joined relation whose predicate propagates here.
+    other_rel: usize,
+    /// Predicate column name → precomputed [`propagated_key`] under which
+    /// the fact side stores the propagated statistics.
+    keys: Vec<(String, String)>,
+}
+
+/// Conditioned-resolution output for one relation, reused across queries.
+#[derive(Debug, Default)]
+struct RelCond {
+    /// The conditioned CDS set (valid only when `has_cond`).
+    set: CdsSet,
+    /// Whether any predicate resolved for this relation.
+    has_cond: bool,
+    /// Upper bound on the relation's filtered cardinality.
+    card: f64,
+}
+
+/// Reusable per-thread state for [`SafeBound::bound_with_session`]: the
+/// query-shape plan/relaxation cache plus every arena the online path
+/// writes into ([`BoundScratch`] for the kernel, [`CdsScratch`] for
+/// predicate resolution and assembly, pooled per-relation stats). Hold one
+/// per serving thread; a warm session allocates nothing per query on the
+/// cached path.
+#[derive(Debug, Default)]
+pub struct BoundSession {
+    shapes: Vec<ShapeEntry>,
+    index: HashMap<u64, Vec<usize>>,
+    /// `build_id` of the statistics the cached shapes were planned
+    /// against (0 = none yet). Cached symbols/plan ids are meaningless
+    /// under any other build, so a mismatch flushes the cache.
+    stats_build_id: u64,
+    kernel: BoundScratch,
+    cds: CdsScratch,
+    rel_stats: Vec<RelationBoundStats>,
+    cond: Vec<RelCond>,
+    /// Shape-cache hits since creation.
+    pub hits: u64,
+    /// Shape-cache misses (shape builds) since creation.
+    pub misses: u64,
+}
+
+impl BoundSession {
+    /// Number of cached query shapes.
+    pub fn cached_shapes(&self) -> usize {
+        self.shapes.len()
     }
 }
 
@@ -68,36 +183,84 @@ impl SafeBound {
 
     /// A guaranteed upper bound on the query's output cardinality.
     ///
-    /// Convenience wrapper allocating a fresh [`BoundScratch`]; hot-path
-    /// callers should hold one and use [`SafeBound::bound_with_scratch`].
+    /// Convenience wrapper allocating a fresh [`BoundSession`] (the cold
+    /// path); hot-path callers should hold a session and use
+    /// [`SafeBound::bound_with_session`].
     pub fn bound(&self, query: &Query) -> Result<f64, EstimateError> {
-        self.bound_with_scratch(query, &mut BoundScratch::default())
+        self.bound_with_session(query, &mut BoundSession::default())
     }
 
-    /// [`SafeBound::bound`] with a caller-provided scratch arena, so the
-    /// FDSB evaluation itself allocates nothing in steady state.
-    pub fn bound_with_scratch(
+    /// [`SafeBound::bound`] with a caller-provided session: the query's
+    /// shape is planned once and memoized, and all per-query intermediates
+    /// live in the session's arenas.
+    pub fn bound_with_session(
         &self,
         query: &Query,
-        scratch: &mut BoundScratch,
+        session: &mut BoundSession,
     ) -> Result<f64, EstimateError> {
         if query.num_relations() == 0 {
             return Ok(0.0);
         }
-        let relaxations =
-            safebound_query::spanning_relaxations(query, self.stats.config.spanning_tree_cap);
-        let mut best = f64::INFINITY;
-        for rq in &relaxations {
-            let graph = JoinGraph::new(rq);
-            if !graph.is_berge_acyclic() {
-                continue;
+        // A session may outlive a statistics rebuild (data refresh): the
+        // cached plans' interned symbols are only valid against the build
+        // that produced them, so flush on mismatch.
+        if session.stats_build_id != self.stats.build_id {
+            session.shapes.clear();
+            session.index.clear();
+            session.stats_build_id = self.stats.build_id;
+        }
+        let hash = query.shape_hash();
+        let cached = session.index.get(&hash).and_then(|bucket| {
+            bucket
+                .iter()
+                .copied()
+                .find(|&i| session.shapes[i].shape.same_shape(query))
+        });
+        let idx = match cached {
+            Some(i) => {
+                session.hits += 1;
+                i
             }
-            let plan = match BoundPlan::build(rq, &graph) {
-                Ok(p) => p,
-                Err(_) => continue,
-            };
-            let rel_stats = self.relation_stats(rq, &graph, &plan)?;
-            let b = fdsb_with_scratch(&plan, &rel_stats, scratch)?;
+            None => {
+                session.misses += 1;
+                if session.shapes.len() >= MAX_CACHED_SHAPES {
+                    session.shapes.clear();
+                    session.index.clear();
+                }
+                let entry = self.build_shape_entry(query);
+                session.shapes.push(entry);
+                let i = session.shapes.len() - 1;
+                session.index.entry(hash).or_default().push(i);
+                i
+            }
+        };
+
+        let BoundSession {
+            shapes,
+            kernel,
+            cds,
+            rel_stats,
+            cond,
+            ..
+        } = session;
+        let entry = &shapes[idx];
+        self.resolve_relations(query, entry, cds, cond)?;
+
+        let n = query.num_relations();
+        while rel_stats.len() < n {
+            rel_stats.push(RelationBoundStats::default());
+        }
+        let mut best = f64::INFINITY;
+        for pe in &entry.plans {
+            for rel in 0..n {
+                let ts = self
+                    .stats
+                    .tables
+                    .get(&query.relations[rel].table)
+                    .expect("tables validated during resolution");
+                assemble_into(ts, &cond[rel], &pe.join_cols[rel], &mut rel_stats[rel], cds);
+            }
+            let b = fdsb_with_scratch(&pe.plan, &rel_stats[..n], kernel)?;
             if b < best {
                 best = b;
             }
@@ -105,22 +268,68 @@ impl SafeBound {
         if best.is_finite() {
             Ok(best)
         } else {
-            Err(EstimateError::NoRelaxation)
+            // No Berge-acyclic relaxation survived (pathologically cyclic
+            // query or an exhausted spanning-tree cap): degrade to the
+            // cross-product of per-relation conditioned cardinality
+            // bounds, which is always a sound upper bound.
+            Ok(cond[..n].iter().map(|c| c.card).product())
         }
     }
 
     /// The per-relaxation FDSB kernel inputs for a query — exactly what
     /// [`SafeBound::bound`] evaluates (one `(plan, stats)` pair per
-    /// acyclic relaxation; the bound is their minimum). Exposed so
+    /// acyclic relaxation; the bound is their minimum, with a
+    /// cross-product fallback when the list is empty). Exposed so
     /// benchmarks and tests can drive [`crate::bound::fdsb_with_scratch`]
-    /// and [`crate::bound::fdsb_reference`] on identical inputs.
+    /// and [`crate::bound::fdsb_reference`] on identical inputs. Shares
+    /// the shape-building and assembly code with the cached path.
     pub fn bound_inputs(
         &self,
         query: &Query,
     ) -> Result<Vec<(BoundPlan, Vec<RelationBoundStats>)>, EstimateError> {
+        if query.num_relations() == 0 {
+            return Ok(Vec::new());
+        }
+        let entry = self.build_shape_entry(query);
+        let mut cds = CdsScratch::default();
+        let mut cond = Vec::new();
+        self.resolve_relations(query, &entry, &mut cds, &mut cond)?;
+        let n = query.num_relations();
+        let mut out = Vec::with_capacity(entry.plans.len());
+        for pe in &entry.plans {
+            let mut stats = Vec::with_capacity(n);
+            #[allow(clippy::needless_range_loop)] // four parallel arrays indexed by relation
+            for rel in 0..n {
+                let ts = self
+                    .stats
+                    .tables
+                    .get(&query.relations[rel].table)
+                    .expect("tables validated during resolution");
+                let mut rs = RelationBoundStats::default();
+                assemble_into(ts, &cond[rel], &pe.join_cols[rel], &mut rs, &mut cds);
+                stats.push(rs);
+            }
+            out.push((pe.plan.clone(), stats));
+        }
+        Ok(out)
+    }
+
+    /// Build the memoized artifacts for a query shape: enumerate spanning
+    /// relaxations, plan the Berge-acyclic ones, resolve join columns to
+    /// plan ids and interned symbols, and precompute PK–FK propagation
+    /// keys from the **original** query's edges.
+    ///
+    /// Propagating along all original edges (rather than each
+    /// relaxation's surviving subset) is sound: a fact row in the original
+    /// result has, for every original edge with propagated statistics, a
+    /// unique PK partner satisfying that dimension's predicate, so the
+    /// conditioned row set still contains every result row — and sharing
+    /// it across relaxations both tightens cyclic bounds and lets the
+    /// resolution run once per query.
+    fn build_shape_entry(&self, query: &Query) -> ShapeEntry {
         let relaxations =
             safebound_query::spanning_relaxations(query, self.stats.config.spanning_tree_cap);
-        let mut out = Vec::new();
+        let mut plans = Vec::new();
         for rq in &relaxations {
             let graph = JoinGraph::new(rq);
             if !graph.is_berge_acyclic() {
@@ -129,119 +338,195 @@ impl SafeBound {
             let Ok(plan) = BoundPlan::build(rq, &graph) else {
                 continue;
             };
-            let rel_stats = self.relation_stats(rq, &graph, &plan)?;
-            out.push((plan, rel_stats));
-        }
-        Ok(out)
-    }
-
-    /// Per-relation FDSB inputs for a (relaxed, acyclic) query, keyed by
-    /// the plan's interned column ids.
-    fn relation_stats(
-        &self,
-        query: &Query,
-        graph: &JoinGraph,
-        plan: &BoundPlan,
-    ) -> Result<Vec<RelationBoundStats>, EstimateError> {
-        // Plan columns each relation contributes to join variables. Column
-        // names resolve to plan ids here, once per query — never inside
-        // the bound evaluation.
-        let mut join_cols: Vec<Vec<(ColId, &str)>> = vec![Vec::new(); query.num_relations()];
-        for var in &graph.vars {
-            for &(rel, ref col) in &var.attrs {
-                let Some(id) = plan.col_id(col) else { continue };
-                if !join_cols[rel].iter().any(|(i, _)| *i == id) {
-                    join_cols[rel].push((id, col.as_str()));
+            // Plan columns each relation contributes to join variables.
+            // Column names resolve to plan ids and symbols here, once per
+            // shape — never inside the bound evaluation.
+            let mut join_cols: Vec<Vec<(ColId, Option<Sym>)>> =
+                vec![Vec::new(); rq.num_relations()];
+            for var in &graph.vars {
+                for &(rel, ref col) in &var.attrs {
+                    let Some(id) = plan.col_id(col) else { continue };
+                    if !join_cols[rel].iter().any(|(i, _)| *i == id) {
+                        join_cols[rel].push((id, self.stats.symbols.lookup(col)));
+                    }
                 }
             }
+            plans.push(PlanEntry { plan, join_cols });
         }
 
-        let mut out = Vec::with_capacity(query.num_relations());
-        for (rel, rel_cols) in join_cols.iter().enumerate() {
+        let mut resolution: Vec<RelResolution> = (0..query.num_relations())
+            .map(|_| RelResolution::default())
+            .collect();
+        for edge in &query.joins {
+            if edge.left == edge.right {
+                // A degenerate self-edge constrains a row against itself;
+                // propagating the relation's own predicate through
+                // cross-table statistics is unsound when the declared key
+                // is dirty (duplicate values), so skip it — the join
+                // graph ignores such edges too.
+                continue;
+            }
+            let sides = [
+                (edge.left, &edge.left_column, edge.right, &edge.right_column),
+                (edge.right, &edge.right_column, edge.left, &edge.left_column),
+            ];
+            for (rel, my_col, other_rel, other_col) in sides {
+                let Some(pred) = query.predicate_of(other_rel) else {
+                    continue;
+                };
+                let other_table = &query.relations[other_rel].table;
+                let keys = pred
+                    .columns()
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.to_string(),
+                            propagated_key(my_col, other_table, other_col, c),
+                        )
+                    })
+                    .collect();
+                resolution[rel]
+                    .propagations
+                    .push(Propagation { other_rel, keys });
+            }
+        }
+        ShapeEntry {
+            shape: query.clone(),
+            plans,
+            resolution,
+        }
+    }
+
+    /// Resolve every relation's predicates (own + propagated) into the
+    /// session's conditioned-set slots. Runs once per query; the result is
+    /// shared by all relaxations' assemblies.
+    fn resolve_relations(
+        &self,
+        query: &Query,
+        entry: &ShapeEntry,
+        cds: &mut CdsScratch,
+        cond: &mut Vec<RelCond>,
+    ) -> Result<(), EstimateError> {
+        let n = query.num_relations();
+        while cond.len() < n {
+            cond.push(RelCond::default());
+        }
+        #[allow(clippy::needless_range_loop)] // parallel arrays indexed by relation
+        for rel in 0..n {
             let table_name = &query.relations[rel].table;
             let ts = self
                 .stats
                 .tables
                 .get(table_name)
                 .ok_or_else(|| EstimateError::UnknownTable(table_name.clone()))?;
+            let rc = &mut cond[rel];
+            rc.has_cond = false;
 
             // 1. Condition on the relation's own predicates.
-            let mut cond: Option<CdsSet> = query
-                .predicate_of(rel)
-                .and_then(|p| resolve_predicate(&|c| ts.filter_stats.get(c), p));
-
-            // 2. PK–FK propagation: predicates on joined dimension tables.
-            for edge in &query.joins {
-                let (my_col, other_rel, other_col) = if edge.left == rel {
-                    (&edge.left_column, edge.right, &edge.right_column)
-                } else if edge.right == rel {
-                    (&edge.right_column, edge.left, &edge.left_column)
-                } else {
-                    continue;
-                };
-                let Some(pred) = query.predicate_of(other_rel) else {
-                    continue;
-                };
-                let other_table = &query.relations[other_rel].table;
-                let lookup = |c: &str| {
-                    ts.filter_stats
-                        .get(&propagated_key(my_col, other_table, other_col, c))
-                };
-                if let Some(set) = resolve_predicate(&lookup, pred) {
-                    cond = Some(match cond {
-                        None => set,
-                        Some(acc) => acc.pointwise_min(&set),
-                    });
-                }
+            if let Some(p) = query.predicate_of(rel) {
+                let lookup = |c: &str| ts.filter_stats.get(c);
+                apply_resolved(&lookup, p, cds, rc);
             }
 
-            out.push(self.assemble(ts, cond, rel_cols));
+            // 2. PK–FK propagation: predicates on joined dimension tables,
+            //    via the shape entry's precomputed keys.
+            for prop in &entry.resolution[rel].propagations {
+                let Some(pred) = query.predicate_of(prop.other_rel) else {
+                    continue;
+                };
+                let lookup = |c: &str| {
+                    prop.keys
+                        .iter()
+                        .find(|(col, _)| col == c)
+                        .and_then(|(_, key)| ts.filter_stats.get(key.as_str()))
+                };
+                apply_resolved(&lookup, pred, cds, rc);
+            }
+
+            rc.card = ts.row_count as f64;
+            if rc.has_cond && !rc.set.is_empty() {
+                rc.card = rc.set.cardinality().min(rc.card);
+            }
         }
-        Ok(out)
+        Ok(())
     }
+}
 
-    /// Combine base/conditioned/fallback CDSs into the FDSB input for one
-    /// relation.
-    fn assemble(
-        &self,
-        ts: &TableStats,
-        cond: Option<CdsSet>,
-        used_join_cols: &[(ColId, &str)],
-    ) -> RelationBoundStats {
-        // Cardinality bound: conditioned if available, else the row count.
-        let card_bound = match &cond {
-            Some(set) if !set.is_empty() => set.cardinality().min(ts.row_count as f64),
-            _ => ts.row_count as f64,
+/// Resolve one predicate tree and fold it into a relation's conditioned
+/// slot (first resolution assigns, later ones take the pointwise min).
+fn apply_resolved<'a, F>(lookup: &F, pred: &Predicate, cds: &mut CdsScratch, rc: &mut RelCond)
+where
+    F: Fn(&str) -> Option<&'a FilterColumnStats>,
+{
+    let mut tmp = cds.take_set();
+    if resolve_predicate_into(lookup, pred, cds, &mut tmp) {
+        if rc.has_cond {
+            rc.set.accumulate(&tmp, SetOp::Min, cds);
+            cds.put_set(tmp);
+        } else {
+            cds.clear_set(&mut rc.set);
+            std::mem::swap(&mut rc.set, &mut tmp);
+            cds.put_set(tmp);
+            rc.has_cond = true;
+        }
+    } else {
+        cds.put_set(tmp);
+    }
+}
+
+/// Combine base/conditioned/fallback CDSs into the FDSB input for one
+/// relation, writing into a reused [`RelationBoundStats`] slot.
+fn assemble_into(
+    ts: &TableStats,
+    rc: &RelCond,
+    join_cols: &[(ColId, Option<Sym>)],
+    out: &mut RelationBoundStats,
+    cds: &mut CdsScratch,
+) {
+    for slot in out.cds_by_column.iter_mut() {
+        if let Some(p) = slot.take() {
+            cds.put_pwl(p);
+        }
+    }
+    // Cardinality bound: conditioned if available, else the row count
+    // (precomputed during resolution).
+    let card_bound = rc.card;
+    out.cardinality = card_bound;
+    for &(plan_col, sym) in join_cols {
+        let conditioned = if rc.has_cond {
+            sym.and_then(|s| rc.set.get(s))
+        } else {
+            None
         };
-
-        let mut stats = RelationBoundStats::scalar(card_bound);
-        for &(plan_col, name) in used_join_cols {
-            let sym = self.stats.symbols.lookup(name);
-            let conditioned = sym.and_then(|s| cond.as_ref().and_then(|set| set.get(s)));
-            let base = sym.and_then(|s| ts.base.get(s));
-            let cds = match (conditioned, base) {
-                // Conditioned is already ≤ base in spirit; min for safety.
-                (Some(c), Some(b)) => c.pointwise_min(b),
-                (Some(c), None) => c.clone(),
-                (None, Some(b)) => b.clone(),
-                (None, None) => {
-                    // Undeclared join column (§3.6): truncate the
-                    // unconditioned fallback at the filtered-cardinality
-                    // bound.
-                    match sym.and_then(|s| ts.fallback(s)) {
-                        Some(f) => f.clone(),
-                        None => {
-                            // Unknown column: a key-shaped CDS of the whole
-                            // table is the only sound default.
-                            crate::piecewise::PiecewiseConstant::constant(ts.row_count as f64, 1.0)
-                                .cumulative()
-                        }
+        let base = sym.and_then(|s| ts.base.get(s));
+        let mut tmp = cds.take_pwl();
+        let source = match (conditioned, base) {
+            // Conditioned is already ≤ base in spirit; min for safety.
+            (Some(c), Some(b)) => {
+                c.pointwise_min_into(b, &mut tmp);
+                &tmp
+            }
+            (Some(c), None) => c,
+            (None, Some(b)) => b,
+            (None, None) => {
+                // Undeclared join column (§3.6): truncate the
+                // unconditioned fallback at the filtered-cardinality
+                // bound.
+                match sym.and_then(|s| ts.fallback(s)) {
+                    Some(f) => f,
+                    None => {
+                        // Unknown column: a key-shaped CDS of the whole
+                        // table is the only sound default.
+                        tmp.make_key(ts.row_count as f64);
+                        &tmp
                     }
                 }
-            };
-            stats.set(plan_col, cds.truncate_at(card_bound));
-        }
-        stats
+            }
+        };
+        let mut dst = cds.take_pwl();
+        source.truncate_at_into(card_bound, &mut dst);
+        out.set(plan_col, dst);
+        cds.put_pwl(tmp);
     }
 }
 
@@ -252,64 +537,150 @@ pub fn resolve_predicate<'a, F>(lookup: &F, pred: &Predicate) -> Option<CdsSet>
 where
     F: Fn(&str) -> Option<&'a FilterColumnStats>,
 {
+    let mut scratch = CdsScratch::default();
+    let mut out = CdsSet::default();
+    resolve_predicate_into(lookup, pred, &mut scratch, &mut out).then_some(out)
+}
+
+/// [`resolve_predicate`] writing into `out` through the `scratch` pools
+/// (no steady-state allocation except for LIKE n-gram extraction).
+/// Returns `false` when no usable statistics exist — `out` holds garbage
+/// and must be ignored; a `true` return always fully overwrites `out`.
+pub fn resolve_predicate_into<'a, F>(
+    lookup: &F,
+    pred: &Predicate,
+    scratch: &mut CdsScratch,
+    out: &mut CdsSet,
+) -> bool
+where
+    F: Fn(&str) -> Option<&'a FilterColumnStats>,
+{
     match pred {
-        Predicate::Eq(col, v) => lookup(col).map(|fs| fs.mcv.lookup_eq(v)),
+        Predicate::Eq(col, v) => {
+            let Some(fs) = lookup(col) else { return false };
+            fs.mcv.lookup_eq_into(v, scratch, out);
+            true
+        }
         Predicate::Cmp(col, op, v) => {
-            let fs = lookup(col)?;
-            let hist = fs.histogram.as_ref()?;
-            let (lo, hi) = match op {
-                CmpOp::Lt | CmpOp::Le => (hist.min_value()?.clone(), v.clone()),
-                CmpOp::Gt | CmpOp::Ge => (v.clone(), hist.max_value()?.clone()),
+            let Some(fs) = lookup(col) else { return false };
+            let Some(hist) = fs.histogram.as_ref() else {
+                return false;
             };
-            hist.lookup_range(&lo, &hi)
+            let (Some(min), Some(max)) = (hist.min_value(), hist.max_value()) else {
+                return false;
+            };
+            // Strict and non-strict comparisons resolve against the same
+            // inclusive bucket ranges — over-coverage is sound — but a
+            // literal outside the histogram domain must not invert the
+            // range: a provably empty selection yields the zero set, and
+            // everything else is clamped into `[min, max]`.
+            let empty = match op {
+                CmpOp::Lt => v <= min,
+                CmpOp::Le => v < min,
+                CmpOp::Gt => v >= max,
+                CmpOp::Ge => v > max,
+            };
+            if empty {
+                fs.mcv.zero_set_into(scratch, out);
+                return true;
+            }
+            let (lo, hi) = match op {
+                CmpOp::Lt | CmpOp::Le => (min, if v < max { v } else { max }),
+                CmpOp::Gt | CmpOp::Ge => (if v > min { v } else { min }, max),
+            };
+            match hist.lookup_range_ref(lo, hi) {
+                Some(set) => {
+                    scratch.copy_set(set, out);
+                    true
+                }
+                None => false,
+            }
         }
         Predicate::Between(col, lo, hi) => {
-            let fs = lookup(col)?;
-            fs.histogram.as_ref()?.lookup_range(lo, hi)
+            let Some(fs) = lookup(col) else { return false };
+            if hi < lo {
+                // Inverted range: provably empty selection.
+                fs.mcv.zero_set_into(scratch, out);
+                return true;
+            }
+            let Some(hist) = fs.histogram.as_ref() else {
+                return false;
+            };
+            match hist.lookup_range_ref(lo, hi) {
+                Some(set) => {
+                    scratch.copy_set(set, out);
+                    true
+                }
+                None => false,
+            }
         }
         Predicate::Like(col, pattern) => {
-            let fs = lookup(col)?;
-            fs.ngrams.as_ref()?.lookup_like(pattern)
+            let Some(fs) = lookup(col) else { return false };
+            let Some(ng) = fs.ngrams.as_ref() else {
+                return false;
+            };
+            ng.lookup_like_into(pattern, scratch, out)
         }
         Predicate::In(col, values) => {
-            let fs = lookup(col)?;
+            let Some(fs) = lookup(col) else { return false };
             if values.is_empty() {
-                return None;
+                return false;
             }
-            let mut acc: Option<CdsSet> = None;
-            for v in values {
-                let set = fs.mcv.lookup_eq(v);
-                acc = Some(match acc {
-                    None => set,
-                    Some(a) => a.pointwise_sum(&set),
-                });
+            // Duplicate literals must not double-count through the sum:
+            // `IN (x, x)` is `IN (x)`.
+            let mut tmp = scratch.take_set();
+            let mut any = false;
+            for (i, v) in values.iter().enumerate() {
+                if values[..i].contains(v) {
+                    continue;
+                }
+                if !any {
+                    fs.mcv.lookup_eq_into(v, scratch, out);
+                    any = true;
+                } else {
+                    fs.mcv.lookup_eq_into(v, scratch, &mut tmp);
+                    out.accumulate(&tmp, SetOp::Sum, scratch);
+                }
             }
-            acc
+            scratch.put_set(tmp);
+            any
         }
         Predicate::And(ps) => {
             // Pointwise min over whichever conjuncts resolve (§3.3).
-            let mut acc: Option<CdsSet> = None;
+            let mut tmp = scratch.take_set();
+            let mut any = false;
             for p in ps {
-                if let Some(set) = resolve_predicate(lookup, p) {
-                    acc = Some(match acc {
-                        None => set,
-                        Some(a) => a.pointwise_min(&set),
-                    });
+                if !any {
+                    any = resolve_predicate_into(lookup, p, scratch, out);
+                } else if resolve_predicate_into(lookup, p, scratch, &mut tmp) {
+                    out.accumulate(&tmp, SetOp::Min, scratch);
                 }
             }
-            acc
+            scratch.put_set(tmp);
+            any
         }
         Predicate::Or(ps) => {
             // Every disjunct must resolve or the sum under-counts (§3.2).
-            let mut acc: Option<CdsSet> = None;
+            let mut tmp = scratch.take_set();
+            let mut any = false;
+            let mut ok = true;
             for p in ps {
-                let set = resolve_predicate(lookup, p)?;
-                acc = Some(match acc {
-                    None => set,
-                    Some(a) => a.pointwise_sum(&set),
-                });
+                if !any {
+                    if resolve_predicate_into(lookup, p, scratch, out) {
+                        any = true;
+                    } else {
+                        ok = false;
+                        break;
+                    }
+                } else if resolve_predicate_into(lookup, p, scratch, &mut tmp) {
+                    out.accumulate(&tmp, SetOp::Sum, scratch);
+                } else {
+                    ok = false;
+                    break;
+                }
             }
-            acc
+            scratch.put_set(tmp);
+            ok && any
         }
     }
 }
@@ -317,8 +688,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use safebound_query::parse_sql;
-    use safebound_storage::{Column, DataType, Field, Schema, Table};
+    use safebound_query::{parse_sql, JoinEdge, RelationRef};
+    use safebound_storage::{Column, DataType, Field, Schema, Table, Value};
 
     /// Fact/dimension catalog: movie_keyword(movie_id, keyword_id) ⋈
     /// keyword(id, word); movies Zipf-skewed over keywords.
@@ -381,6 +752,26 @@ mod tests {
                 let id = kw.column("id").unwrap().get(j).as_i64().unwrap();
                 let word = kw.column("word").unwrap().get(j);
                 if id == kid && pred(id, word.as_str().unwrap()) {
+                    count += 1.0;
+                }
+            }
+        }
+        count
+    }
+
+    /// |movie_keyword ⋈ keyword| with a predicate on the fact `year`.
+    fn true_count_year(cat: &Catalog, pred: impl Fn(i64) -> bool) -> f64 {
+        let mk = cat.table("movie_keyword").unwrap();
+        let kw = cat.table("keyword").unwrap();
+        let mut count = 0f64;
+        for i in 0..mk.num_rows() {
+            let kid = mk.column("keyword_id").unwrap().get(i).as_i64().unwrap();
+            let year = mk.column("year").unwrap().get(i).as_i64().unwrap();
+            if !pred(year) {
+                continue;
+            }
+            for j in 0..kw.num_rows() {
+                if kw.column("id").unwrap().get(j).as_i64().unwrap() == kid {
                     count += 1.0;
                 }
             }
@@ -485,6 +876,27 @@ mod tests {
     }
 
     #[test]
+    fn in_duplicate_literals_do_not_double_count() {
+        let (_, sb) = build();
+        let dup = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word IN ('rare', 'rare')",
+        )
+        .unwrap();
+        let single = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word IN ('rare')",
+        )
+        .unwrap();
+        let bd = sb.bound(&dup).unwrap();
+        let bs = sb.bound(&single).unwrap();
+        assert!(
+            (bd - bs).abs() < 1e-9,
+            "IN (x, x) must equal IN (x): {bd} vs {bs}"
+        );
+    }
+
+    #[test]
     fn cyclic_query_uses_spanning_trees() {
         // Triangle self-join on movie_keyword: cyclic; bound = min over
         // spanning trees, must still be sound vs a quick upper sanity.
@@ -541,6 +953,258 @@ mod tests {
             assert!(
                 bound >= truth - 1e-6,
                 "word {word}: bound {bound} < truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_and_out_of_domain_comparisons_stay_sound() {
+        // `year` spans [1980, 2019]. Every operator × literal combination
+        // (inside, at, and outside the domain) must keep bound ≥ truth —
+        // the regression for the inclusive-range resolution of Lt/Gt and
+        // the inverted ranges literals outside the domain used to create.
+        let (cat, sb) = build();
+        let mut session = BoundSession::default();
+        for op in ["<", "<=", ">", ">="] {
+            for lit in [1960i64, 1979, 1980, 1981, 2000, 2018, 2019, 2020, 2080] {
+                let q = parse_sql(&format!(
+                    "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+                     WHERE mk.keyword_id = k.id AND mk.year {op} {lit}"
+                ))
+                .unwrap();
+                let bound = sb.bound_with_session(&q, &mut session).unwrap();
+                let truth = true_count_year(&cat, |y| match op {
+                    "<" => y < lit,
+                    "<=" => y <= lit,
+                    ">" => y > lit,
+                    _ => y >= lit,
+                });
+                assert!(
+                    bound >= truth - 1e-6,
+                    "year {op} {lit}: bound {bound} < truth {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn provably_empty_ranges_bound_to_zero() {
+        let (_, sb) = build();
+        // `year` min is 1980 and max is 2019: these selections are empty
+        // and the zero-set resolution must drive the bound to zero.
+        for sql in [
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND mk.year < 1980",
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND mk.year > 2019",
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND mk.year BETWEEN 1990 AND 1985",
+        ] {
+            let q = parse_sql(sql).unwrap();
+            let bound = sb.bound(&q).unwrap();
+            assert!(bound.abs() < 1e-9, "{sql}: expected 0, got {bound}");
+        }
+    }
+
+    #[test]
+    fn aliased_self_join_with_predicates_is_sound() {
+        let (cat, sb) = build();
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword a, movie_keyword b \
+             WHERE a.keyword_id = b.keyword_id AND a.year = 1980",
+        )
+        .unwrap();
+        let bound = sb.bound(&q).unwrap();
+        // Exact count of the aliased self-join with the predicate on `a`.
+        let mk = cat.table("movie_keyword").unwrap();
+        let kid = mk.column("keyword_id").unwrap();
+        let year = mk.column("year").unwrap();
+        let mut truth = 0f64;
+        for i in 0..mk.num_rows() {
+            if year.get(i) != Value::Int(1980) {
+                continue;
+            }
+            for j in 0..mk.num_rows() {
+                if kid.get(i) == kid.get(j) {
+                    truth += 1.0;
+                }
+            }
+        }
+        assert!(bound >= truth - 1e-6, "bound {bound} < truth {truth}");
+    }
+
+    #[test]
+    fn degenerate_self_edge_is_ignored_for_propagation() {
+        // A hand-built edge with left == right constrains a row against
+        // itself; it must neither panic nor condition the relation through
+        // its own predicate via cross-table propagated stats. The bound
+        // must match the same query without the degenerate edge.
+        let (cat, sb) = build();
+        let mut q = Query::new();
+        let mk = q.add_relation(RelationRef::new("movie_keyword"));
+        q.joins.push(JoinEdge {
+            left: mk,
+            left_column: "keyword_id".to_string(),
+            right: mk,
+            right_column: "movie_id".to_string(),
+        });
+        q.add_predicate(mk, Predicate::Eq("year".to_string(), Value::Int(1980)));
+        let with_edge = sb.bound(&q).unwrap();
+
+        let mut q2 = Query::new();
+        let mk2 = q2.add_relation(RelationRef::new("movie_keyword"));
+        q2.add_predicate(mk2, Predicate::Eq("year".to_string(), Value::Int(1980)));
+        let without_edge = sb.bound(&q2).unwrap();
+        assert!(
+            (with_edge - without_edge).abs() < 1e-9,
+            "degenerate self-edge changed the bound: {with_edge} vs {without_edge}"
+        );
+        // And both dominate the (row-local) truth.
+        let t = cat.table("movie_keyword").unwrap();
+        let mut truth = 0f64;
+        for i in 0..t.num_rows() {
+            if t.column("year").unwrap().get(i) == Value::Int(1980)
+                && t.column("keyword_id").unwrap().get(i) == t.column("movie_id").unwrap().get(i)
+            {
+                truth += 1.0;
+            }
+        }
+        assert!(with_edge >= truth - 1e-6);
+    }
+
+    #[test]
+    fn cross_product_fallback_when_no_relaxation_survives() {
+        // With the spanning-tree cap at 0 a cyclic query keeps its cycle,
+        // no plan survives, and the estimator must degrade to the
+        // cross-product bound instead of erroring.
+        let cat = catalog();
+        let mut cfg = SafeBoundConfig::test_small();
+        cfg.spanning_tree_cap = 0;
+        let sb = SafeBound::build(&cat, cfg);
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword a, movie_keyword b, movie_keyword c \
+             WHERE a.movie_id = b.movie_id AND b.keyword_id = c.keyword_id AND c.year = a.year",
+        )
+        .unwrap();
+        assert!(!JoinGraph::new(&q).is_berge_acyclic());
+        let bound = sb.bound(&q).unwrap();
+        let rows = cat.table("movie_keyword").unwrap().num_rows() as f64;
+        assert!(
+            (bound - rows * rows * rows).abs() < 1e-6,
+            "expected cross-product {}, got {bound}",
+            rows * rows * rows
+        );
+        // A predicate tightens the fallback through conditioned cards.
+        let qp = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword a, movie_keyword b, movie_keyword c \
+             WHERE a.movie_id = b.movie_id AND b.keyword_id = c.keyword_id AND c.year = a.year \
+             AND a.year = 1980",
+        )
+        .unwrap();
+        let bp = sb.bound(&qp).unwrap();
+        assert!(bp <= bound + 1e-9, "conditioned fallback {bp} > {bound}");
+    }
+
+    #[test]
+    fn shape_cache_reuses_plans_across_literals() {
+        let (cat, sb) = build();
+        let mut session = BoundSession::default();
+        let words = ["common", "frequent", "medium", "rare", "unique"];
+        for (i, word) in words.iter().enumerate() {
+            let q = parse_sql(&format!(
+                "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+                 WHERE mk.keyword_id = k.id AND k.word = '{word}'"
+            ))
+            .unwrap();
+            let cached = sb.bound_with_session(&q, &mut session).unwrap();
+            let cold = sb.bound(&q).unwrap();
+            assert!(
+                (cached - cold).abs() <= 1e-9 * cold.abs().max(1.0),
+                "word {word}: cached {cached} != cold {cold}"
+            );
+            let truth = true_count(&cat, |_, w| w == *word);
+            assert!(cached >= truth - 1e-6);
+            // One miss on the first template instance, hits afterwards.
+            assert_eq!(session.misses, 1, "iteration {i}");
+            assert_eq!(session.hits, i as u64);
+        }
+        assert_eq!(session.cached_shapes(), 1);
+    }
+
+    #[test]
+    fn session_serves_interleaved_shapes() {
+        let (_, sb) = build();
+        let mut session = BoundSession::default();
+        let q1 = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k WHERE mk.keyword_id = k.id",
+        )
+        .unwrap();
+        let q2 = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND mk.year BETWEEN 1985 AND 1999",
+        )
+        .unwrap();
+        let (b1, b2) = (sb.bound(&q1).unwrap(), sb.bound(&q2).unwrap());
+        for _ in 0..4 {
+            assert!((sb.bound_with_session(&q1, &mut session).unwrap() - b1).abs() < 1e-9);
+            assert!((sb.bound_with_session(&q2, &mut session).unwrap() - b2).abs() < 1e-9);
+        }
+        assert_eq!(session.cached_shapes(), 2);
+        assert_eq!(session.misses, 2);
+        assert_eq!(session.hits, 6);
+    }
+
+    #[test]
+    fn session_flushes_on_stats_rebuild() {
+        // A session warmed against one statistics build must not serve its
+        // cached symbols/plans against another: results after a rebuild
+        // must match a fresh session exactly.
+        let cat = catalog();
+        let sb1 = SafeBound::build(&cat, SafeBoundConfig::test_small());
+        let mut cfg2 = SafeBoundConfig::test_small();
+        cfg2.mcv_size = 3; // different build → different conditioning
+        let sb2 = SafeBound::build(&cat, cfg2);
+        assert_ne!(sb1.stats.build_id, sb2.stats.build_id);
+
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word = 'rare'",
+        )
+        .unwrap();
+        let mut session = BoundSession::default();
+        let warm1 = sb1.bound_with_session(&q, &mut session).unwrap();
+        assert!((warm1 - sb1.bound(&q).unwrap()).abs() < 1e-9);
+        // Swap estimators under the same session: cache must flush.
+        let swapped = sb2.bound_with_session(&q, &mut session).unwrap();
+        assert!((swapped - sb2.bound(&q).unwrap()).abs() < 1e-9);
+        // And back again.
+        let back = sb1.bound_with_session(&q, &mut session).unwrap();
+        assert!((back - warm1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_inputs_match_session_bound() {
+        // The exposed kernel inputs must evaluate to exactly the bound the
+        // cached path returns (they share shape building and assembly).
+        let (_, sb) = build();
+        let mut session = BoundSession::default();
+        for sql in [
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k WHERE mk.keyword_id = k.id",
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word = 'rare'",
+            "SELECT COUNT(*) FROM movie_keyword a, movie_keyword b, movie_keyword c \
+             WHERE a.movie_id = b.movie_id AND b.keyword_id = c.keyword_id AND c.year = a.year",
+        ] {
+            let q = parse_sql(sql).unwrap();
+            let inputs = sb.bound_inputs(&q).unwrap();
+            let min = inputs
+                .iter()
+                .map(|(plan, stats)| crate::bound::fdsb(plan, stats).unwrap())
+                .fold(f64::INFINITY, f64::min);
+            let bound = sb.bound_with_session(&q, &mut session).unwrap();
+            assert!(
+                (min - bound).abs() <= 1e-9 * bound.abs().max(1.0),
+                "{sql}: inputs min {min} != bound {bound}"
             );
         }
     }

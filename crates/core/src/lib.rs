@@ -61,9 +61,10 @@ pub mod symbol;
 
 pub use bound::{fdsb, fdsb_with_scratch, BoundError, BoundScratch, RelationBoundStats};
 pub use compression::{valid_compress, Segmentation};
+pub use conditioning::{CdsScratch, CdsSet, SetOp};
 pub use config::SafeBoundConfig;
 pub use degree_sequence::DegreeSequence;
-pub use estimator::{EstimateError, SafeBound};
+pub use estimator::{BoundSession, EstimateError, SafeBound};
 pub use piecewise::{PiecewiseConstant, PiecewiseLinear};
 pub use stats::{SafeBoundBuilder, SafeBoundStats, TableStats};
 pub use symbol::{Sym, SymbolTable};

@@ -432,6 +432,151 @@ pub struct PiecewiseLinear {
     knots: Vec<(f64, f64)>,
 }
 
+/// Append a knot to a normalized knot list, maintaining the invariants of
+/// [`PiecewiseLinear::from_knots`] inline: strictly increasing x (ties
+/// keep the first knot), non-decreasing y, collinear middles removed. The
+/// list must already hold the origin `(0, 0)`.
+#[inline]
+pub(crate) fn push_knot(out: &mut Vec<(f64, f64)>, x: f64, y: f64) {
+    let &(px, py) = out.last().expect("knot list must hold the origin");
+    if x <= px + EPS {
+        return;
+    }
+    let y = y.max(py);
+    if out.len() >= 2 {
+        let &(qx, qy) = &out[out.len() - 2];
+        let s1 = (py - qy) / (px - qx);
+        let s2 = (y - py) / (x - px);
+        if (s1 - s2).abs() <= EPS {
+            out.pop();
+        }
+    }
+    out.push((x, y));
+}
+
+/// Two-cursor min/max sweep over raw knot arrays into `out` (cleared and
+/// re-seeded with the origin). The in-place core behind
+/// [`PiecewiseLinear::pointwise_min_into`] / `pointwise_max_envelope_into`.
+fn combine_knots_into(
+    ka: &[(f64, f64)],
+    kb: &[(f64, f64)],
+    take_min: bool,
+    out: &mut Vec<(f64, f64)>,
+) {
+    out.clear();
+    out.push((0.0, 0.0));
+    let support = ka
+        .last()
+        .map_or(0.0, |k| k.0)
+        .max(kb.last().map_or(0.0, |k| k.0));
+    let (mut ia, mut ib) = (1usize, 1usize);
+    let (mut x, mut ya, mut yb) = (0.0f64, 0.0f64, 0.0f64);
+    while x < support - EPS {
+        let (nxa, sa) = if ia < ka.len() {
+            (ka[ia].0, (ka[ia].1 - ya) / (ka[ia].0 - x))
+        } else {
+            (f64::INFINITY, 0.0)
+        };
+        let (nxb, sb) = if ib < kb.len() {
+            (kb[ib].0, (kb[ib].1 - yb) / (kb[ib].0 - x))
+        } else {
+            (f64::INFINITY, 0.0)
+        };
+        let x1 = nxa.min(nxb).min(support);
+        let dx = x1 - x;
+        let ya1 = if nxa <= x1 + EPS {
+            ka[ia].1
+        } else {
+            ya + sa * dx
+        };
+        let yb1 = if nxb <= x1 + EPS {
+            kb[ib].1
+        } else {
+            yb + sb * dx
+        };
+        let (d0, d1) = (ya - yb, ya1 - yb1);
+        if d0 * d1 < 0.0 && d0.abs() > EPS && d1.abs() > EPS {
+            let xc = x + dx * d0 / (d0 - d1);
+            if xc > x + EPS && xc < x1 - EPS {
+                push_knot(out, xc, ya + sa * (xc - x));
+            }
+        }
+        push_knot(out, x1, if take_min { ya1.min(yb1) } else { ya1.max(yb1) });
+        x = x1;
+        ya = ya1;
+        yb = yb1;
+        if ia < ka.len() && ka[ia].0 <= x + EPS {
+            ia += 1;
+        }
+        if ib < kb.len() && kb[ib].0 <= x + EPS {
+            ib += 1;
+        }
+    }
+}
+
+/// Two-cursor sum sweep over raw knot arrays into `out` (cleared and
+/// re-seeded with the origin).
+fn sum_knots_into(ka: &[(f64, f64)], kb: &[(f64, f64)], out: &mut Vec<(f64, f64)>) {
+    out.clear();
+    out.push((0.0, 0.0));
+    let support = ka
+        .last()
+        .map_or(0.0, |k| k.0)
+        .max(kb.last().map_or(0.0, |k| k.0));
+    let (mut ia, mut ib) = (1usize, 1usize);
+    let (mut x, mut ya, mut yb) = (0.0f64, 0.0f64, 0.0f64);
+    while x < support - EPS {
+        let (nxa, sa) = if ia < ka.len() {
+            (ka[ia].0, (ka[ia].1 - ya) / (ka[ia].0 - x))
+        } else {
+            (f64::INFINITY, 0.0)
+        };
+        let (nxb, sb) = if ib < kb.len() {
+            (kb[ib].0, (kb[ib].1 - yb) / (kb[ib].0 - x))
+        } else {
+            (f64::INFINITY, 0.0)
+        };
+        let x1 = nxa.min(nxb).min(support);
+        let dx = x1 - x;
+        ya = if nxa <= x1 + EPS {
+            ka[ia].1
+        } else {
+            ya + sa * dx
+        };
+        yb = if nxb <= x1 + EPS {
+            kb[ib].1
+        } else {
+            yb + sb * dx
+        };
+        push_knot(out, x1, ya + yb);
+        x = x1;
+        if ia < ka.len() && ka[ia].0 <= x + EPS {
+            ia += 1;
+        }
+        if ib < kb.len() && kb[ib].0 <= x + EPS {
+            ib += 1;
+        }
+    }
+}
+
+/// Upper concave hull of a normalized knot list into `out` (cleared).
+fn envelope_knots_into(knots: &[(f64, f64)], out: &mut Vec<(f64, f64)>) {
+    out.clear();
+    for &(x, y) in knots {
+        while out.len() >= 2 {
+            let (x1, y1) = out[out.len() - 2];
+            let (x2, y2) = out[out.len() - 1];
+            let cross = (x2 - x1) * (y - y1) - (y2 - y1) * (x - x1);
+            if cross >= -EPS {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        out.push((x, y));
+    }
+}
+
 impl PiecewiseLinear {
     /// Build from knots. The first knot must be `(0, 0)`; x strictly
     /// increasing, y non-decreasing. Collinear interior knots are removed.
@@ -557,120 +702,33 @@ impl PiecewiseLinear {
         true
     }
 
-    /// Two-cursor sweep for min/max: walk the merged knot sequence once,
-    /// carrying each polyline's current value and slope; a sign change of
-    /// the carried difference inside an interval emits the crossing knot.
-    /// `O(|a| + |b|)`, no `eval` binary searches.
-    fn combine(a: &PiecewiseLinear, b: &PiecewiseLinear, take_min: bool) -> PiecewiseLinear {
-        let support = a.support().max(b.support());
-        let (ka, kb) = (&a.knots, &b.knots);
-        let mut knots: Vec<(f64, f64)> = Vec::with_capacity(ka.len() + kb.len() + 2);
-        knots.push((0.0, 0.0));
-        // Next-knot cursors (index 0 is the shared origin).
-        let (mut ia, mut ib) = (1usize, 1usize);
-        let (mut x, mut ya, mut yb) = (0.0f64, 0.0f64, 0.0f64);
-        while x < support - EPS {
-            // Current slopes; beyond its support a polyline extends flat.
-            let (nxa, sa) = if ia < ka.len() {
-                (ka[ia].0, (ka[ia].1 - ya) / (ka[ia].0 - x))
-            } else {
-                (f64::INFINITY, 0.0)
-            };
-            let (nxb, sb) = if ib < kb.len() {
-                (kb[ib].0, (kb[ib].1 - yb) / (kb[ib].0 - x))
-            } else {
-                (f64::INFINITY, 0.0)
-            };
-            let x1 = nxa.min(nxb).min(support);
-            let dx = x1 - x;
-            // Snap to exact knot values at knot events (no carried drift).
-            let ya1 = if nxa <= x1 + EPS {
-                ka[ia].1
-            } else {
-                ya + sa * dx
-            };
-            let yb1 = if nxb <= x1 + EPS {
-                kb[ib].1
-            } else {
-                yb + sb * dx
-            };
-            // Crossing strictly inside the interval?
-            let (d0, d1) = (ya - yb, ya1 - yb1);
-            if d0 * d1 < 0.0 && d0.abs() > EPS && d1.abs() > EPS {
-                let xc = x + dx * d0 / (d0 - d1);
-                if xc > x + EPS && xc < x1 - EPS {
-                    knots.push((xc, ya + sa * (xc - x)));
-                }
-            }
-            knots.push((x1, if take_min { ya1.min(yb1) } else { ya1.max(yb1) }));
-            x = x1;
-            ya = ya1;
-            yb = yb1;
-            if ia < ka.len() && ka[ia].0 <= x + EPS {
-                ia += 1;
-            }
-            if ib < kb.len() && kb[ib].0 <= x + EPS {
-                ib += 1;
-            }
-        }
-        PiecewiseLinear::from_knots(knots)
-    }
-
-    /// Pointwise minimum (predicate conjunction on CDSs, §3.3).
+    /// Pointwise minimum (predicate conjunction on CDSs, §3.3). Two-cursor
+    /// sweep: walk the merged knot sequence once, carrying each polyline's
+    /// current value and slope; a sign change of the carried difference
+    /// inside an interval emits the crossing knot. `O(|self| + |other|)`,
+    /// no `eval` binary searches.
     pub fn pointwise_min(&self, other: &PiecewiseLinear) -> PiecewiseLinear {
-        Self::combine(self, other, true)
+        let mut out = PiecewiseLinear::empty();
+        self.pointwise_min_into(other, &mut out);
+        out
     }
 
     /// Pointwise maximum. Note: the max of two concave functions need not
     /// be concave — callers that need a valid degree sequence must follow
     /// with [`PiecewiseLinear::concave_envelope`].
     pub fn pointwise_max(&self, other: &PiecewiseLinear) -> PiecewiseLinear {
-        Self::combine(self, other, false)
+        let mut out = PiecewiseLinear::empty();
+        combine_knots_into(&self.knots, &other.knots, false, &mut out.knots);
+        out
     }
 
     /// Pointwise sum, with flat extension beyond each support (predicate
     /// disjunction on CDSs, §3.2). Two-cursor merge over the knot arrays,
     /// `O(|self| + |other|)`.
     pub fn pointwise_sum(&self, other: &PiecewiseLinear) -> PiecewiseLinear {
-        let (ka, kb) = (&self.knots, &other.knots);
-        let support = self.support().max(other.support());
-        let mut knots: Vec<(f64, f64)> = Vec::with_capacity(ka.len() + kb.len() + 1);
-        knots.push((0.0, 0.0));
-        let (mut ia, mut ib) = (1usize, 1usize);
-        let (mut x, mut ya, mut yb) = (0.0f64, 0.0f64, 0.0f64);
-        while x < support - EPS {
-            let (nxa, sa) = if ia < ka.len() {
-                (ka[ia].0, (ka[ia].1 - ya) / (ka[ia].0 - x))
-            } else {
-                (f64::INFINITY, 0.0)
-            };
-            let (nxb, sb) = if ib < kb.len() {
-                (kb[ib].0, (kb[ib].1 - yb) / (kb[ib].0 - x))
-            } else {
-                (f64::INFINITY, 0.0)
-            };
-            let x1 = nxa.min(nxb).min(support);
-            let dx = x1 - x;
-            ya = if nxa <= x1 + EPS {
-                ka[ia].1
-            } else {
-                ya + sa * dx
-            };
-            yb = if nxb <= x1 + EPS {
-                kb[ib].1
-            } else {
-                yb + sb * dx
-            };
-            knots.push((x1, ya + yb));
-            x = x1;
-            if ia < ka.len() && ka[ia].0 <= x + EPS {
-                ia += 1;
-            }
-            if ib < kb.len() && kb[ib].0 <= x + EPS {
-                ib += 1;
-            }
-        }
-        PiecewiseLinear::from_knots(knots)
+        let mut out = PiecewiseLinear::empty();
+        self.pointwise_sum_into(other, &mut out);
+        out
     }
 
     /// The smallest concave function dominating this one: the upper convex
@@ -679,22 +737,77 @@ impl PiecewiseLinear {
     /// soundness of the bound.
     pub fn concave_envelope(&self) -> PiecewiseLinear {
         let mut hull: Vec<(f64, f64)> = Vec::with_capacity(self.knots.len());
-        for &(x, y) in &self.knots {
-            while hull.len() >= 2 {
-                let (x1, y1) = hull[hull.len() - 2];
-                let (x2, y2) = hull[hull.len() - 1];
-                // Remove the middle point if it lies below the chord
-                // (cross product of (p2-p1) × (p3-p1) >= 0 keeps hull upper).
-                let cross = (x2 - x1) * (y - y1) - (y2 - y1) * (x - x1);
-                if cross >= -EPS {
-                    hull.pop();
-                } else {
-                    break;
-                }
-            }
-            hull.push((x, y));
-        }
+        envelope_knots_into(&self.knots, &mut hull);
         PiecewiseLinear::from_knots(hull)
+    }
+
+    /// Overwrite with a copy of `other`, reusing this knot buffer.
+    pub fn copy_from(&mut self, other: &PiecewiseLinear) {
+        self.knots.clear();
+        self.knots.extend_from_slice(&other.knots);
+    }
+
+    /// Reset to the degenerate CDS of an empty relation, in place.
+    pub fn make_empty(&mut self) {
+        self.knots.clear();
+        self.knots.push((0.0, 0.0));
+    }
+
+    /// Reset to the CDS of a key column of `n` rows (`F = identity` on
+    /// `[0, n]`), in place.
+    pub fn make_key(&mut self, n: f64) {
+        self.make_empty();
+        if n > 0.0 {
+            self.knots.push((n, n));
+        }
+    }
+
+    /// [`PiecewiseLinear::pointwise_min`] writing into `out`'s reused knot
+    /// buffer (no allocation once `out` has capacity).
+    pub fn pointwise_min_into(&self, other: &PiecewiseLinear, out: &mut PiecewiseLinear) {
+        combine_knots_into(&self.knots, &other.knots, true, &mut out.knots);
+    }
+
+    /// Pointwise max followed by the concave envelope, writing into `out`.
+    /// `tmp` holds the raw (possibly non-concave) max between the passes.
+    pub fn pointwise_max_envelope_into(
+        &self,
+        other: &PiecewiseLinear,
+        tmp: &mut Vec<(f64, f64)>,
+        out: &mut PiecewiseLinear,
+    ) {
+        combine_knots_into(&self.knots, &other.knots, false, tmp);
+        envelope_knots_into(tmp, &mut out.knots);
+    }
+
+    /// [`PiecewiseLinear::pointwise_sum`] writing into `out`.
+    pub fn pointwise_sum_into(&self, other: &PiecewiseLinear, out: &mut PiecewiseLinear) {
+        sum_knots_into(&self.knots, &other.knots, &mut out.knots);
+    }
+
+    /// [`PiecewiseLinear::truncate_at`] writing into `out`.
+    pub fn truncate_at_into(&self, cap: f64, out: &mut PiecewiseLinear) {
+        let cap = cap.max(0.0);
+        if self.endpoint() <= cap + EPS {
+            out.copy_from(self);
+            return;
+        }
+        let x_cut = self.inverse(cap);
+        out.knots.clear();
+        for &(x, y) in &self.knots {
+            if x < x_cut - EPS {
+                out.knots.push((x, y));
+            } else {
+                break;
+            }
+        }
+        if out.knots.is_empty() {
+            out.knots.push((0.0, 0.0));
+        }
+        push_knot(&mut out.knots, x_cut.max(EPS * 2.0), cap);
+        if self.support() > x_cut + EPS {
+            push_knot(&mut out.knots, self.support(), cap);
+        }
     }
 
     /// `min(F, cap)` followed by a flat tail: dominates every CDS that is

@@ -37,6 +37,7 @@ use crate::piecewise::PiecewiseLinear;
 use crate::symbol::{Sym, SymbolTable};
 use safebound_storage::{Catalog, Column, DataType, Table, Value};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Key under which PK–FK-propagated statistics are stored in
@@ -145,6 +146,13 @@ pub struct SafeBoundStats {
     pub config: SafeBoundConfig,
     /// Wall-clock build time.
     pub build_time: Duration,
+    /// Process-unique id of this build. Everything a
+    /// [`BoundSession`](crate::estimator::BoundSession) caches (interned
+    /// symbols, plan column ids, propagation keys) is only valid against
+    /// the build that produced it; the session compares this id and
+    /// flushes its shape cache when the statistics underneath it change
+    /// (e.g. a rebuild after a data refresh).
+    pub build_id: u64,
 }
 
 impl SafeBoundStats {
@@ -204,11 +212,13 @@ impl SafeBoundBuilder {
             self.build_table(catalog, table, &symbols)
         });
         let tables = built.into_iter().map(|ts| (ts.table.clone(), ts)).collect();
+        static NEXT_BUILD_ID: AtomicU64 = AtomicU64::new(1);
         SafeBoundStats {
             tables,
             symbols,
             config: self.config.clone(),
             build_time: start.elapsed(),
+            build_id: NEXT_BUILD_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 

@@ -1,12 +1,20 @@
-//! Steady-state allocation audit for the FDSB hot path.
+//! Steady-state allocation audit for the online hot path.
 //!
 //! A counting global allocator wraps the system allocator; after one
 //! warm-up evaluation per plan shape, repeated `fdsb_with_scratch` calls
 //! must allocate **nothing** — every intermediate lives in the reused
-//! [`BoundScratch`] arena.
+//! [`BoundScratch`] arena. The same guarantee extends end to end: a warm
+//! [`BoundSession`] serves repeated query templates (same shape, any
+//! literals) through the shape cache and [`CdsScratch`](safebound_core::CdsScratch)
+//! pools without a single allocation, predicate resolution and stats
+//! assembly included.
 
-use safebound_core::{fdsb_with_scratch, BoundScratch, DegreeSequence, RelationBoundStats};
-use safebound_query::{BoundPlan, JoinGraph, Query, RelationRef};
+use safebound_core::{
+    fdsb_with_scratch, BoundScratch, BoundSession, DegreeSequence, RelationBoundStats, SafeBound,
+    SafeBoundConfig,
+};
+use safebound_query::{parse_sql, BoundPlan, JoinGraph, Query, RelationRef};
+use safebound_storage::{Catalog, Column, DataType, Field, Schema, Table};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -133,4 +141,95 @@ fn steady_state_holds_across_alternating_plans() {
         "alternating plans allocated {}",
         after - before
     );
+}
+
+/// A small fact/dimension catalog exercising equality, range, IN, and
+/// propagated predicates on the end-to-end path.
+fn end_to_end_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let dim = Table::new(
+        "dim",
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("w", DataType::Int),
+        ]),
+        vec![
+            Column::from_ints((0..8).map(Some)),
+            Column::from_ints((0..8).map(|i| Some(i % 3))),
+        ],
+    );
+    let mut fks = Vec::new();
+    let mut attr = Vec::new();
+    for v in 0i64..8 {
+        for r in 0..(16 / (v + 1)) {
+            fks.push(Some(v));
+            attr.push(Some(1990 + (r % 10)));
+        }
+    }
+    let fact = Table::new(
+        "fact",
+        Schema::new(vec![
+            Field::new("fk", DataType::Int),
+            Field::new("year", DataType::Int),
+        ]),
+        vec![Column::from_ints(fks), Column::from_ints(attr)],
+    );
+    c.add_table(dim);
+    c.add_table(fact);
+    c.declare_primary_key("dim", "id");
+    c.declare_foreign_key("fact", "fk", "dim", "id");
+    c
+}
+
+#[test]
+fn steady_state_cached_bound_allocates_nothing() {
+    let catalog = end_to_end_catalog();
+    let sb = SafeBound::build(&catalog, SafeBoundConfig::test_small());
+
+    // One repeated template, several literal instantiations (same shape):
+    // equality + range + IN + a propagated dimension predicate. Parsed up
+    // front — parsing itself naturally allocates.
+    let queries: Vec<Query> = [
+        "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year = 1992 AND d.w = 0",
+        "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year = 1995 AND d.w = 2",
+        "SELECT COUNT(*) FROM fact f, dim d \
+         WHERE f.fk = d.id AND f.year BETWEEN 1991 AND 1994 AND d.w IN (0, 1)",
+        "SELECT COUNT(*) FROM fact f, dim d \
+         WHERE f.fk = d.id AND f.year BETWEEN 1993 AND 1999 AND d.w IN (1, 2)",
+        "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year < 1990",
+        "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year > 1994",
+    ]
+    .iter()
+    .map(|sql| parse_sql(sql).unwrap())
+    .collect();
+
+    let mut session = BoundSession::default();
+    // Warm-up: build each shape and size the arena pools.
+    let warm: Vec<f64> = queries
+        .iter()
+        .map(|q| sb.bound_with_session(q, &mut session).unwrap())
+        .collect();
+    for q in &queries {
+        sb.bound_with_session(q, &mut session).unwrap();
+    }
+
+    // Steady state: not a single heap allocation across many queries.
+    let before = allocation_count();
+    let mut acc = 0.0;
+    for _ in 0..50 {
+        for q in &queries {
+            acc += sb.bound_with_session(q, &mut session).unwrap();
+        }
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state cached bound() allocated {} times over {} queries",
+        after - before,
+        50 * queries.len()
+    );
+    let expected: f64 = warm.iter().sum::<f64>() * 50.0;
+    assert!((acc - expected).abs() < 1e-6 * expected.abs().max(1.0));
+    assert_eq!(session.misses as usize, session.cached_shapes());
 }

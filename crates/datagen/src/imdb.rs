@@ -56,6 +56,28 @@ impl ImdbScale {
             skew: 1.1,
         }
     }
+
+    /// The largest built-in scale (~4× the default), for recording
+    /// full-scale benchmark numbers.
+    pub fn full() -> Self {
+        ImdbScale {
+            movies: 16000,
+            keywords: 500,
+            companies: 800,
+            persons: 6000,
+            skew: 1.1,
+        }
+    }
+
+    /// Resolve a `--scale` flag value (`tiny`, `default`, `full`).
+    pub fn named(name: &str) -> Option<Self> {
+        match name {
+            "tiny" => Some(Self::tiny()),
+            "default" => Some(Self::default()),
+            "full" => Some(Self::full()),
+            _ => None,
+        }
+    }
 }
 
 fn int_col(vals: Vec<i64>) -> Column {

@@ -39,6 +39,25 @@ impl StatsScale {
             skew: 1.2,
         }
     }
+
+    /// The largest built-in scale (~4× the default).
+    pub fn full() -> Self {
+        StatsScale {
+            users: 8000,
+            posts: 20000,
+            skew: 1.2,
+        }
+    }
+
+    /// Resolve a `--scale` flag value (`tiny`, `default`, `full`).
+    pub fn named(name: &str) -> Option<Self> {
+        match name {
+            "tiny" => Some(Self::tiny()),
+            "default" => Some(Self::default()),
+            "full" => Some(Self::full()),
+            _ => None,
+        }
+    }
 }
 
 fn int_col(vals: Vec<i64>) -> Column {

@@ -161,6 +161,93 @@ impl Predicate {
     }
 }
 
+impl Predicate {
+    /// True iff `other` has the same tree structure, columns, and
+    /// operators — literal values (and `IN` arities) are ignored. Part of
+    /// the [`Query::same_shape`] contract: everything an estimator caches
+    /// per shape must be independent of what this ignores.
+    pub fn same_shape(&self, other: &Predicate) -> bool {
+        match (self, other) {
+            (Predicate::Eq(a, _), Predicate::Eq(b, _)) => a == b,
+            (Predicate::Cmp(a, oa, _), Predicate::Cmp(b, ob, _)) => a == b && oa == ob,
+            (Predicate::Between(a, _, _), Predicate::Between(b, _, _)) => a == b,
+            (Predicate::Like(a, _), Predicate::Like(b, _)) => a == b,
+            (Predicate::In(a, _), Predicate::In(b, _)) => a == b,
+            (Predicate::And(pa), Predicate::And(pb)) | (Predicate::Or(pa), Predicate::Or(pb)) => {
+                pa.len() == pb.len() && pa.iter().zip(pb).all(|(x, y)| x.same_shape(y))
+            }
+            _ => false,
+        }
+    }
+
+    fn shape_hash_into(&self, h: &mut Fnv) {
+        match self {
+            Predicate::Eq(c, _) => {
+                h.usize(1);
+                h.str(c);
+            }
+            Predicate::Cmp(c, op, _) => {
+                h.usize(2);
+                h.str(c);
+                h.usize(*op as usize);
+            }
+            Predicate::Between(c, _, _) => {
+                h.usize(3);
+                h.str(c);
+            }
+            Predicate::Like(c, _) => {
+                h.usize(4);
+                h.str(c);
+            }
+            Predicate::In(c, _) => {
+                h.usize(5);
+                h.str(c);
+            }
+            Predicate::And(ps) => {
+                h.usize(6);
+                h.usize(ps.len());
+                for p in ps {
+                    p.shape_hash_into(h);
+                }
+            }
+            Predicate::Or(ps) => {
+                h.usize(7);
+                h.usize(ps.len());
+                for p in ps {
+                    p.shape_hash_into(h);
+                }
+            }
+        }
+    }
+}
+
+/// Allocation-free FNV-1a accumulator for shape hashing.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+    fn str(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+        self.byte(0xff); // delimiter
+    }
+    fn usize(&mut self, v: usize) {
+        for b in (v as u64).to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// SQL LIKE with `%` (any substring) and `_` (any char) wildcards.
 pub fn like_match(s: &str, pattern: &str) -> bool {
     // Dynamic programming over chars; patterns here are short.
@@ -264,6 +351,52 @@ impl Query {
     /// Number of relations.
     pub fn num_relations(&self) -> usize {
         self.relations.len()
+    }
+
+    /// A structural hash of the query's **shape**: the referenced tables,
+    /// the join topology, and the predicate tree shapes (columns and
+    /// operators — **not** literal values). Two queries with equal shapes
+    /// share spanning relaxations, join graphs, bound plans, and
+    /// join-column resolution, so estimators key their plan caches on
+    /// this. Use [`Query::same_shape`] to confirm a hash match.
+    pub fn shape_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.usize(self.relations.len());
+        for r in &self.relations {
+            h.str(&r.table);
+        }
+        h.usize(self.joins.len());
+        for j in &self.joins {
+            h.usize(j.left);
+            h.str(&j.left_column);
+            h.usize(j.right);
+            h.str(&j.right_column);
+        }
+        h.usize(self.predicates.len());
+        for (rel, p) in &self.predicates {
+            h.usize(*rel);
+            p.shape_hash_into(&mut h);
+        }
+        h.finish()
+    }
+
+    /// True iff `other` has the same shape (see [`Query::shape_hash`]):
+    /// identical tables, join edges, and predicate structure, ignoring
+    /// aliases and literal values.
+    pub fn same_shape(&self, other: &Query) -> bool {
+        self.relations.len() == other.relations.len()
+            && self
+                .relations
+                .iter()
+                .zip(&other.relations)
+                .all(|(a, b)| a.table == b.table)
+            && self.joins == other.joins
+            && self.predicates.len() == other.predicates.len()
+            && self
+                .predicates
+                .iter()
+                .zip(&other.predicates)
+                .all(|((ra, pa), (rb, pb))| ra == rb && pa.same_shape(pb))
     }
 
     /// The sub-query induced by a subset of relations (given as a bitmask
