@@ -9,14 +9,19 @@ use safebound_query::Query;
 /// estimates during plan enumeration reuse the same arena buffers and
 /// shape-cached plans (sub-query shapes repeat heavily across the
 /// enumeration lattice).
+///
+/// `inner` is the snapshot-handle API: it can be a clone of a serving
+/// handle, in which case a background
+/// [`swap_stats`](SafeBound::swap_stats) refreshes this estimator too
+/// (the session flushes itself on the next estimate).
 pub struct SafeBoundEstimator {
-    /// The underlying bound system.
+    /// The underlying bound system (cheaply cloneable handle).
     pub inner: SafeBound,
     session: BoundSession,
 }
 
 impl SafeBoundEstimator {
-    /// Wrap a built SafeBound instance.
+    /// Wrap a SafeBound handle (share one via `clone` across estimators).
     pub fn new(inner: SafeBound) -> Self {
         SafeBoundEstimator {
             inner,

@@ -15,7 +15,8 @@ use safebound_core::bound::{fdsb_reference, fdsb_with_scratch};
 use safebound_core::{BoundScratch, BoundSession, RelationBoundStats, SafeBound};
 use safebound_datagen::{imdb_catalog, job_light, ImdbScale};
 use safebound_exec::CardinalityEstimator;
-use safebound_query::BoundPlan;
+use safebound_query::{BoundPlan, Query};
+use safebound_serve::BoundService;
 use std::hint::black_box;
 use std::io::Write as _;
 use std::time::Instant;
@@ -70,8 +71,9 @@ fn main() {
     let build_start = Instant::now();
     let sb = SafeBound::build(&catalog, experiment_config());
     let build_secs = build_start.elapsed().as_secs_f64();
-    let stats_bytes = sb.stats.byte_size();
-    let num_cds_sets = sb.stats.num_sets();
+    let snapshot = sb.snapshot();
+    let stats_bytes = snapshot.byte_size();
+    let num_cds_sets = snapshot.num_sets();
 
     // Pre-resolve the kernel inputs (plan + per-relation CDS stats) so the
     // measurement isolates Algorithm 2 itself — the paper's "inference"
@@ -172,10 +174,95 @@ fn main() {
         black_box(acc);
     }) / num_queries;
 
+    // ---- Multi-worker serving throughput (safebound-serve pool) ----
+    //
+    // Two serving modes over the same JOB-light batch:
+    //  * request dispatch — one channel round-trip per query on a single
+    //    worker (the latency-path baseline a naive server pays);
+    //  * batched dispatch — one `bound_batch` per measurement, shape-hash
+    //    sharded across 1/2/4/8 workers, each worker answering its whole
+    //    slice from one warm session.
+    // Batched multi-worker throughput is the north-star number: it
+    // amortizes dispatch *and* scales across hardware threads.
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let single: Vec<Query> = queries.iter().map(|q| q.query.clone()).collect();
+    // A serving-size batch: several interleaved copies of JOB-light, as a
+    // saturated server would pull off its accept queue, shared by `Arc`
+    // so dispatch measures routing + computation rather than deep-copying
+    // the query list.
+    let reps = 4usize;
+    let batch: std::sync::Arc<[Query]> = (0..reps)
+        .flat_map(|_| single.iter().cloned())
+        .collect::<Vec<_>>()
+        .into();
+    let batch_queries = batch.len() as f64;
+    eprintln!("measuring serving throughput ({hw_threads} hardware threads)…");
+
+    // Correctness first: the pool must reproduce the session path bitwise.
+    {
+        let service = BoundService::new(sb.clone(), 4);
+        let pooled = service.bound_batch(&single);
+        for ((q, want), got) in queries.iter().zip(&cold_results).zip(pooled) {
+            let got = got.expect("workload bounds cleanly");
+            assert!(
+                got.to_bits() == want.to_bits(),
+                "{}: pooled {got} != direct {want}",
+                q.name
+            );
+        }
+    }
+
+    // Serving measurements involve real thread scheduling, which is noisy
+    // on small hosts (a descheduled worker poisons a whole sample): take
+    // the best of three medians — interference only ever subtracts from
+    // throughput, so the minimum time is the honest sustained figure.
+    let measure_best =
+        |f: &mut dyn FnMut()| (0..3).map(|_| measure(&mut *f)).fold(f64::MAX, f64::min);
+
+    let request_1w_qps = {
+        let service = BoundService::new(sb.clone(), 1);
+        for q in &single {
+            service.bound(q).unwrap(); // warm the worker's session
+        }
+        let ns_per_query = measure_best(&mut || {
+            for q in &single {
+                black_box(service.bound(q).unwrap());
+            }
+        }) / num_queries;
+        1e9 / ns_per_query
+    };
+
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut batched_qps = Vec::with_capacity(worker_counts.len());
+    for &workers in &worker_counts {
+        let service = BoundService::new(sb.clone(), workers);
+        service.bound_batch_shared(batch.clone());
+        service.bound_batch_shared(batch.clone()); // warm every worker's session
+        let ns_per_batch = measure_best(&mut || {
+            black_box(service.bound_batch_shared(batch.clone()));
+        });
+        batched_qps.push(batch_queries * 1e9 / ns_per_batch);
+    }
+    let qps_1w = batched_qps[0];
+    let qps_4w = batched_qps[2];
+    let batched_4w_vs_request_1w = qps_4w / request_1w_qps;
+    let batched_4w_vs_batched_1w = qps_4w / qps_1w;
+    // The serving gates are CI gates, defined on the tiny scale (CI runs
+    // tiny); larger recorded runs report the same numbers without
+    // asserting them.
+    let serving_gates = scale_name == "tiny";
+    let scaling_gate = if !serving_gates {
+        "recorded only (gates run at --scale tiny)"
+    } else if hw_threads >= 4 {
+        "enforced"
+    } else {
+        "skipped: fewer than 4 hardware threads (no parallel speedup possible)"
+    };
+
     let speedup = reference_ns_per_query / sweep_ns_per_query;
     let cache_speedup = cold_ns_per_query / cached_ns_per_query;
     let json = format!(
-        "{{\n  \"workload\": \"JOB-light (IMDB scale {scale_name}, seed 1)\",\n  \"queries\": {},\n  \"offline\": {{\n    \"stats_build_seconds\": {:.3},\n    \"stats_bytes\": {},\n    \"cds_sets\": {}\n  }},\n  \"kernel\": {{\n    \"safebound_sweep_ns_per_query\": {:.1},\n    \"safebound_reference_ns_per_query\": {:.1},\n    \"sweep_speedup\": {:.2}\n  }},\n  \"end_to_end\": {{\n    \"safebound_bound_cold_ns_per_query\": {:.1},\n    \"safebound_bound_cached_ns_per_query\": {:.1},\n    \"shape_cache_speedup\": {:.2},\n    \"postgres_estimate_ns_per_query\": {:.1},\n    \"simplicity_estimate_ns_per_query\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"workload\": \"JOB-light (IMDB scale {scale_name}, seed 1)\",\n  \"queries\": {},\n  \"offline\": {{\n    \"stats_build_seconds\": {:.3},\n    \"stats_bytes\": {},\n    \"cds_sets\": {}\n  }},\n  \"kernel\": {{\n    \"safebound_sweep_ns_per_query\": {:.1},\n    \"safebound_reference_ns_per_query\": {:.1},\n    \"sweep_speedup\": {:.2}\n  }},\n  \"end_to_end\": {{\n    \"safebound_bound_cold_ns_per_query\": {:.1},\n    \"safebound_bound_cached_ns_per_query\": {:.1},\n    \"shape_cache_speedup\": {:.2},\n    \"postgres_estimate_ns_per_query\": {:.1},\n    \"simplicity_estimate_ns_per_query\": {:.1}\n  }},\n  \"serving\": {{\n    \"hardware_threads\": {hw_threads},\n    \"request_dispatch_1_worker_qps\": {:.0},\n    \"batched_qps_by_workers\": {{\"1\": {:.0}, \"2\": {:.0}, \"4\": {:.0}, \"8\": {:.0}}},\n    \"batched_4w_vs_request_1w\": {batched_4w_vs_request_1w:.2},\n    \"batched_4w_vs_batched_1w\": {batched_4w_vs_batched_1w:.2},\n    \"hardware_scaling_gate\": \"{scaling_gate}\"\n  }}\n}}\n",
         queries.len(),
         build_secs,
         stats_bytes,
@@ -188,6 +275,11 @@ fn main() {
         cache_speedup,
         postgres_ns_per_query,
         simplicity_ns_per_query,
+        request_1w_qps,
+        batched_qps[0],
+        batched_qps[1],
+        batched_qps[2],
+        batched_qps[3],
     );
     print!("{json}");
     let mut f = std::fs::File::create(&out_path).expect("create output file");
@@ -195,7 +287,8 @@ fn main() {
     eprintln!(
         "kernel: sweep {sweep_ns_per_query:.0} ns/q vs reference {reference_ns_per_query:.0} ns/q \
          ({speedup:.2}×); end-to-end: cached {cached_ns_per_query:.0} ns/q vs cold \
-         {cold_ns_per_query:.0} ns/q ({cache_speedup:.2}×) → {out_path}"
+         {cold_ns_per_query:.0} ns/q ({cache_speedup:.2}×); serving: batched-4w {qps_4w:.0} q/s vs \
+         request-1w {request_1w_qps:.0} q/s ({batched_4w_vs_request_1w:.2}×) → {out_path}"
     );
     assert!(
         speedup >= 2.0,
@@ -205,4 +298,18 @@ fn main() {
         cache_speedup >= 2.0,
         "acceptance: shape-cached bound() must be ≥ 2× the cold path, got {cache_speedup:.2}×"
     );
+    if serving_gates {
+        assert!(
+            batched_4w_vs_request_1w >= 2.0,
+            "acceptance: batched 4-worker serving must be ≥ 2× single-worker request dispatch, \
+             got {batched_4w_vs_request_1w:.2}×"
+        );
+        if hw_threads >= 4 {
+            assert!(
+                batched_4w_vs_batched_1w >= 2.0,
+                "acceptance: with ≥4 hardware threads, 4 workers must be ≥ 2× 1 worker \
+                 (batched), got {batched_4w_vs_batched_1w:.2}×"
+            );
+        }
+    }
 }

@@ -639,8 +639,9 @@ pub fn ablation(workload: &Workload) -> Vec<AblationRow> {
         let t0 = Instant::now();
         let sb = safebound_core::SafeBound::build(&workload.catalog, config);
         let build_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let bytes = sb.stats.byte_size();
-        let num_sets = sb.stats.num_sets();
+        let snapshot = sb.snapshot();
+        let bytes = snapshot.byte_size();
+        let num_sets = snapshot.num_sets();
         let mut rels = Vec::new();
         let mut under = 0usize;
         for bq in &workload.queries {

@@ -142,7 +142,7 @@ impl<'a> MethodSet<'a> {
         let t = Instant::now();
         let sb = SafeBound::build(catalog, experiment_config());
         build_times.push((MethodKind::SafeBound, t.elapsed()));
-        byte_sizes.push((MethodKind::SafeBound, sb.stats.byte_size()));
+        byte_sizes.push((MethodKind::SafeBound, sb.snapshot().byte_size()));
         let safebound = SafeBoundEstimator::new(sb);
 
         let t = Instant::now();

@@ -12,25 +12,46 @@
 //! Berge-acyclic relaxation survives degrade to the cross-product of
 //! per-relation (conditioned) cardinality bounds instead of failing.
 //!
-//! # Architecture: shape cache + online arena
+//! # Architecture: shared snapshot, swappable handle, per-worker session
+//!
+//! The estimator splits into three layers with different sharing rules:
+//!
+//! * **[`StatsSnapshot`]** — the immutable, `Send + Sync` statistics
+//!   (symbol table, per-table CDS sets, conditioned stats). Everything
+//!   literal- and session-independent lives here, behind an `Arc`, shared
+//!   read-only by any number of serving threads.
+//! * **[`SafeBound`]** — a cheaply cloneable *handle*: an atomic build-id
+//!   mirror plus a mutex-protected `Arc<StatsSnapshot>` slot. A background
+//!   rebuild publishes a fresh snapshot with [`SafeBound::swap_stats`]
+//!   without pausing readers; the steady-state read path is one atomic
+//!   load (no lock) because each session caches the `Arc` it last used.
+//! * **[`BoundSession`]** — mutable per-worker state: the query-shape
+//!   cache, every arena the online path writes into, and the per-literal
+//!   MCV memo. Sessions detect a swapped snapshot by build id and
+//!   repopulate lazily.
 //!
 //! The expensive per-query work splits into two halves with different
 //! cacheability:
 //!
 //! * **Shape-dependent, literal-independent** — spanning-tree enumeration,
 //!   join-graph construction, [`BoundPlan`] building, join-column
-//!   resolution to interned ids, and the PK–FK propagation key strings.
-//!   A [`BoundSession`] memoizes all of it per query *shape*
-//!   ([`Query::shape_hash`] / [`Query::same_shape`]: tables + join
-//!   topology + predicate structure, not literals), so repeated query
-//!   templates skip straight to predicate resolution + kernel.
+//!   resolution to interned ids, and predicate-column resolution to dense
+//!   **filter slots** (including the PK–FK [`propagated_key`] composites,
+//!   whose string keys are looked up only here). A [`BoundSession`]
+//!   memoizes all of it per query *shape* ([`Query::shape_hash`] /
+//!   [`Query::same_shape`]: tables + join topology + predicate structure,
+//!   not literals), evicting the least-recently-used shape at capacity, so
+//!   repeated query templates skip straight to predicate resolution +
+//!   kernel with zero string lookups.
 //! * **Literal-dependent** — predicate resolution and statistics
 //!   assembly. These run per query but write every intermediate CDS into
-//!   the session's [`CdsScratch`] arena pools instead of cloning, and the
-//!   per-relation conditioned stats are resolved **once** and shared
-//!   across all of a cyclic query's relaxations (propagation uses the
-//!   original query's edges — a superset of every relaxation's edges —
-//!   which is sound and at least as tight).
+//!   the session's [`CdsScratch`] arena pools instead of cloning; repeated
+//!   equality literals (hot values) are additionally served from a
+//!   per-session memo of resolved MCV lookups. The per-relation
+//!   conditioned stats are resolved **once** and shared across all of a
+//!   cyclic query's relaxations (propagation uses the original query's
+//!   edges — a superset of every relaxation's edges — which is sound and
+//!   at least as tight).
 //!
 //! Together with the allocation-free FDSB kernel, a warm session performs
 //! **zero heap allocations per query** on the cached path for equality,
@@ -40,11 +61,13 @@
 use crate::bound::{fdsb_with_scratch, BoundError, BoundScratch, RelationBoundStats};
 use crate::conditioning::{CdsScratch, CdsSet, SetOp};
 use crate::config::SafeBoundConfig;
-use crate::stats::{propagated_key, FilterColumnStats, SafeBoundStats, TableStats};
+use crate::stats::{propagated_key, FilterColumnStats, StatsSnapshot, TableStats};
 use crate::symbol::Sym;
 use safebound_query::{BoundPlan, CmpOp, ColId, JoinGraph, Predicate, Query};
-use safebound_storage::Catalog;
+use safebound_storage::{Catalog, Value};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Errors from the online phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,10 +95,14 @@ impl From<BoundError> for EstimateError {
     }
 }
 
-/// Shape-cache entries kept before the cache is flushed wholesale (a
-/// backstop against unbounded growth under adversarial non-repeating
-/// traffic; real template workloads stay far below it).
+/// Default shape-cache capacity (a backstop against unbounded growth under
+/// adversarial non-repeating traffic; real template workloads stay far
+/// below it). At capacity the least-recently-used shape is evicted.
 const MAX_CACHED_SHAPES: usize = 1024;
+
+/// Cap on memoized per-literal MCV equality lookups per session (bounds
+/// session memory under adversarial literal churn; hot values stay in).
+const MAX_EQ_MEMO_VALUES: usize = 4096;
 
 /// Everything memoized for one query shape: the surviving acyclic
 /// relaxations' plans plus the literal-independent resolution directives.
@@ -83,10 +110,15 @@ const MAX_CACHED_SHAPES: usize = 1024;
 struct ShapeEntry {
     /// Shape exemplar (literal values are ignored by comparisons).
     shape: Query,
+    /// The exemplar's [`Query::shape_hash`] (needed to fix the session
+    /// index when entries move during LRU eviction).
+    hash: u64,
+    /// Session tick of the last hit (LRU ordering).
+    last_used: u64,
     /// One plan per Berge-acyclic relaxation that planned successfully.
     plans: Vec<PlanEntry>,
-    /// Per relation of the original query: pre-resolved PK–FK propagation
-    /// sources (shared by every relaxation).
+    /// Per relation of the original query: compiled predicate-resolution
+    /// directives (shared by every relaxation).
     resolution: Vec<RelResolution>,
 }
 
@@ -104,8 +136,10 @@ struct PlanEntry {
 /// Literal-independent resolution directives for one relation.
 #[derive(Debug, Default)]
 struct RelResolution {
+    /// The relation's own predicate, compiled to filter slots.
+    own: Option<PredSlots>,
     /// Predicates on other relations reachable through one original-query
-    /// join edge, with their `filter_stats` keys precomputed.
+    /// join edge, compiled against the fact side's propagated-key slots.
     propagations: Vec<Propagation>,
 }
 
@@ -114,9 +148,36 @@ struct RelResolution {
 struct Propagation {
     /// The joined relation whose predicate propagates here.
     other_rel: usize,
-    /// Predicate column name → precomputed [`propagated_key`] under which
-    /// the fact side stores the propagated statistics.
-    keys: Vec<(String, String)>,
+    /// The propagating predicate compiled to this relation's
+    /// [`propagated_key`] filter slots (the composite-key string lookups
+    /// happen once per shape, never per query).
+    slots: PredSlots,
+}
+
+/// A predicate tree's column references compiled to dense filter slots in
+/// the owning relation's [`TableStats`]. Mirrors the [`Predicate`]
+/// structure so resolution walks both trees in lockstep; `None` leaves are
+/// columns with no usable statistics.
+#[derive(Debug)]
+enum PredSlots {
+    /// One comparison leaf (`Eq`/`Cmp`/`Between`/`Like`/`In`).
+    Leaf(Option<u32>),
+    /// An `And`/`Or` node's children, in order.
+    Node(Vec<PredSlots>),
+}
+
+/// Compile a predicate tree's column names through a slot lookup.
+fn compile_slots(pred: &Predicate, lookup: &mut impl FnMut(&str) -> Option<u32>) -> PredSlots {
+    match pred {
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            PredSlots::Node(ps.iter().map(|p| compile_slots(p, lookup)).collect())
+        }
+        Predicate::Eq(c, _)
+        | Predicate::Cmp(c, _, _)
+        | Predicate::Between(c, _, _)
+        | Predicate::Like(c, _)
+        | Predicate::In(c, _) => PredSlots::Leaf(lookup(c)),
+    }
 }
 
 /// Conditioned-resolution output for one relation, reused across queries.
@@ -130,20 +191,71 @@ struct RelCond {
     card: f64,
 }
 
-/// Reusable per-thread state for [`SafeBound::bound_with_session`]: the
-/// query-shape plan/relaxation cache plus every arena the online path
-/// writes into ([`BoundScratch`] for the kernel, [`CdsScratch`] for
-/// predicate resolution and assembly, pooled per-relation stats). Hold one
-/// per serving thread; a warm session allocates nothing per query on the
-/// cached path.
+/// Per-session memo of resolved MCV equality lookups, keyed by
+/// `(table symbol, filter slot) → literal`. Hot literals (repeated
+/// equality / IN values) skip the Bloom-filter probe and group-max
+/// entirely; a hit copies the memoized set through the arena, so the warm
+/// path stays allocation-free. Flushed whenever the session attaches to a
+/// different statistics build.
 #[derive(Debug, Default)]
+struct EqMemo {
+    map: HashMap<(Sym, u32), HashMap<Value, CdsSet>>,
+    values: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl EqMemo {
+    fn lookup(&mut self, sym: Sym, slot: u32, v: &Value) -> Option<&CdsSet> {
+        match self.map.get(&(sym, slot)).and_then(|m| m.get(v)) {
+            Some(set) => {
+                self.hits += 1;
+                Some(set)
+            }
+            None => None,
+        }
+    }
+
+    fn insert(&mut self, sym: Sym, slot: u32, v: &Value, set: &CdsSet) {
+        self.misses += 1;
+        if self.values >= MAX_EQ_MEMO_VALUES {
+            return;
+        }
+        self.map
+            .entry((sym, slot))
+            .or_default()
+            .insert(v.clone(), set.clone());
+        self.values += 1;
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.values = 0;
+    }
+}
+
+/// Reusable per-thread (per-worker) state for the online path: the
+/// query-shape plan/relaxation cache with LRU eviction, the per-literal
+/// MCV memo, and every arena the online path writes into ([`BoundScratch`]
+/// for the kernel, [`CdsScratch`] for predicate resolution and assembly,
+/// pooled per-relation stats). Hold one per serving thread; a warm session
+/// allocates nothing per query on the cached path.
+///
+/// A session also pins the [`StatsSnapshot`] it last served from, so a
+/// concurrent [`SafeBound::swap_stats`] never invalidates statistics
+/// mid-query; the session notices the new build id on its next call and
+/// repopulates lazily.
+#[derive(Debug)]
 pub struct BoundSession {
+    /// Snapshot the cached state was compiled against (`None` = fresh).
+    snapshot: Option<Arc<StatsSnapshot>>,
     shapes: Vec<ShapeEntry>,
     index: HashMap<u64, Vec<usize>>,
-    /// `build_id` of the statistics the cached shapes were planned
-    /// against (0 = none yet). Cached symbols/plan ids are meaningless
-    /// under any other build, so a mismatch flushes the cache.
-    stats_build_id: u64,
+    /// Max cached shapes before LRU eviction.
+    shape_capacity: usize,
+    /// Monotone access counter driving LRU ordering.
+    tick: u64,
+    eq_memo: EqMemo,
     kernel: BoundScratch,
     cds: CdsScratch,
     rel_stats: Vec<RelationBoundStats>,
@@ -152,33 +264,178 @@ pub struct BoundSession {
     pub hits: u64,
     /// Shape-cache misses (shape builds) since creation.
     pub misses: u64,
+    /// Shapes evicted (LRU) since creation.
+    pub evictions: u64,
+}
+
+impl Default for BoundSession {
+    fn default() -> Self {
+        BoundSession::with_shape_capacity(MAX_CACHED_SHAPES)
+    }
 }
 
 impl BoundSession {
+    /// A fresh session with the default shape-cache capacity.
+    pub fn new() -> Self {
+        BoundSession::default()
+    }
+
+    /// A fresh session evicting the least-recently-used shape beyond
+    /// `capacity` cached shapes (min 1).
+    pub fn with_shape_capacity(capacity: usize) -> Self {
+        BoundSession {
+            snapshot: None,
+            shapes: Vec::new(),
+            index: HashMap::new(),
+            shape_capacity: capacity.max(1),
+            tick: 0,
+            eq_memo: EqMemo::default(),
+            kernel: BoundScratch::default(),
+            cds: CdsScratch::default(),
+            rel_stats: Vec::new(),
+            cond: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
     /// Number of cached query shapes.
     pub fn cached_shapes(&self) -> usize {
         self.shapes.len()
     }
+
+    /// `build_id` of the statistics the cached state was compiled against
+    /// (0 = none yet).
+    pub fn stats_build_id(&self) -> u64 {
+        self.snapshot.as_ref().map_or(0, |s| s.build_id)
+    }
+
+    /// Memoized MCV equality lookups served (hot-literal hits).
+    pub fn eq_memo_hits(&self) -> u64 {
+        self.eq_memo.hits
+    }
+
+    /// MCV equality lookups that went to the Bloom/group machinery.
+    pub fn eq_memo_misses(&self) -> u64 {
+        self.eq_memo.misses
+    }
+
+    /// Re-target the session at a (different) snapshot: cached shapes,
+    /// slots, and memoized lookups are meaningless under any other build.
+    fn attach(&mut self, snap: &Arc<StatsSnapshot>) {
+        self.shapes.clear();
+        self.index.clear();
+        self.eq_memo.clear();
+        self.snapshot = Some(snap.clone());
+    }
+
+    /// Evict the least-recently-used shape, keeping the hash index dense.
+    fn evict_lru(&mut self) {
+        let Some(victim) = self
+            .shapes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        let hash = self.shapes[victim].hash;
+        if let Some(bucket) = self.index.get_mut(&hash) {
+            bucket.retain(|&i| i != victim);
+            if bucket.is_empty() {
+                self.index.remove(&hash);
+            }
+        }
+        let last = self.shapes.len() - 1;
+        self.shapes.swap_remove(victim);
+        if victim != last {
+            // The former tail moved into the vacated slot; re-point it.
+            let moved_hash = self.shapes[victim].hash;
+            if let Some(bucket) = self.index.get_mut(&moved_hash) {
+                for i in bucket.iter_mut() {
+                    if *i == last {
+                        *i = victim;
+                    }
+                }
+            }
+        }
+        self.evictions += 1;
+    }
 }
 
-/// The SafeBound estimator: pre-built statistics plus the online bound
-/// computation.
+/// Interior of a [`SafeBound`] handle: the published snapshot plus an
+/// atomic mirror of its build id for the lock-free read fast path.
+#[derive(Debug)]
+struct StatsCell {
+    /// Mirrors `current.build_id`; readers whose session already holds the
+    /// matching snapshot skip the mutex entirely.
+    build_id: AtomicU64,
+    current: Mutex<Arc<StatsSnapshot>>,
+}
+
+/// The SafeBound estimator handle: a cheaply cloneable, thread-safe view
+/// onto the current [`StatsSnapshot`].
+///
+/// Clone one handle per worker; all clones observe
+/// [`SafeBound::swap_stats`] — the hot-swap a background rebuild uses to
+/// publish fresh statistics without pausing readers. In-flight queries
+/// keep the snapshot they started with alive through their session's
+/// `Arc`; subsequent queries pick up the new build and repopulate their
+/// session caches lazily.
 #[derive(Debug, Clone)]
 pub struct SafeBound {
-    /// The offline-phase statistics.
-    pub stats: SafeBoundStats,
+    cell: Arc<StatsCell>,
 }
 
 impl SafeBound {
     /// Build SafeBound over a catalog (runs the offline phase).
     pub fn build(catalog: &Catalog, config: SafeBoundConfig) -> Self {
         let stats = crate::stats::SafeBoundBuilder::new(config).build(catalog);
-        SafeBound { stats }
+        SafeBound::from_stats(stats)
     }
 
     /// Wrap pre-built statistics.
-    pub fn from_stats(stats: SafeBoundStats) -> Self {
-        SafeBound { stats }
+    pub fn from_stats(stats: StatsSnapshot) -> Self {
+        let snap = Arc::new(stats);
+        SafeBound {
+            cell: Arc::new(StatsCell {
+                build_id: AtomicU64::new(snap.build_id),
+                current: Mutex::new(snap),
+            }),
+        }
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<StatsSnapshot> {
+        self.cell
+            .current
+            .lock()
+            .expect("stats slot poisoned")
+            .clone()
+    }
+
+    /// Build id of the currently published snapshot (one atomic load).
+    pub fn build_id(&self) -> u64 {
+        self.cell.build_id.load(Ordering::Acquire)
+    }
+
+    /// Publish a freshly built snapshot to every clone of this handle
+    /// (hot swap; e.g. after a data refresh rebuilt statistics in the
+    /// background). Readers are never paused: queries already running
+    /// finish against the snapshot they started with, and each session
+    /// flushes its caches lazily when it next observes the new build id.
+    /// Returns the published snapshot.
+    pub fn swap_stats(&self, stats: StatsSnapshot) -> Arc<StatsSnapshot> {
+        let snap = Arc::new(stats);
+        let mut cur = self.cell.current.lock().expect("stats slot poisoned");
+        *cur = snap.clone();
+        // Publish the id while holding the lock so a reader that sees the
+        // new id and misses its session cache always finds the new Arc.
+        self.cell.build_id.store(snap.build_id, Ordering::Release);
+        drop(cur);
+        snap
     }
 
     /// A guaranteed upper bound on the query's output cardinality.
@@ -192,8 +449,57 @@ impl SafeBound {
 
     /// [`SafeBound::bound`] with a caller-provided session: the query's
     /// shape is planned once and memoized, and all per-query intermediates
-    /// live in the session's arenas.
+    /// live in the session's arenas. When the session already tracks the
+    /// current build, this is lock-free (one atomic load).
     pub fn bound_with_session(
+        &self,
+        query: &Query,
+        session: &mut BoundSession,
+    ) -> Result<f64, EstimateError> {
+        let current = self.build_id();
+        let snap = match &session.snapshot {
+            Some(s) if s.build_id == current => s.clone(),
+            _ => self.snapshot(),
+        };
+        snap.bound_with_session(query, session)
+    }
+
+    /// The per-relaxation FDSB kernel inputs for a query, against the
+    /// current snapshot; see [`StatsSnapshot::bound_inputs`].
+    pub fn bound_inputs(
+        &self,
+        query: &Query,
+    ) -> Result<Vec<(BoundPlan, Vec<RelationBoundStats>)>, EstimateError> {
+        self.snapshot().bound_inputs(query)
+    }
+}
+
+impl StatsSnapshot {
+    /// A guaranteed upper bound on the query's output cardinality,
+    /// evaluated directly against this shared snapshot with a per-worker
+    /// session. This is the engine under [`SafeBound::bound_with_session`];
+    /// serving threads that already hold an `Arc<StatsSnapshot>` can call
+    /// it without going through a handle.
+    pub fn bound_with_session(
+        self: &Arc<Self>,
+        query: &Query,
+        session: &mut BoundSession,
+    ) -> Result<f64, EstimateError> {
+        // A session may outlive a statistics swap (data refresh): cached
+        // plans' interned symbols, filter slots, and memoized lookups are
+        // only valid against the build that produced them.
+        if session
+            .snapshot
+            .as_ref()
+            .is_none_or(|s| s.build_id != self.build_id)
+        {
+            session.attach(self);
+        }
+        self.bound_cached(query, session)
+    }
+
+    /// The cached-path evaluation (session already attached to `self`).
+    fn bound_cached(
         &self,
         query: &Query,
         session: &mut BoundSession,
@@ -201,15 +507,9 @@ impl SafeBound {
         if query.num_relations() == 0 {
             return Ok(0.0);
         }
-        // A session may outlive a statistics rebuild (data refresh): the
-        // cached plans' interned symbols are only valid against the build
-        // that produced them, so flush on mismatch.
-        if session.stats_build_id != self.stats.build_id {
-            session.shapes.clear();
-            session.index.clear();
-            session.stats_build_id = self.stats.build_id;
-        }
         let hash = query.shape_hash();
+        session.tick += 1;
+        let tick = session.tick;
         let cached = session.index.get(&hash).and_then(|bucket| {
             bucket
                 .iter()
@@ -219,15 +519,15 @@ impl SafeBound {
         let idx = match cached {
             Some(i) => {
                 session.hits += 1;
+                session.shapes[i].last_used = tick;
                 i
             }
             None => {
                 session.misses += 1;
-                if session.shapes.len() >= MAX_CACHED_SHAPES {
-                    session.shapes.clear();
-                    session.index.clear();
+                if session.shapes.len() >= session.shape_capacity {
+                    session.evict_lru();
                 }
-                let entry = self.build_shape_entry(query);
+                let entry = self.build_shape_entry(query, hash, tick);
                 session.shapes.push(entry);
                 let i = session.shapes.len() - 1;
                 session.index.entry(hash).or_default().push(i);
@@ -237,6 +537,7 @@ impl SafeBound {
 
         let BoundSession {
             shapes,
+            eq_memo,
             kernel,
             cds,
             rel_stats,
@@ -244,7 +545,7 @@ impl SafeBound {
             ..
         } = session;
         let entry = &shapes[idx];
-        self.resolve_relations(query, entry, cds, cond)?;
+        self.resolve_relations(query, entry, cds, eq_memo, cond)?;
 
         let n = query.num_relations();
         while rel_stats.len() < n {
@@ -254,7 +555,6 @@ impl SafeBound {
         for pe in &entry.plans {
             for rel in 0..n {
                 let ts = self
-                    .stats
                     .tables
                     .get(&query.relations[rel].table)
                     .expect("tables validated during resolution");
@@ -277,12 +577,12 @@ impl SafeBound {
     }
 
     /// The per-relaxation FDSB kernel inputs for a query — exactly what
-    /// [`SafeBound::bound`] evaluates (one `(plan, stats)` pair per
-    /// acyclic relaxation; the bound is their minimum, with a
-    /// cross-product fallback when the list is empty). Exposed so
-    /// benchmarks and tests can drive [`crate::bound::fdsb_with_scratch`]
-    /// and [`crate::bound::fdsb_reference`] on identical inputs. Shares
-    /// the shape-building and assembly code with the cached path.
+    /// the bound evaluates (one `(plan, stats)` pair per acyclic
+    /// relaxation; the bound is their minimum, with a cross-product
+    /// fallback when the list is empty). Exposed so benchmarks and tests
+    /// can drive [`crate::bound::fdsb_with_scratch`] and
+    /// [`crate::bound::fdsb_reference`] on identical inputs. Shares the
+    /// shape-building and assembly code with the cached path.
     pub fn bound_inputs(
         &self,
         query: &Query,
@@ -290,10 +590,11 @@ impl SafeBound {
         if query.num_relations() == 0 {
             return Ok(Vec::new());
         }
-        let entry = self.build_shape_entry(query);
+        let entry = self.build_shape_entry(query, query.shape_hash(), 0);
         let mut cds = CdsScratch::default();
+        let mut memo = EqMemo::default();
         let mut cond = Vec::new();
-        self.resolve_relations(query, &entry, &mut cds, &mut cond)?;
+        self.resolve_relations(query, &entry, &mut cds, &mut memo, &mut cond)?;
         let n = query.num_relations();
         let mut out = Vec::with_capacity(entry.plans.len());
         for pe in &entry.plans {
@@ -301,7 +602,6 @@ impl SafeBound {
             #[allow(clippy::needless_range_loop)] // four parallel arrays indexed by relation
             for rel in 0..n {
                 let ts = self
-                    .stats
                     .tables
                     .get(&query.relations[rel].table)
                     .expect("tables validated during resolution");
@@ -316,8 +616,9 @@ impl SafeBound {
 
     /// Build the memoized artifacts for a query shape: enumerate spanning
     /// relaxations, plan the Berge-acyclic ones, resolve join columns to
-    /// plan ids and interned symbols, and precompute PK–FK propagation
-    /// keys from the **original** query's edges.
+    /// plan ids and interned symbols, and compile every predicate column —
+    /// own and PK–FK-propagated (from the **original** query's edges) — to
+    /// dense filter slots, so the per-query path never touches a string.
     ///
     /// Propagating along all original edges (rather than each
     /// relaxation's surviving subset) is sound: a fact row in the original
@@ -326,9 +627,9 @@ impl SafeBound {
     /// conditioned row set still contains every result row — and sharing
     /// it across relaxations both tightens cyclic bounds and lets the
     /// resolution run once per query.
-    fn build_shape_entry(&self, query: &Query) -> ShapeEntry {
+    fn build_shape_entry(&self, query: &Query, hash: u64, tick: u64) -> ShapeEntry {
         let relaxations =
-            safebound_query::spanning_relaxations(query, self.stats.config.spanning_tree_cap);
+            safebound_query::spanning_relaxations(query, self.config.spanning_tree_cap);
         let mut plans = Vec::new();
         for rq in &relaxations {
             let graph = JoinGraph::new(rq);
@@ -347,7 +648,7 @@ impl SafeBound {
                 for &(rel, ref col) in &var.attrs {
                     let Some(id) = plan.col_id(col) else { continue };
                     if !join_cols[rel].iter().any(|(i, _)| *i == id) {
-                        join_cols[rel].push((id, self.stats.symbols.lookup(col)));
+                        join_cols[rel].push((id, self.symbols.lookup(col)));
                     }
                 }
             }
@@ -357,6 +658,13 @@ impl SafeBound {
         let mut resolution: Vec<RelResolution> = (0..query.num_relations())
             .map(|_| RelResolution::default())
             .collect();
+        #[allow(clippy::needless_range_loop)] // resolution parallels query.relations
+        for rel in 0..query.num_relations() {
+            let ts = self.tables.get(&query.relations[rel].table);
+            resolution[rel].own = query
+                .predicate_of(rel)
+                .map(|p| compile_slots(p, &mut |c| ts.and_then(|t| t.filter_slot(c))));
+        }
         for edge in &query.joins {
             if edge.left == edge.right {
                 // A degenerate self-edge constrains a row against itself;
@@ -374,24 +682,22 @@ impl SafeBound {
                 let Some(pred) = query.predicate_of(other_rel) else {
                     continue;
                 };
+                let ts = self.tables.get(&query.relations[rel].table);
                 let other_table = &query.relations[other_rel].table;
-                let keys = pred
-                    .columns()
-                    .iter()
-                    .map(|c| {
-                        (
-                            c.to_string(),
-                            propagated_key(my_col, other_table, other_col, c),
-                        )
+                let slots = compile_slots(pred, &mut |c| {
+                    ts.and_then(|t| {
+                        t.filter_slot(&propagated_key(my_col, other_table, other_col, c))
                     })
-                    .collect();
+                });
                 resolution[rel]
                     .propagations
-                    .push(Propagation { other_rel, keys });
+                    .push(Propagation { other_rel, slots });
             }
         }
         ShapeEntry {
             shape: query.clone(),
+            hash,
+            last_used: tick,
             plans,
             resolution,
         }
@@ -405,6 +711,7 @@ impl SafeBound {
         query: &Query,
         entry: &ShapeEntry,
         cds: &mut CdsScratch,
+        memo: &mut EqMemo,
         cond: &mut Vec<RelCond>,
     ) -> Result<(), EstimateError> {
         let n = query.num_relations();
@@ -415,7 +722,6 @@ impl SafeBound {
         for rel in 0..n {
             let table_name = &query.relations[rel].table;
             let ts = self
-                .stats
                 .tables
                 .get(table_name)
                 .ok_or_else(|| EstimateError::UnknownTable(table_name.clone()))?;
@@ -423,24 +729,19 @@ impl SafeBound {
             rc.has_cond = false;
 
             // 1. Condition on the relation's own predicates.
-            if let Some(p) = query.predicate_of(rel) {
-                let lookup = |c: &str| ts.filter_stats.get(c);
-                apply_resolved(&lookup, p, cds, rc);
+            if let (Some(p), Some(slots)) =
+                (query.predicate_of(rel), entry.resolution[rel].own.as_ref())
+            {
+                apply_compiled(ts, slots, p, cds, memo, rc);
             }
 
             // 2. PK–FK propagation: predicates on joined dimension tables,
-            //    via the shape entry's precomputed keys.
+            //    via the shape entry's pre-compiled slots.
             for prop in &entry.resolution[rel].propagations {
                 let Some(pred) = query.predicate_of(prop.other_rel) else {
                     continue;
                 };
-                let lookup = |c: &str| {
-                    prop.keys
-                        .iter()
-                        .find(|(col, _)| col == c)
-                        .and_then(|(_, key)| ts.filter_stats.get(key.as_str()))
-                };
-                apply_resolved(&lookup, pred, cds, rc);
+                apply_compiled(ts, &prop.slots, pred, cds, memo, rc);
             }
 
             rc.card = ts.row_count as f64;
@@ -452,14 +753,27 @@ impl SafeBound {
     }
 }
 
-/// Resolve one predicate tree and fold it into a relation's conditioned
-/// slot (first resolution assigns, later ones take the pointwise min).
-fn apply_resolved<'a, F>(lookup: &F, pred: &Predicate, cds: &mut CdsScratch, rc: &mut RelCond)
-where
-    F: Fn(&str) -> Option<&'a FilterColumnStats>,
-{
+/// Resolve one compiled predicate tree and fold it into a relation's
+/// conditioned slot (first resolution assigns, later ones take the
+/// pointwise min).
+fn apply_compiled(
+    ts: &TableStats,
+    slots: &PredSlots,
+    pred: &Predicate,
+    cds: &mut CdsScratch,
+    memo: &mut EqMemo,
+    rc: &mut RelCond,
+) {
     let mut tmp = cds.take_set();
-    if resolve_predicate_into(lookup, pred, cds, &mut tmp) {
+    if resolve_slots(
+        &|s| ts.filter_at(s),
+        Some(ts.table_sym),
+        slots,
+        pred,
+        cds,
+        memo,
+        &mut tmp,
+    ) {
         if rc.has_cond {
             rc.set.accumulate(&tmp, SetOp::Min, cds);
             cds.put_set(tmp);
@@ -471,6 +785,187 @@ where
         }
     } else {
         cds.put_set(tmp);
+    }
+}
+
+/// MCV equality lookup, memoized when `memo_key` names the table/slot the
+/// literal resolves under: hot literals copy the memoized set straight
+/// from the memo (no Bloom probe, no group max).
+fn memo_eq(
+    fs: &FilterColumnStats,
+    memo_key: Option<(Sym, u32)>,
+    v: &Value,
+    scratch: &mut CdsScratch,
+    memo: &mut EqMemo,
+    out: &mut CdsSet,
+) {
+    let Some((sym, slot)) = memo_key else {
+        fs.mcv.lookup_eq_into(v, scratch, out);
+        return;
+    };
+    if let Some(set) = memo.lookup(sym, slot, v) {
+        scratch.copy_set(set, out);
+        return;
+    }
+    fs.mcv.lookup_eq_into(v, scratch, out);
+    memo.insert(sym, slot, v, out);
+}
+
+/// **The** predicate resolver: one copy of the soundness-critical
+/// Eq/Cmp/Between/Like/In/And/Or logic, shared by the cached online path
+/// and the string-keyed [`resolve_predicate`] adapter.
+///
+/// The slot tree mirrors the predicate's structure (guaranteed by the
+/// shape cache on the cached path, by construction in the adapter), so
+/// every leaf addresses its [`FilterColumnStats`] through `stats_at` by
+/// dense index — no string lookups. Equality literals go through the memo
+/// when `memo_sym` identifies the owning table (`None` disables
+/// memoization for one-shot resolution).
+fn resolve_slots<'a>(
+    stats_at: &impl Fn(u32) -> &'a FilterColumnStats,
+    memo_sym: Option<Sym>,
+    slots: &PredSlots,
+    pred: &Predicate,
+    scratch: &mut CdsScratch,
+    memo: &mut EqMemo,
+    out: &mut CdsSet,
+) -> bool {
+    match (pred, slots) {
+        (Predicate::Eq(_, v), &PredSlots::Leaf(slot)) => {
+            let Some(slot) = slot else { return false };
+            let key = memo_sym.map(|sym| (sym, slot));
+            memo_eq(stats_at(slot), key, v, scratch, memo, out);
+            true
+        }
+        (Predicate::Cmp(_, op, v), &PredSlots::Leaf(slot)) => {
+            let Some(slot) = slot else { return false };
+            let fs = stats_at(slot);
+            let Some(hist) = fs.histogram.as_ref() else {
+                return false;
+            };
+            let (Some(min), Some(max)) = (hist.min_value(), hist.max_value()) else {
+                return false;
+            };
+            // Strict and non-strict comparisons resolve against the same
+            // inclusive bucket ranges — over-coverage is sound — but a
+            // literal outside the histogram domain must not invert the
+            // range: a provably empty selection yields the zero set, and
+            // everything else is clamped into `[min, max]`.
+            let empty = match op {
+                CmpOp::Lt => v <= min,
+                CmpOp::Le => v < min,
+                CmpOp::Gt => v >= max,
+                CmpOp::Ge => v > max,
+            };
+            if empty {
+                fs.mcv.zero_set_into(scratch, out);
+                return true;
+            }
+            let (lo, hi) = match op {
+                CmpOp::Lt | CmpOp::Le => (min, if v < max { v } else { max }),
+                CmpOp::Gt | CmpOp::Ge => (if v > min { v } else { min }, max),
+            };
+            match hist.lookup_range_ref(lo, hi) {
+                Some(set) => {
+                    scratch.copy_set(set, out);
+                    true
+                }
+                None => false,
+            }
+        }
+        (Predicate::Between(_, lo, hi), &PredSlots::Leaf(slot)) => {
+            let Some(slot) = slot else { return false };
+            let fs = stats_at(slot);
+            if hi < lo {
+                // Inverted range: provably empty selection.
+                fs.mcv.zero_set_into(scratch, out);
+                return true;
+            }
+            let Some(hist) = fs.histogram.as_ref() else {
+                return false;
+            };
+            match hist.lookup_range_ref(lo, hi) {
+                Some(set) => {
+                    scratch.copy_set(set, out);
+                    true
+                }
+                None => false,
+            }
+        }
+        (Predicate::Like(_, pattern), &PredSlots::Leaf(slot)) => {
+            let Some(slot) = slot else { return false };
+            let Some(ng) = stats_at(slot).ngrams.as_ref() else {
+                return false;
+            };
+            ng.lookup_like_into(pattern, scratch, out)
+        }
+        (Predicate::In(_, values), &PredSlots::Leaf(slot)) => {
+            let Some(slot) = slot else { return false };
+            if values.is_empty() {
+                return false;
+            }
+            // Duplicate literals must not double-count through the sum:
+            // `IN (x, x)` is `IN (x)`.
+            let fs = stats_at(slot);
+            let key = memo_sym.map(|sym| (sym, slot));
+            let mut tmp = scratch.take_set();
+            let mut any = false;
+            for (i, v) in values.iter().enumerate() {
+                if values[..i].contains(v) {
+                    continue;
+                }
+                if !any {
+                    memo_eq(fs, key, v, scratch, memo, out);
+                    any = true;
+                } else {
+                    memo_eq(fs, key, v, scratch, memo, &mut tmp);
+                    out.accumulate(&tmp, SetOp::Sum, scratch);
+                }
+            }
+            scratch.put_set(tmp);
+            any
+        }
+        (Predicate::And(ps), PredSlots::Node(ss)) => {
+            // Pointwise min over whichever conjuncts resolve (§3.3).
+            let mut tmp = scratch.take_set();
+            let mut any = false;
+            for (p, s) in ps.iter().zip(ss) {
+                if !any {
+                    any = resolve_slots(stats_at, memo_sym, s, p, scratch, memo, out);
+                } else if resolve_slots(stats_at, memo_sym, s, p, scratch, memo, &mut tmp) {
+                    out.accumulate(&tmp, SetOp::Min, scratch);
+                }
+            }
+            scratch.put_set(tmp);
+            any
+        }
+        (Predicate::Or(ps), PredSlots::Node(ss)) => {
+            // Every disjunct must resolve or the sum under-counts (§3.2).
+            let mut tmp = scratch.take_set();
+            let mut any = false;
+            let mut ok = true;
+            for (p, s) in ps.iter().zip(ss) {
+                if !any {
+                    if resolve_slots(stats_at, memo_sym, s, p, scratch, memo, out) {
+                        any = true;
+                    } else {
+                        ok = false;
+                        break;
+                    }
+                } else if resolve_slots(stats_at, memo_sym, s, p, scratch, memo, &mut tmp) {
+                    out.accumulate(&tmp, SetOp::Sum, scratch);
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+            scratch.put_set(tmp);
+            ok && any
+        }
+        _ => {
+            debug_assert!(false, "predicate/slot shape mismatch");
+            false
+        }
     }
 }
 
@@ -533,156 +1028,36 @@ fn assemble_into(
 /// Resolve a predicate tree to a conditioned CDS set via a column-stats
 /// lookup. `None` means "no usable statistics" — the caller falls back to
 /// unconditioned CDSs, which is always sound.
+///
+/// This string-keyed entry point (offline use, tests) is a thin adapter:
+/// it compiles the predicate's columns into a transient leaf table and
+/// delegates to the same resolver the cached online path runs, so the
+/// soundness-critical Eq/Cmp/Between/Like/In/And/Or semantics exist in
+/// exactly one place.
 pub fn resolve_predicate<'a, F>(lookup: &F, pred: &Predicate) -> Option<CdsSet>
 where
     F: Fn(&str) -> Option<&'a FilterColumnStats>,
 {
+    let mut leaves: Vec<&FilterColumnStats> = Vec::new();
+    let slots = compile_slots(pred, &mut |c| {
+        lookup(c).map(|fs| {
+            leaves.push(fs);
+            (leaves.len() - 1) as u32
+        })
+    });
     let mut scratch = CdsScratch::default();
+    let mut memo = EqMemo::default();
     let mut out = CdsSet::default();
-    resolve_predicate_into(lookup, pred, &mut scratch, &mut out).then_some(out)
-}
-
-/// [`resolve_predicate`] writing into `out` through the `scratch` pools
-/// (no steady-state allocation except for LIKE n-gram extraction).
-/// Returns `false` when no usable statistics exist — `out` holds garbage
-/// and must be ignored; a `true` return always fully overwrites `out`.
-pub fn resolve_predicate_into<'a, F>(
-    lookup: &F,
-    pred: &Predicate,
-    scratch: &mut CdsScratch,
-    out: &mut CdsSet,
-) -> bool
-where
-    F: Fn(&str) -> Option<&'a FilterColumnStats>,
-{
-    match pred {
-        Predicate::Eq(col, v) => {
-            let Some(fs) = lookup(col) else { return false };
-            fs.mcv.lookup_eq_into(v, scratch, out);
-            true
-        }
-        Predicate::Cmp(col, op, v) => {
-            let Some(fs) = lookup(col) else { return false };
-            let Some(hist) = fs.histogram.as_ref() else {
-                return false;
-            };
-            let (Some(min), Some(max)) = (hist.min_value(), hist.max_value()) else {
-                return false;
-            };
-            // Strict and non-strict comparisons resolve against the same
-            // inclusive bucket ranges — over-coverage is sound — but a
-            // literal outside the histogram domain must not invert the
-            // range: a provably empty selection yields the zero set, and
-            // everything else is clamped into `[min, max]`.
-            let empty = match op {
-                CmpOp::Lt => v <= min,
-                CmpOp::Le => v < min,
-                CmpOp::Gt => v >= max,
-                CmpOp::Ge => v > max,
-            };
-            if empty {
-                fs.mcv.zero_set_into(scratch, out);
-                return true;
-            }
-            let (lo, hi) = match op {
-                CmpOp::Lt | CmpOp::Le => (min, if v < max { v } else { max }),
-                CmpOp::Gt | CmpOp::Ge => (if v > min { v } else { min }, max),
-            };
-            match hist.lookup_range_ref(lo, hi) {
-                Some(set) => {
-                    scratch.copy_set(set, out);
-                    true
-                }
-                None => false,
-            }
-        }
-        Predicate::Between(col, lo, hi) => {
-            let Some(fs) = lookup(col) else { return false };
-            if hi < lo {
-                // Inverted range: provably empty selection.
-                fs.mcv.zero_set_into(scratch, out);
-                return true;
-            }
-            let Some(hist) = fs.histogram.as_ref() else {
-                return false;
-            };
-            match hist.lookup_range_ref(lo, hi) {
-                Some(set) => {
-                    scratch.copy_set(set, out);
-                    true
-                }
-                None => false,
-            }
-        }
-        Predicate::Like(col, pattern) => {
-            let Some(fs) = lookup(col) else { return false };
-            let Some(ng) = fs.ngrams.as_ref() else {
-                return false;
-            };
-            ng.lookup_like_into(pattern, scratch, out)
-        }
-        Predicate::In(col, values) => {
-            let Some(fs) = lookup(col) else { return false };
-            if values.is_empty() {
-                return false;
-            }
-            // Duplicate literals must not double-count through the sum:
-            // `IN (x, x)` is `IN (x)`.
-            let mut tmp = scratch.take_set();
-            let mut any = false;
-            for (i, v) in values.iter().enumerate() {
-                if values[..i].contains(v) {
-                    continue;
-                }
-                if !any {
-                    fs.mcv.lookup_eq_into(v, scratch, out);
-                    any = true;
-                } else {
-                    fs.mcv.lookup_eq_into(v, scratch, &mut tmp);
-                    out.accumulate(&tmp, SetOp::Sum, scratch);
-                }
-            }
-            scratch.put_set(tmp);
-            any
-        }
-        Predicate::And(ps) => {
-            // Pointwise min over whichever conjuncts resolve (§3.3).
-            let mut tmp = scratch.take_set();
-            let mut any = false;
-            for p in ps {
-                if !any {
-                    any = resolve_predicate_into(lookup, p, scratch, out);
-                } else if resolve_predicate_into(lookup, p, scratch, &mut tmp) {
-                    out.accumulate(&tmp, SetOp::Min, scratch);
-                }
-            }
-            scratch.put_set(tmp);
-            any
-        }
-        Predicate::Or(ps) => {
-            // Every disjunct must resolve or the sum under-counts (§3.2).
-            let mut tmp = scratch.take_set();
-            let mut any = false;
-            let mut ok = true;
-            for p in ps {
-                if !any {
-                    if resolve_predicate_into(lookup, p, scratch, out) {
-                        any = true;
-                    } else {
-                        ok = false;
-                        break;
-                    }
-                } else if resolve_predicate_into(lookup, p, scratch, &mut tmp) {
-                    out.accumulate(&tmp, SetOp::Sum, scratch);
-                } else {
-                    ok = false;
-                    break;
-                }
-            }
-            scratch.put_set(tmp);
-            ok && any
-        }
-    }
+    resolve_slots(
+        &|s| leaves[s as usize],
+        None,
+        &slots,
+        pred,
+        &mut scratch,
+        &mut memo,
+        &mut out,
+    )
+    .then_some(out)
 }
 
 #[cfg(test)]
@@ -1164,7 +1539,7 @@ mod tests {
         let mut cfg2 = SafeBoundConfig::test_small();
         cfg2.mcv_size = 3; // different build → different conditioning
         let sb2 = SafeBound::build(&cat, cfg2);
-        assert_ne!(sb1.stats.build_id, sb2.stats.build_id);
+        assert_ne!(sb1.build_id(), sb2.build_id());
 
         let q = parse_sql(
             "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
@@ -1180,6 +1555,122 @@ mod tests {
         // And back again.
         let back = sb1.bound_with_session(&q, &mut session).unwrap();
         assert!((back - warm1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_stats_hot_swaps_under_a_live_session() {
+        // One handle, statistics swapped underneath a warm session: the
+        // session must lazily flush and serve the new build's results,
+        // bit-identical to a fresh estimator over the same snapshot.
+        let cat = catalog();
+        let sb = SafeBound::build(&cat, SafeBoundConfig::test_small());
+        let mut cfg2 = SafeBoundConfig::test_small();
+        cfg2.mcv_size = 3;
+        let rebuilt = crate::stats::SafeBoundBuilder::new(cfg2).build(&cat);
+        let reference2 = SafeBound::from_stats(rebuilt.clone());
+
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word = 'rare'",
+        )
+        .unwrap();
+        let mut session = BoundSession::default();
+        let clone = sb.clone(); // clones observe the swap too
+        let before = sb.bound_with_session(&q, &mut session).unwrap();
+        assert!(before.is_finite());
+        let old_id = sb.build_id();
+        let warm_shapes = session.cached_shapes();
+        assert!(warm_shapes > 0);
+
+        sb.swap_stats(rebuilt);
+        assert_ne!(sb.build_id(), old_id);
+        assert_eq!(clone.build_id(), sb.build_id());
+
+        let after = sb.bound_with_session(&q, &mut session).unwrap();
+        let expect = reference2.bound(&q).unwrap();
+        assert_eq!(after.to_bits(), expect.to_bits());
+        assert_eq!(session.stats_build_id(), sb.build_id());
+        let via_clone = clone.bound(&q).unwrap();
+        assert_eq!(via_clone.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn shape_cache_evicts_least_recently_used() {
+        let (_, sb) = build();
+        let mut session = BoundSession::with_shape_capacity(2);
+        let qa = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k WHERE mk.keyword_id = k.id",
+        )
+        .unwrap();
+        let qb = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word = 'rare'",
+        )
+        .unwrap();
+        let qc = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND mk.year BETWEEN 1985 AND 1999",
+        )
+        .unwrap();
+        let (ba, bb, bc) = (
+            sb.bound(&qa).unwrap(),
+            sb.bound(&qb).unwrap(),
+            sb.bound(&qc).unwrap(),
+        );
+        let run = |s: &mut BoundSession, q: &Query, want: f64| {
+            let got = sb.bound_with_session(q, s).unwrap();
+            assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+        };
+        run(&mut session, &qa, ba); // miss (A)
+        run(&mut session, &qb, bb); // miss (A, B) — at capacity
+        run(&mut session, &qa, ba); // hit: A now more recent than B
+        run(&mut session, &qc, bc); // miss: evicts B (LRU), keeps A
+        assert_eq!((session.misses, session.evictions), (3, 1));
+        run(&mut session, &qa, ba); // hit: A survived
+        assert_eq!(session.hits, 2);
+        run(&mut session, &qb, bb); // miss again: B was evicted; evicts C
+        assert_eq!((session.misses, session.evictions), (4, 2));
+        run(&mut session, &qc, bc); // miss: C was evicted
+        assert_eq!((session.misses, session.evictions), (5, 3));
+        assert_eq!(session.cached_shapes(), 2);
+    }
+
+    #[test]
+    fn eq_memo_serves_hot_literals() {
+        let (_, sb) = build();
+        let mut session = BoundSession::default();
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word = 'rare'",
+        )
+        .unwrap();
+        let first = sb.bound_with_session(&q, &mut session).unwrap();
+        assert_eq!(session.eq_memo_hits(), 0);
+        let misses_after_first = session.eq_memo_misses();
+        assert!(misses_after_first > 0, "first literal must miss the memo");
+        let second = sb.bound_with_session(&q, &mut session).unwrap();
+        assert_eq!(first.to_bits(), second.to_bits());
+        assert!(
+            session.eq_memo_hits() >= misses_after_first,
+            "repeat literal must hit the memo"
+        );
+        assert_eq!(session.eq_memo_misses(), misses_after_first);
+        // A different literal misses, then hits, without disturbing the
+        // first entry's cached result.
+        let q2 = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word = 'common'",
+        )
+        .unwrap();
+        let other = sb.bound_with_session(&q2, &mut session).unwrap();
+        assert!(session.eq_memo_misses() > misses_after_first);
+        assert_eq!(
+            sb.bound(&q2).unwrap().to_bits(),
+            other.to_bits(),
+            "memoized path must match cold path"
+        );
+        let third = sb.bound_with_session(&q, &mut session).unwrap();
+        assert_eq!(first.to_bits(), third.to_bits());
     }
 
     #[test]

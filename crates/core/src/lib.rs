@@ -20,6 +20,16 @@
 //! Sequence Bound (Algorithm 2, [`bound::fdsb`]) over the query's join
 //! tree in time log-linear in the total number of CDS segments.
 //!
+//! ## Concurrent serving
+//! The offline phase produces an immutable, `Send + Sync`
+//! [`StatsSnapshot`](stats::StatsSnapshot) shared behind an `Arc`;
+//! [`SafeBound`](estimator::SafeBound) is a cheaply cloneable handle over
+//! it with a lock-free read fast path and a
+//! [`swap_stats`](estimator::SafeBound::swap_stats) hot swap for
+//! background rebuilds. Each serving thread holds its own
+//! [`BoundSession`](estimator::BoundSession) (shape cache + arenas); the
+//! `safebound-serve` crate assembles these into a sharded worker pool.
+//!
 //! ```
 //! use safebound_core::{SafeBound, SafeBoundConfig};
 //! use safebound_query::parse_sql;
@@ -66,5 +76,5 @@ pub use config::SafeBoundConfig;
 pub use degree_sequence::DegreeSequence;
 pub use estimator::{BoundSession, EstimateError, SafeBound};
 pub use piecewise::{PiecewiseConstant, PiecewiseLinear};
-pub use stats::{SafeBoundBuilder, SafeBoundStats, TableStats};
+pub use stats::{SafeBoundBuilder, SafeBoundStats, StatsSnapshot, TableStats};
 pub use symbol::{Sym, SymbolTable};

@@ -81,20 +81,28 @@ impl FilterColumnStats {
 }
 
 /// All statistics for one table.
+///
+/// Filter statistics live in a dense slot vector ([`TableStats::filter_at`])
+/// with a name index resolved once per query *shape*
+/// ([`TableStats::filter_slot`]); the per-query hot path never touches a
+/// string key. PK–FK-propagated columns are indexed under
+/// [`propagated_key`] composites.
 #[derive(Debug, Clone)]
 pub struct TableStats {
     /// Table name.
     pub table: String,
+    /// Interned symbol of the table name (stable memo/cache key).
+    pub table_sym: Sym,
     /// Exact row count.
     pub row_count: u64,
     /// Declared join columns (keys + foreign keys) with their symbols.
     pub join_columns: Vec<JoinCol>,
     /// Unconditioned compressed CDS per declared join column.
     pub base: CdsSet,
-    /// Filter statistics keyed by column name; PK–FK-propagated columns
-    /// use [`propagated_key`] composites (these keys are resolved once per
-    /// query predicate, so they stay string-keyed).
-    pub filter_stats: BTreeMap<String, FilterColumnStats>,
+    /// Column (or [`propagated_key`] composite) → slot in `filter_stats`.
+    filter_index: BTreeMap<String, u32>,
+    /// Filter statistics slots, addressed by `filter_index`.
+    filter_stats: Vec<FilterColumnStats>,
     /// Unconditioned compressed CDS for every column, keyed by interned
     /// symbol (sorted) — the §3.6 fallback for joins on undeclared columns.
     pub fallback_cds: Vec<(Sym, PiecewiseLinear)>,
@@ -109,12 +117,29 @@ impl TableStats {
             .map(|i| &self.fallback_cds[i].1)
     }
 
+    /// Filter statistics for a column (or propagated-key composite) name.
+    pub fn filter(&self, name: &str) -> Option<&FilterColumnStats> {
+        self.filter_slot(name).map(|s| self.filter_at(s))
+    }
+
+    /// The dense slot of a filter column — resolve once per query shape,
+    /// then address statistics with [`TableStats::filter_at`].
+    pub fn filter_slot(&self, name: &str) -> Option<u32> {
+        self.filter_index.get(name).copied()
+    }
+
+    /// Filter statistics by pre-resolved slot.
+    #[inline]
+    pub fn filter_at(&self, slot: u32) -> &FilterColumnStats {
+        &self.filter_stats[slot as usize]
+    }
+
     /// Approximate heap size in bytes.
     pub fn byte_size(&self) -> usize {
         self.base.byte_size()
             + self
                 .filter_stats
-                .values()
+                .iter()
                 .map(FilterColumnStats::byte_size)
                 .sum::<usize>()
             + self
@@ -129,15 +154,22 @@ impl TableStats {
     pub fn num_sets(&self) -> usize {
         1 + self
             .filter_stats
-            .values()
+            .iter()
             .map(FilterColumnStats::num_sets)
             .sum::<usize>()
     }
 }
 
-/// The complete statistics produced by the offline phase.
+/// The complete statistics produced by the offline phase: an **immutable
+/// snapshot** shared read-only across serving threads.
+///
+/// A snapshot is `Send + Sync` and is held behind an `Arc` by the
+/// [`SafeBound`](crate::estimator::SafeBound) handle; a background rebuild
+/// produces a fresh snapshot and publishes it with
+/// [`SafeBound::swap_stats`](crate::estimator::SafeBound::swap_stats)
+/// without pausing readers. Nothing in here is mutated after the build.
 #[derive(Debug, Clone)]
-pub struct SafeBoundStats {
+pub struct StatsSnapshot {
     /// Per-table statistics.
     pub tables: BTreeMap<String, TableStats>,
     /// Interned table/column names shared by all statistics containers.
@@ -148,14 +180,23 @@ pub struct SafeBoundStats {
     pub build_time: Duration,
     /// Process-unique id of this build. Everything a
     /// [`BoundSession`](crate::estimator::BoundSession) caches (interned
-    /// symbols, plan column ids, propagation keys) is only valid against
-    /// the build that produced it; the session compares this id and
-    /// flushes its shape cache when the statistics underneath it change
-    /// (e.g. a rebuild after a data refresh).
+    /// symbols, plan column ids, filter slots, memoized MCV lookups) is
+    /// only valid against the build that produced it; the session compares
+    /// this id and flushes its caches when the statistics underneath it
+    /// change (e.g. a hot swap after a data refresh).
     pub build_id: u64,
 }
 
-impl SafeBoundStats {
+/// Former name of [`StatsSnapshot`], kept for downstream source compat.
+pub type SafeBoundStats = StatsSnapshot;
+
+// Compile-time guarantee: a snapshot is shareable across serving threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StatsSnapshot>();
+};
+
+impl StatsSnapshot {
     /// Approximate heap size in bytes (the Fig. 8a metric).
     pub fn byte_size(&self) -> usize {
         self.tables.values().map(TableStats::byte_size).sum()
@@ -196,7 +237,7 @@ impl SafeBoundBuilder {
 
     /// Run the offline phase over a catalog. Tables build concurrently on
     /// scoped threads; see the module docs.
-    pub fn build(&self, catalog: &Catalog) -> SafeBoundStats {
+    pub fn build(&self, catalog: &Catalog) -> StatsSnapshot {
         let start = Instant::now();
         // Intern every name up front so the parallel phase reads the table
         // immutably (and ids are independent of build order).
@@ -213,7 +254,7 @@ impl SafeBoundBuilder {
         });
         let tables = built.into_iter().map(|ts| (ts.table.clone(), ts)).collect();
         static NEXT_BUILD_ID: AtomicU64 = AtomicU64::new(1);
-        SafeBoundStats {
+        StatsSnapshot {
             tables,
             symbols,
             config: self.config.clone(),
@@ -314,10 +355,18 @@ impl SafeBoundBuilder {
                 )
             }
         });
-        let filter_stats: BTreeMap<String, FilterColumnStats> = built
+        // Dense filter slots with a name index: names resolve to slots once
+        // per query shape; the per-query path indexes the vector directly.
+        let named: BTreeMap<String, FilterColumnStats> = built
             .into_iter()
             .filter_map(|(k, v)| v.map(|v| (k, v)))
             .collect();
+        let mut filter_index = BTreeMap::new();
+        let mut filter_stats = Vec::with_capacity(named.len());
+        for (name, fs) in named {
+            filter_index.insert(name, filter_stats.len() as u32);
+            filter_stats.push(fs);
+        }
 
         // Fallback CDS for every column (§3.6, undeclared join columns).
         let fallback_list = par_map(&table.schema.fields, |field| {
@@ -333,9 +382,11 @@ impl SafeBoundBuilder {
 
         TableStats {
             table: table.name.clone(),
+            table_sym: symbols.lookup(&table.name).expect("table interned"),
             row_count: table.num_rows() as u64,
             join_columns,
             base,
+            filter_index,
             filter_stats,
             fallback_cds,
         }

@@ -232,4 +232,65 @@ fn steady_state_cached_bound_allocates_nothing() {
     let expected: f64 = warm.iter().sum::<f64>() * 50.0;
     assert!((acc - expected).abs() < 1e-6 * expected.abs().max(1.0));
     assert_eq!(session.misses as usize, session.cached_shapes());
+    // Repeated literals were served from the hot-value memo, and hits on
+    // the memo must not have allocated either (covered by the count).
+    assert!(session.eq_memo_hits() > 0);
+}
+
+#[test]
+fn steady_state_parallel_worker_sessions_allocate_nothing() {
+    // The serving layout: one shared SafeBound handle (snapshot behind
+    // Arc), one private session per worker thread. Each worker's warm
+    // path must stay allocation-free — the allocation counter is
+    // thread-local, so every thread audits exactly its own traffic.
+    let catalog = end_to_end_catalog();
+    let sb = SafeBound::build(&catalog, SafeBoundConfig::test_small());
+    let queries: Vec<Query> = [
+        "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year = 1992 AND d.w = 0",
+        "SELECT COUNT(*) FROM fact f, dim d \
+         WHERE f.fk = d.id AND f.year BETWEEN 1991 AND 1994 AND d.w IN (0, 1)",
+        "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year > 1994",
+    ]
+    .iter()
+    .map(|sql| parse_sql(sql).unwrap())
+    .collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let sb = sb.clone();
+            let queries = &queries;
+            scope.spawn(move || {
+                let mut session = BoundSession::default();
+                // Warm-up: build shapes, size pools, populate the memo.
+                let warm: Vec<f64> = queries
+                    .iter()
+                    .map(|q| sb.bound_with_session(q, &mut session).unwrap())
+                    .collect();
+                // A few extra rounds let every pooled buffer grow to its
+                // high-water capacity (pool rotation can realloc a
+                // smaller spare into a bigger role until convergence).
+                for _ in 0..4 {
+                    for q in queries {
+                        sb.bound_with_session(q, &mut session).unwrap();
+                    }
+                }
+                let before = allocation_count();
+                let mut acc = 0.0;
+                for _ in 0..30 {
+                    for q in queries {
+                        acc += sb.bound_with_session(q, &mut session).unwrap();
+                    }
+                }
+                let after = allocation_count();
+                assert_eq!(
+                    after - before,
+                    0,
+                    "worker {worker}: warm per-worker session allocated {}",
+                    after - before
+                );
+                let expected: f64 = warm.iter().sum::<f64>() * 30.0;
+                assert!((acc - expected).abs() < 1e-6 * expected.abs().max(1.0));
+            });
+        }
+    });
 }

@@ -1,0 +1,113 @@
+//! CLI driver for the SafeBound serving front-end.
+//!
+//! ```text
+//! safebound-serve serve [--addr 127.0.0.1:7878] [--workers N] [--scale tiny|default|full]
+//!     Build the bundled IMDB catalog + SafeBound statistics, then serve
+//!     the line protocol (see crate docs) until killed.
+//!
+//! safebound-serve query --addr 127.0.0.1:7878 "SELECT COUNT(*) FROM ..." [more SQL...]
+//!     Connect to a running server, send each SQL argument (as one BATCH
+//!     when several), print the response lines.
+//! ```
+
+use safebound_core::{SafeBound, SafeBoundConfig};
+use safebound_datagen::{imdb_catalog, ImdbScale};
+use safebound_serve::{serve, BoundService};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  safebound-serve serve [--addr HOST:PORT] [--workers N] [--scale tiny|default|full]\n  safebound-serve query --addr HOST:PORT SQL [SQL...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut scale_name = "tiny".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => scale_name = it.next().cloned().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let scale = ImdbScale::named(&scale_name)
+        .unwrap_or_else(|| panic!("unknown --scale {scale_name:?} (tiny|default|full)"));
+
+    eprintln!("building IMDB catalog ({scale_name}) + SafeBound statistics…");
+    let catalog = imdb_catalog(&scale, 1);
+    let sb = SafeBound::build(&catalog, SafeBoundConfig::default());
+    let snapshot = sb.snapshot();
+    eprintln!(
+        "statistics ready: build {} — {} CDS sets, {} bytes",
+        snapshot.build_id,
+        snapshot.num_sets(),
+        snapshot.byte_size()
+    );
+    drop(snapshot);
+
+    let service = Arc::new(BoundService::new(sb, workers));
+    let listener = TcpListener::bind(&addr).expect("bind listen address");
+    eprintln!("serving on {addr} with {workers} workers (line protocol; try PING / SQL / QUIT)");
+    serve(service, listener).expect("accept loop");
+}
+
+fn cmd_query(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut sqls: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--addr" {
+            addr = it.next().cloned();
+        } else {
+            sqls.push(a.clone());
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    if sqls.is_empty() {
+        usage();
+    }
+
+    let stream = TcpStream::connect(&addr).expect("connect to server");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = BufWriter::new(stream);
+    if sqls.len() == 1 {
+        writeln!(writer, "{}", sqls[0]).expect("send query");
+    } else {
+        writeln!(writer, "BATCH {}", sqls.len()).expect("send batch header");
+        for sql in &sqls {
+            writeln!(writer, "{sql}").expect("send query");
+        }
+    }
+    writeln!(writer, "QUIT").expect("send quit");
+    writer.flush().expect("flush");
+
+    let mut line = String::new();
+    for _ in 0..sqls.len() {
+        line.clear();
+        if reader.read_line(&mut line).expect("read response") == 0 {
+            break;
+        }
+        println!("{}", line.trim());
+    }
+}

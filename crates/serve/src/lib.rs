@@ -1,0 +1,78 @@
+//! # safebound-serve
+//!
+//! The concurrent serving front-end for SafeBound: everything between a
+//! built [`StatsSnapshot`](safebound_core::StatsSnapshot) and a socket.
+//!
+//! ## Layering: snapshot → handle → sessions → workers → protocol
+//!
+//! ```text
+//!                    ┌───────────────────────────────┐
+//!   offline rebuild ─► StatsSnapshot (immutable,     │  shared read-only,
+//!                    │  Send + Sync, behind Arc)     │  swapped atomically
+//!                    └──────────────┬────────────────┘
+//!                                   │ SafeBound::swap_stats (hot swap)
+//!                    ┌──────────────▼────────────────┐
+//!                    │ SafeBound handle (build-id    │  one clone per
+//!                    │ atomic + Mutex<Arc<snapshot>>)│  worker, lock-free
+//!                    └──────────────┬────────────────┘  steady-state reads
+//!                 ┌─────────────────┼─────────────────┐
+//!            ┌────▼────┐       ┌────▼────┐       ┌────▼────┐
+//!            │ worker 0 │  ...  │ worker i │  ...  │ worker N │  private
+//!            │ Bound-   │       │ Bound-   │       │ Bound-   │  BoundSession
+//!            │ Session  │       │ Session  │       │ Session  │  each (shape
+//!            └────▲────┘       └────▲────┘       └────▲────┘  cache+arenas)
+//!                 └───── shape-hash routing ───────────┘
+//!                    ┌──────────────┴────────────────┐
+//!                    │ BoundService: bound(),        │
+//!                    │ bound_batch(), TCP server     │
+//!                    └───────────────────────────────┘
+//! ```
+//!
+//! * **[`BoundService`](service::BoundService)** owns the [`SafeBound`]
+//!   handle plus N worker threads. Each worker holds a **private**
+//!   [`BoundSession`](safebound_core::BoundSession) — the mutable half of
+//!   the estimator (query-shape cache, arena pools, hot-literal memo) that
+//!   must never be shared. Queries are routed to workers by
+//!   [`Query::shape_hash`](safebound_query::Query::shape_hash) modulo the
+//!   pool size, so every query template consistently lands on the same
+//!   worker and its shape cache stays hot regardless of traffic
+//!   interleaving.
+//! * **`bound_batch`** ships index slices of one shared `Arc<[Query]>`
+//!   to the workers and reassembles results in order: one channel
+//!   round-trip per worker per batch instead of per query, and each
+//!   worker's session/scratch is reused across its whole slice — this is
+//!   what makes batched serving beat request-at-a-time dispatch.
+//! * **Hot swap**: the service never pauses. A background rebuild calls
+//!   [`SafeBound::swap_stats`](safebound_core::SafeBound::swap_stats) on
+//!   the service's handle; in-flight queries finish on the snapshot they
+//!   started with (their session pins it via `Arc`), and each worker picks
+//!   up the new build id on its next query, repopulating lazily.
+//!
+//! ## Line protocol
+//!
+//! [`server::serve`] speaks a minimal newline-delimited text protocol
+//! over `std::net::TcpListener`, one thread per connection:
+//!
+//! | request                     | response                                |
+//! |-----------------------------|-----------------------------------------|
+//! | `<SQL text>`                | `OK <bound>` or `ERR <message>`         |
+//! | `BATCH <n>` then `n` SQL lines | `n` `OK`/`ERR` lines (batched pool dispatch) |
+//! | `PING`                      | `PONG`                                  |
+//! | `STATS`                     | `STATS workers=<n> build=<id>`          |
+//! | `QUIT`                      | `BYE`, then the connection closes       |
+//!
+//! Responses come in request order; a malformed `BATCH` count answers
+//! `ERR`. The protocol is deliberately line-oriented so `nc`/`telnet`
+//! work as clients; the `safebound-serve` binary wraps it in a tiny CLI
+//! (`serve` / `query` subcommands) over the bundled IMDB generator.
+
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod service;
+
+pub use server::serve;
+pub use service::BoundService;
+
+// Re-exported so service consumers need only this crate.
+pub use safebound_core::{BoundSession, EstimateError, SafeBound, StatsSnapshot};

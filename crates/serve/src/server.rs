@@ -1,0 +1,221 @@
+//! A minimal `std::net` TCP front-end speaking the newline-delimited
+//! protocol documented in the crate docs: SQL in, `OK <bound>` out, one
+//! thread per connection, all bound work delegated to the shared
+//! [`BoundService`] pool.
+
+use crate::service::BoundService;
+use safebound_query::parse_sql;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Accept connections forever, one handler thread per client.
+///
+/// Blocks the calling thread; run it on a dedicated thread if the caller
+/// needs to keep working (the `safebound-serve` binary just parks here).
+pub fn serve(service: Arc<BoundService>, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                // Transient accept failures (ECONNABORTED on a client
+                // reset, EMFILE under fd pressure) must not kill the
+                // server; log and keep accepting.
+                eprintln!("safebound-serve: accept error: {e}");
+                continue;
+            }
+        };
+        let service = service.clone();
+        std::thread::Builder::new()
+            .name("safebound-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(&service, stream);
+            })
+            .expect("spawn connection thread");
+    }
+    Ok(())
+}
+
+/// Serve one client until `QUIT`, EOF, or an I/O error.
+pub fn handle_connection(service: &BoundService, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        match request {
+            "QUIT" => {
+                writeln!(writer, "BYE")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            "PING" => writeln!(writer, "PONG")?,
+            "STATS" => writeln!(
+                writer,
+                "STATS workers={} build={}",
+                service.num_workers(),
+                service.estimator().build_id()
+            )?,
+            _ => {
+                if let Some(count) = request.strip_prefix("BATCH ") {
+                    match count.trim().parse::<usize>() {
+                        Ok(n) if n <= MAX_BATCH => {
+                            serve_batch(service, &mut reader, &mut writer, n)?
+                        }
+                        Ok(n) => writeln!(writer, "ERR batch of {n} exceeds {MAX_BATCH}")?,
+                        Err(_) => writeln!(writer, "ERR malformed BATCH count {count:?}")?,
+                    }
+                } else {
+                    let response = answer(service, request);
+                    writeln!(writer, "{response}")?;
+                }
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+/// Upper bound on `BATCH n` so a client cannot make the server buffer an
+/// unbounded query list.
+const MAX_BATCH: usize = 65_536;
+
+/// Read `n` SQL lines, answer all of them through one pool dispatch.
+fn serve_batch(
+    service: &BoundService,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    n: usize,
+) -> std::io::Result<()> {
+    // Parse up front; parse failures answer ERR at their position without
+    // aborting the rest of the batch.
+    let mut parsed = Vec::with_capacity(n);
+    let mut line = String::new();
+    for _ in 0..n {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break; // EOF mid-batch: answer what arrived
+        }
+        parsed.push(parse_sql(line.trim()).map_err(|e| e.to_string()));
+    }
+    let queries: Vec<_> = parsed
+        .iter()
+        .filter_map(|p| p.as_ref().ok().cloned())
+        .collect();
+    let mut bounds = service.bound_batch(&queries).into_iter();
+    for p in &parsed {
+        match p {
+            Ok(_) => match bounds.next().expect("one bound per parsed query") {
+                Ok(b) => writeln!(writer, "OK {b}")?,
+                Err(e) => writeln!(writer, "ERR {e}")?,
+            },
+            Err(e) => writeln!(writer, "ERR parse: {e}")?,
+        }
+    }
+    Ok(())
+}
+
+/// One SQL request → one response line.
+fn answer(service: &BoundService, sql: &str) -> String {
+    match parse_sql(sql) {
+        Ok(q) => match service.bound(&q) {
+            Ok(b) => format!("OK {b}"),
+            Err(e) => format!("ERR {e}"),
+        },
+        Err(e) => format!("ERR parse: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safebound_core::{SafeBound, SafeBoundConfig};
+    use safebound_storage::{Catalog, Column, DataType, Field, Schema, Table};
+
+    fn service() -> Arc<BoundService> {
+        let mut c = Catalog::new();
+        c.add_table(Table::new(
+            "r",
+            Schema::new(vec![Field::new("x", DataType::Int)]),
+            vec![Column::from_ints([1, 1, 2, 3].map(Some))],
+        ));
+        c.add_table(Table::new(
+            "s",
+            Schema::new(vec![Field::new("x", DataType::Int)]),
+            vec![Column::from_ints([1, 2, 2, 4].map(Some))],
+        ));
+        let sb = SafeBound::build(&c, SafeBoundConfig::test_small());
+        Arc::new(BoundService::new(sb, 2))
+    }
+
+    fn roundtrip(lines: &[&str]) -> Vec<String> {
+        let service = service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || serve(service, listener));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        for l in lines {
+            writeln!(writer, "{l}").unwrap();
+        }
+        writer.flush().unwrap();
+        let mut out = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            out.push(line.trim().to_string());
+            if line.trim() == "BYE" {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn line_protocol_roundtrip() {
+        let responses = roundtrip(&[
+            "PING",
+            "SELECT COUNT(*) FROM r, s WHERE r.x = s.x",
+            "SELECT COUNT(*) FROM nonexistent",
+            "this is not sql",
+            "QUIT",
+        ]);
+        assert_eq!(responses[0], "PONG");
+        assert!(responses[1].starts_with("OK "), "{responses:?}");
+        let bound: f64 = responses[1][3..].parse().unwrap();
+        assert!(bound >= 3.0); // true cardinality is 3
+        assert!(responses[2].starts_with("ERR "), "{responses:?}");
+        assert!(responses[3].starts_with("ERR parse"), "{responses:?}");
+        assert_eq!(responses[4], "BYE");
+    }
+
+    #[test]
+    fn batch_answers_in_order_with_inline_errors() {
+        let responses = roundtrip(&[
+            "BATCH 3",
+            "SELECT COUNT(*) FROM r, s WHERE r.x = s.x",
+            "not sql at all",
+            "SELECT COUNT(*) FROM r",
+            "STATS",
+            "QUIT",
+        ]);
+        assert!(responses[0].starts_with("OK "), "{responses:?}");
+        assert!(responses[1].starts_with("ERR parse"), "{responses:?}");
+        assert!(responses[2].starts_with("OK "), "{responses:?}");
+        let single: f64 = responses[2][3..].parse().unwrap();
+        assert_eq!(single, 4.0); // |r|
+        assert!(responses[3].starts_with("STATS workers=2"), "{responses:?}");
+        assert_eq!(responses[4], "BYE");
+    }
+}

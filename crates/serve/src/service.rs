@@ -1,0 +1,339 @@
+//! The sharded worker pool: N threads, each with a private
+//! [`BoundSession`], sharing one [`SafeBound`] handle.
+//!
+//! See the crate docs for the layering. The service is synchronous by
+//! design — callers block until their queries are answered — because the
+//! bound itself runs in microseconds; the win of the pool is (a) true
+//! parallelism across hardware threads and (b) batched dispatch that
+//! amortizes the channel round-trip and keeps each worker's shape cache
+//! and arenas hot across a whole slice of queries.
+
+use safebound_core::{BoundSession, EstimateError, SafeBound};
+use safebound_query::Query;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// One unit of work shipped to a worker: a shared view of the batch plus
+/// the indices this worker owns, and the channel to answer on.
+struct Job {
+    queries: Arc<[Query]>,
+    indices: Vec<usize>,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// A worker's answers for its slice, tagged with the original indices.
+struct Reply {
+    indices: Vec<usize>,
+    results: Vec<Result<f64, EstimateError>>,
+}
+
+/// A sharded SafeBound serving pool.
+///
+/// Construction spawns the workers; dropping the service closes their
+/// queues and joins them. Clones of the inner [`SafeBound`] handle stay
+/// valid — in particular, calling
+/// [`SafeBound::swap_stats`](safebound_core::SafeBound::swap_stats) on
+/// [`BoundService::estimator`] hot-swaps statistics under live traffic.
+pub struct BoundService {
+    handle: SafeBound,
+    senders: Vec<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    served: Arc<Vec<AtomicU64>>,
+}
+
+impl BoundService {
+    /// Spawn a pool of `workers` threads (min 1) over the given handle.
+    pub fn new(handle: SafeBound, workers: usize) -> Self {
+        let n = workers.max(1);
+        let served: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for w in 0..n {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            let handle = handle.clone();
+            let served = served.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("safebound-worker-{w}"))
+                    .spawn(move || worker_loop(w, handle, rx, served))
+                    .expect("spawn worker thread"),
+            );
+        }
+        BoundService {
+            handle,
+            senders,
+            workers: handles,
+            served,
+        }
+    }
+
+    /// The shared estimator handle (e.g. for
+    /// [`swap_stats`](safebound_core::SafeBound::swap_stats) or direct
+    /// out-of-pool use).
+    pub fn estimator(&self) -> &SafeBound {
+        &self.handle
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Queries served so far, per worker (routing observability).
+    pub fn served_per_worker(&self) -> Vec<u64> {
+        self.served
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Bound one query on its shape-routed worker (blocks for the reply).
+    ///
+    /// This is the request-at-a-time path: one channel round-trip per
+    /// query. Latency-bound clients are fine with it; throughput-bound
+    /// clients should use [`BoundService::bound_batch`].
+    pub fn bound(&self, query: &Query) -> Result<f64, EstimateError> {
+        let mut results = self.bound_batch(std::slice::from_ref(query));
+        results.pop().expect("one result per query")
+    }
+
+    /// Bound a batch: queries are partitioned by shape hash across the
+    /// pool, each worker answers its whole slice in one message, and
+    /// results return in input order.
+    ///
+    /// Copies the slice once to share it with the workers; callers that
+    /// already own their batch (or reuse one) should prefer
+    /// [`BoundService::bound_batch_shared`], which ships the `Arc`
+    /// directly.
+    pub fn bound_batch(&self, queries: &[Query]) -> Vec<Result<f64, EstimateError>> {
+        self.bound_batch_shared(queries.to_vec().into())
+    }
+
+    /// [`BoundService::bound_batch`] over an already-shared batch — the
+    /// zero-copy dispatch path (only the `Arc` is cloned per worker).
+    pub fn bound_batch_shared(&self, queries: Arc<[Query]>) -> Vec<Result<f64, EstimateError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let n = self.senders.len();
+        let shared = queries;
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, q) in shared.iter().enumerate() {
+            parts[(q.shape_hash() % n as u64) as usize].push(i);
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut outstanding = 0usize;
+        for (w, indices) in parts.into_iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            self.senders[w]
+                .send(Job {
+                    queries: shared.clone(),
+                    indices,
+                    reply: tx.clone(),
+                })
+                .expect("worker thread alive");
+            outstanding += 1;
+        }
+        drop(tx);
+        let mut out: Vec<Option<Result<f64, EstimateError>>> = vec![None; shared.len()];
+        for _ in 0..outstanding {
+            let reply = rx.recv().expect("worker answered");
+            for (i, r) in reply.indices.into_iter().zip(reply.results) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index answered"))
+            .collect()
+    }
+}
+
+impl Drop for BoundService {
+    fn drop(&mut self) {
+        // Closing the senders ends each worker's recv loop.
+        self.senders.clear();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A worker thread: private session, jobs until the queue closes.
+fn worker_loop(id: usize, handle: SafeBound, rx: mpsc::Receiver<Job>, served: Arc<Vec<AtomicU64>>) {
+    let mut session = BoundSession::default();
+    while let Ok(job) = rx.recv() {
+        let results: Vec<_> = job
+            .indices
+            .iter()
+            .map(|&i| handle.bound_with_session(&job.queries[i], &mut session))
+            .collect();
+        served[id].fetch_add(results.len() as u64, Ordering::Relaxed);
+        let _ = job.reply.send(Reply {
+            indices: job.indices,
+            results,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safebound_core::{SafeBoundBuilder, SafeBoundConfig};
+    use safebound_query::parse_sql;
+    use safebound_storage::{Catalog, Column, DataType, Field, Schema, Table};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(Table::new(
+            "dim",
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("w", DataType::Int),
+            ]),
+            vec![
+                Column::from_ints((0..16).map(Some)),
+                Column::from_ints((0..16).map(|i| Some(i % 4))),
+            ],
+        ));
+        let mut fk = Vec::new();
+        let mut year = Vec::new();
+        for v in 0i64..16 {
+            for r in 0..(32 / (v + 1)) {
+                fk.push(Some(v));
+                year.push(Some(1990 + (r % 12)));
+            }
+        }
+        c.add_table(Table::new(
+            "fact",
+            Schema::new(vec![
+                Field::new("fk", DataType::Int),
+                Field::new("year", DataType::Int),
+            ]),
+            vec![Column::from_ints(fk), Column::from_ints(year)],
+        ));
+        c.declare_primary_key("dim", "id");
+        c.declare_foreign_key("fact", "fk", "dim", "id");
+        c
+    }
+
+    fn workload() -> Vec<Query> {
+        let mut qs = Vec::new();
+        for w in 0..4 {
+            qs.push(
+                parse_sql(&format!(
+                    "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND d.w = {w}"
+                ))
+                .unwrap(),
+            );
+        }
+        for y in [1991, 1995, 1999] {
+            qs.push(
+                parse_sql(&format!(
+                    "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year = {y}"
+                ))
+                .unwrap(),
+            );
+            qs.push(
+                parse_sql(&format!(
+                    "SELECT COUNT(*) FROM fact f, dim d \
+                     WHERE f.fk = d.id AND f.year BETWEEN {} AND {y}",
+                    y - 3
+                ))
+                .unwrap(),
+            );
+        }
+        qs.push(parse_sql("SELECT COUNT(*) FROM fact").unwrap());
+        qs
+    }
+
+    #[test]
+    fn service_matches_direct_path_and_preserves_order() {
+        let sb = SafeBound::build(&catalog(), SafeBoundConfig::test_small());
+        let queries = workload();
+        let direct: Vec<f64> = queries.iter().map(|q| sb.bound(q).unwrap()).collect();
+        for workers in [1, 3] {
+            let service = BoundService::new(sb.clone(), workers);
+            let batch = service.bound_batch(&queries);
+            for ((q, want), got) in queries.iter().zip(&direct).zip(batch) {
+                let got = got.unwrap();
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "workers={workers}: batch bound diverged for {q:?}"
+                );
+            }
+            for (q, want) in queries.iter().zip(&direct) {
+                assert_eq!(service.bound(q).unwrap().to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shape_routing_is_stable_and_spreads_templates() {
+        let sb = SafeBound::build(&catalog(), SafeBoundConfig::test_small());
+        let service = BoundService::new(sb, 4);
+        let queries = workload();
+        // Same batch twice: per-worker counters must double exactly
+        // (routing is deterministic per shape).
+        service.bound_batch(&queries);
+        let after_one = service.served_per_worker();
+        service.bound_batch(&queries);
+        let after_two = service.served_per_worker();
+        for (a, b) in after_one.iter().zip(&after_two) {
+            assert_eq!(2 * a, *b);
+        }
+        assert_eq!(
+            after_one.iter().sum::<u64>() as usize,
+            queries.len(),
+            "every query served exactly once"
+        );
+        assert!(
+            after_one.iter().filter(|&&c| c > 0).count() > 1,
+            "multiple templates should spread over multiple workers: {after_one:?}"
+        );
+    }
+
+    #[test]
+    fn errors_come_back_per_query() {
+        let sb = SafeBound::build(&catalog(), SafeBoundConfig::test_small());
+        let service = BoundService::new(sb, 2);
+        let good = parse_sql("SELECT COUNT(*) FROM fact").unwrap();
+        let bad = parse_sql("SELECT COUNT(*) FROM nonexistent").unwrap();
+        let results = service.bound_batch(&[good, bad]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(EstimateError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn swap_stats_applies_to_live_pool() {
+        let cat = catalog();
+        let sb = SafeBound::build(&cat, SafeBoundConfig::test_small());
+        let service = BoundService::new(sb, 2);
+        let queries = workload();
+        let before = service.bound_batch(&queries);
+
+        let mut cfg = SafeBoundConfig::test_small();
+        cfg.mcv_size = 2; // coarser build → some bounds change
+        let rebuilt = SafeBoundBuilder::new(cfg).build(&cat);
+        let reference = SafeBound::from_stats(rebuilt.clone());
+        let expect: Vec<f64> = queries
+            .iter()
+            .map(|q| reference.bound(q).unwrap())
+            .collect();
+
+        service.estimator().swap_stats(rebuilt);
+        let after = service.bound_batch(&queries);
+        for ((got, want), old) in after.iter().zip(&expect).zip(&before) {
+            let got = got.as_ref().unwrap();
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "post-swap pool must match a fresh estimator (old={old:?})"
+            );
+        }
+    }
+}

@@ -57,12 +57,14 @@ fn main() {
     catalog.declare_primary_key("customers", "id");
     catalog.declare_foreign_key("orders", "customer_id", "customers", "id");
 
-    // Offline phase: scan once, build compressed degree sequences.
+    // Offline phase: scan once, build compressed degree sequences. The
+    // result is an immutable snapshot, shareable across serving threads.
     let sb = SafeBound::build(&catalog, SafeBoundConfig::default());
+    let snapshot = sb.snapshot();
     println!(
         "statistics built: {} CDS sets, {} bytes\n",
-        sb.stats.num_sets(),
-        sb.stats.byte_size()
+        snapshot.num_sets(),
+        snapshot.byte_size()
     );
 
     // Online phase: guaranteed upper bounds in microseconds.

@@ -23,7 +23,8 @@
 //! Crate map: [`core`] (the paper's contribution), [`storage`] (column
 //! store + catalog), [`query`] (SQL front end + join trees), [`exec`]
 //! (exact oracle, optimizer, executor), [`baselines`] (compared systems),
-//! [`datagen`] (synthetic benchmarks).
+//! [`datagen`] (synthetic benchmarks), [`serve`] (sharded worker pool +
+//! TCP line-protocol front-end over shared statistics snapshots).
 
 #![warn(missing_docs)]
 
@@ -32,13 +33,15 @@ pub use safebound_core as core;
 pub use safebound_datagen as datagen;
 pub use safebound_exec as exec;
 pub use safebound_query as query;
+pub use safebound_serve as serve;
 pub use safebound_storage as storage;
 
 /// The most common entry points, re-exported flat.
 pub mod prelude {
     pub use safebound_core::{
-        fdsb, valid_compress, DegreeSequence, EstimateError, PiecewiseConstant, PiecewiseLinear,
-        SafeBound, SafeBoundBuilder, SafeBoundConfig, SafeBoundStats, Segmentation,
+        fdsb, valid_compress, BoundSession, DegreeSequence, EstimateError, PiecewiseConstant,
+        PiecewiseLinear, SafeBound, SafeBoundBuilder, SafeBoundConfig, SafeBoundStats,
+        Segmentation, StatsSnapshot,
     };
     pub use safebound_exec::{exact_count, CardinalityEstimator, CostModel, Optimizer};
     pub use safebound_query::{parse_sql, Predicate, Query};
