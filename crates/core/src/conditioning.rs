@@ -234,6 +234,13 @@ pub struct CdsScratch {
     tmp_groups: Vec<usize>,
     /// Bloom key staging buffer.
     tmp_bytes: Vec<u8>,
+    /// LIKE gram staging: `Value::Str` slots whose heap capacity survives
+    /// across queries (the current pattern's grams occupy a sorted
+    /// prefix), so warm LIKE resolution extracts grams without
+    /// allocating.
+    gram_slots: Vec<Value>,
+    /// Char staging for the wildcard-free chunks of a LIKE pattern.
+    tmp_chars: Vec<char>,
 }
 
 impl CdsScratch {
@@ -849,36 +856,48 @@ impl NgramStats {
 
     /// [`NgramStats::lookup_like`] writing into `out` through the pool.
     /// Returns `false` when the pattern yields no full gram (out is then
-    /// garbage). Gram extraction still allocates its strings; the set
-    /// algebra is arena-backed.
+    /// garbage). Gram extraction is backed by the scratch's reused
+    /// `Value::Str` slots, so the whole resolution — extraction included —
+    /// is allocation-free once the session's buffers are warm.
     pub fn lookup_like_into(
         &self,
         pattern: &str,
         scratch: &mut CdsScratch,
         out: &mut CdsSet,
     ) -> bool {
-        let grams = pattern_ngrams(pattern, self.n);
-        if grams.is_empty() {
+        // Take the staging buffers out of the scratch so the gram slots
+        // can be borrowed across the `indexed_max_into` calls below (which
+        // need the scratch mutably for the set algebra).
+        let mut grams = std::mem::take(&mut scratch.gram_slots);
+        let mut chars = std::mem::take(&mut scratch.tmp_chars);
+        let count = stage_pattern_ngrams(&mut grams, &mut chars, pattern, self.n);
+        scratch.tmp_chars = chars;
+        if count == 0 {
+            scratch.gram_slots = grams;
             return false;
         }
         let mut tmp = scratch.take_set();
-        for (i, g) in grams.into_iter().enumerate() {
-            let gv = Value::Str(g);
-            if i == 0 {
+        let mut first = true;
+        for i in 0..count {
+            if i > 0 && grams[i] == grams[i - 1] {
+                continue; // staged prefix is sorted: duplicates are adjacent
+            }
+            if first {
                 indexed_max_into(
                     &self.index,
                     &self.groups,
                     &self.default_set,
-                    &gv,
+                    &grams[i],
                     scratch,
                     out,
                 );
+                first = false;
             } else {
                 indexed_max_into(
                     &self.index,
                     &self.groups,
                     &self.default_set,
-                    &gv,
+                    &grams[i],
                     scratch,
                     &mut tmp,
                 );
@@ -886,6 +905,7 @@ impl NgramStats {
             }
         }
         scratch.put_set(tmp);
+        scratch.gram_slots = grams;
         true
     }
 
@@ -900,6 +920,39 @@ impl NgramStats {
     pub fn num_sets(&self) -> usize {
         self.groups.len() + 1
     }
+}
+
+/// Stage every full-length literal n-gram of a LIKE pattern into reused
+/// `Value::Str` slots: on return the first `count` slots hold the grams,
+/// sorted (duplicates left adjacent for callers to skip). Slot strings and
+/// the char buffer retain their capacity, so a warm call allocates nothing.
+fn stage_pattern_ngrams(
+    slots: &mut Vec<Value>,
+    chars: &mut Vec<char>,
+    pattern: &str,
+    n: usize,
+) -> usize {
+    let mut count = 0usize;
+    for chunk in pattern.split(['%', '_']) {
+        chars.clear();
+        chars.extend(chunk.chars());
+        if chars.len() < n {
+            continue;
+        }
+        for w in chars.windows(n) {
+            if count == slots.len() {
+                slots.push(Value::Str(String::new()));
+            }
+            let Value::Str(s) = &mut slots[count] else {
+                unreachable!("gram slots hold strings only")
+            };
+            s.clear();
+            s.extend(w.iter().copied());
+            count += 1;
+        }
+    }
+    slots[..count].sort_unstable();
+    count
 }
 
 /// All full-length literal n-grams of a LIKE pattern (literal runs between

@@ -55,8 +55,9 @@
 //!
 //! Together with the allocation-free FDSB kernel, a warm session performs
 //! **zero heap allocations per query** on the cached path for equality,
-//! range, and IN predicates (asserted by the `zero_alloc` integration
-//! test; LIKE resolution still allocates its n-gram strings).
+//! range, IN, and LIKE predicates (asserted by the `zero_alloc`
+//! integration test; LIKE gram extraction is backed by the session's
+//! reused `Value::Str` slots).
 
 use crate::bound::{fdsb_with_scratch, BoundError, BoundScratch, RelationBoundStats};
 use crate::conditioning::{CdsScratch, CdsSet, SetOp};
@@ -101,7 +102,8 @@ impl From<BoundError> for EstimateError {
 const MAX_CACHED_SHAPES: usize = 1024;
 
 /// Cap on memoized per-literal MCV equality lookups per session (bounds
-/// session memory under adversarial literal churn; hot values stay in).
+/// session memory under adversarial literal churn). At capacity a clock
+/// sweep evicts cold entries, so late-arriving hot literals still enter.
 const MAX_EQ_MEMO_VALUES: usize = 4096;
 
 /// Everything memoized for one query shape: the surviving acyclic
@@ -195,42 +197,124 @@ struct RelCond {
 /// `(table symbol, filter slot) → literal`. Hot literals (repeated
 /// equality / IN values) skip the Bloom-filter probe and group-max
 /// entirely; a hit copies the memoized set through the arena, so the warm
-/// path stays allocation-free. Flushed whenever the session attaches to a
+/// path stays allocation-free. At capacity a clock (second-chance) sweep
+/// evicts a cold entry, so literals that turn hot late still enter — the
+/// memo never freezes. Flushed whenever the session attaches to a
 /// different statistics build.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct EqMemo {
-    map: HashMap<(Sym, u32), HashMap<Value, CdsSet>>,
-    values: usize,
+    /// `(table, slot) → literal → slab index`. The nested map keeps hit
+    /// lookups borrowing the caller's `Value` (no key clone on the hot
+    /// path).
+    map: HashMap<(Sym, u32), HashMap<Value, usize>>,
+    /// Entry slab; the clock hand sweeps it in index order.
+    entries: Vec<EqMemoEntry>,
+    /// Max memoized literals before the clock starts evicting.
+    capacity: usize,
+    /// Clock hand: next slab index the eviction sweep examines.
+    hand: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+/// One memoized literal with its second-chance bit.
+#[derive(Debug)]
+struct EqMemoEntry {
+    key: (Sym, u32),
+    value: Value,
+    set: CdsSet,
+    /// Set on every hit, cleared as the clock hand passes. Fresh entries
+    /// start unreferenced — a literal earns its second chance with a
+    /// repeat hit — so adversarial one-shot churn evicts other churn, not
+    /// the established hot set.
+    referenced: bool,
+}
+
+impl Default for EqMemo {
+    fn default() -> Self {
+        EqMemo::with_capacity(MAX_EQ_MEMO_VALUES)
+    }
 }
 
 impl EqMemo {
+    fn with_capacity(capacity: usize) -> Self {
+        EqMemo {
+            map: HashMap::new(),
+            entries: Vec::new(),
+            capacity,
+            hand: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
     fn lookup(&mut self, sym: Sym, slot: u32, v: &Value) -> Option<&CdsSet> {
         match self.map.get(&(sym, slot)).and_then(|m| m.get(v)) {
-            Some(set) => {
+            Some(&i) => {
                 self.hits += 1;
-                Some(set)
+                self.entries[i].referenced = true;
+                Some(&self.entries[i].set)
             }
             None => None,
         }
     }
 
+    /// Memoize a freshly resolved literal (only ever called on the miss
+    /// path, where the full lookup already ran). Beyond capacity the clock
+    /// evicts the first entry that went a full hand pass without a hit.
     fn insert(&mut self, sym: Sym, slot: u32, v: &Value, set: &CdsSet) {
         self.misses += 1;
-        if self.values >= MAX_EQ_MEMO_VALUES {
+        if self.capacity == 0 {
             return;
         }
+        let i = if self.entries.len() < self.capacity {
+            self.entries.push(EqMemoEntry {
+                key: (sym, slot),
+                value: v.clone(),
+                set: set.clone(),
+                referenced: false,
+            });
+            self.entries.len() - 1
+        } else {
+            // Second-chance sweep: terminates within two passes because
+            // the first pass clears every referenced bit it crosses.
+            let victim = loop {
+                let idx = self.hand;
+                self.hand = (self.hand + 1) % self.entries.len();
+                let e = &mut self.entries[idx];
+                if e.referenced {
+                    e.referenced = false;
+                } else {
+                    break idx;
+                }
+            };
+            let old = &self.entries[victim];
+            if let Some(bucket) = self.map.get_mut(&old.key) {
+                bucket.remove(&old.value);
+                if bucket.is_empty() {
+                    self.map.remove(&old.key);
+                }
+            }
+            let e = &mut self.entries[victim];
+            e.key = (sym, slot);
+            e.value = v.clone();
+            e.set = set.clone();
+            e.referenced = false;
+            self.evictions += 1;
+            victim
+        };
         self.map
             .entry((sym, slot))
             .or_default()
-            .insert(v.clone(), set.clone());
-        self.values += 1;
+            .insert(v.clone(), i);
     }
 
     fn clear(&mut self) {
         self.map.clear();
-        self.values = 0;
+        self.entries.clear();
+        self.hand = 0;
     }
 }
 
@@ -321,6 +405,19 @@ impl BoundSession {
         self.eq_memo.misses
     }
 
+    /// Memo entries evicted by the clock sweep since creation.
+    pub fn eq_memo_evictions(&self) -> u64 {
+        self.eq_memo.evictions
+    }
+
+    /// Override the hot-literal memo capacity (default 4096; 0 disables
+    /// memoization). Existing memoized entries are kept only up to the new
+    /// capacity's eviction policy; intended for tests and tuning.
+    pub fn with_memo_capacity(mut self, capacity: usize) -> Self {
+        self.eq_memo = EqMemo::with_capacity(capacity);
+        self
+    }
+
     /// Re-target the session at a (different) snapshot: cached shapes,
     /// slots, and memoized lookups are meaningless under any other build.
     fn attach(&mut self, snap: &Arc<StatsSnapshot>) {
@@ -372,6 +469,9 @@ struct StatsCell {
     /// Mirrors `current.build_id`; readers whose session already holds the
     /// matching snapshot skip the mutex entirely.
     build_id: AtomicU64,
+    /// Number of [`SafeBound::swap_stats`] publications since creation
+    /// (refresh observability: serving front-ends report it in `STATS`).
+    swaps: AtomicU64,
     current: Mutex<Arc<StatsSnapshot>>,
 }
 
@@ -402,6 +502,7 @@ impl SafeBound {
         SafeBound {
             cell: Arc::new(StatsCell {
                 build_id: AtomicU64::new(snap.build_id),
+                swaps: AtomicU64::new(0),
                 current: Mutex::new(snap),
             }),
         }
@@ -421,6 +522,12 @@ impl SafeBound {
         self.cell.build_id.load(Ordering::Acquire)
     }
 
+    /// How many times [`SafeBound::swap_stats`] has published a new
+    /// snapshot through this handle (shared by every clone).
+    pub fn swap_count(&self) -> u64 {
+        self.cell.swaps.load(Ordering::Acquire)
+    }
+
     /// Publish a freshly built snapshot to every clone of this handle
     /// (hot swap; e.g. after a data refresh rebuilt statistics in the
     /// background). Readers are never paused: queries already running
@@ -434,6 +541,7 @@ impl SafeBound {
         // Publish the id while holding the lock so a reader that sees the
         // new id and misses its session cache always finds the new Arc.
         self.cell.build_id.store(snap.build_id, Ordering::Release);
+        self.cell.swaps.fetch_add(1, Ordering::AcqRel);
         drop(cur);
         snap
     }
@@ -1671,6 +1779,68 @@ mod tests {
         );
         let third = sb.bound_with_session(&q, &mut session).unwrap();
         assert_eq!(first.to_bits(), third.to_bits());
+    }
+
+    #[test]
+    fn eq_memo_clock_evicts_cold_entries() {
+        // At capacity the memo must keep admitting literals: the clock
+        // evicts a cold entry, an entry with a repeat hit survives, and
+        // the hit/miss counters stay accurate throughout.
+        let mut symbols = crate::symbol::SymbolTable::new();
+        let t = symbols.intern("t");
+        let set = CdsSet::default();
+        let v = Value::Int;
+        let mut memo = EqMemo::with_capacity(2);
+        assert!(memo.lookup(t, 0, &v(1)).is_none());
+        memo.insert(t, 0, &v(1), &set);
+        assert!(memo.lookup(t, 0, &v(2)).is_none());
+        memo.insert(t, 0, &v(2), &set);
+        // Literal 1 turns hot (earns its second chance); 2 stays cold.
+        assert!(memo.lookup(t, 0, &v(1)).is_some());
+        // A third literal arrives at capacity: the clock evicts cold 2.
+        assert!(memo.lookup(t, 0, &v(3)).is_none());
+        memo.insert(t, 0, &v(3), &set);
+        assert_eq!(memo.evictions, 1);
+        assert!(memo.lookup(t, 0, &v(1)).is_some(), "hot literal survives");
+        assert!(memo.lookup(t, 0, &v(3)).is_some(), "late literal entered");
+        assert!(memo.lookup(t, 0, &v(2)).is_none(), "cold literal evicted");
+        assert_eq!((memo.hits, memo.misses), (3, 3));
+    }
+
+    #[test]
+    fn eq_memo_admits_hot_literals_after_saturation() {
+        // End-to-end regression for the frozen-memo bug: a literal first
+        // seen after the memo saturates must still become a memo hit.
+        let (_, sb) = build();
+        let mut session = BoundSession::default().with_memo_capacity(4);
+        // Saturate the memo with a churn of distinct literals (each query
+        // memoizes the dimension literal and its propagated counterpart).
+        for year in 0..8 {
+            let q = parse_sql(&format!(
+                "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+                 WHERE mk.keyword_id = k.id AND mk.year = {}",
+                1980 + year
+            ))
+            .unwrap();
+            sb.bound_with_session(&q, &mut session).unwrap();
+        }
+        assert!(session.eq_memo_evictions() > 0, "churn must evict");
+        // A literal that never appeared before saturation turns hot now.
+        let late = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word = 'rare'",
+        )
+        .unwrap();
+        let cold = sb.bound(&late).unwrap();
+        let first = sb.bound_with_session(&late, &mut session).unwrap();
+        let hits_before = session.eq_memo_hits();
+        let second = sb.bound_with_session(&late, &mut session).unwrap();
+        assert!(
+            session.eq_memo_hits() > hits_before,
+            "late-arriving hot literal must enter the memo and hit"
+        );
+        assert_eq!(first.to_bits(), cold.to_bits());
+        assert_eq!(second.to_bits(), cold.to_bits());
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! [`BoundScratch`] arena. The same guarantee extends end to end: a warm
 //! [`BoundSession`] serves repeated query templates (same shape, any
 //! literals) through the shape cache and [`CdsScratch`](safebound_core::CdsScratch)
-//! pools without a single allocation, predicate resolution and stats
-//! assembly included.
+//! pools without a single allocation — predicate resolution (LIKE gram
+//! extraction included) and stats assembly too.
 
 use safebound_core::{
     fdsb_with_scratch, BoundScratch, BoundSession, DegreeSequence, RelationBoundStats, SafeBound,
@@ -143,19 +143,24 @@ fn steady_state_holds_across_alternating_plans() {
     );
 }
 
-/// A small fact/dimension catalog exercising equality, range, IN, and
-/// propagated predicates on the end-to-end path.
+/// A small fact/dimension catalog exercising equality, range, IN, LIKE,
+/// and propagated predicates on the end-to-end path.
 fn end_to_end_catalog() -> Catalog {
     let mut c = Catalog::new();
+    let names = [
+        "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel",
+    ];
     let dim = Table::new(
         "dim",
         Schema::new(vec![
             Field::new("id", DataType::Int),
             Field::new("w", DataType::Int),
+            Field::new("name", DataType::Str),
         ]),
         vec![
             Column::from_ints((0..8).map(Some)),
             Column::from_ints((0..8).map(|i| Some(i % 3))),
+            Column::from_strs(names.map(Some)),
         ],
     );
     let mut fks = Vec::new();
@@ -187,8 +192,11 @@ fn steady_state_cached_bound_allocates_nothing() {
     let sb = SafeBound::build(&catalog, SafeBoundConfig::test_small());
 
     // One repeated template, several literal instantiations (same shape):
-    // equality + range + IN + a propagated dimension predicate. Parsed up
-    // front — parsing itself naturally allocates.
+    // equality + range + IN + LIKE + a propagated dimension predicate.
+    // Parsed up front — parsing itself naturally allocates. The LIKE
+    // patterns exercise gram extraction (multi-gram chunks, wildcards,
+    // and the propagated dimension-predicate path) from the session's
+    // reused slots.
     let queries: Vec<Query> = [
         "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year = 1992 AND d.w = 0",
         "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year = 1995 AND d.w = 2",
@@ -198,6 +206,10 @@ fn steady_state_cached_bound_allocates_nothing() {
          WHERE f.fk = d.id AND f.year BETWEEN 1993 AND 1999 AND d.w IN (1, 2)",
         "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year < 1990",
         "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year > 1994",
+        "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND d.name LIKE '%alph%'",
+        "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND d.name LIKE '%rav%'",
+        "SELECT COUNT(*) FROM fact f, dim d \
+         WHERE f.fk = d.id AND d.name LIKE 'cha%lie' AND f.year = 1991",
     ]
     .iter()
     .map(|sql| parse_sql(sql).unwrap())
@@ -250,6 +262,7 @@ fn steady_state_parallel_worker_sessions_allocate_nothing() {
         "SELECT COUNT(*) FROM fact f, dim d \
          WHERE f.fk = d.id AND f.year BETWEEN 1991 AND 1994 AND d.w IN (0, 1)",
         "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year > 1994",
+        "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND d.name LIKE '%ang%'",
     ]
     .iter()
     .map(|sql| parse_sql(sql).unwrap())

@@ -1,25 +1,38 @@
 //! CLI driver for the SafeBound serving front-end.
 //!
 //! ```text
-//! safebound-serve serve [--addr 127.0.0.1:7878] [--workers N] [--scale tiny|default|full]
+//! safebound-serve serve [--addr 127.0.0.1:7878] [--workers N]
+//!                       [--scale tiny|default|full] [--refresh-secs N]
+//!                       [--max-conns N] [--max-inflight N] [--idle-secs N]
 //!     Build the bundled IMDB catalog + SafeBound statistics, then serve
-//!     the line protocol (see crate docs) until killed.
+//!     the line protocol (see crate docs) with a background statistics
+//!     refresher (periodic when --refresh-secs > 0, always available via
+//!     the REFRESH verb; --idle-secs 0 disables the idle timeout) until
+//!     killed or told to SHUTDOWN — on which every
+//!     connection handler, worker, and the refresher is joined before the
+//!     process exits.
 //!
 //! safebound-serve query --addr 127.0.0.1:7878 "SELECT COUNT(*) FROM ..." [more SQL...]
 //!     Connect to a running server, send each SQL argument (as one BATCH
 //!     when several), print the response lines.
 //! ```
 
-use safebound_core::{SafeBound, SafeBoundConfig};
+use safebound_core::{SafeBound, SafeBoundBuilder, SafeBoundConfig};
 use safebound_datagen::{imdb_catalog, ImdbScale};
-use safebound_serve::{serve, BoundService};
+use safebound_serve::{
+    serve_with, BoundService, RefreshConfig, ServeOptions, ShutdownToken, StatsRefresher,
+};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  safebound-serve serve [--addr HOST:PORT] [--workers N] [--scale tiny|default|full]\n  safebound-serve query --addr HOST:PORT SQL [SQL...]"
+        "usage:\n  safebound-serve serve [--addr HOST:PORT] [--workers N] \
+         [--scale tiny|default|full] [--refresh-secs N] [--max-conns N] \
+         [--max-inflight N] [--idle-secs N]\n  \
+         safebound-serve query --addr HOST:PORT SQL [SQL...]"
     );
     std::process::exit(2);
 }
@@ -37,17 +50,30 @@ fn cmd_serve(args: &[String]) {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut scale_name = "tiny".to_string();
+    let mut refresh_secs = 0u64;
+    let mut opts = ServeOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        let mut parse = |what: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} needs a number"))
+        };
         match a.as_str() {
             "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
-            "--workers" => {
-                workers = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
+            "--workers" => workers = parse("--workers") as usize,
             "--scale" => scale_name = it.next().cloned().unwrap_or_else(|| usage()),
+            "--refresh-secs" => refresh_secs = parse("--refresh-secs"),
+            "--max-conns" => opts.max_connections = parse("--max-conns") as usize,
+            "--max-inflight" => opts.max_inflight_batches = parse("--max-inflight") as usize,
+            "--idle-secs" => {
+                // 0 = never time out idle connections (mirrors
+                // --refresh-secs, where 0 disables the cadence).
+                opts.idle_timeout = match parse("--idle-secs") {
+                    0 => Duration::MAX,
+                    n => Duration::from_secs(n),
+                }
+            }
             _ => usage(),
         }
     }
@@ -56,7 +82,8 @@ fn cmd_serve(args: &[String]) {
 
     eprintln!("building IMDB catalog ({scale_name}) + SafeBound statistics…");
     let catalog = imdb_catalog(&scale, 1);
-    let sb = SafeBound::build(&catalog, SafeBoundConfig::default());
+    let config = SafeBoundConfig::default();
+    let sb = SafeBound::build(&catalog, config.clone());
     let snapshot = sb.snapshot();
     eprintln!(
         "statistics ready: build {} — {} CDS sets, {} bytes",
@@ -66,10 +93,51 @@ fn cmd_serve(args: &[String]) {
     );
     drop(snapshot);
 
+    // Lifecycle: one token threaded through the refresher, the accept
+    // loop, and every connection handler; SHUTDOWN (or an accept-loop
+    // error) drains all of them, then workers and refresher are joined.
+    let shutdown = ShutdownToken::new();
+    let refresher = Arc::new(StatsRefresher::spawn(
+        sb.clone(),
+        move || SafeBoundBuilder::new(config.clone()).build(&catalog),
+        RefreshConfig {
+            interval: (refresh_secs > 0).then(|| Duration::from_secs(refresh_secs)),
+            ..RefreshConfig::default()
+        },
+        shutdown.clone(),
+    ));
+
     let service = Arc::new(BoundService::new(sb, workers));
     let listener = TcpListener::bind(&addr).expect("bind listen address");
-    eprintln!("serving on {addr} with {workers} workers (line protocol; try PING / SQL / QUIT)");
-    serve(service, listener).expect("accept loop");
+    eprintln!(
+        "serving on {addr} with {workers} workers (line protocol; try PING / SQL / STATS / \
+         REFRESH / SHUTDOWN), refresh cadence: {}",
+        if refresh_secs > 0 {
+            format!("{refresh_secs}s")
+        } else {
+            "on demand only".to_string()
+        }
+    );
+    serve_with(
+        service.clone(),
+        listener,
+        Some(refresher.clone()),
+        shutdown,
+        opts,
+    )
+    .expect("accept loop");
+
+    // Graceful exit: handlers are already joined by serve_with; join the
+    // refresher, then the worker pool.
+    eprintln!("shutdown: connections drained, stopping refresher…");
+    refresher.stop();
+    drop(refresher);
+    let Ok(service) = Arc::try_unwrap(service) else {
+        unreachable!("all connection handlers joined by serve_with")
+    };
+    let workers = service.num_workers();
+    drop(service); // joins the worker threads
+    eprintln!("shutdown complete: refresher and {workers} workers joined");
 }
 
 fn cmd_query(args: &[String]) {

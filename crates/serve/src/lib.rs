@@ -42,11 +42,38 @@
 //!   round-trip per worker per batch instead of per query, and each
 //!   worker's session/scratch is reused across its whole slice — this is
 //!   what makes batched serving beat request-at-a-time dispatch.
-//! * **Hot swap**: the service never pauses. A background rebuild calls
+//! * **Hot swap**: the service never pauses. A rebuild calls
 //!   [`SafeBound::swap_stats`](safebound_core::SafeBound::swap_stats) on
 //!   the service's handle; in-flight queries finish on the snapshot they
 //!   started with (their session pins it via `Arc`), and each worker picks
-//!   up the new build id on its next query, repopulating lazily.
+//!   up the new build id on its next query, repopulating lazily. The
+//!   [`StatsRefresher`](refresh::StatsRefresher) runs those rebuilds on
+//!   its own background thread — on a cadence, on demand (the `REFRESH`
+//!   verb), or both — so statistics stay fresh under live traffic without
+//!   ever borrowing a serving thread.
+//!
+//! ## Serving lifecycle
+//!
+//! [`serve_with`](server::serve_with) runs the accept loop under a
+//! [`ShutdownToken`](refresh::ShutdownToken) with admission control
+//! ([`ServeOptions`](server::ServeOptions)):
+//!
+//! * **Connection budget** — at `max_connections` live connections, new
+//!   accepts (and connections whose handler thread fails to spawn under
+//!   resource pressure) are answered `ERR overloaded` and closed; the
+//!   accept loop itself never dies.
+//! * **In-flight batch budget** — at `max_inflight_batches` concurrently
+//!   buffered `BATCH` requests, further batches are drained (bounded, one
+//!   reused line buffer) and answered with a single `ERR overloaded`, so
+//!   server memory stays flat under burst load instead of queueing
+//!   without limit.
+//! * **Idle timeout** — a connection with no complete request for
+//!   `idle_timeout` is answered `BYE` and closed.
+//! * **Graceful shutdown** — triggering the token (or the `SHUTDOWN`
+//!   verb) stops the accept loop, which joins every connection handler;
+//!   dropping the [`BoundService`](service::BoundService) then joins the
+//!   workers and [`StatsRefresher::stop`](refresh::StatsRefresher::stop)
+//!   joins the refresher: no thread outlives the server.
 //!
 //! ## Line protocol
 //!
@@ -56,22 +83,28 @@
 //! | request                     | response                                |
 //! |-----------------------------|-----------------------------------------|
 //! | `<SQL text>`                | `OK <bound>` or `ERR <message>`         |
-//! | `BATCH <n>` then `n` SQL lines | `n` `OK`/`ERR` lines (batched pool dispatch) |
+//! | `BATCH <n>` then `n` SQL lines | `n` `OK`/`ERR` lines (batched pool dispatch), or one `ERR overloaded` |
 //! | `PING`                      | `PONG`                                  |
-//! | `STATS`                     | `STATS workers=<n> build=<id>`          |
+//! | `STATS`                     | `STATS workers=<n> build=<id> swaps=<n> generation=<n> refresher=on\|off connections=<n> inflight_batches=<n>` |
+//! | `REFRESH`                   | `REFRESHED build=<id> generation=<n>` after a fresh rebuild publishes (`ERR` without a refresher) |
 //! | `QUIT`                      | `BYE`, then the connection closes       |
+//! | `SHUTDOWN`                  | `BYE`, then the whole server drains and stops |
 //!
 //! Responses come in request order; a malformed `BATCH` count answers
-//! `ERR`. The protocol is deliberately line-oriented so `nc`/`telnet`
-//! work as clients; the `safebound-serve` binary wraps it in a tiny CLI
-//! (`serve` / `query` subcommands) over the bundled IMDB generator.
+//! `ERR`; batch bodies are SQL only (a `QUIT` inside a batch is just a
+//! failing query, the connection stays up). The protocol is deliberately
+//! line-oriented so `nc`/`telnet` work as clients; the `safebound-serve`
+//! binary wraps it in a tiny CLI (`serve` / `query` subcommands) over the
+//! bundled IMDB generator.
 
 #![warn(missing_docs)]
 
+pub mod refresh;
 pub mod server;
 pub mod service;
 
-pub use server::serve;
+pub use refresh::{RefreshConfig, ShutdownToken, StatsRefresher};
+pub use server::{serve, serve_with, ServeOptions};
 pub use service::BoundService;
 
 // Re-exported so service consumers need only this crate.

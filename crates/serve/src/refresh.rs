@@ -1,0 +1,351 @@
+//! Serving lifecycle: background statistics refresh and cooperative
+//! shutdown.
+//!
+//! [`StatsRefresher`] owns the background half of the hot-swap story PR 3
+//! started: a dedicated thread rebuilds a
+//! [`StatsSnapshot`](safebound_core::StatsSnapshot) from a caller-provided
+//! source (usually the live catalog) on a configurable cadence and/or on
+//! demand, and publishes it through
+//! [`SafeBound::swap_stats`](safebound_core::SafeBound::swap_stats) — so
+//! rebuilds never run in a serving thread, and live traffic keeps flowing
+//! while statistics are replaced underneath it.
+//!
+//! [`ShutdownToken`] is the cooperative stop signal threaded through the
+//! whole serving stack: the accept loop polls it between accepts,
+//! connection handlers poll it on their read tick, and the refresher polls
+//! it between rebuilds. Triggering the token drains everything; every
+//! thread is joined on the way out (the server joins its handlers, the
+//! refresher joins in [`StatsRefresher::stop`]/`Drop`, and dropping the
+//! [`BoundService`](crate::BoundService) joins the workers).
+
+use safebound_core::{SafeBound, StatsSnapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A cooperatively polled shutdown signal shared by every serving thread.
+///
+/// Cloning is cheap; all clones observe the same flag. Threads are
+/// expected to check [`ShutdownToken::is_triggered`] at their natural
+/// pause points (accept polls, read timeouts, refresh waits) and unwind
+/// cleanly — nothing is interrupted mid-request.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownToken {
+    inner: Arc<AtomicBool>,
+}
+
+impl ShutdownToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> Self {
+        ShutdownToken::default()
+    }
+
+    /// Signal shutdown to every clone of this token (idempotent).
+    pub fn trigger(&self) {
+        self.inner.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been signalled.
+    pub fn is_triggered(&self) -> bool {
+        self.inner.load(Ordering::Acquire)
+    }
+}
+
+/// When the background refresher rebuilds statistics.
+#[derive(Clone, Debug)]
+pub struct RefreshConfig {
+    /// Rebuild cadence; `None` disables periodic rebuilds (the refresher
+    /// then only rebuilds on demand — the `REFRESH` protocol verb or
+    /// [`StatsRefresher::refresh_blocking`]).
+    pub interval: Option<Duration>,
+    /// How often the idle refresher re-checks the shutdown token.
+    pub tick: Duration,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig {
+            interval: None,
+            tick: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Coordination state shared between the refresher thread and requesters.
+#[derive(Debug, Default)]
+struct RefreshState {
+    /// Total on-demand refresh requests issued. Requests coalesce: one
+    /// rebuild satisfies every request issued before it **started**.
+    requests: u64,
+    /// All requests ≤ this were issued before some completed rebuild
+    /// started (i.e. are satisfied by a published snapshot).
+    completed_through: u64,
+    /// Completed rebuild+publish cycles.
+    generation: u64,
+    /// Build id of the most recently published snapshot (0 = none yet).
+    last_build_id: u64,
+    /// Stop requested via [`StatsRefresher::stop`] (the shared shutdown
+    /// token stops the refresher too; this flag stops only the refresher).
+    stop_requested: bool,
+    /// The refresher thread has exited.
+    stopped: bool,
+}
+
+#[derive(Debug)]
+struct RefreshShared {
+    state: Mutex<RefreshState>,
+    cv: Condvar,
+}
+
+/// A background thread that rebuilds statistics and hot-swaps them into a
+/// [`SafeBound`] handle — periodically, on demand, or both.
+///
+/// Construction spawns the thread; [`StatsRefresher::stop`] (or `Drop`)
+/// joins it. The refresher never blocks serving threads: rebuilds run
+/// entirely on its own thread and publish atomically via `swap_stats`,
+/// and in-flight queries finish on the snapshot they started with.
+pub struct StatsRefresher {
+    shared: Arc<RefreshShared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for StatsRefresher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.state.lock().expect("refresh state poisoned");
+        f.debug_struct("StatsRefresher")
+            .field("generation", &st.generation)
+            .field("last_build_id", &st.last_build_id)
+            .field("stopped", &st.stopped)
+            .finish()
+    }
+}
+
+impl StatsRefresher {
+    /// Spawn a refresher over `handle`. `source` produces each fresh
+    /// snapshot (it runs on the refresher thread; typically it re-scans a
+    /// catalog through `SafeBoundBuilder`). The refresher exits when
+    /// `shutdown` triggers or [`StatsRefresher::stop`] is called.
+    pub fn spawn(
+        handle: SafeBound,
+        mut source: impl FnMut() -> StatsSnapshot + Send + 'static,
+        config: RefreshConfig,
+        shutdown: ShutdownToken,
+    ) -> Self {
+        let shared = Arc::new(RefreshShared {
+            state: Mutex::new(RefreshState::default()),
+            cv: Condvar::new(),
+        });
+        let thread_shared = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name("safebound-refresh".to_string())
+            .spawn(move || {
+                let mut last_build = Instant::now();
+                loop {
+                    // Wait for demand, cadence, or shutdown.
+                    let satisfies = {
+                        let mut st = thread_shared.state.lock().expect("refresh state poisoned");
+                        loop {
+                            if shutdown.is_triggered() || st.stop_requested {
+                                st.stopped = true;
+                                thread_shared.cv.notify_all();
+                                return;
+                            }
+                            if st.requests > st.completed_through {
+                                break st.requests;
+                            }
+                            let wait = match config.interval {
+                                Some(iv) => {
+                                    let since = last_build.elapsed();
+                                    if since >= iv {
+                                        break st.requests;
+                                    }
+                                    (iv - since).min(config.tick)
+                                }
+                                None => config.tick,
+                            };
+                            let (guard, _) = thread_shared
+                                .cv
+                                .wait_timeout(st, wait)
+                                .expect("refresh state poisoned");
+                            st = guard;
+                        }
+                    };
+                    // Rebuild outside the lock: requesters and observers
+                    // stay responsive during the (potentially long) build.
+                    let snapshot = source();
+                    let published = handle.swap_stats(snapshot);
+                    last_build = Instant::now();
+                    let mut st = thread_shared.state.lock().expect("refresh state poisoned");
+                    st.generation += 1;
+                    st.last_build_id = published.build_id;
+                    st.completed_through = satisfies;
+                    thread_shared.cv.notify_all();
+                }
+            })
+            .expect("spawn refresh thread");
+        StatsRefresher {
+            shared,
+            thread: Mutex::new(Some(thread)),
+        }
+    }
+
+    /// Request a rebuild and block until a snapshot built after this call
+    /// is published. Returns `(build_id, generation)` of that snapshot, or
+    /// `None` if the refresher stopped before completing the request.
+    pub fn refresh_blocking(&self) -> Option<(u64, u64)> {
+        let mut st = self.shared.state.lock().expect("refresh state poisoned");
+        if st.stopped {
+            return None;
+        }
+        st.requests += 1;
+        let my = st.requests;
+        self.shared.cv.notify_all();
+        while st.completed_through < my && !st.stopped {
+            st = self.shared.cv.wait(st).expect("refresh state poisoned");
+        }
+        (st.completed_through >= my).then_some((st.last_build_id, st.generation))
+    }
+
+    /// Completed rebuild+publish cycles since spawn.
+    pub fn generation(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("refresh state poisoned")
+            .generation
+    }
+
+    /// Build id of the most recently published snapshot (0 = none yet).
+    pub fn last_build_id(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("refresh state poisoned")
+            .last_build_id
+    }
+
+    /// Whether the refresher thread has exited.
+    pub fn is_stopped(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .expect("refresh state poisoned")
+            .stopped
+    }
+
+    /// Stop the refresher and join its thread (idempotent). A rebuild in
+    /// flight completes and publishes first; requests it doesn't cover are
+    /// woken with `None`.
+    pub fn stop(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("refresh state poisoned");
+            st.stop_requested = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(handle) = self
+            .thread
+            .lock()
+            .expect("refresh thread slot poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StatsRefresher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safebound_core::{SafeBoundBuilder, SafeBoundConfig};
+    use safebound_storage::{Catalog, Column, DataType, Field, Schema, Table};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(Table::new(
+            "r",
+            Schema::new(vec![Field::new("x", DataType::Int)]),
+            vec![Column::from_ints([1, 1, 2, 3].map(Some))],
+        ));
+        c
+    }
+
+    #[test]
+    fn on_demand_refresh_publishes_new_build() {
+        let cat = catalog();
+        let sb = SafeBound::build(&cat, SafeBoundConfig::test_small());
+        let first_build = sb.build_id();
+        let refresher = StatsRefresher::spawn(
+            sb.clone(),
+            move || SafeBoundBuilder::new(SafeBoundConfig::test_small()).build(&cat),
+            RefreshConfig::default(),
+            ShutdownToken::new(),
+        );
+        let (id1, gen1) = refresher.refresh_blocking().expect("refresh completes");
+        assert_ne!(id1, first_build);
+        assert_eq!(sb.build_id(), id1);
+        assert_eq!(gen1, 1);
+        let (id2, gen2) = refresher.refresh_blocking().expect("refresh completes");
+        assert_ne!(id2, id1);
+        assert_eq!(gen2, 2);
+        assert_eq!(sb.swap_count(), 2);
+        refresher.stop();
+        assert!(refresher.is_stopped());
+        assert!(refresher.refresh_blocking().is_none());
+    }
+
+    #[test]
+    fn periodic_refresh_swaps_on_cadence() {
+        let cat = catalog();
+        let sb = SafeBound::build(&cat, SafeBoundConfig::test_small());
+        let refresher = StatsRefresher::spawn(
+            sb.clone(),
+            move || SafeBoundBuilder::new(SafeBoundConfig::test_small()).build(&cat),
+            RefreshConfig {
+                interval: Some(Duration::from_millis(20)),
+                tick: Duration::from_millis(5),
+            },
+            ShutdownToken::new(),
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while sb.swap_count() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(sb.swap_count() >= 2, "cadence must drive repeated swaps");
+        assert!(refresher.generation() >= 2);
+        assert_eq!(refresher.last_build_id(), sb.build_id());
+        refresher.stop();
+        let after = sb.swap_count();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(sb.swap_count(), after, "stopped refresher must not swap");
+    }
+
+    #[test]
+    fn shared_shutdown_token_stops_refresher() {
+        let cat = catalog();
+        let sb = SafeBound::build(&cat, SafeBoundConfig::test_small());
+        let shutdown = ShutdownToken::new();
+        let refresher = StatsRefresher::spawn(
+            sb.clone(),
+            move || SafeBoundBuilder::new(SafeBoundConfig::test_small()).build(&cat),
+            RefreshConfig {
+                interval: None,
+                tick: Duration::from_millis(5),
+            },
+            shutdown.clone(),
+        );
+        shutdown.trigger();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !refresher.is_stopped() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(refresher.is_stopped());
+        refresher.stop(); // idempotent join
+    }
+}

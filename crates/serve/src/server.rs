@@ -2,51 +2,324 @@
 //! protocol documented in the crate docs: SQL in, `OK <bound>` out, one
 //! thread per connection, all bound work delegated to the shared
 //! [`BoundService`] pool.
+//!
+//! The serving lifecycle lives here too: [`serve_with`] runs the accept
+//! loop under a [`ShutdownToken`], enforces a bounded connection budget
+//! and a bounded in-flight-batch budget (shedding with `ERR overloaded`
+//! instead of queueing without limit), applies per-connection idle
+//! timeouts, and — when given a [`StatsRefresher`] — serves the `REFRESH`
+//! verb and reports refresh generations in `STATS`. On shutdown the
+//! accept loop stops, every connection handler is joined, and the caller
+//! can then drop the service (joining the workers) and stop the refresher
+//! for a fully clean exit.
 
+use crate::refresh::{ShutdownToken, StatsRefresher};
 use crate::service::BoundService;
 use safebound_query::parse_sql;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// Accept connections forever, one handler thread per client.
+/// Upper bound on `BATCH n` so a client cannot make the server buffer an
+/// unbounded query list.
+const MAX_BATCH: usize = 65_536;
+
+/// Admission-control and lifecycle knobs for [`serve_with`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Max concurrently served connections; further accepts are answered
+    /// `ERR overloaded` and closed immediately.
+    pub max_connections: usize,
+    /// Max `BATCH` requests in flight across all connections (each batch
+    /// buffers up to `MAX_BATCH` parsed queries, so this budget bounds the
+    /// server's queueing memory); a batch over budget is drained and
+    /// answered with a single `ERR overloaded` line.
+    pub max_inflight_batches: usize,
+    /// Close a connection after this long without a complete request.
+    pub idle_timeout: Duration,
+    /// Poll granularity for shutdown/idle checks (accept-loop sleep and
+    /// per-connection read timeout).
+    pub tick: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_connections: 1024,
+            max_inflight_batches: 64,
+            idle_timeout: Duration::from_secs(300),
+            tick: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Counting semaphore over in-flight batches (see
+/// [`ServeOptions::max_inflight_batches`]).
+#[derive(Debug)]
+struct BatchBudget {
+    max: usize,
+    in_flight: AtomicUsize,
+}
+
+impl BatchBudget {
+    fn new(max: usize) -> Arc<Self> {
+        Arc::new(BatchBudget {
+            max,
+            in_flight: AtomicUsize::new(0),
+        })
+    }
+
+    fn try_acquire(self: &Arc<Self>) -> Option<BatchPermit> {
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max {
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(BatchPermit(self.clone())),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn in_use(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII slot in the batch budget; dropping releases it.
+struct BatchPermit(Arc<BatchBudget>);
+
+impl Drop for BatchPermit {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Decrements the live-connection counter when a handler (or a failed
+/// spawn) releases its admission slot.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Everything a connection handler needs, shared across connections.
+struct ConnCtx {
+    service: Arc<BoundService>,
+    refresher: Option<Arc<StatsRefresher>>,
+    shutdown: ShutdownToken,
+    batches: Arc<BatchBudget>,
+    active: Arc<AtomicUsize>,
+    idle_timeout: Duration,
+    tick: Duration,
+}
+
+/// Accept connections until the shutdown token triggers, one handler
+/// thread per admitted client, then join every handler before returning.
 ///
 /// Blocks the calling thread; run it on a dedicated thread if the caller
 /// needs to keep working (the `safebound-serve` binary just parks here).
-pub fn serve(service: Arc<BoundService>, listener: TcpListener) -> std::io::Result<()> {
-    for stream in listener.incoming() {
-        let stream = match stream {
-            Ok(s) => s,
+pub fn serve_with(
+    service: Arc<BoundService>,
+    listener: TcpListener,
+    refresher: Option<Arc<StatsRefresher>>,
+    shutdown: ShutdownToken,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
+    // Non-blocking accept lets the loop poll the shutdown token; admitted
+    // connections are switched back to (timeout-)blocking reads below.
+    listener.set_nonblocking(true)?;
+    let active: Arc<AtomicUsize> = Arc::new(AtomicUsize::new(0));
+    let ctx = Arc::new(ConnCtx {
+        service,
+        refresher,
+        shutdown: shutdown.clone(),
+        batches: BatchBudget::new(opts.max_inflight_batches),
+        active: active.clone(),
+        idle_timeout: opts.idle_timeout,
+        tick: opts.tick,
+    });
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.is_triggered() {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                handlers.retain(|h| !h.is_finished());
+                std::thread::sleep(opts.tick);
+                continue;
+            }
             Err(e) => {
                 // Transient accept failures (ECONNABORTED on a client
                 // reset, EMFILE under fd pressure) must not kill the
-                // server; log and keep accepting.
+                // server; log and keep accepting. Sleep a tick so a
+                // persistent failure (fd exhaustion with a pending
+                // connection) cannot hot-spin the accept thread.
                 eprintln!("safebound-serve: accept error: {e}");
+                std::thread::sleep(opts.tick);
                 continue;
             }
         };
-        let service = service.clone();
-        std::thread::Builder::new()
+        handlers.retain(|h| !h.is_finished());
+        if active.load(Ordering::Acquire) >= opts.max_connections {
+            shed(&stream);
+            continue;
+        }
+        active.fetch_add(1, Ordering::AcqRel);
+        let guard = ConnGuard(active.clone());
+        // Keep a shedding handle: if the spawn itself fails (thread/fd
+        // pressure), the moved-in stream is gone but the duplicate lets us
+        // answer the client instead of silently dropping it.
+        let shed_handle = stream.try_clone().ok();
+        let ctx = ctx.clone();
+        let spawned = std::thread::Builder::new()
             .name("safebound-conn".to_string())
             .spawn(move || {
-                let _ = handle_connection(&service, stream);
-            })
-            .expect("spawn connection thread");
+                let _guard = guard;
+                let _ = handle_connection(&ctx, stream);
+            });
+        match spawned {
+            Ok(h) => handlers.push(h),
+            Err(e) => {
+                // Shed this connection and keep accepting: a spawn failure
+                // under load must never take down the accept loop. (The
+                // closure was dropped, releasing the admission slot.)
+                eprintln!("safebound-serve: connection spawn failed, shedding: {e}");
+                if let Some(s) = shed_handle {
+                    shed(&s);
+                }
+            }
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
     }
     Ok(())
 }
 
-/// Serve one client until `QUIT`, EOF, or an I/O error.
-pub fn handle_connection(service: &BoundService, stream: TcpStream) -> std::io::Result<()> {
+/// Accept connections forever with default options, no refresher, and no
+/// external shutdown (compatibility entry point; see [`serve_with`]).
+pub fn serve(service: Arc<BoundService>, listener: TcpListener) -> std::io::Result<()> {
+    serve_with(
+        service,
+        listener,
+        None,
+        ShutdownToken::new(),
+        ServeOptions::default(),
+    )
+}
+
+/// Refuse a connection with a single `ERR overloaded` line.
+fn shed(stream: &TcpStream) {
+    let mut s = stream;
+    let _ = writeln!(s, "ERR overloaded");
+    let _ = s.flush();
+}
+
+/// Upper bound on one request line, in bytes. A longer line is refused
+/// and the connection closed (past it the stream cannot be re-synced);
+/// together with `MAX_BATCH` and the in-flight-batch budget this caps
+/// per-connection buffering, which the admission story relies on.
+const MAX_LINE: usize = 1 << 20;
+
+/// Outcome of a patient line read.
+enum LineRead {
+    /// A complete line arrived.
+    Line,
+    /// Clean end of stream.
+    Eof,
+    /// The connection should close (idle timeout or shutdown).
+    Close,
+    /// The line exceeded [`MAX_LINE`] bytes.
+    Overlong,
+}
+
+/// Read one line as raw bytes, tolerating read-timeout ticks: partial
+/// data accumulates in `buf` across ticks (bytes, not chars, so a tick
+/// landing mid-UTF-8-sequence loses nothing), the shutdown token is
+/// polled every tick, `idle` (time of the last completed request)
+/// enforces the idle timeout, and [`MAX_LINE`] bounds the buffer.
+fn read_line_patiently(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    ctx: &ConnCtx,
+    idle: &Instant,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    loop {
+        let room = (MAX_LINE + 1).saturating_sub(buf.len());
+        if room == 0 {
+            return Ok(LineRead::Overlong);
+        }
+        match reader.by_ref().take(room as u64).read_until(b'\n', buf) {
+            Ok(0) => {
+                // Nothing more will come: answer a trailing newline-less
+                // line if one accumulated, otherwise it's a clean EOF.
+                return Ok(if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                });
+            }
+            Ok(_) if buf.last() == Some(&b'\n') => return Ok(LineRead::Line),
+            Ok(_) => {
+                // Stopped short of a newline: the byte cap or a drained
+                // socket buffer. Loop — the cap check above rejects
+                // overlong lines, EOF/timeouts are handled per arm.
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if ctx.shutdown.is_triggered() || idle.elapsed() >= ctx.idle_timeout {
+                    return Ok(LineRead::Close);
+                }
+                // Partial bytes (if any) stay in `buf`; keep reading.
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serve one client until `QUIT`, EOF, idle timeout, shutdown, or an I/O
+/// error.
+fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
+    // On BSD-derived platforms accepted sockets inherit the listener's
+    // O_NONBLOCK, which would defeat the read timeout below; make the
+    // blocking mode explicit.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(ctx.tick))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
+    let mut buf = Vec::new();
+    let mut idle = Instant::now();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client hung up
+        match read_line_patiently(&mut reader, &mut buf, ctx, &idle)? {
+            LineRead::Line => {}
+            LineRead::Eof => return Ok(()), // client hung up
+            LineRead::Close => {
+                let _ = writeln!(writer, "BYE");
+                let _ = writer.flush();
+                return Ok(());
+            }
+            LineRead::Overlong => {
+                // Past the cap the stream cannot be re-synced; refuse and
+                // close instead of buffering without limit.
+                let _ = writeln!(writer, "ERR request line exceeds {MAX_LINE} bytes");
+                let _ = writer.flush();
+                return Ok(());
+            }
         }
-        let request = line.trim();
+        let text = String::from_utf8_lossy(&buf);
+        let request = text.trim();
         if request.is_empty() {
             continue;
         }
@@ -56,59 +329,107 @@ pub fn handle_connection(service: &BoundService, stream: TcpStream) -> std::io::
                 writer.flush()?;
                 return Ok(());
             }
+            "SHUTDOWN" => {
+                // Graceful server stop: answer, then trigger the token.
+                // The accept loop sheds new work and joins every handler.
+                writeln!(writer, "BYE")?;
+                writer.flush()?;
+                ctx.shutdown.trigger();
+                return Ok(());
+            }
             "PING" => writeln!(writer, "PONG")?,
-            "STATS" => writeln!(
-                writer,
-                "STATS workers={} build={}",
-                service.num_workers(),
-                service.estimator().build_id()
-            )?,
+            "STATS" => {
+                let (generation, refreshing) = match &ctx.refresher {
+                    Some(r) => (r.generation(), true),
+                    None => (0, false),
+                };
+                writeln!(
+                    writer,
+                    "STATS workers={} build={} swaps={} generation={} refresher={} \
+                     connections={} inflight_batches={}",
+                    ctx.service.num_workers(),
+                    ctx.service.estimator().build_id(),
+                    ctx.service.estimator().swap_count(),
+                    generation,
+                    if refreshing { "on" } else { "off" },
+                    ctx.active.load(Ordering::Acquire),
+                    ctx.batches.in_use(),
+                )?
+            }
+            "REFRESH" => match &ctx.refresher {
+                Some(r) => match r.refresh_blocking() {
+                    Some((build, generation)) => {
+                        writeln!(writer, "REFRESHED build={build} generation={generation}")?
+                    }
+                    None => writeln!(writer, "ERR refresher stopped")?,
+                },
+                None => writeln!(writer, "ERR no refresher configured")?,
+            },
             _ => {
                 if let Some(count) = request.strip_prefix("BATCH ") {
                     match count.trim().parse::<usize>() {
-                        Ok(n) if n <= MAX_BATCH => {
-                            serve_batch(service, &mut reader, &mut writer, n)?
-                        }
+                        Ok(n) if n <= MAX_BATCH => match ctx.batches.try_acquire() {
+                            Some(permit) => {
+                                let done =
+                                    serve_batch(ctx, &mut reader, &mut writer, n, &mut idle)?;
+                                drop(permit);
+                                if !done {
+                                    let _ = writer.flush();
+                                    return Ok(()); // shutdown/idle mid-batch
+                                }
+                            }
+                            None => {
+                                // Over the in-flight budget: consume the
+                                // announced lines (bounded, one reused
+                                // buffer — memory stays flat) and shed.
+                                if !drain_batch(ctx, &mut reader, n, &mut idle)? {
+                                    return Ok(());
+                                }
+                                writeln!(writer, "ERR overloaded")?
+                            }
+                        },
                         Ok(n) => writeln!(writer, "ERR batch of {n} exceeds {MAX_BATCH}")?,
                         Err(_) => writeln!(writer, "ERR malformed BATCH count {count:?}")?,
                     }
                 } else {
-                    let response = answer(service, request);
+                    let response = answer(&ctx.service, request);
                     writeln!(writer, "{response}")?;
                 }
             }
         }
         writer.flush()?;
+        idle = Instant::now();
     }
 }
 
-/// Upper bound on `BATCH n` so a client cannot make the server buffer an
-/// unbounded query list.
-const MAX_BATCH: usize = 65_536;
-
 /// Read `n` SQL lines, answer all of them through one pool dispatch.
+/// Returns `false` when the connection should close (shutdown or idle
+/// timeout mid-batch); EOF mid-batch still answers the lines that arrived.
 fn serve_batch(
-    service: &BoundService,
+    ctx: &ConnCtx,
     reader: &mut impl BufRead,
     writer: &mut impl Write,
     n: usize,
-) -> std::io::Result<()> {
+    idle: &mut Instant,
+) -> std::io::Result<bool> {
     // Parse up front; parse failures answer ERR at their position without
     // aborting the rest of the batch.
     let mut parsed = Vec::with_capacity(n);
-    let mut line = String::new();
+    let mut buf = Vec::new();
     for _ in 0..n {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break; // EOF mid-batch: answer what arrived
+        match read_line_patiently(reader, &mut buf, ctx, idle)? {
+            LineRead::Line => parsed
+                .push(parse_sql(String::from_utf8_lossy(&buf).trim()).map_err(|e| e.to_string())),
+            LineRead::Eof => break, // EOF mid-batch: answer what arrived
+            LineRead::Close | LineRead::Overlong => return Ok(false),
         }
-        parsed.push(parse_sql(line.trim()).map_err(|e| e.to_string()));
+        *idle = Instant::now();
     }
     let queries: Vec<_> = parsed
         .iter()
         .filter_map(|p| p.as_ref().ok().cloned())
         .collect();
-    let mut bounds = service.bound_batch(&queries).into_iter();
+    let mut bounds = ctx.service.bound_batch_shared(queries.into()).into_iter();
     for p in &parsed {
         match p {
             Ok(_) => match bounds.next().expect("one bound per parsed query") {
@@ -118,7 +439,26 @@ fn serve_batch(
             Err(e) => writeln!(writer, "ERR parse: {e}")?,
         }
     }
-    Ok(())
+    Ok(true)
+}
+
+/// Consume (and discard) the `n` lines of a shed batch so the protocol
+/// stream stays in sync. Returns `false` when the connection should close.
+fn drain_batch(
+    ctx: &ConnCtx,
+    reader: &mut impl BufRead,
+    n: usize,
+    idle: &mut Instant,
+) -> std::io::Result<bool> {
+    let mut buf = Vec::new();
+    for _ in 0..n {
+        match read_line_patiently(reader, &mut buf, ctx, idle)? {
+            LineRead::Line => *idle = Instant::now(), // still actively sending
+            LineRead::Eof => break,
+            LineRead::Close | LineRead::Overlong => return Ok(false),
+        }
+    }
+    Ok(true)
 }
 
 /// One SQL request → one response line.
@@ -216,6 +556,15 @@ mod tests {
         let single: f64 = responses[2][3..].parse().unwrap();
         assert_eq!(single, 4.0); // |r|
         assert!(responses[3].starts_with("STATS workers=2"), "{responses:?}");
+        assert!(responses[3].contains("generation=0"), "{responses:?}");
+        assert!(responses[3].contains("refresher=off"), "{responses:?}");
         assert_eq!(responses[4], "BYE");
+    }
+
+    #[test]
+    fn refresh_without_refresher_is_an_error() {
+        let responses = roundtrip(&["REFRESH", "QUIT"]);
+        assert_eq!(responses[0], "ERR no refresher configured");
+        assert_eq!(responses[1], "BYE");
     }
 }

@@ -40,6 +40,9 @@ pub struct BoundService {
     senders: Vec<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     served: Arc<Vec<AtomicU64>>,
+    /// Queries re-routed off their shape-affine worker by the batch
+    /// load-balancer (see [`BoundService::bound_batch_shared`]).
+    spills: AtomicU64,
 }
 
 impl BoundService {
@@ -66,6 +69,7 @@ impl BoundService {
             senders,
             workers: handles,
             served,
+            spills: AtomicU64::new(0),
         }
     }
 
@@ -87,6 +91,12 @@ impl BoundService {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Queries re-dealt off their shape-affine worker because one shard
+    /// dominated a batch (load-balancing observability).
+    pub fn spill_count(&self) -> u64 {
+        self.spills.load(Ordering::Relaxed)
     }
 
     /// Bound one query on its shape-routed worker (blocks for the reply).
@@ -123,6 +133,7 @@ impl BoundService {
         for (i, q) in shared.iter().enumerate() {
             parts[(q.shape_hash() % n as u64) as usize].push(i);
         }
+        self.balance_parts(&mut parts, shared.len());
         let (tx, rx) = mpsc::channel();
         let mut outstanding = 0usize;
         for (w, indices) in parts.into_iter().enumerate() {
@@ -150,7 +161,52 @@ impl BoundService {
             .map(|r| r.expect("every index answered"))
             .collect()
     }
+
+    /// Rebalance a shape-hash partition whose skew would serialize the
+    /// batch: pure shape routing sends every instance of one template to
+    /// the same worker, so a single-shape workload drives 1 of N workers.
+    /// Any shard holding more than **twice its fair share** (and past a
+    /// small floor, so short batches keep full cache affinity) is cut back
+    /// to the fair share; the surplus is dealt to the least-loaded workers
+    /// in contiguous runs. Balanced template mixes never trip the
+    /// threshold, so the common case keeps exact shape→worker affinity.
+    fn balance_parts(&self, parts: &mut [Vec<usize>], total: usize) {
+        let n = parts.len();
+        if n <= 1 || total == 0 {
+            return;
+        }
+        let fair = total.div_ceil(n);
+        let threshold = (2 * fair).max(SPILL_MIN);
+        let mut spilled: Vec<usize> = Vec::new();
+        for part in parts.iter_mut() {
+            if part.len() > threshold {
+                spilled.extend(part.drain(fair..));
+            }
+        }
+        if spilled.is_empty() {
+            return;
+        }
+        self.spills
+            .fetch_add(spilled.len() as u64, Ordering::Relaxed);
+        // Greedy deal: fill the least-loaded shard up to the fair share,
+        // repeat. Terminates because the total fits in n × fair slots.
+        while !spilled.is_empty() {
+            let (target, len) = parts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.len()))
+                .min_by_key(|&(_, len)| len)
+                .expect("n >= 1");
+            let take = fair.saturating_sub(len).max(1).min(spilled.len());
+            let at = spilled.len() - take;
+            parts[target].extend(spilled.drain(at..));
+        }
+    }
 }
+
+/// Shards below this size never spill: for short batches the win of a warm
+/// shape cache outweighs spreading a handful of queries over idle workers.
+const SPILL_MIN: usize = 16;
 
 impl Drop for BoundService {
     fn drop(&mut self) {
@@ -295,6 +351,56 @@ mod tests {
             after_one.iter().filter(|&&c| c > 0).count() > 1,
             "multiple templates should spread over multiple workers: {after_one:?}"
         );
+    }
+
+    #[test]
+    fn single_shape_batch_spills_to_idle_workers() {
+        // One template repeated 64× routes to a single shard under pure
+        // shape hashing; the balancer must deal the surplus out so the
+        // batch actually parallelizes — without changing any result.
+        let sb = SafeBound::build(&catalog(), SafeBoundConfig::test_small());
+        let service = BoundService::new(sb.clone(), 4);
+        let queries: Vec<Query> = (0..64)
+            .map(|y| {
+                parse_sql(&format!(
+                    "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year = {}",
+                    1990 + (y % 12)
+                ))
+                .unwrap()
+            })
+            .collect();
+        let direct: Vec<f64> = queries.iter().map(|q| sb.bound(q).unwrap()).collect();
+        let results = service.bound_batch(&queries);
+        for ((q, want), got) in queries.iter().zip(&direct).zip(results) {
+            assert_eq!(
+                got.unwrap().to_bits(),
+                want.to_bits(),
+                "spilled routing changed the bound for {q:?}"
+            );
+        }
+        let served = service.served_per_worker();
+        assert_eq!(served.iter().sum::<u64>(), 64);
+        assert!(
+            served.iter().filter(|&&c| c > 0).count() >= 2,
+            "single-shape batch must spread beyond its home shard: {served:?}"
+        );
+        // The overloaded shard was cut to its fair share (64 / 4 = 16).
+        assert!(
+            served.iter().all(|&c| c <= 16),
+            "no worker may keep more than the fair share: {served:?}"
+        );
+        assert!(service.spill_count() > 0);
+    }
+
+    #[test]
+    fn balanced_template_mix_keeps_affinity() {
+        // A short multi-template batch stays under the spill floor: the
+        // partition must be pure shape routing (deterministic, no spills).
+        let sb = SafeBound::build(&catalog(), SafeBoundConfig::test_small());
+        let service = BoundService::new(sb, 4);
+        let queries = workload();
+        service.bound_batch(&queries);
+        assert_eq!(service.spill_count(), 0, "short batches must not spill");
     }
 
     #[test]
