@@ -367,29 +367,26 @@ fn merge_sets(sets: &[CdsSet], assignment: &[usize]) -> Vec<CdsSet> {
     out.into_iter().map(Option::unwrap_or_default).collect()
 }
 
-/// Stable byte encoding of a value for Bloom filters, into a reused buffer.
+/// Stable byte encoding of a value for Bloom filters, into a reused
+/// buffer. Values with a [`Value::normalized_int`] encode like that
+/// integer (consistent with `Value::eq`).
 fn value_bytes_into(v: &Value, b: &mut Vec<u8>) {
     b.clear();
-    match v {
-        Value::Null => b.push(0),
-        Value::Int(i) => {
+    match (v.normalized_int(), v) {
+        (Some(i), _) => {
             b.push(1);
             b.extend_from_slice(&i.to_le_bytes());
         }
-        Value::Float(f) => {
-            // Integral floats encode like ints (consistent with Value::Eq).
-            if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
-                b.push(1);
-                b.extend_from_slice(&(*f as i64).to_le_bytes());
-            } else {
-                b.push(2);
-                b.extend_from_slice(&f.to_bits().to_le_bytes());
-            }
+        (None, Value::Null) => b.push(0),
+        (None, Value::Float(f)) => {
+            b.push(2);
+            b.extend_from_slice(&f.to_bits().to_le_bytes());
         }
-        Value::Str(s) => {
+        (None, Value::Str(s)) => {
             b.push(3);
             b.extend_from_slice(s.as_bytes());
         }
+        (None, Value::Int(_)) => unreachable!("integers always normalize"),
     }
 }
 

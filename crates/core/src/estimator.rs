@@ -26,9 +26,10 @@
 //!   without pausing readers; the steady-state read path is one atomic
 //!   load (no lock) because each session caches the `Arc` it last used.
 //! * **[`BoundSession`]** — mutable per-worker state: the query-shape
-//!   cache, every arena the online path writes into, and the per-literal
-//!   MCV memo. Sessions detect a swapped snapshot by build id and
-//!   repopulate lazily.
+//!   cache, the literal cache (whole-query bounds + per-relation
+//!   conditioned sets), the per-literal MCV memo, and every arena the
+//!   online path writes into. Sessions detect a swapped snapshot by build
+//!   id and repopulate lazily.
 //!
 //! The expensive per-query work splits into two halves with different
 //! cacheability:
@@ -44,24 +45,47 @@
 //!   repeated query templates skip straight to predicate resolution +
 //!   kernel with zero string lookups.
 //! * **Literal-dependent** — predicate resolution and statistics
-//!   assembly. These run per query but write every intermediate CDS into
-//!   the session's [`CdsScratch`] arena pools instead of cloning; repeated
-//!   equality literals (hot values) are additionally served from a
+//!   assembly. These write every intermediate CDS into the session's
+//!   [`CdsScratch`] arena pools instead of cloning, and are themselves
+//!   memoized by the per-session **literal cache** ([`crate::litcache`]),
+//!   keyed under the shape's session id by fingerprints of the query's
+//!   literal vector: an exact whole-query repeat returns the memoized
+//!   bound outright (no resolution, assembly, or kernel — the dominant
+//!   serving case runs in a few hundred nanoseconds), and a relation
+//!   whose literal sub-vector repeats copies its resolved conditioned
+//!   set instead of re-running MCV/histogram/n-gram lookups. Beneath
+//!   that, repeated equality literals (hot values) are served from a
 //!   per-session memo of resolved MCV lookups. The per-relation
 //!   conditioned stats are resolved **once** and shared across all of a
 //!   cyclic query's relaxations (propagation uses the original query's
 //!   edges — a superset of every relaxation's edges — which is sound and
 //!   at least as tight).
 //!
+//! Cyclic queries take the min over their relaxations by
+//! **branch-and-bound** instead of materialize-everything-then-min: the
+//! shape entry remembers the previously winning relaxation and evaluates
+//! it first; later candidates reuse the first candidate's per-column
+//! assembly (staged per query, a pure function of the resolved
+//! conditioning) and run the kernel with a certified early exit
+//! ([`crate::bound::fdsb_with_cutoff`]) that abandons as soon as the
+//! candidate's monotonically growing partial value exceeds the best
+//! complete bound. Because partial products only ever grow past the
+//! abandon point, a pruned candidate provably cannot win — the min, and
+//! therefore the returned bound, is bit-identical to the unpruned
+//! evaluation (property-tested against [`StatsSnapshot::bound_inputs`]).
+//!
 //! Together with the allocation-free FDSB kernel, a warm session performs
 //! **zero heap allocations per query** on the cached path for equality,
 //! range, IN, and LIKE predicates (asserted by the `zero_alloc`
 //! integration test; LIKE gram extraction is backed by the session's
-//! reused `Value::Str` slots).
+//! reused `Value::Str` slots, and the literal cache — hit, miss, and
+//! eviction paths alike — runs entirely on session-owned pooled buffers).
 
-use crate::bound::{fdsb_with_scratch, BoundError, BoundScratch, RelationBoundStats};
+use crate::bound::{fdsb_with_cutoff, BoundError, BoundScratch, RelationBoundStats};
 use crate::conditioning::{CdsScratch, CdsSet, SetOp};
 use crate::config::SafeBoundConfig;
+use crate::litcache::{self, LitCache};
+use crate::piecewise::PiecewiseLinear;
 use crate::stats::{propagated_key, FilterColumnStats, StatsSnapshot, TableStats};
 use crate::symbol::Sym;
 use safebound_query::{BoundPlan, CmpOp, ColId, JoinGraph, Predicate, Query};
@@ -69,6 +93,7 @@ use safebound_storage::{Catalog, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Errors from the online phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +131,11 @@ const MAX_CACHED_SHAPES: usize = 1024;
 /// sweep evicts cold entries, so late-arriving hot literals still enter.
 const MAX_EQ_MEMO_VALUES: usize = 4096;
 
+/// Default capacity of the per-session literal cache (whole-query bound
+/// entries plus per-relation conditioned-set entries combined; see
+/// [`crate::litcache`]). Clock-evicted at capacity, like the MCV memo.
+const MAX_LIT_ENTRIES: usize = 8192;
+
 /// Everything memoized for one query shape: the surviving acyclic
 /// relaxations' plans plus the literal-independent resolution directives.
 #[derive(Debug)]
@@ -115,13 +145,121 @@ struct ShapeEntry {
     /// The exemplar's [`Query::shape_hash`] (needed to fix the session
     /// index when entries move during LRU eviction).
     hash: u64,
+    /// Session-unique id, never reused: the literal cache keys its entries
+    /// under it, so entries of an LRU-evicted shape become unreachable
+    /// garbage (recycled by the literal clock) instead of false hits.
+    uid: u64,
     /// Session tick of the last hit (LRU ordering).
     last_used: u64,
     /// One plan per Berge-acyclic relaxation that planned successfully.
     plans: Vec<PlanEntry>,
+    /// Index into `plans` of the relaxation that won (had the smallest
+    /// bound) on this shape's most recent query. Branch-and-bound
+    /// evaluates it first: with repeated templates the same relaxation
+    /// keeps winning, so the first candidate sets a tight `best` and the
+    /// rest abandon as early as possible.
+    last_winner: usize,
     /// Per relation of the original query: compiled predicate-resolution
     /// directives (shared by every relaxation).
     resolution: Vec<RelResolution>,
+}
+
+/// Per-query staging for the literal cache: the encoded literal streams
+/// and their fingerprints (see [`crate::litcache`]). Buffers retain
+/// capacity across queries, so staging is allocation-free once warm.
+#[derive(Debug, Default)]
+struct LitStage {
+    /// The whole query's encoded literal stream, relations in order (the
+    /// bound-cache key vector).
+    full: Vec<u8>,
+    /// FNV-1a of `full`.
+    full_fp: u64,
+    /// Byte range of each relation's own literals within `full`.
+    spans: Vec<(u32, u32)>,
+    /// Per relation: the sub-stream its resolution reads — own literals
+    /// followed by each PK–FK-propagated source's, in directive order
+    /// (the conditioned-entry key vector).
+    rel_bytes: Vec<Vec<u8>>,
+    /// FNV-1a of each `rel_bytes` entry.
+    rel_fp: Vec<u64>,
+}
+
+/// Encode the query's whole literal stream (the bound-cache key) into the
+/// session staging buffers. Cheap enough for the exact-repeat fast path:
+/// one encoding pass and one FNV fold; the per-relation sub-vectors are
+/// staged separately ([`stage_rel_literals`]) only after a bound-cache
+/// miss, since a whole-query hit never reads them.
+fn stage_full_literals(query: &Query, stage: &mut LitStage) {
+    let n = query.num_relations();
+    stage.full.clear();
+    stage.spans.clear();
+    for rel in 0..n {
+        let start = stage.full.len() as u32;
+        if let Some(p) = query.predicate_of(rel) {
+            p.visit_literals(&mut |lit| {
+                litcache::encode_literal(lit, &mut stage.full);
+                true
+            });
+        }
+        stage.spans.push((start, stage.full.len() as u32));
+    }
+    stage.full_fp = litcache::fnv1a(&stage.full);
+}
+
+/// Stage each relation's conditioned-cache sub-vector — its own literals
+/// followed by each PK–FK-propagated source's, in directive order (the
+/// shape fixes that order, so equal bytes imply byte-identical resolution
+/// inputs). Requires [`stage_full_literals`] to have run for this query.
+fn stage_rel_literals(entry: &ShapeEntry, stage: &mut LitStage) {
+    let n = stage.spans.len();
+    while stage.rel_bytes.len() < n {
+        stage.rel_bytes.push(Vec::new());
+    }
+    stage.rel_fp.clear();
+    for rel in 0..n {
+        let mut buf = std::mem::take(&mut stage.rel_bytes[rel]);
+        buf.clear();
+        let (s, e) = stage.spans[rel];
+        buf.extend_from_slice(&stage.full[s as usize..e as usize]);
+        for prop in &entry.resolution[rel].propagations {
+            let (s, e) = stage.spans[prop.other_rel];
+            buf.extend_from_slice(&stage.full[s as usize..e as usize]);
+        }
+        stage.rel_fp.push(litcache::fnv1a(&buf));
+        stage.rel_bytes[rel] = buf;
+    }
+}
+
+/// Per-query staging of assembled per-`(relation, join column)` CDSs.
+///
+/// The assembled input for one relation/column —
+/// `truncate(min(conditioned, base) | fallback, card)` — depends only on
+/// the resolved conditioning, never on which relaxation's plan asks for
+/// it. For multi-relaxation (cyclic) queries the first relaxation to
+/// touch a column stages the result here and every later relaxation
+/// copies it (a knot memcpy) instead of re-running the polyline algebra:
+/// only branch-and-bound's first candidate is ever fully assembled.
+/// Single-relaxation queries bypass the stage entirely (no extra copy).
+#[derive(Debug, Default)]
+struct AssembleStage {
+    entries: Vec<(usize, Option<Sym>, PiecewiseLinear)>,
+}
+
+impl AssembleStage {
+    /// Recycle the previous query's entries (polylines to the pool).
+    fn begin(&mut self, cds: &mut CdsScratch) {
+        for (_, _, p) in self.entries.drain(..) {
+            cds.put_pwl(p);
+        }
+    }
+
+    /// The staged CDS for a relation/column, if already assembled.
+    fn get(&self, rel: usize, sym: Option<Sym>) -> Option<&PiecewiseLinear> {
+        self.entries
+            .iter()
+            .find(|e| e.0 == rel && e.1 == sym)
+            .map(|e| &e.2)
+    }
 }
 
 /// A planned relaxation with its join-column resolution.
@@ -166,6 +304,21 @@ enum PredSlots {
     Leaf(Option<u32>),
     /// An `And`/`Or` node's children, in order.
     Node(Vec<PredSlots>),
+}
+
+impl PredSlots {
+    /// Whether any leaf resolved to a usable filter slot. A tree with none
+    /// can never condition anything ([`resolve_slots`] returns `false` on
+    /// every path), so callers drop such directives at shape build: the
+    /// per-query resolution loop skips the no-op walk, and the literal
+    /// cache's per-relation key excludes literals the relation provably
+    /// never reads.
+    fn has_any(&self) -> bool {
+        match self {
+            PredSlots::Leaf(slot) => slot.is_some(),
+            PredSlots::Node(children) => children.iter().any(PredSlots::has_any),
+        }
+    }
 }
 
 /// Compile a predicate tree's column names through a slot lookup.
@@ -318,9 +471,80 @@ impl EqMemo {
     }
 }
 
+/// A coherent snapshot of every per-session cache counter, read with
+/// [`BoundSession::stats`]. One struct instead of a drawer of per-field
+/// accessors: serving layers copy it whole into their observability
+/// (`STATS` reports the pool-wide merge), and tests assert on it without
+/// chasing individual getters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Shape-cache hits (plan/slot reuse).
+    pub shape_hits: u64,
+    /// Shape-cache misses (shape builds).
+    pub shape_misses: u64,
+    /// Shapes evicted by the LRU.
+    pub shape_evictions: u64,
+    /// Hot-literal MCV memo hits.
+    pub eq_memo_hits: u64,
+    /// MCV lookups that went to the Bloom/group machinery.
+    pub eq_memo_misses: u64,
+    /// MCV memo entries recycled by its clock.
+    pub eq_memo_evictions: u64,
+    /// Whole-query literal repeats served straight from the bound cache
+    /// (no resolution, no assembly, no kernel).
+    pub lit_bound_hits: u64,
+    /// Whole-query literal vectors that had to be computed.
+    pub lit_bound_misses: u64,
+    /// Per-relation conditioned sets served from the literal cache.
+    pub lit_cond_hits: u64,
+    /// Per-relation literal sub-vectors that had to be resolved.
+    pub lit_cond_misses: u64,
+    /// Literal-cache entries recycled by its clock.
+    pub lit_evictions: u64,
+    /// Relaxations abandoned mid-kernel by branch-and-bound (their bound
+    /// was certified to exceed the best complete candidate).
+    pub relaxations_pruned: u64,
+}
+
+impl SessionStats {
+    /// Field-wise accumulate (aggregating a worker pool's sessions).
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.shape_hits += other.shape_hits;
+        self.shape_misses += other.shape_misses;
+        self.shape_evictions += other.shape_evictions;
+        self.eq_memo_hits += other.eq_memo_hits;
+        self.eq_memo_misses += other.eq_memo_misses;
+        self.eq_memo_evictions += other.eq_memo_evictions;
+        self.lit_bound_hits += other.lit_bound_hits;
+        self.lit_bound_misses += other.lit_bound_misses;
+        self.lit_cond_hits += other.lit_cond_hits;
+        self.lit_cond_misses += other.lit_cond_misses;
+        self.lit_evictions += other.lit_evictions;
+        self.relaxations_pruned += other.relaxations_pruned;
+    }
+}
+
+/// Accumulated wall-clock phase split of a session's queries, recorded
+/// only while [`BoundSession::set_phase_timing`] is on (benchmark
+/// instrumentation; the timer calls cost ~100 ns/query, so serving
+/// sessions leave it off).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseBreakdown {
+    /// Literal staging, cache probes, and predicate resolution.
+    pub resolve_ns: u64,
+    /// Per-relation statistics assembly (all relaxations).
+    pub assemble_ns: u64,
+    /// FDSB kernel evaluation (all relaxations).
+    pub kernel_ns: u64,
+    /// Queries the accumulators cover.
+    pub queries: u64,
+}
+
 /// Reusable per-thread (per-worker) state for the online path: the
 /// query-shape plan/relaxation cache with LRU eviction, the per-literal
-/// MCV memo, and every arena the online path writes into ([`BoundScratch`]
+/// MCV memo, the **literal cache** (whole-query bounds and per-relation
+/// conditioned sets, see [`crate::litcache`]), and every arena the online
+/// path writes into ([`BoundScratch`]
 /// for the kernel, [`CdsScratch`] for predicate resolution and assembly,
 /// pooled per-relation stats). Hold one per serving thread; a warm session
 /// allocates nothing per query on the cached path.
@@ -339,17 +563,27 @@ pub struct BoundSession {
     shape_capacity: usize,
     /// Monotone access counter driving LRU ordering.
     tick: u64,
+    /// Next [`ShapeEntry::uid`] (never reused within the session).
+    next_shape_uid: u64,
     eq_memo: EqMemo,
+    lit_cache: LitCache,
+    lit_stage: LitStage,
+    asm_stage: AssembleStage,
     kernel: BoundScratch,
     cds: CdsScratch,
     rel_stats: Vec<RelationBoundStats>,
     cond: Vec<RelCond>,
+    /// Relaxations abandoned by branch-and-bound since creation.
+    pruned: u64,
+    /// Whether to accumulate [`PhaseBreakdown`] timings.
+    timing: bool,
+    phases: PhaseBreakdown,
     /// Shape-cache hits since creation.
-    pub hits: u64,
+    shape_hits: u64,
     /// Shape-cache misses (shape builds) since creation.
-    pub misses: u64,
+    shape_misses: u64,
     /// Shapes evicted (LRU) since creation.
-    pub evictions: u64,
+    shape_evictions: u64,
 }
 
 impl Default for BoundSession {
@@ -373,14 +607,21 @@ impl BoundSession {
             index: HashMap::new(),
             shape_capacity: capacity.max(1),
             tick: 0,
+            next_shape_uid: 0,
             eq_memo: EqMemo::default(),
+            lit_cache: LitCache::with_capacity(MAX_LIT_ENTRIES),
+            lit_stage: LitStage::default(),
+            asm_stage: AssembleStage::default(),
             kernel: BoundScratch::default(),
             cds: CdsScratch::default(),
             rel_stats: Vec::new(),
             cond: Vec::new(),
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            pruned: 0,
+            timing: false,
+            phases: PhaseBreakdown::default(),
+            shape_hits: 0,
+            shape_misses: 0,
+            shape_evictions: 0,
         }
     }
 
@@ -395,17 +636,56 @@ impl BoundSession {
         self.snapshot.as_ref().map_or(0, |s| s.build_id)
     }
 
+    /// Every cache counter of this session in one coherent struct.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            shape_hits: self.shape_hits,
+            shape_misses: self.shape_misses,
+            shape_evictions: self.shape_evictions,
+            eq_memo_hits: self.eq_memo.hits,
+            eq_memo_misses: self.eq_memo.misses,
+            eq_memo_evictions: self.eq_memo.evictions,
+            lit_bound_hits: self.lit_cache.bound_hits,
+            lit_bound_misses: self.lit_cache.bound_misses,
+            lit_cond_hits: self.lit_cache.cond_hits,
+            lit_cond_misses: self.lit_cache.cond_misses,
+            lit_evictions: self.lit_cache.evictions,
+            relaxations_pruned: self.pruned,
+        }
+    }
+
+    /// Shape-cache hits since creation.
+    #[deprecated(note = "use BoundSession::stats().shape_hits")]
+    pub fn hits(&self) -> u64 {
+        self.shape_hits
+    }
+
+    /// Shape-cache misses since creation.
+    #[deprecated(note = "use BoundSession::stats().shape_misses")]
+    pub fn misses(&self) -> u64 {
+        self.shape_misses
+    }
+
+    /// Shapes evicted (LRU) since creation.
+    #[deprecated(note = "use BoundSession::stats().shape_evictions")]
+    pub fn evictions(&self) -> u64 {
+        self.shape_evictions
+    }
+
     /// Memoized MCV equality lookups served (hot-literal hits).
+    #[deprecated(note = "use BoundSession::stats().eq_memo_hits")]
     pub fn eq_memo_hits(&self) -> u64 {
         self.eq_memo.hits
     }
 
     /// MCV equality lookups that went to the Bloom/group machinery.
+    #[deprecated(note = "use BoundSession::stats().eq_memo_misses")]
     pub fn eq_memo_misses(&self) -> u64 {
         self.eq_memo.misses
     }
 
     /// Memo entries evicted by the clock sweep since creation.
+    #[deprecated(note = "use BoundSession::stats().eq_memo_evictions")]
     pub fn eq_memo_evictions(&self) -> u64 {
         self.eq_memo.evictions
     }
@@ -418,12 +698,32 @@ impl BoundSession {
         self
     }
 
+    /// Override the literal-cache capacity (default 8192 entries across
+    /// bound and conditioned kinds; 0 disables literal caching — every
+    /// query resolves and assembles as if each literal vector were fresh).
+    pub fn with_literal_capacity(mut self, capacity: usize) -> Self {
+        self.lit_cache = LitCache::with_capacity(capacity);
+        self
+    }
+
+    /// Toggle [`PhaseBreakdown`] accumulation (benchmark instrumentation).
+    pub fn set_phase_timing(&mut self, on: bool) {
+        self.timing = on;
+    }
+
+    /// The accumulated phase timings (zeros unless
+    /// [`BoundSession::set_phase_timing`] was on).
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        self.phases
+    }
+
     /// Re-target the session at a (different) snapshot: cached shapes,
     /// slots, and memoized lookups are meaningless under any other build.
     fn attach(&mut self, snap: &Arc<StatsSnapshot>) {
         self.shapes.clear();
         self.index.clear();
         self.eq_memo.clear();
+        self.lit_cache.clear();
         self.snapshot = Some(snap.clone());
     }
 
@@ -458,7 +758,7 @@ impl BoundSession {
                 }
             }
         }
-        self.evictions += 1;
+        self.shape_evictions += 1;
     }
 }
 
@@ -550,9 +850,12 @@ impl SafeBound {
     ///
     /// Convenience wrapper allocating a fresh [`BoundSession`] (the cold
     /// path); hot-path callers should hold a session and use
-    /// [`SafeBound::bound_with_session`].
+    /// [`SafeBound::bound_with_session`]. The throwaway session runs with
+    /// the literal cache disabled — a single-query session can never hit
+    /// it, so staging and memoizing literal vectors would be pure
+    /// overhead.
     pub fn bound(&self, query: &Query) -> Result<f64, EstimateError> {
-        self.bound_with_session(query, &mut BoundSession::default())
+        self.bound_with_session(query, &mut BoundSession::default().with_literal_capacity(0))
     }
 
     /// [`SafeBound::bound`] with a caller-provided session: the query's
@@ -607,6 +910,35 @@ impl StatsSnapshot {
     }
 
     /// The cached-path evaluation (session already attached to `self`).
+    ///
+    /// The warm path runs in up to three tiers, each skipping everything
+    /// below it:
+    ///
+    /// 1. **Bound cache** — an exact whole-query literal repeat returns
+    ///    the memoized `f64` (no resolution, assembly, or kernel).
+    /// 2. **Conditioned cache** — relations whose literal sub-vector
+    ///    repeats copy their resolved [`CdsSet`] from the literal cache;
+    ///    only genuinely fresh relations run MCV/histogram/n-gram
+    ///    resolution.
+    /// 3. **Branch-and-bound over relaxations** — the previous winner is
+    ///    evaluated first to set a tight `best`; later relaxations share
+    ///    the first candidate's per-column assembly through the
+    ///    [`AssembleStage`] and abandon mid-kernel as soon as their
+    ///    partial value is certified above `best`
+    ///    ([`fdsb_with_cutoff`]).
+    ///
+    /// # Soundness of pruning
+    ///
+    /// The bound is the *min* over relaxations. A relaxation is only ever
+    /// abandoned when a monotonically growing lower bound on its value —
+    /// the product of its finished component totals times the running
+    /// (non-negative, hence non-decreasing) integral of its final root
+    /// sweep — exceeds the best complete candidate: partial products only
+    /// ever grow from there, so the abandoned relaxation cannot win and
+    /// the min is unchanged, bit for bit. Every quantity compared is
+    /// computed in the same association order as the full evaluation,
+    /// with an ulp margin on the comparison, so no rounding asymmetry can
+    /// prune a would-be winner.
     fn bound_cached(
         &self,
         query: &Query,
@@ -626,16 +958,18 @@ impl StatsSnapshot {
         });
         let idx = match cached {
             Some(i) => {
-                session.hits += 1;
+                session.shape_hits += 1;
                 session.shapes[i].last_used = tick;
                 i
             }
             None => {
-                session.misses += 1;
+                session.shape_misses += 1;
                 if session.shapes.len() >= session.shape_capacity {
                     session.evict_lru();
                 }
-                let entry = self.build_shape_entry(query, hash, tick);
+                let uid = session.next_shape_uid;
+                session.next_shape_uid += 1;
+                let entry = self.build_shape_entry(query, hash, tick, uid);
                 session.shapes.push(entry);
                 let i = session.shapes.len() - 1;
                 session.index.entry(hash).or_default().push(i);
@@ -643,45 +977,130 @@ impl StatsSnapshot {
             }
         };
 
+        let timing = session.timing;
+        let t_resolve = timing.then(Instant::now);
         let BoundSession {
             shapes,
             eq_memo,
+            lit_cache,
+            lit_stage,
+            asm_stage,
             kernel,
             cds,
             rel_stats,
             cond,
+            pruned,
+            phases,
             ..
         } = session;
         let entry = &shapes[idx];
-        self.resolve_relations(query, entry, cds, eq_memo, cond)?;
 
+        // Tier 1: exact whole-query literal repeat → memoized bound.
+        let lit_enabled = lit_cache.enabled();
+        if lit_enabled {
+            stage_full_literals(query, lit_stage);
+            if let Some(b) = lit_cache.lookup_bound(entry.uid, lit_stage.full_fp, &lit_stage.full) {
+                if let Some(t) = t_resolve {
+                    phases.resolve_ns += t.elapsed().as_nanos() as u64;
+                    phases.queries += 1;
+                }
+                return Ok(b);
+            }
+            // Miss: stage the per-relation sub-vectors for tier 2.
+            stage_rel_literals(entry, lit_stage);
+        }
+
+        // Tier 2: resolution, with per-relation conditioned-set reuse.
+        self.resolve_relations(
+            query,
+            entry,
+            cds,
+            eq_memo,
+            lit_enabled.then_some((&mut *lit_cache, &*lit_stage)),
+            cond,
+        )?;
+        if let Some(t) = t_resolve {
+            phases.resolve_ns += t.elapsed().as_nanos() as u64;
+        }
+
+        // Tier 3: branch-and-bound over the relaxations, previous winner
+        // first, assembly shared across candidates.
         let n = query.num_relations();
         while rel_stats.len() < n {
             rel_stats.push(RelationBoundStats::default());
         }
+        let plans = &entry.plans;
+        let multi = plans.len() > 1;
+        if multi {
+            asm_stage.begin(cds);
+        }
+        let first = if entry.last_winner < plans.len() {
+            entry.last_winner
+        } else {
+            0
+        };
         let mut best = f64::INFINITY;
-        for pe in &entry.plans {
+        let mut winner = first;
+        for k in 0..plans.len() {
+            // Candidate order: `first`, then the rest in index order.
+            let idx_k = if k == 0 {
+                first
+            } else if k - 1 < first {
+                k - 1
+            } else {
+                k
+            };
+            let pe = &plans[idx_k];
+            let t_assemble = timing.then(Instant::now);
             for rel in 0..n {
                 let ts = self
                     .tables
                     .get(&query.relations[rel].table)
                     .expect("tables validated during resolution");
-                assemble_into(ts, &cond[rel], &pe.join_cols[rel], &mut rel_stats[rel], cds);
+                assemble_into(
+                    ts,
+                    &cond[rel],
+                    rel,
+                    &pe.join_cols[rel],
+                    &mut rel_stats[rel],
+                    cds,
+                    multi.then_some(&mut *asm_stage),
+                );
             }
-            let b = fdsb_with_scratch(&pe.plan, &rel_stats[..n], kernel)?;
-            if b < best {
-                best = b;
+            let t_kernel = timing.then(Instant::now);
+            if let (Some(a), Some(b)) = (t_assemble, t_kernel) {
+                phases.assemble_ns += (b - a).as_nanos() as u64;
+            }
+            match fdsb_with_cutoff(&pe.plan, &rel_stats[..n], kernel, best)? {
+                Some(b) => {
+                    if b < best {
+                        best = b;
+                        winner = idx_k;
+                    }
+                }
+                None => *pruned += 1,
+            }
+            if let Some(t) = t_kernel {
+                phases.kernel_ns += t.elapsed().as_nanos() as u64;
             }
         }
-        if best.is_finite() {
-            Ok(best)
+        let result = if best.is_finite() {
+            best
         } else {
             // No Berge-acyclic relaxation survived (pathologically cyclic
             // query or an exhausted spanning-tree cap): degrade to the
             // cross-product of per-relation conditioned cardinality
             // bounds, which is always a sound upper bound.
-            Ok(cond[..n].iter().map(|c| c.card).product())
+            cond[..n].iter().map(|c| c.card).product()
+        };
+        if lit_enabled {
+            lit_cache.insert_bound(entry.uid, lit_stage.full_fp, &lit_stage.full, result, cds);
         }
+        if timing {
+            phases.queries += 1;
+        }
+        shapes[idx].last_winner = winner;
+        Ok(result)
     }
 
     /// The per-relaxation FDSB kernel inputs for a query — exactly what
@@ -698,11 +1117,11 @@ impl StatsSnapshot {
         if query.num_relations() == 0 {
             return Ok(Vec::new());
         }
-        let entry = self.build_shape_entry(query, query.shape_hash(), 0);
+        let entry = self.build_shape_entry(query, query.shape_hash(), 0, 0);
         let mut cds = CdsScratch::default();
         let mut memo = EqMemo::default();
         let mut cond = Vec::new();
-        self.resolve_relations(query, &entry, &mut cds, &mut memo, &mut cond)?;
+        self.resolve_relations(query, &entry, &mut cds, &mut memo, None, &mut cond)?;
         let n = query.num_relations();
         let mut out = Vec::with_capacity(entry.plans.len());
         for pe in &entry.plans {
@@ -714,7 +1133,15 @@ impl StatsSnapshot {
                     .get(&query.relations[rel].table)
                     .expect("tables validated during resolution");
                 let mut rs = RelationBoundStats::default();
-                assemble_into(ts, &cond[rel], &pe.join_cols[rel], &mut rs, &mut cds);
+                assemble_into(
+                    ts,
+                    &cond[rel],
+                    rel,
+                    &pe.join_cols[rel],
+                    &mut rs,
+                    &mut cds,
+                    None,
+                );
                 stats.push(rs);
             }
             out.push((pe.plan.clone(), stats));
@@ -735,7 +1162,7 @@ impl StatsSnapshot {
     /// conditioned row set still contains every result row — and sharing
     /// it across relaxations both tightens cyclic bounds and lets the
     /// resolution run once per query.
-    fn build_shape_entry(&self, query: &Query, hash: u64, tick: u64) -> ShapeEntry {
+    fn build_shape_entry(&self, query: &Query, hash: u64, tick: u64, uid: u64) -> ShapeEntry {
         let relaxations =
             safebound_query::spanning_relaxations(query, self.config.spanning_tree_cap);
         let mut plans = Vec::new();
@@ -797,29 +1224,41 @@ impl StatsSnapshot {
                         t.filter_slot(&propagated_key(my_col, other_table, other_col, c))
                     })
                 });
-                resolution[rel]
-                    .propagations
-                    .push(Propagation { other_rel, slots });
+                // A propagation with no resolvable slot is a per-query
+                // no-op; dropping it here keeps the resolution loop and
+                // the literal-cache keys to what the relation reads.
+                if slots.has_any() {
+                    resolution[rel]
+                        .propagations
+                        .push(Propagation { other_rel, slots });
+                }
             }
         }
         ShapeEntry {
             shape: query.clone(),
             hash,
+            uid,
             last_used: tick,
             plans,
+            last_winner: 0,
             resolution,
         }
     }
 
     /// Resolve every relation's predicates (own + propagated) into the
     /// session's conditioned-set slots. Runs once per query; the result is
-    /// shared by all relaxations' assemblies.
+    /// shared by all relaxations' assemblies. When `lit` carries the
+    /// session's literal cache, relations whose literal sub-vector (own
+    /// predicate plus every propagated source, staged by
+    /// [`stage_literals`]) repeats copy their conditioned set straight
+    /// from the cache; fresh sub-vectors resolve and are memoized.
     fn resolve_relations(
         &self,
         query: &Query,
         entry: &ShapeEntry,
         cds: &mut CdsScratch,
         memo: &mut EqMemo,
+        mut lit: Option<(&mut LitCache, &LitStage)>,
         cond: &mut Vec<RelCond>,
     ) -> Result<(), EstimateError> {
         let n = query.num_relations();
@@ -833,6 +1272,28 @@ impl StatsSnapshot {
                 .tables
                 .get(table_name)
                 .ok_or_else(|| EstimateError::UnknownTable(table_name.clone()))?;
+
+            // A literal-free relation's resolution is trivial (row count
+            // only); everything else probes the conditioned cache first.
+            if let Some((cache, stage)) = lit.as_mut() {
+                let bytes = &stage.rel_bytes[rel];
+                if !bytes.is_empty() {
+                    if let Some((set, has_cond, card)) =
+                        cache.lookup_cond(entry.uid, rel as u32, stage.rel_fp[rel], bytes)
+                    {
+                        let rc = &mut cond[rel];
+                        rc.has_cond = has_cond;
+                        rc.card = card;
+                        if has_cond {
+                            cds.copy_set(set, &mut rc.set);
+                        } else {
+                            cds.clear_set(&mut rc.set);
+                        }
+                        continue;
+                    }
+                }
+            }
+
             let rc = &mut cond[rel];
             rc.has_cond = false;
 
@@ -855,6 +1316,23 @@ impl StatsSnapshot {
             rc.card = ts.row_count as f64;
             if rc.has_cond && !rc.set.is_empty() {
                 rc.card = rc.set.cardinality().min(rc.card);
+            }
+
+            if let Some((cache, stage)) = lit.as_mut() {
+                let bytes = &stage.rel_bytes[rel];
+                if !bytes.is_empty() {
+                    let rc = &cond[rel];
+                    cache.insert_cond(
+                        entry.uid,
+                        rel as u32,
+                        stage.rel_fp[rel],
+                        bytes,
+                        &rc.set,
+                        rc.has_cond,
+                        rc.card,
+                        cds,
+                    );
+                }
             }
         }
         Ok(())
@@ -1079,12 +1557,19 @@ fn resolve_slots<'a>(
 
 /// Combine base/conditioned/fallback CDSs into the FDSB input for one
 /// relation, writing into a reused [`RelationBoundStats`] slot.
+///
+/// The assembled CDS per `(rel, sym)` is a pure function of the resolved
+/// conditioning — independent of which relaxation's plan asks — so when
+/// `stage` is provided (multi-relaxation queries), the first assembly of
+/// each column is staged and later relaxations copy it bit-identically.
 fn assemble_into(
     ts: &TableStats,
     rc: &RelCond,
+    rel: usize,
     join_cols: &[(ColId, Option<Sym>)],
     out: &mut RelationBoundStats,
     cds: &mut CdsScratch,
+    mut stage: Option<&mut AssembleStage>,
 ) {
     for slot in out.cds_by_column.iter_mut() {
         if let Some(p) = slot.take() {
@@ -1096,6 +1581,14 @@ fn assemble_into(
     let card_bound = rc.card;
     out.cardinality = card_bound;
     for &(plan_col, sym) in join_cols {
+        if let Some(stage) = stage.as_deref() {
+            if let Some(p) = stage.get(rel, sym) {
+                let mut dst = cds.take_pwl();
+                dst.copy_from(p);
+                out.set(plan_col, dst);
+                continue;
+            }
+        }
         let conditioned = if rc.has_cond {
             sym.and_then(|s| rc.set.get(s))
         } else {
@@ -1128,6 +1621,11 @@ fn assemble_into(
         };
         let mut dst = cds.take_pwl();
         source.truncate_at_into(card_bound, &mut dst);
+        if let Some(stage) = stage.as_deref_mut() {
+            let mut copy = cds.take_pwl();
+            copy.copy_from(&dst);
+            stage.entries.push((rel, sym, copy));
+        }
         out.set(plan_col, dst);
         cds.put_pwl(tmp);
     }
@@ -1608,10 +2106,13 @@ mod tests {
             let truth = true_count(&cat, |_, w| w == *word);
             assert!(cached >= truth - 1e-6);
             // One miss on the first template instance, hits afterwards.
-            assert_eq!(session.misses, 1, "iteration {i}");
-            assert_eq!(session.hits, i as u64);
+            assert_eq!(session.stats().shape_misses, 1, "iteration {i}");
+            assert_eq!(session.stats().shape_hits, i as u64);
         }
         assert_eq!(session.cached_shapes(), 1);
+        // Five distinct literal vectors: the bound cache missed each once.
+        assert_eq!(session.stats().lit_bound_misses, 5);
+        assert_eq!(session.stats().lit_bound_hits, 0);
     }
 
     #[test]
@@ -1633,8 +2134,10 @@ mod tests {
             assert!((sb.bound_with_session(&q2, &mut session).unwrap() - b2).abs() < 1e-9);
         }
         assert_eq!(session.cached_shapes(), 2);
-        assert_eq!(session.misses, 2);
-        assert_eq!(session.hits, 6);
+        assert_eq!(session.stats().shape_misses, 2);
+        assert_eq!(session.stats().shape_hits, 6);
+        // Rounds 2-4 repeated both literal vectors exactly.
+        assert_eq!(session.stats().lit_bound_hits, 6);
     }
 
     #[test]
@@ -1733,36 +2236,40 @@ mod tests {
         run(&mut session, &qb, bb); // miss (A, B) — at capacity
         run(&mut session, &qa, ba); // hit: A now more recent than B
         run(&mut session, &qc, bc); // miss: evicts B (LRU), keeps A
-        assert_eq!((session.misses, session.evictions), (3, 1));
+        let s = session.stats();
+        assert_eq!((s.shape_misses, s.shape_evictions), (3, 1));
         run(&mut session, &qa, ba); // hit: A survived
-        assert_eq!(session.hits, 2);
+        assert_eq!(session.stats().shape_hits, 2);
         run(&mut session, &qb, bb); // miss again: B was evicted; evicts C
-        assert_eq!((session.misses, session.evictions), (4, 2));
+        let s = session.stats();
+        assert_eq!((s.shape_misses, s.shape_evictions), (4, 2));
         run(&mut session, &qc, bc); // miss: C was evicted
-        assert_eq!((session.misses, session.evictions), (5, 3));
+        let s = session.stats();
+        assert_eq!((s.shape_misses, s.shape_evictions), (5, 3));
         assert_eq!(session.cached_shapes(), 2);
     }
 
     #[test]
     fn eq_memo_serves_hot_literals() {
         let (_, sb) = build();
-        let mut session = BoundSession::default();
+        // Literal caching off: this test pins the MCV memo underneath it.
+        let mut session = BoundSession::default().with_literal_capacity(0);
         let q = parse_sql(
             "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
              WHERE mk.keyword_id = k.id AND k.word = 'rare'",
         )
         .unwrap();
         let first = sb.bound_with_session(&q, &mut session).unwrap();
-        assert_eq!(session.eq_memo_hits(), 0);
-        let misses_after_first = session.eq_memo_misses();
+        assert_eq!(session.stats().eq_memo_hits, 0);
+        let misses_after_first = session.stats().eq_memo_misses;
         assert!(misses_after_first > 0, "first literal must miss the memo");
         let second = sb.bound_with_session(&q, &mut session).unwrap();
         assert_eq!(first.to_bits(), second.to_bits());
         assert!(
-            session.eq_memo_hits() >= misses_after_first,
+            session.stats().eq_memo_hits >= misses_after_first,
             "repeat literal must hit the memo"
         );
-        assert_eq!(session.eq_memo_misses(), misses_after_first);
+        assert_eq!(session.stats().eq_memo_misses, misses_after_first);
         // A different literal misses, then hits, without disturbing the
         // first entry's cached result.
         let q2 = parse_sql(
@@ -1771,7 +2278,7 @@ mod tests {
         )
         .unwrap();
         let other = sb.bound_with_session(&q2, &mut session).unwrap();
-        assert!(session.eq_memo_misses() > misses_after_first);
+        assert!(session.stats().eq_memo_misses > misses_after_first);
         assert_eq!(
             sb.bound(&q2).unwrap().to_bits(),
             other.to_bits(),
@@ -1812,9 +2319,11 @@ mod tests {
         // End-to-end regression for the frozen-memo bug: a literal first
         // seen after the memo saturates must still become a memo hit.
         let (_, sb) = build();
-        let mut session = BoundSession::default().with_memo_capacity(4);
-        // Saturate the memo with a churn of distinct literals (each query
-        // memoizes the dimension literal and its propagated counterpart).
+        let mut session = BoundSession::default()
+            .with_memo_capacity(4)
+            .with_literal_capacity(0); // pin the MCV memo, not the literal cache
+                                       // Saturate the memo with a churn of distinct literals (each query
+                                       // memoizes the dimension literal and its propagated counterpart).
         for year in 0..8 {
             let q = parse_sql(&format!(
                 "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
@@ -1824,7 +2333,7 @@ mod tests {
             .unwrap();
             sb.bound_with_session(&q, &mut session).unwrap();
         }
-        assert!(session.eq_memo_evictions() > 0, "churn must evict");
+        assert!(session.stats().eq_memo_evictions > 0, "churn must evict");
         // A literal that never appeared before saturation turns hot now.
         let late = parse_sql(
             "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
@@ -1833,14 +2342,139 @@ mod tests {
         .unwrap();
         let cold = sb.bound(&late).unwrap();
         let first = sb.bound_with_session(&late, &mut session).unwrap();
-        let hits_before = session.eq_memo_hits();
+        let hits_before = session.stats().eq_memo_hits;
         let second = sb.bound_with_session(&late, &mut session).unwrap();
         assert!(
-            session.eq_memo_hits() > hits_before,
+            session.stats().eq_memo_hits > hits_before,
             "late-arriving hot literal must enter the memo and hit"
         );
         assert_eq!(first.to_bits(), cold.to_bits());
         assert_eq!(second.to_bits(), cold.to_bits());
+    }
+
+    #[test]
+    fn literal_cache_serves_exact_repeats() {
+        let (_, sb) = build();
+        let mut session = BoundSession::default();
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word = 'rare'",
+        )
+        .unwrap();
+        let first = sb.bound_with_session(&q, &mut session).unwrap();
+        assert_eq!(session.stats().lit_bound_hits, 0);
+        assert_eq!(session.stats().lit_bound_misses, 1);
+        let second = sb.bound_with_session(&q, &mut session).unwrap();
+        assert_eq!(first.to_bits(), second.to_bits());
+        assert_eq!(session.stats().lit_bound_hits, 1);
+        // The repeat skipped resolution entirely: no further memo traffic.
+        let memo_after_first = session.stats().eq_memo_misses + session.stats().eq_memo_hits;
+        sb.bound_with_session(&q, &mut session).unwrap();
+        assert_eq!(
+            session.stats().eq_memo_misses + session.stats().eq_memo_hits,
+            memo_after_first,
+            "a bound-cache hit must not touch the MCV machinery"
+        );
+    }
+
+    #[test]
+    fn literal_cond_cache_reuses_per_relation_resolution() {
+        let (_, sb) = build();
+        let mut session = BoundSession::default();
+        // Same dimension literal, varying fact literal: the dimension
+        // relation's conditioned set (and the fact's propagated one) can
+        // only be reused where the relevant sub-vector actually repeats.
+        for year in 0..4 {
+            let q = parse_sql(&format!(
+                "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+                 WHERE mk.keyword_id = k.id AND mk.year = {} AND k.word = 'rare'",
+                1980 + year
+            ))
+            .unwrap();
+            let got = sb.bound_with_session(&q, &mut session).unwrap();
+            let cold = sb.bound(&q).unwrap();
+            assert_eq!(got.to_bits(), cold.to_bits(), "year {year}");
+        }
+        let stats = session.stats();
+        assert_eq!(stats.lit_bound_hits, 0, "all four literal vectors differ");
+        // keyword's sub-vector is ('rare') every time — propagation into
+        // movie_keyword carries the year, so only the dimension side
+        // repeats: 3 conditioned hits.
+        assert_eq!(stats.lit_cond_hits, 3);
+    }
+
+    #[test]
+    fn literal_cache_flushes_on_stats_swap() {
+        let cat = catalog();
+        let sb = SafeBound::build(&cat, SafeBoundConfig::test_small());
+        let mut cfg2 = SafeBoundConfig::test_small();
+        cfg2.mcv_size = 3;
+        let rebuilt = crate::stats::SafeBoundBuilder::new(cfg2).build(&cat);
+        let reference2 = SafeBound::from_stats(rebuilt.clone());
+
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM movie_keyword mk, keyword k \
+             WHERE mk.keyword_id = k.id AND k.word = 'rare'",
+        )
+        .unwrap();
+        let mut session = BoundSession::default();
+        sb.bound_with_session(&q, &mut session).unwrap();
+        let warm = sb.bound_with_session(&q, &mut session).unwrap();
+        assert_eq!(session.stats().lit_bound_hits, 1);
+
+        sb.swap_stats(rebuilt);
+        let misses_before = session.stats().lit_bound_misses;
+        let after = sb.bound_with_session(&q, &mut session).unwrap();
+        let expect = reference2.bound(&q).unwrap();
+        assert_eq!(
+            after.to_bits(),
+            expect.to_bits(),
+            "a swapped build must not serve the old build's cached bound"
+        );
+        assert!(warm.is_finite());
+        // The flush is observable: the post-swap query missed the (empty)
+        // bound cache instead of hitting the stale entry.
+        let stats = session.stats();
+        assert_eq!(stats.lit_bound_misses, misses_before + 1);
+        assert_eq!(stats.lit_bound_hits, 1);
+    }
+
+    #[test]
+    fn pruned_relaxations_never_change_the_min() {
+        // Cyclic triangle: three spanning-tree relaxations. Branch-and-
+        // bound (previous winner first, certified mid-kernel abandons)
+        // must return exactly the min the independent unpruned inputs
+        // evaluate to — for every literal instantiation.
+        let (_, sb) = build();
+        // Literal cache off so every round actually runs the B&B loop.
+        let mut session = BoundSession::default().with_literal_capacity(0);
+        for round in 0..3 {
+            for year in [1980i64, 1985, 1990, 1995] {
+                let q = parse_sql(&format!(
+                    "SELECT COUNT(*) FROM movie_keyword a, movie_keyword b, movie_keyword c \
+                     WHERE a.movie_id = b.movie_id AND b.keyword_id = c.keyword_id \
+                     AND c.year = a.year AND a.year >= {year}"
+                ))
+                .unwrap();
+                let inputs = sb.bound_inputs(&q).unwrap();
+                assert!(inputs.len() > 1, "triangle must have several relaxations");
+                let oracle = inputs
+                    .iter()
+                    .map(|(plan, stats)| crate::bound::fdsb(plan, stats).unwrap())
+                    .fold(f64::INFINITY, f64::min);
+                let got = sb.bound_with_session(&q, &mut session).unwrap();
+                assert_eq!(
+                    got.to_bits(),
+                    oracle.to_bits(),
+                    "round {round} year {year}: pruned path diverged from unpruned min"
+                );
+            }
+        }
+        assert!(
+            session.stats().relaxations_pruned > 0,
+            "repeated templates must abandon losing relaxations: {:?}",
+            session.stats()
+        );
     }
 
     #[test]

@@ -64,17 +64,20 @@ pub mod conditioning;
 pub mod config;
 pub mod degree_sequence;
 pub mod estimator;
+mod litcache;
 pub mod parallel;
 pub mod piecewise;
 pub mod stats;
 pub mod symbol;
 
-pub use bound::{fdsb, fdsb_with_scratch, BoundError, BoundScratch, RelationBoundStats};
+pub use bound::{
+    fdsb, fdsb_with_cutoff, fdsb_with_scratch, BoundError, BoundScratch, RelationBoundStats,
+};
 pub use compression::{valid_compress, Segmentation};
 pub use conditioning::{CdsScratch, CdsSet, SetOp};
 pub use config::SafeBoundConfig;
 pub use degree_sequence::DegreeSequence;
-pub use estimator::{BoundSession, EstimateError, SafeBound};
+pub use estimator::{BoundSession, EstimateError, PhaseBreakdown, SafeBound, SessionStats};
 pub use piecewise::{PiecewiseConstant, PiecewiseLinear};
 pub use stats::{SafeBoundBuilder, SafeBoundStats, StatsSnapshot, TableStats};
 pub use symbol::{Sym, SymbolTable};

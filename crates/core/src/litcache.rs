@@ -1,0 +1,411 @@
+//! The per-session **literal cache**: memoized results of the
+//! literal-dependent half of the online path.
+//!
+//! The shape cache ([`crate::estimator::BoundSession`]) already memoizes
+//! everything literal-*independent* (plans, slots, join-column symbols).
+//! What remains per query — predicate resolution and statistics assembly —
+//! depends only on the query's **literal vector**, so repeated literals can
+//! skip it entirely. This module provides the storage for two memo levels,
+//! both keyed under a shape's session-unique id and a literal fingerprint:
+//!
+//! * **bound entries** (`rel == REL_BOUND`), keyed by the *whole query's*
+//!   literal vector: the final `f64` bound. An exact repeat of a served
+//!   request returns it without touching resolution, assembly, or the
+//!   kernel.
+//! * **conditioned entries**, keyed per relation by the sub-vector of
+//!   literals that relation's resolution actually reads (its own predicate
+//!   plus every predicate PK–FK-propagated into it): the fully resolved
+//!   conditioned [`CdsSet`] and cardinality bound. A query repeating one
+//!   relation's literals while varying another's still skips that
+//!   relation's MCV/histogram/n-gram resolution.
+//!
+//! Fingerprints are FNV-1a over a stable byte encoding of the literal
+//! stream ([`encode_literal`]); every hit is **verified** against a stored
+//! copy of the encoded bytes before anything is served, so hash collisions
+//! cost a miss, never a wrong bound. Entries are evicted by the same
+//! second-chance clock the equality memo uses, so late-arriving hot
+//! literal vectors always enter. The whole cache is session-owned: entry
+//! sets copy through the session's [`CdsScratch`] pools and byte/entry
+//! buffers retain their capacity across evictions, so a warm session stays
+//! allocation-free even at capacity with the clock churning (asserted by
+//! the `zero_alloc` integration test). The cache is flushed whenever the
+//! session attaches to a different statistics build.
+
+use crate::conditioning::{CdsScratch, CdsSet};
+use safebound_query::LiteralRef;
+use safebound_storage::Value;
+use std::collections::HashMap;
+
+/// The `rel` component of a whole-query bound entry's key (relation
+/// indices are always `< u32::MAX`).
+pub(crate) const REL_BOUND: u32 = u32::MAX;
+
+/// FNV-1a over a byte slice (the fingerprint function).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Append one literal's stable encoding: a type tag, then a fixed-width or
+/// length-prefixed payload, so a concatenated stream parses unambiguously
+/// (verification is a byte compare). Integral floats encode like the
+/// corresponding integer, consistent with `Value::eq`.
+pub(crate) fn encode_literal(lit: LiteralRef<'_>, out: &mut Vec<u8>) {
+    match lit {
+        LiteralRef::Value(v) => match (v.normalized_int(), v) {
+            (Some(i), _) => {
+                out.push(1);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            (None, Value::Null) => out.push(0),
+            (None, Value::Float(f)) => {
+                out.push(2);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            (None, Value::Str(s)) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            (None, Value::Int(_)) => unreachable!("integers always normalize"),
+        },
+        LiteralRef::Text(s) => {
+            out.push(4);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        LiteralRef::Arity(n) => {
+            out.push(5);
+            out.extend_from_slice(&(n as u32).to_le_bytes());
+        }
+    }
+}
+
+/// One memoized literal vector: the verification bytes plus whichever
+/// payload the entry kind carries (`bound` for whole-query entries, the
+/// conditioned set/card for per-relation entries).
+#[derive(Debug, Default)]
+struct LitEntry {
+    /// `(shape uid, rel | REL_BOUND, fingerprint)`.
+    key: (u64, u32, u64),
+    /// Encoded literal vector (collision verification). Capacity is
+    /// retained when the clock recycles the slot.
+    bytes: Vec<u8>,
+    /// Conditioned set (cond entries; polylines pooled on eviction).
+    set: CdsSet,
+    /// Whether any predicate resolved (cond entries).
+    has_cond: bool,
+    /// Filtered-cardinality bound (cond entries).
+    card: f64,
+    /// The final bound (bound entries).
+    bound: f64,
+    /// Second-chance bit: set on every hit, cleared as the clock passes.
+    referenced: bool,
+}
+
+/// The clock-evicted literal cache (see the module docs). One per
+/// [`crate::estimator::BoundSession`].
+#[derive(Debug)]
+pub(crate) struct LitCache {
+    /// Key → slab index.
+    map: HashMap<(u64, u32, u64), usize>,
+    /// Entry slab; the clock hand sweeps it in index order.
+    entries: Vec<LitEntry>,
+    /// Max entries (bound + cond combined) before the clock evicts.
+    capacity: usize,
+    /// Next slab index the eviction sweep examines.
+    hand: usize,
+    pub bound_hits: u64,
+    pub bound_misses: u64,
+    pub cond_hits: u64,
+    pub cond_misses: u64,
+    pub evictions: u64,
+}
+
+impl LitCache {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        LitCache {
+            // Grown organically, NOT preallocated: a throwaway session
+            // (the `bound()` convenience path) must not pay for 8k-entry
+            // tables it will never fill. Steady-state allocation-freedom
+            // is unaffected — `len` never exceeds `capacity`, so once the
+            // map has grown to hold it, at-capacity churn (remove +
+            // insert) never triggers another growth.
+            map: HashMap::new(),
+            entries: Vec::new(),
+            capacity,
+            hand: 0,
+            bound_hits: 0,
+            bound_misses: 0,
+            cond_hits: 0,
+            cond_misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Whether caching is on at all (capacity 0 disables it).
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of live entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Probe for a verified entry; updates the referenced bit on a hit.
+    /// A fingerprint match with different bytes (a collision) is a miss.
+    fn probe(&mut self, key: (u64, u32, u64), bytes: &[u8]) -> Option<usize> {
+        let &i = self.map.get(&key)?;
+        if self.entries[i].bytes != bytes {
+            return None;
+        }
+        self.entries[i].referenced = true;
+        Some(i)
+    }
+
+    /// The memoized bound for an exact whole-query literal repeat.
+    pub(crate) fn lookup_bound(&mut self, shape_uid: u64, fp: u64, bytes: &[u8]) -> Option<f64> {
+        match self.probe((shape_uid, REL_BOUND, fp), bytes) {
+            Some(i) => {
+                self.bound_hits += 1;
+                Some(self.entries[i].bound)
+            }
+            None => {
+                self.bound_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The memoized conditioned resolution for one relation's literal
+    /// sub-vector: `(set, has_cond, card)`. The set borrow points into the
+    /// cache; callers copy it out through their scratch.
+    pub(crate) fn lookup_cond(
+        &mut self,
+        shape_uid: u64,
+        rel: u32,
+        fp: u64,
+        bytes: &[u8],
+    ) -> Option<(&CdsSet, bool, f64)> {
+        match self.probe((shape_uid, rel, fp), bytes) {
+            Some(i) => {
+                self.cond_hits += 1;
+                let e = &self.entries[i];
+                Some((&e.set, e.has_cond, e.card))
+            }
+            None => {
+                self.cond_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Claim a slab slot for `key` (growing below capacity, second-chance
+    /// evicting at it), write the verification bytes, and index it. The
+    /// victim's set is harvested into the scratch pools and its byte
+    /// buffer reused, so churn at capacity allocates nothing once buffer
+    /// capacities have converged.
+    fn claim(&mut self, key: (u64, u32, u64), bytes: &[u8], scratch: &mut CdsScratch) -> usize {
+        let i = if self.entries.len() < self.capacity {
+            self.entries.push(LitEntry::default());
+            self.entries.len() - 1
+        } else {
+            // Second-chance sweep: terminates within two passes because
+            // the first pass clears every referenced bit it crosses.
+            let victim = loop {
+                let idx = self.hand;
+                self.hand = (self.hand + 1) % self.entries.len();
+                let e = &mut self.entries[idx];
+                if e.referenced {
+                    e.referenced = false;
+                } else {
+                    break idx;
+                }
+            };
+            // Unindex the victim — but only if the map still points at
+            // it. A fingerprint collision re-binds a key to a newer slot
+            // (the old slot keeps its stale `key` field); removing
+            // unconditionally would orphan the *live* entry.
+            if self.map.get(&self.entries[victim].key) == Some(&victim) {
+                self.map.remove(&self.entries[victim].key);
+            }
+            self.evictions += 1;
+            victim
+        };
+        let e = &mut self.entries[i];
+        e.key = key;
+        e.bytes.clear();
+        e.bytes.extend_from_slice(bytes);
+        scratch.clear_set(&mut e.set);
+        e.has_cond = false;
+        e.card = 0.0;
+        e.bound = 0.0;
+        // Fresh entries start unreferenced: a vector earns its second
+        // chance with a repeat hit, so one-shot churn evicts other churn,
+        // not the established hot set.
+        e.referenced = false;
+        self.map.insert(key, i);
+        i
+    }
+
+    /// Memoize a computed whole-query bound (miss path only).
+    pub(crate) fn insert_bound(
+        &mut self,
+        shape_uid: u64,
+        fp: u64,
+        bytes: &[u8],
+        bound: f64,
+        scratch: &mut CdsScratch,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let i = self.claim((shape_uid, REL_BOUND, fp), bytes, scratch);
+        self.entries[i].bound = bound;
+    }
+
+    /// Memoize one relation's resolved conditioning (miss path only). The
+    /// set is copied in through the scratch pools.
+    #[allow(clippy::too_many_arguments)] // flat hot-path call, no temp struct
+    pub(crate) fn insert_cond(
+        &mut self,
+        shape_uid: u64,
+        rel: u32,
+        fp: u64,
+        bytes: &[u8],
+        set: &CdsSet,
+        has_cond: bool,
+        card: f64,
+        scratch: &mut CdsScratch,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let i = self.claim((shape_uid, rel, fp), bytes, scratch);
+        let e = &mut self.entries[i];
+        if has_cond {
+            scratch.copy_set(set, &mut e.set);
+        }
+        e.has_cond = has_cond;
+        e.card = card;
+    }
+
+    /// Drop every entry (statistics build change: cached sets and bounds
+    /// are meaningless under any other build).
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.hand = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes_of(n: u8) -> Vec<u8> {
+        vec![n, n, n]
+    }
+
+    #[test]
+    fn bound_roundtrip_and_collision_verification() {
+        let mut c = LitCache::with_capacity(4);
+        let mut s = CdsScratch::default();
+        assert!(c.lookup_bound(7, 1, &bytes_of(1)).is_none());
+        c.insert_bound(7, 1, &bytes_of(1), 42.0, &mut s);
+        assert_eq!(c.lookup_bound(7, 1, &bytes_of(1)), Some(42.0));
+        // Same fingerprint, different bytes: a collision must miss.
+        assert_eq!(c.lookup_bound(7, 1, &bytes_of(2)), None);
+        // Different shape uid: independent keyspace.
+        assert_eq!(c.lookup_bound(8, 1, &bytes_of(1)), None);
+        assert_eq!((c.bound_hits, c.bound_misses), (1, 3));
+    }
+
+    #[test]
+    fn clock_keeps_hot_entries_under_churn() {
+        let mut c = LitCache::with_capacity(2);
+        let mut s = CdsScratch::default();
+        c.insert_bound(0, 1, &bytes_of(1), 1.0, &mut s);
+        c.insert_bound(0, 2, &bytes_of(2), 2.0, &mut s);
+        // Entry 1 turns hot; entry 2 stays cold.
+        assert_eq!(c.lookup_bound(0, 1, &bytes_of(1)), Some(1.0));
+        // A third vector evicts cold 2, not hot 1.
+        c.insert_bound(0, 3, &bytes_of(3), 3.0, &mut s);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.lookup_bound(0, 1, &bytes_of(1)), Some(1.0));
+        assert_eq!(c.lookup_bound(0, 3, &bytes_of(3)), Some(3.0));
+        assert_eq!(c.lookup_bound(0, 2, &bytes_of(2)), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicting_a_collision_stale_slot_keeps_the_live_rebind() {
+        // Two vectors colliding on one fingerprint: the second insert
+        // re-binds the key to a fresh slot, leaving the first slot stale.
+        // Evicting the stale slot must NOT unindex the live entry.
+        let mut c = LitCache::with_capacity(2);
+        let mut s = CdsScratch::default();
+        c.insert_bound(0, 1, &bytes_of(1), 10.0, &mut s); // slot 0
+        assert_eq!(c.lookup_bound(0, 1, &bytes_of(2)), None); // collision miss
+        c.insert_bound(0, 1, &bytes_of(2), 20.0, &mut s); // slot 1, re-binds key
+                                                          // At capacity: the next insert's clock picks stale slot 0.
+        c.insert_bound(0, 9, &bytes_of(9), 90.0, &mut s);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(
+            c.lookup_bound(0, 1, &bytes_of(2)),
+            Some(20.0),
+            "live rebound entry must survive the stale slot's eviction"
+        );
+        assert_eq!(c.lookup_bound(0, 9, &bytes_of(9)), Some(90.0));
+    }
+
+    #[test]
+    fn cond_entries_coexist_with_bound_entries() {
+        let mut c = LitCache::with_capacity(8);
+        let mut s = CdsScratch::default();
+        let set = CdsSet::default();
+        c.insert_cond(0, 0, 5, &bytes_of(5), &set, false, 12.0, &mut s);
+        c.insert_bound(0, 5, &bytes_of(5), 99.0, &mut s);
+        let (_, has_cond, card) = c.lookup_cond(0, 0, 5, &bytes_of(5)).unwrap();
+        assert!(!has_cond);
+        assert_eq!(card, 12.0);
+        assert_eq!(c.lookup_bound(0, 5, &bytes_of(5)), Some(99.0));
+        // Disabled cache never stores.
+        let mut off = LitCache::with_capacity(0);
+        off.insert_bound(0, 5, &bytes_of(5), 1.0, &mut s);
+        assert!(!off.enabled());
+        assert_eq!(off.len(), 0);
+    }
+
+    #[test]
+    fn encoding_is_injective_across_kinds() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        encode_literal(LiteralRef::Value(&Value::Int(3)), &mut a);
+        encode_literal(LiteralRef::Value(&Value::Float(3.0)), &mut b);
+        assert_eq!(a, b, "integral floats encode like ints (Value::eq)");
+        b.clear();
+        encode_literal(LiteralRef::Value(&Value::Float(3.5)), &mut b);
+        assert_ne!(a, b);
+        a.clear();
+        b.clear();
+        encode_literal(LiteralRef::Text("ab"), &mut a);
+        encode_literal(LiteralRef::Value(&Value::Str("ab".into())), &mut b);
+        assert_ne!(a, b, "LIKE pattern and string literal must not alias");
+        assert_ne!(fnv1a(&a), fnv1a(&b));
+        // -0.0 is unequal to 0 under Value's total order (`-0.0 < 0.0`),
+        // so it must not share 0's encoding — otherwise a byte-verified
+        // hit could serve `> 0`'s bound for `> -0.0`.
+        a.clear();
+        b.clear();
+        encode_literal(LiteralRef::Value(&Value::Float(-0.0)), &mut a);
+        encode_literal(LiteralRef::Value(&Value::Int(0)), &mut b);
+        assert_ne!(a, b, "negative zero must not alias integer zero");
+    }
+}

@@ -161,7 +161,41 @@ impl Predicate {
     }
 }
 
+/// One literal position of a predicate tree, as seen by
+/// [`Predicate::visit_literals`]: everything about a query that
+/// [`Query::same_shape`] ignores. Two same-shape queries whose literal
+/// streams are equal resolve to identical conditioned statistics, so
+/// estimator literal caches key on (shape, literal stream).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LiteralRef<'a> {
+    /// A comparison literal (`Eq`/`Cmp`/`Between` endpoints, `IN` members).
+    Value(&'a Value),
+    /// A `LIKE` pattern.
+    Text(&'a str),
+    /// An `IN` list's arity. Emitted *before* the member values so the
+    /// flattened stream stays injective per shape (shapes ignore IN
+    /// arity: without the arity token, `IN (a, b) AND IN (c)` and
+    /// `IN (a) AND IN (b, c)` would flatten identically).
+    Arity(usize),
+}
+
 impl Predicate {
+    /// Walk every literal of the tree in a fixed traversal order, feeding
+    /// each to `f`. Returns early (with `false`) as soon as `f` does —
+    /// the shape of the stream is documented on [`LiteralRef`].
+    pub fn visit_literals<'a>(&'a self, f: &mut impl FnMut(LiteralRef<'a>) -> bool) -> bool {
+        match self {
+            Predicate::Eq(_, v) => f(LiteralRef::Value(v)),
+            Predicate::Cmp(_, _, v) => f(LiteralRef::Value(v)),
+            Predicate::Between(_, lo, hi) => f(LiteralRef::Value(lo)) && f(LiteralRef::Value(hi)),
+            Predicate::Like(_, pattern) => f(LiteralRef::Text(pattern)),
+            Predicate::In(_, vs) => {
+                f(LiteralRef::Arity(vs.len())) && vs.iter().all(|v| f(LiteralRef::Value(v)))
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => ps.iter().all(|p| p.visit_literals(f)),
+        }
+    }
+
     /// True iff `other` has the same tree structure, columns, and
     /// operators — literal values (and `IN` arities) are ignored. Part of
     /// the [`Query::same_shape`] contract: everything an estimator caches
@@ -217,6 +251,39 @@ impl Predicate {
                     p.shape_hash_into(h);
                 }
             }
+        }
+    }
+}
+
+/// Feed one literal into an FNV accumulator. `Value`s hash with the same
+/// Int/Float normalization as `Value::hash` (integral floats hash like the
+/// corresponding integer), so literals that compare equal under
+/// `Value::eq` fingerprint identically.
+fn literal_hash_into(lit: LiteralRef<'_>, h: &mut Fnv) {
+    match lit {
+        LiteralRef::Value(v) => match (v.normalized_int(), v) {
+            (Some(i), _) => {
+                h.byte(1);
+                h.usize(i as usize);
+            }
+            (None, Value::Null) => h.byte(0),
+            (None, Value::Float(f)) => {
+                h.byte(2);
+                h.usize(f.to_bits() as usize);
+            }
+            (None, Value::Str(s)) => {
+                h.byte(3);
+                h.str(s);
+            }
+            (None, Value::Int(_)) => unreachable!("integers always normalize"),
+        },
+        LiteralRef::Text(s) => {
+            h.byte(4);
+            h.str(s);
+        }
+        LiteralRef::Arity(n) => {
+            h.byte(5);
+            h.usize(n);
         }
     }
 }
@@ -380,6 +447,26 @@ impl Query {
         h.finish()
     }
 
+    /// A hash of the query's **literal vector** — every value
+    /// [`Query::shape_hash`] ignores, in predicate-slot order (the
+    /// [`Predicate::visit_literals`] stream per relation, relations in
+    /// `predicates` order). Together, `(shape_hash, literal_fingerprint)`
+    /// identify a request up to hash collisions: same-shape queries with
+    /// equal literal streams resolve to identical bounds, so serving
+    /// layers deduplicate on this pair (confirming with full equality)
+    /// and sessions key their literal caches on it. Allocation-free.
+    pub fn literal_fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for (rel, p) in &self.predicates {
+            h.usize(*rel);
+            p.visit_literals(&mut |lit| {
+                literal_hash_into(lit, &mut h);
+                true
+            });
+        }
+        h.finish()
+    }
+
     /// True iff `other` has the same shape (see [`Query::shape_hash`]):
     /// identical tables, join edges, and predicate structure, ignoring
     /// aliases and literal values.
@@ -505,6 +592,60 @@ mod tests {
             Predicate::And(ps) => assert_eq!(ps.len(), 2),
             p => panic!("expected And, got {p:?}"),
         }
+    }
+
+    #[test]
+    fn literal_fingerprint_tracks_literals_not_shape() {
+        let mk = |year: i64, w: &[i64]| {
+            let mut q = Query::new();
+            let r = q.add_relation(RelationRef::new("t"));
+            q.add_predicate(r, Predicate::Eq("year".into(), Value::Int(year)));
+            q.add_predicate(
+                r,
+                Predicate::In("w".into(), w.iter().map(|&v| Value::Int(v)).collect()),
+            );
+            q
+        };
+        let a = mk(1990, &[1, 2]);
+        let b = mk(1990, &[1, 2]);
+        let c = mk(1991, &[1, 2]);
+        assert_eq!(a.shape_hash(), c.shape_hash());
+        assert_eq!(a.literal_fingerprint(), b.literal_fingerprint());
+        assert_ne!(a.literal_fingerprint(), c.literal_fingerprint());
+        // IN arity is part of the stream even though shapes ignore it.
+        let d = mk(1990, &[1]);
+        assert_ne!(a.literal_fingerprint(), d.literal_fingerprint());
+        // Equal-under-Value::eq literals fingerprint identically.
+        let mut e = mk(1990, &[1, 2]);
+        match &mut e.predicates[0].1 {
+            Predicate::And(ps) => ps[0] = Predicate::Eq("year".into(), Value::Float(1990.0)),
+            p => panic!("expected And, got {p:?}"),
+        }
+        assert_eq!(a.literal_fingerprint(), e.literal_fingerprint());
+    }
+
+    #[test]
+    fn visit_literals_streams_in_order() {
+        let p = Predicate::And(vec![
+            Predicate::Between("a".into(), Value::Int(1), Value::Int(2)),
+            Predicate::Like("s".into(), "%x%".into()),
+            Predicate::In("b".into(), vec![Value::Int(3), Value::Int(4)]),
+        ]);
+        let mut seen = Vec::new();
+        p.visit_literals(&mut |lit| {
+            seen.push(format!("{lit:?}"));
+            true
+        });
+        assert_eq!(seen.len(), 6, "{seen:?}"); // 2 + 1 + (arity + 2)
+        assert!(seen[2].contains("Text"));
+        assert!(seen[3].contains("Arity"));
+        // Early exit propagates.
+        let mut count = 0;
+        assert!(!p.visit_literals(&mut |_| {
+            count += 1;
+            count < 3
+        }));
+        assert_eq!(count, 3);
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub mod join_graph;
 pub mod parser;
 pub mod spanning;
 
-pub use ast::{CmpOp, JoinEdge, Predicate, Query, RelationRef};
+pub use ast::{CmpOp, JoinEdge, LiteralRef, Predicate, Query, RelationRef};
 pub use join_graph::{BoundPlan, ColId, JoinGraph, JoinVar, PlanError, Step};
 pub use parser::{parse_sql, ParseError};
 pub use spanning::spanning_relaxations;

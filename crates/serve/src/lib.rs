@@ -41,7 +41,13 @@
 //!   to the workers and reassembles results in order: one channel
 //!   round-trip per worker per batch instead of per query, and each
 //!   worker's session/scratch is reused across its whole slice — this is
-//!   what makes batched serving beat request-at-a-time dispatch.
+//!   what makes batched serving beat request-at-a-time dispatch. Before
+//!   dispatch, identical lines — same shape *and* literal vector,
+//!   confirmed by full equality behind a
+//!   `(shape_hash, literal_fingerprint)` key — are **deduplicated**: one
+//!   representative runs (hitting its worker's literal cache once),
+//!   duplicates get copies of the answer
+//!   ([`BoundService::batch_dedup_hits`](service::BoundService::batch_dedup_hits)).
 //! * **Hot swap**: the service never pauses. A rebuild calls
 //!   [`SafeBound::swap_stats`](safebound_core::SafeBound::swap_stats) on
 //!   the service's handle; in-flight queries finish on the snapshot they
@@ -85,7 +91,7 @@
 //! | `<SQL text>`                | `OK <bound>` or `ERR <message>`         |
 //! | `BATCH <n>` then `n` SQL lines | `n` `OK`/`ERR` lines (batched pool dispatch), or one `ERR overloaded` |
 //! | `PING`                      | `PONG`                                  |
-//! | `STATS`                     | `STATS workers=<n> build=<id> swaps=<n> generation=<n> refresher=on\|off connections=<n> inflight_batches=<n>` |
+//! | `STATS`                     | `STATS workers=<n> build=<id> swaps=<n> generation=<n> refresher=on\|off connections=<n> inflight_batches=<n> batch_dedup_hits=<n> …` plus the pool-wide [`SessionStats`](safebound_core::SessionStats) merge (`shape_*`, `lit_bound_*`, `lit_cond_*`, `lit_evictions`, `eq_memo_*`, `relaxations_pruned`) and `spills=<n>` |
 //! | `REFRESH`                   | `REFRESHED build=<id> generation=<n>` after a fresh rebuild publishes (`ERR` without a refresher) |
 //! | `QUIT`                      | `BYE`, then the connection closes       |
 //! | `SHUTDOWN`                  | `BYE`, then the whole server drains and stops |
@@ -108,4 +114,4 @@ pub use server::{serve, serve_with, ServeOptions};
 pub use service::BoundService;
 
 // Re-exported so service consumers need only this crate.
-pub use safebound_core::{BoundSession, EstimateError, SafeBound, StatsSnapshot};
+pub use safebound_core::{BoundSession, EstimateError, SafeBound, SessionStats, StatsSnapshot};

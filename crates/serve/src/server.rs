@@ -315,6 +315,14 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                 // close instead of buffering without limit.
                 let _ = writeln!(writer, "ERR request line exceeds {MAX_LINE} bytes");
                 let _ = writer.flush();
+                // Half-close, then drain: closing outright with unread
+                // bytes still queued makes the kernel RST the connection,
+                // which can discard the refusal before the client reads
+                // it. The FIN delivers response + EOF immediately; the
+                // drain (bounded by the idle timeout) merely holds the
+                // socket open until the client closes its end.
+                let _ = writer.get_ref().shutdown(std::net::Shutdown::Write);
+                drain_refused(ctx, &mut reader);
                 return Ok(());
             }
         }
@@ -343,10 +351,15 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                     Some(r) => (r.generation(), true),
                     None => (0, false),
                 };
+                let s = ctx.service.session_stats();
                 writeln!(
                     writer,
                     "STATS workers={} build={} swaps={} generation={} refresher={} \
-                     connections={} inflight_batches={}",
+                     connections={} inflight_batches={} batch_dedup_hits={} \
+                     shape_hits={} shape_misses={} shape_evictions={} \
+                     lit_bound_hits={} lit_bound_misses={} lit_cond_hits={} \
+                     lit_cond_misses={} lit_evictions={} eq_memo_hits={} \
+                     eq_memo_misses={} eq_memo_evictions={} relaxations_pruned={} spills={}",
                     ctx.service.num_workers(),
                     ctx.service.estimator().build_id(),
                     ctx.service.estimator().swap_count(),
@@ -354,6 +367,20 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                     if refreshing { "on" } else { "off" },
                     ctx.active.load(Ordering::Acquire),
                     ctx.batches.in_use(),
+                    ctx.service.batch_dedup_hits(),
+                    s.shape_hits,
+                    s.shape_misses,
+                    s.shape_evictions,
+                    s.lit_bound_hits,
+                    s.lit_bound_misses,
+                    s.lit_cond_hits,
+                    s.lit_cond_misses,
+                    s.lit_evictions,
+                    s.eq_memo_hits,
+                    s.eq_memo_misses,
+                    s.eq_memo_evictions,
+                    s.relaxations_pruned,
+                    ctx.service.spill_count(),
                 )?
             }
             "REFRESH" => match &ctx.refresher {
@@ -440,6 +467,25 @@ fn serve_batch(
         }
     }
     Ok(true)
+}
+
+/// Discard a refused connection's remaining bytes until the client closes
+/// (or the idle timeout / shutdown intervenes). Closing a socket that
+/// still has unread received data resets it instead of FIN-closing, a
+/// race that can destroy the refusal line in flight — see the `Overlong`
+/// arm of [`handle_connection`].
+fn drain_refused(ctx: &ConnCtx, reader: &mut impl Read) {
+    let start = Instant::now();
+    let mut sink = [0u8; 8192];
+    while start.elapsed() < ctx.idle_timeout && !ctx.shutdown.is_triggered() {
+        match reader.read(&mut sink) {
+            Ok(0) => return, // client closed: safe to close our end
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
 }
 
 /// Consume (and discard) the `n` lines of a shed batch so the protocol
@@ -558,6 +604,12 @@ mod tests {
         assert!(responses[3].starts_with("STATS workers=2"), "{responses:?}");
         assert!(responses[3].contains("generation=0"), "{responses:?}");
         assert!(responses[3].contains("refresher=off"), "{responses:?}");
+        assert!(responses[3].contains("batch_dedup_hits="), "{responses:?}");
+        assert!(responses[3].contains("lit_bound_"), "{responses:?}");
+        assert!(
+            responses[3].contains("relaxations_pruned="),
+            "{responses:?}"
+        );
         assert_eq!(responses[4], "BYE");
     }
 

@@ -8,10 +8,11 @@
 //! amortizes the channel round-trip and keeps each worker's shape cache
 //! and arenas hot across a whole slice of queries.
 
-use safebound_core::{BoundSession, EstimateError, SafeBound};
+use safebound_core::{BoundSession, EstimateError, SafeBound, SessionStats};
 use safebound_query::Query;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// One unit of work shipped to a worker: a shared view of the batch plus
@@ -43,6 +44,13 @@ pub struct BoundService {
     /// Queries re-routed off their shape-affine worker by the batch
     /// load-balancer (see [`BoundService::bound_batch_shared`]).
     spills: AtomicU64,
+    /// Request lines answered by batch-level deduplication instead of a
+    /// worker dispatch (see [`BoundService::bound_batch_shared`]).
+    dedup_hits: AtomicU64,
+    /// Per-worker session-counter snapshots, refreshed after every job
+    /// (each worker's [`BoundSession`] is private to its thread; the
+    /// published copies make `STATS`-style observability possible).
+    session_stats: Arc<Vec<Mutex<SessionStats>>>,
 }
 
 impl BoundService {
@@ -50,6 +58,11 @@ impl BoundService {
     pub fn new(handle: SafeBound, workers: usize) -> Self {
         let n = workers.max(1);
         let served: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let session_stats: Arc<Vec<Mutex<SessionStats>>> = Arc::new(
+            (0..n)
+                .map(|_| Mutex::new(SessionStats::default()))
+                .collect(),
+        );
         let mut senders = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for w in 0..n {
@@ -57,10 +70,11 @@ impl BoundService {
             senders.push(tx);
             let handle = handle.clone();
             let served = served.clone();
+            let session_stats = session_stats.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("safebound-worker-{w}"))
-                    .spawn(move || worker_loop(w, handle, rx, served))
+                    .spawn(move || worker_loop(w, handle, rx, served, session_stats))
                     .expect("spawn worker thread"),
             );
         }
@@ -70,6 +84,8 @@ impl BoundService {
             workers: handles,
             served,
             spills: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            session_stats,
         }
     }
 
@@ -99,6 +115,23 @@ impl BoundService {
         self.spills.load(Ordering::Relaxed)
     }
 
+    /// Request lines answered by intra-batch deduplication: identical
+    /// `(shape, literal vector)` lines share one dispatched computation.
+    pub fn batch_dedup_hits(&self) -> u64 {
+        self.dedup_hits.load(Ordering::Relaxed)
+    }
+
+    /// The pool-wide merge of every worker session's cache counters
+    /// (shape cache, MCV memo, literal cache, pruned relaxations), as of
+    /// each worker's most recently completed job.
+    pub fn session_stats(&self) -> SessionStats {
+        let mut total = SessionStats::default();
+        for slot in self.session_stats.iter() {
+            total.merge(&slot.lock().expect("session stats slot poisoned"));
+        }
+        total
+    }
+
     /// Bound one query on its shape-routed worker (blocks for the reply).
     ///
     /// This is the request-at-a-time path: one channel round-trip per
@@ -123,17 +156,54 @@ impl BoundService {
 
     /// [`BoundService::bound_batch`] over an already-shared batch — the
     /// zero-copy dispatch path (only the `Arc` is cloned per worker).
+    ///
+    /// Identical request lines within the batch — same shape **and** same
+    /// literal vector, confirmed by full query equality after the
+    /// `(shape_hash, literal_fingerprint)` pre-key — are deduplicated
+    /// before dispatch: one representative is computed, every duplicate
+    /// receives a copy of its answer. Serving traffic is where literal
+    /// repeats concentrate (dashboards, retries, fan-in of one template),
+    /// so the batch hits each worker's literal cache once instead of
+    /// shipping the same line N times ([`BoundService::batch_dedup_hits`]
+    /// counts the lines answered this way).
     pub fn bound_batch_shared(&self, queries: Arc<[Query]>) -> Vec<Result<f64, EstimateError>> {
         if queries.is_empty() {
             return Vec::new();
         }
         let n = self.senders.len();
         let shared = queries;
-        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, q) in shared.iter().enumerate() {
-            parts[(q.shape_hash() % n as u64) as usize].push(i);
+        // One shape-hash walk per line, reused by dedup keying and shard
+        // routing below.
+        let hashes: Vec<u64> = shared.iter().map(Query::shape_hash).collect();
+        // Dedup identical (shape, literal) lines onto a representative.
+        let mut canon: Vec<usize> = (0..shared.len()).collect();
+        if shared.len() > 1 {
+            let mut groups: HashMap<(u64, u64), Vec<usize>> = HashMap::new();
+            let mut hits = 0u64;
+            for (i, q) in shared.iter().enumerate() {
+                let key = (hashes[i], q.literal_fingerprint());
+                let bucket = groups.entry(key).or_default();
+                match bucket.iter().find(|&&j| shared[j] == *q) {
+                    Some(&j) => {
+                        canon[i] = j;
+                        hits += 1;
+                    }
+                    None => bucket.push(i),
+                }
+            }
+            if hits > 0 {
+                self.dedup_hits.fetch_add(hits, Ordering::Relaxed);
+            }
         }
-        self.balance_parts(&mut parts, shared.len());
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut uniques = 0usize;
+        for (i, &canon_i) in canon.iter().enumerate() {
+            if canon_i == i {
+                parts[(hashes[i] % n as u64) as usize].push(i);
+                uniques += 1;
+            }
+        }
+        self.balance_parts(&mut parts, uniques);
         let (tx, rx) = mpsc::channel();
         let mut outstanding = 0usize;
         for (w, indices) in parts.into_iter().enumerate() {
@@ -157,8 +227,9 @@ impl BoundService {
                 out[i] = Some(r);
             }
         }
-        out.into_iter()
-            .map(|r| r.expect("every index answered"))
+        // Fan representatives' answers back out to their duplicates.
+        (0..shared.len())
+            .map(|i| out[canon[i]].clone().expect("every line answered"))
             .collect()
     }
 
@@ -218,8 +289,16 @@ impl Drop for BoundService {
     }
 }
 
-/// A worker thread: private session, jobs until the queue closes.
-fn worker_loop(id: usize, handle: SafeBound, rx: mpsc::Receiver<Job>, served: Arc<Vec<AtomicU64>>) {
+/// A worker thread: private session, jobs until the queue closes. After
+/// each job the session's counters are published to the worker's shared
+/// stats slot (the session itself never leaves the thread).
+fn worker_loop(
+    id: usize,
+    handle: SafeBound,
+    rx: mpsc::Receiver<Job>,
+    served: Arc<Vec<AtomicU64>>,
+    session_stats: Arc<Vec<Mutex<SessionStats>>>,
+) {
     let mut session = BoundSession::default();
     while let Ok(job) = rx.recv() {
         let results: Vec<_> = job
@@ -228,6 +307,7 @@ fn worker_loop(id: usize, handle: SafeBound, rx: mpsc::Receiver<Job>, served: Ar
             .map(|&i| handle.bound_with_session(&job.queries[i], &mut session))
             .collect();
         served[id].fetch_add(results.len() as u64, Ordering::Relaxed);
+        *session_stats[id].lock().expect("stats slot poisoned") = session.stats();
         let _ = job.reply.send(Reply {
             indices: job.indices,
             results,
@@ -360,11 +440,13 @@ mod tests {
         // batch actually parallelizes — without changing any result.
         let sb = SafeBound::build(&catalog(), SafeBoundConfig::test_small());
         let service = BoundService::new(sb.clone(), 4);
+        // 64 *distinct* literals: deduplication must not collapse any of
+        // them, so the whole batch still lands on one shape shard.
         let queries: Vec<Query> = (0..64)
             .map(|y| {
                 parse_sql(&format!(
                     "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year = {}",
-                    1990 + (y % 12)
+                    1990 + y
                 ))
                 .unwrap()
             })
@@ -401,6 +483,58 @@ mod tests {
         let queries = workload();
         service.bound_batch(&queries);
         assert_eq!(service.spill_count(), 0, "short batches must not spill");
+    }
+
+    #[test]
+    fn duplicate_lines_dedup_to_one_dispatch() {
+        let sb = SafeBound::build(&catalog(), SafeBoundConfig::test_small());
+        let service = BoundService::new(sb.clone(), 2);
+        // 3 distinct templates × literals, each repeated 8×, shuffled by
+        // construction order.
+        let distinct: Vec<Query> = [
+            "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND f.year = 1995",
+            "SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.id AND d.w = 2",
+            "SELECT COUNT(*) FROM fact",
+        ]
+        .iter()
+        .map(|sql| parse_sql(sql).unwrap())
+        .collect();
+        let batch: Vec<Query> = (0..24).map(|i| distinct[i % 3].clone()).collect();
+        let direct: Vec<f64> = distinct.iter().map(|q| sb.bound(q).unwrap()).collect();
+        let results = service.bound_batch(&batch);
+        for (i, got) in results.iter().enumerate() {
+            assert_eq!(
+                got.as_ref().unwrap().to_bits(),
+                direct[i % 3].to_bits(),
+                "deduped answer diverged at line {i}"
+            );
+        }
+        // 24 lines, 3 representatives dispatched, 21 answered by dedup.
+        assert_eq!(service.batch_dedup_hits(), 21);
+        assert_eq!(service.served_per_worker().iter().sum::<u64>(), 3);
+        // Errors fan out to duplicates too.
+        let bad = parse_sql("SELECT COUNT(*) FROM nonexistent").unwrap();
+        let errs = service.bound_batch(&[bad.clone(), bad]);
+        assert!(errs.iter().all(|r| r.is_err()));
+        assert_eq!(service.batch_dedup_hits(), 22);
+    }
+
+    #[test]
+    fn pool_session_stats_aggregate_worker_counters() {
+        let sb = SafeBound::build(&catalog(), SafeBoundConfig::test_small());
+        let service = BoundService::new(sb, 2);
+        let queries = workload();
+        service.bound_batch(&queries);
+        service.bound_batch(&queries);
+        let stats = service.session_stats();
+        assert!(stats.shape_misses > 0, "{stats:?}");
+        // The second pass repeated every literal vector on warm sessions.
+        assert!(stats.lit_bound_hits > 0, "{stats:?}");
+        assert_eq!(
+            stats.lit_bound_hits + stats.lit_bound_misses,
+            2 * queries.len() as u64,
+            "{stats:?}"
+        );
     }
 
     #[test]

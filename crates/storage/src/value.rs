@@ -89,6 +89,34 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The canonical integer this value equals under the cross-type
+    /// numeric comparison of [`Value::cmp`]: `Int(i)` and any finite,
+    /// integral `Float` in `i64` range normalize to the same integer
+    /// (`Int(2) == Float(2.0)`). **The** shared definition for every
+    /// representation that must agree with `Value::eq` — `Hash`, Bloom
+    /// byte encodings, and literal fingerprints all branch on this one
+    /// helper, so the normalization can never drift between them.
+    ///
+    /// `Float(-0.0)` does **not** normalize: the total order says
+    /// `-0.0 < 0.0`, so it is *unequal* to `Int(0)`/`Float(0.0)` — an
+    /// encoding that merged them would let a byte-verified literal cache
+    /// serve one query's bound for the other.
+    pub fn normalized_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f)
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && (*f != 0.0 || f.is_sign_positive())
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
 }
 
 impl PartialEq for Value {
@@ -131,31 +159,24 @@ fn total_cmp_f64(a: f64, b: f64) -> Ordering {
 
 impl Hash for Value {
     fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash must agree with Ord/Eq: Int(2) == Float(2.0), so values
+        // with a normalized integer hash like that integer.
+        if let Some(i) = self.normalized_int() {
+            1u8.hash(state);
+            i.hash(state);
+            return;
+        }
         match self {
             Value::Null => 0u8.hash(state),
-            Value::Int(i) => {
-                1u8.hash(state);
-                i.hash(state);
-            }
             Value::Float(f) => {
-                // Hash must agree with Ord/Eq: Int(2) == Float(2.0), so
-                // integral floats hash like the corresponding integer.
-                if f.fract() == 0.0
-                    && f.is_finite()
-                    && *f >= i64::MIN as f64
-                    && *f <= i64::MAX as f64
-                {
-                    1u8.hash(state);
-                    (*f as i64).hash(state);
-                } else {
-                    2u8.hash(state);
-                    f.to_bits().hash(state);
-                }
+                2u8.hash(state);
+                f.to_bits().hash(state);
             }
             Value::Str(s) => {
                 3u8.hash(state);
                 s.hash(state);
             }
+            Value::Int(_) => unreachable!("integers always normalize"),
         }
     }
 }
@@ -223,6 +244,17 @@ mod tests {
     #[test]
     fn int_float_hash_consistent_with_eq() {
         assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Float(42.0)));
+    }
+
+    #[test]
+    fn negative_zero_stays_distinct() {
+        // total_cmp orders -0.0 < 0.0, so -0.0 is NOT equal to Int(0) and
+        // must not normalize (byte-exact literal caches rely on this).
+        assert!(Value::Float(-0.0) < Value::Float(0.0));
+        assert_ne!(Value::Float(-0.0), Value::Int(0));
+        assert_eq!(Value::Float(-0.0).normalized_int(), None);
+        assert_eq!(Value::Float(0.0).normalized_int(), Some(0));
+        assert_eq!(Value::Int(0).normalized_int(), Some(0));
     }
 
     #[test]

@@ -39,9 +39,9 @@ pub use safebound_storage as storage;
 /// The most common entry points, re-exported flat.
 pub mod prelude {
     pub use safebound_core::{
-        fdsb, valid_compress, BoundSession, DegreeSequence, EstimateError, PiecewiseConstant,
-        PiecewiseLinear, SafeBound, SafeBoundBuilder, SafeBoundConfig, SafeBoundStats,
-        Segmentation, StatsSnapshot,
+        fdsb, valid_compress, BoundSession, DegreeSequence, EstimateError, PhaseBreakdown,
+        PiecewiseConstant, PiecewiseLinear, SafeBound, SafeBoundBuilder, SafeBoundConfig,
+        SafeBoundStats, Segmentation, SessionStats, StatsSnapshot,
     };
     pub use safebound_exec::{exact_count, CardinalityEstimator, CostModel, Optimizer};
     pub use safebound_query::{parse_sql, Predicate, Query};
