@@ -393,11 +393,12 @@ fn main() {
             {
                 let catalog = imdb_catalog(&scale, 1);
                 let config = experiment_config();
-                move || SafeBoundBuilder::new(config.clone()).build(&catalog)
+                move || Ok(SafeBoundBuilder::new(config.clone()).build(&catalog))
             },
             RefreshConfig {
                 interval: Some(Duration::ZERO), // rebuild back to back
                 tick: Duration::from_millis(1),
+                ..RefreshConfig::default()
             },
             shutdown.clone(),
         );
@@ -439,6 +440,33 @@ fn main() {
          swaps over {refresh_window_secs:.2}s"
     );
 
+    // ---- Recorded only: batched throughput while the fault layer injects
+    // artificial worker latency (every 64th query sleeps 200µs). Quantifies
+    // the cost of running degraded — never gated, and only measurable when
+    // the `faults` feature is compiled in ("null" otherwise, so the JSON
+    // schema is stable across feature sets).
+    #[cfg(feature = "faults")]
+    let qps_under_injected_latency = {
+        use safebound_serve::FaultInjector;
+        let faults = FaultInjector::seeded(1)
+            .delay_every(64, Duration::from_micros(200))
+            .build();
+        let service = BoundService::with_faults(sb.clone(), 4, faults);
+        service.bound_batch_shared(batch.clone());
+        service.bound_batch_shared(batch.clone()); // warm every worker
+        let ns_per_batch = measure_best(&mut || {
+            black_box(service.bound_batch_shared(batch.clone()));
+        });
+        let qps = batch_queries * 1e9 / ns_per_batch;
+        eprintln!(
+            "injected-latency (faults feature): {qps:.0} q/s batched-4w with 200µs sleep every \
+             64th query (recorded, not gated)"
+        );
+        format!("{qps:.0}")
+    };
+    #[cfg(not(feature = "faults"))]
+    let qps_under_injected_latency = "null".to_string();
+
     let qps_1w = batched_qps[0];
     let qps_4w = batched_qps[2];
     let batched_4w_vs_request_1w = qps_4w / request_1w_qps;
@@ -459,7 +487,7 @@ fn main() {
     let cache_speedup = cold_ns_per_query / cached_ns_per_query;
     let repeated_literal_speedup = cached_ns_per_query / repeated_literal_ns_per_query;
     let json = format!(
-        "{{\n  \"workload\": \"JOB-light (IMDB scale {scale_name}, seed 1)\",\n  \"queries\": {},\n  \"offline\": {{\n    \"stats_build_seconds\": {:.3},\n    \"stats_bytes\": {},\n    \"cds_sets\": {}\n  }},\n  \"kernel\": {{\n    \"safebound_sweep_ns_per_query\": {:.1},\n    \"safebound_reference_ns_per_query\": {:.1},\n    \"sweep_speedup\": {:.2}\n  }},\n  \"end_to_end\": {{\n    \"safebound_bound_cold_ns_per_query\": {:.1},\n    \"safebound_bound_cached_ns_per_query\": {:.1},\n    \"shape_cache_speedup\": {:.2},\n    \"repeated_literal_ns_per_query\": {repeated_literal_ns_per_query:.1},\n    \"repeated_literal_speedup\": {repeated_literal_speedup:.2},\n    \"phase_ns_per_query\": {{\"resolve\": {resolve_ns:.1}, \"assemble\": {assemble_ns:.1}, \"kernel\": {kernel_phase_ns:.1}}},\n    \"postgres_estimate_ns_per_query\": {:.1},\n    \"simplicity_estimate_ns_per_query\": {:.1}\n  }},\n  \"serving\": {{\n    \"hardware_threads\": {hw_threads},\n    \"request_dispatch_1_worker_qps\": {:.0},\n    \"batched_qps_by_workers\": {{\"1\": {:.0}, \"2\": {:.0}, \"4\": {:.0}, \"8\": {:.0}}},\n    \"batched_4w_vs_request_1w\": {batched_4w_vs_request_1w:.2},\n    \"batched_4w_vs_batched_1w\": {batched_4w_vs_batched_1w:.2},\n    \"batched_4w_repeated_qps\": {batched_4w_repeated_qps:.0},\n    \"batch_dedup_hits\": {batch_dedup_hits},\n    \"batched_4w_under_refresh_qps\": {refresh_qps:.0},\n    \"refresh_swaps_during_window\": {refresh_swaps},\n    \"refresh_window_seconds\": {refresh_window_secs:.2},\n    \"hardware_scaling_gate\": \"{scaling_gate}\"\n  }}\n}}\n",
+        "{{\n  \"workload\": \"JOB-light (IMDB scale {scale_name}, seed 1)\",\n  \"queries\": {},\n  \"offline\": {{\n    \"stats_build_seconds\": {:.3},\n    \"stats_bytes\": {},\n    \"cds_sets\": {}\n  }},\n  \"kernel\": {{\n    \"safebound_sweep_ns_per_query\": {:.1},\n    \"safebound_reference_ns_per_query\": {:.1},\n    \"sweep_speedup\": {:.2}\n  }},\n  \"end_to_end\": {{\n    \"safebound_bound_cold_ns_per_query\": {:.1},\n    \"safebound_bound_cached_ns_per_query\": {:.1},\n    \"shape_cache_speedup\": {:.2},\n    \"repeated_literal_ns_per_query\": {repeated_literal_ns_per_query:.1},\n    \"repeated_literal_speedup\": {repeated_literal_speedup:.2},\n    \"phase_ns_per_query\": {{\"resolve\": {resolve_ns:.1}, \"assemble\": {assemble_ns:.1}, \"kernel\": {kernel_phase_ns:.1}}},\n    \"postgres_estimate_ns_per_query\": {:.1},\n    \"simplicity_estimate_ns_per_query\": {:.1}\n  }},\n  \"serving\": {{\n    \"hardware_threads\": {hw_threads},\n    \"request_dispatch_1_worker_qps\": {:.0},\n    \"batched_qps_by_workers\": {{\"1\": {:.0}, \"2\": {:.0}, \"4\": {:.0}, \"8\": {:.0}}},\n    \"batched_4w_vs_request_1w\": {batched_4w_vs_request_1w:.2},\n    \"batched_4w_vs_batched_1w\": {batched_4w_vs_batched_1w:.2},\n    \"batched_4w_repeated_qps\": {batched_4w_repeated_qps:.0},\n    \"batch_dedup_hits\": {batch_dedup_hits},\n    \"batched_4w_under_refresh_qps\": {refresh_qps:.0},\n    \"refresh_swaps_during_window\": {refresh_swaps},\n    \"refresh_window_seconds\": {refresh_window_secs:.2},\n    \"qps_under_injected_latency\": {qps_under_injected_latency},\n    \"hardware_scaling_gate\": \"{scaling_gate}\"\n  }}\n}}\n",
         queries.len(),
         build_secs,
         stats_bytes,

@@ -108,6 +108,25 @@ pub trait Strategy {
     {
         FlatMap { inner: self, f }
     }
+
+    /// Type-erase this strategy (upstream `Strategy::boxed`), so
+    /// conditional arms with different strategy types can unify.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (upstream `BoxedStrategy`).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -261,8 +280,8 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
-        TestCaseError, TestRng,
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError, TestRng,
     };
 }
 

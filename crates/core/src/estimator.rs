@@ -102,6 +102,12 @@ pub enum EstimateError {
     UnknownTable(String),
     /// Statistics were missing mid-bound.
     Bound(BoundError),
+    /// The serving layer lost the computation (e.g. a worker panicked
+    /// mid-query); the query itself may be fine on retry.
+    Internal(String),
+    /// The serving layer gave up waiting on the computation (per-batch
+    /// deadline exceeded); the query itself may be fine on retry.
+    Timeout,
 }
 
 impl std::fmt::Display for EstimateError {
@@ -109,6 +115,8 @@ impl std::fmt::Display for EstimateError {
         match self {
             EstimateError::UnknownTable(t) => write!(f, "no statistics for table {t:?}"),
             EstimateError::Bound(e) => write!(f, "bound evaluation failed: {e}"),
+            EstimateError::Internal(m) => write!(f, "internal: {m}"),
+            EstimateError::Timeout => write!(f, "timeout: bound exceeded its deadline"),
         }
     }
 }
@@ -810,10 +818,13 @@ impl SafeBound {
 
     /// The currently published snapshot.
     pub fn snapshot(&self) -> Arc<StatsSnapshot> {
+        // Poison recovery: the slot only ever holds a fully formed Arc
+        // (the swap is a single assignment), so a panic elsewhere while
+        // the lock was held cannot leave it mid-update — keep serving.
         self.cell
             .current
             .lock()
-            .expect("stats slot poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
 
@@ -836,7 +847,12 @@ impl SafeBound {
     /// Returns the published snapshot.
     pub fn swap_stats(&self, stats: StatsSnapshot) -> Arc<StatsSnapshot> {
         let snap = Arc::new(stats);
-        let mut cur = self.cell.current.lock().expect("stats slot poisoned");
+        // Same poison-recovery argument as [`SafeBound::snapshot`].
+        let mut cur = self
+            .cell
+            .current
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *cur = snap.clone();
         // Publish the id while holding the lock so a reader that sees the
         // new id and misses its session cache always finds the new Arc.

@@ -4,13 +4,15 @@
 //! safebound-serve serve [--addr 127.0.0.1:7878] [--workers N]
 //!                       [--scale tiny|default|full] [--refresh-secs N]
 //!                       [--max-conns N] [--max-inflight N] [--idle-secs N]
+//!                       [--batch-timeout-secs N]
 //!     Build the bundled IMDB catalog + SafeBound statistics, then serve
 //!     the line protocol (see crate docs) with a background statistics
 //!     refresher (periodic when --refresh-secs > 0, always available via
-//!     the REFRESH verb; --idle-secs 0 disables the idle timeout) until
-//!     killed or told to SHUTDOWN — on which every
-//!     connection handler, worker, and the refresher is joined before the
-//!     process exits.
+//!     the REFRESH verb; --idle-secs 0 disables the idle timeout;
+//!     --batch-timeout-secs 0 disables the per-batch reply deadline)
+//!     until killed or told to SHUTDOWN — on which every connection
+//!     handler, worker, and the refresher is joined before the process
+//!     exits.
 //!
 //! safebound-serve query --addr 127.0.0.1:7878 "SELECT COUNT(*) FROM ..." [more SQL...]
 //!     Connect to a running server, send each SQL argument (as one BATCH
@@ -31,10 +33,18 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  safebound-serve serve [--addr HOST:PORT] [--workers N] \
          [--scale tiny|default|full] [--refresh-secs N] [--max-conns N] \
-         [--max-inflight N] [--idle-secs N]\n  \
+         [--max-inflight N] [--idle-secs N] [--batch-timeout-secs N]\n  \
          safebound-serve query --addr HOST:PORT SQL [SQL...]"
     );
     std::process::exit(2);
+}
+
+/// Exit with an operator-facing error (bad flags, unreachable server, a
+/// port we cannot bind). A CLI mistake is not a program invariant
+/// violation, so it must not panic with a backtrace.
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("safebound-serve: {msg}");
+    std::process::exit(1);
 }
 
 fn main() {
@@ -55,9 +65,10 @@ fn cmd_serve(args: &[String]) {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut parse = |what: &str| -> u64 {
-            it.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("{what} needs a number"))
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => n,
+                None => die(format_args!("{what} needs a number")),
+            }
         };
         match a.as_str() {
             "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
@@ -74,11 +85,21 @@ fn cmd_serve(args: &[String]) {
                     n => Duration::from_secs(n),
                 }
             }
+            "--batch-timeout-secs" => {
+                // 0 = wait indefinitely for workers (no degradation).
+                opts.batch_timeout = match parse("--batch-timeout-secs") {
+                    0 => None,
+                    n => Some(Duration::from_secs(n)),
+                }
+            }
             _ => usage(),
         }
     }
-    let scale = ImdbScale::named(&scale_name)
-        .unwrap_or_else(|| panic!("unknown --scale {scale_name:?} (tiny|default|full)"));
+    let Some(scale) = ImdbScale::named(&scale_name) else {
+        die(format_args!(
+            "unknown --scale {scale_name:?} (tiny|default|full)"
+        ))
+    };
 
     eprintln!("building IMDB catalog ({scale_name}) + SafeBound statistics…");
     let catalog = imdb_catalog(&scale, 1);
@@ -96,10 +117,13 @@ fn cmd_serve(args: &[String]) {
     // Lifecycle: one token threaded through the refresher, the accept
     // loop, and every connection handler; SHUTDOWN (or an accept-loop
     // error) drains all of them, then workers and refresher are joined.
+    // The in-memory catalog rebuild cannot itself fail, but the source
+    // contract is fallible (a real deployment re-scans external data) —
+    // a failure would be retried under backoff and surfaced in STATS.
     let shutdown = ShutdownToken::new();
     let refresher = Arc::new(StatsRefresher::spawn(
         sb.clone(),
-        move || SafeBoundBuilder::new(config.clone()).build(&catalog),
+        move || Ok(SafeBoundBuilder::new(config.clone()).build(&catalog)),
         RefreshConfig {
             interval: (refresh_secs > 0).then(|| Duration::from_secs(refresh_secs)),
             ..RefreshConfig::default()
@@ -108,7 +132,10 @@ fn cmd_serve(args: &[String]) {
     ));
 
     let service = Arc::new(BoundService::new(sb, workers));
-    let listener = TcpListener::bind(&addr).expect("bind listen address");
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => die(format_args!("cannot bind {addr}: {e}")),
+    };
     eprintln!(
         "serving on {addr} with {workers} workers (line protocol; try PING / SQL / STATS / \
          REFRESH / SHUTDOWN), refresh cadence: {}",
@@ -118,14 +145,15 @@ fn cmd_serve(args: &[String]) {
             "on demand only".to_string()
         }
     );
-    serve_with(
+    if let Err(e) = serve_with(
         service.clone(),
         listener,
         Some(refresher.clone()),
         shutdown,
         opts,
-    )
-    .expect("accept loop");
+    ) {
+        eprintln!("safebound-serve: accept loop failed: {e}");
+    }
 
     // Graceful exit: handlers are already joined by serve_with; join the
     // refresher, then the worker pool.
@@ -156,26 +184,41 @@ fn cmd_query(args: &[String]) {
         usage();
     }
 
-    let stream = TcpStream::connect(&addr).expect("connect to server");
-    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => die(format_args!("cannot connect to {addr}: {e}")),
+    };
+    let reader_half = match stream.try_clone() {
+        Ok(r) => r,
+        Err(e) => die(format_args!("cannot clone connection: {e}")),
+    };
+    let mut reader = BufReader::new(reader_half);
     let mut writer = BufWriter::new(stream);
+    let send = |w: &mut BufWriter<TcpStream>, line: &str| {
+        if let Err(e) = writeln!(w, "{line}") {
+            die(format_args!("send failed: {e}"));
+        }
+    };
     if sqls.len() == 1 {
-        writeln!(writer, "{}", sqls[0]).expect("send query");
+        send(&mut writer, &sqls[0]);
     } else {
-        writeln!(writer, "BATCH {}", sqls.len()).expect("send batch header");
+        send(&mut writer, &format!("BATCH {}", sqls.len()));
         for sql in &sqls {
-            writeln!(writer, "{sql}").expect("send query");
+            send(&mut writer, sql);
         }
     }
-    writeln!(writer, "QUIT").expect("send quit");
-    writer.flush().expect("flush");
+    send(&mut writer, "QUIT");
+    if let Err(e) = writer.flush() {
+        die(format_args!("send failed: {e}"));
+    }
 
     let mut line = String::new();
     for _ in 0..sqls.len() {
         line.clear();
-        if reader.read_line(&mut line).expect("read response") == 0 {
-            break;
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => println!("{}", line.trim()),
+            Err(e) => die(format_args!("read failed: {e}")),
         }
-        println!("{}", line.trim());
     }
 }

@@ -1,0 +1,282 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A [`FaultInjector`] is threaded through the worker pool
+//! ([`BoundService::with_faults`](crate::BoundService::with_faults)), the
+//! TCP response path ([`ServeOptions::faults`](crate::ServeOptions)), and
+//! the statistics refresher
+//! ([`StatsRefresher::spawn_with_faults`](crate::StatsRefresher::spawn_with_faults)),
+//! and can inject — from a fixed seed, so chaos runs replay exactly —
+//!
+//! * **worker panics** mid-query (exercises `catch_unwind` isolation and
+//!   worker respawn),
+//! * **worker latency** (exercises per-batch deadlines and `ERR timeout`
+//!   degradation),
+//! * **refresh build failures** (exercises retry/backoff and
+//!   last-good-snapshot serving), and
+//! * **I/O errors and short writes** on the TCP response path (exercises
+//!   the retrying writer — a response line must never be truncated).
+//!
+//! The real implementation only compiles under the **`faults` cargo
+//! feature**; without it `FaultInjector` is a zero-sized struct whose
+//! hooks are inlined no-ops, so release builds and the benchmark gates
+//! carry zero overhead. The production code paths call the hooks
+//! unconditionally and never mention the feature themselves.
+
+use std::time::Duration;
+
+/// What a worker should do before executing one query.
+#[cfg_attr(not(feature = "faults"), allow(dead_code))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerFault {
+    /// Proceed normally.
+    None,
+    /// Panic mid-query.
+    Panic,
+    /// Sleep this long before computing.
+    Delay(Duration),
+}
+
+/// What one TCP response write attempt should do.
+#[cfg_attr(not(feature = "faults"), allow(dead_code))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriteFault {
+    /// Write normally.
+    None,
+    /// Fail with this error kind before writing anything.
+    Err(std::io::ErrorKind),
+    /// Write at most this many bytes (a short write).
+    Short(usize),
+}
+
+#[cfg(feature = "faults")]
+mod imp {
+    use super::{WorkerFault, WriteFault};
+    use std::io::ErrorKind;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// SplitMix64: the per-event deterministic choice function. Every
+    /// injected decision derives from `seed ^ event-sequence-number`, so
+    /// a schedule replays exactly for a fixed seed.
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[derive(Debug, Default)]
+    struct Inner {
+        seed: u64,
+        /// Worker-query sequence numbers (global, from 0) that panic.
+        panic_queries: Vec<u64>,
+        /// Worker-query sequence numbers that sleep `delay` first.
+        delay_queries: Vec<u64>,
+        /// Every `delay_every`-th worker query sleeps `delay` (0 = off).
+        delay_every: u64,
+        delay: Duration,
+        /// Remaining refresher builds to fail.
+        refresh_failures_left: AtomicU64,
+        refresh_failures_injected: AtomicU64,
+        /// Every `write_every`-th response write attempt faults (0 = off).
+        write_every: u64,
+        query_seq: AtomicU64,
+        write_seq: AtomicU64,
+    }
+
+    /// A seeded, cheaply clonable fault schedule (all clones share the
+    /// same event counters). See the module docs for the fault kinds.
+    #[derive(Debug, Clone, Default)]
+    pub struct FaultInjector(Option<Arc<Inner>>);
+
+    impl FaultInjector {
+        /// An injector that never faults (what production paths run with
+        /// unless a chaos harness installs a schedule).
+        pub fn disabled() -> Self {
+            FaultInjector(None)
+        }
+
+        /// Start building a fault schedule from a fixed seed.
+        pub fn seeded(seed: u64) -> FaultBuilder {
+            FaultBuilder {
+                inner: Inner {
+                    seed,
+                    ..Inner::default()
+                },
+            }
+        }
+
+        /// Whether any fault schedule is installed.
+        pub fn is_enabled(&self) -> bool {
+            self.0.is_some()
+        }
+
+        /// Worker panics injected so far.
+        pub fn panics_injected(&self) -> u64 {
+            self.0.as_ref().map_or(0, |i| {
+                i.panic_queries
+                    .iter()
+                    .filter(|&&q| q < i.query_seq.load(Ordering::Relaxed))
+                    .count() as u64
+            })
+        }
+
+        pub(crate) fn on_worker_query(&self) -> WorkerFault {
+            let Some(inner) = &self.0 else {
+                return WorkerFault::None;
+            };
+            let seq = inner.query_seq.fetch_add(1, Ordering::Relaxed);
+            if inner.panic_queries.contains(&seq) {
+                return WorkerFault::Panic;
+            }
+            if inner.delay_queries.contains(&seq)
+                || (inner.delay_every > 0 && seq % inner.delay_every == inner.delay_every - 1)
+            {
+                return WorkerFault::Delay(inner.delay);
+            }
+            WorkerFault::None
+        }
+
+        pub(crate) fn on_refresh_build(&self) -> Option<String> {
+            let inner = self.0.as_ref()?;
+            let mut left = inner.refresh_failures_left.load(Ordering::Relaxed);
+            loop {
+                if left == 0 {
+                    return None;
+                }
+                match inner.refresh_failures_left.compare_exchange_weak(
+                    left,
+                    left - 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let k = inner
+                            .refresh_failures_injected
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Some(format!("injected build failure #{}", k + 1));
+                    }
+                    Err(now) => left = now,
+                }
+            }
+        }
+
+        pub(crate) fn on_write(&self, remaining: usize) -> WriteFault {
+            let Some(inner) = &self.0 else {
+                return WriteFault::None;
+            };
+            if inner.write_every == 0 || remaining == 0 {
+                return WriteFault::None;
+            }
+            let seq = inner.write_seq.fetch_add(1, Ordering::Relaxed);
+            if seq % inner.write_every != inner.write_every - 1 {
+                return WriteFault::None;
+            }
+            // Seeded choice of fault shape. Short writes always make ≥ 1
+            // byte of progress, so even an every-write schedule cannot
+            // livelock a retrying writer.
+            match mix(inner.seed ^ seq) % 3 {
+                0 => WriteFault::Err(ErrorKind::Interrupted),
+                1 => WriteFault::Err(ErrorKind::WouldBlock),
+                _ => WriteFault::Short((remaining / 2).max(1)),
+            }
+        }
+    }
+
+    /// Builder for a [`FaultInjector`] schedule (see
+    /// [`FaultInjector::seeded`]).
+    #[derive(Debug)]
+    pub struct FaultBuilder {
+        inner: Inner,
+    }
+
+    impl FaultBuilder {
+        /// Panic the worker executing the given global query sequence
+        /// numbers (counted across all workers, from 0).
+        pub fn panic_on_queries(mut self, seqs: impl IntoIterator<Item = u64>) -> Self {
+            self.inner.panic_queries.extend(seqs);
+            self
+        }
+
+        /// Sleep `delay` before executing the given query sequence numbers.
+        pub fn delay_queries(
+            mut self,
+            seqs: impl IntoIterator<Item = u64>,
+            delay: Duration,
+        ) -> Self {
+            self.inner.delay_queries.extend(seqs);
+            self.inner.delay = delay;
+            self
+        }
+
+        /// Sleep `delay` before every `every`-th worker query.
+        pub fn delay_every(mut self, every: u64, delay: Duration) -> Self {
+            self.inner.delay_every = every;
+            self.inner.delay = delay;
+            self
+        }
+
+        /// Fail the next `n` refresher builds (the source is not called).
+        pub fn fail_refresh_builds(mut self, n: u64) -> Self {
+            self.inner.refresh_failures_left = AtomicU64::new(n);
+            self
+        }
+
+        /// Fault every `every`-th response write attempt with a seeded
+        /// choice of `Interrupted`, `WouldBlock`, or a short write.
+        pub fn fault_writes_every(mut self, every: u64) -> Self {
+            self.inner.write_every = every;
+            self
+        }
+
+        /// Finish the schedule.
+        pub fn build(self) -> FaultInjector {
+            FaultInjector(Some(Arc::new(self.inner)))
+        }
+    }
+}
+
+#[cfg(feature = "faults")]
+pub use imp::{FaultBuilder, FaultInjector};
+
+/// Zero-overhead stand-in when the `faults` feature is off: a zero-sized
+/// struct whose hooks are inlined no-ops.
+#[cfg(not(feature = "faults"))]
+#[derive(Debug, Clone, Default)] // not Copy: the feature-on variant can't be
+pub struct FaultInjector;
+
+#[cfg(not(feature = "faults"))]
+impl FaultInjector {
+    /// An injector that never faults (the only kind without the `faults`
+    /// feature).
+    pub fn disabled() -> Self {
+        FaultInjector
+    }
+
+    /// Whether any fault schedule is installed (never, without the
+    /// `faults` feature).
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Worker panics injected so far (always 0 without the feature).
+    pub fn panics_injected(&self) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_worker_query(&self) -> WorkerFault {
+        WorkerFault::None
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_refresh_build(&self) -> Option<String> {
+        None
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_write(&self, _remaining: usize) -> WriteFault {
+        WriteFault::None
+    }
+}

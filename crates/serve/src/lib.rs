@@ -105,13 +105,31 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod refresh;
 pub mod server;
 pub mod service;
 
-pub use refresh::{RefreshConfig, ShutdownToken, StatsRefresher};
+#[cfg(feature = "faults")]
+pub use faults::FaultBuilder;
+pub use faults::FaultInjector;
+pub use refresh::{RefreshConfig, RefreshError, ShutdownToken, StatsRefresher};
 pub use server::{serve, serve_with, ServeOptions};
 pub use service::BoundService;
 
 // Re-exported so service consumers need only this crate.
 pub use safebound_core::{BoundSession, EstimateError, SafeBound, SessionStats, StatsSnapshot};
+
+/// Acquire a mutex, recovering from poisoning instead of propagating it.
+///
+/// Every mutex in this crate guards state that is valid at all times —
+/// counters, fully formed handles/snapshots, channel endpoints — updated
+/// by single assignments that cannot be observed half-done. A panic on a
+/// thread that happened to hold such a lock therefore leaves the data
+/// intact, and cascading that one panic into every later `lock().unwrap()`
+/// caller would turn an isolated worker failure into a dead server.
+pub(crate) fn lock_recover<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -10,6 +10,20 @@
 //! rebuilds never run in a serving thread, and live traffic keeps flowing
 //! while statistics are replaced underneath it.
 //!
+//! ## Surviving a failing source
+//!
+//! The source is fallible (`Result<StatsSnapshot, String>`), and a source
+//! that panics is caught and treated as a failure. A failed build **never
+//! unpublishes the last-good snapshot** — serving continues on whatever
+//! was last swapped in — and the refresher itself keeps running: cadence
+//! rebuilds retry under capped exponential backoff with deterministic
+//! jitter ([`RefreshConfig::backoff_base`] / `backoff_cap`), while an
+//! explicit demand ([`StatsRefresher::refresh_blocking`], the `REFRESH`
+//! verb) always triggers an immediate attempt and reports that attempt's
+//! error to the requester instead of hanging. Failure count and the last
+//! error are observable ([`StatsRefresher::failure_count`],
+//! [`StatsRefresher::last_error`]) and surfaced in `STATS`.
+//!
 //! [`ShutdownToken`] is the cooperative stop signal threaded through the
 //! whole serving stack: the accept loop polls it between accepts,
 //! connection handlers poll it on their read tick, and the refresher polls
@@ -18,9 +32,12 @@
 //! refresher joins in [`StatsRefresher::stop`]/`Drop`, and dropping the
 //! [`BoundService`](crate::BoundService) joins the workers).
 
+use crate::faults::FaultInjector;
+use crate::lock_recover;
 use safebound_core::{SafeBound, StatsSnapshot};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -52,7 +69,26 @@ impl ShutdownToken {
     }
 }
 
-/// When the background refresher rebuilds statistics.
+/// Why a refresh request did not publish a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefreshError {
+    /// The refresher stopped before completing the request.
+    Stopped,
+    /// The build attempt covering the request failed (source error or
+    /// source panic); the last-good snapshot is still being served.
+    Failed(String),
+}
+
+impl std::fmt::Display for RefreshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefreshError::Stopped => write!(f, "refresher stopped"),
+            RefreshError::Failed(reason) => write!(f, "{reason}"),
+        }
+    }
+}
+
+/// When (and how persistently) the background refresher rebuilds.
 #[derive(Clone, Debug)]
 pub struct RefreshConfig {
     /// Rebuild cadence; `None` disables periodic rebuilds (the refresher
@@ -61,6 +97,13 @@ pub struct RefreshConfig {
     pub interval: Option<Duration>,
     /// How often the idle refresher re-checks the shutdown token.
     pub tick: Duration,
+    /// First retry delay after a failed cadence build; doubles per
+    /// consecutive failure (±25% deterministic jitter) up to
+    /// [`RefreshConfig::backoff_cap`]. On-demand requests bypass the
+    /// backoff — demand always attempts immediately.
+    pub backoff_base: Duration,
+    /// Upper bound on the failure-retry delay.
+    pub backoff_cap: Duration,
 }
 
 impl Default for RefreshConfig {
@@ -68,6 +111,8 @@ impl Default for RefreshConfig {
         RefreshConfig {
             interval: None,
             tick: Duration::from_millis(100),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(5),
         }
     }
 }
@@ -76,15 +121,24 @@ impl Default for RefreshConfig {
 #[derive(Debug, Default)]
 struct RefreshState {
     /// Total on-demand refresh requests issued. Requests coalesce: one
-    /// rebuild satisfies every request issued before it **started**.
+    /// build attempt satisfies every request issued before it **started**.
     requests: u64,
-    /// All requests ≤ this were issued before some completed rebuild
+    /// All requests ≤ this were issued before some **successful** rebuild
     /// started (i.e. are satisfied by a published snapshot).
     completed_through: u64,
+    /// All requests ≤ this (and > `completed_through`) were covered by a
+    /// **failed** build attempt; their requesters get the error.
+    failed_through: u64,
     /// Completed rebuild+publish cycles.
     generation: u64,
     /// Build id of the most recently published snapshot (0 = none yet).
     last_build_id: u64,
+    /// Total failed build attempts since spawn.
+    failures: u64,
+    /// Failed attempts since the last success (drives the backoff).
+    consecutive_failures: u32,
+    /// Reason of the most recent failed attempt.
+    last_error: Option<String>,
     /// Stop requested via [`StatsRefresher::stop`] (the shared shutdown
     /// token stops the refresher too; this flag stops only the refresher).
     stop_requested: bool,
@@ -98,13 +152,37 @@ struct RefreshShared {
     cv: Condvar,
 }
 
+/// SplitMix64 step — deterministic backoff jitter (no RNG dependency).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Retry delay after the `consecutive`-th straight failure (1-based):
+/// capped exponential with ±25% deterministic jitter, so a fleet of
+/// replicas refreshing from one failing source doesn't retry in lockstep.
+fn backoff_delay(config: &RefreshConfig, consecutive: u32, failures: u64) -> Duration {
+    let exp = consecutive.saturating_sub(1).min(16);
+    let base = config
+        .backoff_base
+        .saturating_mul(1u32 << exp)
+        .min(config.backoff_cap);
+    // Jitter in [-25%, +25%], derived from the failure ordinal.
+    let jitter_permille = (mix(failures) % 501) as i64 - 250;
+    let nanos = base.as_nanos() as i64;
+    Duration::from_nanos((nanos + nanos * jitter_permille / 1000).max(0) as u64)
+}
+
 /// A background thread that rebuilds statistics and hot-swaps them into a
 /// [`SafeBound`] handle — periodically, on demand, or both.
 ///
 /// Construction spawns the thread; [`StatsRefresher::stop`] (or `Drop`)
 /// joins it. The refresher never blocks serving threads: rebuilds run
 /// entirely on its own thread and publish atomically via `swap_stats`,
-/// and in-flight queries finish on the snapshot they started with.
+/// and in-flight queries finish on the snapshot they started with. Failed
+/// builds never unpublish the last-good snapshot (see the module docs).
 pub struct StatsRefresher {
     shared: Arc<RefreshShared>,
     thread: Mutex<Option<JoinHandle<()>>>,
@@ -112,10 +190,11 @@ pub struct StatsRefresher {
 
 impl std::fmt::Debug for StatsRefresher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.shared.state.lock().expect("refresh state poisoned");
+        let st = lock_recover(&self.shared.state);
         f.debug_struct("StatsRefresher")
             .field("generation", &st.generation)
             .field("last_build_id", &st.last_build_id)
+            .field("failures", &st.failures)
             .field("stopped", &st.stopped)
             .finish()
     }
@@ -124,13 +203,27 @@ impl std::fmt::Debug for StatsRefresher {
 impl StatsRefresher {
     /// Spawn a refresher over `handle`. `source` produces each fresh
     /// snapshot (it runs on the refresher thread; typically it re-scans a
-    /// catalog through `SafeBoundBuilder`). The refresher exits when
-    /// `shutdown` triggers or [`StatsRefresher::stop`] is called.
+    /// catalog through `SafeBoundBuilder`) or reports why it couldn't.
+    /// The refresher exits when `shutdown` triggers or
+    /// [`StatsRefresher::stop`] is called.
     pub fn spawn(
         handle: SafeBound,
-        mut source: impl FnMut() -> StatsSnapshot + Send + 'static,
+        source: impl FnMut() -> Result<StatsSnapshot, String> + Send + 'static,
         config: RefreshConfig,
         shutdown: ShutdownToken,
+    ) -> Self {
+        Self::spawn_with_faults(handle, source, config, shutdown, FaultInjector::disabled())
+    }
+
+    /// [`StatsRefresher::spawn`] with a fault-injection schedule (chaos
+    /// testing; see [`crate::faults`]): injected build failures replace
+    /// the source call for the scheduled attempts.
+    pub fn spawn_with_faults(
+        handle: SafeBound,
+        mut source: impl FnMut() -> Result<StatsSnapshot, String> + Send + 'static,
+        config: RefreshConfig,
+        shutdown: ShutdownToken,
+        faults: FaultInjector,
     ) -> Self {
         let shared = Arc::new(RefreshShared {
             state: Mutex::new(RefreshState::default()),
@@ -141,45 +234,81 @@ impl StatsRefresher {
             .name("safebound-refresh".to_string())
             .spawn(move || {
                 let mut last_build = Instant::now();
+                let mut backoff_until: Option<Instant> = None;
                 loop {
-                    // Wait for demand, cadence, or shutdown.
+                    // Wait for demand, cadence (delayed by any failure
+                    // backoff), or shutdown.
                     let satisfies = {
-                        let mut st = thread_shared.state.lock().expect("refresh state poisoned");
+                        let mut st = lock_recover(&thread_shared.state);
                         loop {
                             if shutdown.is_triggered() || st.stop_requested {
                                 st.stopped = true;
                                 thread_shared.cv.notify_all();
                                 return;
                             }
-                            if st.requests > st.completed_through {
+                            // Demand overrides the backoff: an operator
+                            // asking for a refresh wants the attempt (and
+                            // its error, if any) now.
+                            if st.requests > st.completed_through.max(st.failed_through) {
                                 break st.requests;
                             }
                             let wait = match config.interval {
                                 Some(iv) => {
-                                    let since = last_build.elapsed();
-                                    if since >= iv {
+                                    let mut due = last_build + iv;
+                                    if let Some(b) = backoff_until {
+                                        due = due.max(b);
+                                    }
+                                    let now = Instant::now();
+                                    if now >= due {
                                         break st.requests;
                                     }
-                                    (iv - since).min(config.tick)
+                                    (due - now).min(config.tick)
                                 }
                                 None => config.tick,
                             };
                             let (guard, _) = thread_shared
                                 .cv
                                 .wait_timeout(st, wait)
-                                .expect("refresh state poisoned");
+                                .unwrap_or_else(PoisonError::into_inner);
                             st = guard;
                         }
                     };
-                    // Rebuild outside the lock: requesters and observers
+                    // Build outside the lock: requesters and observers
                     // stay responsive during the (potentially long) build.
-                    let snapshot = source();
-                    let published = handle.swap_stats(snapshot);
+                    // A panicking source is a failure, not a dead
+                    // refresher.
+                    let built = match faults.on_refresh_build() {
+                        Some(reason) => Err(reason),
+                        None => std::panic::catch_unwind(AssertUnwindSafe(&mut source))
+                            .unwrap_or_else(|payload| {
+                                Err(format!(
+                                    "snapshot source panicked: {}",
+                                    panic_text(payload.as_ref())
+                                ))
+                            }),
+                    };
                     last_build = Instant::now();
-                    let mut st = thread_shared.state.lock().expect("refresh state poisoned");
-                    st.generation += 1;
-                    st.last_build_id = published.build_id;
-                    st.completed_through = satisfies;
+                    let mut st = lock_recover(&thread_shared.state);
+                    match built {
+                        Ok(snapshot) => {
+                            let published = handle.swap_stats(snapshot);
+                            st.generation += 1;
+                            st.last_build_id = published.build_id;
+                            st.completed_through = satisfies;
+                            st.consecutive_failures = 0;
+                            backoff_until = None;
+                        }
+                        Err(reason) => {
+                            st.failures += 1;
+                            st.consecutive_failures += 1;
+                            st.last_error = Some(reason);
+                            st.failed_through = satisfies;
+                            backoff_until = Some(
+                                last_build
+                                    + backoff_delay(&config, st.consecutive_failures, st.failures),
+                            );
+                        }
+                    }
                     thread_shared.cv.notify_all();
                 }
             })
@@ -190,65 +319,83 @@ impl StatsRefresher {
         }
     }
 
-    /// Request a rebuild and block until a snapshot built after this call
-    /// is published. Returns `(build_id, generation)` of that snapshot, or
-    /// `None` if the refresher stopped before completing the request.
-    pub fn refresh_blocking(&self) -> Option<(u64, u64)> {
-        let mut st = self.shared.state.lock().expect("refresh state poisoned");
+    /// Request a rebuild and block until a build attempt started after
+    /// this call finishes. On success returns `(build_id, generation)` of
+    /// the published snapshot; a failed attempt returns
+    /// [`RefreshError::Failed`] with the source's reason (the last-good
+    /// snapshot stays published), and a refresher that stopped first
+    /// returns [`RefreshError::Stopped`]. Never hangs on a failing
+    /// source.
+    pub fn refresh_blocking(&self) -> Result<(u64, u64), RefreshError> {
+        let mut st = lock_recover(&self.shared.state);
         if st.stopped {
-            return None;
+            return Err(RefreshError::Stopped);
         }
         st.requests += 1;
         let my = st.requests;
         self.shared.cv.notify_all();
-        while st.completed_through < my && !st.stopped {
-            st = self.shared.cv.wait(st).expect("refresh state poisoned");
+        loop {
+            if st.completed_through >= my {
+                return Ok((st.last_build_id, st.generation));
+            }
+            if st.failed_through >= my {
+                let reason = st
+                    .last_error
+                    .clone()
+                    .unwrap_or_else(|| "unknown build failure".to_string());
+                return Err(RefreshError::Failed(reason));
+            }
+            if st.stopped {
+                return Err(RefreshError::Stopped);
+            }
+            st = self
+                .shared
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
-        (st.completed_through >= my).then_some((st.last_build_id, st.generation))
     }
 
     /// Completed rebuild+publish cycles since spawn.
     pub fn generation(&self) -> u64 {
-        self.shared
-            .state
-            .lock()
-            .expect("refresh state poisoned")
-            .generation
+        lock_recover(&self.shared.state).generation
     }
 
     /// Build id of the most recently published snapshot (0 = none yet).
     pub fn last_build_id(&self) -> u64 {
-        self.shared
-            .state
-            .lock()
-            .expect("refresh state poisoned")
-            .last_build_id
+        lock_recover(&self.shared.state).last_build_id
+    }
+
+    /// Total failed build attempts since spawn.
+    pub fn failure_count(&self) -> u64 {
+        lock_recover(&self.shared.state).failures
+    }
+
+    /// Failed attempts since the last successful build (0 when healthy).
+    pub fn consecutive_failures(&self) -> u32 {
+        lock_recover(&self.shared.state).consecutive_failures
+    }
+
+    /// Reason of the most recent failed build attempt, if any.
+    pub fn last_error(&self) -> Option<String> {
+        lock_recover(&self.shared.state).last_error.clone()
     }
 
     /// Whether the refresher thread has exited.
     pub fn is_stopped(&self) -> bool {
-        self.shared
-            .state
-            .lock()
-            .expect("refresh state poisoned")
-            .stopped
+        lock_recover(&self.shared.state).stopped
     }
 
     /// Stop the refresher and join its thread (idempotent). A rebuild in
-    /// flight completes and publishes first; requests it doesn't cover are
-    /// woken with `None`.
+    /// flight completes (and publishes, if it succeeds) first; requests it
+    /// doesn't cover are woken with [`RefreshError::Stopped`].
     pub fn stop(&self) {
         {
-            let mut st = self.shared.state.lock().expect("refresh state poisoned");
+            let mut st = lock_recover(&self.shared.state);
             st.stop_requested = true;
             self.shared.cv.notify_all();
         }
-        if let Some(handle) = self
-            .thread
-            .lock()
-            .expect("refresh thread slot poisoned")
-            .take()
-        {
+        if let Some(handle) = lock_recover(&self.thread).take() {
             let _ = handle.join();
         }
     }
@@ -258,6 +405,15 @@ impl Drop for StatsRefresher {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
 }
 
 #[cfg(test)]
@@ -283,7 +439,7 @@ mod tests {
         let first_build = sb.build_id();
         let refresher = StatsRefresher::spawn(
             sb.clone(),
-            move || SafeBoundBuilder::new(SafeBoundConfig::test_small()).build(&cat),
+            move || Ok(SafeBoundBuilder::new(SafeBoundConfig::test_small()).build(&cat)),
             RefreshConfig::default(),
             ShutdownToken::new(),
         );
@@ -297,7 +453,7 @@ mod tests {
         assert_eq!(sb.swap_count(), 2);
         refresher.stop();
         assert!(refresher.is_stopped());
-        assert!(refresher.refresh_blocking().is_none());
+        assert_eq!(refresher.refresh_blocking(), Err(RefreshError::Stopped));
     }
 
     #[test]
@@ -306,10 +462,11 @@ mod tests {
         let sb = SafeBound::build(&cat, SafeBoundConfig::test_small());
         let refresher = StatsRefresher::spawn(
             sb.clone(),
-            move || SafeBoundBuilder::new(SafeBoundConfig::test_small()).build(&cat),
+            move || Ok(SafeBoundBuilder::new(SafeBoundConfig::test_small()).build(&cat)),
             RefreshConfig {
                 interval: Some(Duration::from_millis(20)),
                 tick: Duration::from_millis(5),
+                ..RefreshConfig::default()
             },
             ShutdownToken::new(),
         );
@@ -333,10 +490,11 @@ mod tests {
         let shutdown = ShutdownToken::new();
         let refresher = StatsRefresher::spawn(
             sb.clone(),
-            move || SafeBoundBuilder::new(SafeBoundConfig::test_small()).build(&cat),
+            move || Ok(SafeBoundBuilder::new(SafeBoundConfig::test_small()).build(&cat)),
             RefreshConfig {
                 interval: None,
                 tick: Duration::from_millis(5),
+                ..RefreshConfig::default()
             },
             shutdown.clone(),
         );
@@ -347,5 +505,126 @@ mod tests {
         }
         assert!(refresher.is_stopped());
         refresher.stop(); // idempotent join
+    }
+
+    /// A failing source must not unpublish the last-good snapshot, must
+    /// answer on-demand requesters with the error (never hang), and must
+    /// recover seamlessly once the source heals.
+    #[test]
+    fn failing_source_keeps_last_good_and_recovers() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cat = catalog();
+        let sb = SafeBound::build(&cat, SafeBoundConfig::test_small());
+        let initial_build = sb.build_id();
+        let attempts = Arc::new(AtomicU64::new(0));
+        let source_attempts = attempts.clone();
+        // Attempts 1–2 fail, attempt 3 panics, later attempts succeed.
+        let refresher = StatsRefresher::spawn(
+            sb.clone(),
+            move || {
+                let n = source_attempts.fetch_add(1, Ordering::Relaxed) + 1;
+                match n {
+                    1 | 2 => Err(format!("transient source failure #{n}")),
+                    3 => panic!("source blew up on attempt {n}"),
+                    _ => Ok(SafeBoundBuilder::new(SafeBoundConfig::test_small()).build(&cat)),
+                }
+            },
+            RefreshConfig {
+                backoff_base: Duration::from_millis(1),
+                ..RefreshConfig::default()
+            },
+            ShutdownToken::new(),
+        );
+        for want in ["transient source failure #1", "transient source failure #2"] {
+            match refresher.refresh_blocking() {
+                Err(RefreshError::Failed(reason)) => assert_eq!(reason, want),
+                other => panic!("expected Failed({want:?}), got {other:?}"),
+            }
+            assert_eq!(
+                sb.build_id(),
+                initial_build,
+                "last-good must stay published"
+            );
+            assert_eq!(sb.swap_count(), 0);
+        }
+        match refresher.refresh_blocking() {
+            Err(RefreshError::Failed(reason)) => {
+                assert!(reason.contains("source panicked"), "{reason:?}");
+                assert!(reason.contains("attempt 3"), "{reason:?}");
+            }
+            other => panic!("expected panic-failure, got {other:?}"),
+        }
+        assert_eq!(refresher.failure_count(), 3);
+        assert_eq!(refresher.consecutive_failures(), 3);
+        assert!(refresher.last_error().is_some());
+        // Recovery: the next demand publishes a fresh build.
+        let (build, generation) = refresher.refresh_blocking().expect("source healed");
+        assert_ne!(build, initial_build);
+        assert_eq!(generation, 1);
+        assert_eq!(sb.build_id(), build);
+        assert_eq!(refresher.consecutive_failures(), 0, "success resets streak");
+        assert_eq!(refresher.failure_count(), 3, "total failures persist");
+        refresher.stop();
+    }
+
+    /// Cadence rebuilds against a persistently failing source back off
+    /// exponentially (bounded attempts in a window) instead of hot-looping,
+    /// and never swap.
+    #[test]
+    fn cadence_failures_back_off() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cat = catalog();
+        let sb = SafeBound::build(&cat, SafeBoundConfig::test_small());
+        let attempts = Arc::new(AtomicU64::new(0));
+        let source_attempts = attempts.clone();
+        let refresher = StatsRefresher::spawn(
+            sb.clone(),
+            move || {
+                source_attempts.fetch_add(1, Ordering::Relaxed);
+                Err("down".to_string())
+            },
+            RefreshConfig {
+                interval: Some(Duration::from_millis(1)),
+                tick: Duration::from_millis(1),
+                backoff_base: Duration::from_millis(30),
+                backoff_cap: Duration::from_millis(200),
+            },
+            ShutdownToken::new(),
+        );
+        std::thread::sleep(Duration::from_millis(400));
+        let n = attempts.load(Ordering::Relaxed);
+        // Without backoff a 1 ms cadence would attempt ~400 times; with
+        // 30·2^k ms (±25%) the 400 ms window fits only a handful. Generous
+        // upper bound for slow/shared CI hosts.
+        assert!(n >= 2, "cadence must keep retrying, got {n}");
+        assert!(n <= 12, "backoff must throttle retries, got {n}");
+        assert_eq!(sb.swap_count(), 0, "failed builds must never swap");
+        assert!(refresher.failure_count() >= 2);
+        refresher.stop();
+    }
+
+    #[test]
+    fn backoff_delay_is_capped_exponential_with_bounded_jitter() {
+        let config = RefreshConfig {
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+            ..RefreshConfig::default()
+        };
+        let mut prev_nominal = Duration::ZERO;
+        for k in 1..=10u32 {
+            let nominal = config
+                .backoff_base
+                .saturating_mul(1u32 << (k - 1).min(16))
+                .min(config.backoff_cap);
+            assert!(nominal >= prev_nominal, "nominal backoff must not shrink");
+            prev_nominal = nominal;
+            for ordinal in 0..50u64 {
+                let d = backoff_delay(&config, k, ordinal);
+                assert!(d >= nominal.mul_f64(0.74), "jitter below -25%: {d:?}");
+                assert!(d <= nominal.mul_f64(1.26), "jitter above +25%: {d:?}");
+            }
+        }
+        // Determinism: same inputs, same delay.
+        assert_eq!(backoff_delay(&config, 3, 17), backoff_delay(&config, 3, 17));
     }
 }

@@ -8,15 +8,34 @@
 //! and a bounded in-flight-batch budget (shedding with `ERR overloaded`
 //! instead of queueing without limit), applies per-connection idle
 //! timeouts, and — when given a [`StatsRefresher`] — serves the `REFRESH`
-//! verb and reports refresh generations in `STATS`. On shutdown the
-//! accept loop stops, every connection handler is joined, and the caller
-//! can then drop the service (joining the workers) and stop the refresher
-//! for a fully clean exit.
+//! verb and reports refresh health in `STATS`. On shutdown the accept
+//! loop stops, every connection handler is joined, and the caller can
+//! then drop the service (joining the workers) and stop the refresher for
+//! a fully clean exit.
+//!
+//! ## Degraded modes
+//!
+//! The response path is built to fail *loudly and boundedly* rather than
+//! silently or indefinitely:
+//!
+//! * Responses go through a [`ResponseWriter`] that retries interrupted
+//!   and short writes — a response line is delivered whole or the
+//!   connection errors out; it is **never truncated mid-line**.
+//! * Batches run under [`ServeOptions::batch_timeout`]: lines a stuck
+//!   worker never answers come back `ERR timeout: …` while completed
+//!   lines keep their real bounds.
+//! * A client that stalls mid-`BATCH` past the idle timeout gets a single
+//!   `ERR timeout …` line and a drained close instead of wedging the
+//!   handler thread (and its admission slot) forever.
+//! * `REFRESH` against a failing statistics source reports
+//!   `ERR refresh <reason>` — it never hangs, and the last-good snapshot
+//!   keeps serving.
 
-use crate::refresh::{ShutdownToken, StatsRefresher};
+use crate::faults::{FaultInjector, WriteFault};
+use crate::refresh::{RefreshError, ShutdownToken, StatsRefresher};
 use crate::service::BoundService;
 use safebound_query::parse_sql;
-use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -43,6 +62,13 @@ pub struct ServeOptions {
     /// Poll granularity for shutdown/idle checks (accept-loop sleep and
     /// per-connection read timeout).
     pub tick: Duration,
+    /// Reply deadline per dispatched batch: lines a worker has not
+    /// answered by then degrade to `ERR timeout: …` instead of wedging
+    /// the connection behind a stuck worker. `None` waits indefinitely.
+    pub batch_timeout: Option<Duration>,
+    /// Fault-injection schedule for the response write path (chaos
+    /// testing; see [`crate::faults`]). Disabled by default.
+    pub faults: FaultInjector,
 }
 
 impl Default for ServeOptions {
@@ -52,6 +78,8 @@ impl Default for ServeOptions {
             max_inflight_batches: 64,
             idle_timeout: Duration::from_secs(300),
             tick: Duration::from_millis(25),
+            batch_timeout: Some(Duration::from_secs(60)),
+            faults: FaultInjector::disabled(),
         }
     }
 }
@@ -123,6 +151,8 @@ struct ConnCtx {
     active: Arc<AtomicUsize>,
     idle_timeout: Duration,
     tick: Duration,
+    batch_timeout: Option<Duration>,
+    faults: FaultInjector,
 }
 
 /// Accept connections until the shutdown token triggers, one handler
@@ -149,6 +179,8 @@ pub fn serve_with(
         active: active.clone(),
         idle_timeout: opts.idle_timeout,
         tick: opts.tick,
+        batch_timeout: opts.batch_timeout,
+        faults: opts.faults.clone(),
     });
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.is_triggered() {
@@ -232,6 +264,97 @@ fn shed(stream: &TcpStream) {
 /// per-connection buffering, which the admission story relies on.
 const MAX_LINE: usize = 1 << 20;
 
+/// A buffering response writer that delivers every line **whole**.
+///
+/// `write` only appends to an internal buffer (it cannot fail); `flush`
+/// pushes the buffer to the socket with a retry loop that absorbs
+/// `Interrupted`, transient `WouldBlock`/`TimedOut`, and short writes.
+/// The alternative — `BufWriter` over a raw stream — silently treats a
+/// short write of a line tail as success at the protocol layer, and a
+/// client can receive `OK 12` where the server computed `OK 12345`. Here
+/// a response either arrives byte-complete or the connection dies with an
+/// error; flush progress is bounded by the shutdown token and a deadline,
+/// so a sink that stops accepting bytes cannot wedge the handler.
+struct ResponseWriter {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    faults: FaultInjector,
+    shutdown: ShutdownToken,
+    tick: Duration,
+    /// Max wall-clock time one flush may spend retrying.
+    flush_deadline: Duration,
+}
+
+impl ResponseWriter {
+    fn new(stream: TcpStream, ctx: &ConnCtx) -> Self {
+        ResponseWriter {
+            stream,
+            buf: Vec::with_capacity(4096),
+            faults: ctx.faults.clone(),
+            shutdown: ctx.shutdown.clone(),
+            tick: ctx.tick,
+            flush_deadline: ctx.idle_timeout,
+        }
+    }
+
+    /// Half-close the write side (deliver buffered responses + FIN while
+    /// we drain the client's remaining bytes; see [`drain_refused`]).
+    fn half_close(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+impl Write for ResponseWriter {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(bytes);
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let start = Instant::now();
+        let mut off = 0;
+        while off < self.buf.len() {
+            let pending = &self.buf[off..];
+            // The fault hook either passes the write through, fails it
+            // with a transient error, or caps its length (a short write).
+            let attempt = match self.faults.on_write(pending.len()) {
+                WriteFault::None => self.stream.write(pending),
+                WriteFault::Err(kind) => Err(std::io::Error::new(kind, "injected write fault")),
+                WriteFault::Short(n) => self.stream.write(&pending[..n.min(pending.len())]),
+            };
+            match attempt {
+                Ok(0) => {
+                    self.buf.clear();
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
+                }
+                // Short writes (fault-injected or a full kernel buffer)
+                // simply advance and retry with the remainder.
+                Ok(n) => off += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if self.shutdown.is_triggered() || start.elapsed() >= self.flush_deadline {
+                        self.buf.clear();
+                        return Err(std::io::Error::new(
+                            ErrorKind::TimedOut,
+                            "gave up flushing response",
+                        ));
+                    }
+                    std::thread::sleep(self.tick);
+                }
+                Err(e) => {
+                    self.buf.clear();
+                    return Err(e);
+                }
+            }
+        }
+        self.buf.clear();
+        self.stream.flush()
+    }
+}
+
 /// Outcome of a patient line read.
 enum LineRead {
     /// A complete line arrived.
@@ -289,6 +412,20 @@ fn read_line_patiently(
     }
 }
 
+/// Truncate + whitespace-flatten an error reason so it stays one STATS
+/// token (the STATS line is `key=value`-per-word parseable).
+fn stats_token(reason: &str) -> String {
+    let mut t: String = reason
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .take(80)
+        .collect();
+    if t.is_empty() {
+        t.push_str("none");
+    }
+    t
+}
+
 /// Serve one client until `QUIT`, EOF, idle timeout, shutdown, or an I/O
 /// error.
 fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
@@ -298,7 +435,7 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(ctx.tick))?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let mut writer = ResponseWriter::new(stream, ctx);
     let mut buf = Vec::new();
     let mut idle = Instant::now();
     loop {
@@ -321,7 +458,7 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                 // it. The FIN delivers response + EOF immediately; the
                 // drain (bounded by the idle timeout) merely holds the
                 // socket open until the client closes its end.
-                let _ = writer.get_ref().shutdown(std::net::Shutdown::Write);
+                writer.half_close();
                 drain_refused(ctx, &mut reader);
                 return Ok(());
             }
@@ -347,15 +484,24 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
             }
             "PING" => writeln!(writer, "PONG")?,
             "STATS" => {
-                let (generation, refreshing) = match &ctx.refresher {
-                    Some(r) => (r.generation(), true),
-                    None => (0, false),
-                };
+                let (generation, refreshing, refresh_failures, refresh_last_error) =
+                    match &ctx.refresher {
+                        Some(r) => (
+                            r.generation(),
+                            true,
+                            r.failure_count(),
+                            r.last_error()
+                                .map_or_else(|| "none".to_string(), |e| stats_token(&e)),
+                        ),
+                        None => (0, false, 0, "none".to_string()),
+                    };
                 let s = ctx.service.session_stats();
                 writeln!(
                     writer,
                     "STATS workers={} build={} swaps={} generation={} refresher={} \
+                     refresh_failures={} refresh_last_error={} \
                      connections={} inflight_batches={} batch_dedup_hits={} \
+                     worker_panics={} worker_respawns={} worker_timeouts={} \
                      shape_hits={} shape_misses={} shape_evictions={} \
                      lit_bound_hits={} lit_bound_misses={} lit_cond_hits={} \
                      lit_cond_misses={} lit_evictions={} eq_memo_hits={} \
@@ -365,9 +511,14 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                     ctx.service.estimator().swap_count(),
                     generation,
                     if refreshing { "on" } else { "off" },
+                    refresh_failures,
+                    refresh_last_error,
                     ctx.active.load(Ordering::Acquire),
                     ctx.batches.in_use(),
                     ctx.service.batch_dedup_hits(),
+                    ctx.service.worker_panics(),
+                    ctx.service.worker_respawns(),
+                    ctx.service.worker_timeouts(),
                     s.shape_hits,
                     s.shape_misses,
                     s.shape_evictions,
@@ -385,10 +536,14 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
             }
             "REFRESH" => match &ctx.refresher {
                 Some(r) => match r.refresh_blocking() {
-                    Some((build, generation)) => {
+                    Ok((build, generation)) => {
                         writeln!(writer, "REFRESHED build={build} generation={generation}")?
                     }
-                    None => writeln!(writer, "ERR refresher stopped")?,
+                    // A failed rebuild answers with its reason — the
+                    // last-good snapshot is still being served — and a
+                    // stopped refresher says so; neither hangs the verb.
+                    Err(RefreshError::Stopped) => writeln!(writer, "ERR refresh stopped")?,
+                    Err(RefreshError::Failed(reason)) => writeln!(writer, "ERR refresh {reason}")?,
                 },
                 None => writeln!(writer, "ERR no refresher configured")?,
             },
@@ -401,8 +556,7 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                                     serve_batch(ctx, &mut reader, &mut writer, n, &mut idle)?;
                                 drop(permit);
                                 if !done {
-                                    let _ = writer.flush();
-                                    return Ok(()); // shutdown/idle mid-batch
+                                    return Ok(()); // closed mid-batch
                                 }
                             }
                             None => {
@@ -419,7 +573,7 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                         Err(_) => writeln!(writer, "ERR malformed BATCH count {count:?}")?,
                     }
                 } else {
-                    let response = answer(&ctx.service, request);
+                    let response = answer_deadline(ctx, request);
                     writeln!(writer, "{response}")?;
                 }
             }
@@ -429,13 +583,20 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
     }
 }
 
-/// Read `n` SQL lines, answer all of them through one pool dispatch.
-/// Returns `false` when the connection should close (shutdown or idle
-/// timeout mid-batch); EOF mid-batch still answers the lines that arrived.
+/// Read `n` SQL lines, answer all of them through one pool dispatch
+/// (bounded by [`ServeOptions::batch_timeout`]). Returns `false` when the
+/// connection should close; EOF mid-batch still answers the lines that
+/// arrived.
+///
+/// A client that stalls mid-batch past the idle timeout (or sends an
+/// overlong line) is answered with a single `ERR timeout`/`ERR …` line
+/// and a drained close — the handler thread and its admission slot are
+/// reclaimed instead of wedging on a half-sent batch. Shutdown mid-batch
+/// answers `BYE` and closes.
 fn serve_batch(
     ctx: &ConnCtx,
     reader: &mut impl BufRead,
-    writer: &mut impl Write,
+    writer: &mut ResponseWriter,
     n: usize,
     idle: &mut Instant,
 ) -> std::io::Result<bool> {
@@ -443,12 +604,35 @@ fn serve_batch(
     // aborting the rest of the batch.
     let mut parsed = Vec::with_capacity(n);
     let mut buf = Vec::new();
-    for _ in 0..n {
+    for got in 0..n {
         match read_line_patiently(reader, &mut buf, ctx, idle)? {
             LineRead::Line => parsed
                 .push(parse_sql(String::from_utf8_lossy(&buf).trim()).map_err(|e| e.to_string())),
             LineRead::Eof => break, // EOF mid-batch: answer what arrived
-            LineRead::Close | LineRead::Overlong => return Ok(false),
+            LineRead::Close => {
+                if ctx.shutdown.is_triggered() {
+                    let _ = writeln!(writer, "BYE");
+                    let _ = writer.flush();
+                    return Ok(false);
+                }
+                // Idle mid-batch: the client announced n lines and went
+                // quiet. Degrade loudly and reclaim the thread.
+                let _ = writeln!(writer, "ERR timeout idle mid-batch: got {got} of {n} lines");
+                let _ = writer.flush();
+                writer.half_close();
+                drain_refused(ctx, reader);
+                return Ok(false);
+            }
+            LineRead::Overlong => {
+                let _ = writeln!(
+                    writer,
+                    "ERR request line exceeds {MAX_LINE} bytes (batch line {got} of {n})"
+                );
+                let _ = writer.flush();
+                writer.half_close();
+                drain_refused(ctx, reader);
+                return Ok(false);
+            }
         }
         *idle = Instant::now();
     }
@@ -456,7 +640,10 @@ fn serve_batch(
         .iter()
         .filter_map(|p| p.as_ref().ok().cloned())
         .collect();
-    let mut bounds = ctx.service.bound_batch_shared(queries.into()).into_iter();
+    let mut bounds = ctx
+        .service
+        .bound_batch_deadline(queries.into(), ctx.batch_timeout)
+        .into_iter();
     for p in &parsed {
         match p {
             Ok(_) => match bounds.next().expect("one bound per parsed query") {
@@ -507,13 +694,19 @@ fn drain_batch(
     Ok(true)
 }
 
-/// One SQL request → one response line.
-fn answer(service: &BoundService, sql: &str) -> String {
+/// One SQL request → one response line (single-query requests run under
+/// the same deadline as batches — a stuck worker answers `ERR timeout`).
+fn answer_deadline(ctx: &ConnCtx, sql: &str) -> String {
     match parse_sql(sql) {
-        Ok(q) => match service.bound(&q) {
-            Ok(b) => format!("OK {b}"),
-            Err(e) => format!("ERR {e}"),
-        },
+        Ok(q) => {
+            let mut results = ctx
+                .service
+                .bound_batch_deadline(vec![q].into(), ctx.batch_timeout);
+            match results.pop().expect("one result per query") {
+                Ok(b) => format!("OK {b}"),
+                Err(e) => format!("ERR {e}"),
+            }
+        }
         Err(e) => format!("ERR parse: {e}"),
     }
 }
@@ -548,7 +741,7 @@ mod tests {
 
         let stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
-        let mut writer = BufWriter::new(stream);
+        let mut writer = std::io::BufWriter::new(stream);
         for l in lines {
             writeln!(writer, "{l}").unwrap();
         }
@@ -605,6 +798,14 @@ mod tests {
         assert!(responses[3].contains("generation=0"), "{responses:?}");
         assert!(responses[3].contains("refresher=off"), "{responses:?}");
         assert!(responses[3].contains("batch_dedup_hits="), "{responses:?}");
+        assert!(responses[3].contains("worker_panics=0"), "{responses:?}");
+        assert!(responses[3].contains("worker_respawns=0"), "{responses:?}");
+        assert!(responses[3].contains("worker_timeouts=0"), "{responses:?}");
+        assert!(responses[3].contains("refresh_failures=0"), "{responses:?}");
+        assert!(
+            responses[3].contains("refresh_last_error=none"),
+            "{responses:?}"
+        );
         assert!(responses[3].contains("lit_bound_"), "{responses:?}");
         assert!(
             responses[3].contains("relaxations_pruned="),
@@ -618,5 +819,13 @@ mod tests {
         let responses = roundtrip(&["REFRESH", "QUIT"]);
         assert_eq!(responses[0], "ERR no refresher configured");
         assert_eq!(responses[1], "BYE");
+    }
+
+    #[test]
+    fn stats_token_flattens_and_truncates() {
+        assert_eq!(stats_token("plain"), "plain");
+        assert_eq!(stats_token("two words\there"), "two_words_here");
+        assert_eq!(stats_token(""), "none");
+        assert_eq!(stats_token(&"x".repeat(200)).len(), 80);
     }
 }

@@ -7,13 +7,38 @@
 //! parallelism across hardware threads and (b) batched dispatch that
 //! amortizes the channel round-trip and keeps each worker's shape cache
 //! and arenas hot across a whole slice of queries.
+//!
+//! ## Self-healing
+//!
+//! The pool survives its own workers failing:
+//!
+//! * **Panic isolation** — each job runs under `catch_unwind`. A worker
+//!   that panics mid-query answers every line of its in-flight job with
+//!   `ERR internal` (`EstimateError::Internal`), then exits, discarding
+//!   its (possibly inconsistent) session. The next dispatch to that shard
+//!   transparently **respawns** a fresh worker with a fresh session.
+//!   [`BoundService::worker_panics`] / [`BoundService::worker_respawns`]
+//!   observe both halves.
+//! * **Deadlines** — [`BoundService::bound_batch_deadline`] bounds how
+//!   long a batch waits for its replies. A stuck or slow worker degrades
+//!   the unanswered lines to `EstimateError::Timeout` instead of wedging
+//!   the caller; completed lines still return their real bounds
+//!   ([`BoundService::worker_timeouts`]).
+//! * **No poison propagation** — all pool mutexes recover from poisoning
+//!   (the guarded state is always fully formed; see
+//!   [`lock_recover`](crate::lock_recover)) instead of cascading one
+//!   panic into every later caller.
 
+use crate::faults::{FaultInjector, WorkerFault};
+use crate::lock_recover;
 use safebound_core::{BoundSession, EstimateError, SafeBound, SessionStats};
 use safebound_query::Query;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// One unit of work shipped to a worker: a shared view of the batch plus
 /// the indices this worker owns, and the channel to answer on.
@@ -29,6 +54,39 @@ struct Reply {
     results: Vec<Result<f64, EstimateError>>,
 }
 
+/// State shared by the dispatcher and every (re)spawned worker thread.
+struct PoolShared {
+    handle: SafeBound,
+    served: Vec<AtomicU64>,
+    /// Per-worker session-counter snapshots, refreshed after every job
+    /// (each worker's [`BoundSession`] is private to its thread; the
+    /// published copies make `STATS`-style observability possible).
+    session_stats: Vec<Mutex<SessionStats>>,
+    faults: FaultInjector,
+    /// Per-worker "this thread is retiring" flags. A panicking worker
+    /// raises its flag **before** sending its error reply, so a caller
+    /// that saw the reply and immediately dispatches again is guaranteed
+    /// to observe the flag and respawn — `send` alone would race with the
+    /// dying thread dropping its receiver (the send can succeed into a
+    /// queue nobody will ever read).
+    dead: Vec<AtomicBool>,
+    /// Worker jobs that panicked (each also answers its lines
+    /// `ERR internal` and retires the worker thread).
+    panics: AtomicU64,
+    /// Fresh workers spawned to replace dead ones.
+    respawns: AtomicU64,
+    /// Batches that hit their reply deadline with lines still unanswered.
+    timeouts: AtomicU64,
+}
+
+/// One worker's dispatch endpoint. `sender` is `None` only transiently in
+/// `Drop`; `handle` is `None` when the thread failed to spawn (the next
+/// dispatch retries).
+struct WorkerSlot {
+    sender: Option<mpsc::Sender<Job>>,
+    handle: Option<JoinHandle<()>>,
+}
+
 /// A sharded SafeBound serving pool.
 ///
 /// Construction spawns the workers; dropping the service closes their
@@ -37,55 +95,47 @@ struct Reply {
 /// [`SafeBound::swap_stats`](safebound_core::SafeBound::swap_stats) on
 /// [`BoundService::estimator`] hot-swaps statistics under live traffic.
 pub struct BoundService {
-    handle: SafeBound,
-    senders: Vec<mpsc::Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
-    served: Arc<Vec<AtomicU64>>,
+    shared: Arc<PoolShared>,
+    slots: Vec<Mutex<WorkerSlot>>,
     /// Queries re-routed off their shape-affine worker by the batch
     /// load-balancer (see [`BoundService::bound_batch_shared`]).
     spills: AtomicU64,
     /// Request lines answered by batch-level deduplication instead of a
     /// worker dispatch (see [`BoundService::bound_batch_shared`]).
     dedup_hits: AtomicU64,
-    /// Per-worker session-counter snapshots, refreshed after every job
-    /// (each worker's [`BoundSession`] is private to its thread; the
-    /// published copies make `STATS`-style observability possible).
-    session_stats: Arc<Vec<Mutex<SessionStats>>>,
 }
 
 impl BoundService {
     /// Spawn a pool of `workers` threads (min 1) over the given handle.
     pub fn new(handle: SafeBound, workers: usize) -> Self {
+        Self::with_faults(handle, workers, FaultInjector::disabled())
+    }
+
+    /// [`BoundService::new`] with a fault-injection schedule (chaos
+    /// testing; see [`crate::faults`]). With
+    /// [`FaultInjector::disabled`] this is exactly `new`.
+    pub fn with_faults(handle: SafeBound, workers: usize, faults: FaultInjector) -> Self {
         let n = workers.max(1);
-        let served: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
-        let session_stats: Arc<Vec<Mutex<SessionStats>>> = Arc::new(
-            (0..n)
+        let shared = Arc::new(PoolShared {
+            handle,
+            served: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            session_stats: (0..n)
                 .map(|_| Mutex::new(SessionStats::default()))
                 .collect(),
-        );
-        let mut senders = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
-        for w in 0..n {
-            let (tx, rx) = mpsc::channel::<Job>();
-            senders.push(tx);
-            let handle = handle.clone();
-            let served = served.clone();
-            let session_stats = session_stats.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("safebound-worker-{w}"))
-                    .spawn(move || worker_loop(w, handle, rx, served, session_stats))
-                    .expect("spawn worker thread"),
-            );
-        }
+            faults,
+            dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        });
+        let slots = (0..n)
+            .map(|w| Mutex::new(spawn_worker(&shared, w)))
+            .collect();
         BoundService {
-            handle,
-            senders,
-            workers: handles,
-            served,
+            shared,
+            slots,
             spills: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
-            session_stats,
         }
     }
 
@@ -93,17 +143,18 @@ impl BoundService {
     /// [`swap_stats`](safebound_core::SafeBound::swap_stats) or direct
     /// out-of-pool use).
     pub fn estimator(&self) -> &SafeBound {
-        &self.handle
+        &self.shared.handle
     }
 
     /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
-        self.senders.len()
+        self.slots.len()
     }
 
     /// Queries served so far, per worker (routing observability).
     pub fn served_per_worker(&self) -> Vec<u64> {
-        self.served
+        self.shared
+            .served
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
@@ -121,13 +172,30 @@ impl BoundService {
         self.dedup_hits.load(Ordering::Relaxed)
     }
 
+    /// Worker jobs that panicked mid-query (their lines answered
+    /// `ERR internal`, the worker retired).
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Fresh workers spawned to replace panicked/dead ones.
+    pub fn worker_respawns(&self) -> u64 {
+        self.shared.respawns.load(Ordering::Relaxed)
+    }
+
+    /// Batches whose reply deadline expired with lines still unanswered
+    /// (those lines degraded to `ERR timeout`).
+    pub fn worker_timeouts(&self) -> u64 {
+        self.shared.timeouts.load(Ordering::Relaxed)
+    }
+
     /// The pool-wide merge of every worker session's cache counters
     /// (shape cache, MCV memo, literal cache, pruned relaxations), as of
     /// each worker's most recently completed job.
     pub fn session_stats(&self) -> SessionStats {
         let mut total = SessionStats::default();
-        for slot in self.session_stats.iter() {
-            total.merge(&slot.lock().expect("session stats slot poisoned"));
+        for slot in self.shared.session_stats.iter() {
+            total.merge(&lock_recover(slot));
         }
         total
     }
@@ -139,7 +207,9 @@ impl BoundService {
     /// clients should use [`BoundService::bound_batch`].
     pub fn bound(&self, query: &Query) -> Result<f64, EstimateError> {
         let mut results = self.bound_batch(std::slice::from_ref(query));
-        results.pop().expect("one result per query")
+        results
+            .pop()
+            .expect("bound_batch returns one result per query")
     }
 
     /// Bound a batch: queries are partitioned by shape hash across the
@@ -167,10 +237,26 @@ impl BoundService {
     /// shipping the same line N times ([`BoundService::batch_dedup_hits`]
     /// counts the lines answered this way).
     pub fn bound_batch_shared(&self, queries: Arc<[Query]>) -> Vec<Result<f64, EstimateError>> {
+        self.bound_batch_deadline(queries, None)
+    }
+
+    /// [`BoundService::bound_batch_shared`] with an optional reply
+    /// deadline. When `timeout` elapses before every worker has answered,
+    /// the still-unanswered lines return [`EstimateError::Timeout`] and
+    /// the call returns — a stuck worker degrades its lines instead of
+    /// wedging the caller. Lines answered in time keep their real bounds.
+    /// (The late worker's eventual reply goes to a dropped channel and is
+    /// discarded; the worker itself stays up.)
+    pub fn bound_batch_deadline(
+        &self,
+        queries: Arc<[Query]>,
+        timeout: Option<Duration>,
+    ) -> Vec<Result<f64, EstimateError>> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let n = self.senders.len();
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let n = self.slots.len();
         let shared = queries;
         // One shape-hash walk per line, reused by dedup keying and shard
         // routing below.
@@ -206,31 +292,113 @@ impl BoundService {
         self.balance_parts(&mut parts, uniques);
         let (tx, rx) = mpsc::channel();
         let mut outstanding = 0usize;
+        let mut out: Vec<Option<Result<f64, EstimateError>>> = vec![None; shared.len()];
         for (w, indices) in parts.into_iter().enumerate() {
             if indices.is_empty() {
                 continue;
             }
-            self.senders[w]
-                .send(Job {
-                    queries: shared.clone(),
-                    indices,
-                    reply: tx.clone(),
-                })
-                .expect("worker thread alive");
-            outstanding += 1;
+            let job = Job {
+                queries: shared.clone(),
+                indices,
+                reply: tx.clone(),
+            };
+            if self.dispatch(w, job) {
+                outstanding += 1;
+            }
         }
         drop(tx);
-        let mut out: Vec<Option<Result<f64, EstimateError>>> = vec![None; shared.len()];
+        let mut timed_out = false;
         for _ in 0..outstanding {
-            let reply = rx.recv().expect("worker answered");
+            let reply = match deadline {
+                None => match rx.recv() {
+                    Ok(r) => r,
+                    // Every remaining reply sender is gone: a worker died
+                    // without answering. The unanswered lines are filled
+                    // with `ERR internal` below.
+                    Err(_) => break,
+                },
+                Some(d) => match rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+                    Ok(r) => r,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        timed_out = true;
+                        break;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                },
+            };
             for (i, r) in reply.indices.into_iter().zip(reply.results) {
                 out[i] = Some(r);
             }
         }
+        if timed_out {
+            self.shared.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        // Degrade representatives whose worker never answered.
+        for (i, slot) in out.iter_mut().enumerate() {
+            if canon[i] == i && slot.is_none() {
+                *slot = Some(Err(if timed_out {
+                    EstimateError::Timeout
+                } else {
+                    EstimateError::Internal("worker lost before answering".to_string())
+                }));
+            }
+        }
         // Fan representatives' answers back out to their duplicates.
         (0..shared.len())
-            .map(|i| out[canon[i]].clone().expect("every line answered"))
+            .map(|i| {
+                out[canon[i]]
+                    .clone()
+                    .expect("every representative answered or degraded above")
+            })
             .collect()
+    }
+
+    /// Ship a job to worker `w`, transparently respawning it if its
+    /// thread is gone (it panicked on an earlier job, or its spawn
+    /// failed). Returns `false` only when even the respawned worker is
+    /// unreachable — the job's lines were answered `ERR internal` on its
+    /// own reply channel, so the caller must not count it outstanding.
+    fn dispatch(&self, w: usize, job: Job) -> bool {
+        let mut slot = lock_recover(&self.slots[w]);
+        let retiring = self.shared.dead[w].load(Ordering::Acquire);
+        let job = match slot.sender.as_ref() {
+            Some(sender) if !retiring => match sender.send(job) {
+                Ok(()) => return true,
+                Err(mpsc::SendError(job)) => job,
+            },
+            _ => job,
+        };
+        // The worker is dead. Reap the old thread (its panic already
+        // counted itself), spawn a replacement with a fresh session, and
+        // retry the send once.
+        if let Some(handle) = slot.handle.take() {
+            let _ = handle.join();
+        }
+        *slot = spawn_worker(&self.shared, w);
+        self.shared.respawns.fetch_add(1, Ordering::Relaxed);
+        match slot
+            .sender
+            .as_ref()
+            .expect("fresh slot has a sender")
+            .send(job)
+        {
+            Ok(()) => true,
+            Err(mpsc::SendError(job)) => {
+                // Respawn failed too (thread spawn under resource
+                // pressure): degrade this job's lines rather than wedge
+                // or panic. The next dispatch retries the respawn.
+                let results = job
+                    .indices
+                    .iter()
+                    .map(|_| Err(EstimateError::Internal("worker unavailable".to_string())))
+                    .collect();
+                let _ = job.reply.send(Reply {
+                    indices: job.indices,
+                    results,
+                });
+                true // answered via the reply channel — still outstanding
+            }
+        }
     }
 
     /// Rebalance a shape-hash partition whose skew would serialize the
@@ -282,36 +450,101 @@ const SPILL_MIN: usize = 16;
 impl Drop for BoundService {
     fn drop(&mut self) {
         // Closing the senders ends each worker's recv loop.
-        self.senders.clear();
-        for h in self.workers.drain(..) {
+        let mut handles = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let mut slot = lock_recover(slot);
+            slot.sender = None;
+            if let Some(h) = slot.handle.take() {
+                handles.push(h);
+            }
+        }
+        for h in handles {
             let _ = h.join();
         }
     }
 }
 
+/// Spawn worker `w`'s thread and dispatch endpoint. A failed thread spawn
+/// (resource pressure) yields a slot whose sends fail — the dispatcher
+/// answers `ERR internal` and retries the spawn on the next batch —
+/// instead of panicking the caller.
+fn spawn_worker(shared: &Arc<PoolShared>, w: usize) -> WorkerSlot {
+    shared.dead[w].store(false, Ordering::Release);
+    let (tx, rx) = mpsc::channel::<Job>();
+    let shared = shared.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("safebound-worker-{w}"))
+        .spawn(move || worker_loop(w, shared, rx))
+        .ok();
+    WorkerSlot {
+        sender: Some(tx),
+        handle,
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
 /// A worker thread: private session, jobs until the queue closes. After
 /// each job the session's counters are published to the worker's shared
 /// stats slot (the session itself never leaves the thread).
-fn worker_loop(
-    id: usize,
-    handle: SafeBound,
-    rx: mpsc::Receiver<Job>,
-    served: Arc<Vec<AtomicU64>>,
-    session_stats: Arc<Vec<Mutex<SessionStats>>>,
-) {
+///
+/// Each job runs under `catch_unwind`: a panic mid-query answers every
+/// line of the job `ERR internal` and retires this thread — its session
+/// may be arbitrarily corrupted, so the replacement (spawned by the next
+/// dispatch) starts from a fresh one.
+fn worker_loop(id: usize, shared: Arc<PoolShared>, rx: mpsc::Receiver<Job>) {
     let mut session = BoundSession::default();
     while let Ok(job) = rx.recv() {
-        let results: Vec<_> = job
-            .indices
-            .iter()
-            .map(|&i| handle.bound_with_session(&job.queries[i], &mut session))
-            .collect();
-        served[id].fetch_add(results.len() as u64, Ordering::Relaxed);
-        *session_stats[id].lock().expect("stats slot poisoned") = session.stats();
-        let _ = job.reply.send(Reply {
-            indices: job.indices,
-            results,
-        });
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            job.indices
+                .iter()
+                .map(|&i| {
+                    match shared.faults.on_worker_query() {
+                        WorkerFault::None => {}
+                        WorkerFault::Delay(d) => std::thread::sleep(d),
+                        WorkerFault::Panic => panic!("injected worker fault"),
+                    }
+                    shared
+                        .handle
+                        .bound_with_session(&job.queries[i], &mut session)
+                })
+                .collect::<Vec<_>>()
+        }));
+        match outcome {
+            Ok(results) => {
+                shared.served[id].fetch_add(results.len() as u64, Ordering::Relaxed);
+                *lock_recover(&shared.session_stats[id]) = session.stats();
+                let _ = job.reply.send(Reply {
+                    indices: job.indices,
+                    results,
+                });
+            }
+            Err(payload) => {
+                // Raise the retirement flag BEFORE replying: anyone who
+                // observes the reply and dispatches again must respawn
+                // rather than send into this thread's dying queue.
+                shared.dead[id].store(true, Ordering::Release);
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                let msg = format!("worker panicked: {}", panic_message(payload.as_ref()));
+                let results = job
+                    .indices
+                    .iter()
+                    .map(|_| Err(EstimateError::Internal(msg.clone())))
+                    .collect();
+                let _ = job.reply.send(Reply {
+                    indices: job.indices,
+                    results,
+                });
+                return;
+            }
+        }
     }
 }
 
@@ -575,5 +808,84 @@ mod tests {
                 "post-swap pool must match a fresh estimator (old={old:?})"
             );
         }
+    }
+
+    /// Deterministic panic-isolation unit test (the TCP-level version
+    /// lives in `tests/chaos.rs`): a 1-worker pool with injected panics
+    /// answers the panicked job's lines `ERR internal`, respawns, and
+    /// keeps serving bit-identical bounds.
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_panics_degrade_and_respawn() {
+        use crate::faults::FaultInjector;
+        let sb = SafeBound::build(&catalog(), SafeBoundConfig::test_small());
+        let queries = workload();
+        let direct: Vec<f64> = queries.iter().map(|q| sb.bound(q).unwrap()).collect();
+        // One worker → the global query sequence is the serial dispatch
+        // order. Panic on the first query of rounds 2 and 4.
+        let qn = queries.len() as u64;
+        let faults = FaultInjector::seeded(7)
+            .panic_on_queries([qn, 3 * qn])
+            .build();
+        let service = BoundService::with_faults(sb, 1, faults);
+        for round in 0..6u64 {
+            let results = service.bound_batch(&queries);
+            if round == 1 || round == 3 {
+                // The whole job is one worker slice: every line degrades.
+                for r in &results {
+                    assert!(
+                        matches!(r, Err(EstimateError::Internal(_))),
+                        "round {round}: expected ERR internal, got {r:?}"
+                    );
+                }
+            } else {
+                for (want, got) in direct.iter().zip(&results) {
+                    assert_eq!(
+                        got.as_ref().unwrap().to_bits(),
+                        want.to_bits(),
+                        "round {round}: bound diverged after respawn"
+                    );
+                }
+            }
+        }
+        assert_eq!(service.worker_panics(), 2);
+        assert_eq!(service.worker_respawns(), 2);
+        assert_eq!(service.worker_timeouts(), 0);
+    }
+
+    /// A stalled worker must degrade its lines to `ERR timeout` without
+    /// losing the lines other workers answered, and without killing the
+    /// (merely slow) worker.
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_delay_degrades_to_timeout() {
+        use crate::faults::FaultInjector;
+        let sb = SafeBound::build(&catalog(), SafeBoundConfig::test_small());
+        // Delay the very first worker query long enough that the deadline
+        // certainly fires first.
+        let faults = FaultInjector::seeded(7)
+            .delay_queries([0], Duration::from_millis(400))
+            .build();
+        let service = BoundService::with_faults(sb.clone(), 1, faults);
+        let queries = workload();
+        let results =
+            service.bound_batch_deadline(queries.clone().into(), Some(Duration::from_millis(50)));
+        assert_eq!(results.len(), queries.len());
+        assert!(
+            results
+                .iter()
+                .all(|r| matches!(r, Err(EstimateError::Timeout))),
+            "all lines of the stalled worker's job must degrade: {results:?}"
+        );
+        assert_eq!(service.worker_timeouts(), 1);
+        assert_eq!(service.worker_panics(), 0);
+        // The worker was slow, not dead: once the delay passes it drains
+        // its queue and the pool serves normally again (no respawn).
+        let direct: Vec<f64> = queries.iter().map(|q| sb.bound(q).unwrap()).collect();
+        let retry = service.bound_batch_deadline(queries.into(), Some(Duration::from_secs(30)));
+        for (want, got) in direct.iter().zip(&retry) {
+            assert_eq!(got.as_ref().unwrap().to_bits(), want.to_bits());
+        }
+        assert_eq!(service.worker_respawns(), 0);
     }
 }

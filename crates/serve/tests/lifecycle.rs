@@ -219,7 +219,7 @@ fn stress_refresh_under_live_traffic() {
         sb.clone(),
         {
             let cat = catalog();
-            move || SafeBoundBuilder::new(config.clone()).build(&cat)
+            move || Ok(SafeBoundBuilder::new(config.clone()).build(&cat))
         },
         RefreshConfig::default(),
         shutdown.clone(),
@@ -301,7 +301,7 @@ fn refresh_verb_returns_new_build_id() {
     let shutdown = ShutdownToken::new();
     let refresher = Arc::new(StatsRefresher::spawn(
         sb.clone(),
-        move || SafeBoundBuilder::new(config.clone()).build(&cat),
+        move || Ok(SafeBoundBuilder::new(config.clone()).build(&cat)),
         RefreshConfig::default(),
         shutdown.clone(),
     ));
@@ -480,6 +480,39 @@ fn idle_connections_are_closed() {
         started.elapsed() >= Duration::from_millis(50),
         "must not close before the idle timeout"
     );
+    server.stop();
+}
+
+#[test]
+fn stalled_mid_batch_connection_degrades_and_closes() {
+    // A client that announces `BATCH 3`, sends one line, and goes silent
+    // must not wedge its handler thread (and admission slot) forever: at
+    // the idle timeout the server answers a single `ERR timeout …` line
+    // and closes the connection.
+    let sb = SafeBound::build(&catalog(), SafeBoundConfig::test_small());
+    let service = Arc::new(BoundService::new(sb, 1));
+    let opts = ServeOptions {
+        idle_timeout: Duration::from_millis(100),
+        ..quick_opts()
+    };
+    let server = TestServer::start(service, None, ShutdownToken::new(), opts);
+
+    let mut conn = server.connect();
+    conn.send("BATCH 3");
+    conn.send("SELECT COUNT(*) FROM fact");
+    // …and stall. The server must speak first.
+    let resp = conn.recv().expect("degradation line before close");
+    assert!(
+        resp.starts_with("ERR timeout idle mid-batch"),
+        "expected mid-batch timeout degradation, got {resp:?}"
+    );
+    assert!(resp.contains("got 1 of 3"), "{resp:?}");
+    assert!(conn.recv().is_none(), "stalled batch connection must close");
+
+    // The admission slot came back: a fresh connection serves normally.
+    let mut next = server.connect();
+    assert_eq!(next.roundtrip("PING"), "PONG");
+    assert_eq!(next.roundtrip("QUIT"), "BYE");
     server.stop();
 }
 
