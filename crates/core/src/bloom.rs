@@ -63,6 +63,23 @@ impl BloomFilter {
     pub fn byte_size(&self) -> usize {
         self.bits.len() * 8 + 16
     }
+
+    /// Bitwise union with a filter of identical geometry (same size and
+    /// hash count): afterwards `self` contains every key inserted into
+    /// either filter, with no false negatives — the Bloom analogue of the
+    /// partial-statistics merge. Returns `false` (leaving `self`
+    /// unchanged) when the geometries differ, since OR-ing differently
+    /// sized bit arrays would not commute with insertion.
+    #[must_use = "a false return means the union was not performed"]
+    pub fn union(&mut self, other: &BloomFilter) -> bool {
+        if self.num_bits != other.num_bits || self.num_hashes != other.num_hashes {
+            return false;
+        }
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +127,24 @@ mod tests {
     #[test]
     fn byte_size_scales() {
         assert!(BloomFilter::new(10_000, 12).byte_size() > BloomFilter::new(100, 12).byte_size());
+    }
+
+    #[test]
+    fn union_merges_keys_and_rejects_mismatched_geometry() {
+        let mut a = BloomFilter::new(100, 12);
+        let mut b = BloomFilter::new(100, 12);
+        a.insert(b"left");
+        b.insert(b"right");
+        assert!(a.union(&b));
+        assert!(a.contains(b"left") && a.contains(b"right"));
+        // Union equals building one filter from all keys: same geometry,
+        // same deterministic hashing, so bit-for-bit identical.
+        let mut both = BloomFilter::new(100, 12);
+        both.insert(b"left");
+        both.insert(b"right");
+        assert_eq!(a, both);
+        let other_geometry = BloomFilter::new(5000, 12);
+        assert!(!a.union(&other_geometry));
+        assert_eq!(a, both, "failed union must leave the filter unchanged");
     }
 }

@@ -33,7 +33,7 @@ use crate::config::SafeBoundConfig;
 use crate::degree_sequence::DegreeSequence;
 use crate::piecewise::PiecewiseLinear;
 use crate::symbol::Sym;
-use safebound_storage::{Column, DataType, Table, Value};
+use safebound_storage::{Column, Table, Value};
 use std::collections::HashMap;
 
 /// A join column as the statistics builders see it: the globally interned
@@ -391,14 +391,14 @@ fn value_bytes_into(v: &Value, b: &mut Vec<u8>) {
 }
 
 /// Stable byte encoding of a value for Bloom filters.
-fn value_bytes(v: &Value) -> Vec<u8> {
+pub(crate) fn value_bytes(v: &Value) -> Vec<u8> {
     let mut b = Vec::new();
     value_bytes_into(v, &mut b);
     b
 }
 
 /// MCV membership index: exact map or one Bloom filter per group (§4.3).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum McvIndex {
     /// Exact value → group id.
     Exact(HashMap<Value, usize>),
@@ -474,7 +474,7 @@ fn indexed_max_into(
 }
 
 /// Equality-predicate statistics for one filter column (§3.2).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McvStats {
     /// Group CDS sets (post group-compression).
     pub groups: Vec<CdsSet>,
@@ -546,110 +546,24 @@ pub fn build_mcv(
 
 /// Build MCV statistics for an arbitrary column aligned with `table`'s rows
 /// (used for PK–FK-propagated dimension columns, §4.2).
+///
+/// Thin wrapper over the partition-stage accumulator: scans the column
+/// into a [`crate::partial::FilterUnitPartial`] and finalizes it, so the
+/// one-shot and partitioned builds share a single code path.
 pub fn build_mcv_for_column(
     table: &Table,
     col: &Column,
     join_columns: &[JoinCol],
     config: &SafeBoundConfig,
 ) -> McvStats {
-    // Rows per distinct value.
-    let mut rows_by_value: HashMap<Value, Vec<usize>> = HashMap::new();
-    for i in 0..col.len() {
-        let v = col.get(i);
-        if !v.is_null() {
-            rows_by_value.entry(v).or_default().push(i);
-        }
-    }
-    // MCV = top values by count.
-    let mut entries: Vec<(Value, Vec<usize>)> = rows_by_value.into_iter().collect();
-    entries.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(&b.0)));
-    let mcv_len = entries.len().min(config.mcv_size);
-    let (mcv, rest) = entries.split_at(mcv_len);
-
-    let sets: Vec<CdsSet> = mcv
-        .iter()
-        .map(|(_, rows)| cds_set_for_rows(table, join_columns, Some(rows), config.compression_c))
-        .collect();
-    let (groups, assignment) = group_compress(sets, config.cds_groups, config.cluster_input_cap);
-
-    let index = if config.use_bloom_filters {
-        let mut filters: Vec<BloomFilter> = groups
-            .iter()
-            .map(|_| BloomFilter::new(mcv_len.max(1), config.bloom_bits_per_key))
-            .collect();
-        for ((v, _), &g) in mcv.iter().zip(&assignment) {
-            filters[g].insert(&value_bytes(v));
-        }
-        McvIndex::Bloom(filters)
-    } else {
-        McvIndex::Exact(
-            mcv.iter()
-                .zip(&assignment)
-                .map(|((v, _), &g)| (v.clone(), g))
-                .collect(),
-        )
-    };
-
-    let default_set =
-        max_cds_over_values(table, join_columns, rest.iter().map(|(_, r)| r.as_slice()));
-    McvStats {
-        groups,
-        index,
-        default_set,
-    }
-}
-
-/// `max_ℓ F̂_{R.V | A=a_ℓ}` over the given row subsets (Eq. 3 on CDSs):
-/// accumulates exact integer CDS maxima per join column, then envelopes.
-/// Linear in the total number of rows.
-fn max_cds_over_values<'a>(
-    table: &Table,
-    join_columns: &[JoinCol],
-    row_sets: impl Iterator<Item = &'a [usize]>,
-) -> CdsSet {
-    let cols: Vec<&Column> = join_columns
-        .iter()
-        .map(|(_, jc)| table.column(jc).expect("join column"))
-        .collect();
-    // Per join column, acc[i] = max over values of F_value(i+1).
-    let mut accs: Vec<Vec<u64>> = vec![Vec::new(); cols.len()];
-    for rows in row_sets {
-        for (acc, col) in accs.iter_mut().zip(&cols) {
-            let ds = DegreeSequence::of_column_rows(col, rows);
-            let mut cum = 0u64;
-            for (i, &f) in ds.frequencies().iter().enumerate() {
-                cum += f;
-                if acc.len() <= i {
-                    acc.push(cum);
-                } else if acc[i] < cum {
-                    acc[i] = cum;
-                }
-            }
-        }
-    }
-    // Enforce monotonicity (max of prefixes can stall) and build polylines.
-    let mut entries = Vec::with_capacity(accs.len());
-    for (acc, (sym, _)) in accs.iter_mut().zip(join_columns) {
-        for i in 1..acc.len() {
-            if acc[i] < acc[i - 1] {
-                acc[i] = acc[i - 1];
-            }
-        }
-        let mut knots = vec![(0.0, 0.0)];
-        knots.extend(
-            acc.iter()
-                .enumerate()
-                .map(|(i, &y)| ((i + 1) as f64, y as f64)),
-        );
-        let cds = PiecewiseLinear::from_knots(knots).concave_envelope();
-        entries.push((*sym, cds));
-    }
-    CdsSet::from_entries(entries)
+    let unit =
+        crate::partial::FilterUnitPartial::scan_column(table, col, join_columns, 0..col.len());
+    crate::partial::finalize_mcv(&unit, join_columns, config)
 }
 
 /// One level of the histogram hierarchy: bucket `i` covers values in
 /// `[bounds[i], bounds[i+1])`, last bucket inclusive on both ends.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistogramLevel {
     /// `num_buckets + 1` boundary values, ascending.
     pub bounds: Vec<Value>,
@@ -682,7 +596,7 @@ impl HistogramLevel {
 
 /// Range-predicate statistics: a hierarchy of equi-depth histograms (§3.2)
 /// whose buckets store group-compressed CDS sets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistogramStats {
     /// Levels ordered finest (2^k buckets) → coarsest (2 buckets).
     pub levels: Vec<HistogramLevel>,
@@ -754,81 +668,23 @@ pub fn build_histogram(
 
 /// Build the histogram hierarchy for an arbitrary column aligned with
 /// `table`'s rows.
+///
+/// Thin wrapper over the partition-stage accumulator (see
+/// [`build_mcv_for_column`]): the value groups of the partial, in
+/// ascending value order, stand in for the sorted row list.
 pub fn build_histogram_for_column(
     table: &Table,
     col: &Column,
     join_columns: &[JoinCol],
     config: &SafeBoundConfig,
 ) -> Option<HistogramStats> {
-    // Sort row indices by value (non-null only).
-    let mut rows: Vec<usize> = (0..col.len()).filter(|&i| !col.is_null(i)).collect();
-    if rows.is_empty() {
-        return None;
-    }
-    rows.sort_by_key(|&a| col.get(a));
-
-    let k = config.histogram_levels.max(1);
-    let finest = (1usize << k).min(rows.len().max(1));
-
-    // Finest level: equi-depth cuts of the sorted row list, snapped to
-    // value boundaries so buckets hold whole value groups.
-    let mut cut_rows: Vec<usize> = vec![0];
-    for b in 1..finest {
-        let mut pos = b * rows.len() / finest;
-        // Snap forward so equal values stay in one bucket.
-        while pos < rows.len() && pos > 0 && col.get(rows[pos]) == col.get(rows[pos - 1]) {
-            pos += 1;
-        }
-        if pos > *cut_rows.last().unwrap() && pos < rows.len() {
-            cut_rows.push(pos);
-        }
-    }
-    cut_rows.push(rows.len());
-
-    // Build levels from finest to coarsest by halving the cut list.
-    let mut levels_cuts: Vec<Vec<usize>> = vec![cut_rows];
-    while levels_cuts.last().unwrap().len() > 3 {
-        let prev = levels_cuts.last().unwrap();
-        let mut next: Vec<usize> = prev.iter().copied().step_by(2).collect();
-        if *next.last().unwrap() != *prev.last().unwrap() {
-            next.push(*prev.last().unwrap());
-        }
-        levels_cuts.push(next);
-    }
-
-    // CDS set per finest bucket plus per coarser bucket.
-    let mut all_sets: Vec<CdsSet> = Vec::new();
-    let mut levels_meta: Vec<(Vec<Value>, Vec<usize>)> = Vec::new(); // (bounds, set indices)
-    for cuts in &levels_cuts {
-        let mut bounds: Vec<Value> = Vec::with_capacity(cuts.len());
-        let mut set_ids = Vec::with_capacity(cuts.len() - 1);
-        for w in cuts.windows(2) {
-            let (lo, hi) = (w[0], w[1]);
-            let bucket_rows = &rows[lo..hi];
-            bounds.push(col.get(bucket_rows[0]));
-            let set =
-                cds_set_for_rows(table, join_columns, Some(bucket_rows), config.compression_c);
-            set_ids.push(all_sets.len());
-            all_sets.push(set);
-        }
-        bounds.push(col.get(*rows.last().unwrap()));
-        levels_meta.push((bounds, set_ids));
-    }
-
-    let (groups, assignment) =
-        group_compress(all_sets, config.cds_groups, config.cluster_input_cap);
-    let levels = levels_meta
-        .into_iter()
-        .map(|(bounds, set_ids)| HistogramLevel {
-            bounds,
-            bucket_groups: set_ids.into_iter().map(|s| assignment[s]).collect(),
-        })
-        .collect();
-    Some(HistogramStats { levels, groups })
+    let unit =
+        crate::partial::FilterUnitPartial::scan_column(table, col, join_columns, 0..col.len());
+    crate::partial::finalize_histogram(&unit, join_columns, config)
 }
 
 /// LIKE-predicate statistics: MCV machinery keyed by n-grams (§3.2).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NgramStats {
     /// N-gram length.
     pub n: usize,
@@ -970,7 +826,7 @@ pub fn pattern_ngrams(pattern: &str, n: usize) -> Vec<String> {
 }
 
 /// All n-grams of a string.
-fn string_ngrams(s: &str, n: usize) -> Vec<String> {
+pub(crate) fn string_ngrams(s: &str, n: usize) -> Vec<String> {
     let chars: Vec<char> = s.chars().collect();
     if chars.len() < n {
         return Vec::new();
@@ -994,70 +850,25 @@ pub fn build_ngrams(
 
 /// Build n-gram statistics for an arbitrary string column aligned with
 /// `table`'s rows.
+///
+/// Thin wrapper over the partition-stage accumulator (see
+/// [`build_mcv_for_column`]); `None` for non-string columns and columns
+/// yielding no full gram.
 pub fn build_ngrams_for_column(
     table: &Table,
     col: &Column,
     join_columns: &[JoinCol],
     config: &SafeBoundConfig,
 ) -> Option<NgramStats> {
-    if col.data_type() != DataType::Str {
-        return None;
-    }
-    let n = config.ngram_size;
-    let mut rows_by_gram: HashMap<String, Vec<usize>> = HashMap::new();
-    for i in 0..col.len() {
-        if let Value::Str(s) = col.get(i) {
-            for g in string_ngrams(&s, n) {
-                rows_by_gram.entry(g).or_default().push(i);
-            }
-        }
-    }
-    if rows_by_gram.is_empty() {
-        return None;
-    }
-    let mut entries: Vec<(String, Vec<usize>)> = rows_by_gram.into_iter().collect();
-    entries.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(&b.0)));
-    let mcv_len = entries.len().min(config.ngram_mcv_size);
-    let (mcv, rest) = entries.split_at(mcv_len);
-
-    let sets: Vec<CdsSet> = mcv
-        .iter()
-        .map(|(_, rows)| cds_set_for_rows(table, join_columns, Some(rows), config.compression_c))
-        .collect();
-    let (groups, assignment) = group_compress(sets, config.cds_groups, config.cluster_input_cap);
-
-    let index = if config.use_bloom_filters {
-        let mut filters: Vec<BloomFilter> = groups
-            .iter()
-            .map(|_| BloomFilter::new(mcv_len.max(1), config.bloom_bits_per_key))
-            .collect();
-        for ((g, _), &gr) in mcv.iter().zip(&assignment) {
-            filters[gr].insert(&value_bytes(&Value::Str(g.clone())));
-        }
-        McvIndex::Bloom(filters)
-    } else {
-        McvIndex::Exact(
-            mcv.iter()
-                .zip(&assignment)
-                .map(|((g, _), &gr)| (Value::Str(g.clone()), gr))
-                .collect(),
-        )
-    };
-
-    let default_set =
-        max_cds_over_values(table, join_columns, rest.iter().map(|(_, r)| r.as_slice()));
-    Some(NgramStats {
-        n,
-        groups,
-        index,
-        default_set,
-    })
+    let unit =
+        crate::partial::FilterUnitPartial::scan_column(table, col, join_columns, 0..col.len());
+    crate::partial::finalize_ngrams(&unit, join_columns, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use safebound_storage::{Field, Schema};
+    use safebound_storage::{DataType, Field, Schema};
 
     /// The single join column of the test fact table, interned as id 0.
     const FK: Sym = Sym(0);

@@ -23,6 +23,12 @@ impl DegreeSequence {
         DegreeSequence { freqs }
     }
 
+    /// Build from a stream of per-value counts — e.g. the values of a
+    /// partition-merge count map ([`crate::partial`]); zeros are dropped.
+    pub fn from_counts(counts: impl IntoIterator<Item = u64>) -> Self {
+        Self::from_frequencies(counts.into_iter().collect())
+    }
+
     /// Extract the degree sequence of a column (NULLs excluded — NULL never
     /// joins).
     pub fn of_column(column: &Column) -> Self {

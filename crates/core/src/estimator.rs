@@ -662,42 +662,6 @@ impl BoundSession {
         }
     }
 
-    /// Shape-cache hits since creation.
-    #[deprecated(note = "use BoundSession::stats().shape_hits")]
-    pub fn hits(&self) -> u64 {
-        self.shape_hits
-    }
-
-    /// Shape-cache misses since creation.
-    #[deprecated(note = "use BoundSession::stats().shape_misses")]
-    pub fn misses(&self) -> u64 {
-        self.shape_misses
-    }
-
-    /// Shapes evicted (LRU) since creation.
-    #[deprecated(note = "use BoundSession::stats().shape_evictions")]
-    pub fn evictions(&self) -> u64 {
-        self.shape_evictions
-    }
-
-    /// Memoized MCV equality lookups served (hot-literal hits).
-    #[deprecated(note = "use BoundSession::stats().eq_memo_hits")]
-    pub fn eq_memo_hits(&self) -> u64 {
-        self.eq_memo.hits
-    }
-
-    /// MCV equality lookups that went to the Bloom/group machinery.
-    #[deprecated(note = "use BoundSession::stats().eq_memo_misses")]
-    pub fn eq_memo_misses(&self) -> u64 {
-        self.eq_memo.misses
-    }
-
-    /// Memo entries evicted by the clock sweep since creation.
-    #[deprecated(note = "use BoundSession::stats().eq_memo_evictions")]
-    pub fn eq_memo_evictions(&self) -> u64 {
-        self.eq_memo.evictions
-    }
-
     /// Override the hot-literal memo capacity (default 4096; 0 disables
     /// memoization). Existing memoized entries are kept only up to the new
     /// capacity's eviction policy; intended for tests and tuning.

@@ -64,8 +64,10 @@ pub mod conditioning;
 pub mod config;
 pub mod degree_sequence;
 pub mod estimator;
+pub mod incremental;
 mod litcache;
 pub mod parallel;
+pub mod partial;
 pub mod piecewise;
 pub mod stats;
 pub mod symbol;
@@ -78,6 +80,8 @@ pub use conditioning::{CdsScratch, CdsSet, SetOp};
 pub use config::SafeBoundConfig;
 pub use degree_sequence::DegreeSequence;
 pub use estimator::{BoundSession, EstimateError, PhaseBreakdown, SafeBound, SessionStats};
+pub use incremental::IncrementalBuilder;
+pub use partial::{partition_ranges, FilterUnitPartial, JoinKey, PartialTableStats, TableScanPlan};
 pub use piecewise::{PiecewiseConstant, PiecewiseLinear};
 pub use stats::{SafeBoundBuilder, SafeBoundStats, StatsSnapshot, TableStats};
 pub use symbol::{Sym, SymbolTable};

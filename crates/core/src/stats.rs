@@ -13,30 +13,66 @@
 //! * a fallback unconditioned CDS for every column, supporting joins on
 //!   undeclared columns (§3.6).
 //!
+//! # The three-stage pipeline: partition → merge → finalize
+//!
+//! The build is structured around the mergeable accumulators of
+//! [`crate::partial`]:
+//!
+//! 1. **Partition** — every table is scanned in `k` contiguous row shards
+//!    ([`crate::partial::TableScanPlan::scan`]), each producing a
+//!    [`PartialTableStats`] of exact integer count maps. All
+//!    (table × shard) scans run on ONE flat [`crate::parallel::par_map`]
+//!    work list.
+//! 2. **Merge** — shards of a table merge by union-with-addition
+//!    ([`PartialTableStats::merge`]), which is **associative and
+//!    commutative**: `scan(p₁) ⊕ … ⊕ scan(p_k) = scan(p₁ ∪ … ∪ p_k)` for
+//!    any partitioning, in any order. Merging is cheap and sequential.
+//! 3. **Finalize** — every expensive deterministic construction (MCV
+//!    sort + group compression, histogram hierarchy, n-gram tables,
+//!    Bloom indexes, CDS compression) runs as a pure function of the
+//!    merged counts, again on one flat `par_map` work list with one job
+//!    per (table base + §3.6 fallbacks) and one per filter unit.
+//!
+//! Because finalize is deterministic and merge is exact, a sharded build
+//! (`k ≥ 2`) is **bit-identical** to the single-pass build (`k = 1`) —
+//! not merely bound-equivalent. [`SafeBoundBuilder::build`] is the
+//! `k = 1` special case of [`SafeBoundBuilder::build_partitioned`].
+//!
+//! # Incremental maintenance on catalog deltas
+//!
+//! The same laws classify what a row-level delta
+//! ([`safebound_storage::CatalogDelta`]) can absorb in place, done by
+//! [`crate::incremental::IncrementalBuilder`]:
+//!
+//! | change | maintenance |
+//! |---|---|
+//! | insert-only batch on a table whose FK-referenced dimensions are unchanged | **absorb**: scan only the appended rows, merge into the retained partial, re-finalize the table |
+//! | any delete (counts would need subtraction below observed maxima of group cuts) | rebuild that table's partial via the partition path |
+//! | any change to a dimension table, for fact tables referencing it (propagated units re-key through the PK map; previously dangling FKs may start matching) | rebuild those fact tables' partials |
+//! | untouched tables | reuse the finalized [`TableStats`] verbatim |
+//!
+//! Every structure here is *exactly* maintained, never approximated, so
+//! an incrementally-refreshed snapshot stays bit-identical to a full
+//! rebuild of the mutated catalog — the upper-bound guarantee is
+//! preserved by construction rather than by slack.
+//!
 //! # Interning and parallelism
 //!
 //! All table and column names are interned into a [`SymbolTable`] up
 //! front; every statistics container the online phase touches is keyed by
-//! dense [`Sym`] ids (see [`crate::symbol`]). The build itself fans out on
-//! scoped threads ([`crate::parallel::par_map`]) at two levels: across
-//! tables, and across filter columns (including the PK–FK-propagated
-//! ones, whose fact-side materialization also runs inside the parallel
-//! unit) within each table. Group compression of each column's CDS sets
-//! happens inside its unit, so it parallelizes for free. Results are
-//! deterministic: units are indexed and reassembled in order.
+//! dense [`Sym`] ids (see [`crate::symbol`]). Both parallel stages use
+//! flat work lists (never nested `par_map`, which would oversubscribe —
+//! see [`crate::parallel`]); results are indexed and reassembled in
+//! order, so the output is deterministic.
 
-use crate::compression::valid_compress;
-use crate::conditioning::{
-    build_histogram_for_column, build_mcv_for_column, build_ngrams_for_column, cds_set_for_rows,
-    CdsSet, HistogramStats, JoinCol, McvStats, NgramStats,
-};
+use crate::conditioning::{CdsSet, HistogramStats, JoinCol, McvStats, NgramStats};
 use crate::config::SafeBoundConfig;
-use crate::degree_sequence::DegreeSequence;
 use crate::parallel::par_map;
+use crate::partial::{partition_ranges, PartialTableStats, TableScanPlan};
 use crate::piecewise::PiecewiseLinear;
 use crate::symbol::{Sym, SymbolTable};
-use safebound_storage::{Catalog, Column, DataType, Table, Value};
-use std::collections::{BTreeMap, HashMap};
+use safebound_storage::{Catalog, Table};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -54,7 +90,7 @@ pub fn propagated_key(
 }
 
 /// Conditioned statistics for one (possibly propagated) filter column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilterColumnStats {
     /// Equality predicates.
     pub mcv: McvStats,
@@ -87,7 +123,7 @@ impl FilterColumnStats {
 /// ([`TableStats::filter_slot`]); the per-query hot path never touches a
 /// string key. PK–FK-propagated columns are indexed under
 /// [`propagated_key`] composites.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableStats {
     /// Table name.
     pub table: String,
@@ -109,6 +145,36 @@ pub struct TableStats {
 }
 
 impl TableStats {
+    /// Assemble finalized pieces into served statistics: dense filter
+    /// slots with a name index, so names resolve to slots once per query
+    /// shape and the per-query path indexes the vector directly.
+    pub(crate) fn assemble(
+        table: String,
+        table_sym: Sym,
+        row_count: u64,
+        join_columns: Vec<JoinCol>,
+        base: CdsSet,
+        named: BTreeMap<String, FilterColumnStats>,
+        fallback_cds: Vec<(Sym, PiecewiseLinear)>,
+    ) -> TableStats {
+        let mut filter_index = BTreeMap::new();
+        let mut filter_stats = Vec::with_capacity(named.len());
+        for (name, fs) in named {
+            filter_index.insert(name, filter_stats.len() as u32);
+            filter_stats.push(fs);
+        }
+        TableStats {
+            table,
+            table_sym,
+            row_count,
+            join_columns,
+            base,
+            filter_index,
+            filter_stats,
+            fallback_cds,
+        }
+    }
+
     /// The fallback CDS for a column symbol.
     pub fn fallback(&self, sym: Sym) -> Option<&PiecewiseLinear> {
         self.fallback_cds
@@ -214,19 +280,146 @@ pub struct SafeBoundBuilder {
     config: SafeBoundConfig,
 }
 
-/// One filter-column build unit: either a real column of the table or a
-/// dimension column to materialize through a foreign key (§4.2).
-enum FilterUnit<'a> {
-    Field {
-        name: &'a str,
-        col: &'a Column,
-    },
-    Propagated {
-        key: String,
-        fk_col: &'a Column,
-        pk_rows: &'a HashMap<Value, usize>,
-        dim_col: &'a Column,
-    },
+/// Process-unique id for a published snapshot (see
+/// [`StatsSnapshot::build_id`]).
+pub(crate) fn next_build_id() -> u64 {
+    static NEXT_BUILD_ID: AtomicU64 = AtomicU64::new(1);
+    NEXT_BUILD_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Intern every table and column name of a catalog up front, so the
+/// parallel phases read the symbol table immutably and ids are
+/// independent of build order (and of build *mode*: the incremental
+/// builder reuses this and stays symbol-compatible with full rebuilds,
+/// since deltas never change the table set or schemas).
+pub(crate) fn intern_catalog(catalog: &Catalog) -> SymbolTable {
+    let mut symbols = SymbolTable::new();
+    for table in catalog.tables() {
+        symbols.intern(&table.name);
+        for field in &table.schema.fields {
+            symbols.intern(&field.name);
+        }
+    }
+    symbols
+}
+
+/// Stages 1+2 of the pipeline: scan every table in up to `partitions`
+/// contiguous row shards on one flat work list, then merge shards per
+/// table. By the merge laws the result is independent of `partitions`.
+pub(crate) fn scan_merged_partials(
+    catalog: &Catalog,
+    config: &SafeBoundConfig,
+    partitions: usize,
+) -> Vec<PartialTableStats> {
+    let table_list: Vec<&Table> = catalog.tables().collect();
+    let plans: Vec<TableScanPlan> = table_list
+        .iter()
+        .map(|t| TableScanPlan::new(catalog, t, config))
+        .collect();
+    struct ScanJob<'a> {
+        table_idx: usize,
+        plan: &'a TableScanPlan,
+        range: std::ops::Range<usize>,
+    }
+    let mut jobs: Vec<ScanJob<'_>> = Vec::new();
+    for (table_idx, (table, plan)) in table_list.iter().zip(&plans).enumerate() {
+        for range in partition_ranges(table.num_rows(), partitions) {
+            jobs.push(ScanJob {
+                table_idx,
+                plan,
+                range,
+            });
+        }
+    }
+    let partials = par_map(&jobs, |job| job.plan.scan(catalog, job.range.clone()));
+    // Jobs are table-contiguous and par_map preserves order, so a single
+    // pass folds each table's shards.
+    let mut merged: Vec<PartialTableStats> = Vec::with_capacity(table_list.len());
+    for (partial, job) in partials.into_iter().zip(&jobs) {
+        if job.table_idx == merged.len() {
+            merged.push(partial);
+        } else {
+            merged
+                .last_mut()
+                .expect("jobs are table-contiguous")
+                .merge(partial);
+        }
+    }
+    merged
+}
+
+/// Stage 3 of the pipeline: finalize merged partials into [`TableStats`]
+/// on one flat work list — one job per table for the base CDS + §3.6
+/// fallbacks, one job per filter unit (group compression of each unit's
+/// CDS sets happens inside its job, so it parallelizes for free).
+pub(crate) fn finalize_partials(
+    merged: &[PartialTableStats],
+    symbols: &SymbolTable,
+    config: &SafeBoundConfig,
+) -> Vec<TableStats> {
+    let join_cols: Vec<Vec<JoinCol>> = merged.iter().map(|p| p.join_cols(symbols)).collect();
+    enum FinJob<'a> {
+        Base(usize),
+        Unit(usize, &'a str),
+    }
+    let mut jobs: Vec<FinJob<'_>> = Vec::new();
+    for (ti, partial) in merged.iter().enumerate() {
+        jobs.push(FinJob::Base(ti));
+        for (key, _) in partial.units() {
+            jobs.push(FinJob::Unit(ti, key));
+        }
+    }
+    enum FinOut {
+        Base(CdsSet, Vec<(Sym, PiecewiseLinear)>),
+        Unit(Option<FilterColumnStats>),
+    }
+    let outs = par_map(&jobs, |job| match job {
+        FinJob::Base(ti) => FinOut::Base(
+            merged[*ti].finalize_base(&join_cols[*ti], config),
+            merged[*ti].finalize_fallback(symbols, config),
+        ),
+        FinJob::Unit(ti, key) => FinOut::Unit(
+            merged[*ti]
+                .unit(key)
+                .expect("unit key from iteration")
+                .finalize(&join_cols[*ti], config),
+        ),
+    });
+    #[allow(clippy::type_complexity)]
+    let mut bases: Vec<Option<(CdsSet, Vec<(Sym, PiecewiseLinear)>)>> =
+        merged.iter().map(|_| None).collect();
+    let mut named: Vec<BTreeMap<String, FilterColumnStats>> =
+        merged.iter().map(|_| BTreeMap::new()).collect();
+    for (job, out) in jobs.iter().zip(outs) {
+        match (job, out) {
+            (FinJob::Base(ti), FinOut::Base(base, fallback)) => {
+                bases[*ti] = Some((base, fallback));
+            }
+            (FinJob::Unit(ti, key), FinOut::Unit(stats)) => {
+                if let Some(s) = stats {
+                    named[*ti].insert((*key).to_string(), s);
+                }
+            }
+            _ => unreachable!("job and result lists are parallel"),
+        }
+    }
+    merged
+        .iter()
+        .zip(join_cols)
+        .zip(bases.into_iter().zip(named))
+        .map(|((partial, jc), (base, named))| {
+            let (base, fallback) = base.expect("every table has a base job");
+            TableStats::assemble(
+                partial.table().to_string(),
+                symbols.lookup(partial.table()).expect("table interned"),
+                partial.row_count(),
+                jc,
+                base,
+                named,
+                fallback,
+            )
+        })
+        .collect()
 }
 
 impl SafeBoundBuilder {
@@ -235,184 +428,33 @@ impl SafeBoundBuilder {
         SafeBoundBuilder { config }
     }
 
-    /// Run the offline phase over a catalog. Tables build concurrently on
-    /// scoped threads; see the module docs.
+    /// The builder's configuration.
+    pub fn config(&self) -> &SafeBoundConfig {
+        &self.config
+    }
+
+    /// Run the offline phase over a catalog: the single-shard
+    /// (`partitions = 1`) case of [`SafeBoundBuilder::build_partitioned`].
     pub fn build(&self, catalog: &Catalog) -> StatsSnapshot {
+        self.build_partitioned(catalog, 1)
+    }
+
+    /// Run the offline phase scanning every table in up to `partitions`
+    /// contiguous row shards (partition → merge → finalize; see the
+    /// module docs). The produced statistics are **bit-identical** for
+    /// every choice of `partitions` — sharding only changes scheduling.
+    pub fn build_partitioned(&self, catalog: &Catalog, partitions: usize) -> StatsSnapshot {
         let start = Instant::now();
-        // Intern every name up front so the parallel phase reads the table
-        // immutably (and ids are independent of build order).
-        let mut symbols = SymbolTable::new();
-        let table_list: Vec<&Table> = catalog.tables().collect();
-        for table in &table_list {
-            symbols.intern(&table.name);
-            for field in &table.schema.fields {
-                symbols.intern(&field.name);
-            }
-        }
-        let built = par_map(&table_list, |table| {
-            self.build_table(catalog, table, &symbols)
-        });
+        let symbols = intern_catalog(catalog);
+        let merged = scan_merged_partials(catalog, &self.config, partitions.max(1));
+        let built = finalize_partials(&merged, &symbols, &self.config);
         let tables = built.into_iter().map(|ts| (ts.table.clone(), ts)).collect();
-        static NEXT_BUILD_ID: AtomicU64 = AtomicU64::new(1);
         StatsSnapshot {
             tables,
             symbols,
             config: self.config.clone(),
             build_time: start.elapsed(),
-            build_id: NEXT_BUILD_ID.fetch_add(1, Ordering::Relaxed),
+            build_id: next_build_id(),
         }
-    }
-
-    fn build_table(&self, catalog: &Catalog, table: &Table, symbols: &SymbolTable) -> TableStats {
-        let cfg = &self.config;
-        let join_columns: Vec<JoinCol> = catalog
-            .join_columns(&table.name)
-            .into_iter()
-            .map(|c| (symbols.lookup(&c).expect("join column interned"), c))
-            .collect();
-        let base = cds_set_for_rows(table, &join_columns, None, cfg.compression_c);
-
-        // Assemble the filter-column build units: every column of the
-        // table (a column can be both filter and join column, §3.1), plus
-        // one per (foreign key × dimension column) when propagation is on.
-        // The PK row maps are shared per foreign key.
-        let mut pk_row_maps: Vec<HashMap<Value, usize>> = Vec::new();
-        let mut propagated_specs: Vec<(String, usize, &Column, &Column)> = Vec::new();
-        if cfg.pk_fk_propagation {
-            for fk in catalog.foreign_keys_of(&table.name) {
-                let Some(dim) = catalog.table(&fk.pk_table) else {
-                    continue;
-                };
-                let Some(pk_col) = dim.column(&fk.pk_column) else {
-                    continue;
-                };
-                let Some(fk_col) = table.column(&fk.fk_column) else {
-                    continue;
-                };
-                let mut pk_rows: HashMap<Value, usize> = HashMap::new();
-                for i in 0..pk_col.len() {
-                    let v = pk_col.get(i);
-                    if !v.is_null() {
-                        pk_rows.insert(v, i);
-                    }
-                }
-                let map_idx = pk_row_maps.len();
-                pk_row_maps.push(pk_rows);
-                for dim_field in &dim.schema.fields {
-                    if dim_field.name == fk.pk_column {
-                        continue;
-                    }
-                    let dim_col = dim.column(&dim_field.name).unwrap();
-                    propagated_specs.push((
-                        propagated_key(&fk.fk_column, &fk.pk_table, &fk.pk_column, &dim_field.name),
-                        map_idx,
-                        fk_col,
-                        dim_col,
-                    ));
-                }
-            }
-        }
-        let mut units: Vec<FilterUnit<'_>> = Vec::new();
-        for field in &table.schema.fields {
-            units.push(FilterUnit::Field {
-                name: &field.name,
-                col: table.column(&field.name).unwrap(),
-            });
-        }
-        for (key, map_idx, fk_col, dim_col) in propagated_specs {
-            units.push(FilterUnit::Propagated {
-                key,
-                fk_col,
-                pk_rows: &pk_row_maps[map_idx],
-                dim_col,
-            });
-        }
-
-        // One parallel unit per filter column; propagated columns
-        // materialize their fact-side image inside the unit.
-        let built: Vec<(String, Option<FilterColumnStats>)> = par_map(&units, |unit| match unit {
-            FilterUnit::Field { name, col } => (
-                name.to_string(),
-                self.build_filter_column(table, col, &join_columns),
-            ),
-            FilterUnit::Propagated {
-                key,
-                fk_col,
-                pk_rows,
-                dim_col,
-            } => {
-                let mut propagated = Column::empty(dim_col.data_type());
-                for i in 0..table.num_rows() {
-                    let v = fk_col.get(i);
-                    match pk_rows.get(&v) {
-                        Some(&row) => propagated.push(&dim_col.get(row)),
-                        None => propagated.push(&Value::Null),
-                    }
-                }
-                (
-                    key.clone(),
-                    self.build_filter_column(table, &propagated, &join_columns),
-                )
-            }
-        });
-        // Dense filter slots with a name index: names resolve to slots once
-        // per query shape; the per-query path indexes the vector directly.
-        let named: BTreeMap<String, FilterColumnStats> = built
-            .into_iter()
-            .filter_map(|(k, v)| v.map(|v| (k, v)))
-            .collect();
-        let mut filter_index = BTreeMap::new();
-        let mut filter_stats = Vec::with_capacity(named.len());
-        for (name, fs) in named {
-            filter_index.insert(name, filter_stats.len() as u32);
-            filter_stats.push(fs);
-        }
-
-        // Fallback CDS for every column (§3.6, undeclared join columns).
-        let fallback_list = par_map(&table.schema.fields, |field| {
-            let col = table.column(&field.name).unwrap();
-            let ds = DegreeSequence::of_column(col);
-            (
-                symbols.lookup(&field.name).expect("column interned"),
-                valid_compress(&ds, cfg.compression_c),
-            )
-        });
-        let mut fallback_cds = fallback_list;
-        fallback_cds.sort_by_key(|e| e.0);
-
-        TableStats {
-            table: table.name.clone(),
-            table_sym: symbols.lookup(&table.name).expect("table interned"),
-            row_count: table.num_rows() as u64,
-            join_columns,
-            base,
-            filter_index,
-            filter_stats,
-            fallback_cds,
-        }
-    }
-
-    fn build_filter_column(
-        &self,
-        table: &Table,
-        col: &Column,
-        join_columns: &[JoinCol],
-    ) -> Option<FilterColumnStats> {
-        if join_columns.is_empty() || col.null_count() == col.len() {
-            return None;
-        }
-        let cfg = &self.config;
-        let mcv = build_mcv_for_column(table, col, join_columns, cfg);
-        let histogram = build_histogram_for_column(table, col, join_columns, cfg);
-        let ngrams = if cfg.enable_ngrams && col.data_type() == DataType::Str {
-            build_ngrams_for_column(table, col, join_columns, cfg)
-        } else {
-            None
-        };
-        Some(FilterColumnStats {
-            mcv,
-            histogram,
-            ngrams,
-        })
     }
 }

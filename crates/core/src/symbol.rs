@@ -23,7 +23,7 @@ impl Sym {
 }
 
 /// A bidirectional name ⇄ dense-id map, append-only.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SymbolTable {
     names: Vec<String>,
     index: HashMap<String, u32>,

@@ -1,0 +1,158 @@
+//! Deterministic [`CatalogDelta`] batch generators.
+//!
+//! Drives the incremental-maintenance path (PR 7): seeded insert, delete,
+//! and mixed-churn batches against any catalog, for lifecycle tests and
+//! the `incremental_refresh_ms` benchmark gate. Inserted rows resample
+//! each column **independently** from the table's existing rows, so new
+//! rows stay in-domain (foreign keys keep matching dimension keys, filter
+//! values reuse the live vocabulary) while forming novel combinations —
+//! the realistic append shape for a fact table. Deletes pick distinct row
+//! indices uniformly. Everything is a pure function of `(catalog, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safebound_storage::{Catalog, CatalogDelta, TableDelta, Value};
+
+/// Synthesize `rows` insert rows for `table` by independently resampling
+/// each column from the table's existing rows. Panics if the table is
+/// unknown; an empty table yields all-NULL rows (nothing to resample).
+pub fn insert_batch(catalog: &Catalog, table: &str, rows: usize, seed: u64) -> CatalogDelta {
+    let t = catalog
+        .table(table)
+        .unwrap_or_else(|| panic!("unknown table {table:?}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = t.num_rows();
+    let inserts = (0..rows)
+        .map(|_| {
+            t.columns
+                .iter()
+                .map(|col| {
+                    if n == 0 {
+                        Value::Null
+                    } else {
+                        col.get(rng.random_range(0..n))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    CatalogDelta::inserting(table, inserts)
+}
+
+/// Pick up to `rows` distinct row indices of `table` to delete, uniformly
+/// at random (capped at the table's current row count). Panics if the
+/// table is unknown.
+pub fn delete_batch(catalog: &Catalog, table: &str, rows: usize, seed: u64) -> CatalogDelta {
+    let t = catalog
+        .table(table)
+        .unwrap_or_else(|| panic!("unknown table {table:?}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = t.num_rows();
+    let want = rows.min(n);
+    // Partial Fisher–Yates over the index space: first `want` slots are a
+    // uniform sample without replacement.
+    let mut indices: Vec<usize> = (0..n).collect();
+    for i in 0..want {
+        let j = rng.random_range(i..n);
+        indices.swap(i, j);
+    }
+    indices.truncate(want);
+    CatalogDelta::deleting(table, indices)
+}
+
+/// A mixed churn batch touching every table: per table, `inserts` new
+/// resampled rows plus `deletes` random deletions (each capped by table
+/// size). Tables are visited in catalog (BTreeMap) order with seeds
+/// derived per table, so the batch is deterministic for `(catalog, seed)`.
+pub fn churn_batch(catalog: &Catalog, inserts: usize, deletes: usize, seed: u64) -> CatalogDelta {
+    let mut delta = CatalogDelta::new();
+    for (i, t) in catalog.tables().enumerate() {
+        let sub = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+        let ins = insert_batch(catalog, &t.name, inserts, sub);
+        let del = delete_batch(catalog, &t.name, deletes, sub ^ 0x5DEE_CE66);
+        let mut td = TableDelta::default();
+        if let Some(part) = ins.tables.get(&t.name) {
+            td.inserts = part.inserts.clone();
+        }
+        if let Some(part) = del.tables.get(&t.name) {
+            td.deletes = part.deletes.clone();
+        }
+        if !td.is_empty() {
+            delta.add(&t.name, td);
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imdb::{imdb_catalog, ImdbScale};
+
+    fn tiny() -> Catalog {
+        imdb_catalog(&ImdbScale::tiny(), 7)
+    }
+
+    #[test]
+    fn insert_batch_is_valid_in_domain_and_deterministic() {
+        let mut cat = tiny();
+        let before = cat.table("movie_keyword").unwrap().num_rows();
+        let d1 = insert_batch(&cat, "movie_keyword", 25, 11);
+        let d2 = insert_batch(&cat, "movie_keyword", 25, 11);
+        assert_eq!(
+            d1.tables["movie_keyword"].inserts,
+            d2.tables["movie_keyword"].inserts
+        );
+        assert!(d1.is_insert_only());
+        cat.apply_delta(&d1).expect("resampled rows fit the schema");
+        assert_eq!(cat.table("movie_keyword").unwrap().num_rows(), before + 25);
+        // In-domain: every inserted FK value already existed in the column.
+        let col = tiny()
+            .table("movie_keyword")
+            .unwrap()
+            .column("movie_id")
+            .unwrap()
+            .value_counts();
+        for row in &d1.tables["movie_keyword"].inserts {
+            assert!(
+                col.contains_key(&row[1]) || row[1].is_null(),
+                "{:?}",
+                row[1]
+            );
+        }
+    }
+
+    #[test]
+    fn delete_batch_is_distinct_in_range_and_capped() {
+        let cat = tiny();
+        let n = cat.table("title").unwrap().num_rows();
+        let d = delete_batch(&cat, "title", 40, 3);
+        let dels = &d.tables["title"].deletes;
+        assert_eq!(dels.len(), 40);
+        let mut sorted = dels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40, "indices must be distinct");
+        assert!(sorted.iter().all(|&i| i < n));
+        // Capped at table size.
+        let all = delete_batch(&cat, "kind_type", 10_000, 3);
+        assert_eq!(
+            all.tables["kind_type"].deletes.len(),
+            cat.table("kind_type").unwrap().num_rows()
+        );
+    }
+
+    #[test]
+    fn churn_batch_touches_every_table_and_applies() {
+        let mut cat = tiny();
+        let d = churn_batch(&cat, 4, 2, 99);
+        assert_eq!(d.tables.len(), cat.tables().count());
+        assert!(!d.is_insert_only());
+        cat.apply_delta(&d).expect("churn batch applies cleanly");
+        // Deterministic.
+        assert_eq!(
+            churn_batch(&tiny(), 4, 2, 99).num_changes(),
+            d.num_changes()
+        );
+    }
+}

@@ -113,7 +113,7 @@ pub mod service;
 #[cfg(feature = "faults")]
 pub use faults::FaultBuilder;
 pub use faults::FaultInjector;
-pub use refresh::{RefreshConfig, RefreshError, ShutdownToken, StatsRefresher};
+pub use refresh::{DeltaSource, RefreshConfig, RefreshError, ShutdownToken, StatsRefresher};
 pub use server::{serve, serve_with, ServeOptions};
 pub use service::BoundService;
 

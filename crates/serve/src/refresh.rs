@@ -31,10 +31,27 @@
 //! thread is joined on the way out (the server joins its handlers, the
 //! refresher joins in [`StatsRefresher::stop`]/`Drop`, and dropping the
 //! [`BoundService`](crate::BoundService) joins the workers).
+//!
+//! ## Delta-driven refresh
+//!
+//! [`DeltaSource`] is an incremental alternative to the usual
+//! rescan-the-catalog source closure: it owns an
+//! [`IncrementalBuilder`](safebound_core::IncrementalBuilder) plus a queue
+//! of pending [`CatalogDelta`]s. Writers [`submit`](DeltaSource::submit)
+//! deltas from any thread; each refresher build attempt drains the queue,
+//! applies the deltas to the owned catalog (maintaining statistics
+//! incrementally — absorbing insert-only batches, rebuilding single tables
+//! otherwise), and publishes a snapshot **bit-identical** to a full
+//! rebuild of the mutated catalog. Submitting does not itself trigger a
+//! build: pair the source with a refresh cadence, or call
+//! [`StatsRefresher::refresh_blocking`] (the `REFRESH` verb) after a batch
+//! of submissions to publish deterministically.
 
 use crate::faults::FaultInjector;
 use crate::lock_recover;
-use safebound_core::{SafeBound, StatsSnapshot};
+use safebound_core::{IncrementalBuilder, SafeBound, SafeBoundConfig, StatsSnapshot};
+use safebound_storage::{Catalog, CatalogDelta};
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -407,6 +424,114 @@ impl Drop for StatsRefresher {
     }
 }
 
+/// Shared state behind a [`DeltaSource`]: the incremental builder plus
+/// the queue of deltas submitted but not yet applied by a build attempt.
+#[derive(Debug)]
+struct DeltaSourceInner {
+    builder: IncrementalBuilder,
+    pending: VecDeque<CatalogDelta>,
+    applied: u64,
+    rejected: u64,
+}
+
+/// A snapshot source that maintains statistics **incrementally** from
+/// submitted [`CatalogDelta`]s instead of rescanning the whole catalog.
+///
+/// Cloning is cheap and every clone shares the same builder and queue:
+/// keep one clone on the write path (calling [`DeltaSource::submit`]) and
+/// hand [`DeltaSource::source`] to [`StatsRefresher::spawn`]. Each build
+/// attempt drains the queue in submission order and publishes a snapshot
+/// bit-identical in bounds to a from-scratch build of the mutated catalog
+/// (see [`safebound_core::incremental`]).
+///
+/// A delta that fails validation (unknown table, arity/type mismatch,
+/// delete out of range) is **dropped** — the catalog and statistics are
+/// untouched by it — and that build attempt reports the error through the
+/// refresher's normal failure path (last-good snapshot stays published).
+/// Deltas queued behind it survive and are applied by the next attempt.
+#[derive(Clone, Debug)]
+pub struct DeltaSource {
+    inner: Arc<Mutex<DeltaSourceInner>>,
+}
+
+impl DeltaSource {
+    /// Build initial statistics for `catalog` (sharded partition path)
+    /// and wrap them for delta-driven refresh.
+    pub fn new(catalog: Catalog, config: SafeBoundConfig) -> Self {
+        Self::from_builder(IncrementalBuilder::new(catalog, config))
+    }
+
+    /// Wrap an already-initialised incremental builder.
+    pub fn from_builder(builder: IncrementalBuilder) -> Self {
+        DeltaSource {
+            inner: Arc::new(Mutex::new(DeltaSourceInner {
+                builder,
+                pending: VecDeque::new(),
+                applied: 0,
+                rejected: 0,
+            })),
+        }
+    }
+
+    /// A snapshot of the current statistics — serve this before the first
+    /// refresher build (e.g. seed `SafeBound::from_stats`).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        lock_recover(&self.inner).builder.snapshot()
+    }
+
+    /// A copy of the owned catalog as of the deltas applied so far
+    /// (pending submissions are not reflected yet). Intended for tests
+    /// and oracles; clones the data.
+    pub fn catalog(&self) -> Catalog {
+        lock_recover(&self.inner).builder.catalog().clone()
+    }
+
+    /// Queue a delta for the next build attempt. Returns the number of
+    /// deltas now pending. Does not block on statistics work.
+    pub fn submit(&self, delta: CatalogDelta) -> usize {
+        let mut inner = lock_recover(&self.inner);
+        inner.pending.push_back(delta);
+        inner.pending.len()
+    }
+
+    /// Deltas submitted but not yet applied by a build attempt.
+    pub fn pending(&self) -> usize {
+        lock_recover(&self.inner).pending.len()
+    }
+
+    /// Deltas successfully applied since construction.
+    pub fn applied(&self) -> u64 {
+        lock_recover(&self.inner).applied
+    }
+
+    /// Deltas dropped because they failed validation.
+    pub fn rejected(&self) -> u64 {
+        lock_recover(&self.inner).rejected
+    }
+
+    /// The source closure to hand to [`StatsRefresher::spawn`]: drains
+    /// pending deltas in order, then returns a fresh snapshot. On a
+    /// validation error the offending delta is dropped and the error is
+    /// reported (deltas applied earlier in the same drain are kept — they
+    /// publish with the next successful attempt).
+    pub fn source(&self) -> impl FnMut() -> Result<StatsSnapshot, String> + Send + 'static {
+        let inner = self.inner.clone();
+        move || {
+            let mut inner = lock_recover(&inner);
+            while let Some(delta) = inner.pending.pop_front() {
+                match inner.builder.apply(&delta) {
+                    Ok(_) => inner.applied += 1,
+                    Err(err) => {
+                        inner.rejected += 1;
+                        return Err(format!("delta rejected: {err}"));
+                    }
+                }
+            }
+            Ok(inner.builder.snapshot())
+        }
+    }
+}
+
 /// Best-effort text of a caught panic payload.
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
     payload
@@ -600,6 +725,68 @@ mod tests {
         assert!(n <= 12, "backoff must throttle retries, got {n}");
         assert_eq!(sb.swap_count(), 0, "failed builds must never swap");
         assert!(refresher.failure_count() >= 2);
+        refresher.stop();
+    }
+
+    /// Submitted deltas publish through the refresher, and the published
+    /// statistics are bit-identical in bounds to a from-scratch rebuild
+    /// of the mutated catalog.
+    #[test]
+    fn delta_source_publishes_incrementally_maintained_snapshots() {
+        use safebound_storage::{CatalogDelta, Value};
+        let cfg = SafeBoundConfig::test_small();
+        let source = DeltaSource::new(catalog(), cfg.clone());
+        let sb = SafeBound::from_stats(source.snapshot());
+        let refresher = StatsRefresher::spawn(
+            sb.clone(),
+            source.source(),
+            RefreshConfig::default(),
+            ShutdownToken::new(),
+        );
+        let delta = CatalogDelta::inserting("r", vec![vec![Value::Int(3)], vec![Value::Int(9)]]);
+        assert_eq!(source.submit(delta.clone()), 1);
+        let (build, _) = refresher.refresh_blocking().expect("delta publishes");
+        assert_eq!(sb.build_id(), build);
+        assert_eq!((source.pending(), source.applied()), (0, 1));
+        // Oracle: full rebuild of the mutated catalog.
+        let mut mutated = catalog();
+        mutated.apply_delta(&delta).unwrap();
+        let full = SafeBoundBuilder::new(cfg).build(&mutated);
+        assert_eq!(sb.snapshot().tables, full.tables);
+        assert_eq!(source.catalog().table("r").unwrap().num_rows(), 6);
+        refresher.stop();
+    }
+
+    /// A bad delta is dropped and surfaces as a failed build attempt; the
+    /// last-good snapshot stays published and later deltas still apply.
+    #[test]
+    fn delta_source_drops_invalid_delta_and_recovers() {
+        use safebound_storage::{CatalogDelta, Value};
+        let cfg = SafeBoundConfig::test_small();
+        let source = DeltaSource::new(catalog(), cfg);
+        let sb = SafeBound::from_stats(source.snapshot());
+        let first_build = sb.build_id();
+        let refresher = StatsRefresher::spawn(
+            sb.clone(),
+            source.source(),
+            RefreshConfig::default(),
+            ShutdownToken::new(),
+        );
+        source.submit(CatalogDelta::deleting("missing", vec![0]));
+        source.submit(CatalogDelta::inserting("r", vec![vec![Value::Int(5)]]));
+        match refresher.refresh_blocking() {
+            Err(RefreshError::Failed(reason)) => {
+                assert!(reason.contains("delta rejected"), "{reason:?}")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(sb.build_id(), first_build, "last-good stays published");
+        assert_eq!(source.rejected(), 1);
+        assert_eq!(source.pending(), 1, "queued delta survives the bad one");
+        let (build, _) = refresher.refresh_blocking().expect("queue drains");
+        assert_eq!(sb.build_id(), build);
+        assert_eq!((source.pending(), source.applied()), (0, 1));
+        assert_eq!(source.catalog().table("r").unwrap().num_rows(), 5);
         refresher.stop();
     }
 

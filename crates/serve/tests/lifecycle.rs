@@ -14,9 +14,10 @@
 use safebound_core::{SafeBound, SafeBoundBuilder, SafeBoundConfig};
 use safebound_query::parse_sql;
 use safebound_serve::{
-    serve_with, BoundService, RefreshConfig, ServeOptions, ShutdownToken, StatsRefresher,
+    serve_with, BoundService, DeltaSource, RefreshConfig, ServeOptions, ShutdownToken,
+    StatsRefresher,
 };
-use safebound_storage::{Catalog, Column, DataType, Field, Schema, Table};
+use safebound_storage::{Catalog, CatalogDelta, Column, DataType, Field, Schema, Table, Value};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -513,6 +514,129 @@ fn stalled_mid_batch_connection_degrades_and_closes() {
     let mut next = server.connect();
     assert_eq!(next.roundtrip("PING"), "PONG");
     assert_eq!(next.roundtrip("QUIT"), "BYE");
+    server.stop();
+}
+
+/// PR 7 acceptance: catalog deltas applied under live TCP traffic through
+/// the incremental [`DeltaSource`] path. After each published delta the
+/// served bounds must (a) stay **sound** against an exact-count oracle on
+/// the mutated catalog and (b) be **bit-identical** to a from-scratch
+/// rebuild of that catalog — exercising both the insert-absorb and the
+/// delete/rebuild maintenance paths while background clients keep the
+/// server busy.
+#[test]
+fn delta_refresh_under_live_traffic_is_sound_and_bit_identical() {
+    use safebound_exec::exact_count;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let config = SafeBoundConfig::test_small();
+    let source = DeltaSource::new(catalog(), config.clone());
+    let sb = SafeBound::from_stats(source.snapshot());
+    let shutdown = ShutdownToken::new();
+    let refresher = Arc::new(StatsRefresher::spawn(
+        sb.clone(),
+        source.source(),
+        RefreshConfig::default(),
+        shutdown.clone(),
+    ));
+    let service = Arc::new(BoundService::new(sb.clone(), 2));
+    let server = TestServer::start(
+        service,
+        Some(refresher.clone()),
+        shutdown.clone(),
+        quick_opts(),
+    );
+
+    // Background clients keep live traffic flowing across every swap;
+    // each response must be a well-formed bound, never an error.
+    let sqls = workload_sql();
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<JoinHandle<()>> = (0..2)
+        .map(|c| {
+            let sqls = sqls.clone();
+            let stop = stop.clone();
+            let addr = server.addr;
+            std::thread::spawn(move || {
+                let mut conn = Conn::open(addr);
+                while !stop.load(Ordering::Relaxed) {
+                    for sql in &sqls {
+                        let got = conn.roundtrip(sql);
+                        assert!(got.starts_with("OK "), "client {c}: {got:?}");
+                    }
+                }
+                assert_eq!(conn.roundtrip("QUIT"), "BYE");
+            })
+        })
+        .collect();
+
+    // Served bounds must match a from-scratch build of `oracle_catalog`
+    // bit for bit, and dominate the exact count.
+    let check_phase = |phase: &str, oracle_catalog: &Catalog| {
+        let reference =
+            SafeBound::from_stats(SafeBoundBuilder::new(config.clone()).build(oracle_catalog));
+        let mut conn = Conn::open(server.addr);
+        for sql in &sqls {
+            let q = parse_sql(sql).unwrap();
+            let got = conn.roundtrip(sql);
+            let served: f64 = got
+                .strip_prefix("OK ")
+                .unwrap_or_else(|| panic!("{phase}: {got:?}"))
+                .parse()
+                .unwrap();
+            let want = reference.bound(&q).unwrap();
+            assert_eq!(served, want, "{phase} / {sql}: diverges from full rebuild");
+            let truth = exact_count(oracle_catalog, &q).unwrap() as f64;
+            assert!(
+                served >= truth * (1.0 - 1e-9),
+                "{phase} / {sql}: bound {served} underestimates {truth}"
+            );
+        }
+        assert_eq!(conn.roundtrip("QUIT"), "BYE");
+    };
+
+    let mut oracle = catalog();
+    check_phase("initial", &oracle);
+
+    // Phase 1 — insert-only delta into fact: the absorb path (dim is
+    // untouched, so fact's retained partial just merges the new rows).
+    let inserts = CatalogDelta::inserting(
+        "fact",
+        (0..24)
+            .map(|i| vec![Value::Int(i % 16), Value::Int(1993 + (i % 9))])
+            .collect(),
+    );
+    source.submit(inserts.clone());
+    let before = sb.build_id();
+    let (build1, _) = refresher
+        .refresh_blocking()
+        .expect("insert delta publishes");
+    assert_ne!(build1, before, "delta refresh must publish a new build");
+    assert_eq!((source.pending(), source.applied()), (0, 1));
+    oracle.apply_delta(&inserts).unwrap();
+    check_phase("insert-absorb", &oracle);
+
+    // Phase 2 — mixed delta: delete fact rows and grow the dimension
+    // (the rebuild-one-table path, plus the dim→fact dirty fan-out).
+    let mut mixed = CatalogDelta::deleting("fact", vec![0, 5, 17, 31, 32, 120]);
+    mixed.add(
+        "dim",
+        safebound_storage::TableDelta::inserting(vec![vec![Value::Int(16), Value::Int(2)]]),
+    );
+    source.submit(mixed.clone());
+    let (build2, _) = refresher.refresh_blocking().expect("mixed delta publishes");
+    assert_ne!(build2, build1);
+    assert_eq!((source.pending(), source.applied()), (0, 2));
+    oracle.apply_delta(&mixed).unwrap();
+    check_phase("delete-rebuild", &oracle);
+
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        c.join().expect("traffic client panicked");
+    }
+    assert!(
+        sb.swap_count() >= 2,
+        "both delta refreshes must have swapped"
+    );
     server.stop();
 }
 

@@ -1,0 +1,365 @@
+//! Catalog deltas: batched row inserts/deletes against existing tables.
+//!
+//! A [`CatalogDelta`] is the unit of incremental ingest for the statistics
+//! pipeline: a set of per-table [`TableDelta`]s, each holding a batch of
+//! rows to append and a batch of (pre-delta) row indices to remove. Deltas
+//! mutate **data only** — they never add/drop tables or columns and never
+//! change key declarations, which is what lets downstream consumers keep
+//! schema-derived state (interned symbols, join-column lists) across
+//! applications.
+//!
+//! Per table, deletes are applied first (against the indices of the table
+//! *before* this delta), then inserts are appended; an insert-only delta
+//! therefore appends its rows at indices `old_len..old_len + inserts`.
+//! Tables within one delta are independent.
+
+use crate::catalog::Catalog;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A batch of row-level changes to one table.
+#[derive(Debug, Clone, Default)]
+pub struct TableDelta {
+    /// Rows to append, each matching the table's schema arity and types.
+    pub inserts: Vec<Vec<Value>>,
+    /// Row indices to remove, interpreted against the table **before**
+    /// this delta is applied. Kept sorted and deduplicated.
+    pub deletes: Vec<usize>,
+}
+
+impl TableDelta {
+    /// A delta that only appends rows.
+    pub fn inserting(rows: Vec<Vec<Value>>) -> Self {
+        TableDelta {
+            inserts: rows,
+            deletes: Vec::new(),
+        }
+    }
+
+    /// A delta that only removes the given (pre-delta) row indices.
+    pub fn deleting(mut rows: Vec<usize>) -> Self {
+        rows.sort_unstable();
+        rows.dedup();
+        TableDelta {
+            inserts: Vec::new(),
+            deletes: rows,
+        }
+    }
+
+    /// True when this delta only appends rows (the case monotone
+    /// statistics can absorb in place).
+    pub fn is_insert_only(&self) -> bool {
+        self.deletes.is_empty()
+    }
+
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// A batch of row-level changes across catalog tables.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogDelta {
+    /// Per-table changes, keyed by table name.
+    pub tables: BTreeMap<String, TableDelta>,
+}
+
+/// Why a delta cannot be applied to a catalog. The catalog is left
+/// untouched when any part of a delta fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta names a table the catalog does not have.
+    UnknownTable(String),
+    /// An inserted row's arity does not match the table schema.
+    ArityMismatch {
+        /// Offending table.
+        table: String,
+        /// Row arity found.
+        got: usize,
+        /// Schema arity expected.
+        want: usize,
+    },
+    /// An inserted value's type does not match its column.
+    TypeMismatch {
+        /// Offending table.
+        table: String,
+        /// Offending column name.
+        column: String,
+    },
+    /// A delete index is out of range for the pre-delta table.
+    DeleteOutOfRange {
+        /// Offending table.
+        table: String,
+        /// Offending index.
+        index: usize,
+        /// Pre-delta row count.
+        rows: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::UnknownTable(t) => write!(f, "delta targets unknown table {t:?}"),
+            DeltaError::ArityMismatch { table, got, want } => {
+                write!(
+                    f,
+                    "insert into {table:?} has {got} values, schema has {want}"
+                )
+            }
+            DeltaError::TypeMismatch { table, column } => {
+                write!(
+                    f,
+                    "insert into {table:?} column {column:?} has mismatched type"
+                )
+            }
+            DeltaError::DeleteOutOfRange { table, index, rows } => {
+                write!(
+                    f,
+                    "delete index {index} out of range for {table:?} ({rows} rows)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl CatalogDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        CatalogDelta::default()
+    }
+
+    /// Add (or extend) the delta for one table.
+    pub fn add(&mut self, table: &str, delta: TableDelta) -> &mut Self {
+        let entry = self.tables.entry(table.to_string()).or_default();
+        entry.inserts.extend(delta.inserts);
+        entry.deletes.extend(delta.deletes);
+        entry.deletes.sort_unstable();
+        entry.deletes.dedup();
+        self
+    }
+
+    /// A delta appending `rows` to `table`.
+    pub fn inserting(table: &str, rows: Vec<Vec<Value>>) -> Self {
+        let mut d = CatalogDelta::new();
+        d.add(table, TableDelta::inserting(rows));
+        d
+    }
+
+    /// A delta removing the given (pre-delta) row indices from `table`.
+    pub fn deleting(table: &str, rows: Vec<usize>) -> Self {
+        let mut d = CatalogDelta::new();
+        d.add(table, TableDelta::deleting(rows));
+        d
+    }
+
+    /// True when every per-table change only appends rows.
+    pub fn is_insert_only(&self) -> bool {
+        self.tables.values().all(TableDelta::is_insert_only)
+    }
+
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.tables.values().all(TableDelta::is_empty)
+    }
+
+    /// Total number of inserted/deleted rows across tables.
+    pub fn num_changes(&self) -> usize {
+        self.tables
+            .values()
+            .map(|d| d.inserts.len() + d.deletes.len())
+            .sum()
+    }
+}
+
+/// Validate `delta` against `catalog` without mutating anything.
+fn validate(catalog: &Catalog, delta: &CatalogDelta) -> Result<(), DeltaError> {
+    for (name, td) in &delta.tables {
+        let Some(table) = catalog.table(name) else {
+            return Err(DeltaError::UnknownTable(name.clone()));
+        };
+        let want = table.schema.len();
+        for row in &td.inserts {
+            if row.len() != want {
+                return Err(DeltaError::ArityMismatch {
+                    table: name.clone(),
+                    got: row.len(),
+                    want,
+                });
+            }
+            for (field, v) in table.schema.fields.iter().zip(row) {
+                let ok = match v.data_type() {
+                    None => true, // NULL fits any column
+                    Some(dt) if dt == field.data_type => true,
+                    // Int literals are accepted by Float columns (widening),
+                    // mirroring `Column::push`.
+                    Some(crate::value::DataType::Int) => {
+                        field.data_type == crate::value::DataType::Float
+                    }
+                    Some(_) => false,
+                };
+                if !ok {
+                    return Err(DeltaError::TypeMismatch {
+                        table: name.clone(),
+                        column: field.name.clone(),
+                    });
+                }
+            }
+        }
+        let rows = table.num_rows();
+        if let Some(&bad) = td.deletes.iter().find(|&&i| i >= rows) {
+            return Err(DeltaError::DeleteOutOfRange {
+                table: name.clone(),
+                index: bad,
+                rows,
+            });
+        }
+    }
+    Ok(())
+}
+
+impl Catalog {
+    /// Apply a row-level delta: per table, deletes first (indices against
+    /// the pre-delta table), then inserts appended at the end. The whole
+    /// delta is validated up front; on error the catalog is unchanged.
+    /// Key declarations and schemas are untouched.
+    pub fn apply_delta(&mut self, delta: &CatalogDelta) -> Result<(), DeltaError> {
+        validate(self, delta)?;
+        for (name, td) in &delta.tables {
+            if td.is_empty() {
+                continue;
+            }
+            let table = self.table(name).expect("validated");
+            let mut next: Table = if td.deletes.is_empty() {
+                table.clone()
+            } else {
+                // `deletes` is sorted+deduped: one merge pass builds the
+                // surviving-row gather list.
+                let mut keep = Vec::with_capacity(table.num_rows() - td.deletes.len());
+                let mut d = 0usize;
+                for i in 0..table.num_rows() {
+                    if d < td.deletes.len() && td.deletes[d] == i {
+                        d += 1;
+                    } else {
+                        keep.push(i);
+                    }
+                }
+                table.take(&keep)
+            };
+            for row in &td.inserts {
+                next.push_row(row);
+            }
+            self.add_table(next);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+    use crate::Column;
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::Str),
+        ]);
+        let t = Table::new(
+            "t",
+            schema,
+            vec![
+                Column::from_ints([Some(1), Some(2), Some(3)]),
+                Column::from_strs([Some("a"), Some("b"), Some("c")]),
+            ],
+        );
+        let mut c = Catalog::new();
+        c.add_table(t);
+        c
+    }
+
+    #[test]
+    fn insert_appends_rows() {
+        let mut c = catalog();
+        let d = CatalogDelta::inserting(
+            "t",
+            vec![
+                vec![Value::Int(4), Value::from("d")],
+                vec![Value::Null, Value::Null],
+            ],
+        );
+        assert!(d.is_insert_only());
+        c.apply_delta(&d).unwrap();
+        let t = c.table("t").unwrap();
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(t.row(3), vec![Value::Int(4), Value::from("d")]);
+        assert_eq!(t.row(4), vec![Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn delete_then_insert_ordering() {
+        let mut c = catalog();
+        let mut d = CatalogDelta::deleting("t", vec![1]);
+        d.add(
+            "t",
+            TableDelta::inserting(vec![vec![Value::Int(9), Value::from("z")]]),
+        );
+        assert!(!d.is_insert_only());
+        c.apply_delta(&d).unwrap();
+        let t = c.table("t").unwrap();
+        assert_eq!(t.num_rows(), 3);
+        // Row 1 ("b") is gone; the insert landed after the survivors.
+        assert_eq!(t.row(0), vec![Value::Int(1), Value::from("a")]);
+        assert_eq!(t.row(1), vec![Value::Int(3), Value::from("c")]);
+        assert_eq!(t.row(2), vec![Value::Int(9), Value::from("z")]);
+    }
+
+    #[test]
+    fn validation_leaves_catalog_untouched() {
+        let mut c = catalog();
+        let mut d = CatalogDelta::inserting("t", vec![vec![Value::Int(4), Value::from("d")]]);
+        d.add("missing", TableDelta::deleting(vec![0]));
+        assert_eq!(
+            c.apply_delta(&d),
+            Err(DeltaError::UnknownTable("missing".into()))
+        );
+        assert_eq!(c.table("t").unwrap().num_rows(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let mut c = catalog();
+        let short = CatalogDelta::inserting("t", vec![vec![Value::Int(4)]]);
+        assert!(matches!(
+            c.apply_delta(&short),
+            Err(DeltaError::ArityMismatch { .. })
+        ));
+        let wrong = CatalogDelta::inserting("t", vec![vec![Value::from("x"), Value::from("y")]]);
+        assert!(matches!(
+            c.apply_delta(&wrong),
+            Err(DeltaError::TypeMismatch { .. })
+        ));
+        let oob = CatalogDelta::deleting("t", vec![7]);
+        assert!(matches!(
+            c.apply_delta(&oob),
+            Err(DeltaError::DeleteOutOfRange { .. })
+        ));
+        assert_eq!(c.table("t").unwrap().num_rows(), 3);
+    }
+
+    #[test]
+    fn keys_survive_application() {
+        let mut c = catalog();
+        c.declare_primary_key("t", "id");
+        c.apply_delta(&CatalogDelta::deleting("t", vec![0, 2]))
+            .unwrap();
+        assert_eq!(c.table("t").unwrap().num_rows(), 1);
+        assert_eq!(c.join_columns("t"), vec!["id".to_string()]);
+    }
+}

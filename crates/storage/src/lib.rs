@@ -15,6 +15,7 @@
 pub mod catalog;
 pub mod column;
 pub mod csv;
+pub mod delta;
 pub mod schema;
 pub mod table;
 pub mod value;
@@ -22,6 +23,7 @@ pub mod value;
 pub use catalog::{Catalog, ForeignKey};
 pub use column::{Column, GroupKey};
 pub use csv::{read_csv, write_csv, CsvError};
+pub use delta::{CatalogDelta, DeltaError, TableDelta};
 pub use schema::{Field, Schema};
 pub use table::Table;
 pub use value::{DataType, Value};

@@ -124,6 +124,92 @@ proptest! {
     }
 }
 
+/// PR 7 acceptance sweep: across all four generated workloads (the full
+/// 344-query smoke suite), a sharded build (k = 4, partition→merge→
+/// finalize) and a delta-refreshed snapshot must be **bit-identical** —
+/// statistics and every bound — to a single-pass full rebuild, and the
+/// delta-refreshed bounds must never underestimate the mutated catalog's
+/// exact counts (checked on a per-workload subset).
+#[test]
+fn sharded_and_delta_refreshed_builds_are_bit_identical_across_workloads() {
+    use safebound::core::{IncrementalBuilder, SafeBoundBuilder};
+    use safebound_bench::{build_workloads, experiment_config, ExperimentScale};
+    use safebound_datagen::{delete_batch, insert_batch};
+
+    let scale = ExperimentScale::smoke();
+    for w in build_workloads(&scale) {
+        let cfg = experiment_config();
+        let builder = SafeBoundBuilder::new(cfg.clone());
+        let single = builder.build(&w.catalog);
+        let sharded = builder.build_partitioned(&w.catalog, 4);
+        assert_eq!(
+            single.tables, sharded.tables,
+            "{}: sharded statistics diverge from single-pass",
+            w.name
+        );
+        assert_eq!(single.symbols, sharded.symbols, "{}", w.name);
+
+        // Delta refresh: append resampled rows to the largest table, then
+        // delete a slice of them — exercising absorb and rebuild — and
+        // compare against a from-scratch build of the mutated catalog.
+        let mut inc = IncrementalBuilder::new(w.catalog.clone(), cfg.clone());
+        let biggest = w
+            .catalog
+            .tables()
+            .max_by_key(|t| t.num_rows())
+            .expect("non-empty catalog")
+            .name
+            .clone();
+        inc.apply(&insert_batch(&w.catalog, &biggest, 32, scale.seed))
+            .expect("insert delta applies");
+        let refreshed = inc
+            .apply(&delete_batch(inc.catalog(), &biggest, 16, scale.seed ^ 1))
+            .expect("delete delta applies");
+        let full = SafeBoundBuilder::new(cfg).build(inc.catalog());
+        assert_eq!(
+            refreshed.tables, full.tables,
+            "{}: delta-refreshed statistics diverge from full rebuild",
+            w.name
+        );
+
+        // Bound-level bit-identity across every query in the workload,
+        // plus soundness of the delta-refreshed bounds on a subset.
+        let sb_single = SafeBound::from_stats(single);
+        let sb_sharded = SafeBound::from_stats(sharded);
+        let sb_refreshed = SafeBound::from_stats(refreshed);
+        let sb_full = SafeBound::from_stats(full);
+        for (i, bq) in w.queries.iter().enumerate() {
+            let a = sb_single.bound(&bq.query).unwrap();
+            let b = sb_sharded.bound(&bq.query).unwrap();
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{} / {}: sharded bound diverges ({a} vs {b})",
+                w.name,
+                bq.name
+            );
+            let r = sb_refreshed.bound(&bq.query).unwrap();
+            let f = sb_full.bound(&bq.query).unwrap();
+            assert_eq!(
+                r.to_bits(),
+                f.to_bits(),
+                "{} / {}: delta-refreshed bound diverges ({r} vs {f})",
+                w.name,
+                bq.name
+            );
+            if i < 10 {
+                let truth = exact_count(inc.catalog(), &bq.query).unwrap() as f64;
+                assert!(
+                    r >= truth * (1.0 - 1e-9),
+                    "{} / {}: refreshed bound {r} underestimates {truth}",
+                    w.name,
+                    bq.name
+                );
+            }
+        }
+    }
+}
+
 /// Deterministic regression sweep over the generated benchmark workloads
 /// (tiny scale): SafeBound must never underestimate a single query.
 #[test]
