@@ -1,0 +1,57 @@
+//! End-to-end SIMD bit-identity + soundness sweep (PR 8).
+//!
+//! Across all four smoke-scale paper workloads (344 queries), the full
+//! bound computation must be **bit-identical** between the host's
+//! dispatched tier and the forced scalar mirror — both over shared
+//! statistics and across statistics *built* under each tier — and no
+//! bound may ever fall below the exact join count. One `#[test]` in its
+//! own binary: the tier override is process-global, so nothing else may
+//! share this process.
+
+use safebound_bench::{build_workloads, experiment_config, ExperimentScale};
+use safebound_core::{simd, SafeBound, SimdTier};
+use safebound_exec::exact_count;
+
+#[test]
+fn dispatched_and_scalar_tiers_are_bit_identical_and_sound() {
+    let workloads = build_workloads(&ExperimentScale::smoke());
+    let dispatched_tier = simd::tier();
+    let mut queries = 0usize;
+    for w in &workloads {
+        let sb = SafeBound::build(&w.catalog, experiment_config());
+        // Statistics built under the forced scalar mirror must serve the
+        // exact same bounds as statistics built under the dispatched tier
+        // (the build path batches searches and fingerprints too).
+        simd::override_tier(Some(SimdTier::Scalar));
+        let sb_scalar_built = SafeBound::build(&w.catalog, experiment_config());
+        simd::override_tier(None);
+        for bq in &w.queries {
+            let bound = sb.bound(&bq.query).unwrap_or(f64::INFINITY);
+            simd::override_tier(Some(SimdTier::Scalar));
+            let scalar = sb.bound(&bq.query).unwrap_or(f64::INFINITY);
+            let scalar_built = sb_scalar_built.bound(&bq.query).unwrap_or(f64::INFINITY);
+            simd::override_tier(None);
+            assert_eq!(
+                bound.to_bits(),
+                scalar.to_bits(),
+                "{}: {:?} bound {bound} != scalar bound {scalar}",
+                bq.name,
+                dispatched_tier,
+            );
+            assert_eq!(
+                bound.to_bits(),
+                scalar_built.to_bits(),
+                "{}: scalar-built statistics diverged ({bound} vs {scalar_built})",
+                bq.name,
+            );
+            let truth = exact_count(&w.catalog, &bq.query).unwrap() as f64;
+            assert!(
+                bound >= truth * (1.0 - 1e-9),
+                "{}: UNDERESTIMATE bound={bound} truth={truth}",
+                bq.name,
+            );
+            queries += 1;
+        }
+    }
+    assert_eq!(queries, 344, "the sweep must cover all four workloads");
+}

@@ -15,17 +15,20 @@ pub struct BloomFilter {
     num_hashes: u32,
 }
 
-/// FNV-1a, seeded; deterministic across runs and platforms.
-fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
-    let mut h = 0xcbf29ce484222325u64 ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+/// Double-hashing seeds for [`BloomFilter::hash_key`].
+const SEED_H1: u64 = 0x5bd1e995;
+const SEED_H2: u64 = 0x27d4eb2f;
 
 impl BloomFilter {
+    /// The `(h1, h2)` double-hashing pair for a key, computed in one pass
+    /// over the bytes ([`crate::simd::hash::fnv1a_pair`]). The pair is a
+    /// property of the key alone — hash once, then probe any number of
+    /// filters with [`contains_hashed`](Self::contains_hashed).
+    pub fn hash_key(key: &[u8]) -> (u64, u64) {
+        let (h1, h2) = crate::simd::hash::fnv1a_pair(key, SEED_H1, SEED_H2);
+        (h1, h2 | 1)
+    }
+
     /// Create a filter sized for `expected` insertions at `bits_per_key`
     /// bits each (the paper uses ≈12, giving ≈0.3% false positives).
     pub fn new(expected: usize, bits_per_key: usize) -> Self {
@@ -41,8 +44,7 @@ impl BloomFilter {
 
     /// Insert a key (as bytes).
     pub fn insert(&mut self, key: &[u8]) {
-        let h1 = fnv1a(key, 0x5bd1e995);
-        let h2 = fnv1a(key, 0x27d4eb2f) | 1;
+        let (h1, h2) = Self::hash_key(key);
         for i in 0..self.num_hashes {
             let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.num_bits;
             self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
@@ -51,8 +53,14 @@ impl BloomFilter {
 
     /// Membership test: `false` means definitely absent.
     pub fn contains(&self, key: &[u8]) -> bool {
-        let h1 = fnv1a(key, 0x5bd1e995);
-        let h2 = fnv1a(key, 0x27d4eb2f) | 1;
+        let (h1, h2) = Self::hash_key(key);
+        self.contains_hashed(h1, h2)
+    }
+
+    /// [`contains`](Self::contains) with a precomputed
+    /// [`hash_key`](Self::hash_key) pair — the hot path when one key is
+    /// probed against many per-group filters.
+    pub fn contains_hashed(&self, h1: u64, h2: u64) -> bool {
         (0..self.num_hashes).all(|i| {
             let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.num_bits;
             self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
@@ -122,6 +130,19 @@ mod tests {
         f.insert(b"character-name-in-title");
         assert!(f.contains(b"character-name-in-title"));
         assert!(!f.contains(b"pg-13"));
+    }
+
+    #[test]
+    fn hashed_probe_matches_direct_probe() {
+        let mut f = BloomFilter::new(1000, 12);
+        for i in 0..1000u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 0..5000u64 {
+            let key = i.to_le_bytes();
+            let (h1, h2) = BloomFilter::hash_key(&key);
+            assert_eq!(f.contains(&key), f.contains_hashed(h1, h2), "key {i}");
+        }
     }
 
     #[test]

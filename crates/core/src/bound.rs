@@ -182,15 +182,11 @@ impl BoundScratch {
     }
 }
 
-/// `∫ f dx` over raw segments.
+/// `∫ f dx` over raw segments, through the lane-parallel reduction (every
+/// dispatch tier replays the same four-accumulator combine tree, so the
+/// total is bit-identical across tiers — see [`crate::simd::reduce`]).
 fn total_of(segs: &[(f64, f64)]) -> f64 {
-    let mut sum = 0.0;
-    let mut prev = 0.0;
-    for &(edge, value) in segs {
-        sum += (edge - prev) * value;
-        prev = edge;
-    }
-    sum
+    crate::simd::reduce::weighted_total(segs, crate::simd::tier())
 }
 
 /// Evaluate the FDSB of a plan. Returns a guaranteed upper bound on the

@@ -32,9 +32,9 @@ use crate::compression::valid_compress;
 use crate::config::SafeBoundConfig;
 use crate::degree_sequence::DegreeSequence;
 use crate::piecewise::PiecewiseLinear;
+use crate::simd::hash::FastMap;
 use crate::symbol::Sym;
 use safebound_storage::{Column, Table, Value};
-use std::collections::HashMap;
 
 /// A join column as the statistics builders see it: the globally interned
 /// symbol it is keyed under, plus its name in the owning table.
@@ -241,6 +241,11 @@ pub struct CdsScratch {
     gram_slots: Vec<Value>,
     /// Char staging for the wildcard-free chunks of a LIKE pattern.
     tmp_chars: Vec<char>,
+    /// Per-gram resolved sets staged for the fused LIKE min-fold (the
+    /// sets themselves recycle through `spare_set`).
+    staged_like: Vec<CdsSet>,
+    /// Cursors of the fused min-fold's k-way merge.
+    fold_cursors: Vec<usize>,
 }
 
 impl CdsScratch {
@@ -272,10 +277,21 @@ impl CdsScratch {
         }
     }
 
-    /// Overwrite `dst` with a copy of `src` through the pool.
+    /// Overwrite `dst` with a copy of `src` through the pool. Entries
+    /// `dst` already holds are rewritten in place — their segment buffers
+    /// are reused directly instead of round-tripping through the pool —
+    /// so the steady state (same relation resolved query after query) is
+    /// one `memcpy` per join column.
     pub fn copy_set(&mut self, src: &CdsSet, dst: &mut CdsSet) {
-        self.clear_set(dst);
-        for (sym, pwl) in &src.entries {
+        let keep = src.entries.len().min(dst.entries.len());
+        for p in dst.entries.drain(keep..) {
+            self.spare_pwl.push(p.1);
+        }
+        for (d, s) in dst.entries.iter_mut().zip(&src.entries) {
+            d.0 = s.0;
+            d.1.copy_from(&s.1);
+        }
+        for (sym, pwl) in &src.entries[keep..] {
             let mut p = self.take_pwl();
             p.copy_from(pwl);
             dst.entries.push((*sym, p));
@@ -401,7 +417,7 @@ pub(crate) fn value_bytes(v: &Value) -> Vec<u8> {
 #[derive(Debug, Clone, PartialEq)]
 pub enum McvIndex {
     /// Exact value → group id.
-    Exact(HashMap<Value, usize>),
+    Exact(FastMap<Value, usize>),
     /// One filter per group; a value belongs to every group whose filter
     /// answers positive (max over them keeps the bound sound).
     Bloom(Vec<BloomFilter>),
@@ -427,11 +443,14 @@ impl McvIndex {
             }
             McvIndex::Bloom(filters) => {
                 value_bytes_into(v, bytes);
+                // Hash once, probe every per-group filter with the pair
+                // (the double-hashing pair depends only on the key).
+                let (h1, h2) = BloomFilter::hash_key(bytes);
                 out.extend(
                     filters
                         .iter()
                         .enumerate()
-                        .filter(|(_, f)| f.contains(bytes))
+                        .filter(|(_, f)| f.contains_hashed(h1, h2))
                         .map(|(g, _)| g),
                 );
             }
@@ -473,6 +492,67 @@ fn indexed_max_into(
     scratch.tmp_bytes = bytes;
 }
 
+/// Fused k-way pointwise-min fold over staged sets, written into `out`
+/// (cleared first) through the pool. For every join column (ascending
+/// symbol order), the participating sets' polylines are min-folded
+/// pairwise **in staging order** — the exact association the equivalent
+/// chain `out = s0; out.accumulate(s1, Min); …` performs, with absent
+/// columns copied through — so the fused result is bit-identical to the
+/// chain's while building each output column exactly once.
+fn fused_min_into(staged: &[CdsSet], scratch: &mut CdsScratch, out: &mut CdsSet) {
+    scratch.clear_set(out);
+    let mut cursors = std::mem::take(&mut scratch.fold_cursors);
+    cursors.clear();
+    cursors.resize(staged.len(), 0);
+    loop {
+        // Next column: the smallest pending symbol across all sets.
+        let mut next: Option<Sym> = None;
+        for (set, &c) in staged.iter().zip(cursors.iter()) {
+            if let Some(&(sym, _)) = set.entries.get(c) {
+                if next.is_none_or(|m| sym < m) {
+                    next = Some(sym);
+                }
+            }
+        }
+        let Some(sym) = next else { break };
+        let mut acc = scratch.take_pwl();
+        let mut first = true;
+        for (set, c) in staged.iter().zip(cursors.iter_mut()) {
+            match set.entries.get(*c) {
+                Some((s, pwl)) if *s == sym => {
+                    if first {
+                        acc.copy_from(pwl);
+                        first = false;
+                    } else {
+                        let mut folded = scratch.take_pwl();
+                        acc.pointwise_min_into(pwl, &mut folded);
+                        std::mem::swap(&mut acc, &mut folded);
+                        scratch.put_pwl(folded);
+                    }
+                    *c += 1;
+                }
+                _ => {}
+            }
+        }
+        out.entries.push((sym, acc));
+    }
+    scratch.fold_cursors = cursors;
+}
+
+/// Which stored set answers an MCV equality probe (see
+/// [`McvStats::lookup_eq_outcome`]): an index into the stats rather than
+/// a copy, so hot paths (and the session equality memo) can borrow the
+/// answer in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum McvOutcome {
+    /// Non-MCV value: the default set dominates.
+    Default,
+    /// Exactly one candidate group: `groups[g]` is the answer.
+    Group(u32),
+    /// Multiple candidate groups: their max-envelope was written out.
+    Owned,
+}
+
 /// Equality-predicate statistics for one filter column (§3.2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct McvStats {
@@ -504,6 +584,37 @@ impl McvStats {
             scratch,
             out,
         );
+    }
+
+    /// [`McvStats::lookup_eq_into`], but classifying the answer instead of
+    /// always copying it: when a single stored set dominates (`Default` /
+    /// `Group`), `out` is left untouched and the caller reads the set in
+    /// place; only the multi-candidate max-envelope (`Owned`) is
+    /// materialized into `out`. Values are bit-identical to
+    /// `lookup_eq_into` in every case.
+    pub(crate) fn lookup_eq_outcome(
+        &self,
+        v: &Value,
+        scratch: &mut CdsScratch,
+        out: &mut CdsSet,
+    ) -> McvOutcome {
+        let mut ids = std::mem::take(&mut scratch.tmp_groups);
+        let mut bytes = std::mem::take(&mut scratch.tmp_bytes);
+        self.index.lookup_into(v, &mut ids, &mut bytes);
+        let outcome = match ids[..] {
+            [] => McvOutcome::Default,
+            [g] => McvOutcome::Group(g as u32),
+            _ => {
+                scratch.copy_set(&self.groups[ids[0]], out);
+                for &g in &ids[1..] {
+                    out.accumulate(&self.groups[g], SetOp::MaxEnvelope, scratch);
+                }
+                McvOutcome::Owned
+            }
+        };
+        scratch.tmp_groups = ids;
+        scratch.tmp_bytes = bytes;
+        outcome
     }
 
     /// The CDS set of a **provably empty** selection on this column: every
@@ -584,6 +695,15 @@ impl HistogramLevel {
         if idx >= nb {
             idx = nb - 1;
         }
+        self.check_covering(idx, lo, hi)
+    }
+
+    /// Whether bucket `idx` (the one containing `lo`) also covers `hi`;
+    /// the verification half of [`covering_bucket`](Self::covering_bucket),
+    /// shared with the batched key search (which computes `idx` from order
+    /// keys but verifies with the same `Value` comparisons).
+    fn check_covering(&self, idx: usize, lo: &Value, hi: &Value) -> Option<usize> {
+        let nb = self.bucket_groups.len();
         let upper = &self.bounds[idx + 1];
         let covered = if idx + 1 == nb {
             hi <= upper
@@ -591,6 +711,76 @@ impl HistogramLevel {
             hi < upper
         };
         (covered && lo >= &self.bounds[idx]).then_some(idx)
+    }
+}
+
+/// Precomputed order-key matrix over a histogram hierarchy's inner bucket
+/// boundaries, enabling the batched branchless search of
+/// [`crate::simd::search`] across all levels at once. Built only when
+/// every searched boundary is exactly representable as `f64` (see
+/// [`probe_key`]); otherwise lookups fall back to the per-level scalar
+/// walk.
+#[derive(Debug, Clone, PartialEq)]
+struct RangeIndex {
+    /// Level-major rows of [`crate::simd::search::order_key`]s for
+    /// `bounds[1..nb]`, each padded to `stride` with `i64::MAX`.
+    keys: Vec<i64>,
+    /// Row width (max inner-boundary count over levels, at least 1).
+    stride: usize,
+    /// Per level: real (unpadded) key count, `nb - 1`.
+    counts: Vec<u32>,
+}
+
+/// Levels cap for the stack-allocated batched-search result buffer; deeper
+/// hierarchies (never produced by the builder, which stops at 2 buckets)
+/// fall back to the scalar walk.
+const MAX_BATCH_LEVELS: usize = 16;
+
+/// The order key of a boundary or probe value, if integer comparisons on
+/// it are exactly equivalent to the `Value` total order: floats key by
+/// their own bits (total_cmp order), integers only when they survive the
+/// `i64 → f64` round trip (exact integers embed injectively and
+/// order-preservingly among floats, matching `Value::cmp`'s widening).
+/// Strings and nulls have no numeric key.
+fn probe_key(v: &Value) -> Option<i64> {
+    use crate::simd::search::{int_is_order_exact, order_key};
+    match v {
+        Value::Int(i) if int_is_order_exact(*i) => Some(order_key(*i as f64)),
+        Value::Float(f) => Some(order_key(*f)),
+        _ => None,
+    }
+}
+
+impl RangeIndex {
+    /// Build the key matrix, or `None` when any searched boundary lacks an
+    /// exact key (or the hierarchy is degenerate).
+    fn build(levels: &[HistogramLevel]) -> Option<RangeIndex> {
+        if levels.is_empty() || levels.len() > MAX_BATCH_LEVELS {
+            return None;
+        }
+        let mut stride = 1usize;
+        let mut counts = Vec::with_capacity(levels.len());
+        for level in levels {
+            let nb = level.bucket_groups.len();
+            if nb == 0 || level.bounds.len() != nb + 1 {
+                return None;
+            }
+            counts.push((nb - 1) as u32);
+            stride = stride.max(nb - 1);
+        }
+        let mut keys = Vec::with_capacity(stride * levels.len());
+        for level in levels {
+            let nb = level.bucket_groups.len();
+            for b in &level.bounds[1..nb] {
+                keys.push(probe_key(b)?);
+            }
+            keys.resize(keys.len() + stride - (nb - 1), i64::MAX);
+        }
+        Some(RangeIndex {
+            keys,
+            stride,
+            counts,
+        })
     }
 }
 
@@ -602,9 +792,24 @@ pub struct HistogramStats {
     pub levels: Vec<HistogramLevel>,
     /// Group CDS sets shared by all levels.
     pub groups: Vec<CdsSet>,
+    /// Batched-search acceleration over the levels' boundaries
+    /// (deterministic function of `levels`, so derived equality and
+    /// identical rebuilds stay consistent). `None` when boundaries are
+    /// non-numeric or otherwise un-keyable.
+    range_index: Option<RangeIndex>,
 }
 
 impl HistogramStats {
+    /// Assemble the hierarchy (and its batched-search key matrix, when
+    /// the boundaries admit one) from built levels and group sets.
+    pub fn new(levels: Vec<HistogramLevel>, groups: Vec<CdsSet>) -> HistogramStats {
+        let range_index = RangeIndex::build(&levels);
+        HistogramStats {
+            levels,
+            groups,
+            range_index,
+        }
+    }
     /// The conditioned CDS set of the smallest bucket fully covering
     /// `[lo, hi]`; `None` when even the 2-bucket level cannot cover it
     /// (caller falls back to the unconditioned CDS). Inverted ranges
@@ -618,12 +823,54 @@ impl HistogramStats {
     /// [`HistogramStats::lookup_range`] by reference (no clone): the
     /// borrow points into the stored group sets.
     pub fn lookup_range_ref(&self, lo: &Value, hi: &Value) -> Option<&CdsSet> {
+        self.lookup_range_group(lo, hi).map(|g| &self.groups[g])
+    }
+
+    /// The group id behind [`lookup_range_ref`](Self::lookup_range_ref):
+    /// the value the session range memo stores. When the key matrix
+    /// exists and the probe has an exact order key, the bucket of `lo` on
+    /// **every** level is found in one batched branchless search
+    /// ([`crate::simd::search::batched_upper_bound`]) before the covering
+    /// checks run with plain `Value` comparisons — bit-identical to the
+    /// scalar walk because exact keys order exactly like `Value::cmp`.
+    pub fn lookup_range_group(&self, lo: &Value, hi: &Value) -> Option<usize> {
+        if hi < lo {
+            return None;
+        }
+        if let Some(index) = &self.range_index {
+            if let Some(probe) = probe_key(lo) {
+                debug_assert!(self.levels.len() <= MAX_BATCH_LEVELS);
+                let mut idxs = [0u32; MAX_BATCH_LEVELS];
+                crate::simd::search::batched_upper_bound(
+                    &index.keys,
+                    index.stride,
+                    &index.counts,
+                    probe,
+                    &mut idxs[..self.levels.len()],
+                    crate::simd::tier(),
+                );
+                for (level, &idx) in self.levels.iter().zip(idxs.iter()) {
+                    if let Some(b) = level.check_covering(idx as usize, lo, hi) {
+                        return Some(level.bucket_groups[b]);
+                    }
+                }
+                return None;
+            }
+        }
+        self.lookup_range_group_scalar(lo, hi)
+    }
+
+    /// Reference scalar walk under [`lookup_range_group`](Self::lookup_range_group)
+    /// (also the fallback for un-keyable hierarchies or probes). Public
+    /// only for the equivalence tests.
+    #[doc(hidden)]
+    pub fn lookup_range_group_scalar(&self, lo: &Value, hi: &Value) -> Option<usize> {
         if hi < lo {
             return None;
         }
         for level in &self.levels {
             if let Some(b) = level.covering_bucket(lo, hi) {
-                return Some(&self.groups[level.bucket_groups[b]]);
+                return Some(level.bucket_groups[b]);
             }
         }
         None
@@ -639,14 +886,19 @@ impl HistogramStats {
         self.levels.last().and_then(|l| l.bounds.last())
     }
 
-    /// Approximate heap size in bytes.
+    /// Approximate heap size in bytes (the batched-search key matrix
+    /// included).
     pub fn byte_size(&self) -> usize {
         let b: usize = self
             .levels
             .iter()
             .map(|l| l.bounds.len() * 24 + l.bucket_groups.len() * 8)
             .sum();
-        b + self.groups.iter().map(CdsSet::byte_size).sum::<usize>()
+        let idx = self
+            .range_index
+            .as_ref()
+            .map_or(0, |i| i.keys.len() * 8 + i.counts.len() * 4);
+        b + idx + self.groups.iter().map(CdsSet::byte_size).sum::<usize>()
     }
 
     /// Number of stored CDS sets.
@@ -729,35 +981,34 @@ impl NgramStats {
             scratch.gram_slots = grams;
             return false;
         }
-        let mut tmp = scratch.take_set();
-        let mut first = true;
+        // Resolve each distinct gram into a staged set, then min-fold all
+        // of them per join column in one fused k-way pass. The fold calls
+        // `pointwise_min_into` on each column's polylines in exactly the
+        // order the old pairwise `accumulate` chain did (columns missing
+        // from a set impose no constraint, matching the chain's
+        // copy-through), so the result is bit-identical — it just skips
+        // the k−1 intermediate rebuilds of every untouched column.
+        let mut staged = std::mem::take(&mut scratch.staged_like);
         for i in 0..count {
             if i > 0 && grams[i] == grams[i - 1] {
                 continue; // staged prefix is sorted: duplicates are adjacent
             }
-            if first {
-                indexed_max_into(
-                    &self.index,
-                    &self.groups,
-                    &self.default_set,
-                    &grams[i],
-                    scratch,
-                    out,
-                );
-                first = false;
-            } else {
-                indexed_max_into(
-                    &self.index,
-                    &self.groups,
-                    &self.default_set,
-                    &grams[i],
-                    scratch,
-                    &mut tmp,
-                );
-                out.accumulate(&tmp, SetOp::Min, scratch);
-            }
+            let mut s = scratch.take_set();
+            indexed_max_into(
+                &self.index,
+                &self.groups,
+                &self.default_set,
+                &grams[i],
+                scratch,
+                &mut s,
+            );
+            staged.push(s);
         }
-        scratch.put_set(tmp);
+        fused_min_into(&staged, scratch, out);
+        for s in staged.drain(..) {
+            scratch.put_set(s);
+        }
+        scratch.staged_like = staged;
         scratch.gram_slots = grams;
         true
     }

@@ -82,15 +82,15 @@
 //! eviction paths alike — runs entirely on session-owned pooled buffers).
 
 use crate::bound::{fdsb_with_cutoff, BoundError, BoundScratch, RelationBoundStats};
-use crate::conditioning::{CdsScratch, CdsSet, SetOp};
+use crate::conditioning::{CdsScratch, CdsSet, HistogramStats, McvOutcome, SetOp};
 use crate::config::SafeBoundConfig;
 use crate::litcache::{self, LitCache};
 use crate::piecewise::PiecewiseLinear;
+use crate::simd::hash::FastMap;
 use crate::stats::{propagated_key, FilterColumnStats, StatsSnapshot, TableStats};
 use crate::symbol::Sym;
 use safebound_query::{BoundPlan, CmpOp, ColId, JoinGraph, Predicate, Query};
 use safebound_storage::{Catalog, Value};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -138,6 +138,14 @@ const MAX_CACHED_SHAPES: usize = 1024;
 /// session memory under adversarial literal churn). At capacity a clock
 /// sweep evicts cold entries, so late-arriving hot literals still enter.
 const MAX_EQ_MEMO_VALUES: usize = 4096;
+
+/// Cap on memoized range-lookup outcomes per session. Entries are tiny
+/// (two literals and a group id), so the cap matches the equality memo.
+const MAX_RANGE_MEMO_VALUES: usize = 4096;
+
+/// Cap on memoized LIKE resolutions per session. Each entry carries a
+/// resolved [`CdsSet`], so the cap is tighter than the scalar memos.
+const MAX_LIKE_MEMO_VALUES: usize = 1024;
 
 /// Default capacity of the per-session literal cache (whole-query bound
 /// entries plus per-relation conditioned-set entries combined; see
@@ -223,7 +231,6 @@ fn stage_rel_literals(entry: &ShapeEntry, stage: &mut LitStage) {
     while stage.rel_bytes.len() < n {
         stage.rel_bytes.push(Vec::new());
     }
-    stage.rel_fp.clear();
     for rel in 0..n {
         let mut buf = std::mem::take(&mut stage.rel_bytes[rel]);
         buf.clear();
@@ -233,8 +240,25 @@ fn stage_rel_literals(entry: &ShapeEntry, stage: &mut LitStage) {
             let (s, e) = stage.spans[prop.other_rel];
             buf.extend_from_slice(&stage.full[s as usize..e as usize]);
         }
-        stage.rel_fp.push(litcache::fnv1a(&buf));
         stage.rel_bytes[rel] = buf;
+    }
+    // Fingerprint four relations per pass: FNV is a serial multiply chain
+    // per stream, but independent streams overlap in the core
+    // ([`crate::simd::hash::fnv1a_x4`] matches `litcache::fnv1a` lane for
+    // lane).
+    stage.rel_fp.clear();
+    let mut rel = 0;
+    while rel + 4 <= n {
+        stage.rel_fp.extend_from_slice(&crate::simd::hash::fnv1a_x4(
+            &stage.rel_bytes[rel],
+            &stage.rel_bytes[rel + 1],
+            &stage.rel_bytes[rel + 2],
+            &stage.rel_bytes[rel + 3],
+        ));
+        rel += 4;
+    }
+    for r in rel..n {
+        stage.rel_fp.push(litcache::fnv1a(&stage.rel_bytes[r]));
     }
 }
 
@@ -343,15 +367,113 @@ fn compile_slots(pred: &Predicate, lookup: &mut impl FnMut(&str) -> Option<u32>)
     }
 }
 
+/// Locator for a conditioned set that lives in the (immutable) statistics
+/// snapshot rather than in session memory: the resolve memos return these
+/// for hits whose answer *is* one of the stats-owned group sets, so the
+/// hot path borrows the set in place instead of copying it through the
+/// arena. Indices are only ever dereferenced against the same snapshot
+/// that produced them (session caches flush on attach).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CondRef {
+    /// `filter_at(slot).histogram.groups[group]` (range predicates).
+    HistGroup { slot: u32, group: u32 },
+    /// `filter_at(slot).mcv.groups[group]` (single-group equality).
+    McvGroup { slot: u32, group: u32 },
+    /// `filter_at(slot).mcv.default_set` (non-MCV equality).
+    McvDefault { slot: u32 },
+}
+
+impl CondRef {
+    /// The stats-owned set this locator names.
+    fn deref(self, ts: &TableStats) -> &CdsSet {
+        match self {
+            CondRef::HistGroup { slot, group } => {
+                let hist = ts
+                    .filter_at(slot)
+                    .histogram
+                    .as_ref()
+                    .expect("CondRef::HistGroup only built from a histogram hit");
+                &hist.groups[group as usize]
+            }
+            CondRef::McvGroup { slot, group } => &ts.filter_at(slot).mcv.groups[group as usize],
+            CondRef::McvDefault { slot } => &ts.filter_at(slot).mcv.default_set,
+        }
+    }
+}
+
+/// How one predicate (sub)tree resolved: not at all, into the caller's
+/// `out` set, or as a borrow of a stats-owned set (with its locator, so
+/// the borrow can be stored index-wise in a [`RelCond`] and re-read at
+/// assembly). Borrowing is what keeps memoized warm-path resolution
+/// copy-free; every combining node materializes before accumulating.
+enum Resolved<'a> {
+    /// The predicate did not resolve (no usable statistics).
+    None,
+    /// The resolution was written into the caller's `out` set.
+    Owned,
+    /// The resolution is this stats-owned set; `out` was not touched.
+    Borrowed(&'a CdsSet, CondRef),
+}
+
 /// Conditioned-resolution output for one relation, reused across queries.
 #[derive(Debug, Default)]
 struct RelCond {
-    /// The conditioned CDS set (valid only when `has_cond`).
+    /// The conditioned CDS set (valid only when `has_cond` and
+    /// `cond_ref` is `None`).
     set: CdsSet,
+    /// When set, the conditioning is the stats-owned set this locator
+    /// names and `set` holds nothing meaningful.
+    cond_ref: Option<CondRef>,
     /// Whether any predicate resolved for this relation.
     has_cond: bool,
     /// Upper bound on the relation's filtered cardinality.
     card: f64,
+}
+
+impl RelCond {
+    /// The conditioned set, wherever it lives (only meaningful when
+    /// `has_cond`).
+    fn cond_set<'x>(&'x self, ts: &'x TableStats) -> &'x CdsSet {
+        match self.cond_ref {
+            Some(r) => r.deref(ts),
+            None => &self.set,
+        }
+    }
+}
+
+/// Word-level FNV mix step shared by the memo fingerprints.
+#[inline]
+fn fp_mix(h: u64, w: u64) -> u64 {
+    use crate::simd::hash::FNV_PRIME;
+    (h ^ w).wrapping_mul(FNV_PRIME)
+}
+
+/// Two-word fingerprint material for one literal, honoring the
+/// [`Value::normalized_int`] normalization (an integer and the float it
+/// normalizes from yield the same words, exactly like
+/// [`litcache::encode_literal`]'s byte encoding — the tags below mirror
+/// its). Strings fold their bytes through serial FNV first, so the hot
+/// numeric literals never touch a byte buffer.
+#[inline]
+fn value_fp_words(v: &Value) -> (u64, u64) {
+    match (v.normalized_int(), v) {
+        (Some(i), _) => (1, i as u64),
+        (None, Value::Null) => (0, 0),
+        (None, Value::Float(f)) => (2, f.to_bits()),
+        (None, Value::Str(s)) => (3, litcache::fnv1a(s.as_bytes())),
+        (None, Value::Int(_)) => unreachable!("integers always normalize"),
+    }
+}
+
+/// Fingerprint of a single literal (equality memo key material). Memo
+/// fingerprints are session-internal: collisions are verified by `Value`
+/// equality on every hit, so the hash only has to discriminate, never
+/// authenticate.
+#[inline]
+fn value_fp(v: &Value) -> u64 {
+    use crate::simd::hash::FNV_BASIS;
+    let (tag, payload) = value_fp_words(v);
+    fp_mix(fp_mix(FNV_BASIS, tag), payload)
 }
 
 /// Per-session memo of resolved MCV equality lookups, keyed by
@@ -364,10 +486,11 @@ struct RelCond {
 /// different statistics build.
 #[derive(Debug)]
 struct EqMemo {
-    /// `(table, slot) → literal → slab index`. The nested map keeps hit
-    /// lookups borrowing the caller's `Value` (no key clone on the hot
-    /// path).
-    map: HashMap<(Sym, u32), HashMap<Value, usize>>,
+    /// `(table, slot, literal fingerprint) → slab indices` (collision
+    /// bucket). Fingerprinting the literal keeps hit lookups to a single
+    /// map probe with no key clone; the stored literal is verified by
+    /// `==` on every hit.
+    map: FastMap<(Sym, u32, u64), Vec<usize>>,
     /// Entry slab; the clock hand sweeps it in index order.
     entries: Vec<EqMemoEntry>,
     /// Max memoized literals before the clock starts evicting.
@@ -382,8 +505,13 @@ struct EqMemo {
 /// One memoized literal with its second-chance bit.
 #[derive(Debug)]
 struct EqMemoEntry {
-    key: (Sym, u32),
+    key: (Sym, u32, u64),
     value: Value,
+    /// Which stored set answered (`Default`/`Group` hits are served as
+    /// borrows of the stats; only `Owned` envelopes live in `set`).
+    outcome: McvOutcome,
+    /// The memoized max-envelope (meaningful only when `outcome` is
+    /// [`McvOutcome::Owned`]).
     set: CdsSet,
     /// Set on every hit, cleared as the clock hand passes. Fresh entries
     /// start unreferenced — a literal earns its second chance with a
@@ -401,7 +529,7 @@ impl Default for EqMemo {
 impl EqMemo {
     fn with_capacity(capacity: usize) -> Self {
         EqMemo {
-            map: HashMap::new(),
+            map: FastMap::default(),
             entries: Vec::new(),
             capacity,
             hand: 0,
@@ -411,30 +539,44 @@ impl EqMemo {
         }
     }
 
-    fn lookup(&mut self, sym: Sym, slot: u32, v: &Value) -> Option<&CdsSet> {
-        match self.map.get(&(sym, slot)).and_then(|m| m.get(v)) {
-            Some(&i) => {
-                self.hits += 1;
-                self.entries[i].referenced = true;
-                Some(&self.entries[i].set)
-            }
-            None => None,
-        }
+    /// The memoized outcome for `v`, if present. The returned set is the
+    /// entry's stored envelope — meaningful only for an
+    /// [`McvOutcome::Owned`] outcome (callers of `Default`/`Group`
+    /// outcomes borrow the answer from the stats instead).
+    fn lookup(&mut self, sym: Sym, slot: u32, v: &Value) -> Option<(McvOutcome, &CdsSet)> {
+        let fp = value_fp(v);
+        let bucket = self.map.get(&(sym, slot, fp))?;
+        let i = bucket
+            .iter()
+            .copied()
+            .find(|&i| self.entries[i].value == *v)?;
+        self.hits += 1;
+        let e = &mut self.entries[i];
+        e.referenced = true;
+        Some((e.outcome, &self.entries[i].set))
     }
 
     /// Memoize a freshly resolved literal (only ever called on the miss
-    /// path, where the full lookup already ran). Beyond capacity the clock
-    /// evicts the first entry that went a full hand pass without a hit.
-    fn insert(&mut self, sym: Sym, slot: u32, v: &Value, set: &CdsSet) {
+    /// path, where the full lookup already ran). `set` is read only for
+    /// [`McvOutcome::Owned`]. Beyond capacity the clock evicts the first
+    /// entry that went a full hand pass without a hit.
+    fn insert(&mut self, sym: Sym, slot: u32, v: &Value, outcome: McvOutcome, set: &CdsSet) {
         self.misses += 1;
         if self.capacity == 0 {
             return;
         }
+        let stored = if outcome == McvOutcome::Owned {
+            set.clone()
+        } else {
+            CdsSet::default()
+        };
+        let key = (sym, slot, value_fp(v));
         let i = if self.entries.len() < self.capacity {
             self.entries.push(EqMemoEntry {
-                key: (sym, slot),
+                key,
                 value: v.clone(),
-                set: set.clone(),
+                outcome,
+                set: stored,
                 referenced: false,
             });
             self.entries.len() - 1
@@ -451,31 +593,317 @@ impl EqMemo {
                     break idx;
                 }
             };
-            let old = &self.entries[victim];
-            if let Some(bucket) = self.map.get_mut(&old.key) {
-                bucket.remove(&old.value);
+            let old_key = self.entries[victim].key;
+            if let Some(bucket) = self.map.get_mut(&old_key) {
+                bucket.retain(|&j| j != victim);
                 if bucket.is_empty() {
-                    self.map.remove(&old.key);
+                    self.map.remove(&old_key);
                 }
             }
             let e = &mut self.entries[victim];
-            e.key = (sym, slot);
+            e.key = key;
             e.value = v.clone();
-            e.set = set.clone();
+            e.outcome = outcome;
+            e.set = stored;
             e.referenced = false;
             self.evictions += 1;
             victim
         };
-        self.map
-            .entry((sym, slot))
-            .or_default()
-            .insert(v.clone(), i);
+        self.map.entry(key).or_default().push(i);
     }
 
     fn clear(&mut self) {
         self.map.clear();
         self.entries.clear();
         self.hand = 0;
+    }
+}
+
+/// Session memo for range-lookup outcomes: `(table, slot, [lo, hi]) →`
+/// the histogram group that covered the range (or the no-cover outcome).
+/// Keyed by a literal fingerprint with the stored literals verified by
+/// `==` on every hit (the literal-cache pattern, which avoids cloning the
+/// probe `Value`s into a map key), with the equality memo's slab +
+/// second-chance clock and per-build flush. Zero-set outcomes (empty or
+/// inverted selections) are decided by plain `Value` comparisons *before*
+/// the lookup and are not memoized.
+#[derive(Debug)]
+struct RangeMemo {
+    /// `(table, slot, fingerprint) → slab indices` (collision bucket).
+    map: FastMap<(Sym, u32, u64), Vec<usize>>,
+    /// Entry slab; the clock hand sweeps it in index order.
+    entries: Vec<RangeMemoEntry>,
+    capacity: usize,
+    hand: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// One memoized range outcome with its second-chance bit.
+#[derive(Debug)]
+struct RangeMemoEntry {
+    key: (Sym, u32, u64),
+    lo: Value,
+    hi: Value,
+    /// Covering group id into the histogram's shared group sets, `None`
+    /// when no level covered the range (fall back to the unconditioned
+    /// CDS — itself a memoizable outcome).
+    group: Option<u32>,
+    referenced: bool,
+}
+
+impl Default for RangeMemo {
+    fn default() -> Self {
+        RangeMemo::with_capacity(MAX_RANGE_MEMO_VALUES)
+    }
+}
+
+impl RangeMemo {
+    fn with_capacity(capacity: usize) -> Self {
+        RangeMemo {
+            map: FastMap::default(),
+            entries: Vec::new(),
+            capacity,
+            hand: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Word-level FNV fingerprint of the `[lo, hi]` pair over the same
+    /// normalized tag/payload words as [`value_fp`], so `Value`-equal
+    /// probes — e.g. an integer and the float it normalizes from —
+    /// fingerprint equally without staging any bytes.
+    fn fingerprint(&self, lo: &Value, hi: &Value) -> u64 {
+        use crate::simd::hash::FNV_BASIS;
+        let (tl, pl) = value_fp_words(lo);
+        let (th, ph) = value_fp_words(hi);
+        fp_mix(fp_mix(fp_mix(fp_mix(FNV_BASIS, tl), pl), th), ph)
+    }
+
+    /// The memoized outcome for `[lo, hi]`, if present (`Some(None)` is a
+    /// memoized no-cover). Sound because `Value`-equal ranges resolve
+    /// identically: the lookup is pure `Value` comparisons.
+    fn lookup(&mut self, sym: Sym, slot: u32, lo: &Value, hi: &Value) -> Option<Option<u32>> {
+        let fp = self.fingerprint(lo, hi);
+        let bucket = self.map.get(&(sym, slot, fp))?;
+        for &i in bucket {
+            let e = &self.entries[i];
+            if e.lo == *lo && e.hi == *hi {
+                self.hits += 1;
+                let e = &mut self.entries[i];
+                e.referenced = true;
+                return Some(e.group);
+            }
+        }
+        None
+    }
+
+    /// Memoize a freshly computed outcome (miss path only).
+    fn insert(&mut self, sym: Sym, slot: u32, lo: &Value, hi: &Value, group: Option<u32>) {
+        self.misses += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        let fp = self.fingerprint(lo, hi);
+        let key = (sym, slot, fp);
+        let i = if self.entries.len() < self.capacity {
+            self.entries.push(RangeMemoEntry {
+                key,
+                lo: lo.clone(),
+                hi: hi.clone(),
+                group,
+                referenced: false,
+            });
+            self.entries.len() - 1
+        } else {
+            // Second-chance sweep (see [`EqMemo::insert`]).
+            let victim = loop {
+                let idx = self.hand;
+                self.hand = (self.hand + 1) % self.entries.len();
+                let e = &mut self.entries[idx];
+                if e.referenced {
+                    e.referenced = false;
+                } else {
+                    break idx;
+                }
+            };
+            let old_key = self.entries[victim].key;
+            if let Some(bucket) = self.map.get_mut(&old_key) {
+                bucket.retain(|&j| j != victim);
+                if bucket.is_empty() {
+                    self.map.remove(&old_key);
+                }
+            }
+            let e = &mut self.entries[victim];
+            e.key = key;
+            e.lo = lo.clone();
+            e.hi = hi.clone();
+            e.group = group;
+            e.referenced = false;
+            self.evictions += 1;
+            victim
+        };
+        self.map.entry(key).or_default().push(i);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.hand = 0;
+    }
+}
+
+/// Session memo for LIKE resolutions: `(table, slot, pattern) →` the
+/// resolved conditioned set (or the no-gram outcome). Same fingerprint +
+/// verify keying, slab, and clock as [`RangeMemo`]; a hit copies the
+/// memoized set through the arena, skipping gram extraction, the Bloom
+/// probes, and the min-fold entirely.
+#[derive(Debug)]
+struct LikeMemo {
+    map: FastMap<(Sym, u32, u64), Vec<usize>>,
+    entries: Vec<LikeMemoEntry>,
+    capacity: usize,
+    hand: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// One memoized LIKE resolution with its second-chance bit.
+#[derive(Debug)]
+struct LikeMemoEntry {
+    key: (Sym, u32, u64),
+    pattern: String,
+    /// Resolved set; empty (and ignored) when `matched` is false.
+    set: CdsSet,
+    /// Whether the pattern yielded at least one full gram.
+    matched: bool,
+    referenced: bool,
+}
+
+impl Default for LikeMemo {
+    fn default() -> Self {
+        LikeMemo::with_capacity(MAX_LIKE_MEMO_VALUES)
+    }
+}
+
+impl LikeMemo {
+    fn with_capacity(capacity: usize) -> Self {
+        LikeMemo {
+            map: FastMap::default(),
+            entries: Vec::new(),
+            capacity,
+            hand: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The memoized resolution for `pattern`: `(matched, set)`, the set
+    /// meaningful only when matched.
+    fn lookup(&mut self, sym: Sym, slot: u32, pattern: &str) -> Option<(bool, &CdsSet)> {
+        let fp = litcache::fnv1a(pattern.as_bytes());
+        let bucket = self.map.get(&(sym, slot, fp))?;
+        for &i in bucket {
+            if self.entries[i].pattern == pattern {
+                self.hits += 1;
+                self.entries[i].referenced = true;
+                let e = &self.entries[i];
+                return Some((e.matched, &e.set));
+            }
+        }
+        None
+    }
+
+    /// Memoize a freshly resolved pattern (miss path only); `set` is
+    /// `None` for unmatched patterns.
+    fn insert(&mut self, sym: Sym, slot: u32, pattern: &str, set: Option<&CdsSet>) {
+        self.misses += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        let fp = litcache::fnv1a(pattern.as_bytes());
+        let key = (sym, slot, fp);
+        let i = if self.entries.len() < self.capacity {
+            self.entries.push(LikeMemoEntry {
+                key,
+                pattern: pattern.to_owned(),
+                set: set.cloned().unwrap_or_default(),
+                matched: set.is_some(),
+                referenced: false,
+            });
+            self.entries.len() - 1
+        } else {
+            let victim = loop {
+                let idx = self.hand;
+                self.hand = (self.hand + 1) % self.entries.len();
+                let e = &mut self.entries[idx];
+                if e.referenced {
+                    e.referenced = false;
+                } else {
+                    break idx;
+                }
+            };
+            let old_key = self.entries[victim].key;
+            if let Some(bucket) = self.map.get_mut(&old_key) {
+                bucket.retain(|&j| j != victim);
+                if bucket.is_empty() {
+                    self.map.remove(&old_key);
+                }
+            }
+            let e = &mut self.entries[victim];
+            e.key = key;
+            e.pattern.clear();
+            e.pattern.push_str(pattern);
+            e.set = set.cloned().unwrap_or_default();
+            e.matched = set.is_some();
+            e.referenced = false;
+            self.evictions += 1;
+            victim
+        };
+        self.map.entry(key).or_default().push(i);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.hand = 0;
+    }
+}
+
+/// The session's three resolve-phase memos (equality, range, LIKE),
+/// threaded through the resolver as one bundle and flushed together on
+/// [`BoundSession::attach`].
+#[derive(Debug, Default)]
+struct Memos {
+    eq: EqMemo,
+    range: RangeMemo,
+    like: LikeMemo,
+}
+
+impl Memos {
+    /// All three memos capped at `capacity` (0 disables memoization).
+    fn with_capacity(capacity: usize) -> Self {
+        Memos::with_capacities(capacity, capacity, capacity)
+    }
+
+    /// Per-kind capacities (0 disables that memo).
+    fn with_capacities(eq: usize, range: usize, like: usize) -> Self {
+        Memos {
+            eq: EqMemo::with_capacity(eq),
+            range: RangeMemo::with_capacity(range),
+            like: LikeMemo::with_capacity(like),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.eq.clear();
+        self.range.clear();
+        self.like.clear();
     }
 }
 
@@ -498,6 +926,18 @@ pub struct SessionStats {
     pub eq_memo_misses: u64,
     /// MCV memo entries recycled by its clock.
     pub eq_memo_evictions: u64,
+    /// Range memo hits (bucket walk skipped entirely).
+    pub range_memo_hits: u64,
+    /// Range lookups that walked the histogram hierarchy.
+    pub range_memo_misses: u64,
+    /// Range memo entries recycled by its clock.
+    pub range_memo_evictions: u64,
+    /// LIKE memo hits (gram extraction and min-fold skipped).
+    pub like_memo_hits: u64,
+    /// LIKE patterns that had to be resolved.
+    pub like_memo_misses: u64,
+    /// LIKE memo entries recycled by its clock.
+    pub like_memo_evictions: u64,
     /// Whole-query literal repeats served straight from the bound cache
     /// (no resolution, no assembly, no kernel).
     pub lit_bound_hits: u64,
@@ -523,6 +963,12 @@ impl SessionStats {
         self.eq_memo_hits += other.eq_memo_hits;
         self.eq_memo_misses += other.eq_memo_misses;
         self.eq_memo_evictions += other.eq_memo_evictions;
+        self.range_memo_hits += other.range_memo_hits;
+        self.range_memo_misses += other.range_memo_misses;
+        self.range_memo_evictions += other.range_memo_evictions;
+        self.like_memo_hits += other.like_memo_hits;
+        self.like_memo_misses += other.like_memo_misses;
+        self.like_memo_evictions += other.like_memo_evictions;
         self.lit_bound_hits += other.lit_bound_hits;
         self.lit_bound_misses += other.lit_bound_misses;
         self.lit_cond_hits += other.lit_cond_hits;
@@ -566,14 +1012,14 @@ pub struct BoundSession {
     /// Snapshot the cached state was compiled against (`None` = fresh).
     snapshot: Option<Arc<StatsSnapshot>>,
     shapes: Vec<ShapeEntry>,
-    index: HashMap<u64, Vec<usize>>,
+    index: FastMap<u64, Vec<usize>>,
     /// Max cached shapes before LRU eviction.
     shape_capacity: usize,
     /// Monotone access counter driving LRU ordering.
     tick: u64,
     /// Next [`ShapeEntry::uid`] (never reused within the session).
     next_shape_uid: u64,
-    eq_memo: EqMemo,
+    memos: Memos,
     lit_cache: LitCache,
     lit_stage: LitStage,
     asm_stage: AssembleStage,
@@ -612,11 +1058,11 @@ impl BoundSession {
         BoundSession {
             snapshot: None,
             shapes: Vec::new(),
-            index: HashMap::new(),
+            index: FastMap::default(),
             shape_capacity: capacity.max(1),
             tick: 0,
             next_shape_uid: 0,
-            eq_memo: EqMemo::default(),
+            memos: Memos::default(),
             lit_cache: LitCache::with_capacity(MAX_LIT_ENTRIES),
             lit_stage: LitStage::default(),
             asm_stage: AssembleStage::default(),
@@ -650,9 +1096,15 @@ impl BoundSession {
             shape_hits: self.shape_hits,
             shape_misses: self.shape_misses,
             shape_evictions: self.shape_evictions,
-            eq_memo_hits: self.eq_memo.hits,
-            eq_memo_misses: self.eq_memo.misses,
-            eq_memo_evictions: self.eq_memo.evictions,
+            eq_memo_hits: self.memos.eq.hits,
+            eq_memo_misses: self.memos.eq.misses,
+            eq_memo_evictions: self.memos.eq.evictions,
+            range_memo_hits: self.memos.range.hits,
+            range_memo_misses: self.memos.range.misses,
+            range_memo_evictions: self.memos.range.evictions,
+            like_memo_hits: self.memos.like.hits,
+            like_memo_misses: self.memos.like.misses,
+            like_memo_evictions: self.memos.like.evictions,
             lit_bound_hits: self.lit_cache.bound_hits,
             lit_bound_misses: self.lit_cache.bound_misses,
             lit_cond_hits: self.lit_cache.cond_hits,
@@ -662,11 +1114,21 @@ impl BoundSession {
         }
     }
 
-    /// Override the hot-literal memo capacity (default 4096; 0 disables
-    /// memoization). Existing memoized entries are kept only up to the new
-    /// capacity's eviction policy; intended for tests and tuning.
+    /// Override the resolve-phase memo capacities — equality, range, and
+    /// LIKE alike (0 disables memoization; defaults 4096/4096/1024).
+    /// Existing memoized entries are discarded; intended for tests and
+    /// tuning.
     pub fn with_memo_capacity(mut self, capacity: usize) -> Self {
-        self.eq_memo = EqMemo::with_capacity(capacity);
+        self.memos = Memos::with_capacity(capacity);
+        self
+    }
+
+    /// [`with_memo_capacity`](Self::with_memo_capacity) with per-kind
+    /// capacities, so individual memos can be switched off — e.g. a
+    /// baseline benchmark keeping the equality memo while disabling the
+    /// range and LIKE memos. Existing memoized entries are discarded.
+    pub fn with_memo_capacities(mut self, eq: usize, range: usize, like: usize) -> Self {
+        self.memos = Memos::with_capacities(eq, range, like);
         self
     }
 
@@ -694,7 +1156,7 @@ impl BoundSession {
     fn attach(&mut self, snap: &Arc<StatsSnapshot>) {
         self.shapes.clear();
         self.index.clear();
-        self.eq_memo.clear();
+        self.memos.clear();
         self.lit_cache.clear();
         self.snapshot = Some(snap.clone());
     }
@@ -961,7 +1423,7 @@ impl StatsSnapshot {
         let t_resolve = timing.then(Instant::now);
         let BoundSession {
             shapes,
-            eq_memo,
+            memos,
             lit_cache,
             lit_stage,
             asm_stage,
@@ -995,7 +1457,7 @@ impl StatsSnapshot {
             query,
             entry,
             cds,
-            eq_memo,
+            memos,
             lit_enabled.then_some((&mut *lit_cache, &*lit_stage)),
             cond,
         )?;
@@ -1099,7 +1561,7 @@ impl StatsSnapshot {
         }
         let entry = self.build_shape_entry(query, query.shape_hash(), 0, 0);
         let mut cds = CdsScratch::default();
-        let mut memo = EqMemo::default();
+        let mut memo = Memos::default();
         let mut cond = Vec::new();
         self.resolve_relations(query, &entry, &mut cds, &mut memo, None, &mut cond)?;
         let n = query.num_relations();
@@ -1237,7 +1699,7 @@ impl StatsSnapshot {
         query: &Query,
         entry: &ShapeEntry,
         cds: &mut CdsScratch,
-        memo: &mut EqMemo,
+        memo: &mut Memos,
         mut lit: Option<(&mut LitCache, &LitStage)>,
         cond: &mut Vec<RelCond>,
     ) -> Result<(), EstimateError> {
@@ -1263,6 +1725,7 @@ impl StatsSnapshot {
                     {
                         let rc = &mut cond[rel];
                         rc.has_cond = has_cond;
+                        rc.cond_ref = None;
                         rc.card = card;
                         if has_cond {
                             cds.copy_set(set, &mut rc.set);
@@ -1276,6 +1739,11 @@ impl StatsSnapshot {
 
             let rc = &mut cond[rel];
             rc.has_cond = false;
+            // Clear the locator from whatever query used this slot last:
+            // `cond_set` must never deref a stale index against another
+            // relation's statistics (even the unconditioned insert path
+            // below reads it).
+            rc.cond_ref = None;
 
             // 1. Condition on the relation's own predicates.
             if let (Some(p), Some(slots)) =
@@ -1294,8 +1762,11 @@ impl StatsSnapshot {
             }
 
             rc.card = ts.row_count as f64;
-            if rc.has_cond && !rc.set.is_empty() {
-                rc.card = rc.set.cardinality().min(rc.card);
+            if rc.has_cond {
+                let s = rc.cond_set(ts);
+                if !s.is_empty() {
+                    rc.card = s.cardinality().min(rc.card);
+                }
             }
 
             if let Some((cache, stage)) = lit.as_mut() {
@@ -1307,7 +1778,7 @@ impl StatsSnapshot {
                         rel as u32,
                         stage.rel_fp[rel],
                         bytes,
-                        &rc.set,
+                        rc.cond_set(ts),
                         rc.has_cond,
                         rc.card,
                         cds,
@@ -1327,11 +1798,40 @@ fn apply_compiled(
     slots: &PredSlots,
     pred: &Predicate,
     cds: &mut CdsScratch,
-    memo: &mut EqMemo,
+    memo: &mut Memos,
     rc: &mut RelCond,
 ) {
+    if !rc.has_cond {
+        // First resolution writes the slot directly: every leaf resolver
+        // overwrites `out` before reading it, so no staging set (and no
+        // pool round-trip) is needed, and `rc.set`'s buffers are reused
+        // in place by the arena copies. A borrowed resolution stores only
+        // its locator — the copy-free steady state. On failure the slot
+        // may hold stale entries — `has_cond` stays false, which gates
+        // every read.
+        match resolve_slots(
+            &|s| ts.filter_at(s),
+            Some(ts.table_sym),
+            slots,
+            pred,
+            cds,
+            memo,
+            &mut rc.set,
+        ) {
+            Resolved::None => {}
+            Resolved::Owned => {
+                rc.cond_ref = None;
+                rc.has_cond = true;
+            }
+            Resolved::Borrowed(_, r) => {
+                rc.cond_ref = Some(r);
+                rc.has_cond = true;
+            }
+        }
+        return;
+    }
     let mut tmp = cds.take_set();
-    if resolve_slots(
+    let r = resolve_slots(
         &|s| ts.filter_at(s),
         Some(ts.table_sym),
         slots,
@@ -1339,42 +1839,95 @@ fn apply_compiled(
         cds,
         memo,
         &mut tmp,
-    ) {
-        if rc.has_cond {
-            rc.set.accumulate(&tmp, SetOp::Min, cds);
-            cds.put_set(tmp);
-        } else {
-            cds.clear_set(&mut rc.set);
-            std::mem::swap(&mut rc.set, &mut tmp);
-            cds.put_set(tmp);
-            rc.has_cond = true;
+    );
+    if !matches!(r, Resolved::None) {
+        // A second conditioning arrived: materialize a borrowed first
+        // result, then fold pointwise. The values are identical to the
+        // always-copy path — only the copies that never get combined are
+        // skipped.
+        if let Some(cr) = rc.cond_ref.take() {
+            cds.copy_set(cr.deref(ts), &mut rc.set);
         }
-    } else {
-        cds.put_set(tmp);
+        match r {
+            Resolved::Borrowed(set, _) => rc.set.accumulate(set, SetOp::Min, cds),
+            Resolved::Owned => rc.set.accumulate(&tmp, SetOp::Min, cds),
+            Resolved::None => unreachable!(),
+        }
     }
+    cds.put_set(tmp);
 }
 
-/// MCV equality lookup, memoized when `memo_key` names the table/slot the
-/// literal resolves under: hot literals copy the memoized set straight
-/// from the memo (no Bloom probe, no group max).
-fn memo_eq(
-    fs: &FilterColumnStats,
-    memo_key: Option<(Sym, u32)>,
+/// MCV equality lookup, memoized when `memo_sym` names the owning table:
+/// hot literals skip the Bloom/exact probe entirely, and `Default`/
+/// single-`Group` answers (the common case) are served as borrows of the
+/// stats-owned sets — no copy at all. Only multi-group max-envelopes are
+/// materialized (and memoized) as owned sets.
+fn memo_eq<'a>(
+    fs: &'a FilterColumnStats,
+    slot: u32,
+    memo_sym: Option<Sym>,
     v: &Value,
     scratch: &mut CdsScratch,
     memo: &mut EqMemo,
     out: &mut CdsSet,
-) {
-    let Some((sym, slot)) = memo_key else {
-        fs.mcv.lookup_eq_into(v, scratch, out);
-        return;
+) -> Resolved<'a> {
+    let mcv = &fs.mcv;
+    let serve = |o: McvOutcome| match o {
+        McvOutcome::Default => Resolved::Borrowed(&mcv.default_set, CondRef::McvDefault { slot }),
+        McvOutcome::Group(g) => Resolved::Borrowed(
+            &mcv.groups[g as usize],
+            CondRef::McvGroup { slot, group: g },
+        ),
+        McvOutcome::Owned => Resolved::Owned,
     };
-    if let Some(set) = memo.lookup(sym, slot, v) {
-        scratch.copy_set(set, out);
-        return;
+    let Some(sym) = memo_sym else {
+        return serve(mcv.lookup_eq_outcome(v, scratch, out));
+    };
+    if let Some((o, set)) = memo.lookup(sym, slot, v) {
+        if o == McvOutcome::Owned {
+            scratch.copy_set(set, out);
+        }
+        return serve(o);
     }
-    fs.mcv.lookup_eq_into(v, scratch, out);
-    memo.insert(sym, slot, v, out);
+    let o = mcv.lookup_eq_outcome(v, scratch, out);
+    memo.insert(sym, slot, v, o, out);
+    serve(o)
+}
+
+/// Histogram range lookup, memoized when `memo_sym` names the owning
+/// table: hot `[lo, hi]` pairs replay their covering group (or the
+/// no-cover outcome) without walking the hierarchy, and a covered range
+/// is always served as a borrow of the stats-owned group set — the range
+/// path never copies.
+fn memo_range<'a>(
+    hist: &'a HistogramStats,
+    slot: u32,
+    memo_sym: Option<Sym>,
+    lo: &Value,
+    hi: &Value,
+    memo: &mut RangeMemo,
+) -> Resolved<'a> {
+    let group = match memo_sym {
+        None => hist.lookup_range_group(lo, hi),
+        Some(sym) => match memo.lookup(sym, slot, lo, hi) {
+            Some(g) => g.map(|g| g as usize),
+            None => {
+                let g = hist.lookup_range_group(lo, hi);
+                memo.insert(sym, slot, lo, hi, g.map(|g| g as u32));
+                g
+            }
+        },
+    };
+    match group {
+        Some(g) => Resolved::Borrowed(
+            &hist.groups[g],
+            CondRef::HistGroup {
+                slot,
+                group: g as u32,
+            },
+        ),
+        None => Resolved::None,
+    }
 }
 
 /// **The** predicate resolver: one copy of the soundness-critical
@@ -1387,30 +1940,46 @@ fn memo_eq(
 /// dense index — no string lookups. Equality literals go through the memo
 /// when `memo_sym` identifies the owning table (`None` disables
 /// memoization for one-shot resolution).
+///
+/// A single leaf that resolves to a stats-owned group set returns it as a
+/// [`Resolved::Borrowed`] locator — zero copies. Only combining nodes
+/// (`In`/`And`/`Or` with more than one resolving child) materialize into
+/// `out`; on [`Resolved::Owned`], `out` holds the answer. The accumulated
+/// values are identical either way, so cross-tier bit-identity holds.
 fn resolve_slots<'a>(
     stats_at: &impl Fn(u32) -> &'a FilterColumnStats,
     memo_sym: Option<Sym>,
     slots: &PredSlots,
     pred: &Predicate,
     scratch: &mut CdsScratch,
-    memo: &mut EqMemo,
+    memo: &mut Memos,
     out: &mut CdsSet,
-) -> bool {
+) -> Resolved<'a> {
     match (pred, slots) {
         (Predicate::Eq(_, v), &PredSlots::Leaf(slot)) => {
-            let Some(slot) = slot else { return false };
-            let key = memo_sym.map(|sym| (sym, slot));
-            memo_eq(stats_at(slot), key, v, scratch, memo, out);
-            true
+            let Some(slot) = slot else {
+                return Resolved::None;
+            };
+            memo_eq(
+                stats_at(slot),
+                slot,
+                memo_sym,
+                v,
+                scratch,
+                &mut memo.eq,
+                out,
+            )
         }
         (Predicate::Cmp(_, op, v), &PredSlots::Leaf(slot)) => {
-            let Some(slot) = slot else { return false };
+            let Some(slot) = slot else {
+                return Resolved::None;
+            };
             let fs = stats_at(slot);
             let Some(hist) = fs.histogram.as_ref() else {
-                return false;
+                return Resolved::None;
             };
             let (Some(min), Some(max)) = (hist.min_value(), hist.max_value()) else {
-                return false;
+                return Resolved::None;
             };
             // Strict and non-strict comparisons resolve against the same
             // inclusive bucket ranges — over-coverage is sound — but a
@@ -1425,112 +1994,159 @@ fn resolve_slots<'a>(
             };
             if empty {
                 fs.mcv.zero_set_into(scratch, out);
-                return true;
+                return Resolved::Owned;
             }
             let (lo, hi) = match op {
                 CmpOp::Lt | CmpOp::Le => (min, if v < max { v } else { max }),
                 CmpOp::Gt | CmpOp::Ge => (if v > min { v } else { min }, max),
             };
-            match hist.lookup_range_ref(lo, hi) {
-                Some(set) => {
-                    scratch.copy_set(set, out);
-                    true
-                }
-                None => false,
-            }
+            memo_range(hist, slot, memo_sym, lo, hi, &mut memo.range)
         }
         (Predicate::Between(_, lo, hi), &PredSlots::Leaf(slot)) => {
-            let Some(slot) = slot else { return false };
+            let Some(slot) = slot else {
+                return Resolved::None;
+            };
             let fs = stats_at(slot);
             if hi < lo {
                 // Inverted range: provably empty selection.
                 fs.mcv.zero_set_into(scratch, out);
-                return true;
+                return Resolved::Owned;
             }
             let Some(hist) = fs.histogram.as_ref() else {
-                return false;
+                return Resolved::None;
             };
-            match hist.lookup_range_ref(lo, hi) {
-                Some(set) => {
-                    scratch.copy_set(set, out);
-                    true
-                }
-                None => false,
-            }
+            memo_range(hist, slot, memo_sym, lo, hi, &mut memo.range)
         }
         (Predicate::Like(_, pattern), &PredSlots::Leaf(slot)) => {
-            let Some(slot) = slot else { return false };
-            let Some(ng) = stats_at(slot).ngrams.as_ref() else {
-                return false;
+            let Some(slot) = slot else {
+                return Resolved::None;
             };
-            ng.lookup_like_into(pattern, scratch, out)
+            let Some(ng) = stats_at(slot).ngrams.as_ref() else {
+                return Resolved::None;
+            };
+            let Some(sym) = memo_sym else {
+                return if ng.lookup_like_into(pattern, scratch, out) {
+                    Resolved::Owned
+                } else {
+                    Resolved::None
+                };
+            };
+            if let Some((matched, set)) = memo.like.lookup(sym, slot, pattern) {
+                if matched {
+                    scratch.copy_set(set, out);
+                    return Resolved::Owned;
+                }
+                return Resolved::None;
+            }
+            let matched = ng.lookup_like_into(pattern, scratch, out);
+            memo.like
+                .insert(sym, slot, pattern, matched.then_some(&*out));
+            if matched {
+                Resolved::Owned
+            } else {
+                Resolved::None
+            }
         }
         (Predicate::In(_, values), &PredSlots::Leaf(slot)) => {
-            let Some(slot) = slot else { return false };
+            let Some(slot) = slot else {
+                return Resolved::None;
+            };
             if values.is_empty() {
-                return false;
+                return Resolved::None;
             }
             // Duplicate literals must not double-count through the sum:
             // `IN (x, x)` is `IN (x)`.
             let fs = stats_at(slot);
-            let key = memo_sym.map(|sym| (sym, slot));
             let mut tmp = scratch.take_set();
-            let mut any = false;
+            let mut state = Resolved::None;
             for (i, v) in values.iter().enumerate() {
                 if values[..i].contains(v) {
                     continue;
                 }
-                if !any {
-                    memo_eq(fs, key, v, scratch, memo, out);
-                    any = true;
-                } else {
-                    memo_eq(fs, key, v, scratch, memo, &mut tmp);
-                    out.accumulate(&tmp, SetOp::Sum, scratch);
+                if matches!(state, Resolved::None) {
+                    state = memo_eq(fs, slot, memo_sym, v, scratch, &mut memo.eq, out);
+                    continue;
+                }
+                // A second distinct literal: materialize a borrowed first
+                // answer, then accumulate into `out`.
+                if let Resolved::Borrowed(set, _) = state {
+                    scratch.copy_set(set, out);
+                    state = Resolved::Owned;
+                }
+                match memo_eq(fs, slot, memo_sym, v, scratch, &mut memo.eq, &mut tmp) {
+                    Resolved::Borrowed(set, _) => out.accumulate(set, SetOp::Sum, scratch),
+                    Resolved::Owned => out.accumulate(&tmp, SetOp::Sum, scratch),
+                    Resolved::None => unreachable!("memo_eq always resolves"),
                 }
             }
             scratch.put_set(tmp);
-            any
+            state
         }
         (Predicate::And(ps), PredSlots::Node(ss)) => {
             // Pointwise min over whichever conjuncts resolve (§3.3).
             let mut tmp = scratch.take_set();
-            let mut any = false;
+            let mut state = Resolved::None;
             for (p, s) in ps.iter().zip(ss) {
-                if !any {
-                    any = resolve_slots(stats_at, memo_sym, s, p, scratch, memo, out);
-                } else if resolve_slots(stats_at, memo_sym, s, p, scratch, memo, &mut tmp) {
-                    out.accumulate(&tmp, SetOp::Min, scratch);
+                if matches!(state, Resolved::None) {
+                    state = resolve_slots(stats_at, memo_sym, s, p, scratch, memo, out);
+                    continue;
+                }
+                let r = resolve_slots(stats_at, memo_sym, s, p, scratch, memo, &mut tmp);
+                if matches!(r, Resolved::None) {
+                    continue;
+                }
+                if let Resolved::Borrowed(set, _) = state {
+                    scratch.copy_set(set, out);
+                    state = Resolved::Owned;
+                }
+                match r {
+                    Resolved::Borrowed(set, _) => out.accumulate(set, SetOp::Min, scratch),
+                    Resolved::Owned => out.accumulate(&tmp, SetOp::Min, scratch),
+                    Resolved::None => unreachable!(),
                 }
             }
             scratch.put_set(tmp);
-            any
+            state
         }
         (Predicate::Or(ps), PredSlots::Node(ss)) => {
             // Every disjunct must resolve or the sum under-counts (§3.2).
             let mut tmp = scratch.take_set();
-            let mut any = false;
+            let mut state = Resolved::None;
             let mut ok = true;
             for (p, s) in ps.iter().zip(ss) {
-                if !any {
-                    if resolve_slots(stats_at, memo_sym, s, p, scratch, memo, out) {
-                        any = true;
-                    } else {
+                if matches!(state, Resolved::None) {
+                    state = resolve_slots(stats_at, memo_sym, s, p, scratch, memo, out);
+                    if matches!(state, Resolved::None) {
                         ok = false;
                         break;
                     }
-                } else if resolve_slots(stats_at, memo_sym, s, p, scratch, memo, &mut tmp) {
-                    out.accumulate(&tmp, SetOp::Sum, scratch);
-                } else {
+                    continue;
+                }
+                let r = resolve_slots(stats_at, memo_sym, s, p, scratch, memo, &mut tmp);
+                if matches!(r, Resolved::None) {
                     ok = false;
                     break;
                 }
+                if let Resolved::Borrowed(set, _) = state {
+                    scratch.copy_set(set, out);
+                    state = Resolved::Owned;
+                }
+                match r {
+                    Resolved::Borrowed(set, _) => out.accumulate(set, SetOp::Sum, scratch),
+                    Resolved::Owned => out.accumulate(&tmp, SetOp::Sum, scratch),
+                    Resolved::None => unreachable!(),
+                }
             }
             scratch.put_set(tmp);
-            ok && any
+            if ok {
+                state
+            } else {
+                Resolved::None
+            }
         }
         _ => {
             debug_assert!(false, "predicate/slot shape mismatch");
-            false
+            Resolved::None
         }
     }
 }
@@ -1570,7 +2186,7 @@ fn assemble_into(
             }
         }
         let conditioned = if rc.has_cond {
-            sym.and_then(|s| rc.set.get(s))
+            sym.and_then(|s| rc.cond_set(ts).get(s))
         } else {
             None
         };
@@ -1632,9 +2248,9 @@ where
         })
     });
     let mut scratch = CdsScratch::default();
-    let mut memo = EqMemo::default();
+    let mut memo = Memos::default();
     let mut out = CdsSet::default();
-    resolve_slots(
+    match resolve_slots(
         &|s| leaves[s as usize],
         None,
         &slots,
@@ -1642,8 +2258,14 @@ where
         &mut scratch,
         &mut memo,
         &mut out,
-    )
-    .then_some(out)
+    ) {
+        Resolved::None => None,
+        Resolved::Owned => Some(out),
+        Resolved::Borrowed(set, _) => {
+            scratch.copy_set(set, &mut out);
+            Some(out)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -2279,14 +2901,14 @@ mod tests {
         let v = Value::Int;
         let mut memo = EqMemo::with_capacity(2);
         assert!(memo.lookup(t, 0, &v(1)).is_none());
-        memo.insert(t, 0, &v(1), &set);
+        memo.insert(t, 0, &v(1), McvOutcome::Owned, &set);
         assert!(memo.lookup(t, 0, &v(2)).is_none());
-        memo.insert(t, 0, &v(2), &set);
+        memo.insert(t, 0, &v(2), McvOutcome::Owned, &set);
         // Literal 1 turns hot (earns its second chance); 2 stays cold.
         assert!(memo.lookup(t, 0, &v(1)).is_some());
         // A third literal arrives at capacity: the clock evicts cold 2.
         assert!(memo.lookup(t, 0, &v(3)).is_none());
-        memo.insert(t, 0, &v(3), &set);
+        memo.insert(t, 0, &v(3), McvOutcome::Owned, &set);
         assert_eq!(memo.evictions, 1);
         assert!(memo.lookup(t, 0, &v(1)).is_some(), "hot literal survives");
         assert!(memo.lookup(t, 0, &v(3)).is_some(), "late literal entered");

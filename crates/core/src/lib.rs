@@ -69,6 +69,7 @@ mod litcache;
 pub mod parallel;
 pub mod partial;
 pub mod piecewise;
+pub mod simd;
 pub mod stats;
 pub mod symbol;
 
@@ -83,5 +84,6 @@ pub use estimator::{BoundSession, EstimateError, PhaseBreakdown, SafeBound, Sess
 pub use incremental::IncrementalBuilder;
 pub use partial::{partition_ranges, FilterUnitPartial, JoinKey, PartialTableStats, TableScanPlan};
 pub use piecewise::{PiecewiseConstant, PiecewiseLinear};
+pub use simd::{tier as simd_tier, SimdTier};
 pub use stats::{SafeBoundBuilder, SafeBoundStats, StatsSnapshot, TableStats};
 pub use symbol::{Sym, SymbolTable};

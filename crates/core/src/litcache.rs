@@ -32,22 +32,21 @@
 //! session attaches to a different statistics build.
 
 use crate::conditioning::{CdsScratch, CdsSet};
+use crate::simd::hash::FastMap;
 use safebound_query::LiteralRef;
 use safebound_storage::Value;
-use std::collections::HashMap;
 
 /// The `rel` component of a whole-query bound entry's key (relation
 /// indices are always `< u32::MAX`).
 pub(crate) const REL_BOUND: u32 = u32::MAX;
 
-/// FNV-1a over a byte slice (the fingerprint function).
+/// FNV-1a over a byte slice (the fingerprint function). One canonical
+/// implementation lives in [`crate::simd::hash`]; batch callers hashing
+/// several independent streams use its multi-stream variants
+/// ([`crate::simd::hash::fnv1a_x4`]) for instruction-level parallelism —
+/// all produce identical digests.
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    crate::simd::hash::fnv1a(bytes)
 }
 
 /// Append one literal's stable encoding: a type tag, then a fixed-width or
@@ -112,7 +111,7 @@ struct LitEntry {
 #[derive(Debug)]
 pub(crate) struct LitCache {
     /// Key → slab index.
-    map: HashMap<(u64, u32, u64), usize>,
+    map: FastMap<(u64, u32, u64), usize>,
     /// Entry slab; the clock hand sweeps it in index order.
     entries: Vec<LitEntry>,
     /// Max entries (bound + cond combined) before the clock evicts.
@@ -135,7 +134,7 @@ impl LitCache {
             // is unaffected — `len` never exceeds `capacity`, so once the
             // map has grown to hold it, at-capacity churn (remove +
             // insert) never triggers another growth.
-            map: HashMap::new(),
+            map: FastMap::default(),
             entries: Vec::new(),
             capacity,
             hand: 0,

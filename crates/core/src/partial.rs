@@ -759,10 +759,7 @@ pub(crate) fn finalize_histogram(
             bucket_groups: set_ids.into_iter().map(|s| assignment[s]).collect(),
         })
         .collect();
-    Some(HistogramStats {
-        levels,
-        groups: gsets,
-    })
+    Some(HistogramStats::new(levels, gsets))
 }
 
 /// Finalize LIKE-predicate n-gram statistics from a unit's value groups:

@@ -42,6 +42,8 @@
 //! `O(K·m·log K)`) are retained in [`reference`] as the oracle for
 //! property tests and as the baseline for the `inference` benchmark.
 
+use crate::simd::reduce::{event_min_prod, EVENT_LANES};
+
 /// Tolerance for merging breakpoints and comparing ranks.
 pub const EPS: f64 = 1e-9;
 
@@ -206,6 +208,14 @@ impl PiecewiseConstant {
 /// Fan-in above which the k-way sweeps switch from a linear min-scan over
 /// cursors to a binary heap of `(next_edge, input)` pairs.
 pub const HEAP_FAN_IN: usize = 8;
+
+/// Fan-in at or below which the linear sweep keeps its plain sequential
+/// per-event reduction instead of the 8-wide lane kernel: filling (and
+/// reducing) mostly-padding lanes costs more than it saves until the
+/// fan-in approaches the lane count. The cutover depends only on the
+/// fan-in — never on the dispatch tier — so sweep output stays
+/// bit-identical across tiers.
+const SEQ_FAN_IN: usize = 4;
 
 /// Reusable cursor/heap storage for the k-way piecewise-constant sweeps.
 /// Clearing a `Vec` keeps its capacity, so a scratch reused across calls
@@ -417,21 +427,51 @@ fn sweep_impl<const BOUNDED: bool>(
                 heap_push(heap, (next_edge, i));
             }
         }
-    } else {
-        // Linear path: O(K·m) min-scan, product recomputed per event (no
-        // incremental drift).
+    } else if k <= SEQ_FAN_IN {
+        // Narrow linear path: O(K·m) sequential min-scan, product
+        // recomputed per event (no incremental drift). At fan-in ≤ 4 the
+        // lane kernel's fixed 8-wide array fill costs more than the
+        // reduction it saves, so every tier runs this plain loop. The
+        // path choice depends only on `k`, never on the dispatch tier,
+        // so results stay bit-identical across tiers.
         loop {
             let mut edge = f64::INFINITY;
+            let mut value = 1.0f64;
             for (f, &c) in fns.iter().zip(cursors.iter()) {
-                let e = f[c].0;
+                let (e, v) = f[c];
                 if e < edge {
                     edge = e;
                 }
+                value *= v;
             }
-            let mut value = 1.0f64;
-            for (f, &c) in fns.iter().zip(cursors.iter()) {
-                value *= f[c].1;
+            if edge >= support - EPS {
+                emit!(support, value);
+                return true;
             }
+            emit!(edge, value);
+            for (f, c) in fns.iter().zip(cursors.iter_mut()) {
+                while *c + 1 < f.len() && f[*c].0 <= edge + EPS {
+                    *c += 1;
+                }
+            }
+        }
+    } else {
+        // Wide linear path (5..=8 inputs): the per-event reduction runs
+        // through the fixed-shape lane kernel. Unused lanes carry the
+        // exact identities (+∞ for min, 1.0 for product), and every
+        // dispatch tier replays the same reduction tree, so results are
+        // bit-identical across tiers (see `simd::reduce`).
+        let tier = crate::simd::tier();
+        debug_assert!(k <= EVENT_LANES);
+        loop {
+            let mut edges = [f64::INFINITY; EVENT_LANES];
+            let mut values = [1.0f64; EVENT_LANES];
+            for (l, (f, &c)) in fns.iter().zip(cursors.iter()).enumerate() {
+                let (e, v) = f[c];
+                edges[l] = e;
+                values[l] = v;
+            }
+            let (edge, value) = event_min_prod(&edges, &values, tier);
             if edge >= support - EPS {
                 emit!(support, value);
                 return true;

@@ -1,0 +1,243 @@
+//! Multi-stream FNV-1a fingerprinting.
+//!
+//! FNV-1a is a strictly serial recurrence per stream (`h = (h ^ byte) *
+//! PRIME` — each step depends on the previous multiply), so a single
+//! stream cannot be vectorized without changing the hash function.
+//! Portable 64-bit SIMD multiplies also don't exist below AVX-512DQ
+//! (`_mm256_mullo_epi64` requires it; SSE2/AVX2 only offer 32×32→64).
+//! What *can* be exploited is instruction-level parallelism across
+//! independent streams: the kernels below keep 2 or 4 accumulators live in
+//! one pass so the out-of-order core overlaps the multiply chains. The
+//! per-stream math is byte-for-byte identical to the serial
+//! implementations in `litcache.rs`/`bloom.rs`, so no tier dispatch is
+//! needed — the result is bit-identical by construction on every host.
+
+/// 64-bit FNV offset basis (matches `litcache::fnv1a`).
+pub const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV prime (matches `litcache::fnv1a`).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Seed mixing used by the Bloom filter's seeded FNV variant.
+#[inline]
+fn seeded_basis(seed: u64) -> u64 {
+    FNV_BASIS ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Unseeded FNV-1a over one stream (reference mirror for the multi-stream
+/// kernels; identical to `litcache::fnv1a`).
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_BASIS;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Seeded FNV-1a over one stream (reference mirror; identical to
+/// `bloom::fnv1a`).
+#[inline]
+pub fn fnv1a_seeded(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = seeded_basis(seed);
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Two seeded FNV-1a hashes of the *same* byte stream in a single pass,
+/// with both accumulators live so the multiply chains interleave. Used by
+/// the Bloom filter to derive its double-hashing pair without reading the
+/// key twice.
+#[inline]
+pub fn fnv1a_pair(bytes: &[u8], seed_a: u64, seed_b: u64) -> (u64, u64) {
+    let mut ha = seeded_basis(seed_a);
+    let mut hb = seeded_basis(seed_b);
+    for &b in bytes {
+        let x = u64::from(b);
+        ha ^= x;
+        hb ^= x;
+        ha = ha.wrapping_mul(FNV_PRIME);
+        hb = hb.wrapping_mul(FNV_PRIME);
+    }
+    (ha, hb)
+}
+
+/// Unseeded FNV-1a of four independent byte streams, interleaved over the
+/// common prefix (all four accumulators advance per iteration) with the
+/// per-stream tails finished serially. Each lane equals `fnv1a` of that
+/// stream exactly.
+#[inline]
+pub fn fnv1a_x4(a: &[u8], b: &[u8], c: &[u8], d: &[u8]) -> [u64; 4] {
+    let mut h = [FNV_BASIS; 4];
+    let common = a.len().min(b.len()).min(c.len()).min(d.len());
+    for i in 0..common {
+        h[0] = (h[0] ^ u64::from(a[i])).wrapping_mul(FNV_PRIME);
+        h[1] = (h[1] ^ u64::from(b[i])).wrapping_mul(FNV_PRIME);
+        h[2] = (h[2] ^ u64::from(c[i])).wrapping_mul(FNV_PRIME);
+        h[3] = (h[3] ^ u64::from(d[i])).wrapping_mul(FNV_PRIME);
+    }
+    for (lane, s) in [a, b, c, d].into_iter().enumerate() {
+        for &byte in &s[common..] {
+            h[lane] = (h[lane] ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// [`std::hash::BuildHasher`] for the session-local hot maps (memo slabs,
+/// shape index, literal cache): a word-at-a-time FNV-style mix instead of
+/// the standard library's SipHash.
+///
+/// SipHash's DoS resistance costs ~40–60 ns per small-key lookup, which
+/// dominates the memo hit path where the *useful* work is a slab read and
+/// an arena copy. The maps this hasher backs are safe with a weak hash:
+/// their keys are internal symbols, dense slot ids, and 64-bit
+/// fingerprints that already went through FNV — never attacker-shaped
+/// strings — and every memo is bounded by a capacity with second-chance
+/// eviction, so the worst collision pile-up degrades a session's own
+/// cache hit rate and nothing else.
+///
+/// Not part of any persisted format: map iteration order and hash values
+/// may change freely between builds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MapBuildHasher;
+
+impl std::hash::BuildHasher for MapBuildHasher {
+    type Hasher = MapHasher;
+    #[inline]
+    fn build_hasher(&self) -> MapHasher {
+        MapHasher(FNV_BASIS)
+    }
+}
+
+/// The word-at-a-time FNV-style state behind [`MapBuildHasher`]: each
+/// 8-byte word is folded with `h = (h ^ w) * FNV_PRIME`, and `finish`
+/// folds the high half into the low bits (multiplicative mixes leave the
+/// low bits weakest, and hashbrown indexes buckets with them).
+#[derive(Debug)]
+pub struct MapHasher(u64);
+
+impl MapHasher {
+    #[inline]
+    fn mix(&mut self, w: u64) {
+        self.0 = (self.0 ^ w).wrapping_mul(FNV_PRIME);
+    }
+}
+
+impl std::hash::Hasher for MapHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let h = self.0;
+        (h ^ (h >> 32)).wrapping_mul(FNV_PRIME)
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            // Length-tag the tail word so `"a"` and `"a\0"` differ.
+            tail[7] = rem.len() as u8;
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_i8(&mut self, v: i8) {
+        self.mix(v as u8 as u64);
+    }
+    #[inline]
+    fn write_i16(&mut self, v: i16) {
+        self.mix(v as u16 as u64);
+    }
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.mix(v as u32 as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_isize(&mut self, v: isize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `HashMap` over [`MapBuildHasher`] for session-local keys (symbols,
+/// slots, fingerprints) that need no DoS-resistant hashing.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, MapBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_matches_two_serial_hashes() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        for len in [0, 1, 7, 64, 256] {
+            let bytes = &data[..len];
+            let (ha, hb) = fnv1a_pair(bytes, 0x5bd1_e995, 0x27d4_eb2f);
+            assert_eq!(ha, fnv1a_seeded(bytes, 0x5bd1_e995));
+            assert_eq!(hb, fnv1a_seeded(bytes, 0x27d4_eb2f));
+        }
+    }
+
+    #[test]
+    fn x4_matches_four_serial_hashes() {
+        let streams: [&[u8]; 4] = [b"", b"a", b"literal-bytes", b"a much longer literal stream"];
+        let h = fnv1a_x4(streams[0], streams[1], streams[2], streams[3]);
+        for (lane, s) in streams.into_iter().enumerate() {
+            assert_eq!(h[lane], fnv1a(s));
+        }
+    }
+
+    #[test]
+    fn map_hasher_separates_nearby_keys() {
+        use std::hash::{BuildHasher, Hash};
+        let bh = MapBuildHasher;
+        // Distinct small keys of the memo shapes must not collide.
+        let mut seen = std::collections::HashSet::new();
+        for sym in 0u32..64 {
+            for slot in 0u32..8 {
+                assert!(seen.insert(bh.hash_one((sym, slot))));
+            }
+        }
+        // Prefix-extended strings must differ (tail length tagging).
+        assert_ne!(bh.hash_one("a"), bh.hash_one("a\0"));
+        assert_ne!(bh.hash_one("movie_id"), bh.hash_one("movie_idx"));
+        // Same key, same hash (stateless builder).
+        let k = (7u32, 3u32, 0xdead_beef_u64);
+        assert_eq!(bh.hash_one(k), bh.hash_one(k));
+        // Every integer write width funnels through the same word mix.
+        let mut h = bh.build_hasher();
+        (-1i8, -1i16, -1i32, -1i64, -1isize, 1u16, 1usize).hash(&mut h);
+        assert_ne!(std::hash::Hasher::finish(&h), 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Batched branchless bucket searches over histogram boundary arrays.
+//!
+//! A range predicate walks every histogram level running
+//! `partition_point(|b| b <= lo)` on that level's bucket boundaries. The
+//! boundaries are `Value`s, but when every boundary **and** the probe are
+//! exactly representable as `f64` (see [`order_key_of`] /
+//! [`int_is_order_exact`]), the walk collapses to integer comparisons on a
+//! monotone 64-bit **order key** — `f64` bits mapped so that signed `i64`
+//! comparison matches `f64::total_cmp`. That unlocks two things:
+//!
+//! * a **branchless** binary search whose iteration count depends only on
+//!   the (padded) row width, so every row takes the same number of steps;
+//! * searching **4 rows per pass** on AVX2 with 64-bit gathers, one lane
+//!   per level.
+//!
+//! Rows are padded with `i64::MAX`. A probe can legitimately equal
+//! `i64::MAX` (a positive NaN with an all-ones payload), in which case
+//! padding compares `<=` and the raw result can overrun the row — callers
+//! of the row primitives clamp to the real row length, exactly matching
+//! `partition_point`'s `<= len` contract.
+//!
+//! SSE2 lacks 64-bit signed compares and NEON lacks gathers, so those
+//! tiers share the scalar branchless mirror (bit-identity for free — the
+//! kernel is integer-exact, so only the AVX2 lane layout needs the
+//! lockstep argument above).
+
+use super::SimdTier;
+
+/// Maps `f64` bits to an `i64` whose signed order equals
+/// [`f64::total_cmp`]: flip the sign bit's weight for non-negative values
+/// and the magnitude bits for negative ones.
+#[inline]
+pub fn order_key(f: f64) -> i64 {
+    let b = f.to_bits() as i64;
+    b ^ ((((b >> 63) as u64) >> 1) as i64)
+}
+
+/// True when `i` survives an `i64 → f64 → i64` round trip, i.e. `i as
+/// f64` is exact. Exact integers map injectively and order-preservingly
+/// into the key space, so mixing them with float boundaries keeps the
+/// key order identical to the `Value` total order.
+#[inline]
+pub fn int_is_order_exact(i: i64) -> bool {
+    // The f64→i64 cast saturates, which would make `i64::MAX` (not
+    // representable: `i64::MAX as f64` rounds up to 2^63) round-trip
+    // spuriously — exclude it explicitly.
+    i != i64::MAX && (i as f64) as i64 == i
+}
+
+/// Branchless upper bound over one key row: the number of leading
+/// elements `<= probe`. `row` must be non-empty; the iteration count is a
+/// function of `row.len()` alone. The result can reach `row.len()` when
+/// the probe dominates the padding — callers clamp to the real element
+/// count.
+#[inline]
+pub fn upper_bound_branchless(row: &[i64], probe: i64) -> usize {
+    debug_assert!(!row.is_empty());
+    let mut base = 0usize;
+    let mut len = row.len();
+    while len > 1 {
+        let half = len / 2;
+        if row[base + half - 1] <= probe {
+            base += half;
+        }
+        len -= half;
+    }
+    base + usize::from(row[base] <= probe)
+}
+
+/// Upper bound of `probe` in each of `rows.len() / stride` rows of a
+/// level-major key matrix (each row padded to `stride` with `i64::MAX`),
+/// written to `out[..n_rows]` clamped to `counts[r]` (the row's real
+/// element count). Rows beyond the counts' coverage are not touched.
+///
+/// AVX2 searches 4 rows per pass with 64-bit gathers; every other tier
+/// runs the scalar mirror. Both produce the identical indices because the
+/// kernel is integer-exact.
+#[inline]
+pub fn batched_upper_bound(
+    keys: &[i64],
+    stride: usize,
+    counts: &[u32],
+    probe: i64,
+    out: &mut [u32],
+    tier: SimdTier,
+) {
+    debug_assert!(stride > 0 && keys.len() == stride * counts.len());
+    debug_assert!(out.len() >= counts.len());
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe {
+            x86::batched_upper_bound_avx2(keys, stride, counts, probe, out)
+        },
+        _ => batched_upper_bound_scalar(keys, stride, counts, probe, out),
+    }
+}
+
+/// Scalar mirror of [`batched_upper_bound`].
+#[inline]
+pub fn batched_upper_bound_scalar(
+    keys: &[i64],
+    stride: usize,
+    counts: &[u32],
+    probe: i64,
+    out: &mut [u32],
+) {
+    for (r, &count) in counts.iter().enumerate() {
+        let row = &keys[r * stride..(r + 1) * stride];
+        out[r] = (upper_bound_branchless(row, probe) as u32).min(count);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available; `keys` must hold
+    /// `stride * counts.len()` elements (debug-asserted by the caller).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn batched_upper_bound_avx2(
+        keys: &[i64],
+        stride: usize,
+        counts: &[u32],
+        probe: i64,
+        out: &mut [u32],
+    ) {
+        let n_rows = counts.len();
+        let probe_v = _mm256_set1_epi64x(probe);
+        let mut r = 0usize;
+        while r + 4 <= n_rows {
+            // Lane l searches row r+l; `off` tracks each lane's absolute
+            // cursor into `keys` (row start + in-row base).
+            let mut off = _mm256_set_epi64x(
+                ((r + 3) * stride) as i64,
+                ((r + 2) * stride) as i64,
+                ((r + 1) * stride) as i64,
+                (r * stride) as i64,
+            );
+            let mut len = stride;
+            while len > 1 {
+                let half = len / 2;
+                let idx = _mm256_add_epi64(off, _mm256_set1_epi64x(half as i64 - 1));
+                let mid = _mm256_i64gather_epi64::<8>(keys.as_ptr(), idx);
+                // Advance a lane by `half` exactly when mid <= probe,
+                // i.e. NOT (mid > probe).
+                let gt = _mm256_cmpgt_epi64(mid, probe_v);
+                let adv = _mm256_andnot_si256(gt, _mm256_set1_epi64x(half as i64));
+                off = _mm256_add_epi64(off, adv);
+                len -= half;
+            }
+            // Final element test: lanes where row[base] <= probe get +1
+            // (the `<=` mask is all-ones = -1, so subtract it).
+            let last = _mm256_i64gather_epi64::<8>(keys.as_ptr(), off);
+            let gt = _mm256_cmpgt_epi64(last, probe_v);
+            let le = _mm256_andnot_si256(gt, _mm256_set1_epi64x(-1));
+            let res = _mm256_sub_epi64(off, le);
+            let mut lanes = [0i64; 4];
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), res);
+            for l in 0..4 {
+                let idx = lanes[l] as usize - (r + l) * stride;
+                out[r + l] = (idx as u32).min(counts[r + l]);
+            }
+            r += 4;
+        }
+        // Remaining rows: scalar mirror (identical branchless loop).
+        for rr in r..n_rows {
+            let row = &keys[rr * stride..(rr + 1) * stride];
+            out[rr] = (super::upper_bound_branchless(row, probe) as u32).min(counts[rr]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::available_tiers;
+
+    #[test]
+    fn order_key_matches_total_cmp() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1.0e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1.0e-300,
+            1.0,
+            2.5,
+            1.0e300,
+            f64::INFINITY,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    order_key(a).cmp(&order_key(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int_exactness_gate() {
+        assert!(int_is_order_exact(0));
+        assert!(int_is_order_exact(-1));
+        assert!(int_is_order_exact(1 << 53));
+        assert!(!int_is_order_exact((1 << 53) + 1));
+        assert!(!int_is_order_exact(i64::MAX));
+    }
+
+    #[test]
+    fn branchless_matches_partition_point() {
+        let row: Vec<i64> = vec![-9, -3, -3, 0, 4, 4, 4, 12, i64::MAX];
+        for probe in [-100, -9, -4, -3, 0, 3, 4, 5, 12, 100, i64::MAX] {
+            assert_eq!(
+                upper_bound_branchless(&row, probe),
+                row.partition_point(|&k| k <= probe),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_tiers_match_scalar() {
+        // 6 rows, stride 7, varying real counts padded with i64::MAX.
+        let stride = 7usize;
+        let counts: Vec<u32> = vec![7, 5, 1, 6, 3, 7];
+        let mut keys = Vec::new();
+        for (r, &c) in counts.iter().enumerate() {
+            for i in 0..stride {
+                keys.push(if i < c as usize {
+                    (i as i64) * 3 - 5 + r as i64
+                } else {
+                    i64::MAX
+                });
+            }
+        }
+        for probe in [-10, -5, -4, 0, 3, 7, 100, i64::MAX] {
+            let mut expect = vec![0u32; counts.len()];
+            batched_upper_bound_scalar(&keys, stride, &counts, probe, &mut expect);
+            for tier in available_tiers() {
+                let mut got = vec![0u32; counts.len()];
+                batched_upper_bound(&keys, stride, &counts, probe, &mut got, tier);
+                assert_eq!(got, expect, "{tier:?} probe {probe}");
+            }
+        }
+    }
+}

@@ -28,10 +28,12 @@
 //!    commutative**: `scan(p₁) ⊕ … ⊕ scan(p_k) = scan(p₁ ∪ … ∪ p_k)` for
 //!    any partitioning, in any order. Merging is cheap and sequential.
 //! 3. **Finalize** — every expensive deterministic construction (MCV
-//!    sort + group compression, histogram hierarchy, n-gram tables,
-//!    Bloom indexes, CDS compression) runs as a pure function of the
-//!    merged counts, again on one flat `par_map` work list with one job
-//!    per (table base + §3.6 fallbacks) and one per filter unit.
+//!    sort + group compression, histogram hierarchy — including the
+//!    order-key matrix backing the batched SIMD bucket search
+//!    ([`crate::simd::search`]) — n-gram tables, Bloom indexes, CDS
+//!    compression) runs as a pure function of the merged counts, again on
+//!    one flat `par_map` work list with one job per (table base + §3.6
+//!    fallbacks) and one per filter unit.
 //!
 //! Because finalize is deterministic and merge is exact, a sharded build
 //! (`k ≥ 2`) is **bit-identical** to the single-pass build (`k = 1`) —
@@ -371,7 +373,9 @@ pub(crate) fn finalize_partials(
     }
     enum FinOut {
         Base(CdsSet, Vec<(Sym, PiecewiseLinear)>),
-        Unit(Option<FilterColumnStats>),
+        // Boxed: FilterColumnStats carries the histogram's padded key
+        // matrix, which would otherwise dominate every Base result too.
+        Unit(Option<Box<FilterColumnStats>>),
     }
     let outs = par_map(&jobs, |job| match job {
         FinJob::Base(ti) => FinOut::Base(
@@ -382,7 +386,8 @@ pub(crate) fn finalize_partials(
             merged[*ti]
                 .unit(key)
                 .expect("unit key from iteration")
-                .finalize(&join_cols[*ti], config),
+                .finalize(&join_cols[*ti], config)
+                .map(Box::new),
         ),
     });
     #[allow(clippy::type_complexity)]
@@ -397,7 +402,7 @@ pub(crate) fn finalize_partials(
             }
             (FinJob::Unit(ti, key), FinOut::Unit(stats)) => {
                 if let Some(s) = stats {
-                    named[*ti].insert((*key).to_string(), s);
+                    named[*ti].insert((*key).to_string(), *s);
                 }
             }
             _ => unreachable!("job and result lists are parallel"),

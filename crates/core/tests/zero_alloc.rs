@@ -219,16 +219,21 @@ fn steady_state_cached_bound_allocates_nothing() {
     // path (with it on, repeats collapse into bound-cache hits and the
     // machinery under test would never run — covered separately below).
     let mut session = BoundSession::default().with_literal_capacity(0);
-    // Warm-up: build each shape and size the arena pools.
+    // Warm-up: build each shape and size the arena pools. Several rounds,
+    // because pool rotation can realloc a smaller spare into a bigger
+    // role until convergence (see the parallel-workers test below).
     let warm: Vec<f64> = queries
         .iter()
         .map(|q| sb.bound_with_session(q, &mut session).unwrap())
         .collect();
-    for q in &queries {
-        sb.bound_with_session(q, &mut session).unwrap();
+    for _ in 0..4 {
+        for q in &queries {
+            sb.bound_with_session(q, &mut session).unwrap();
+        }
     }
 
     // Steady state: not a single heap allocation across many queries.
+    let stats_warm = session.stats();
     let before = allocation_count();
     let mut acc = 0.0;
     for _ in 0..50 {
@@ -250,9 +255,22 @@ fn steady_state_cached_bound_allocates_nothing() {
         session.stats().shape_misses as usize,
         session.cached_shapes()
     );
-    // Repeated literals were served from the hot-value memo, and hits on
-    // the memo must not have allocated either (covered by the count).
-    assert!(session.stats().eq_memo_hits > 0);
+    // Repeated literals were served from the hot-value memos — equality,
+    // range (BETWEEN / < / >), and LIKE alike — and hits on each memo
+    // must not have allocated either (covered by the count above).
+    let stats = session.stats();
+    assert!(stats.eq_memo_hits > 0);
+    assert!(
+        stats.range_memo_hits > 0,
+        "repeated range literals must serve from the range memo"
+    );
+    assert!(
+        stats.like_memo_hits > 0,
+        "repeated LIKE patterns must serve from the pattern memo"
+    );
+    // Steady state ran entirely warm: the last 50 rounds added hits only.
+    assert_eq!(stats.range_memo_misses, stats_warm.range_memo_misses);
+    assert_eq!(stats.like_memo_misses, stats_warm.like_memo_misses);
 }
 
 #[test]

@@ -91,7 +91,7 @@
 //! | `<SQL text>`                | `OK <bound>` or `ERR <message>`         |
 //! | `BATCH <n>` then `n` SQL lines | `n` `OK`/`ERR` lines (batched pool dispatch), or one `ERR overloaded` |
 //! | `PING`                      | `PONG`                                  |
-//! | `STATS`                     | `STATS workers=<n> build=<id> swaps=<n> generation=<n> refresher=on\|off connections=<n> inflight_batches=<n> batch_dedup_hits=<n> …` plus the pool-wide [`SessionStats`](safebound_core::SessionStats) merge (`shape_*`, `lit_bound_*`, `lit_cond_*`, `lit_evictions`, `eq_memo_*`, `relaxations_pruned`) and `spills=<n>` |
+//! | `STATS`                     | `STATS workers=<n> build=<id> swaps=<n> generation=<n> refresher=on\|off connections=<n> inflight_batches=<n> batch_dedup_hits=<n> …` plus the pool-wide [`SessionStats`](safebound_core::SessionStats) merge (`shape_*`, `lit_bound_*`, `lit_cond_*`, `lit_evictions`, `eq_memo_*`, `range_memo_*`, `like_memo_*`, `relaxations_pruned`), `spills=<n>`, and the selected SIMD dispatch tier `simd=avx2\|sse2\|neon\|scalar` |
 //! | `REFRESH`                   | `REFRESHED build=<id> generation=<n>` after a fresh rebuild publishes (`ERR` without a refresher) |
 //! | `QUIT`                      | `BYE`, then the connection closes       |
 //! | `SHUTDOWN`                  | `BYE`, then the whole server drains and stops |

@@ -505,7 +505,10 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                      shape_hits={} shape_misses={} shape_evictions={} \
                      lit_bound_hits={} lit_bound_misses={} lit_cond_hits={} \
                      lit_cond_misses={} lit_evictions={} eq_memo_hits={} \
-                     eq_memo_misses={} eq_memo_evictions={} relaxations_pruned={} spills={}",
+                     eq_memo_misses={} eq_memo_evictions={} \
+                     range_memo_hits={} range_memo_misses={} range_memo_evictions={} \
+                     like_memo_hits={} like_memo_misses={} like_memo_evictions={} \
+                     relaxations_pruned={} spills={} simd={}",
                     ctx.service.num_workers(),
                     ctx.service.estimator().build_id(),
                     ctx.service.estimator().swap_count(),
@@ -530,8 +533,15 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                     s.eq_memo_hits,
                     s.eq_memo_misses,
                     s.eq_memo_evictions,
+                    s.range_memo_hits,
+                    s.range_memo_misses,
+                    s.range_memo_evictions,
+                    s.like_memo_hits,
+                    s.like_memo_misses,
+                    s.like_memo_evictions,
                     s.relaxations_pruned,
                     ctx.service.spill_count(),
+                    safebound_core::simd_tier().name(),
                 )?
             }
             "REFRESH" => match &ctx.refresher {
@@ -807,9 +817,19 @@ mod tests {
             "{responses:?}"
         );
         assert!(responses[3].contains("lit_bound_"), "{responses:?}");
+        assert!(responses[3].contains("range_memo_hits="), "{responses:?}");
+        assert!(responses[3].contains("like_memo_hits="), "{responses:?}");
         assert!(
             responses[3].contains("relaxations_pruned="),
             "{responses:?}"
+        );
+        let simd = responses[3]
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("simd="))
+            .expect("STATS must report the dispatch tier");
+        assert!(
+            ["avx2", "sse2", "neon", "scalar"].contains(&simd),
+            "{simd:?}"
         );
         assert_eq!(responses[4], "BYE");
     }
