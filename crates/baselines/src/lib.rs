@@ -8,6 +8,9 @@
 //! The exact oracle (`TrueCard`) lives in `safebound-exec`.
 
 #![warn(missing_docs)]
+// `unsafe` in this workspace is confined to the SIMD kernels in
+// `safebound-core`'s `simd` module; everything else forbids it outright.
+#![forbid(unsafe_code)]
 
 pub mod adapter;
 pub mod bayeslite;

@@ -13,6 +13,10 @@
 //! `criterion_main!`, `black_box`) matches upstream closely enough that
 //! swapping the real crate back in is a manifest change only.
 
+// `unsafe` in this workspace is confined to the SIMD kernels in
+// `safebound-core`'s `simd` module; the compat shims forbid it outright.
+#![forbid(unsafe_code)]
+
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 

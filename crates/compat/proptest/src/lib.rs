@@ -9,6 +9,10 @@
 //! its RNG seed from its own name, so failures are reproducible run to
 //! run.
 
+// `unsafe` in this workspace is confined to the SIMD kernels in
+// `safebound-core`'s `simd` module; the compat shims forbid it outright.
+#![forbid(unsafe_code)]
+
 /// Deterministic generator (SplitMix64) used to drive strategies.
 #[derive(Debug, Clone)]
 pub struct TestRng {
@@ -82,6 +86,24 @@ impl Default for ProptestConfig {
             cases: 256,
             max_shrink_iters: 0,
         }
+    }
+}
+
+/// The case count actually run: `configured`, capped by the
+/// `SAFEBOUND_PROPTEST_CASES` environment variable when it is set to a
+/// positive integer. The cap lets slow interpreters (Miri, sanitizer
+/// builds) run the same property suites with a reduced budget without
+/// touching each suite's explicit `ProptestConfig` — it is applied
+/// inside the `proptest!` expansion, so explicitly configured suites
+/// are capped too. Invalid or unset values leave `configured` as-is.
+pub fn effective_cases(configured: u32) -> u32 {
+    apply_case_cap(configured, std::env::var("SAFEBOUND_PROPTEST_CASES").ok())
+}
+
+fn apply_case_cap(configured: u32, cap: Option<String>) -> u32 {
+    match cap.and_then(|v| v.trim().parse::<u32>().ok()) {
+        Some(cap) if cap > 0 => configured.min(cap),
+        _ => configured,
     }
 }
 
@@ -464,8 +486,11 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                // Environment cap (Miri / sanitizer runs): see
+                // [`effective_cases`].
+                let cases = $crate::effective_cases(config.cases);
                 let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-                for case in 0..config.cases {
+                for case in 0..cases {
                     $( let $pat = $crate::Strategy::generate(&($strat), &mut rng); )*
                     let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
                         $body
@@ -475,7 +500,7 @@ macro_rules! __proptest_impl {
                         panic!(
                             "property failed at case {}/{} of {}: {}",
                             case + 1,
-                            config.cases,
+                            cases,
                             stringify!($name),
                             e
                         );
@@ -519,5 +544,19 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn case_cap_caps_only_below_configured() {
+        // Pure core of [`crate::effective_cases`], testable without
+        // touching the process environment (other tests in this binary
+        // run concurrently and read it through the macro expansion).
+        let cap = |c, v: Option<&str>| crate::apply_case_cap(c, v.map(String::from));
+        assert_eq!(cap(256, None), 256);
+        assert_eq!(cap(256, Some("8")), 8);
+        assert_eq!(cap(4, Some("8")), 4);
+        assert_eq!(cap(256, Some(" 16 ")), 16);
+        assert_eq!(cap(256, Some("0")), 256);
+        assert_eq!(cap(256, Some("not-a-number")), 256);
     }
 }

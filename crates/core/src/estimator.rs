@@ -392,6 +392,9 @@ impl CondRef {
                     .filter_at(slot)
                     .histogram
                     .as_ref()
+                    // lint: allow(no-panic) -- a HistGroup locator is only
+                    // constructed after resolving against this very
+                    // histogram, so it cannot dangle
                     .expect("CondRef::HistGroup only built from a histogram hit");
                 &hist.groups[group as usize]
             }
@@ -1420,6 +1423,8 @@ impl StatsSnapshot {
         };
 
         let timing = session.timing;
+        // lint: allow(determinism) -- opt-in phase timing: `timing` is
+        // only true when the caller asked for a PhaseBreakdown
         let t_resolve = timing.then(Instant::now);
         let BoundSession {
             shapes,
@@ -1493,11 +1498,15 @@ impl StatsSnapshot {
                 k
             };
             let pe = &plans[idx_k];
+            // lint: allow(determinism) -- opt-in phase timing: `timing`
+            // is only true when the caller asked for a PhaseBreakdown
             let t_assemble = timing.then(Instant::now);
             for rel in 0..n {
                 let ts = self
                     .tables
                     .get(&query.relations[rel].table)
+                    // lint: allow(no-panic) -- resolution (which built
+                    // `cond`) already returned Err for any unknown table
                     .expect("tables validated during resolution");
                 assemble_into(
                     ts,
@@ -1509,6 +1518,8 @@ impl StatsSnapshot {
                     multi.then_some(&mut *asm_stage),
                 );
             }
+            // lint: allow(determinism) -- opt-in phase timing: `timing`
+            // is only true when the caller asked for a PhaseBreakdown
             let t_kernel = timing.then(Instant::now);
             if let (Some(a), Some(b)) = (t_assemble, t_kernel) {
                 phases.assemble_ns += (b - a).as_nanos() as u64;
@@ -1573,6 +1584,8 @@ impl StatsSnapshot {
                 let ts = self
                     .tables
                     .get(&query.relations[rel].table)
+                    // lint: allow(no-panic) -- resolution (which built
+                    // `cond`) already returned Err for any unknown table
                     .expect("tables validated during resolution");
                 let mut rs = RelationBoundStats::default();
                 assemble_into(

@@ -55,6 +55,11 @@
 //! ```
 
 #![warn(missing_docs)]
+// `unsafe` in this workspace is confined to the SIMD kernels in
+// `core::simd`; inside their `unsafe fn`s every unsafe operation must
+// still be an explicit block with its own `SAFETY:` argument
+// (machine-checked by `safebound-lint`'s `safety-comment` rule).
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bloom;
 pub mod bound;

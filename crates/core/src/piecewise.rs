@@ -406,6 +406,8 @@ fn sweep_impl<const BOUNDED: bool>(
             }
             emit!(edge, if zeros > 0 { 0.0 } else { prod });
             while !heap.is_empty() && heap[0].0 <= edge + EPS {
+                // lint: allow(no-panic) -- the loop condition just
+                // checked the heap is non-empty
                 let (_, i) = heap_pop(heap).unwrap();
                 let f = fns[i as usize];
                 let c = &mut cursors[i as usize];
@@ -545,6 +547,8 @@ pub struct PiecewiseLinear {
 /// list must already hold the origin `(0, 0)`.
 #[inline]
 pub(crate) fn push_knot(out: &mut Vec<(f64, f64)>, x: f64, y: f64) {
+    // lint: allow(no-panic) -- documented precondition: every caller
+    // seeds the list with the origin knot before appending
     let &(px, py) = out.last().expect("knot list must hold the origin");
     if x <= px + EPS {
         return;
@@ -696,6 +700,8 @@ impl PiecewiseLinear {
         );
         let mut out: Vec<(f64, f64)> = vec![(0.0, 0.0)];
         for &(x, y) in &knots[1..] {
+            // lint: allow(no-panic) -- `out` was seeded with the origin
+            // above and never shrinks in this loop
             let &(px, py) = out.last().unwrap();
             assert!(x > px - EPS, "x must increase: {x} after {px}");
             assert!(y >= py - EPS, "y must not decrease: {y} after {py}");
@@ -736,12 +742,14 @@ impl PiecewiseLinear {
 
     /// Largest x knot (the number of distinct values).
     pub fn support(&self) -> f64 {
-        self.knots.last().unwrap().0
+        // Constructors guarantee at least the origin knot; an empty list
+        // reads as the empty CDS rather than panicking the hot path.
+        self.knots.last().map_or(0.0, |k| k.0)
     }
 
     /// Value at the right end (the relation's cardinality).
     pub fn endpoint(&self) -> f64 {
-        self.knots.last().unwrap().1
+        self.knots.last().map_or(0.0, |k| k.1)
     }
 
     /// Evaluate at `x`, clamping outside `[0, support]`.

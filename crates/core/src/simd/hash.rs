@@ -137,6 +137,8 @@ impl std::hash::Hasher for MapHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in chunks.by_ref() {
+            // lint: allow(no-panic) -- chunks_exact(8) yields exactly
+            // 8-byte slices, so the array conversion cannot fail
             self.mix(u64::from_le_bytes(c.try_into().unwrap()));
         }
         let rem = chunks.remainder();

@@ -92,21 +92,29 @@ fn detect() -> SimdTier {
     if force_scalar_env() {
         return SimdTier::Scalar;
     }
-    #[cfg(target_arch = "x86_64")]
+    // Under Miri only the scalar mirrors run: vendor intrinsics (gathers
+    // especially) are outside the interpreter's supported surface, and
+    // the bit-identity contract makes scalar-only coverage equivalent.
+    #[cfg(miri)]
+    return SimdTier::Scalar;
+    #[cfg(not(miri))]
     {
-        if std::arch::is_x86_feature_detected!("avx2") {
-            return SimdTier::Avx2;
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdTier::Avx2;
+            }
+            // SSE2 is part of the x86-64 baseline.
+            return SimdTier::Sse2;
         }
-        // SSE2 is part of the x86-64 baseline.
-        return SimdTier::Sse2;
+        #[cfg(target_arch = "aarch64")]
+        {
+            // NEON (ASIMD) is architecturally guaranteed on AArch64.
+            return SimdTier::Neon;
+        }
+        #[allow(unreachable_code)]
+        SimdTier::Scalar
     }
-    #[cfg(target_arch = "aarch64")]
-    {
-        // NEON (ASIMD) is architecturally guaranteed on AArch64.
-        return SimdTier::Neon;
-    }
-    #[allow(unreachable_code)]
-    SimdTier::Scalar
 }
 
 /// The dispatch tier for this process: detected on first call, then a
@@ -129,14 +137,17 @@ pub fn tier() -> SimdTier {
 /// scalar mirror.
 pub fn available_tiers() -> Vec<SimdTier> {
     let mut tiers = vec![SimdTier::Scalar];
-    #[cfg(target_arch = "x86_64")]
+    // Miri interprets no vendor intrinsics — see [`detect`]; the
+    // equivalence suites degrade to scalar-vs-scalar there (still
+    // exercising the dispatch plumbing and the shared scalar mirrors).
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         tiers.push(SimdTier::Sse2);
         if std::arch::is_x86_feature_detected!("avx2") {
             tiers.push(SimdTier::Avx2);
         }
     }
-    #[cfg(target_arch = "aarch64")]
+    #[cfg(all(target_arch = "aarch64", not(miri)))]
     tiers.push(SimdTier::Neon);
     tiers
 }

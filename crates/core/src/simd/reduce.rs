@@ -46,10 +46,16 @@ fn sel_min(a: f64, b: f64) -> f64 {
 pub fn event_min_prod(edges: &[f64; 8], values: &[f64; 8], tier: SimdTier) -> (f64, f64) {
     match tier {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier` is `Avx2` only when runtime detection (or the
+        // test seam) established AVX2 support; the `&[f64; 8]` borrows
+        // satisfy the kernel's fixed 8-lane loads.
         SimdTier::Avx2 => unsafe { x86::event_min_prod_avx2(edges, values) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline, so the target
+        // feature is always available on this arch.
         SimdTier::Sse2 => unsafe { x86::event_min_prod_sse2(edges, values) },
         #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON (ASIMD) is architecturally guaranteed on AArch64.
         SimdTier::Neon => unsafe { neon::event_min_prod_neon(edges, values) },
         _ => event_min_prod_scalar(edges, values),
     }
@@ -85,6 +91,9 @@ pub fn event_min_prod_scalar(edges: &[f64; 8], values: &[f64; 8]) -> (f64, f64) 
 pub fn weighted_total(segs: &[(f64, f64)], tier: SimdTier) -> f64 {
     match tier {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier` is `Avx2` only when runtime detection (or the
+        // test seam) established AVX2 support; the kernel reads `segs`
+        // through ordinary slice indexing.
         SimdTier::Avx2 => unsafe { x86::weighted_total_avx2(segs) },
         _ => weighted_total_scalar(segs),
     }
@@ -122,25 +131,31 @@ mod x86 {
     /// Caller must ensure AVX2 is available.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn event_min_prod_avx2(edges: &[f64; 8], values: &[f64; 8]) -> (f64, f64) {
-        let e_lo = _mm256_loadu_pd(edges.as_ptr());
-        let e_hi = _mm256_loadu_pd(edges.as_ptr().add(4));
-        // Compare-and-select min: take the low lane exactly when it is
-        // strictly less (ordered), matching `sel_min`.
-        let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(e_lo, e_hi);
-        let m = _mm256_blendv_pd(e_hi, e_lo, lt);
-        let v_lo = _mm256_loadu_pd(values.as_ptr());
-        let v_hi = _mm256_loadu_pd(values.as_ptr().add(4));
-        let p = _mm256_mul_pd(v_lo, v_hi);
-        let mut mb = [0.0f64; 4];
-        let mut pb = [0.0f64; 4];
-        _mm256_storeu_pd(mb.as_mut_ptr(), m);
-        _mm256_storeu_pd(pb.as_mut_ptr(), p);
-        let m01 = if mb[0] < mb[1] { mb[0] } else { mb[1] };
-        let m23 = if mb[2] < mb[3] { mb[2] } else { mb[3] };
-        (
-            if m01 < m23 { m01 } else { m23 },
-            (pb[0] * pb[1]) * (pb[2] * pb[3]),
-        )
+        // SAFETY: the `&[f64; 8]` borrows guarantee 8 readable lanes
+        // behind `as_ptr()` (unaligned loads at +0 and +4 stay in
+        // bounds), the stores target local `[f64; 4]` buffers, and the
+        // dispatcher only routes here after establishing AVX2.
+        unsafe {
+            let e_lo = _mm256_loadu_pd(edges.as_ptr());
+            let e_hi = _mm256_loadu_pd(edges.as_ptr().add(4));
+            // Compare-and-select min: take the low lane exactly when it is
+            // strictly less (ordered), matching `sel_min`.
+            let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(e_lo, e_hi);
+            let m = _mm256_blendv_pd(e_hi, e_lo, lt);
+            let v_lo = _mm256_loadu_pd(values.as_ptr());
+            let v_hi = _mm256_loadu_pd(values.as_ptr().add(4));
+            let p = _mm256_mul_pd(v_lo, v_hi);
+            let mut mb = [0.0f64; 4];
+            let mut pb = [0.0f64; 4];
+            _mm256_storeu_pd(mb.as_mut_ptr(), m);
+            _mm256_storeu_pd(pb.as_mut_ptr(), p);
+            let m01 = if mb[0] < mb[1] { mb[0] } else { mb[1] };
+            let m23 = if mb[2] < mb[3] { mb[2] } else { mb[3] };
+            (
+                if m01 < m23 { m01 } else { m23 },
+                (pb[0] * pb[1]) * (pb[2] * pb[3]),
+            )
+        }
     }
 
     /// # Safety
@@ -152,15 +167,20 @@ mod x86 {
         let mut mb = [0.0f64; 4];
         let mut pb = [0.0f64; 4];
         for half in 0..2 {
-            let e_lo = _mm_loadu_pd(edges.as_ptr().add(half * 2));
-            let e_hi = _mm_loadu_pd(edges.as_ptr().add(4 + half * 2));
-            let lt = _mm_cmplt_pd(e_lo, e_hi);
-            let m = _mm_or_pd(_mm_and_pd(lt, e_lo), _mm_andnot_pd(lt, e_hi));
-            let v_lo = _mm_loadu_pd(values.as_ptr().add(half * 2));
-            let v_hi = _mm_loadu_pd(values.as_ptr().add(4 + half * 2));
-            let p = _mm_mul_pd(v_lo, v_hi);
-            _mm_storeu_pd(mb.as_mut_ptr().add(half * 2), m);
-            _mm_storeu_pd(pb.as_mut_ptr().add(half * 2), p);
+            // SAFETY: `half * 2` and `4 + half * 2` index at most lane 6
+            // of the 8-lane input borrows, so every 2-lane unaligned
+            // load/store stays in bounds; SSE2 is baseline on x86-64.
+            unsafe {
+                let e_lo = _mm_loadu_pd(edges.as_ptr().add(half * 2));
+                let e_hi = _mm_loadu_pd(edges.as_ptr().add(4 + half * 2));
+                let lt = _mm_cmplt_pd(e_lo, e_hi);
+                let m = _mm_or_pd(_mm_and_pd(lt, e_lo), _mm_andnot_pd(lt, e_hi));
+                let v_lo = _mm_loadu_pd(values.as_ptr().add(half * 2));
+                let v_hi = _mm_loadu_pd(values.as_ptr().add(4 + half * 2));
+                let p = _mm_mul_pd(v_lo, v_hi);
+                _mm_storeu_pd(mb.as_mut_ptr().add(half * 2), m);
+                _mm_storeu_pd(pb.as_mut_ptr().add(half * 2), p);
+            }
         }
         let m01 = if mb[0] < mb[1] { mb[0] } else { mb[1] };
         let m23 = if mb[2] < mb[3] { mb[2] } else { mb[3] };
@@ -189,7 +209,9 @@ mod x86 {
             prev = chunk[3].0;
         }
         let mut lanes = [0.0f64; 4];
-        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        // SAFETY: the unaligned store writes exactly 4 lanes into the
+        // local `[f64; 4]`; AVX2 was established by the dispatcher.
+        unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), acc) };
         let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
         for &(edge, value) in &segs[chunks * 4..] {
             total += (edge - prev) * value;
@@ -212,15 +234,21 @@ mod neon {
         let mut mb = [0.0f64; 4];
         let mut pb = [0.0f64; 4];
         for half in 0..2 {
-            let e_lo = vld1q_f64(edges.as_ptr().add(half * 2));
-            let e_hi = vld1q_f64(edges.as_ptr().add(4 + half * 2));
-            let lt = vcltq_f64(e_lo, e_hi);
-            let m = vbslq_f64(lt, e_lo, e_hi);
-            let v_lo = vld1q_f64(values.as_ptr().add(half * 2));
-            let v_hi = vld1q_f64(values.as_ptr().add(4 + half * 2));
-            let p = vmulq_f64(v_lo, v_hi);
-            vst1q_f64(mb.as_mut_ptr().add(half * 2), m);
-            vst1q_f64(pb.as_mut_ptr().add(half * 2), p);
+            // SAFETY: `half * 2` and `4 + half * 2` index at most lane 6
+            // of the 8-lane input borrows, so every 2-lane load/store
+            // stays in bounds; NEON is architecturally guaranteed on
+            // AArch64.
+            unsafe {
+                let e_lo = vld1q_f64(edges.as_ptr().add(half * 2));
+                let e_hi = vld1q_f64(edges.as_ptr().add(4 + half * 2));
+                let lt = vcltq_f64(e_lo, e_hi);
+                let m = vbslq_f64(lt, e_lo, e_hi);
+                let v_lo = vld1q_f64(values.as_ptr().add(half * 2));
+                let v_hi = vld1q_f64(values.as_ptr().add(4 + half * 2));
+                let p = vmulq_f64(v_lo, v_hi);
+                vst1q_f64(mb.as_mut_ptr().add(half * 2), m);
+                vst1q_f64(pb.as_mut_ptr().add(half * 2), p);
+            }
         }
         let m01 = if mb[0] < mb[1] { mb[0] } else { mb[1] };
         let m23 = if mb[2] < mb[3] { mb[2] } else { mb[3] };

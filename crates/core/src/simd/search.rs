@@ -88,6 +88,11 @@ pub fn batched_upper_bound(
     debug_assert!(out.len() >= counts.len());
     match tier {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier` is `Avx2` only when runtime detection (or the
+        // test seam) established AVX2 support, and the debug-asserted
+        // `keys.len() == stride * counts.len()` / `out.len() >=
+        // counts.len()` contract above is exactly what the kernel's
+        // gathers and stores index within.
         SimdTier::Avx2 => unsafe {
             x86::batched_upper_bound_avx2(keys, stride, counts, probe, out)
         },
@@ -126,47 +131,56 @@ mod x86 {
         out: &mut [u32],
     ) {
         let n_rows = counts.len();
-        let probe_v = _mm256_set1_epi64x(probe);
-        let mut r = 0usize;
-        while r + 4 <= n_rows {
-            // Lane l searches row r+l; `off` tracks each lane's absolute
-            // cursor into `keys` (row start + in-row base).
-            let mut off = _mm256_set_epi64x(
-                ((r + 3) * stride) as i64,
-                ((r + 2) * stride) as i64,
-                ((r + 1) * stride) as i64,
-                (r * stride) as i64,
-            );
-            let mut len = stride;
-            while len > 1 {
-                let half = len / 2;
-                let idx = _mm256_add_epi64(off, _mm256_set1_epi64x(half as i64 - 1));
-                let mid = _mm256_i64gather_epi64::<8>(keys.as_ptr(), idx);
-                // Advance a lane by `half` exactly when mid <= probe,
-                // i.e. NOT (mid > probe).
-                let gt = _mm256_cmpgt_epi64(mid, probe_v);
-                let adv = _mm256_andnot_si256(gt, _mm256_set1_epi64x(half as i64));
-                off = _mm256_add_epi64(off, adv);
-                len -= half;
+        // SAFETY: AVX2 was established by the dispatcher. Every gather
+        // index stays in bounds of `keys` (length `stride * n_rows`, per
+        // the caller's debug-asserted contract): lane `l` of `off` starts
+        // at `(r + l) * stride` and the binary search advances it by at
+        // most `stride - 1` within its own row, so `off + half - 1` and
+        // the final `off` both index `< (r + l + 1) * stride <= keys.len()`.
+        // The store targets a local `[i64; 4]`.
+        unsafe {
+            let probe_v = _mm256_set1_epi64x(probe);
+            let mut r = 0usize;
+            while r + 4 <= n_rows {
+                // Lane l searches row r+l; `off` tracks each lane's absolute
+                // cursor into `keys` (row start + in-row base).
+                let mut off = _mm256_set_epi64x(
+                    ((r + 3) * stride) as i64,
+                    ((r + 2) * stride) as i64,
+                    ((r + 1) * stride) as i64,
+                    (r * stride) as i64,
+                );
+                let mut len = stride;
+                while len > 1 {
+                    let half = len / 2;
+                    let idx = _mm256_add_epi64(off, _mm256_set1_epi64x(half as i64 - 1));
+                    let mid = _mm256_i64gather_epi64::<8>(keys.as_ptr(), idx);
+                    // Advance a lane by `half` exactly when mid <= probe,
+                    // i.e. NOT (mid > probe).
+                    let gt = _mm256_cmpgt_epi64(mid, probe_v);
+                    let adv = _mm256_andnot_si256(gt, _mm256_set1_epi64x(half as i64));
+                    off = _mm256_add_epi64(off, adv);
+                    len -= half;
+                }
+                // Final element test: lanes where row[base] <= probe get +1
+                // (the `<=` mask is all-ones = -1, so subtract it).
+                let last = _mm256_i64gather_epi64::<8>(keys.as_ptr(), off);
+                let gt = _mm256_cmpgt_epi64(last, probe_v);
+                let le = _mm256_andnot_si256(gt, _mm256_set1_epi64x(-1));
+                let res = _mm256_sub_epi64(off, le);
+                let mut lanes = [0i64; 4];
+                _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), res);
+                for l in 0..4 {
+                    let idx = lanes[l] as usize - (r + l) * stride;
+                    out[r + l] = (idx as u32).min(counts[r + l]);
+                }
+                r += 4;
             }
-            // Final element test: lanes where row[base] <= probe get +1
-            // (the `<=` mask is all-ones = -1, so subtract it).
-            let last = _mm256_i64gather_epi64::<8>(keys.as_ptr(), off);
-            let gt = _mm256_cmpgt_epi64(last, probe_v);
-            let le = _mm256_andnot_si256(gt, _mm256_set1_epi64x(-1));
-            let res = _mm256_sub_epi64(off, le);
-            let mut lanes = [0i64; 4];
-            _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), res);
-            for l in 0..4 {
-                let idx = lanes[l] as usize - (r + l) * stride;
-                out[r + l] = (idx as u32).min(counts[r + l]);
+            // Remaining rows: scalar mirror (identical branchless loop).
+            for rr in r..n_rows {
+                let row = &keys[rr * stride..(rr + 1) * stride];
+                out[rr] = (super::upper_bound_branchless(row, probe) as u32).min(counts[rr]);
             }
-            r += 4;
-        }
-        // Remaining rows: scalar mirror (identical branchless loop).
-        for rr in r..n_rows {
-            let row = &keys[rr * stride..(rr + 1) * stride];
-            out[rr] = (super::upper_bound_branchless(row, probe) as u32).min(counts[rr]);
         }
     }
 }

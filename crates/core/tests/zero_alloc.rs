@@ -31,16 +31,29 @@ fn bump() {
     let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
 }
 
+// SAFETY: a pure pass-through to the `System` allocator plus a
+// thread-local counter bump — layout handling, ownership, and pointer
+// validity are exactly `System`'s, and `bump` never allocates or unwinds
+// (`try_with` absorbs TLS teardown).
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System.alloc` — forwarded verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
+        // SAFETY: `layout` is passed through unchanged from our caller,
+        // who upholds `GlobalAlloc::alloc`'s contract.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: same contract as `System.dealloc` — forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` came from our `alloc`, which returned
+        // `System`'s pointer unchanged.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: same contract as `System.realloc` — forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
+        // SAFETY: arguments forwarded unchanged under the caller's
+        // `GlobalAlloc::realloc` obligations.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -8,6 +8,9 @@
 //! batches ([`delta`]) for exercising incremental statistics maintenance.
 
 #![warn(missing_docs)]
+// `unsafe` in this workspace is confined to the SIMD kernels in
+// `safebound-core`'s `simd` module; everything else forbids it outright.
+#![forbid(unsafe_code)]
 
 pub mod delta;
 pub mod imdb;

@@ -1,0 +1,7 @@
+// Negative fixture for `determinism`: timestamps come in from the
+// owner module; no clock reads or thread spawns of its own.
+use std::time::Instant;
+
+pub fn elapsed_ns(start: Instant, end: Instant) -> u128 {
+    (end - start).as_nanos()
+}

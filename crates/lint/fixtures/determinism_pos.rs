@@ -1,0 +1,13 @@
+// Positive fixture for `determinism`: wall-clock reads and ad-hoc
+// thread spawning in a pretend hot-path module.
+use std::time::Instant;
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_nanos())
+}
+
+pub fn in_background(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}

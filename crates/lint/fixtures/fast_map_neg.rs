@@ -1,0 +1,11 @@
+// Negative fixture for `fast-map`: the deterministic `FastMap` alias
+// (explicit hasher) is the accepted construction.
+use safebound_core::simd::hash::FastMap;
+
+pub fn index(keys: &[u64]) -> FastMap<u64, usize> {
+    let mut m = FastMap::default();
+    for (i, &k) in keys.iter().enumerate() {
+        m.entry(k).or_insert(i);
+    }
+    m
+}

@@ -1,0 +1,14 @@
+// Positive fixture for `fast-map`: default-hasher std maps constructed
+// in a pretend session-hot module.
+use std::collections::{HashMap, HashSet};
+
+pub fn index(keys: &[u64]) -> HashMap<u64, usize> {
+    let mut m = HashMap::new();
+    let mut seen: HashSet<u64> = HashSet::with_capacity(keys.len());
+    for (i, &k) in keys.iter().enumerate() {
+        if seen.insert(k) {
+            m.insert(k, i);
+        }
+    }
+    m
+}

@@ -1,0 +1,9 @@
+// Negative fixture for `lock-recover`: poison recovery via
+// `unwrap_or_else(PoisonError::into_inner)` — the `lock_recover`
+// idiom's expansion — is the accepted form.
+use std::sync::{Mutex, PoisonError};
+
+pub fn drain(m: &Mutex<Vec<u64>>) -> Vec<u64> {
+    let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    std::mem::take(&mut *g)
+}

@@ -1,0 +1,13 @@
+// Positive fixture for `lock-recover`: raw poison-propagating lock
+// acquisitions, including one split by an interleaved comment (token
+// adjacency must survive comments).
+use std::sync::Mutex;
+
+pub fn drain(m: &Mutex<Vec<u64>>) -> Vec<u64> {
+    let mut g = m.lock().unwrap();
+    std::mem::take(&mut *g)
+}
+
+pub fn peek(m: &Mutex<Vec<u64>>) -> usize {
+    m.lock() /* poisoning ignored */ .expect("lock").len()
+}

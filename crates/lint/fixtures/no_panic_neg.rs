@@ -1,0 +1,25 @@
+// Negative fixture for `no-panic`: non-test code degrades instead of
+// panicking; unwraps are confined to `#[cfg(test)]` items, which the
+// linter exempts.
+pub fn answer(lines: &mut Vec<String>) -> Result<String, String> {
+    match lines.pop() {
+        Some(first) => Ok(first),
+        None => Err("empty batch".to_string()),
+    }
+}
+
+// A pragma with a justification suppresses a finding on the next line.
+pub fn fixed_width(chunk: &[u8]) -> u64 {
+    // lint: allow(no-panic) -- chunks_exact(8) upstream guarantees the
+    // conversion cannot fail
+    u64::from_le_bytes(chunk.try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v = vec![1, 2, 3];
+        assert_eq!(*v.last().unwrap(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+// Positive fixture for `no-panic`: linted under a pretend serving
+// path, so the unwrap, the expect, and the panic! all fire.
+pub fn answer(lines: &mut Vec<String>) -> String {
+    let first = lines.pop().unwrap();
+    let parsed: u64 = first.parse().expect("numeric line");
+    if parsed == 0 {
+        panic!("zero is not a valid request id");
+    }
+    first
+}

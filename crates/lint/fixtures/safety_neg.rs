@@ -1,0 +1,16 @@
+// Negative fixture for `safety-comment`: every unsafe carries a
+// SAFETY argument, in both the block-comment-above and doc-comment
+// forms the rule accepts.
+pub fn read_first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees the slice is non-empty, so
+    // reading its first element is in bounds.
+    unsafe { *v.as_ptr() }
+}
+
+/// # Safety
+/// `p` must point to a live, initialized `u8`.
+pub unsafe fn deref(p: *const u8) -> u8 {
+    // SAFETY: forwarded to the caller by this function's contract.
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+// Positive fixture for `safety-comment`: an unsafe block with no
+// SAFETY comment anywhere near it.
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,476 @@
+//! Lint engine: file model shared by every rule — test-span exemption,
+//! per-line code/comment classification, pragma parsing/suppression, and
+//! diagnostic assembly.
+//!
+//! ## Test exemption
+//!
+//! Code under `#[cfg(test)]` (including `cfg(all(test, …))`), `#[test]`
+//! functions, and bare `mod tests { … }` / `mod test { … }` items is
+//! exempt from every rule: the invariants guard production behavior, and
+//! test code legitimately unwraps, panics, and measures time. A file-level
+//! `#![cfg(test)]` exempts the whole file. `cfg(not(test))` and
+//! `cfg_attr(..)` never exempt anything.
+//!
+//! ## Pragmas
+//!
+//! An audited exception is written as
+//!
+//! ```text
+//! // lint: allow(no-panic) -- replying would hide a corrupted session
+//! ```
+//!
+//! either trailing on the offending line or standalone on the line(s)
+//! directly above it (a standalone pragma covers the next line that holds
+//! code). The `-- justification` part is **mandatory** — a pragma without
+//! one, or naming a rule that does not exist, is itself a diagnostic
+//! (rule `pragma`) that cannot be suppressed.
+
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+use crate::rules;
+
+/// One finding, printed as `file:line:col [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Everything a rule needs to inspect one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    pub toks: &'a [Tok],
+    pub comments: &'a [Comment],
+    /// Parallel to `toks`: true for tokens inside test-exempt spans.
+    pub exempt: &'a [bool],
+    lines: LineTable,
+}
+
+/// Per-line classification derived from the token/comment streams.
+struct LineTable {
+    /// Column of the first *code* token on each line (1-based line index).
+    first_code: Vec<Option<u32>>,
+    /// Whether the first code token on the line is `#` (attribute line).
+    attr_start: Vec<bool>,
+    /// Lines covered by at least one comment.
+    has_comment: Vec<bool>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// True when `line` holds no code tokens at all (blank or
+    /// comment-only).
+    fn code_free(&self, line: u32) -> bool {
+        self.lines
+            .first_code
+            .get(line as usize)
+            .is_none_or(|c| c.is_none())
+    }
+
+    /// True when the line's code consists of attribute tokens (first code
+    /// token is `#`). Single-line attributes only — good enough for this
+    /// tree, documented in the README.
+    fn attr_line(&self, line: u32) -> bool {
+        self.lines
+            .attr_start
+            .get(line as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn has_comment(&self, line: u32) -> bool {
+        self.lines
+            .has_comment
+            .get(line as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Comments whose span covers `line`.
+    pub fn comments_on(&self, line: u32) -> impl Iterator<Item = &'a Comment> + '_ {
+        self.comments
+            .iter()
+            .filter(move |c| c.line <= line && line <= c.end_line)
+    }
+
+    /// True when a `SAFETY:`-marked comment immediately precedes `line`
+    /// (or sits on it): the contiguous run of comment/attribute/blank-free
+    /// lines above may separate them, but any plain code or a blank line
+    /// breaks the association.
+    pub fn safety_comment_covers(&self, line: u32) -> bool {
+        let marked = |l: u32| {
+            self.comments_on(l)
+                .any(|c| rules::is_safety_marker(&c.text))
+        };
+        if marked(line) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if marked(l) {
+                return true;
+            }
+            let comment_only = self.code_free(l) && self.has_comment(l);
+            if comment_only || self.attr_line(l) {
+                continue; // keep walking up through the doc/attr block
+            }
+            return false; // code or a blank line breaks adjacency
+        }
+        false
+    }
+}
+
+/// A parsed `lint: allow(..)` pragma and the lines it covers.
+struct Pragma {
+    rules: Vec<String>,
+    lines: Vec<u32>,
+}
+
+/// Lint a single file's source. `rel_path` must be workspace-relative
+/// with forward slashes (e.g. `crates/serve/src/server.rs`) — rule
+/// scoping keys off it.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let exempt = test_exempt_mask(&lexed.toks);
+    let lines = line_table(&lexed, src);
+    let ctx = FileCtx {
+        path: rel_path,
+        toks: &lexed.toks,
+        comments: &lexed.comments,
+        exempt: &exempt,
+        lines,
+    };
+
+    let mut diags = Vec::new();
+    let (pragmas, mut pragma_diags) = parse_pragmas(&ctx);
+    diags.append(&mut pragma_diags);
+
+    let mut findings = rules::run_all(&ctx);
+    findings.retain(|d| {
+        !pragmas
+            .iter()
+            .any(|p| p.rules.iter().any(|r| r == d.rule) && p.lines.contains(&d.line))
+    });
+    diags.append(&mut findings);
+    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    diags
+}
+
+fn line_table(lexed: &Lexed, src: &str) -> LineTable {
+    let n_lines = src.lines().count() + 2;
+    let mut first_code = vec![None; n_lines];
+    let mut attr_start = vec![false; n_lines];
+    let mut has_comment = vec![false; n_lines];
+    for t in &lexed.toks {
+        let l = t.line as usize;
+        if l < n_lines && first_code[l].is_none_or(|c| t.col < c) {
+            first_code[l] = Some(t.col);
+            attr_start[l] = t.kind == TokKind::Punct('#');
+        }
+    }
+    for c in &lexed.comments {
+        for l in c.line..=c.end_line {
+            if (l as usize) < n_lines {
+                has_comment[l as usize] = true;
+            }
+        }
+    }
+    LineTable {
+        first_code,
+        attr_start,
+        has_comment,
+    }
+}
+
+/// Compute which tokens sit inside test-exempt spans.
+fn test_exempt_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Inner attribute `#![cfg(test)]` exempts the whole file.
+        if toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
+        {
+            let (after, is_test) = scan_attr(toks, i + 2);
+            if is_test {
+                mask.iter_mut().for_each(|m| *m = true);
+                return mask;
+            }
+            i = after;
+            continue;
+        }
+        // Outer attribute(s) followed by an item.
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_start = i;
+            let (mut j, mut is_test) = scan_attr(toks, i + 1);
+            while j < toks.len()
+                && toks[j].is_punct('#')
+                && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+            {
+                let (j2, t2) = scan_attr(toks, j + 1);
+                is_test |= t2;
+                j = j2;
+            }
+            if is_test {
+                let end = item_end(toks, j);
+                mask[attr_start..end].iter_mut().for_each(|m| *m = true);
+                i = end;
+            } else {
+                i = j;
+            }
+            continue;
+        }
+        // Conventional test module without an attribute.
+        if toks[i].is_ident("mod")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("tests") || t.is_ident("test"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            let end = item_end(toks, i);
+            mask[i..end].iter_mut().for_each(|m| *m = true);
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scan an attribute whose `[` is at `open`. Returns the index just past
+/// the matching `]` and whether the attribute gates on test compilation:
+/// `#[test]` exactly, or `#[cfg(test)]` / `#[cfg(all(test, …))]` — any
+/// `cfg` attribute containing the `test` predicate, unless negated
+/// anywhere (`not(…)` makes the attribute conservatively non-exempting).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    debug_assert!(toks[open].is_punct('['));
+    let mut depth = 0usize;
+    let mut j = open;
+    let mut inner: Vec<&Tok> = Vec::new();
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if depth >= 1 && j > open {
+            inner.push(t);
+        }
+        j += 1;
+    }
+    let only_test = inner.len() == 1 && inner[0].is_ident("test");
+    let cfg_test = inner.first().is_some_and(|t| t.is_ident("cfg"))
+        && inner.iter().any(|t| t.is_ident("test"))
+        && !inner.iter().any(|t| t.is_ident("not"));
+    (j, only_test || cfg_test)
+}
+
+/// Given the index of an item's first token (after its attributes), find
+/// the index just past the item: past the matching `}` of its first
+/// top-level brace, or past a top-level `;` for braceless items.
+fn item_end(toks: &[Tok], start: usize) -> usize {
+    let mut paren = 0isize; // () and []
+    let mut j = start;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+            TokKind::Punct(';') if paren == 0 => return j + 1,
+            TokKind::Punct('{') if paren == 0 => {
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    match toks[j].kind {
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return j + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return toks.len();
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Parse every `lint:` pragma comment. Returns the valid pragmas plus
+/// diagnostics for malformed ones.
+fn parse_pragmas(ctx: &FileCtx<'_>) -> (Vec<Pragma>, Vec<Diagnostic>) {
+    let mut pragmas = Vec::new();
+    let mut diags = Vec::new();
+    for c in ctx.comments {
+        let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let mut fail = |msg: String| {
+            diags.push(Diagnostic {
+                file: ctx.path.to_string(),
+                line: c.line,
+                col: c.col,
+                rule: "pragma",
+                message: msg,
+            });
+        };
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            fail("malformed pragma: expected `lint: allow(<rule>) -- <justification>`".into());
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            fail("malformed pragma: missing `)`".into());
+            continue;
+        };
+        let names: Vec<String> = rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if names.is_empty() {
+            fail("malformed pragma: empty rule list".into());
+            continue;
+        }
+        let mut bad = false;
+        for n in &names {
+            if !rules::RULES.iter().any(|r| r.name == n) {
+                fail(format!(
+                    "pragma names unknown rule `{n}` (known: {})",
+                    rules::rule_names().join(", ")
+                ));
+                bad = true;
+            }
+        }
+        if bad {
+            continue;
+        }
+        let tail = rest[close + 1..].trim_start();
+        let justification = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if justification.is_empty() {
+            fail(format!(
+                "pragma for `{}` lacks a justification: `-- <why this is sound>` is mandatory",
+                names.join(", ")
+            ));
+            continue;
+        }
+        // Coverage: the pragma's own line(s); if no code shares the final
+        // line, also the next line that holds code.
+        let mut lines: Vec<u32> = (c.line..=c.end_line).collect();
+        let standalone = ctx
+            .lines
+            .first_code
+            .get(c.line as usize)
+            .copied()
+            .flatten()
+            .is_none_or(|code_col| code_col > c.col);
+        if standalone {
+            let mut l = c.end_line + 1;
+            let limit = ctx.lines.first_code.len() as u32;
+            while l < limit && ctx.code_free(l) {
+                l += 1;
+            }
+            if l < limit {
+                lines.push(l);
+            }
+        }
+        pragmas.push(Pragma {
+            rules: names,
+            lines,
+        });
+    }
+    (pragmas, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn f(x: Option<u32>) -> u32 { x.unwrap() }
+}
+"#;
+        assert!(rules_hit("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_fn_is_exempt_but_sibling_is_not() {
+        let src = r#"
+#[test]
+fn in_test() { None::<u32>.unwrap(); }
+fn in_prod(x: Option<u32>) -> u32 { x.unwrap() }
+"#;
+        assert_eq!(rules_hit("crates/serve/src/x.rs", src), ["no-panic"]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = r#"
+#[cfg(not(test))]
+fn prod(x: Option<u32>) -> u32 { x.unwrap() }
+"#;
+        assert_eq!(rules_hit("crates/serve/src/x.rs", src), ["no-panic"]);
+    }
+
+    #[test]
+    fn pragma_requires_justification_and_known_rule() {
+        let no_just = "// lint: allow(no-panic)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let hits = rules_hit("crates/serve/src/x.rs", no_just);
+        assert!(
+            hits.contains(&"pragma") && hits.contains(&"no-panic"),
+            "{hits:?}"
+        );
+
+        let unknown = "// lint: allow(no-such-rule) -- because\nfn f() {}\n";
+        assert_eq!(rules_hit("crates/serve/src/x.rs", unknown), ["pragma"]);
+    }
+
+    #[test]
+    fn standalone_and_trailing_pragmas_cover_the_site() {
+        let above = "// lint: allow(no-panic) -- unreachable: n is checked\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(rules_hit("crates/serve/src/x.rs", above).is_empty());
+        let trailing =
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint: allow(no-panic) -- unreachable\n";
+        assert!(rules_hit("crates/serve/src/x.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn whole_file_cfg_test_is_exempt() {
+        let src = "#![cfg(test)]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(rules_hit("crates/serve/src/x.rs", src).is_empty());
+    }
+}

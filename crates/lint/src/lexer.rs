@@ -1,0 +1,479 @@
+//! A minimal hand-rolled Rust lexer: just enough token structure for the
+//! invariant rules in [`crate::rules`], with exact line/column tracking.
+//!
+//! In the same spirit as the `crates/compat` shims, this is not a general
+//! Rust front-end — it understands exactly the constructs that would
+//! otherwise make naive text matching lie:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), kept on a side list so rules can find `SAFETY:`
+//!   markers and `lint: allow(..)` pragmas without them interrupting
+//!   token adjacency (`.lock() /* x */ .unwrap()` still matches);
+//! * cooked strings with escapes, raw strings (`r"…"`, `r#"…"#`, any
+//!   hash depth, with `b`/`c` prefixes), byte strings, and char literals
+//!   — so `"unsafe"` or `'{'` never produce phantom tokens;
+//! * char literal vs lifetime disambiguation (`'a'` vs `'a`);
+//! * raw identifiers (`r#type`).
+//!
+//! Everything else is an identifier, a number, or a single-character
+//! punctuation token. Multi-character operators (`::`, `->`, `..`) are
+//! deliberately left as punctuation sequences; rules match on adjacent
+//! tokens instead.
+
+/// What a non-comment token is. Only identifiers and punctuation carry
+/// rule-relevant structure; literal kinds exist so their *content* is
+/// known to be inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (text in [`Tok::text`]); raw identifiers
+    /// (`r#type`) are stored without the `r#` prefix.
+    Ident,
+    /// Single punctuation character.
+    Punct(char),
+    /// String literal of any flavor (cooked/raw/byte/C).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`) — includes the label form in loops.
+    Lifetime,
+}
+
+/// One code token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: u32,
+    pub col: u32,
+    pub text: String,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment (line or block), kept out of the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Line the comment starts on.
+    pub line: u32,
+    pub col: u32,
+    /// Last line the comment covers (equals `line` for line comments).
+    pub end_line: u32,
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: the code token stream plus the comment side list, both
+/// in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consume one char, tracking line/col.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated
+/// constructs simply consume to end of input — the linter's job is to
+/// flag invariants, not to reject code `rustc` already accepted.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                line,
+                col,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(ch) = cur.peek(0) {
+                if ch == '/' && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    cur.bump();
+                    cur.bump();
+                } else if ch == '*' && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            out.comments.push(Comment {
+                line,
+                col,
+                end_line: cur.line,
+                text,
+            });
+            continue;
+        }
+        // Strings / chars / lifetimes / idents (including literal
+        // prefixes: r"", r#""#, b"", br#""#, c"", cr#""#, b'', r#ident).
+        if c == '"' {
+            lex_cooked_string(&mut cur);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                line,
+                col,
+                text: String::new(),
+            });
+            continue;
+        }
+        if c == '\'' {
+            let kind = lex_quote(&mut cur, &mut out);
+            if let Some(kind) = kind {
+                out.toks.push(Tok {
+                    kind,
+                    line,
+                    col,
+                    text: String::new(),
+                });
+            }
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut word = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if is_ident_continue(ch) {
+                    word.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            // Literal prefixes and raw identifiers.
+            match (word.as_str(), cur.peek(0)) {
+                ("r" | "b" | "br" | "c" | "cr", Some('"')) => {
+                    if word == "b" || word == "c" {
+                        lex_cooked_string(&mut cur);
+                    } else {
+                        lex_raw_string(&mut cur, 0);
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        line,
+                        col,
+                        text: String::new(),
+                    });
+                    continue;
+                }
+                ("b", Some('\'')) => {
+                    // Byte literal: consume the quote machinery below.
+                    let kind = lex_quote(&mut cur, &mut out);
+                    if let Some(kind) = kind {
+                        out.toks.push(Tok {
+                            kind,
+                            line,
+                            col,
+                            text: String::new(),
+                        });
+                    }
+                    continue;
+                }
+                ("r" | "br" | "cr", Some('#')) => {
+                    // Count hashes: raw string (`r#"…"#`) or raw
+                    // identifier (`r#type`).
+                    let mut hashes = 0usize;
+                    while cur.peek(hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if cur.peek(hashes) == Some('"') {
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        lex_raw_string(&mut cur, hashes);
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            line,
+                            col,
+                            text: String::new(),
+                        });
+                        continue;
+                    }
+                    if word == "r" && hashes == 1 && cur.peek(1).is_some_and(is_ident_start) {
+                        cur.bump(); // '#'
+                        let mut raw = String::new();
+                        while let Some(ch) = cur.peek(0) {
+                            if is_ident_continue(ch) {
+                                raw.push(ch);
+                                cur.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Ident,
+                            line,
+                            col,
+                            text: raw,
+                        });
+                        continue;
+                    }
+                    // `r#` followed by something else: fall through as a
+                    // plain ident; the '#' lexes as punctuation next.
+                }
+                _ => {}
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                line,
+                col,
+                text: word,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if is_ident_continue(ch) {
+                    text.push(ch);
+                    cur.bump();
+                } else if ch == '.'
+                    && !text.contains('.')
+                    && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    // Fractional part (`1.5`), but never a range (`1..5`)
+                    // or a method call on a literal (`1.min(x)`).
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                line,
+                col,
+                text,
+            });
+            continue;
+        }
+        // Single punctuation char.
+        cur.bump();
+        out.toks.push(Tok {
+            kind: TokKind::Punct(c),
+            line,
+            col,
+            text: String::new(),
+        });
+    }
+    out
+}
+
+/// Consume a cooked string starting at the opening `"`.
+fn lex_cooked_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\\' => {
+                cur.bump(); // escaped char (covers \" and \\)
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consume a raw string starting at the opening `"`, terminated by `"`
+/// followed by `hashes` `#` characters.
+fn lex_raw_string(cur: &mut Cursor, hashes: usize) {
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.bump() {
+        if ch == '"' {
+            let mut matched = 0usize;
+            while matched < hashes && cur.peek(0) == Some('#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                break;
+            }
+        }
+    }
+}
+
+/// Disambiguate a `'`: char literal (`'a'`, `'\n'`) vs lifetime/label
+/// (`'a`, `'static`). Returns the token kind to push, or `None` when the
+/// quote was consumed as part of something already handled.
+fn lex_quote(cur: &mut Cursor, _out: &mut Lexed) -> Option<TokKind> {
+    cur.bump(); // the opening '
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escape: definitely a char literal; consume to closing '.
+            cur.bump();
+            cur.bump(); // the escaped character
+            while let Some(ch) = cur.bump() {
+                if ch == '\'' {
+                    break;
+                }
+            }
+            Some(TokKind::Char)
+        }
+        Some(c) if is_ident_start(c) => {
+            if cur.peek(1) == Some('\'') {
+                // 'a'
+                cur.bump();
+                cur.bump();
+                Some(TokKind::Char)
+            } else {
+                // Lifetime: consume the identifier.
+                while let Some(ch) = cur.peek(0) {
+                    if is_ident_continue(ch) {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Some(TokKind::Lifetime)
+            }
+        }
+        Some(_) => {
+            // Non-ident char literal like '{' or '0'.
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            Some(TokKind::Char)
+        }
+        None => Some(TokKind::Char),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r##"let s = "unsafe { unwrap() }"; let r = r#"panic!("x")"#;"##);
+        let ids = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(ids, ["let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* one /* two */ still comment */ b");
+        assert_eq!(idents("a /* one /* two */ still comment */ b"), ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("still comment"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let brace = '{'; }");
+        let lifetimes = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_tracked() {
+        let l = lex("ab\n  cd");
+        assert_eq!((l.toks[0].line, l.toks[0].col), (1, 1));
+        assert_eq!((l.toks[1].line, l.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifier_and_numbers() {
+        assert_eq!(idents("r#type 1.5e3 0..10 x.0.f"), ["type", "x", "f"]);
+    }
+
+    #[test]
+    fn multiline_block_comment_spans() {
+        let l = lex("/* a\nb\nc */ x");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].end_line, 3);
+        assert_eq!(l.toks[0].line, 3);
+    }
+}

@@ -1,0 +1,103 @@
+//! # safebound-lint
+//!
+//! In-tree static analysis enforcing the workspace's hand-maintained
+//! correctness conventions as machine-checked, named rules. The paper's
+//! value proposition is *soundness* — bounds never under the true
+//! cardinality — and several layers of that promise rest on conventions
+//! no compiler checks: `unsafe` SIMD kernels must argue their obligations
+//! (`SAFETY:`), serving-path mutexes must recover from poison
+//! (`lock_recover`), hot paths must stay panic-free, session-hot maps
+//! must use the FNV `FastMap`, and kernels/fault schedules must be
+//! reproducible from their seeds. This crate turns each convention into
+//! a rule with a positive/negative fixture and runs as a required CI
+//! job — see `README.md` for the rule catalog and pragma syntax.
+//!
+//! Run locally:
+//!
+//! ```text
+//! cargo run -p safebound-lint --release -- --workspace
+//! ```
+//!
+//! Registry-free by construction (the build environment has no network):
+//! the lexer is hand-rolled in the same spirit as the `crates/compat`
+//! shims.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{lint_source, Diagnostic};
+
+use std::path::{Path, PathBuf};
+
+/// Directories never walked: build output, VCS, and the linter's own
+/// rule fixtures (which are deliberate violations).
+const SKIP_DIRS: &[&str] = &["target", ".git"];
+
+/// Path (relative, forward slashes) prefixes excluded from the walk.
+const SKIP_PREFIXES: &[&str] = &["crates/lint/fixtures"];
+
+/// Recursively collect every `.rs` file under `root`, sorted, as
+/// `(absolute, workspace-relative)` pairs.
+pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let rel = rel_path(root, &path);
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_str())
+                    || SKIP_PREFIXES.iter().any(|p| rel.starts_with(p))
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push((path, rel));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint every Rust file in the workspace rooted at `root`. Diagnostics
+/// come back sorted by (file, line, col).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for (abs, rel) in collect_rust_files(root)? {
+        let src = std::fs::read_to_string(&abs)?;
+        diags.extend(lint_source(&rel, &src));
+    }
+    Ok(diags)
+}
+
+/// The workspace root this binary was compiled in: `crates/lint/../..`.
+/// Valid wherever the same checkout runs the binary (local and CI).
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}

@@ -1,0 +1,108 @@
+//! `safebound-lint` CLI: walk the workspace (or explicit files), print
+//! `file:line:col [rule] message` per finding, exit nonzero on any.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use safebound_lint::{collect_rust_files, default_root, lint_source, rules};
+
+const USAGE: &str = "\
+safebound-lint: machine-checked project invariants for the SafeBound workspace
+
+USAGE:
+    safebound-lint --workspace             lint every .rs file in the repo
+    safebound-lint [--root DIR] FILES...   lint specific files (paths are
+                                           taken relative to the root for
+                                           rule scoping)
+    safebound-lint --list-rules            print the rule catalog
+
+EXIT CODES:
+    0  clean        1  findings        2  usage or I/O error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--list-rules" => {
+                for r in rules::RULES {
+                    println!("{:<16} {}", r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if !workspace && files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let targets: Vec<(PathBuf, String)> = if workspace {
+        match collect_rust_files(&root) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot walk {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        files
+            .into_iter()
+            .map(|f| {
+                let abs = if std::path::Path::new(&f).is_absolute() {
+                    PathBuf::from(&f)
+                } else {
+                    root.join(&f)
+                };
+                (abs, f.replace('\\', "/"))
+            })
+            .collect()
+    };
+
+    let mut findings = 0usize;
+    let mut scanned = 0usize;
+    for (abs, rel) in targets {
+        let src = match std::fs::read_to_string(&abs) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", abs.display());
+                return ExitCode::from(2);
+            }
+        };
+        scanned += 1;
+        for d in lint_source(&rel, &src) {
+            println!("{d}");
+            findings += 1;
+        }
+    }
+    eprintln!(
+        "safebound-lint: {scanned} files scanned, {findings} finding{}",
+        if findings == 1 { "" } else { "s" }
+    );
+    if findings == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

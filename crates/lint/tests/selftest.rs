@@ -1,0 +1,160 @@
+//! The linter's own acceptance suite: every rule fires on its positive
+//! fixture, stays silent on its negative fixture, pragmas suppress,
+//! `#[cfg(test)]` code is exempt — and the shipped workspace is clean.
+//!
+//! Fixtures live in `crates/lint/fixtures/` (excluded from the
+//! workspace walk — they are deliberate violations) and are linted here
+//! under *pretend* workspace paths so the path-scoped rules apply.
+
+use safebound_lint::{default_root, lint_source, lint_workspace, Diagnostic};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lint fixture `name` as if it lived at `pretend_path`, returning only
+/// the diagnostics of `rule`.
+fn findings(name: &str, pretend_path: &str, rule: &str) -> Vec<Diagnostic> {
+    lint_source(pretend_path, &fixture(name))
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .collect()
+}
+
+// Pretend paths placing fixtures inside each rule's scope.
+const SIMD_PATH: &str = "crates/core/src/simd/fixture.rs";
+const SERVE_PATH: &str = "crates/serve/src/fixture.rs";
+const CORE_PATH: &str = "crates/core/src/fixture.rs";
+
+#[test]
+fn safety_comment_fires_on_uncommented_unsafe() {
+    let found = findings("safety_pos.rs", SIMD_PATH, "safety-comment");
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].line, 4);
+}
+
+#[test]
+fn safety_comment_accepts_safety_and_doc_forms() {
+    let found = findings("safety_neg.rs", SIMD_PATH, "safety-comment");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn no_panic_fires_on_unwrap_expect_and_panic() {
+    let found = findings("no_panic_pos.rs", SERVE_PATH, "no-panic");
+    let kinds: Vec<u32> = found.iter().map(|d| d.line).collect();
+    assert_eq!(kinds, vec![4, 5, 7], "{found:?}");
+}
+
+#[test]
+fn no_panic_silent_on_degrading_code_pragmas_and_tests() {
+    let found = findings("no_panic_neg.rs", SERVE_PATH, "no-panic");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn no_panic_out_of_scope_path_is_silent() {
+    // The same violations outside the serving/hot-path scope are not
+    // this rule's business (e.g. the offline datagen crate).
+    let found = findings(
+        "no_panic_pos.rs",
+        "crates/datagen/src/fixture.rs",
+        "no-panic",
+    );
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn lock_recover_fires_even_across_comments() {
+    let found = findings("lock_recover_pos.rs", SERVE_PATH, "lock-recover");
+    let lines: Vec<u32> = found.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![7, 12], "{found:?}");
+}
+
+#[test]
+fn lock_recover_accepts_poison_recovery() {
+    let found = findings("lock_recover_neg.rs", SERVE_PATH, "lock-recover");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn fast_map_fires_on_default_hasher_construction() {
+    // Session-hot scope is the enumerated hot files plus the simd tree;
+    // the simd pretend path stands in for any of them.
+    let found = findings("fast_map_pos.rs", SIMD_PATH, "fast-map");
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn fast_map_accepts_fastmap() {
+    let found = findings("fast_map_neg.rs", SIMD_PATH, "fast-map");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn fast_map_out_of_scope_path_is_silent() {
+    let found = findings("fast_map_pos.rs", "crates/query/src/fixture.rs", "fast-map");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn determinism_fires_on_clock_and_spawn() {
+    let found = findings("determinism_pos.rs", CORE_PATH, "determinism");
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn determinism_accepts_passed_in_timestamps() {
+    let found = findings("determinism_neg.rs", CORE_PATH, "determinism");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn determinism_exempts_time_owner_modules() {
+    let found = findings(
+        "determinism_pos.rs",
+        "crates/serve/src/refresh.rs",
+        "determinism",
+    );
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn pragma_without_justification_is_reported_and_does_not_suppress() {
+    let src = "pub fn f(v: Vec<u8>) -> u8 {\n    // lint: allow(no-panic)\n    v.last().copied().unwrap()\n}\n";
+    let diags = lint_source(SERVE_PATH, src);
+    assert!(
+        diags.iter().any(|d| d.rule == "pragma"),
+        "missing-justification pragma must itself be a finding: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "no-panic"),
+        "a malformed pragma must not suppress: {diags:?}"
+    );
+}
+
+#[test]
+fn pragma_naming_unknown_rule_is_reported() {
+    let src = "// lint: allow(no-such-rule) -- because\npub fn f() {}\n";
+    let diags = lint_source(SERVE_PATH, src);
+    assert!(diags.iter().any(|d| d.rule == "pragma"), "{diags:?}");
+}
+
+#[test]
+fn workspace_is_clean() {
+    // The shipped tree must satisfy its own invariants — the same check
+    // CI runs via `cargo run -p safebound-lint -- --workspace`.
+    let diags = lint_workspace(&default_root()).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -104,6 +104,9 @@
 //! bundled IMDB generator.
 
 #![warn(missing_docs)]
+// `unsafe` in this workspace is confined to the SIMD kernels in
+// `safebound-core`'s `simd` module; everything else forbids it outright.
+#![forbid(unsafe_code)]
 
 pub mod faults;
 pub mod refresh;

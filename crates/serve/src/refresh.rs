@@ -328,11 +328,22 @@ impl StatsRefresher {
                     }
                     thread_shared.cv.notify_all();
                 }
-            })
-            .expect("spawn refresh thread");
+            });
+        // A failed thread spawn (resource pressure) yields a refresher
+        // that is born stopped, with the reason recorded — callers see
+        // `RefreshError::Stopped` / `last_error` instead of a panic.
+        let thread = match thread {
+            Ok(t) => Some(t),
+            Err(e) => {
+                let mut st = lock_recover(&shared.state);
+                st.stopped = true;
+                st.last_error = Some(format!("failed to spawn refresh thread: {e}"));
+                None
+            }
+        };
         StatsRefresher {
             shared,
-            thread: Mutex::new(Some(thread)),
+            thread: Mutex::new(thread),
         }
     }
 

@@ -656,9 +656,13 @@ fn serve_batch(
         .into_iter();
     for p in &parsed {
         match p {
-            Ok(_) => match bounds.next().expect("one bound per parsed query") {
-                Ok(b) => writeln!(writer, "OK {b}")?,
-                Err(e) => writeln!(writer, "ERR {e}")?,
+            // The pool returns one bound per submitted query; a short
+            // iterator would be a pool bug, so the line degrades to
+            // `ERR internal` instead of panicking the connection thread.
+            Ok(_) => match bounds.next() {
+                Some(Ok(b)) => writeln!(writer, "OK {b}")?,
+                Some(Err(e)) => writeln!(writer, "ERR {e}")?,
+                None => writeln!(writer, "ERR internal: missing bound for query")?,
             },
             Err(e) => writeln!(writer, "ERR parse: {e}")?,
         }
@@ -712,9 +716,10 @@ fn answer_deadline(ctx: &ConnCtx, sql: &str) -> String {
             let mut results = ctx
                 .service
                 .bound_batch_deadline(vec![q].into(), ctx.batch_timeout);
-            match results.pop().expect("one result per query") {
-                Ok(b) => format!("OK {b}"),
-                Err(e) => format!("ERR {e}"),
+            match results.pop() {
+                Some(Ok(b)) => format!("OK {b}"),
+                Some(Err(e)) => format!("ERR {e}"),
+                None => "ERR internal: missing bound for query".to_string(),
             }
         }
         Err(e) => format!("ERR parse: {e}"),

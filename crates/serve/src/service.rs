@@ -31,9 +31,9 @@
 
 use crate::faults::{FaultInjector, WorkerFault};
 use crate::lock_recover;
+use safebound_core::simd::hash::FastMap;
 use safebound_core::{BoundSession, EstimateError, SafeBound, SessionStats};
 use safebound_query::Query;
-use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -207,9 +207,11 @@ impl BoundService {
     /// clients should use [`BoundService::bound_batch`].
     pub fn bound(&self, query: &Query) -> Result<f64, EstimateError> {
         let mut results = self.bound_batch(std::slice::from_ref(query));
-        results
-            .pop()
-            .expect("bound_batch returns one result per query")
+        results.pop().unwrap_or_else(|| {
+            Err(EstimateError::Internal(
+                "bound_batch returned no result".to_string(),
+            ))
+        })
     }
 
     /// Bound a batch: queries are partitioned by shape hash across the
@@ -264,7 +266,7 @@ impl BoundService {
         // Dedup identical (shape, literal) lines onto a representative.
         let mut canon: Vec<usize> = (0..shared.len()).collect();
         if shared.len() > 1 {
-            let mut groups: HashMap<(u64, u64), Vec<usize>> = HashMap::new();
+            let mut groups: FastMap<(u64, u64), Vec<usize>> = FastMap::default();
             let mut hits = 0u64;
             for (i, q) in shared.iter().enumerate() {
                 let key = (hashes[i], q.literal_fingerprint());
@@ -344,11 +346,16 @@ impl BoundService {
             }
         }
         // Fan representatives' answers back out to their duplicates.
+        // Every representative slot was filled (answered, or degraded in
+        // the loop above); an empty one would be a dispatcher bug, so it
+        // degrades to `ERR internal` rather than panicking the caller.
         (0..shared.len())
             .map(|i| {
-                out[canon[i]]
-                    .clone()
-                    .expect("every representative answered or degraded above")
+                out[canon[i]].clone().unwrap_or_else(|| {
+                    Err(EstimateError::Internal(
+                        "representative answer missing".to_string(),
+                    ))
+                })
             })
             .collect()
     }
@@ -376,12 +383,13 @@ impl BoundService {
         }
         *slot = spawn_worker(&self.shared, w);
         self.shared.respawns.fetch_add(1, Ordering::Relaxed);
-        match slot
-            .sender
-            .as_ref()
-            .expect("fresh slot has a sender")
-            .send(job)
-        {
+        // `spawn_worker` always installs a sender; treat its absence like
+        // a failed send so the degrade path below covers both.
+        let sent = match slot.sender.as_ref() {
+            Some(sender) => sender.send(job),
+            None => Err(mpsc::SendError(job)),
+        };
+        match sent {
             Ok(()) => true,
             Err(mpsc::SendError(job)) => {
                 // Respawn failed too (thread spawn under resource
@@ -430,12 +438,16 @@ impl BoundService {
         // Greedy deal: fill the least-loaded shard up to the fair share,
         // repeat. Terminates because the total fits in n × fair slots.
         while !spilled.is_empty() {
-            let (target, len) = parts
+            let Some((target, len)) = parts
                 .iter()
                 .enumerate()
                 .map(|(i, p)| (i, p.len()))
                 .min_by_key(|&(_, len)| len)
-                .expect("n >= 1");
+            else {
+                // No shards to deal into (n == 0 cannot reach here, but
+                // degrade by dropping the spill rather than panicking).
+                break;
+            };
             let take = fair.saturating_sub(len).max(1).min(spilled.len());
             let at = spilled.len() - take;
             parts[target].extend(spilled.drain(at..));
@@ -509,6 +521,9 @@ fn worker_loop(id: usize, shared: Arc<PoolShared>, rx: mpsc::Receiver<Job>) {
                     match shared.faults.on_worker_query() {
                         WorkerFault::None => {}
                         WorkerFault::Delay(d) => std::thread::sleep(d),
+                        // lint: allow(no-panic) -- deliberate injected fault
+                        // behind the `faults` feature, caught by the
+                        // surrounding `catch_unwind`
                         WorkerFault::Panic => panic!("injected worker fault"),
                     }
                     shared
