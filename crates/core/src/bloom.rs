@@ -72,6 +72,29 @@ impl BloomFilter {
         self.bits.len() * 8 + 16
     }
 
+    /// The filter's geometry and bit words, for the snapshot-file writer:
+    /// `(bit words, number of bits, number of hash probes)`.
+    pub(crate) fn parts(&self) -> (&[u64], u64, u32) {
+        (&self.bits, self.num_bits, self.num_hashes)
+    }
+
+    /// Rebuild a filter from saved [`BloomFilter::parts`]. Returns `None`
+    /// on inconsistent geometry — `num_bits` of zero would divide by zero
+    /// in the probe loop, zero hashes would answer "present" for every
+    /// key, and a word count that disagrees with `num_bits` would index
+    /// out of bounds — so the snapshot load path can never construct a
+    /// filter that panics or loses the no-false-negative property.
+    pub(crate) fn from_parts(bits: Vec<u64>, num_bits: u64, num_hashes: u32) -> Option<Self> {
+        if num_bits == 0 || num_hashes == 0 || bits.len() as u64 != num_bits.div_ceil(64) {
+            return None;
+        }
+        Some(BloomFilter {
+            bits,
+            num_bits,
+            num_hashes,
+        })
+    }
+
     /// Bitwise union with a filter of identical geometry (same size and
     /// hash count): afterwards `self` contains every key inserted into
     /// either filter, with no false negatives — the Bloom analogue of the

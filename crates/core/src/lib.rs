@@ -75,6 +75,7 @@ pub mod parallel;
 pub mod partial;
 pub mod piecewise;
 pub mod simd;
+pub mod snapshot_file;
 pub mod stats;
 pub mod symbol;
 
@@ -90,5 +91,8 @@ pub use incremental::IncrementalBuilder;
 pub use partial::{partition_ranges, FilterUnitPartial, JoinKey, PartialTableStats, TableScanPlan};
 pub use piecewise::{PiecewiseConstant, PiecewiseLinear};
 pub use simd::{tier as simd_tier, SimdTier};
+pub use snapshot_file::{
+    load_snapshot, read_header, save_snapshot, SnapshotFileError, SnapshotHeader,
+};
 pub use stats::{SafeBoundBuilder, SafeBoundStats, StatsSnapshot, TableStats};
 pub use symbol::{Sym, SymbolTable};

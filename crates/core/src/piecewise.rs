@@ -730,6 +730,32 @@ impl PiecewiseLinear {
         }
     }
 
+    /// Rebuild a CDS from knots previously obtained via
+    /// [`PiecewiseLinear::knots`] (the snapshot-file load path), verbatim
+    /// — no collinearity cleanup, so the result is **bit-identical** to
+    /// the polyline that was saved. Returns `None` (instead of panicking
+    /// like [`PiecewiseLinear::from_knots`]) when the knots violate the
+    /// CDS invariants every constructor maintains: the list starts with
+    /// the exact origin `(0.0, 0.0)`, x is strictly increasing, y is
+    /// non-decreasing, and no coordinate is NaN.
+    pub(crate) fn from_saved_knots(knots: Vec<(f64, f64)>) -> Option<Self> {
+        let (first, rest) = knots.split_first()?;
+        // Bit-level origin check: `-0.0 == 0.0` under `==`, but no
+        // constructor ever emits a negative-zero origin, so a file
+        // carrying one is not a faithful save.
+        if first.0.to_bits() != 0 || first.1.to_bits() != 0 {
+            return None;
+        }
+        let (mut px, mut py) = *first;
+        for &(x, y) in rest {
+            if x.is_nan() || y.is_nan() || x <= px || y < py {
+                return None;
+            }
+            (px, py) = (x, y);
+        }
+        Some(PiecewiseLinear { knots })
+    }
+
     /// The knots.
     pub fn knots(&self) -> &[(f64, f64)] {
         &self.knots

@@ -202,6 +202,16 @@ impl TableStats {
         &self.filter_stats[slot as usize]
     }
 
+    /// All named filter statistics in name order (the snapshot-file
+    /// writer's view). Feeding these back through [`TableStats::assemble`]
+    /// reproduces the identical slot assignment, since `assemble` numbers
+    /// slots in sorted-name order too.
+    pub(crate) fn named_filters(&self) -> impl Iterator<Item = (&str, &FilterColumnStats)> {
+        self.filter_index
+            .iter()
+            .map(|(name, &slot)| (name.as_str(), &self.filter_stats[slot as usize]))
+    }
+
     /// Approximate heap size in bytes.
     pub fn byte_size(&self) -> usize {
         self.base.byte_size()

@@ -1,0 +1,24 @@
+// Negative fixture for `no-panic` in the snapshot persistence scope:
+// the loader style this scope enforces — every malformed input becomes
+// a typed error, unwraps live only in `#[cfg(test)]` items.
+pub fn decode_len(header: &[u8]) -> Result<u64, &'static str> {
+    match header.get(..8) {
+        Some(bytes) => {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(bytes);
+            match u64::from_le_bytes(buf) {
+                0 => Err("empty section"),
+                n => Ok(n),
+            }
+        }
+        None => Err("truncated header"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trips() {
+        assert_eq!(super::decode_len(&7u64.to_le_bytes()).unwrap(), 7);
+    }
+}

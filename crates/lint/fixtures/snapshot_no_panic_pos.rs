@@ -1,0 +1,13 @@
+// Positive fixture for `no-panic` in the snapshot persistence scope:
+// linted under the pretend path of the snapshot module, where a decode
+// panic on attacker- or bitrot-controlled bytes voids the "bad file is
+// a typed error" contract — the unwrap, the expect, and the panic! all
+// fire.
+pub fn decode_len(header: &[u8]) -> u64 {
+    let bytes: [u8; 8] = header[..8].try_into().unwrap();
+    let len = u64::try_from(bytes.len()).expect("fits");
+    if len == 0 {
+        panic!("empty section");
+    }
+    u64::from_le_bytes(bytes)
+}

@@ -5,7 +5,8 @@
 //! |-----------------|---------------------------------------------------------------|
 //! | `safety-comment`| every `unsafe` is preceded by a `SAFETY:` comment             |
 //! | `no-panic`      | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in the |
-//! |                 | serving path or the core query hot path                       |
+//! |                 | serving path, the core query hot path, or the snapshot        |
+//! |                 | persistence layer                                             |
 //! | `lock-recover`  | serve never calls `.lock().unwrap()`; use `lock_recover`      |
 //! | `fast-map`      | session-hot modules use `FastMap`, not the SipHash default    |
 //! | `determinism`   | no wall clocks / thread spawns outside their owner modules    |
@@ -33,7 +34,8 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "no-panic",
         summary: "no `.unwrap()`/`.expect()`/`panic!`/`todo!`/`unimplemented!` in non-test \
-                  code of crates/serve/src and the core query hot path",
+                  code of crates/serve/src, the core query hot path, or the snapshot \
+                  persistence layer",
     },
     RuleInfo {
         name: "lock-recover",
@@ -93,8 +95,18 @@ pub const TIME_OWNER_FILES: &[&str] = &[
     "crates/serve/src/service.rs",
 ];
 
+/// The snapshot persistence layer: the loader's whole contract is "a bad
+/// file is a typed error, never a panic", and the writer runs on the
+/// refresher thread where a panic would kill background refresh — so the
+/// module is held to the same panic-free bar as the serving path.
+pub const PERSIST_FILES: &[&str] = &["crates/core/src/snapshot_file.rs"];
+
 fn in_serve_src(path: &str) -> bool {
     path.starts_with("crates/serve/src/")
+}
+
+fn in_persist(path: &str) -> bool {
+    PERSIST_FILES.contains(&path)
 }
 
 fn in_core_hot(path: &str) -> bool {
@@ -121,7 +133,7 @@ fn in_determinism_scope(path: &str) -> bool {
 pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     safety_comment(ctx, &mut out);
-    if in_serve_src(ctx.path) || in_core_hot(ctx.path) {
+    if in_serve_src(ctx.path) || in_core_hot(ctx.path) || in_persist(ctx.path) {
         no_panic(ctx, &mut out);
     }
     if in_serve_src(ctx.path) {
@@ -324,6 +336,11 @@ mod tests {
         assert_eq!(rules_hit("crates/core/src/estimator.rs", src), ["no-panic"]);
         assert_eq!(
             rules_hit("crates/core/src/simd/search.rs", src),
+            ["no-panic"]
+        );
+        // The snapshot persistence layer is panic-free by contract too.
+        assert_eq!(
+            rules_hit("crates/core/src/snapshot_file.rs", src),
             ["no-panic"]
         );
         // …cold modules don't.

@@ -56,6 +56,30 @@ fn no_panic_silent_on_degrading_code_pragmas_and_tests() {
 }
 
 #[test]
+fn no_panic_fires_in_snapshot_persistence_scope() {
+    // The snapshot loader's contract is "a bad file is a typed error,
+    // never a panic"; the module is scoped into `no-panic` by exact
+    // path, so the fixture is linted under that path.
+    let found = findings(
+        "snapshot_no_panic_pos.rs",
+        "crates/core/src/snapshot_file.rs",
+        "no-panic",
+    );
+    let lines: Vec<u32> = found.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![7, 8, 10], "{found:?}");
+}
+
+#[test]
+fn no_panic_silent_on_typed_error_snapshot_code() {
+    let found = findings(
+        "snapshot_no_panic_neg.rs",
+        "crates/core/src/snapshot_file.rs",
+        "no-panic",
+    );
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
 fn no_panic_out_of_scope_path_is_silent() {
     // The same violations outside the serving/hot-path scope are not
     // this rule's business (e.g. the offline datagen crate).

@@ -5,6 +5,7 @@
 //!                       [--scale tiny|default|full] [--refresh-secs N]
 //!                       [--max-conns N] [--max-inflight N] [--idle-secs N]
 //!                       [--batch-timeout-secs N]
+//!                       [--snapshot-load PATH] [--snapshot-save PATH]
 //!     Build the bundled IMDB catalog + SafeBound statistics, then serve
 //!     the line protocol (see crate docs) with a background statistics
 //!     refresher (periodic when --refresh-secs > 0, always available via
@@ -13,6 +14,20 @@
 //!     until killed or told to SHUTDOWN — on which every connection
 //!     handler, worker, and the refresher is joined before the process
 //!     exits.
+//!
+//!     --snapshot-load PATH  Serve statistics from a snapshot file written
+//!                           by SNAPSHOT SAVE / --snapshot-save instead of
+//!                           building them. The file is fully validated
+//!                           (magic, version, checksums, fingerprints)
+//!                           before anything is constructed; a rejected
+//!                           file warns and falls back to a fresh build,
+//!                           so a corrupt snapshot can never wedge
+//!                           startup.
+//!     --snapshot-save PATH  Write the statistics to PATH after the
+//!                           initial build and again after every refresher
+//!                           publish, through the crash-safe writer (tmp
+//!                           file + fsync + atomic rename): a crash
+//!                           mid-save leaves the previous file intact.
 //!
 //! safebound-serve query --addr 127.0.0.1:7878 "SELECT COUNT(*) FROM ..." [more SQL...]
 //!     Connect to a running server, send each SQL argument (as one BATCH
@@ -33,7 +48,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  safebound-serve serve [--addr HOST:PORT] [--workers N] \
          [--scale tiny|default|full] [--refresh-secs N] [--max-conns N] \
-         [--max-inflight N] [--idle-secs N] [--batch-timeout-secs N]\n  \
+         [--max-inflight N] [--idle-secs N] [--batch-timeout-secs N] \
+         [--snapshot-load PATH] [--snapshot-save PATH]\n  \
          safebound-serve query --addr HOST:PORT SQL [SQL...]"
     );
     std::process::exit(2);
@@ -61,6 +77,8 @@ fn cmd_serve(args: &[String]) {
     let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut scale_name = "tiny".to_string();
     let mut refresh_secs = 0u64;
+    let mut snapshot_load: Option<std::path::PathBuf> = None;
+    let mut snapshot_save: Option<std::path::PathBuf> = None;
     let mut opts = ServeOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -85,6 +103,12 @@ fn cmd_serve(args: &[String]) {
                     n => Duration::from_secs(n),
                 }
             }
+            "--snapshot-load" => {
+                snapshot_load = Some(it.next().cloned().unwrap_or_else(|| usage()).into())
+            }
+            "--snapshot-save" => {
+                snapshot_save = Some(it.next().cloned().unwrap_or_else(|| usage()).into())
+            }
             "--batch-timeout-secs" => {
                 // 0 = wait indefinitely for workers (no degradation).
                 opts.batch_timeout = match parse("--batch-timeout-secs") {
@@ -101,10 +125,33 @@ fn cmd_serve(args: &[String]) {
         ))
     };
 
-    eprintln!("building IMDB catalog ({scale_name}) + SafeBound statistics…");
+    eprintln!("building IMDB catalog ({scale_name})…");
     let catalog = imdb_catalog(&scale, 1);
     let config = SafeBoundConfig::default();
-    let sb = SafeBound::build(&catalog, config.clone());
+    // A snapshot file, when given, replaces the (much slower) statistics
+    // build; a file the validator rejects warns and falls back, so a
+    // corrupt snapshot degrades startup to a rebuild, never a crash.
+    let loaded =
+        snapshot_load
+            .as_deref()
+            .and_then(|path| match safebound_core::load_snapshot(path) {
+                Ok(snapshot) => {
+                    eprintln!("loaded statistics snapshot from {}", path.display());
+                    Some(SafeBound::from_stats(snapshot))
+                }
+                Err(e) => {
+                    eprintln!(
+                        "safebound-serve: snapshot load from {} failed ({e}); \
+                     rebuilding statistics",
+                        path.display()
+                    );
+                    None
+                }
+            });
+    let sb = loaded.unwrap_or_else(|| {
+        eprintln!("building SafeBound statistics…");
+        SafeBound::build(&catalog, config.clone())
+    });
     let snapshot = sb.snapshot();
     eprintln!(
         "statistics ready: build {} — {} CDS sets, {} bytes",
@@ -112,6 +159,12 @@ fn cmd_serve(args: &[String]) {
         snapshot.num_sets(),
         snapshot.byte_size()
     );
+    if let Some(path) = &snapshot_save {
+        match safebound_core::save_snapshot(path, &snapshot) {
+            Ok(bytes) => eprintln!("saved snapshot to {} ({bytes} bytes)", path.display()),
+            Err(e) => eprintln!("safebound-serve: initial snapshot save failed: {e}"),
+        }
+    }
     drop(snapshot);
 
     // Lifecycle: one token threaded through the refresher, the accept
@@ -126,6 +179,9 @@ fn cmd_serve(args: &[String]) {
         move || Ok(SafeBoundBuilder::new(config.clone()).build(&catalog)),
         RefreshConfig {
             interval: (refresh_secs > 0).then(|| Duration::from_secs(refresh_secs)),
+            // Re-save after every publish so the on-disk snapshot tracks
+            // the served statistics (atomic rename: crash-safe).
+            save_path: snapshot_save,
             ..RefreshConfig::default()
         },
         shutdown.clone(),

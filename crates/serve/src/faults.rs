@@ -14,7 +14,12 @@
 //! * **refresh build failures** (exercises retry/backoff and
 //!   last-good-snapshot serving), and
 //! * **I/O errors and short writes** on the TCP response path (exercises
-//!   the retrying writer — a response line must never be truncated).
+//!   the retrying writer — a response line must never be truncated), and
+//! * **snapshot file faults** — injected read errors, seeded byte
+//!   corruption, truncated reads, and failed writes on the snapshot
+//!   persistence layer (exercises the checksummed loader's typed
+//!   rejection and the last-good fallback; see
+//!   [`FaultInjector::install_file_hook`]).
 //!
 //! The real implementation only compiles under the **`faults` cargo
 //! feature**; without it `FaultInjector` is a zero-sized struct whose
@@ -83,6 +88,31 @@ mod imp {
         write_every: u64,
         query_seq: AtomicU64,
         write_seq: AtomicU64,
+        /// Remaining snapshot-file reads to fail with an `io::Error`.
+        snapshot_read_errors: AtomicU64,
+        /// Remaining snapshot-file reads to corrupt (one seeded byte flip).
+        snapshot_read_corruptions: AtomicU64,
+        /// Remaining snapshot-file reads to truncate mid-file.
+        snapshot_read_truncations: AtomicU64,
+        /// Remaining snapshot-file writes to fail (torn tmp write).
+        snapshot_write_errors: AtomicU64,
+        /// Sequence counter for seeded file-fault choices.
+        file_seq: AtomicU64,
+    }
+
+    /// Decrement a fault budget; true when a unit was consumed.
+    fn take_budget(budget: &AtomicU64) -> bool {
+        let mut left = budget.load(Ordering::Relaxed);
+        loop {
+            if left == 0 {
+                return false;
+            }
+            match budget.compare_exchange_weak(left, left - 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(now) => left = now,
+            }
+        }
     }
 
     /// A seeded, cheaply clonable fault schedule (all clones share the
@@ -162,6 +192,61 @@ mod imp {
             }
         }
 
+        /// Install this schedule's snapshot file faults for paths under
+        /// `prefix` (see `safebound_core::snapshot_file::hooks`). Budgets
+        /// are consumed in a fixed order — read errors, then corruptions,
+        /// then truncations — so a schedule replays exactly; write
+        /// budgets are independent. Returns `None` when the injector is
+        /// disabled or no file budgets are set. The faults uninstall when
+        /// the returned guard drops.
+        pub fn install_file_hook(
+            &self,
+            prefix: &std::path::Path,
+        ) -> Option<safebound_core::snapshot_file::hooks::HookGuard> {
+            use safebound_core::snapshot_file::hooks::{install, FileFault, FileOp};
+            let inner = Arc::clone(self.0.as_ref()?);
+            let any_budget = [
+                &inner.snapshot_read_errors,
+                &inner.snapshot_read_corruptions,
+                &inner.snapshot_read_truncations,
+                &inner.snapshot_write_errors,
+            ]
+            .iter()
+            .any(|b| b.load(Ordering::Relaxed) > 0);
+            if !any_budget {
+                return None;
+            }
+            Some(install(prefix.to_path_buf(), move |op, _path| match op {
+                FileOp::Read => {
+                    if take_budget(&inner.snapshot_read_errors) {
+                        return FileFault::Error(ErrorKind::Other);
+                    }
+                    if take_budget(&inner.snapshot_read_corruptions) {
+                        let seq = inner.file_seq.fetch_add(1, Ordering::Relaxed);
+                        let r = mix(inner.seed ^ seq);
+                        return FileFault::CorruptByte {
+                            offset: r as usize,
+                            // A zero mask would be a no-op flip.
+                            xor: ((r >> 32) as u8) | 1,
+                        };
+                    }
+                    if take_budget(&inner.snapshot_read_truncations) {
+                        let seq = inner.file_seq.fetch_add(1, Ordering::Relaxed);
+                        return FileFault::Short(mix(inner.seed ^ seq) as usize % 4096);
+                    }
+                    FileFault::None
+                }
+                FileOp::Write => {
+                    if take_budget(&inner.snapshot_write_errors) {
+                        let seq = inner.file_seq.fetch_add(1, Ordering::Relaxed);
+                        return FileFault::Short(mix(inner.seed ^ seq) as usize % 256);
+                    }
+                    FileFault::None
+                }
+                _ => FileFault::None,
+            }))
+        }
+
         pub(crate) fn on_write(&self, remaining: usize) -> WriteFault {
             let Some(inner) = &self.0 else {
                 return WriteFault::None;
@@ -227,6 +312,34 @@ mod imp {
         /// choice of `Interrupted`, `WouldBlock`, or a short write.
         pub fn fault_writes_every(mut self, every: u64) -> Self {
             self.inner.write_every = every;
+            self
+        }
+
+        /// Fail the next `n` snapshot-file reads with an `io::Error`
+        /// (requires [`FaultInjector::install_file_hook`]).
+        pub fn fail_snapshot_reads(mut self, n: u64) -> Self {
+            self.inner.snapshot_read_errors = AtomicU64::new(n);
+            self
+        }
+
+        /// Corrupt one seeded byte in each of the next `n` snapshot-file
+        /// reads — the checksum must catch every one.
+        pub fn corrupt_snapshot_reads(mut self, n: u64) -> Self {
+            self.inner.snapshot_read_corruptions = AtomicU64::new(n);
+            self
+        }
+
+        /// Truncate the next `n` snapshot-file reads mid-file.
+        pub fn truncate_snapshot_reads(mut self, n: u64) -> Self {
+            self.inner.snapshot_read_truncations = AtomicU64::new(n);
+            self
+        }
+
+        /// Tear the next `n` snapshot-file writes (a short write then an
+        /// error; the atomic rename never runs, so the published file
+        /// stays intact).
+        pub fn fail_snapshot_writes(mut self, n: u64) -> Self {
+            self.inner.snapshot_write_errors = AtomicU64::new(n);
             self
         }
 

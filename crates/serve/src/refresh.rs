@@ -47,13 +47,29 @@
 //! [`StatsRefresher::refresh_blocking`] (the `REFRESH` verb) after a batch
 //! of submissions to publish deterministically.
 
+//! ## File-backed snapshots
+//!
+//! The refresher integrates with the crash-safe snapshot store
+//! ([`safebound_core::snapshot_file`]) on both ends. A **file source**
+//! ([`file_source`], [`StatsRefresher::spawn_file`]) reloads statistics
+//! from a snapshot file on every build attempt — the replica-fleet shape,
+//! where one builder writes and many servers load. A bad file (torn,
+//! corrupted, truncated, version-skewed) is a typed load error that flows
+//! through the normal failure path: the last-good snapshot stays
+//! published, the attempt counts toward `refresh_failures`/backoff, and a
+//! dedicated `snapshot_load_failures` counter feeds `STATS`. On the other
+//! end, [`RefreshConfig::save_path`] enables **save-on-publish**: every
+//! successfully built snapshot is also persisted (atomically) after it is
+//! swapped in, and a failed save never fails the refresh.
+
 use crate::faults::FaultInjector;
 use crate::lock_recover;
 use safebound_core::{IncrementalBuilder, SafeBound, SafeBoundConfig, StatsSnapshot};
 use safebound_storage::{Catalog, CatalogDelta};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -121,6 +137,13 @@ pub struct RefreshConfig {
     pub backoff_base: Duration,
     /// Upper bound on the failure-retry delay.
     pub backoff_cap: Duration,
+    /// Save-on-publish: when set, every successfully built snapshot is
+    /// also persisted to this path (atomic tmp+rename write,
+    /// [`safebound_core::save_snapshot`]) right after it is swapped in.
+    /// A failed save never fails the refresh — it is counted in
+    /// [`StatsRefresher::snapshot_save_failures`] and serving continues
+    /// on the published snapshot.
+    pub save_path: Option<PathBuf>,
 }
 
 impl Default for RefreshConfig {
@@ -130,6 +153,7 @@ impl Default for RefreshConfig {
             tick: Duration::from_millis(100),
             backoff_base: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(5),
+            save_path: None,
         }
     }
 }
@@ -156,6 +180,10 @@ struct RefreshState {
     consecutive_failures: u32,
     /// Reason of the most recent failed attempt.
     last_error: Option<String>,
+    /// Snapshots persisted by save-on-publish ([`RefreshConfig::save_path`]).
+    snapshot_saves: u64,
+    /// Save-on-publish attempts that failed (refresh itself succeeded).
+    snapshot_save_failures: u64,
     /// Stop requested via [`StatsRefresher::stop`] (the shared shutdown
     /// token stops the refresher too; this flag stops only the refresher).
     stop_requested: bool,
@@ -203,6 +231,10 @@ fn backoff_delay(config: &RefreshConfig, consecutive: u32, failures: u64) -> Dur
 pub struct StatsRefresher {
     shared: Arc<RefreshShared>,
     thread: Mutex<Option<JoinHandle<()>>>,
+    /// Failed snapshot-file loads, shared with the source closure when
+    /// the refresher reads from a file ([`StatsRefresher::spawn_file`])
+    /// and surfaced in the server's `STATS` line.
+    snapshot_load_failures: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for StatsRefresher {
@@ -305,15 +337,36 @@ impl StatsRefresher {
                             }),
                     };
                     last_build = Instant::now();
+                    // Publish and (optionally) persist before taking the
+                    // state lock: the save is file I/O and must not block
+                    // requesters polling the refresher.
+                    let built = built.map(|snapshot| {
+                        let published = handle.swap_stats(snapshot);
+                        let saved = config
+                            .save_path
+                            .as_deref()
+                            .map(|p| safebound_core::save_snapshot(p, &published));
+                        (published.build_id, saved)
+                    });
                     let mut st = lock_recover(&thread_shared.state);
                     match built {
-                        Ok(snapshot) => {
-                            let published = handle.swap_stats(snapshot);
+                        Ok((build_id, saved)) => {
                             st.generation += 1;
-                            st.last_build_id = published.build_id;
+                            st.last_build_id = build_id;
                             st.completed_through = satisfies;
                             st.consecutive_failures = 0;
                             backoff_until = None;
+                            match saved {
+                                None => {}
+                                Some(Ok(_)) => st.snapshot_saves += 1,
+                                // A failed save is an observable wart, not
+                                // a failed refresh: the snapshot IS
+                                // published and serving.
+                                Some(Err(e)) => {
+                                    st.snapshot_save_failures += 1;
+                                    st.last_error = Some(format!("snapshot save: {e}"));
+                                }
+                            }
                         }
                         Err(reason) => {
                             st.failures += 1;
@@ -344,7 +397,30 @@ impl StatsRefresher {
         StatsRefresher {
             shared,
             thread: Mutex::new(thread),
+            snapshot_load_failures: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Spawn a refresher whose source reloads statistics from a snapshot
+    /// file ([`safebound_core::load_snapshot`]) on every build attempt —
+    /// the replica-fleet shape, where a builder elsewhere publishes the
+    /// file atomically and this process just re-reads it. A bad file is a
+    /// typed failure through the normal machinery: last-good stays
+    /// published, the attempt backs off, and
+    /// [`StatsRefresher::snapshot_load_failures`] (surfaced in `STATS`)
+    /// increments.
+    pub fn spawn_file(
+        handle: SafeBound,
+        path: PathBuf,
+        config: RefreshConfig,
+        shutdown: ShutdownToken,
+    ) -> Self {
+        let failures = Arc::new(AtomicU64::new(0));
+        let source = file_source(path, failures.clone());
+        let mut refresher =
+            Self::spawn_with_faults(handle, source, config, shutdown, FaultInjector::disabled());
+        refresher.snapshot_load_failures = failures;
+        refresher
     }
 
     /// Request a rebuild and block until a build attempt started after
@@ -412,6 +488,33 @@ impl StatsRefresher {
     /// Whether the refresher thread has exited.
     pub fn is_stopped(&self) -> bool {
         lock_recover(&self.shared.state).stopped
+    }
+
+    /// Failed snapshot-file loads by this refresher's file source
+    /// (always 0 for non-file sources unless
+    /// [`StatsRefresher::snapshot_load_failure_counter`] is shared with
+    /// a custom source).
+    pub fn snapshot_load_failures(&self) -> u64 {
+        self.snapshot_load_failures.load(Ordering::Relaxed)
+    }
+
+    /// The shared counter behind
+    /// [`StatsRefresher::snapshot_load_failures`] — hand it to a custom
+    /// [`file_source`] so its failures surface here (and in `STATS`).
+    pub fn snapshot_load_failure_counter(&self) -> Arc<AtomicU64> {
+        self.snapshot_load_failures.clone()
+    }
+
+    /// Snapshots persisted by save-on-publish
+    /// ([`RefreshConfig::save_path`]).
+    pub fn snapshot_saves(&self) -> u64 {
+        lock_recover(&self.shared.state).snapshot_saves
+    }
+
+    /// Save-on-publish attempts that failed (the refresh itself
+    /// succeeded and the snapshot is serving).
+    pub fn snapshot_save_failures(&self) -> u64 {
+        lock_recover(&self.shared.state).snapshot_save_failures
     }
 
     /// Stop the refresher and join its thread (idempotent). A rebuild in
@@ -539,6 +642,27 @@ impl DeltaSource {
                 }
             }
             Ok(inner.builder.snapshot())
+        }
+    }
+}
+
+/// A refresher source that loads each snapshot from a file written by
+/// [`safebound_core::save_snapshot`]. Every load failure — missing file,
+/// I/O error, corruption, truncation, version skew — increments
+/// `failures` and reports a typed message through the refresher's normal
+/// failure path, so the last-good snapshot keeps serving. Pair with
+/// [`StatsRefresher::snapshot_load_failure_counter`] to surface the
+/// count in `STATS`, or use [`StatsRefresher::spawn_file`] which wires
+/// it automatically.
+pub fn file_source(
+    path: PathBuf,
+    failures: Arc<AtomicU64>,
+) -> impl FnMut() -> Result<StatsSnapshot, String> + Send + 'static {
+    move || match safebound_core::load_snapshot(&path) {
+        Ok(snapshot) => Ok(snapshot),
+        Err(e) => {
+            failures.fetch_add(1, Ordering::Relaxed);
+            Err(format!("snapshot load: {e}"))
         }
     }
 }
@@ -724,6 +848,7 @@ mod tests {
                 tick: Duration::from_millis(1),
                 backoff_base: Duration::from_millis(30),
                 backoff_cap: Duration::from_millis(200),
+                save_path: None,
             },
             ShutdownToken::new(),
         );

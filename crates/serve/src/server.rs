@@ -30,6 +30,11 @@
 //! * `REFRESH` against a failing statistics source reports
 //!   `ERR refresh <reason>` — it never hangs, and the last-good snapshot
 //!   keeps serving.
+//! * `SNAPSHOT LOAD` of a corrupt, truncated, or version-skewed file
+//!   answers `ERR snapshot load: <reason>` (counted in `STATS` as
+//!   `snapshot_load_failures`) without unpublishing the last-good
+//!   statistics; `SNAPSHOT SAVE` goes through the crash-safe writer, so
+//!   a failed save never leaves a partial file at the target path.
 
 use crate::faults::{FaultInjector, WriteFault};
 use crate::refresh::{RefreshError, ShutdownToken, StatsRefresher};
@@ -37,7 +42,7 @@ use crate::service::BoundService;
 use safebound_query::parse_sql;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -153,6 +158,10 @@ struct ConnCtx {
     tick: Duration,
     batch_timeout: Option<Duration>,
     faults: FaultInjector,
+    /// Rejected snapshot-file loads (refresher file source + `SNAPSHOT
+    /// LOAD` verb); shared with the refresher when one is configured so
+    /// `STATS` reports one coherent counter.
+    snapshot_load_failures: Arc<AtomicU64>,
 }
 
 /// Accept connections until the shutdown token triggers, one handler
@@ -171,6 +180,10 @@ pub fn serve_with(
     // connections are switched back to (timeout-)blocking reads below.
     listener.set_nonblocking(true)?;
     let active: Arc<AtomicUsize> = Arc::new(AtomicUsize::new(0));
+    let snapshot_load_failures = refresher
+        .as_ref()
+        .map(|r| r.snapshot_load_failure_counter())
+        .unwrap_or_default();
     let ctx = Arc::new(ConnCtx {
         service,
         refresher,
@@ -181,6 +194,7 @@ pub fn serve_with(
         tick: opts.tick,
         batch_timeout: opts.batch_timeout,
         faults: opts.faults.clone(),
+        snapshot_load_failures,
     });
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.is_triggered() {
@@ -426,6 +440,42 @@ fn stats_token(reason: &str) -> String {
     t
 }
 
+/// Answer `SNAPSHOT SAVE <path>` / `SNAPSHOT LOAD <path>`.
+///
+/// `SAVE` serializes the currently published statistics through the
+/// crash-safe writer (tmp + fsync + atomic rename) and answers
+/// `SAVED bytes=<n>`. `LOAD` validates the file **before** constructing
+/// anything — a corrupt, truncated, or version-skewed file answers
+/// `ERR snapshot load: <reason>` and the last-good snapshot keeps
+/// serving; a valid file is hot-swapped in and answered
+/// `LOADED build=<id>`.
+fn snapshot_verb(ctx: &ConnCtx, rest: &str) -> String {
+    let (op, path) = match rest.trim().split_once(char::is_whitespace) {
+        Some((op, path)) if !path.trim().is_empty() => (op, path.trim()),
+        _ => return "ERR usage: SNAPSHOT SAVE|LOAD <path>".to_string(),
+    };
+    match op {
+        "SAVE" => {
+            let snapshot = ctx.service.estimator().snapshot();
+            match safebound_core::save_snapshot(std::path::Path::new(path), &snapshot) {
+                Ok(bytes) => format!("SAVED bytes={bytes}"),
+                Err(e) => format!("ERR snapshot save: {e}"),
+            }
+        }
+        "LOAD" => match safebound_core::load_snapshot(std::path::Path::new(path)) {
+            Ok(snapshot) => {
+                let published = ctx.service.estimator().swap_stats(snapshot);
+                format!("LOADED build={}", published.build_id)
+            }
+            Err(e) => {
+                ctx.snapshot_load_failures.fetch_add(1, Ordering::Relaxed);
+                format!("ERR snapshot load: {e}")
+            }
+        },
+        other => format!("ERR unknown SNAPSHOT op {other:?}"),
+    }
+}
+
 /// Serve one client until `QUIT`, EOF, idle timeout, shutdown, or an I/O
 /// error.
 fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
@@ -508,7 +558,7 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                      eq_memo_misses={} eq_memo_evictions={} \
                      range_memo_hits={} range_memo_misses={} range_memo_evictions={} \
                      like_memo_hits={} like_memo_misses={} like_memo_evictions={} \
-                     relaxations_pruned={} spills={} simd={}",
+                     relaxations_pruned={} spills={} snapshot_load_failures={} simd={}",
                     ctx.service.num_workers(),
                     ctx.service.estimator().build_id(),
                     ctx.service.estimator().swap_count(),
@@ -541,6 +591,7 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                     s.like_memo_evictions,
                     s.relaxations_pruned,
                     ctx.service.spill_count(),
+                    ctx.snapshot_load_failures.load(Ordering::Relaxed),
                     safebound_core::simd_tier().name(),
                 )?
             }
@@ -558,7 +609,10 @@ fn handle_connection(ctx: &ConnCtx, stream: TcpStream) -> std::io::Result<()> {
                 None => writeln!(writer, "ERR no refresher configured")?,
             },
             _ => {
-                if let Some(count) = request.strip_prefix("BATCH ") {
+                if let Some(rest) = request.strip_prefix("SNAPSHOT ") {
+                    let response = snapshot_verb(ctx, rest);
+                    writeln!(writer, "{response}")?;
+                } else if let Some(count) = request.strip_prefix("BATCH ") {
                     match count.trim().parse::<usize>() {
                         Ok(n) if n <= MAX_BATCH => match ctx.batches.try_acquire() {
                             Some(permit) => {
@@ -844,6 +898,71 @@ mod tests {
         let responses = roundtrip(&["REFRESH", "QUIT"]);
         assert_eq!(responses[0], "ERR no refresher configured");
         assert_eq!(responses[1], "BYE");
+    }
+
+    #[test]
+    fn snapshot_verb_saves_and_reloads() {
+        let path = std::env::temp_dir().join(format!(
+            "safebound_serve_snapverb_{}.snap",
+            std::process::id()
+        ));
+        let save = format!("SNAPSHOT SAVE {}", path.display());
+        let load = format!("SNAPSHOT LOAD {}", path.display());
+        let responses = roundtrip(&[
+            &save,
+            &load,
+            "SELECT COUNT(*) FROM r, s WHERE r.x = s.x",
+            "STATS",
+            "QUIT",
+        ]);
+        assert!(responses[0].starts_with("SAVED bytes="), "{responses:?}");
+        assert!(responses[1].starts_with("LOADED build="), "{responses:?}");
+        assert!(responses[2].starts_with("OK "), "{responses:?}");
+        let bound: f64 = responses[2][3..].parse().unwrap();
+        assert!(bound >= 3.0); // bounds survive the save → load round trip
+        assert!(
+            responses[3].contains("snapshot_load_failures=0"),
+            "{responses:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_load_of_a_corrupt_file_keeps_serving_and_is_counted() {
+        let path = std::env::temp_dir().join(format!(
+            "safebound_serve_snapbad_{}.snap",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"definitely not a snapshot").unwrap();
+        let load = format!("SNAPSHOT LOAD {}", path.display());
+        let responses = roundtrip(&[
+            &load,
+            "SELECT COUNT(*) FROM r, s WHERE r.x = s.x",
+            "STATS",
+            "QUIT",
+        ]);
+        assert!(
+            responses[0].starts_with("ERR snapshot load:"),
+            "{responses:?}"
+        );
+        // The rejected file never unpublishes the last-good statistics.
+        assert!(responses[1].starts_with("OK "), "{responses:?}");
+        assert!(
+            responses[2].contains("snapshot_load_failures=1"),
+            "{responses:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_verb_usage_errors() {
+        let responses = roundtrip(&["SNAPSHOT SAVE", "SNAPSHOT FROB /tmp/x", "QUIT"]);
+        assert_eq!(responses[0], "ERR usage: SNAPSHOT SAVE|LOAD <path>");
+        assert!(
+            responses[1].starts_with("ERR unknown SNAPSHOT op"),
+            "{responses:?}"
+        );
+        assert_eq!(responses[2], "BYE");
     }
 
     #[test]

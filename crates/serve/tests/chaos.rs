@@ -15,6 +15,11 @@
 //!   absorbed by the retrying writer — response lines arrive whole;
 //! * injected worker latency degrades to `ERR timeout: …` under the
 //!   per-batch deadline, and the (slow, not dead) worker recovers;
+//! * injected snapshot-file read errors, corruption, and truncation on a
+//!   file-backed refresher surface as typed `ERR refresh snapshot load:`
+//!   answers and `snapshot_load_failures` in `STATS`, never unpublish the
+//!   last-good snapshot, and the refresher recovers once the schedule is
+//!   exhausted;
 //! * after all of the above, `SHUTDOWN` still drains and joins every
 //!   thread (accept loop, handlers, workers, refresher).
 #![cfg(feature = "faults")]
@@ -341,6 +346,84 @@ fn refresh_failures_keep_last_good_snapshot() {
     }
     assert_eq!(conn.roundtrip("QUIT"), "BYE");
     server.stop();
+}
+
+/// Injected snapshot-file faults on a file-backed refresher: a read
+/// error, a corrupted read, and a truncated read each fail one `REFRESH`
+/// with a typed reason — the last-good snapshot keeps serving bounds
+/// bit-identical to the oracle under live TCP, `snapshot_load_failures`
+/// grows in `STATS` — and once the fault schedule is exhausted the next
+/// `REFRESH` reloads the (untouched) file and publishes.
+#[test]
+fn snapshot_file_faults_keep_last_good_and_recover() {
+    let cat = catalog();
+    let sb = SafeBound::build(&cat, SafeBoundConfig::test_small());
+    let sqls = workload_sql();
+    let want = oracle(&sb, &sqls);
+
+    // Publish a valid snapshot file, then serve refreshes from it.
+    let path = std::env::temp_dir().join(format!(
+        "safebound_chaos_snapfile_{}.snap",
+        std::process::id()
+    ));
+    safebound_core::save_snapshot(&path, &sb.snapshot()).expect("initial save");
+
+    let shutdown = ShutdownToken::new();
+    let refresher = Arc::new(StatsRefresher::spawn_file(
+        sb.clone(),
+        path.clone(),
+        RefreshConfig {
+            backoff_base: Duration::from_millis(1),
+            ..RefreshConfig::default()
+        },
+        shutdown.clone(),
+    ));
+    let service = Arc::new(BoundService::new(sb.clone(), 2));
+    let server = TestServer::start(service, Some(refresher.clone()), shutdown, quick_opts());
+    let mut conn = server.connect();
+
+    // Fault-free baseline: the file loads and publishes a fresh build.
+    let resp = conn.roundtrip("REFRESH");
+    assert!(resp.starts_with("REFRESHED build="), "{resp:?}");
+    let good_build = field(&resp, "build");
+    assert_eq!(conn.batch(&sqls), want, "file-loaded snapshot diverged");
+
+    // One read error, one corrupted read, one truncated read — in that
+    // order (the hook consumes its budgets error → corrupt → truncate).
+    let injector = FaultInjector::seeded(11)
+        .fail_snapshot_reads(1)
+        .corrupt_snapshot_reads(1)
+        .truncate_snapshot_reads(1)
+        .build();
+    let _hook = injector
+        .install_file_hook(&path)
+        .expect("enabled injector with file budgets installs a hook");
+
+    for attempt in 1..=3u64 {
+        let resp = conn.roundtrip("REFRESH");
+        assert!(
+            resp.starts_with("ERR refresh snapshot load:"),
+            "attempt {attempt}: faulted load must fail typed, got {resp:?}"
+        );
+        let stats = conn.roundtrip("STATS");
+        assert_eq!(field(&stats, "build"), good_build, "last-good unpublished");
+        assert_eq!(field(&stats, "snapshot_load_failures"), attempt);
+        assert_eq!(conn.batch(&sqls), want, "serving degraded during faults");
+    }
+    assert_eq!(refresher.snapshot_load_failures(), 3);
+
+    // Budgets exhausted: the file on disk was never touched by the read
+    // faults, so the very next demand reloads and publishes.
+    let resp = conn.roundtrip("REFRESH");
+    assert!(resp.starts_with("REFRESHED build="), "{resp:?}");
+    assert_ne!(field(&resp, "build"), good_build, "reload mints a build");
+    let stats = conn.roundtrip("STATS");
+    assert_eq!(field(&stats, "snapshot_load_failures"), 3, "history kept");
+    assert_eq!(conn.batch(&sqls), want, "post-recovery bounds diverged");
+
+    assert_eq!(conn.roundtrip("QUIT"), "BYE");
+    server.stop();
+    let _ = std::fs::remove_file(&path);
 }
 
 /// Injected I/O errors and short writes on the response path: the
